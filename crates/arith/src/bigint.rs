@@ -1,0 +1,419 @@
+//! The [`BigInt`] type: representation, construction, comparison and
+//! formatting. Arithmetic operator implementations live in
+//! [`crate::bigint_ops`].
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::str::FromStr;
+
+/// Sign of a [`BigInt`].
+///
+/// Zero always carries [`Sign::Zero`] and an empty limb vector, so every
+/// value has exactly one representation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Sign {
+    /// Strictly negative.
+    Minus,
+    /// Exactly zero.
+    Zero,
+    /// Strictly positive.
+    Plus,
+}
+
+impl Sign {
+    /// The opposite sign (zero stays zero).
+    #[must_use]
+    pub fn negate(self) -> Sign {
+        match self {
+            Sign::Minus => Sign::Plus,
+            Sign::Zero => Sign::Zero,
+            Sign::Plus => Sign::Minus,
+        }
+    }
+
+    /// Sign of the product of two values with these signs.
+    #[must_use]
+    pub fn mul(self, other: Sign) -> Sign {
+        match (self, other) {
+            (Sign::Zero, _) | (_, Sign::Zero) => Sign::Zero,
+            (Sign::Plus, Sign::Plus) | (Sign::Minus, Sign::Minus) => Sign::Plus,
+            _ => Sign::Minus,
+        }
+    }
+}
+
+/// An arbitrary-precision signed integer.
+///
+/// Stored as a sign plus a little-endian vector of `u32` limbs with no
+/// trailing zero limbs. The canonical representation invariant is checked in
+/// debug builds by [`BigInt::debug_check`].
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct BigInt {
+    pub(crate) sign: Sign,
+    /// Little-endian magnitude; empty iff the value is zero; the last limb
+    /// is never zero.
+    pub(crate) limbs: Vec<u32>,
+}
+
+impl BigInt {
+    /// The value `0`.
+    #[must_use]
+    pub fn zero() -> BigInt {
+        BigInt { sign: Sign::Zero, limbs: Vec::new() }
+    }
+
+    /// The value `1`.
+    #[must_use]
+    pub fn one() -> BigInt {
+        BigInt { sign: Sign::Plus, limbs: vec![1] }
+    }
+
+    /// Builds a value from a sign and a (possibly denormalized) magnitude.
+    pub(crate) fn from_sign_limbs(sign: Sign, mut limbs: Vec<u32>) -> BigInt {
+        while limbs.last() == Some(&0) {
+            limbs.pop();
+        }
+        if limbs.is_empty() {
+            return BigInt::zero();
+        }
+        debug_assert!(sign != Sign::Zero, "nonzero magnitude with Zero sign");
+        BigInt { sign, limbs }
+    }
+
+    /// Asserts the canonical-representation invariant (debug builds only).
+    pub(crate) fn debug_check(&self) {
+        debug_assert_eq!(self.limbs.is_empty(), self.sign == Sign::Zero);
+        debug_assert!(self.limbs.last() != Some(&0));
+    }
+
+    /// `true` iff the value is `0`.
+    #[must_use]
+    pub fn is_zero(&self) -> bool {
+        self.sign == Sign::Zero
+    }
+
+    /// `true` iff the value is `1`.
+    #[must_use]
+    pub fn is_one(&self) -> bool {
+        self.sign == Sign::Plus && self.limbs == [1]
+    }
+
+    /// `true` iff the value is strictly negative.
+    #[must_use]
+    pub fn is_negative(&self) -> bool {
+        self.sign == Sign::Minus
+    }
+
+    /// `true` iff the value is strictly positive.
+    #[must_use]
+    pub fn is_positive(&self) -> bool {
+        self.sign == Sign::Plus
+    }
+
+    /// The sign of the value.
+    #[must_use]
+    pub fn sign(&self) -> Sign {
+        self.sign
+    }
+
+    /// Absolute value.
+    #[must_use]
+    pub fn abs(&self) -> BigInt {
+        match self.sign {
+            Sign::Minus => BigInt { sign: Sign::Plus, limbs: self.limbs.clone() },
+            _ => self.clone(),
+        }
+    }
+
+    /// Negation by reference (see also the `Neg` impls).
+    #[must_use]
+    pub fn negated(&self) -> BigInt {
+        BigInt { sign: self.sign.negate(), limbs: self.limbs.clone() }
+    }
+
+    /// Number of bits in the magnitude (`0` for zero).
+    #[must_use]
+    pub fn bits(&self) -> u64 {
+        match self.limbs.last() {
+            None => 0,
+            Some(&top) => {
+                (self.limbs.len() as u64 - 1) * 32 + (32 - u64::from(top.leading_zeros()))
+            }
+        }
+    }
+
+    /// Converts to `i64` if the value fits.
+    #[must_use]
+    pub fn to_i64(&self) -> Option<i64> {
+        match self.limbs.len() {
+            0 => Some(0),
+            1 => {
+                let m = i64::from(self.limbs[0]);
+                Some(if self.sign == Sign::Minus { -m } else { m })
+            }
+            2 => {
+                let m = (u64::from(self.limbs[1]) << 32) | u64::from(self.limbs[0]);
+                match self.sign {
+                    Sign::Minus if m <= 1 << 63 => Some((m as i64).wrapping_neg()),
+                    Sign::Plus if m < 1 << 63 => Some(m as i64),
+                    _ => None,
+                }
+            }
+            _ => None,
+        }
+    }
+
+    /// Converts to `u64` if the value fits (negative values do not).
+    #[must_use]
+    pub fn to_u64(&self) -> Option<u64> {
+        if self.sign == Sign::Minus {
+            return None;
+        }
+        match self.limbs.len() {
+            0 => Some(0),
+            1 => Some(u64::from(self.limbs[0])),
+            2 => Some((u64::from(self.limbs[1]) << 32) | u64::from(self.limbs[0])),
+            _ => None,
+        }
+    }
+
+    /// Compares magnitudes, ignoring signs.
+    #[must_use]
+    pub fn cmp_abs(&self, other: &BigInt) -> Ordering {
+        cmp_limbs(&self.limbs, &other.limbs)
+    }
+}
+
+/// Compares two canonical little-endian magnitudes.
+pub(crate) fn cmp_limbs(a: &[u32], b: &[u32]) -> Ordering {
+    if a.len() != b.len() {
+        return a.len().cmp(&b.len());
+    }
+    for (x, y) in a.iter().rev().zip(b.iter().rev()) {
+        match x.cmp(y) {
+            Ordering::Equal => {}
+            ord => return ord,
+        }
+    }
+    Ordering::Equal
+}
+
+impl Default for BigInt {
+    fn default() -> BigInt {
+        BigInt::zero()
+    }
+}
+
+impl PartialOrd for BigInt {
+    fn partial_cmp(&self, other: &BigInt) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for BigInt {
+    fn cmp(&self, other: &BigInt) -> Ordering {
+        use Sign::*;
+        match (self.sign, other.sign) {
+            (Minus, Minus) => cmp_limbs(&other.limbs, &self.limbs),
+            (Minus, _) => Ordering::Less,
+            (_, Minus) => Ordering::Greater,
+            (Zero, Zero) => Ordering::Equal,
+            (Zero, Plus) => Ordering::Less,
+            (Plus, Zero) => Ordering::Greater,
+            (Plus, Plus) => cmp_limbs(&self.limbs, &other.limbs),
+        }
+    }
+}
+
+macro_rules! impl_from_unsigned {
+    ($($t:ty),*) => {$(
+        impl From<$t> for BigInt {
+            fn from(v: $t) -> BigInt {
+                let mut v = u64::from(v);
+                if v == 0 {
+                    return BigInt::zero();
+                }
+                let mut limbs = Vec::with_capacity(2);
+                while v != 0 {
+                    limbs.push(v as u32);
+                    v >>= 32;
+                }
+                BigInt { sign: Sign::Plus, limbs }
+            }
+        }
+    )*};
+}
+impl_from_unsigned!(u8, u16, u32, u64);
+
+macro_rules! impl_from_signed {
+    ($($t:ty),*) => {$(
+        impl From<$t> for BigInt {
+            fn from(v: $t) -> BigInt {
+                let mag = BigInt::from(<$t>::unsigned_abs(v));
+                if v < 0 {
+                    -mag
+                } else {
+                    mag
+                }
+            }
+        }
+    )*};
+}
+impl_from_signed!(i8, i16, i32, i64);
+
+impl From<usize> for BigInt {
+    fn from(v: usize) -> BigInt {
+        BigInt::from(v as u64)
+    }
+}
+
+/// Error returned when parsing an invalid decimal integer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseBigIntError {
+    pub(crate) message: &'static str,
+}
+
+impl fmt::Display for ParseBigIntError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid integer literal: {}", self.message)
+    }
+}
+
+impl std::error::Error for ParseBigIntError {}
+
+impl FromStr for BigInt {
+    type Err = ParseBigIntError;
+
+    /// Parses an optionally signed decimal literal (e.g. `-12345`).
+    fn from_str(s: &str) -> Result<BigInt, ParseBigIntError> {
+        let (negative, digits) = match s.as_bytes() {
+            [b'-', rest @ ..] => (true, rest),
+            [b'+', rest @ ..] => (false, rest),
+            rest => (false, rest),
+        };
+        if digits.is_empty() {
+            return Err(ParseBigIntError { message: "no digits" });
+        }
+        let mut value = BigInt::zero();
+        for &b in digits {
+            if !b.is_ascii_digit() {
+                return Err(ParseBigIntError { message: "non-digit character" });
+            }
+            value = value.mul_small(10);
+            value = &value + &BigInt::from(u32::from(b - b'0'));
+        }
+        if negative {
+            value = -value;
+        }
+        Ok(value)
+    }
+}
+
+impl fmt::Display for BigInt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return f.pad_integral(true, "", "0");
+        }
+        // Repeated division by 10^9 produces the decimal digits in chunks.
+        const CHUNK: u32 = 1_000_000_000;
+        let mut mag = self.limbs.clone();
+        let mut chunks: Vec<u32> = Vec::new();
+        while !mag.is_empty() {
+            let mut rem: u64 = 0;
+            for limb in mag.iter_mut().rev() {
+                let cur = (rem << 32) | u64::from(*limb);
+                *limb = (cur / u64::from(CHUNK)) as u32;
+                rem = cur % u64::from(CHUNK);
+            }
+            while mag.last() == Some(&0) {
+                mag.pop();
+            }
+            chunks.push(rem as u32);
+        }
+        let mut digits = chunks.last().copied().unwrap_or(0).to_string();
+        for chunk in chunks.iter().rev().skip(1) {
+            digits.push_str(&format!("{chunk:09}"));
+        }
+        f.pad_integral(self.sign != Sign::Minus, "", &digits)
+    }
+}
+
+impl fmt::Debug for BigInt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BigInt({self})")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_is_canonical() {
+        let z = BigInt::zero();
+        assert!(z.is_zero());
+        assert_eq!(z.sign(), Sign::Zero);
+        assert_eq!(z, BigInt::from(0u32));
+        assert_eq!(z, BigInt::from(0i64));
+        assert_eq!(z.to_string(), "0");
+        assert_eq!((-z.clone()), z);
+    }
+
+    #[test]
+    fn from_primitives_round_trip() {
+        for v in [0i64, 1, -1, 42, -42, i64::MAX, i64::MIN, 1 << 32, -(1 << 32)] {
+            assert_eq!(BigInt::from(v).to_i64(), Some(v), "value {v}");
+            assert_eq!(BigInt::from(v).to_string(), v.to_string());
+        }
+        assert_eq!(BigInt::from(u64::MAX).to_u64(), Some(u64::MAX));
+        assert_eq!(BigInt::from(u64::MAX).to_i64(), None);
+        assert_eq!(BigInt::from(-1i32).to_u64(), None);
+    }
+
+    #[test]
+    fn ordering_follows_integers() {
+        let values = [-100i64, -3, -1, 0, 1, 2, 50, 1 << 40];
+        for &a in &values {
+            for &b in &values {
+                assert_eq!(
+                    BigInt::from(a).cmp(&BigInt::from(b)),
+                    a.cmp(&b),
+                    "{a} vs {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parse_and_display_round_trip() {
+        for s in ["0", "1", "-1", "999999999999999999999999", "-123456789012345678901"] {
+            let v: BigInt = s.parse().unwrap();
+            assert_eq!(v.to_string(), s);
+        }
+        assert_eq!("+7".parse::<BigInt>().unwrap(), BigInt::from(7u32));
+        assert!("".parse::<BigInt>().is_err());
+        assert!("-".parse::<BigInt>().is_err());
+        assert!("12x".parse::<BigInt>().is_err());
+    }
+
+    #[test]
+    fn bits_counts_magnitude_bits() {
+        assert_eq!(BigInt::zero().bits(), 0);
+        assert_eq!(BigInt::one().bits(), 1);
+        assert_eq!(BigInt::from(255u32).bits(), 8);
+        assert_eq!(BigInt::from(256u32).bits(), 9);
+        assert_eq!(BigInt::from(1u64 << 40).bits(), 41);
+        assert_eq!(BigInt::from(-8i32).bits(), 4);
+    }
+
+    #[test]
+    fn abs_and_negate() {
+        let v = BigInt::from(-9i32);
+        assert_eq!(v.abs(), BigInt::from(9u32));
+        assert_eq!(v.negated(), BigInt::from(9u32));
+        assert_eq!(BigInt::from(9u32).negated(), v);
+        assert_eq!(Sign::Plus.mul(Sign::Minus), Sign::Minus);
+        assert_eq!(Sign::Minus.mul(Sign::Minus), Sign::Plus);
+        assert_eq!(Sign::Zero.mul(Sign::Minus), Sign::Zero);
+    }
+}

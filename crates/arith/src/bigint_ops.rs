@@ -1,0 +1,488 @@
+//! Arithmetic on [`BigInt`]: addition, subtraction, multiplication and
+//! Euclidean division, for owned values and references.
+
+use crate::bigint::{cmp_limbs, BigInt, Sign};
+use std::cmp::Ordering;
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Rem, Sub, SubAssign};
+
+/// `a + b` on magnitudes.
+fn add_limbs(a: &[u32], b: &[u32]) -> Vec<u32> {
+    let (long, short) = if a.len() >= b.len() { (a, b) } else { (b, a) };
+    let mut out = Vec::with_capacity(long.len() + 1);
+    let mut carry: u64 = 0;
+    for i in 0..long.len() {
+        let sum = u64::from(long[i]) + u64::from(short.get(i).copied().unwrap_or(0)) + carry;
+        out.push(sum as u32);
+        carry = sum >> 32;
+    }
+    if carry != 0 {
+        out.push(carry as u32);
+    }
+    out
+}
+
+/// `a - b` on magnitudes; requires `a >= b`.
+fn sub_limbs(a: &[u32], b: &[u32]) -> Vec<u32> {
+    debug_assert!(cmp_limbs(a, b) != Ordering::Less);
+    let mut out = Vec::with_capacity(a.len());
+    let mut borrow: i64 = 0;
+    for i in 0..a.len() {
+        let diff = i64::from(a[i]) - i64::from(b.get(i).copied().unwrap_or(0)) - borrow;
+        if diff < 0 {
+            out.push((diff + (1 << 32)) as u32);
+            borrow = 1;
+        } else {
+            out.push(diff as u32);
+            borrow = 0;
+        }
+    }
+    debug_assert_eq!(borrow, 0);
+    while out.last() == Some(&0) {
+        out.pop();
+    }
+    out
+}
+
+/// Schoolbook `a * b` on magnitudes.
+fn mul_limbs(a: &[u32], b: &[u32]) -> Vec<u32> {
+    if a.is_empty() || b.is_empty() {
+        return Vec::new();
+    }
+    let mut out = vec![0u32; a.len() + b.len()];
+    for (i, &x) in a.iter().enumerate() {
+        if x == 0 {
+            continue;
+        }
+        let mut carry: u64 = 0;
+        for (j, &y) in b.iter().enumerate() {
+            let cur = u64::from(out[i + j]) + u64::from(x) * u64::from(y) + carry;
+            out[i + j] = cur as u32;
+            carry = cur >> 32;
+        }
+        let mut k = i + b.len();
+        while carry != 0 {
+            let cur = u64::from(out[k]) + carry;
+            out[k] = cur as u32;
+            carry = cur >> 32;
+            k += 1;
+        }
+    }
+    while out.last() == Some(&0) {
+        out.pop();
+    }
+    out
+}
+
+/// Knuth algorithm D: `(quotient, remainder)` of magnitudes; `b` nonzero.
+fn divrem_limbs(a: &[u32], b: &[u32]) -> (Vec<u32>, Vec<u32>) {
+    assert!(!b.is_empty(), "division by zero");
+    match cmp_limbs(a, b) {
+        Ordering::Less => return (Vec::new(), a.to_vec()),
+        Ordering::Equal => return (vec![1], Vec::new()),
+        Ordering::Greater => {}
+    }
+    if b.len() == 1 {
+        // Fast path: single-limb divisor.
+        let d = u64::from(b[0]);
+        let mut q = vec![0u32; a.len()];
+        let mut rem: u64 = 0;
+        for i in (0..a.len()).rev() {
+            let cur = (rem << 32) | u64::from(a[i]);
+            q[i] = (cur / d) as u32;
+            rem = cur % d;
+        }
+        while q.last() == Some(&0) {
+            q.pop();
+        }
+        let r = if rem == 0 { Vec::new() } else { vec![rem as u32] };
+        return (q, r);
+    }
+
+    // Normalize so the top limb of the divisor has its high bit set.
+    let shift = b.last().unwrap().leading_zeros();
+    let bn = shl_bits(b, shift);
+    let mut an = shl_bits(a, shift);
+    an.push(0); // extra high limb for the algorithm
+    let n = bn.len();
+    let m = an.len() - n - 1;
+    let top = u64::from(bn[n - 1]);
+    let second = u64::from(bn[n - 2]);
+    let mut q = vec![0u32; m + 1];
+
+    for j in (0..=m).rev() {
+        let hi = (u64::from(an[j + n]) << 32) | u64::from(an[j + n - 1]);
+        let mut qhat = hi / top;
+        let mut rhat = hi % top;
+        // Refine the 2-limb estimate against the third limb.
+        while qhat >= 1 << 32
+            || qhat * second > ((rhat << 32) | u64::from(an[j + n - 2]))
+        {
+            qhat -= 1;
+            rhat += top;
+            if rhat >= 1 << 32 {
+                break;
+            }
+        }
+        // Multiply-and-subtract qhat * bn from an[j..j+n+1].
+        let mut borrow: i64 = 0;
+        let mut carry: u64 = 0;
+        for i in 0..n {
+            let prod = qhat * u64::from(bn[i]) + carry;
+            carry = prod >> 32;
+            let sub = i64::from(an[j + i]) - i64::from(prod as u32) - borrow;
+            if sub < 0 {
+                an[j + i] = (sub + (1 << 32)) as u32;
+                borrow = 1;
+            } else {
+                an[j + i] = sub as u32;
+                borrow = 0;
+            }
+        }
+        let sub = i64::from(an[j + n]) - i64::from(carry as u32) - borrow;
+        // `carry` always fits in 32 bits here because qhat < 2^32.
+        debug_assert!(carry >> 32 == 0);
+        if sub < 0 {
+            // qhat was one too large: add back.
+            an[j + n] = (sub + (1 << 32)) as u32;
+            qhat -= 1;
+            let mut carry2: u64 = 0;
+            for i in 0..n {
+                let sum = u64::from(an[j + i]) + u64::from(bn[i]) + carry2;
+                an[j + i] = sum as u32;
+                carry2 = sum >> 32;
+            }
+            an[j + n] = an[j + n].wrapping_add(carry2 as u32);
+        } else {
+            an[j + n] = sub as u32;
+        }
+        q[j] = qhat as u32;
+    }
+
+    while q.last() == Some(&0) {
+        q.pop();
+    }
+    an.truncate(n);
+    let r = shr_bits(&an, shift);
+    (q, r)
+}
+
+/// Shifts a magnitude left by `shift` bits (`shift < 32`).
+fn shl_bits(a: &[u32], shift: u32) -> Vec<u32> {
+    if shift == 0 {
+        return a.to_vec();
+    }
+    let mut out = Vec::with_capacity(a.len() + 1);
+    let mut carry: u32 = 0;
+    for &limb in a {
+        out.push((limb << shift) | carry);
+        carry = limb >> (32 - shift);
+    }
+    if carry != 0 {
+        out.push(carry);
+    }
+    out
+}
+
+/// Shifts a magnitude right by `shift` bits (`shift < 32`).
+fn shr_bits(a: &[u32], shift: u32) -> Vec<u32> {
+    let mut out = a.to_vec();
+    if shift != 0 {
+        let mut carry: u32 = 0;
+        for limb in out.iter_mut().rev() {
+            let new_carry = *limb << (32 - shift);
+            *limb = (*limb >> shift) | carry;
+            carry = new_carry;
+        }
+    }
+    while out.last() == Some(&0) {
+        out.pop();
+    }
+    out
+}
+
+impl BigInt {
+    /// Multiplies by a small unsigned constant.
+    #[must_use]
+    pub fn mul_small(&self, k: u32) -> BigInt {
+        if k == 0 || self.is_zero() {
+            return BigInt::zero();
+        }
+        let mut limbs = Vec::with_capacity(self.limbs.len() + 1);
+        let mut carry: u64 = 0;
+        for &limb in &self.limbs {
+            let cur = u64::from(limb) * u64::from(k) + carry;
+            limbs.push(cur as u32);
+            carry = cur >> 32;
+        }
+        if carry != 0 {
+            limbs.push(carry as u32);
+        }
+        BigInt::from_sign_limbs(self.sign, limbs)
+    }
+
+    /// Euclidean division: returns `(q, r)` with `self = q * other + r`,
+    /// `q` truncated toward zero and `r` carrying the sign of `self`
+    /// (the semantics of Rust's `/` and `%` on primitive integers).
+    ///
+    /// # Panics
+    /// Panics if `other` is zero.
+    #[must_use]
+    pub fn div_rem(&self, other: &BigInt) -> (BigInt, BigInt) {
+        assert!(!other.is_zero(), "BigInt division by zero");
+        let (q_mag, r_mag) = divrem_limbs(&self.limbs, &other.limbs);
+        let q = BigInt::from_sign_limbs(self.sign.mul(other.sign), q_mag);
+        let r = BigInt::from_sign_limbs(self.sign, r_mag);
+        q.debug_check();
+        r.debug_check();
+        (q, r)
+    }
+
+    /// `true` iff `other` divides `self` exactly.
+    #[must_use]
+    pub fn is_multiple_of(&self, other: &BigInt) -> bool {
+        !other.is_zero() && self.div_rem(other).1.is_zero()
+    }
+}
+
+fn add_signed(a: &BigInt, b: &BigInt) -> BigInt {
+    use Sign::*;
+    match (a.sign, b.sign) {
+        (Zero, _) => b.clone(),
+        (_, Zero) => a.clone(),
+        (x, y) if x == y => BigInt::from_sign_limbs(x, add_limbs(&a.limbs, &b.limbs)),
+        _ => match cmp_limbs(&a.limbs, &b.limbs) {
+            Ordering::Equal => BigInt::zero(),
+            Ordering::Greater => {
+                BigInt::from_sign_limbs(a.sign, sub_limbs(&a.limbs, &b.limbs))
+            }
+            Ordering::Less => BigInt::from_sign_limbs(b.sign, sub_limbs(&b.limbs, &a.limbs)),
+        },
+    }
+}
+
+impl Add<&BigInt> for &BigInt {
+    type Output = BigInt;
+    fn add(self, rhs: &BigInt) -> BigInt {
+        add_signed(self, rhs)
+    }
+}
+
+impl Sub<&BigInt> for &BigInt {
+    type Output = BigInt;
+    fn sub(self, rhs: &BigInt) -> BigInt {
+        add_signed(self, &rhs.negated())
+    }
+}
+
+impl Mul<&BigInt> for &BigInt {
+    type Output = BigInt;
+    fn mul(self, rhs: &BigInt) -> BigInt {
+        BigInt::from_sign_limbs(self.sign.mul(rhs.sign), mul_limbs(&self.limbs, &rhs.limbs))
+    }
+}
+
+impl Div<&BigInt> for &BigInt {
+    type Output = BigInt;
+    fn div(self, rhs: &BigInt) -> BigInt {
+        self.div_rem(rhs).0
+    }
+}
+
+impl Rem<&BigInt> for &BigInt {
+    type Output = BigInt;
+    fn rem(self, rhs: &BigInt) -> BigInt {
+        self.div_rem(rhs).1
+    }
+}
+
+macro_rules! forward_owned_binop {
+    ($($trait:ident, $method:ident);*) => {$(
+        impl $trait<BigInt> for BigInt {
+            type Output = BigInt;
+            fn $method(self, rhs: BigInt) -> BigInt {
+                (&self).$method(&rhs)
+            }
+        }
+        impl $trait<&BigInt> for BigInt {
+            type Output = BigInt;
+            fn $method(self, rhs: &BigInt) -> BigInt {
+                (&self).$method(rhs)
+            }
+        }
+        impl $trait<BigInt> for &BigInt {
+            type Output = BigInt;
+            fn $method(self, rhs: BigInt) -> BigInt {
+                self.$method(&rhs)
+            }
+        }
+    )*};
+}
+forward_owned_binop!(Add, add; Sub, sub; Mul, mul; Div, div; Rem, rem);
+
+impl Neg for BigInt {
+    type Output = BigInt;
+    fn neg(self) -> BigInt {
+        BigInt { sign: self.sign.negate(), limbs: self.limbs }
+    }
+}
+
+impl Neg for &BigInt {
+    type Output = BigInt;
+    fn neg(self) -> BigInt {
+        self.negated()
+    }
+}
+
+impl AddAssign<&BigInt> for BigInt {
+    fn add_assign(&mut self, rhs: &BigInt) {
+        *self = &*self + rhs;
+    }
+}
+
+impl SubAssign<&BigInt> for BigInt {
+    fn sub_assign(&mut self, rhs: &BigInt) {
+        *self = &*self - rhs;
+    }
+}
+
+impl MulAssign<&BigInt> for BigInt {
+    fn mul_assign(&mut self, rhs: &BigInt) {
+        *self = &*self * rhs;
+    }
+}
+
+impl std::iter::Sum for BigInt {
+    fn sum<I: Iterator<Item = BigInt>>(iter: I) -> BigInt {
+        iter.fold(BigInt::zero(), |acc, x| acc + x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn big(v: i64) -> BigInt {
+        BigInt::from(v)
+    }
+
+    #[test]
+    fn small_arithmetic_matches_i64() {
+        let values = [-7i64, -3, -1, 0, 1, 2, 5, 100, -100];
+        for &a in &values {
+            for &b in &values {
+                assert_eq!(big(a) + big(b), big(a + b), "{a}+{b}");
+                assert_eq!(big(a) - big(b), big(a - b), "{a}-{b}");
+                assert_eq!(big(a) * big(b), big(a * b), "{a}*{b}");
+                if b != 0 {
+                    assert_eq!(big(a) / big(b), big(a / b), "{a}/{b}");
+                    assert_eq!(big(a) % big(b), big(a % b), "{a}%{b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn large_multiplication() {
+        let a: BigInt = "123456789012345678901234567890".parse().unwrap();
+        let b: BigInt = "987654321098765432109876543210".parse().unwrap();
+        assert_eq!(
+            (&a * &b).to_string(),
+            "121932631137021795226185032733622923332237463801111263526900"
+        );
+        let (q, r) = (&a * &b).div_rem(&a);
+        assert_eq!(q, b);
+        assert!(r.is_zero());
+    }
+
+    #[test]
+    fn division_with_add_back_case() {
+        // Exercises the rare "add back" branch of Knuth's algorithm D.
+        let a = BigInt::from_sign_limbs(crate::Sign::Plus, vec![0, 0, 0x8000_0000]);
+        let b = BigInt::from_sign_limbs(crate::Sign::Plus, vec![1, 0x8000_0000]);
+        let (q, r) = a.div_rem(&b);
+        assert_eq!(&q * &b + &r, a);
+        assert!(r.cmp_abs(&b) == std::cmp::Ordering::Less);
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn division_by_zero_panics() {
+        let _ = big(1).div_rem(&BigInt::zero());
+    }
+
+    #[test]
+    fn mul_small_matches_mul() {
+        let a: BigInt = "340282366920938463463374607431768211455".parse().unwrap();
+        assert_eq!(a.mul_small(1000), &a * &BigInt::from(1000u32));
+        assert_eq!(a.mul_small(0), BigInt::zero());
+    }
+
+    #[test]
+    fn is_multiple_of() {
+        assert!(big(12).is_multiple_of(&big(4)));
+        assert!(big(-12).is_multiple_of(&big(4)));
+        assert!(!big(13).is_multiple_of(&big(4)));
+        assert!(!big(13).is_multiple_of(&BigInt::zero()));
+        assert!(BigInt::zero().is_multiple_of(&big(5)));
+    }
+
+    fn arb_bigint() -> impl Strategy<Value = BigInt> {
+        proptest::collection::vec(any::<u32>(), 0..6).prop_flat_map(|limbs| {
+            any::<bool>().prop_map(move |neg| {
+                let sign = if neg { crate::Sign::Minus } else { crate::Sign::Plus };
+                BigInt::from_sign_limbs(sign, limbs.clone())
+            })
+        })
+    }
+
+    proptest! {
+        #[test]
+        fn prop_add_commutative(a in arb_bigint(), b in arb_bigint()) {
+            prop_assert_eq!(&a + &b, &b + &a);
+        }
+
+        #[test]
+        fn prop_add_associative(a in arb_bigint(), b in arb_bigint(), c in arb_bigint()) {
+            prop_assert_eq!((&a + &b) + &c, &a + (&b + &c));
+        }
+
+        #[test]
+        fn prop_mul_commutative(a in arb_bigint(), b in arb_bigint()) {
+            prop_assert_eq!(&a * &b, &b * &a);
+        }
+
+        #[test]
+        fn prop_mul_distributes_over_add(
+            a in arb_bigint(), b in arb_bigint(), c in arb_bigint()
+        ) {
+            prop_assert_eq!(&a * (&b + &c), &a * &b + &a * &c);
+        }
+
+        #[test]
+        fn prop_sub_inverse_of_add(a in arb_bigint(), b in arb_bigint()) {
+            prop_assert_eq!((&a + &b) - &b, a);
+        }
+
+        #[test]
+        fn prop_divrem_identity(a in arb_bigint(), b in arb_bigint()) {
+            prop_assume!(!b.is_zero());
+            let (q, r) = a.div_rem(&b);
+            prop_assert_eq!(&q * &b + &r, a.clone());
+            prop_assert!(r.cmp_abs(&b) == std::cmp::Ordering::Less);
+            // Remainder carries the dividend's sign (or is zero).
+            prop_assert!(r.is_zero() || r.sign() == a.sign());
+        }
+
+        #[test]
+        fn prop_display_parse_round_trip(a in arb_bigint()) {
+            let s = a.to_string();
+            prop_assert_eq!(s.parse::<BigInt>().unwrap(), a);
+        }
+
+        #[test]
+        fn prop_neg_involutive(a in arb_bigint()) {
+            prop_assert_eq!(-(-a.clone()), a);
+        }
+    }
+}

@@ -1,0 +1,75 @@
+//! Greatest common divisor and least common multiple on [`BigInt`].
+
+use crate::BigInt;
+
+/// Greatest common divisor of `|a|` and `|b|` (Euclid's algorithm).
+///
+/// `gcd(0, 0) = 0`; otherwise the result is strictly positive.
+#[must_use]
+pub fn gcd(a: &BigInt, b: &BigInt) -> BigInt {
+    let mut x = a.abs();
+    let mut y = b.abs();
+    while !y.is_zero() {
+        let r = &x % &y;
+        x = y;
+        y = r.abs();
+    }
+    x
+}
+
+/// Least common multiple of `|a|` and `|b|`; `lcm(0, _) = 0`.
+#[must_use]
+pub fn lcm(a: &BigInt, b: &BigInt) -> BigInt {
+    if a.is_zero() || b.is_zero() {
+        return BigInt::zero();
+    }
+    let g = gcd(a, b);
+    (&a.abs() / &g) * b.abs()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn big(v: i64) -> BigInt {
+        BigInt::from(v)
+    }
+
+    #[test]
+    fn gcd_basics() {
+        assert_eq!(gcd(&big(12), &big(18)), big(6));
+        assert_eq!(gcd(&big(-12), &big(18)), big(6));
+        assert_eq!(gcd(&big(0), &big(5)), big(5));
+        assert_eq!(gcd(&big(5), &big(0)), big(5));
+        assert_eq!(gcd(&big(0), &big(0)), big(0));
+        assert_eq!(gcd(&big(17), &big(13)), big(1));
+    }
+
+    #[test]
+    fn lcm_basics() {
+        assert_eq!(lcm(&big(4), &big(6)), big(12));
+        assert_eq!(lcm(&big(-4), &big(6)), big(12));
+        assert_eq!(lcm(&big(0), &big(6)), big(0));
+        assert_eq!(lcm(&big(7), &big(7)), big(7));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_gcd_divides_both(a in -10_000i64..10_000, b in -10_000i64..10_000) {
+            let g = gcd(&big(a), &big(b));
+            if a != 0 || b != 0 {
+                prop_assert!(big(a).is_multiple_of(&g));
+                prop_assert!(big(b).is_multiple_of(&g));
+                prop_assert!(g.is_positive());
+            }
+        }
+
+        #[test]
+        fn prop_gcd_lcm_product(a in 1i64..5_000, b in 1i64..5_000) {
+            let g = gcd(&big(a), &big(b));
+            let l = lcm(&big(a), &big(b));
+            prop_assert_eq!(g * l, big(a) * big(b));
+        }
+    }
+}

@@ -1,0 +1,39 @@
+//! # car-arith — exact arithmetic for schema reasoning
+//!
+//! Arbitrary-precision signed integers ([`BigInt`]) and exact rational
+//! numbers ([`Ratio`]), built from scratch for the CAR reasoner.
+//!
+//! Phase 2 of the CAR satisfiability algorithm (Theorem 4.3 of the paper)
+//! decides whether a homogeneous system of linear disequations admits an
+//! acceptable *integer* solution. The argument that rational feasibility
+//! implies integer feasibility relies on exact scaling by denominators, and
+//! the simplex pivots used to decide rational feasibility overflow
+//! fixed-width integers very quickly. Both therefore require exact,
+//! unbounded arithmetic, which this crate provides.
+//!
+//! The representation is deliberately simple and well-tested rather than
+//! maximally fast: sign-and-magnitude with little-endian `u32` limbs,
+//! schoolbook multiplication, and Knuth-style long division. Reasoning time
+//! in CAR is dominated by the exponential expansion phase, not by limb
+//! arithmetic, so clarity wins (measured in the `phase2_scaling` bench).
+//!
+//! ```
+//! use car_arith::{BigInt, Ratio};
+//!
+//! let a = BigInt::from(1234567890123456789i64);
+//! let b = &a * &a;
+//! assert_eq!(b.to_string(), "1524157875323883675019051998750190521");
+//!
+//! let r = Ratio::new(BigInt::from(2), BigInt::from(4));
+//! assert_eq!(r, Ratio::new(BigInt::from(1), BigInt::from(2)));
+//! assert!(r < Ratio::from_integer(BigInt::from(1)));
+//! ```
+
+mod bigint;
+mod bigint_ops;
+mod gcd;
+mod ratio;
+
+pub use bigint::{BigInt, ParseBigIntError, Sign};
+pub use gcd::{gcd, lcm};
+pub use ratio::Ratio;

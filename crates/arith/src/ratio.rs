@@ -1,0 +1,412 @@
+//! Exact rational numbers over [`BigInt`].
+
+use crate::{gcd, BigInt};
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// An exact rational number `num / den` in lowest terms with `den > 0`.
+///
+/// Every value has a unique representation; zero is `0/1`. Used as the
+/// scalar field of the simplex solver in `car-lp`.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Ratio {
+    num: BigInt,
+    den: BigInt,
+}
+
+impl Ratio {
+    /// Creates `num / den`, normalizing sign and common factors.
+    ///
+    /// # Panics
+    /// Panics if `den` is zero.
+    #[must_use]
+    pub fn new(num: BigInt, den: BigInt) -> Ratio {
+        assert!(!den.is_zero(), "Ratio with zero denominator");
+        if num.is_zero() {
+            return Ratio::zero();
+        }
+        let g = gcd(&num, &den);
+        let mut num = &num / &g;
+        let mut den = &den / &g;
+        if den.is_negative() {
+            num = -num;
+            den = -den;
+        }
+        Ratio { num, den }
+    }
+
+    /// The value `0`.
+    #[must_use]
+    pub fn zero() -> Ratio {
+        Ratio { num: BigInt::zero(), den: BigInt::one() }
+    }
+
+    /// The value `1`.
+    #[must_use]
+    pub fn one() -> Ratio {
+        Ratio { num: BigInt::one(), den: BigInt::one() }
+    }
+
+    /// An integer as a rational.
+    #[must_use]
+    pub fn from_integer(n: BigInt) -> Ratio {
+        Ratio { num: n, den: BigInt::one() }
+    }
+
+    /// Numerator (negative iff the value is negative).
+    #[must_use]
+    pub fn numer(&self) -> &BigInt {
+        &self.num
+    }
+
+    /// Denominator (always strictly positive).
+    #[must_use]
+    pub fn denom(&self) -> &BigInt {
+        &self.den
+    }
+
+    /// `true` iff the value is `0`.
+    #[must_use]
+    pub fn is_zero(&self) -> bool {
+        self.num.is_zero()
+    }
+
+    /// `true` iff the value is strictly positive.
+    #[must_use]
+    pub fn is_positive(&self) -> bool {
+        self.num.is_positive()
+    }
+
+    /// `true` iff the value is strictly negative.
+    #[must_use]
+    pub fn is_negative(&self) -> bool {
+        self.num.is_negative()
+    }
+
+    /// `true` iff the value is an integer.
+    #[must_use]
+    pub fn is_integer(&self) -> bool {
+        self.den.is_one()
+    }
+
+    /// Largest integer `<= self`.
+    #[must_use]
+    pub fn floor(&self) -> BigInt {
+        let (q, r) = self.num.div_rem(&self.den);
+        if r.is_negative() {
+            q - BigInt::one()
+        } else {
+            q
+        }
+    }
+
+    /// Smallest integer `>= self`.
+    #[must_use]
+    pub fn ceil(&self) -> BigInt {
+        let (q, r) = self.num.div_rem(&self.den);
+        if r.is_positive() {
+            q + BigInt::one()
+        } else {
+            q
+        }
+    }
+
+    /// Multiplicative inverse.
+    ///
+    /// # Panics
+    /// Panics if the value is zero.
+    #[must_use]
+    pub fn recip(&self) -> Ratio {
+        assert!(!self.is_zero(), "reciprocal of zero");
+        Ratio::new(self.den.clone(), self.num.clone())
+    }
+
+    /// Absolute value.
+    #[must_use]
+    pub fn abs(&self) -> Ratio {
+        Ratio { num: self.num.abs(), den: self.den.clone() }
+    }
+
+    /// Approximate `f64` value (for diagnostics only; may lose precision).
+    #[must_use]
+    pub fn to_f64_lossy(&self) -> f64 {
+        // Good enough for logging: use up to the top ~15 decimal digits.
+        let ns = self.num.to_string();
+        let ds = self.den.to_string();
+        let approx = |s: &str| -> f64 {
+            let neg = s.starts_with('-');
+            let digits = s.trim_start_matches('-');
+            let head: String = digits.chars().take(15).collect();
+            let mantissa: f64 = head.parse().unwrap_or(0.0);
+            let scale = digits.len().saturating_sub(head.len()) as i32;
+            let v = mantissa * 10f64.powi(scale);
+            if neg {
+                -v
+            } else {
+                v
+            }
+        };
+        approx(&ns) / approx(&ds)
+    }
+}
+
+impl Default for Ratio {
+    fn default() -> Ratio {
+        Ratio::zero()
+    }
+}
+
+impl From<i64> for Ratio {
+    fn from(v: i64) -> Ratio {
+        Ratio::from_integer(BigInt::from(v))
+    }
+}
+
+impl From<u64> for Ratio {
+    fn from(v: u64) -> Ratio {
+        Ratio::from_integer(BigInt::from(v))
+    }
+}
+
+impl From<BigInt> for Ratio {
+    fn from(v: BigInt) -> Ratio {
+        Ratio::from_integer(v)
+    }
+}
+
+impl PartialOrd for Ratio {
+    fn partial_cmp(&self, other: &Ratio) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Ratio {
+    fn cmp(&self, other: &Ratio) -> Ordering {
+        // a/b vs c/d  <=>  a*d vs c*b   (b, d > 0)
+        (&self.num * &other.den).cmp(&(&other.num * &self.den))
+    }
+}
+
+impl Add<&Ratio> for &Ratio {
+    type Output = Ratio;
+    fn add(self, rhs: &Ratio) -> Ratio {
+        Ratio::new(
+            &self.num * &rhs.den + &rhs.num * &self.den,
+            &self.den * &rhs.den,
+        )
+    }
+}
+
+impl Sub<&Ratio> for &Ratio {
+    type Output = Ratio;
+    fn sub(self, rhs: &Ratio) -> Ratio {
+        Ratio::new(
+            &self.num * &rhs.den - &rhs.num * &self.den,
+            &self.den * &rhs.den,
+        )
+    }
+}
+
+impl Mul<&Ratio> for &Ratio {
+    type Output = Ratio;
+    fn mul(self, rhs: &Ratio) -> Ratio {
+        Ratio::new(&self.num * &rhs.num, &self.den * &rhs.den)
+    }
+}
+
+impl Div<&Ratio> for &Ratio {
+    type Output = Ratio;
+    fn div(self, rhs: &Ratio) -> Ratio {
+        assert!(!rhs.is_zero(), "Ratio division by zero");
+        Ratio::new(&self.num * &rhs.den, &self.den * &rhs.num)
+    }
+}
+
+macro_rules! forward_owned_binop {
+    ($($trait:ident, $method:ident);*) => {$(
+        impl $trait<Ratio> for Ratio {
+            type Output = Ratio;
+            fn $method(self, rhs: Ratio) -> Ratio {
+                (&self).$method(&rhs)
+            }
+        }
+        impl $trait<&Ratio> for Ratio {
+            type Output = Ratio;
+            fn $method(self, rhs: &Ratio) -> Ratio {
+                (&self).$method(rhs)
+            }
+        }
+        impl $trait<Ratio> for &Ratio {
+            type Output = Ratio;
+            fn $method(self, rhs: Ratio) -> Ratio {
+                self.$method(&rhs)
+            }
+        }
+    )*};
+}
+forward_owned_binop!(Add, add; Sub, sub; Mul, mul; Div, div);
+
+impl Neg for Ratio {
+    type Output = Ratio;
+    fn neg(self) -> Ratio {
+        Ratio { num: -self.num, den: self.den }
+    }
+}
+
+impl Neg for &Ratio {
+    type Output = Ratio;
+    fn neg(self) -> Ratio {
+        Ratio { num: self.num.negated(), den: self.den.clone() }
+    }
+}
+
+impl AddAssign<&Ratio> for Ratio {
+    fn add_assign(&mut self, rhs: &Ratio) {
+        *self = &*self + rhs;
+    }
+}
+
+impl SubAssign<&Ratio> for Ratio {
+    fn sub_assign(&mut self, rhs: &Ratio) {
+        *self = &*self - rhs;
+    }
+}
+
+impl MulAssign<&Ratio> for Ratio {
+    fn mul_assign(&mut self, rhs: &Ratio) {
+        *self = &*self * rhs;
+    }
+}
+
+impl std::iter::Sum for Ratio {
+    fn sum<I: Iterator<Item = Ratio>>(iter: I) -> Ratio {
+        iter.fold(Ratio::zero(), |acc, x| acc + x)
+    }
+}
+
+impl fmt::Display for Ratio {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.den.is_one() {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "{}/{}", self.num, self.den)
+        }
+    }
+}
+
+impl fmt::Debug for Ratio {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Ratio({self})")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn rat(n: i64, d: i64) -> Ratio {
+        Ratio::new(BigInt::from(n), BigInt::from(d))
+    }
+
+    #[test]
+    fn normalization() {
+        assert_eq!(rat(2, 4), rat(1, 2));
+        assert_eq!(rat(-2, -4), rat(1, 2));
+        assert_eq!(rat(2, -4), rat(-1, 2));
+        assert_eq!(rat(0, 7), Ratio::zero());
+        assert!(rat(3, -6).denom().is_positive());
+        assert_eq!(rat(6, 3), Ratio::from(2i64));
+        assert!(rat(6, 3).is_integer());
+        assert!(!rat(6, 4).is_integer());
+    }
+
+    #[test]
+    #[should_panic(expected = "zero denominator")]
+    fn zero_denominator_panics() {
+        let _ = Ratio::new(BigInt::one(), BigInt::zero());
+    }
+
+    #[test]
+    fn arithmetic_matches_fractions() {
+        assert_eq!(rat(1, 2) + rat(1, 3), rat(5, 6));
+        assert_eq!(rat(1, 2) - rat(1, 3), rat(1, 6));
+        assert_eq!(rat(2, 3) * rat(3, 4), rat(1, 2));
+        assert_eq!(rat(2, 3) / rat(4, 3), rat(1, 2));
+        assert_eq!(-rat(1, 2), rat(-1, 2));
+        assert_eq!(rat(3, 4).recip(), rat(4, 3));
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(rat(1, 3) < rat(1, 2));
+        assert!(rat(-1, 2) < rat(-1, 3));
+        assert!(rat(7, 7) == Ratio::one());
+        assert!(rat(-1, 2) < Ratio::zero());
+        assert!(Ratio::zero() < rat(1, 1000));
+    }
+
+    #[test]
+    fn floor_ceil() {
+        assert_eq!(rat(7, 2).floor(), BigInt::from(3));
+        assert_eq!(rat(7, 2).ceil(), BigInt::from(4));
+        assert_eq!(rat(-7, 2).floor(), BigInt::from(-4));
+        assert_eq!(rat(-7, 2).ceil(), BigInt::from(-3));
+        assert_eq!(rat(6, 2).floor(), BigInt::from(3));
+        assert_eq!(rat(6, 2).ceil(), BigInt::from(3));
+        assert_eq!(Ratio::zero().floor(), BigInt::zero());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(rat(1, 2).to_string(), "1/2");
+        assert_eq!(rat(-4, 2).to_string(), "-2");
+        assert_eq!(Ratio::zero().to_string(), "0");
+    }
+
+    #[test]
+    fn to_f64_lossy_is_close() {
+        assert!((rat(1, 3).to_f64_lossy() - 1.0 / 3.0).abs() < 1e-12);
+        assert!((rat(-22, 7).to_f64_lossy() + 22.0 / 7.0).abs() < 1e-12);
+    }
+
+    fn arb_ratio() -> impl Strategy<Value = Ratio> {
+        (-1000i64..1000, 1i64..1000).prop_map(|(n, d)| rat(n, d))
+    }
+
+    proptest! {
+        #[test]
+        fn prop_field_laws(a in arb_ratio(), b in arb_ratio(), c in arb_ratio()) {
+            prop_assert_eq!(&a + &b, &b + &a);
+            prop_assert_eq!((&a + &b) + &c, &a + (&b + &c));
+            prop_assert_eq!(&a * &b, &b * &a);
+            prop_assert_eq!((&a * &b) * &c, &a * (&b * &c));
+            prop_assert_eq!(&a * (&b + &c), &a * &b + &a * &c);
+            prop_assert_eq!(&a + Ratio::zero(), a.clone());
+            prop_assert_eq!(&a * Ratio::one(), a.clone());
+        }
+
+        #[test]
+        fn prop_sub_div_inverse(a in arb_ratio(), b in arb_ratio()) {
+            prop_assert_eq!((&a + &b) - &b, a.clone());
+            if !b.is_zero() {
+                prop_assert_eq!((&a * &b) / &b, a.clone());
+            }
+        }
+
+        #[test]
+        fn prop_ordering_consistent_with_sub(a in arb_ratio(), b in arb_ratio()) {
+            let diff = &a - &b;
+            prop_assert_eq!(a.cmp(&b), diff.numer().cmp(&BigInt::zero()));
+        }
+
+        #[test]
+        fn prop_floor_ceil_bracket(a in arb_ratio()) {
+            let fl = Ratio::from_integer(a.floor());
+            let ce = Ratio::from_integer(a.ceil());
+            prop_assert!(fl <= a && a <= ce);
+            prop_assert!(&ce - &fl <= Ratio::one());
+        }
+    }
+}

@@ -1,0 +1,33 @@
+//! # car-baseline — ground truth and paper-baseline comparators
+//!
+//! Two independent reference points for the CAR reasoner:
+//!
+//! * [`brute_force`] — exhaustive bounded finite-model search, filtered
+//!   through the independent model checker of `car-core::semantics`. It
+//!   shares *no* code with the two-phase algorithm (no expansion, no
+//!   linear programming), so agreement between the two is meaningful
+//!   evidence of correctness (experiment E2 in `EXPERIMENTS.md`).
+//! * the *naive* expansion strategy — the "most trivial way" of §4.2 of
+//!   the paper (sweep all `2^|C|` subsets) — lives in
+//!   `car_core::enumerate::naive` and is exercised through
+//!   `Strategy::Naive`; this crate re-exports a convenience constructor.
+//!
+//! Bounded search cannot prove unsatisfiability (a model might exist just
+//! beyond the bound), so the oracle's verdicts are three-valued.
+
+pub mod brute_force;
+
+pub use brute_force::{search_model, BruteForceBudget, BruteForceVerdict};
+
+use car_core::reasoner::{Reasoner, ReasonerConfig, Strategy};
+use car_core::Schema;
+
+/// A reasoner fixed to the paper's §4.2 naive enumeration strategy, for
+/// benchmarking the §4.3/§4.4 heuristics against it.
+#[must_use]
+pub fn naive_reasoner(schema: &Schema) -> Reasoner<'_> {
+    Reasoner::with_config(
+        schema,
+        ReasonerConfig { strategy: Strategy::Naive, ..ReasonerConfig::default() },
+    )
+}

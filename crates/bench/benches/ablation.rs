@@ -1,0 +1,101 @@
+//! Ablation benches for the design choices `DESIGN.md` calls out:
+//!
+//! * the LP-free structural-death pre-pass before the acceptability
+//!   fixpoint (vs. letting LP support calls do all the killing);
+//! * the Theorem 4.6 disjointness assumption inside the Preselect
+//!   strategy (vs. SAT enumeration with only the sound criterion-(a)
+//!   clauses).
+//!
+//! Verdicts are identical in every configuration (asserted below);
+//! only the work distribution changes.
+
+use car_core::enumerate;
+use car_core::expansion::{Expansion, ExpansionLimits};
+use car_core::reasoner::{Reasoner, ReasonerConfig, Strategy};
+use car_core::satisfiability::{AnalysisOptions, SatAnalysis};
+use car_reductions::generators::clustered_schema;
+use car_reductions::{encode_tm, TuringMachine};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    // Workload 1: a Theorem 4.1 grid — rich in structurally-dead
+    // variants (unjustifiable arrivals), the pre-pass's best case.
+    let enc = encode_tm(&TuringMachine::parity_machine(), &[1], 2, 2);
+    let pre = car_core::preselection::Preselection::compute(&enc.schema);
+    let ccs = car_core::clusters::clustered_ccs(&enc.schema, &pre, usize::MAX).unwrap();
+    let tm_expansion = Expansion::build(&enc.schema, ccs, &ExpansionLimits::default()).unwrap();
+
+    // Sanity: identical verdicts with and without the pre-pass.
+    let with = SatAnalysis::run_with_options(
+        &tm_expansion,
+        &AnalysisOptions { structural_propagation: true },
+    );
+    let without = SatAnalysis::run_with_options(
+        &tm_expansion,
+        &AnalysisOptions { structural_propagation: false },
+    );
+    assert_eq!(with.realizable(), without.realizable());
+    eprintln!(
+        "[ablation] structural pre-pass on TM grid: lp_calls {} -> {}",
+        without.stats().lp_calls,
+        with.stats().lp_calls
+    );
+
+    let mut group = c.benchmark_group("ablation/structural_prepass");
+    group.sample_size(10);
+    group.bench_function("on", |b| {
+        b.iter(|| {
+            black_box(SatAnalysis::run_with_options(
+                &tm_expansion,
+                &AnalysisOptions { structural_propagation: true },
+            ))
+        })
+    });
+    group.bench_function("off", |b| {
+        b.iter(|| {
+            black_box(SatAnalysis::run_with_options(
+                &tm_expansion,
+                &AnalysisOptions { structural_propagation: false },
+            ))
+        })
+    });
+    group.finish();
+
+    // Workload 2: clustered schema — Theorem 4.6 clustering vs plain SAT
+    // enumeration (criterion-(a) clauses only).
+    let schema = clustered_schema(3, 4);
+    let mut group = c.benchmark_group("ablation/theorem_4_6");
+    group.sample_size(10);
+    group.bench_function("preselect_clusters", |b| {
+        b.iter(|| {
+            let r = Reasoner::with_config(
+                &schema,
+                ReasonerConfig { strategy: Strategy::Preselect, ..Default::default() },
+            );
+            black_box(r.try_is_coherent().unwrap())
+        })
+    });
+    group.bench_function("sat_no_clusters", |b| {
+        b.iter(|| {
+            let r = Reasoner::with_config(
+                &schema,
+                ReasonerConfig { strategy: Strategy::Sat, ..Default::default() },
+            );
+            black_box(r.try_is_coherent().unwrap())
+        })
+    });
+    group.finish();
+
+    let sat_ccs = enumerate::sat_models(&schema, &[], usize::MAX).unwrap().len();
+    let pre = car_core::preselection::Preselection::compute(&schema);
+    let clustered = car_core::clusters::clustered_ccs(&schema, &pre, usize::MAX)
+        .unwrap()
+        .len();
+    eprintln!(
+        "[ablation] Theorem 4.6 on clustered(3,4): compound classes {sat_ccs} -> {clustered}"
+    );
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Experiment E6 — Theorem 4.5: reifying wide relations. Without the
+//! transform the number of compound relations grows as `|C̄|^K` with the
+//! arity `K`; with it, each reified relation contributes one compound
+//! class and `K` binary relations — the series below shows the crossover.
+
+use car_core::arity::reduce_arities;
+use car_core::enumerate;
+use car_core::expansion::{Expansion, ExpansionLimits};
+use car_core::reasoner::{Reasoner, ReasonerConfig, Strategy};
+use car_reductions::generators::kary_schema;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn compound_rels(schema: &car_core::Schema) -> usize {
+    let ccs = enumerate::sat_models(schema, &[], usize::MAX).unwrap();
+    let exp = Expansion::build(schema, ccs, &ExpansionLimits::default()).unwrap();
+    exp.compound_rels().len()
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("arity_reduction");
+    group.sample_size(10);
+
+    for arity in [3usize, 4] {
+        let schema = kary_schema(arity, 2);
+        group.bench_with_input(
+            BenchmarkId::new("direct", arity),
+            &schema,
+            |b, s| {
+                b.iter(|| {
+                    let r = Reasoner::with_config(
+                        s,
+                        ReasonerConfig {
+                            strategy: Strategy::Preselect,
+                            arity_reduction: false,
+                            ..Default::default()
+                        },
+                    );
+                    black_box(r.try_is_coherent().unwrap())
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("reified", arity),
+            &schema,
+            |b, s| {
+                b.iter(|| {
+                    let r = Reasoner::with_config(
+                        s,
+                        ReasonerConfig {
+                            strategy: Strategy::Preselect,
+                            arity_reduction: true,
+                            ..Default::default()
+                        },
+                    );
+                    black_box(r.try_is_coherent().unwrap())
+                })
+            },
+        );
+    }
+    group.finish();
+
+    eprintln!("[E6] compound relations, direct vs reified (k-ary family):");
+    for arity in [2usize, 3, 4, 5, 6] {
+        let schema = kary_schema(arity, 2);
+        let direct = compound_rels(&schema);
+        let reified = compound_rels(&reduce_arities(&schema).unwrap().schema);
+        eprintln!("  K={arity}  direct={direct:6}  reified={reified:6}");
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

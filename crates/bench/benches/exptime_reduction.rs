@@ -1,0 +1,74 @@
+//! Experiment E3 — Theorem 4.1: the Turing-machine reduction. Encoding
+//! is polynomial (schema size series below); deciding the encoded
+//! schemas is the provably-hard part, and the solve series shows the
+//! steep growth with the clock bound.
+
+use car_core::reasoner::{Reasoner, ReasonerConfig, Strategy};
+use car_reductions::{encode_tm, TuringMachine};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let machine = TuringMachine::parity_machine();
+
+    let mut group = c.benchmark_group("exptime_reduction/encode");
+    group.sample_size(20);
+    for (t, s) in [(2usize, 2usize), (4, 4), (8, 8)] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("T{t}xS{s}")),
+            &(t, s),
+            |b, &(t, s)| b.iter(|| black_box(encode_tm(&machine, &[1, 1], t, s))),
+        );
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("exptime_reduction/solve");
+    group.sample_size(10);
+    for (t, s) in [(2usize, 2usize)] {
+        let enc = encode_tm(&machine, &[1, 1], t, s);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("T{t}xS{s}")),
+            &enc,
+            |b, enc| {
+                b.iter(|| {
+                    let r = Reasoner::with_config(
+                        &enc.schema,
+                        ReasonerConfig {
+                            strategy: Strategy::Preselect,
+                            ..Default::default()
+                        },
+                    );
+                    black_box(enc.accepts(&r).unwrap())
+                })
+            },
+        );
+    }
+    group.finish();
+
+    // One-shot solve timing for the larger grid (too slow for a
+    // criterion loop).
+    {
+        let enc = encode_tm(&machine, &[1, 1], 3, 3);
+        let r = Reasoner::with_config(
+            &enc.schema,
+            ReasonerConfig { strategy: Strategy::Preselect, ..Default::default() },
+        );
+        let t0 = std::time::Instant::now();
+        let accepts = enc.accepts(&r).unwrap();
+        eprintln!("[E3] solve T=3 S=3: accepts={accepts} [{:?}]", t0.elapsed());
+    }
+
+    eprintln!("[E3] encoded schema sizes (parity machine, input [1,1]):");
+    for (t, s) in [(2usize, 2usize), (3, 3), (4, 4), (6, 6), (8, 8)] {
+        let enc = encode_tm(&machine, &[1, 1], t, s);
+        eprintln!(
+            "  T={t:2} S={s:2}  classes={:5}  attrs={:4}  (grid cells: {})",
+            enc.schema.num_classes(),
+            enc.schema.num_attrs(),
+            (t + 1) * s
+        );
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

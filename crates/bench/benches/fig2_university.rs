@@ -1,0 +1,73 @@
+//! Experiment E1 — the paper's Figure 2 schema as a benchmark workload:
+//! parse, full satisfiability analysis, implication queries, and model
+//! extraction.
+
+use car_core::reasoner::{Reasoner, ReasonerConfig, Strategy};
+use car_parser::parse_schema;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+const FIGURE_2: &str = include_str!("../../../tests/data/figure2.car");
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig2_university");
+    group.sample_size(20);
+
+    group.bench_function("parse", |b| {
+        b.iter(|| parse_schema(black_box(FIGURE_2)).unwrap());
+    });
+
+    let schema = parse_schema(FIGURE_2).unwrap();
+
+    for (name, strategy) in [
+        ("satisfiability/naive", Strategy::Naive),
+        ("satisfiability/sat", Strategy::Sat),
+        ("satisfiability/preselect", Strategy::Preselect),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let r = Reasoner::with_config(
+                    &schema,
+                    ReasonerConfig { strategy, arity_reduction: true, ..Default::default() },
+                );
+                let unsat = r.try_unsatisfiable_classes().unwrap();
+                black_box(unsat)
+            });
+        });
+    }
+
+    group.finish();
+
+    // Classification and model extraction build the complete (Sat)
+    // expansion — tens of seconds each, so they are timed once for the
+    // shape report instead of inside a criterion loop.
+    {
+        let r = Reasoner::new(&schema);
+        let t0 = std::time::Instant::now();
+        let pairs = r.classification();
+        eprintln!("[fig2] classification: {} pairs [{:?}]", pairs.len(), t0.elapsed());
+        let t0 = std::time::Instant::now();
+        let model = r.extract_model().unwrap();
+        eprintln!(
+            "[fig2] extract_model: {} objects [{:?}] (cached full analysis)",
+            model.universe_size(),
+            t0.elapsed()
+        );
+    }
+
+    // One-shot shape report for EXPERIMENTS.md.
+    let r = Reasoner::with_config(
+        &schema,
+        ReasonerConfig { strategy: Strategy::Preselect, ..Default::default() },
+    );
+    let stats = r.try_stats().unwrap();
+    eprintln!("[fig2] expansion: {stats:?}");
+    eprintln!(
+        "[fig2] coherent: {}, subsumptions: {}",
+        r.try_is_coherent().unwrap(),
+        r.classification().len()
+    );
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Experiment E8 — generalization hierarchies (§4.4): with the fast
+//! path, compound classes equal classes and the whole method is
+//! polynomial; the series below should grow near-linearly while the
+//! naive strategy explodes.
+
+use car_core::reasoner::{Reasoner, ReasonerConfig, Strategy};
+use car_reductions::generators::hierarchy_schema;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hierarchy_scaling");
+    group.sample_size(10);
+
+    // Balanced binary trees: depth d has 2^(d+1) - 1 classes.
+    for depth in [3usize, 5, 7] {
+        let schema = hierarchy_schema(depth, 2);
+        let n = schema.num_classes();
+        group.bench_with_input(BenchmarkId::new("auto_fast_path", n), &schema, |b, s| {
+            b.iter(|| {
+                let r = Reasoner::with_config(
+                    s,
+                    ReasonerConfig { strategy: Strategy::Auto, ..Default::default() },
+                );
+                black_box(r.try_is_coherent().unwrap())
+            })
+        });
+        if n <= 15 {
+            group.bench_with_input(BenchmarkId::new("naive", n), &schema, |b, s| {
+                b.iter(|| {
+                    let r = Reasoner::with_config(
+                        s,
+                        ReasonerConfig { strategy: Strategy::Naive, ..Default::default() },
+                    );
+                    black_box(r.try_is_coherent().unwrap())
+                })
+            });
+        }
+    }
+    group.finish();
+
+    // Shape report: #compound classes must equal #classes (§4.4).
+    eprintln!("[E8] generalization hierarchies (binary, by depth):");
+    for depth in [3usize, 5, 7, 9] {
+        let schema = hierarchy_schema(depth, 2);
+        let r = Reasoner::with_config(
+            &schema,
+            ReasonerConfig { strategy: Strategy::Auto, ..Default::default() },
+        );
+        let stats = r.try_stats().unwrap();
+        eprintln!(
+            "  classes={:5}  compound classes={:5}  (equal: {})",
+            schema.num_classes(),
+            stats.num_compound_classes,
+            schema.num_classes() == stats.num_compound_classes
+        );
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Experiment E4 — Theorem 4.3: phase 2 (deciding acceptable integer
+//! solutions of `ΨS`) is polynomial in the size of the system. The
+//! ratio-chain family grows the system linearly with a trivial phase 1,
+//! isolating phase-2 cost; the reported times should scale polynomially
+//! (compare successive ratios — no doubling-per-step blow-up).
+
+use car_core::clusters::clustered_ccs;
+use car_core::disequations::DisequationSystem;
+use car_core::expansion::{Expansion, ExpansionLimits};
+use car_core::preselection::Preselection;
+use car_core::satisfiability::SatAnalysis;
+use car_reductions::generators::ratio_chain_schema;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn expansion_of(schema: &car_core::Schema) -> Expansion {
+    // Preselection keeps phase 1 linear in the chain length, isolating
+    // phase-2 cost (the point of this experiment).
+    let pre = Preselection::compute(schema);
+    let ccs = clustered_ccs(schema, &pre, usize::MAX).unwrap();
+    Expansion::build(schema, ccs, &ExpansionLimits::default()).unwrap()
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("phase2_scaling");
+    group.sample_size(10);
+
+    for len in [2usize, 4, 8, 12] {
+        let schema = ratio_chain_schema(len, 2);
+        let expansion = expansion_of(&schema);
+        let sys = DisequationSystem::build(&expansion, &[]);
+        let unknowns = sys.num_unknowns();
+        group.bench_with_input(
+            BenchmarkId::new("acceptable_solution", unknowns),
+            &expansion,
+            |b, exp| b.iter(|| black_box(SatAnalysis::run(exp))),
+        );
+    }
+    group.finish();
+
+    eprintln!("[E4] phase-2 system sizes and LP work (ratio chains, grow=2):");
+    for len in [2usize, 4, 8, 12, 16] {
+        let schema = ratio_chain_schema(len, 2);
+        let expansion = expansion_of(&schema);
+        let sys = DisequationSystem::build(&expansion, &[]);
+        let analysis = SatAnalysis::run(&expansion);
+        eprintln!(
+            "  chain={len:3}  unknowns={:4}  disequations={:4}  lp_calls={:3}  iterations={}",
+            sys.num_unknowns(),
+            sys.num_disequations(),
+            analysis.stats().lp_calls,
+            analysis.stats().iterations,
+        );
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,97 @@
+//! Experiment E7 — Theorem 4.6 + §4.3 preselection against the §4.2
+//! naive sweep, on the two instance categories §4.3 distinguishes:
+//!
+//! * category β (clustered): the number of compound classes is polynomial
+//!   once Theorem 4.6 disjointness is imposed — preselection should turn
+//!   exponential into polynomial;
+//! * category α (dense): the expansion is *necessarily* exponential, so
+//!   every strategy pays — the heuristics must not help here, only not
+//!   hurt.
+
+use car_core::reasoner::{Reasoner, ReasonerConfig, Strategy};
+use car_reductions::generators::{clustered_schema, dense_schema};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn coherent(schema: &car_core::Schema, strategy: Strategy) -> bool {
+    let r = Reasoner::with_config(
+        schema,
+        ReasonerConfig { strategy, ..Default::default() },
+    );
+    r.try_is_coherent().unwrap()
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("preselection/beta_clustered");
+    group.sample_size(10);
+    // k clusters of 4 classes each: n = 4k total classes. Naive is
+    // 2^(4k); preselect is k · 2^4.
+    for clusters in [2usize, 3, 4] {
+        let schema = clustered_schema(clusters, 4);
+        if schema.num_classes() <= 16 {
+            group.bench_with_input(
+                BenchmarkId::new("naive", clusters * 4),
+                &schema,
+                |b, s| b.iter(|| black_box(coherent(s, Strategy::Naive))),
+            );
+        }
+        group.bench_with_input(
+            BenchmarkId::new("preselect", clusters * 4),
+            &schema,
+            |b, s| b.iter(|| black_box(coherent(s, Strategy::Preselect))),
+        );
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("preselection/alpha_dense");
+    group.sample_size(10);
+    for n in [6usize, 8, 10] {
+        let schema = dense_schema(n);
+        group.bench_with_input(BenchmarkId::new("naive", n), &schema, |b, s| {
+            b.iter(|| black_box(coherent(s, Strategy::Naive)))
+        });
+        group.bench_with_input(BenchmarkId::new("preselect", n), &schema, |b, s| {
+            b.iter(|| black_box(coherent(s, Strategy::Preselect)))
+        });
+    }
+    group.finish();
+
+    // Shape report: compound-class counts per strategy and category.
+    eprintln!("[E7] compound classes (category beta, clusters of 4):");
+    for clusters in [2usize, 3, 4, 8, 16] {
+        let schema = clustered_schema(clusters, 4);
+        let r = Reasoner::with_config(
+            &schema,
+            ReasonerConfig { strategy: Strategy::Preselect, ..Default::default() },
+        );
+        let preselect_ccs = r.try_stats().unwrap().num_compound_classes;
+        let naive_ccs: String = if schema.num_classes() <= 20 {
+            let r = Reasoner::with_config(
+                &schema,
+                ReasonerConfig { strategy: Strategy::Naive, ..Default::default() },
+            );
+            r.try_stats().unwrap().num_compound_classes.to_string()
+        } else {
+            format!("(2^{} - …)", schema.num_classes())
+        };
+        eprintln!(
+            "  n={:3}  naive={naive_ccs:>12}  preselect={preselect_ccs}",
+            clusters * 4
+        );
+    }
+    eprintln!("[E7] compound classes (category alpha, dense):");
+    for n in [6usize, 8, 10, 12] {
+        let schema = dense_schema(n);
+        let r = Reasoner::with_config(
+            &schema,
+            ReasonerConfig { strategy: Strategy::Preselect, ..Default::default() },
+        );
+        eprintln!(
+            "  n={n:3}  preselect={} (necessarily ~2^n)",
+            r.try_stats().unwrap().num_compound_classes
+        );
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

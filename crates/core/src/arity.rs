@@ -1,0 +1,374 @@
+//! The arity-reduction transform of Theorem 4.5.
+//!
+//! The number of compound relations grows exponentially with the maximum
+//! arity of relations. Theorem 4.5: a schema whose nonbinary relations
+//! have only unit role-clauses can be transformed, in linear time, into
+//! one containing only binary relations while preserving class
+//! satisfiability. Each `K`-ary relation `R` is *reified*: a fresh class
+//! `C_R` — pairwise disjoint from every other class, so it contributes a
+//! single compound class to the expansion — stands for the tuples of
+//! `R`, and `K` fresh binary relations connect each tuple-object to its
+//! role fillers, with `(1,1)` participation on the tuple side.
+//!
+//! Original participation constraints `C participates_in R[U_k] : (x, y)`
+//! become constraints on the filler side of the `k`-th binary relation.
+
+use crate::ids::{ClassId, RelId};
+use crate::syntax::{
+    Card, ClassFormula, RoleClause, RoleLiteral, Schema, SchemaBuilder, SchemaError,
+};
+
+/// Result of the Theorem 4.5 transform.
+#[derive(Debug)]
+pub struct ArityReduction {
+    /// The transformed schema (binary relations only, among the reduced
+    /// ones). Original class ids are preserved: `ClassId` values valid
+    /// for the input schema denote the same classes here.
+    pub schema: Schema,
+    /// The relations of the input schema that were reified.
+    pub reduced: Vec<RelId>,
+    /// The reification classes created, parallel to `reduced`.
+    pub tuple_classes: Vec<ClassId>,
+}
+
+/// `true` iff Theorem 4.5 applies to the relation: arity at least 3 and
+/// every role-clause is a unit clause.
+#[must_use]
+pub fn reducible(schema: &Schema, rel: RelId) -> bool {
+    let def = schema.rel_def(rel);
+    def.arity() >= 3 && def.constraints.iter().all(RoleClause::is_unit)
+}
+
+/// Applies the Theorem 4.5 transform to every reducible relation.
+///
+/// Relations that are binary, or nonbinary with disjunctive role-clauses
+/// (outside the theorem's hypothesis), are copied unchanged.
+///
+/// # Errors
+/// Propagates [`SchemaError`]s; the transform of a valid schema is always
+/// valid, so errors indicate a bug.
+pub fn reduce_arities(schema: &Schema) -> Result<ArityReduction, Vec<SchemaError>> {
+    let mut b = SchemaBuilder::new();
+
+    // Intern all original symbols first so ids line up.
+    for c in schema.symbols().class_ids() {
+        let id = b.class(schema.symbols().class_name(c));
+        debug_assert_eq!(id, c);
+    }
+    for a in schema.symbols().attr_ids() {
+        let id = b.attribute(schema.symbols().attr_name(a));
+        debug_assert_eq!(id, a);
+    }
+
+    let original_classes: Vec<ClassId> = schema.symbols().class_ids().collect();
+    let mut reduced = Vec::new();
+    let mut tuple_classes = Vec::new();
+
+    // Rebuild relations: copies for the untouched ones, reifications for
+    // the reducible ones. Keep a map rel -> either itself (copied) or its
+    // K binary replacements.
+    enum Mapped {
+        Copied(RelId),
+        Reified {
+            /// One binary relation per original role, with its filler role.
+            fillers: Vec<(RelId, crate::ids::RoleId)>,
+        },
+    }
+    let mut mapping: Vec<Option<Mapped>> = Vec::new();
+
+    for (rel, def) in schema.relations() {
+        let rel_name = schema.symbols().rel_name(rel).to_owned();
+        if !reducible(schema, rel) {
+            let role_names: Vec<&str> = def
+                .roles
+                .iter()
+                .map(|&r| schema.symbols().role_name(r))
+                .collect();
+            let new_rel = b.relation(&rel_name, role_names.iter().copied());
+            for clause in &def.constraints {
+                let lits = clause
+                    .literals
+                    .iter()
+                    .map(|l| RoleLiteral {
+                        role: b.role(schema.symbols().role_name(l.role)),
+                        formula: l.formula.clone(),
+                    })
+                    .collect();
+                b.relation_constraint(new_rel, RoleClause::new(lits));
+            }
+            mapping.push(Some(Mapped::Copied(new_rel)));
+            continue;
+        }
+
+        // Reify: fresh class C_R + K binary relations.
+        let tuple_class = b.class(&format!("{rel_name}__tuple"));
+        let mut fillers = Vec::with_capacity(def.arity());
+        for &role in &def.roles {
+            let role_name = schema.symbols().role_name(role).to_owned();
+            let bin_name = format!("{rel_name}__{role_name}");
+            let bin = b.relation(&bin_name, ["tuple", "filler"]);
+            let tuple_role = b.role("tuple");
+            let filler_role = b.role("filler");
+            // Every tuple-side component is a C_R object.
+            b.relation_constraint(
+                bin,
+                RoleClause::new(vec![RoleLiteral {
+                    role: tuple_role,
+                    formula: ClassFormula::class(tuple_class),
+                }]),
+            );
+            // Unit role-clauses of R on this role become filler types.
+            for clause in &def.constraints {
+                let lit = &clause.literals[0];
+                if lit.role == role {
+                    b.relation_constraint(
+                        bin,
+                        RoleClause::new(vec![RoleLiteral {
+                            role: filler_role,
+                            formula: lit.formula.clone(),
+                        }]),
+                    );
+                }
+            }
+            fillers.push((bin, filler_role));
+        }
+        reduced.push(rel);
+        tuple_classes.push(tuple_class);
+        mapping.push(Some(Mapped::Reified { fillers }));
+    }
+
+    // Class definitions: copy, rewriting participations in reified
+    // relations onto the filler sides.
+    for (class, def) in schema.classes() {
+        let mut cb = b.define_class(class);
+        if !def.isa.is_top() {
+            cb = cb.isa(def.isa.clone());
+        }
+        for spec in &def.attrs {
+            cb = cb.attr(spec.att, spec.card, spec.ty.clone());
+        }
+        for part in &def.participations {
+            match mapping[part.rel.index()].as_ref().expect("mapped") {
+                Mapped::Copied(new_rel) => {
+                    // Role ids may be interned in a different order in the
+                    // new builder: map through the role name.
+                    let role_name = schema.symbols().role_name(part.role).to_owned();
+                    let new_rel = *new_rel;
+                    let card = part.card;
+                    let role = cb.builder_role(&role_name);
+                    cb = cb.participates(new_rel, role, card);
+                }
+                Mapped::Reified { fillers, .. } => {
+                    let pos = schema
+                        .rel_def(part.rel)
+                        .role_position(part.role)
+                        .expect("validated participation");
+                    let (bin, filler_role) = fillers[pos];
+                    cb = cb.participates(bin, filler_role, part.card);
+                }
+            }
+        }
+        cb.finish();
+    }
+
+    // Definitions for the reification classes: disjoint from every
+    // original class and from each other, exactly one filler per role.
+    for (k, &rel) in reduced.iter().enumerate() {
+        let tuple_class = tuple_classes[k];
+        let mut isa = ClassFormula::top();
+        for &c in &original_classes {
+            isa = isa.and(ClassFormula::neg_class(c));
+        }
+        for &other in &tuple_classes {
+            if other != tuple_class {
+                isa = isa.and(ClassFormula::neg_class(other));
+            }
+        }
+        let tuple_role = b.role("tuple");
+        let mut cb = b.define_class(tuple_class).isa(isa);
+        let Some(Mapped::Reified { fillers, .. }) = mapping[rel.index()].as_ref() else {
+            unreachable!("reduced relations are reified");
+        };
+        for &(bin, _) in fillers {
+            cb = cb.participates(bin, tuple_role, Card::exactly(1));
+        }
+        cb.finish();
+    }
+
+    let schema = b.build()?;
+    Ok(ArityReduction { schema, reduced, tuple_classes })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::enumerate;
+    use crate::expansion::{Expansion, ExpansionLimits};
+    use crate::satisfiability::SatAnalysis;
+    use crate::syntax::SchemaBuilder;
+
+    /// The paper's ternary Exam relation: Exam(of, by, in) with
+    /// (of: Student), (by: Professor), (in: Course).
+    fn exam_schema(professor_satisfiable: bool) -> Schema {
+        let mut b = SchemaBuilder::new();
+        let student = b.class("Student");
+        let professor = b.class("Professor");
+        let course = b.class("Course");
+        let exam = b.relation("Exam", ["of", "by", "in"]);
+        let of = b.role("of");
+        let by = b.role("by");
+        let r_in = b.role("in");
+        for (role, class) in [(of, student), (by, professor), (r_in, course)] {
+            b.relation_constraint(
+                exam,
+                RoleClause::new(vec![RoleLiteral {
+                    role,
+                    formula: ClassFormula::class(class),
+                }]),
+            );
+        }
+        b.define_class(student).participates(exam, of, Card::new(1, 3)).finish();
+        if !professor_satisfiable {
+            b.define_class(professor)
+                .isa(ClassFormula::neg_class(professor))
+                .finish();
+        }
+        b.build().unwrap()
+    }
+
+    fn satisfiable(schema: &Schema, name: &str) -> bool {
+        let ccs = enumerate::naive(schema, usize::MAX).unwrap();
+        let exp = Expansion::build(schema, ccs, &ExpansionLimits::default()).unwrap();
+        let analysis = SatAnalysis::run(&exp);
+        analysis.class_satisfiable(&exp, schema.class_id(name).unwrap())
+    }
+
+    #[test]
+    fn reducible_detection() {
+        let s = exam_schema(true);
+        assert!(reducible(&s, s.rel_id("Exam").unwrap()));
+
+        let mut b = SchemaBuilder::new();
+        let a = b.class("A");
+        let r = b.relation("R", ["u", "v"]);
+        let _ = (a, r);
+        let s = b.build().unwrap();
+        assert!(!reducible(&s, s.rel_id("R").unwrap())); // binary
+
+        let mut b = SchemaBuilder::new();
+        let a = b.class("A");
+        let c = b.class("B");
+        let r = b.relation("R", ["u", "v", "w"]);
+        let u = b.role("u");
+        let v = b.role("v");
+        b.relation_constraint(
+            r,
+            RoleClause::new(vec![
+                RoleLiteral { role: u, formula: ClassFormula::class(a) },
+                RoleLiteral { role: v, formula: ClassFormula::class(c) },
+            ]),
+        );
+        let s = b.build().unwrap();
+        assert!(!reducible(&s, s.rel_id("R").unwrap())); // disjunctive clause
+    }
+
+    #[test]
+    fn transform_produces_binary_relations_only() {
+        let s = exam_schema(true);
+        let red = reduce_arities(&s).unwrap();
+        assert_eq!(red.reduced.len(), 1);
+        assert_eq!(red.tuple_classes.len(), 1);
+        for (_, def) in red.schema.relations() {
+            assert_eq!(def.arity(), 2);
+        }
+        // Original classes keep their ids.
+        assert_eq!(
+            red.schema.class_id("Student"),
+            s.class_id("Student")
+        );
+        // The reification class exists and is disjoint from originals.
+        let tc = red.tuple_classes[0];
+        assert_eq!(red.schema.class_name(tc), "Exam__tuple");
+    }
+
+    #[test]
+    fn satisfiability_is_preserved_positive_case() {
+        let s = exam_schema(true);
+        let red = reduce_arities(&s).unwrap();
+        for name in ["Student", "Professor", "Course"] {
+            assert_eq!(
+                satisfiable(&s, name),
+                satisfiable(&red.schema, name),
+                "class {name}"
+            );
+            assert!(satisfiable(&red.schema, name));
+        }
+        assert!(satisfiable(&red.schema, "Exam__tuple"));
+    }
+
+    #[test]
+    fn satisfiability_is_preserved_negative_case() {
+        // Professor is unsatisfiable; every exam needs a professor, and
+        // every student needs an exam: Student must be unsatisfiable in
+        // both the original and the transformed schema.
+        let s = exam_schema(false);
+        assert!(!satisfiable(&s, "Student"));
+        let red = reduce_arities(&s).unwrap();
+        assert!(!satisfiable(&red.schema, "Student"));
+        assert!(!satisfiable(&red.schema, "Professor"));
+        assert!(satisfiable(&red.schema, "Course"));
+    }
+
+    #[test]
+    fn untouched_relations_are_copied_verbatim() {
+        let mut b = SchemaBuilder::new();
+        let a = b.class("A");
+        let r = b.relation("R", ["u", "v"]);
+        let u = b.role("u");
+        b.relation_constraint(
+            r,
+            RoleClause::new(vec![RoleLiteral { role: u, formula: ClassFormula::class(a) }]),
+        );
+        b.define_class(a).participates(r, u, Card::new(1, 2)).finish();
+        let s = b.build().unwrap();
+        let red = reduce_arities(&s).unwrap();
+        assert!(red.reduced.is_empty());
+        let r2 = red.schema.rel_id("R").unwrap();
+        assert_eq!(red.schema.rel_def(r2).arity(), 2);
+        assert_eq!(red.schema.rel_def(r2).constraints.len(), 1);
+        assert_eq!(
+            red.schema.class_def(a).participations[0].card,
+            Card::new(1, 2)
+        );
+    }
+
+    #[test]
+    fn expansion_size_shrinks_for_wide_relations() {
+        // 4-ary relation over 3 free classes: the direct expansion has
+        // |C̄|^4 candidate compound relations; after reduction each binary
+        // relation has ~|C̄| · 1 (the reified class is a single compound
+        // class).
+        let mut b = SchemaBuilder::new();
+        let a = b.class("A");
+        let r = b.relation("R", ["u1", "u2", "u3", "u4"]);
+        let u1 = b.role("u1");
+        b.class("B");
+        b.class("C");
+        b.define_class(a).participates(r, u1, Card::new(1, 2)).finish();
+        let s = b.build().unwrap();
+
+        let ccs = enumerate::naive(&s, usize::MAX).unwrap();
+        let exp = Expansion::build(&s, ccs, &ExpansionLimits::default()).unwrap();
+        let direct_rels = exp.compound_rels().len();
+
+        let red = reduce_arities(&s).unwrap();
+        let ccs2 = enumerate::naive(&red.schema, usize::MAX).unwrap();
+        let exp2 = Expansion::build(&red.schema, ccs2, &ExpansionLimits::default()).unwrap();
+        let reduced_rels = exp2.compound_rels().len();
+
+        assert!(
+            reduced_rels < direct_rels,
+            "reduced {reduced_rels} should be below direct {direct_rels}"
+        );
+    }
+}

@@ -1,0 +1,240 @@
+//! A compact fixed-capacity bitset used to represent compound classes.
+//!
+//! A compound class (§3.1 of the paper) is a subset of the class alphabet;
+//! realizing a class-formula under the induced truth assignment reduces to
+//! membership tests, which are single word operations here.
+
+use std::fmt;
+
+/// A set of small integers backed by `u64` words.
+///
+/// The capacity is fixed at construction; all operations preserve the
+/// invariant that bits at positions `>= capacity` are zero, so `Eq`,
+/// `Ord` and `Hash` agree with set equality.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BitSet {
+    words: Vec<u64>,
+    capacity: usize,
+}
+
+impl BitSet {
+    /// The empty set with room for elements `0..capacity`.
+    #[must_use]
+    pub fn new(capacity: usize) -> BitSet {
+        BitSet { words: vec![0; capacity.div_ceil(64)], capacity }
+    }
+
+    /// Builds a set from an iterator of elements.
+    #[must_use]
+    pub fn from_iter<I: IntoIterator<Item = usize>>(capacity: usize, items: I) -> BitSet {
+        let mut s = BitSet::new(capacity);
+        for i in items {
+            s.insert(i);
+        }
+        s
+    }
+
+    /// The fixed capacity (exclusive upper bound on elements).
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Inserts an element.
+    ///
+    /// # Panics
+    /// Panics if `item >= capacity`.
+    pub fn insert(&mut self, item: usize) {
+        assert!(item < self.capacity, "bitset element out of range");
+        self.words[item / 64] |= 1 << (item % 64);
+    }
+
+    /// Removes an element (no-op if absent).
+    pub fn remove(&mut self, item: usize) {
+        if item < self.capacity {
+            self.words[item / 64] &= !(1 << (item % 64));
+        }
+    }
+
+    /// Membership test. Out-of-range items are never members.
+    #[must_use]
+    pub fn contains(&self, item: usize) -> bool {
+        item < self.capacity && self.words[item / 64] & (1 << (item % 64)) != 0
+    }
+
+    /// Number of elements.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// `true` iff the set has no elements.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// `true` iff `self ⊆ other` (capacities must match).
+    #[must_use]
+    pub fn is_subset(&self, other: &BitSet) -> bool {
+        debug_assert_eq!(self.capacity, other.capacity);
+        self.words.iter().zip(&other.words).all(|(a, b)| a & !b == 0)
+    }
+
+    /// `true` iff the sets share no element.
+    #[must_use]
+    pub fn is_disjoint(&self, other: &BitSet) -> bool {
+        debug_assert_eq!(self.capacity, other.capacity);
+        self.words.iter().zip(&other.words).all(|(a, b)| a & b == 0)
+    }
+
+    /// In-place union.
+    pub fn union_with(&mut self, other: &BitSet) {
+        debug_assert_eq!(self.capacity, other.capacity);
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+    }
+
+    /// In-place intersection.
+    pub fn intersect_with(&mut self, other: &BitSet) {
+        debug_assert_eq!(self.capacity, other.capacity);
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= b;
+        }
+    }
+
+    /// Iterates over the elements in increasing order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut w = w;
+            std::iter::from_fn(move || {
+                if w == 0 {
+                    None
+                } else {
+                    let bit = w.trailing_zeros() as usize;
+                    w &= w - 1;
+                    Some(wi * 64 + bit)
+                }
+            })
+        })
+    }
+}
+
+impl fmt::Debug for BitSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut s = BitSet::new(100);
+        assert!(s.is_empty());
+        s.insert(0);
+        s.insert(63);
+        s.insert(64);
+        s.insert(99);
+        assert_eq!(s.len(), 4);
+        assert!(s.contains(63));
+        assert!(s.contains(64));
+        assert!(!s.contains(50));
+        assert!(!s.contains(1000)); // out of range, not a member
+        s.remove(63);
+        assert!(!s.contains(63));
+        assert_eq!(s.len(), 3);
+        s.remove(63); // idempotent
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn insert_out_of_range_panics() {
+        BitSet::new(5).insert(5);
+    }
+
+    #[test]
+    fn subset_and_disjoint() {
+        let a = BitSet::from_iter(10, [1, 3, 5]);
+        let b = BitSet::from_iter(10, [1, 3, 5, 7]);
+        let c = BitSet::from_iter(10, [0, 2]);
+        assert!(a.is_subset(&b));
+        assert!(!b.is_subset(&a));
+        assert!(a.is_subset(&a));
+        assert!(a.is_disjoint(&c));
+        assert!(!a.is_disjoint(&b));
+        assert!(BitSet::new(10).is_subset(&a));
+        assert!(BitSet::new(10).is_disjoint(&a));
+    }
+
+    #[test]
+    fn union_intersection() {
+        let mut a = BitSet::from_iter(70, [1, 65]);
+        let b = BitSet::from_iter(70, [2, 65]);
+        a.union_with(&b);
+        assert_eq!(a.iter().collect::<Vec<_>>(), vec![1, 2, 65]);
+        a.intersect_with(&b);
+        assert_eq!(a.iter().collect::<Vec<_>>(), vec![2, 65]);
+    }
+
+    #[test]
+    fn iteration_order_is_increasing() {
+        let s = BitSet::from_iter(130, [129, 0, 64, 63, 7]);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![0, 7, 63, 64, 129]);
+    }
+
+    #[test]
+    fn equality_and_ordering_are_set_based() {
+        let a = BitSet::from_iter(10, [1, 2]);
+        let mut b = BitSet::from_iter(10, [1, 2, 3]);
+        b.remove(3);
+        assert_eq!(a, b);
+        let mut set = std::collections::HashSet::new();
+        set.insert(a.clone());
+        assert!(set.contains(&b));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_matches_btreeset(
+            items in proptest::collection::vec(0usize..200, 0..50),
+            removals in proptest::collection::vec(0usize..200, 0..20),
+        ) {
+            let mut bs = BitSet::new(200);
+            let mut reference = BTreeSet::new();
+            for &i in &items {
+                bs.insert(i);
+                reference.insert(i);
+            }
+            for &i in &removals {
+                bs.remove(i);
+                reference.remove(&i);
+            }
+            prop_assert_eq!(bs.len(), reference.len());
+            prop_assert_eq!(bs.iter().collect::<Vec<_>>(),
+                            reference.iter().copied().collect::<Vec<_>>());
+            for i in 0..200 {
+                prop_assert_eq!(bs.contains(i), reference.contains(&i));
+            }
+        }
+
+        #[test]
+        fn prop_subset_definition(
+            a in proptest::collection::vec(0usize..64, 0..20),
+            b in proptest::collection::vec(0usize..64, 0..20),
+        ) {
+            let sa = BitSet::from_iter(64, a.iter().copied());
+            let sb = BitSet::from_iter(64, b.iter().copied());
+            let ra: BTreeSet<usize> = a.into_iter().collect();
+            let rb: BTreeSet<usize> = b.into_iter().collect();
+            prop_assert_eq!(sa.is_subset(&sb), ra.is_subset(&rb));
+            prop_assert_eq!(sa.is_disjoint(&sb), ra.is_disjoint(&rb));
+        }
+    }
+}

@@ -1,0 +1,288 @@
+//! The system `ΨS` of linear disequations (§3.2 of the paper).
+//!
+//! One nonnegative unknown `Var(X̄)` per compound class, compound attribute
+//! and compound relation of the expansion; for each merged constraint
+//! `C̄ ⇒ att : (u, v)` in `Natt` the disequations
+//!
+//! ```text
+//! u · Var(C̄)  ≤  S(att, C̄)        (if u > 0)
+//! S(att, C̄)   ≤  v · Var(C̄)       (if v ≠ ∞)
+//! ```
+//!
+//! where `S(att, C̄)` sums the unknowns of the compound attributes whose
+//! source (for a direct attribute) or target (for an inverse one) is `C̄`;
+//! and analogously for `Nrel` over compound-relation unknowns. Every
+//! disequation has zero constant term, so `ΨS` is homogeneous — the
+//! property both Theorem 3.3 (integer solutions by scaling) and the
+//! support analysis of `car-lp` rely on.
+
+use crate::expansion::{CcId, Expansion};
+use crate::syntax::AttRef;
+use car_arith::Ratio;
+use car_lp::{LinExpr, Problem, Relation, VarId};
+
+/// `ΨS`, together with the mapping between expansion components and LP
+/// unknowns.
+#[derive(Debug, Clone)]
+pub struct DisequationSystem {
+    problem: Problem,
+    cc_vars: Vec<VarId>,
+    ca_vars: Vec<VarId>,
+    cr_vars: Vec<VarId>,
+}
+
+impl DisequationSystem {
+    /// Builds `ΨS` from an expansion. `pinned_zero` lists unknowns (by
+    /// [`UnknownId`]) to fix at zero — used by the acceptability fixpoint
+    /// of [`crate::satisfiability`].
+    #[must_use]
+    pub fn build(expansion: &Expansion, pinned_zero: &[UnknownId]) -> DisequationSystem {
+        let mut problem = Problem::new();
+        let cc_vars: Vec<VarId> = expansion
+            .cc_ids()
+            .map(|id| problem.add_var(format!("cc{}", id.index())))
+            .collect();
+        let ca_vars: Vec<VarId> = (0..expansion.compound_attrs().len())
+            .map(|i| problem.add_var(format!("ca{i}")))
+            .collect();
+        let cr_vars: Vec<VarId> = (0..expansion.compound_rels().len())
+            .map(|i| problem.add_var(format!("cr{i}")))
+            .collect();
+
+        // Natt: u·Var(C̄) ≤ S(att, C̄) ≤ v·Var(C̄).
+        for entry in expansion.natt() {
+            let mut sum = LinExpr::zero();
+            let indices = match entry.att {
+                AttRef::Direct(a) => expansion.attrs_with_source(a, entry.cc),
+                AttRef::Inverse(a) => expansion.attrs_with_target(a, entry.cc),
+            };
+            for &i in indices {
+                sum.add_term(ca_vars[i], Ratio::one());
+            }
+            push_bounds(
+                &mut problem,
+                &sum,
+                cc_vars[entry.cc.index()],
+                entry.card.min,
+                entry.card.max,
+            );
+        }
+
+        // Nrel: x·Var(C̄) ≤ Σ Var(R̄) ≤ y·Var(C̄).
+        for entry in expansion.nrel() {
+            let mut sum = LinExpr::zero();
+            for &i in expansion.rels_with_component(entry.rel, entry.role_pos, entry.cc) {
+                sum.add_term(cr_vars[i], Ratio::one());
+            }
+            push_bounds(
+                &mut problem,
+                &sum,
+                cc_vars[entry.cc.index()],
+                entry.card.min,
+                entry.card.max,
+            );
+        }
+
+        // Pinned unknowns: Var(X̄) = 0 (≤ 0 with the implicit ≥ 0).
+        for &u in pinned_zero {
+            let var = match u {
+                UnknownId::Cc(i) => cc_vars[i],
+                UnknownId::Ca(i) => ca_vars[i],
+                UnknownId::Cr(i) => cr_vars[i],
+            };
+            problem.add_constraint(LinExpr::var(var), Relation::Le, Ratio::zero());
+        }
+
+        DisequationSystem { problem, cc_vars, ca_vars, cr_vars }
+    }
+
+    /// The underlying LP problem (all unknowns implicitly `≥ 0`).
+    #[must_use]
+    pub fn problem(&self) -> &Problem {
+        &self.problem
+    }
+
+    /// The LP variable of a compound class.
+    #[must_use]
+    pub fn cc_var(&self, cc: CcId) -> VarId {
+        self.cc_vars[cc.index()]
+    }
+
+    /// The LP variable of the `i`-th compound attribute.
+    #[must_use]
+    pub fn ca_var(&self, i: usize) -> VarId {
+        self.ca_vars[i]
+    }
+
+    /// The LP variable of the `i`-th compound relation.
+    #[must_use]
+    pub fn cr_var(&self, i: usize) -> VarId {
+        self.cr_vars[i]
+    }
+
+    /// The LP variable of any unknown.
+    #[must_use]
+    pub fn var_of(&self, u: UnknownId) -> VarId {
+        match u {
+            UnknownId::Cc(i) => self.cc_vars[i],
+            UnknownId::Ca(i) => self.ca_vars[i],
+            UnknownId::Cr(i) => self.cr_vars[i],
+        }
+    }
+
+    /// Total number of unknowns.
+    #[must_use]
+    pub fn num_unknowns(&self) -> usize {
+        self.cc_vars.len() + self.ca_vars.len() + self.cr_vars.len()
+    }
+
+    /// Number of disequations (excluding the implicit nonnegativity).
+    #[must_use]
+    pub fn num_disequations(&self) -> usize {
+        self.problem.num_constraints()
+    }
+
+    /// Iterates over all unknown ids in LP-variable order.
+    pub fn unknowns(&self) -> impl Iterator<Item = UnknownId> + '_ {
+        let ccs = (0..self.cc_vars.len()).map(UnknownId::Cc);
+        let cas = (0..self.ca_vars.len()).map(UnknownId::Ca);
+        let crs = (0..self.cr_vars.len()).map(UnknownId::Cr);
+        ccs.chain(cas).chain(crs)
+    }
+}
+
+/// Identifier of one unknown of `ΨS`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum UnknownId {
+    /// Compound-class unknown (index into the expansion's list).
+    Cc(usize),
+    /// Compound-attribute unknown.
+    Ca(usize),
+    /// Compound-relation unknown.
+    Cr(usize),
+}
+
+/// Adds `min·var ≤ sum` and `sum ≤ max·var` (skipping trivial halves).
+fn push_bounds(
+    problem: &mut Problem,
+    sum: &LinExpr,
+    cc_var: VarId,
+    min: u64,
+    max: Option<u64>,
+) {
+    if min > 0 {
+        // sum - min·cc ≥ 0
+        let mut expr = sum.clone();
+        expr.add_term(cc_var, -Ratio::from_integer(car_arith::BigInt::from(min)));
+        problem.add_constraint(expr, Relation::Ge, Ratio::zero());
+    }
+    if let Some(max) = max {
+        // sum - max·cc ≤ 0
+        let mut expr = sum.clone();
+        expr.add_term(cc_var, -Ratio::from_integer(car_arith::BigInt::from(max)));
+        problem.add_constraint(expr, Relation::Le, Ratio::zero());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::enumerate;
+    use crate::expansion::ExpansionLimits;
+    use crate::syntax::{AttRef, Card, ClassFormula, SchemaBuilder};
+
+    fn expansion_of(build: impl FnOnce(&mut SchemaBuilder)) -> (crate::syntax::Schema, Expansion) {
+        let mut b = SchemaBuilder::new();
+        build(&mut b);
+        let s = b.build().unwrap();
+        let ccs = enumerate::naive(&s, usize::MAX).unwrap();
+        let exp = Expansion::build(&s, ccs, &ExpansionLimits::default()).unwrap();
+        (s, exp)
+    }
+
+    #[test]
+    fn empty_schema_gives_empty_system() {
+        let (_s, exp) = expansion_of(|b| {
+            b.class("A");
+        });
+        let sys = DisequationSystem::build(&exp, &[]);
+        assert_eq!(sys.num_unknowns(), 1); // one compound class {A}
+        assert_eq!(sys.num_disequations(), 0);
+        assert!(sys.problem().is_homogeneous());
+    }
+
+    #[test]
+    fn attribute_bounds_generate_two_sided_disequations() {
+        let (_s, exp) = expansion_of(|b| {
+            let a = b.class("A");
+            let t = b.class("T");
+            let f = b.attribute("f");
+            b.define_class(a)
+                .attr(AttRef::Direct(f), Card::new(2, 5), ClassFormula::class(t))
+                .finish();
+        });
+        let sys = DisequationSystem::build(&exp, &[]);
+        // Lower and upper bound for each compound class containing A
+        // ({A}, {A,T}): 4 disequations.
+        assert_eq!(sys.num_disequations(), 4);
+        assert!(sys.problem().is_homogeneous());
+    }
+
+    #[test]
+    fn infinite_upper_bound_generates_one_disequation() {
+        let (_s, exp) = expansion_of(|b| {
+            let a = b.class("A");
+            let f = b.attribute("f");
+            b.define_class(a)
+                .attr(AttRef::Direct(f), Card::at_least(1), ClassFormula::top())
+                .finish();
+        });
+        let sys = DisequationSystem::build(&exp, &[]);
+        assert_eq!(sys.num_disequations(), 1);
+    }
+
+    #[test]
+    fn zero_infinity_bound_generates_nothing() {
+        let (_s, exp) = expansion_of(|b| {
+            let a = b.class("A");
+            let f = b.attribute("f");
+            b.define_class(a)
+                .attr(AttRef::Direct(f), Card::any(), ClassFormula::top())
+                .finish();
+        });
+        let sys = DisequationSystem::build(&exp, &[]);
+        assert_eq!(sys.num_disequations(), 0);
+        // Trivial (0, ∞) bounds do not materialize compound attributes at
+        // all: their type constraints are enforced lazily (see
+        // `implication::implies_filler_type`), not by the system.
+        assert!(exp.compound_attrs().is_empty());
+    }
+
+    #[test]
+    fn pinned_unknowns_are_forced_to_zero() {
+        let (_s, exp) = expansion_of(|b| {
+            b.class("A");
+            b.class("B");
+        });
+        let sys = DisequationSystem::build(&exp, &[UnknownId::Cc(0)]);
+        let point = sys.problem().feasible_point().unwrap();
+        assert!(point[sys.cc_var(CcId(0)).index()].is_zero());
+    }
+
+    #[test]
+    fn unknown_iteration_covers_everything() {
+        let (_s, exp) = expansion_of(|b| {
+            let a = b.class("A");
+            let f = b.attribute("f");
+            b.define_class(a)
+                .attr(AttRef::Direct(f), Card::exactly(1), ClassFormula::top())
+                .finish();
+        });
+        let sys = DisequationSystem::build(&exp, &[]);
+        let ids: Vec<UnknownId> = sys.unknowns().collect();
+        assert_eq!(ids.len(), sys.num_unknowns());
+        for id in ids {
+            let _ = sys.var_of(id); // must not panic
+        }
+    }
+}

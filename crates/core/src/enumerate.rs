@@ -1,0 +1,180 @@
+//! Enumeration strategies for consistent compound classes.
+//!
+//! Three ways to produce the compound-class set of the expansion:
+//!
+//! * [`naive`] — the "most trivial way" of §4.2: enumerate all `2^|C|`
+//!   subsets and check each for consistency in linear time. Kept as the
+//!   paper's own baseline (benchmarked against the others in E7).
+//! * [`sat_models`] — enumerate only the models of the propositional
+//!   formula `⋀_C (C → F_C)` with the AllSAT procedure of `car-logic`;
+//!   equivalent output, but inconsistent candidates are pruned wholesale.
+//! * the preselection/cluster strategy of §4.3–4.4 — see
+//!   [`crate::preselection`] and [`crate::clusters`].
+//!
+//! All strategies omit the empty compound class (objects belonging to no
+//! class satisfy no constraint premise; see `DESIGN.md`).
+
+use crate::bitset::BitSet;
+use crate::expansion::{cc_consistent, ExpansionTooLarge};
+use crate::syntax::Schema;
+use car_logic::{CnfFormula, PropLit};
+
+/// Builds the propositional consistency formula `⋀_C (C → F_C)` of a
+/// schema: one propositional variable per class (same index); one clause
+/// `¬C ∨ γ` per class-clause `γ` of each isa formula. Its models are
+/// exactly the consistent compound classes (including the empty one).
+#[must_use]
+pub fn isa_cnf(schema: &Schema) -> CnfFormula {
+    let n = schema.num_classes();
+    let mut f = CnfFormula::new(n);
+    for (class, def) in schema.classes() {
+        for clause in &def.isa.clauses {
+            let mut lits = vec![PropLit::neg(class.index())];
+            lits.extend(clause.literals.iter().map(|l| PropLit {
+                var: l.class.index(),
+                positive: l.positive,
+            }));
+            f.add_clause(lits);
+        }
+    }
+    f
+}
+
+/// Enumerates consistent compound classes by sweeping all `2^|C|` subsets
+/// (§4.2's trivial method). Usable only for small alphabets.
+///
+/// # Errors
+/// [`ExpansionTooLarge`] if the alphabet exceeds 25 classes or more than
+/// `max` consistent compound classes are found.
+pub fn naive(schema: &Schema, max: usize) -> Result<Vec<BitSet>, ExpansionTooLarge> {
+    let n = schema.num_classes();
+    if n > 25 {
+        return Err(ExpansionTooLarge { what: "classes for naive enumeration", limit: 25 });
+    }
+    let mut out = Vec::new();
+    for bits in 1u64..(1u64 << n) {
+        let cc = BitSet::from_iter(n, (0..n).filter(|i| bits & (1 << i) != 0));
+        if cc_consistent(schema, &cc) {
+            if out.len() >= max {
+                return Err(ExpansionTooLarge { what: "compound classes", limit: max });
+            }
+            out.push(cc);
+        }
+    }
+    Ok(out)
+}
+
+/// Enumerates consistent compound classes as the models of [`isa_cnf`],
+/// optionally under extra clauses (used by the preselection strategy to
+/// inject table-derived inclusion/disjointness constraints).
+///
+/// # Errors
+/// [`ExpansionTooLarge`] if more than `max` compound classes are found.
+pub fn sat_models(
+    schema: &Schema,
+    extra_clauses: &[Vec<PropLit>],
+    max: usize,
+) -> Result<Vec<BitSet>, ExpansionTooLarge> {
+    let mut f = isa_cnf(schema);
+    for clause in extra_clauses {
+        f.add_clause(clause.iter().copied());
+    }
+    let n = schema.num_classes();
+    let mut out = Vec::new();
+    let mut overflow = false;
+    car_logic::for_each_model(&f, |model| {
+        if model.iter().all(|&b| !b) {
+            return true; // skip the empty compound class
+        }
+        if out.len() >= max {
+            overflow = true;
+            return false;
+        }
+        out.push(BitSet::from_iter(n, (0..n).filter(|&i| model[i])));
+        true
+    });
+    if overflow {
+        return Err(ExpansionTooLarge { what: "compound classes", limit: max });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::syntax::{ClassFormula, SchemaBuilder};
+    use std::collections::BTreeSet;
+
+    fn schema_with_isa() -> Schema {
+        let mut b = SchemaBuilder::new();
+        let person = b.class("Person");
+        let professor = b.class("Professor");
+        let student = b.class("Student");
+        b.define_class(professor).isa(ClassFormula::class(person)).finish();
+        b.define_class(student)
+            .isa(ClassFormula::class(person).and(ClassFormula::neg_class(professor)))
+            .finish();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn naive_and_sat_agree() {
+        let s = schema_with_isa();
+        let a: BTreeSet<BitSet> = naive(&s, usize::MAX).unwrap().into_iter().collect();
+        let b: BTreeSet<BitSet> = sat_models(&s, &[], usize::MAX).unwrap().into_iter().collect();
+        assert_eq!(a, b);
+        // {P}, {P,Prof}, {P,S}: 3 consistent nonempty compound classes.
+        assert_eq!(a.len(), 3);
+    }
+
+    #[test]
+    fn no_constraints_gives_full_powerset_minus_empty() {
+        let mut b = SchemaBuilder::new();
+        b.class("A");
+        b.class("B");
+        b.class("C");
+        let s = b.build().unwrap();
+        assert_eq!(naive(&s, usize::MAX).unwrap().len(), 7);
+        assert_eq!(sat_models(&s, &[], usize::MAX).unwrap().len(), 7);
+    }
+
+    #[test]
+    fn extra_clauses_prune_models() {
+        let mut b = SchemaBuilder::new();
+        b.class("A");
+        b.class("B");
+        let s = b.build().unwrap();
+        // Impose disjointness A ⊓ B = ⊥: ¬A ∨ ¬B.
+        let extra = vec![vec![PropLit::neg(0), PropLit::neg(1)]];
+        let models = sat_models(&s, &extra, usize::MAX).unwrap();
+        assert_eq!(models.len(), 2); // {A}, {B}
+    }
+
+    #[test]
+    fn limits_are_respected() {
+        let mut b = SchemaBuilder::new();
+        for i in 0..10 {
+            b.class(&format!("K{i}"));
+        }
+        let s = b.build().unwrap();
+        assert!(naive(&s, 5).is_err());
+        assert!(sat_models(&s, &[], 5).is_err());
+        let mut big = SchemaBuilder::new();
+        for i in 0..30 {
+            big.class(&format!("K{i}"));
+        }
+        let s = big.build().unwrap();
+        assert!(naive(&s, usize::MAX).is_err());
+    }
+
+    #[test]
+    fn unsatisfiable_isa_yields_no_compound_classes_with_that_class() {
+        let mut b = SchemaBuilder::new();
+        let a = b.class("A");
+        b.define_class(a).isa(ClassFormula::neg_class(a)).finish();
+        let s = b.build().unwrap();
+        let ccs = naive(&s, usize::MAX).unwrap();
+        assert!(ccs.iter().all(|cc| !cc.contains(0)));
+        assert!(ccs.is_empty()); // only class is self-contradictory
+    }
+}

@@ -1,0 +1,857 @@
+//! The expansion of a CAR schema (§3.1 of the paper).
+//!
+//! The expansion `S̄` of a schema `S` consists of
+//!
+//! * the **consistent compound classes** `C̄ ⊆ C` — complete class-membership
+//!   types whose induced truth assignment realizes the isa formula of every
+//!   member class;
+//! * the **consistent compound attributes** `⟨C̄₁, C̄₂⟩_A` — pairs of compound
+//!   classes compatible with every attribute-type constraint on `A` and
+//!   `inv A` carried by their member classes;
+//! * the **consistent compound relations** `⟨U₁:C̄₁, …, U_K:C̄_K⟩_R` — role
+//!   tuples of compound classes satisfying every role-clause of `R`;
+//! * the merged cardinality-constraint sets `Natt` and `Nrel`, obtained by
+//!   taking the *largest* lower bound and *smallest* upper bound over the
+//!   member classes of each compound class (`umax`/`vmin`, `xmax`/`ymin`).
+//!
+//! Compound extensions are pairwise disjoint in every interpretation, which
+//! is what later allows one unknown per compound object in the disequation
+//! system (§3.2).
+//!
+//! Two size optimizations relative to a literal reading of Definition 3.1
+//! are applied (and justified in `DESIGN.md`): the empty compound class is
+//! omitted, and compound attributes/relations none of whose endpoints carry
+//! any constraint on the attribute/relation are omitted — their unknowns
+//! would occur in no disequation.
+
+use crate::bitset::BitSet;
+use crate::ids::{AttrId, RelId};
+use crate::syntax::{AttRef, Card, Schema};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Index of a compound class within an [`Expansion`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CcId(pub(crate) u32);
+
+impl CcId {
+    /// Dense index.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A consistent compound attribute `⟨C̄₁, C̄₂⟩_A`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompoundAttr {
+    /// The attribute `A`.
+    pub attr: AttrId,
+    /// The compound class of the pair's first components.
+    pub source: CcId,
+    /// The compound classes the pair's second components may belong to.
+    ///
+    /// A singleton when the target carries a *nontrivial* inverse bound
+    /// for `A` (those targets need per-target count resolution). Targets
+    /// with no inverse count constraint are interchangeable from the
+    /// source's perspective — the disequations only see the sum — so all
+    /// of them share one link variable, which collapses the quadratic
+    /// per-pair blow-up on schemas with typed but otherwise
+    /// inverse-unconstrained attributes.
+    pub targets: Vec<CcId>,
+}
+
+impl CompoundAttr {
+    /// `true` iff this link variable resolves a single target type.
+    #[must_use]
+    pub fn is_singleton(&self) -> bool {
+        self.targets.len() == 1
+    }
+}
+
+/// A consistent compound relation `⟨U₁:C̄₁, …, U_K:C̄_K⟩_R`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompoundRel {
+    /// The relation `R`.
+    pub rel: RelId,
+    /// One compound class per role, in role-declaration order.
+    pub components: Vec<CcId>,
+}
+
+/// One merged attribute-cardinality constraint `C̄ ⇒ att : (umax, vmin)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NattEntry {
+    /// The constrained compound class.
+    pub cc: CcId,
+    /// The attribute or inverse attribute.
+    pub att: AttRef,
+    /// The merged bound.
+    pub card: Card,
+}
+
+/// One merged participation constraint `C̄ ⇒ R[U_k] : (xmax, ymin)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NrelEntry {
+    /// The constrained compound class.
+    pub cc: CcId,
+    /// The relation.
+    pub rel: RelId,
+    /// Position of the constrained role in the relation's declaration.
+    pub role_pos: usize,
+    /// The merged bound.
+    pub card: Card,
+}
+
+/// Size limits guarding expansion construction (the expansion is worst-case
+/// exponential; callers choose how much to allow).
+#[derive(Debug, Clone, Copy)]
+pub struct ExpansionLimits {
+    /// Maximum number of compound classes accepted as input.
+    pub max_compound_classes: usize,
+    /// Maximum number of compound attributes built.
+    pub max_compound_attrs: usize,
+    /// Maximum number of compound relations built.
+    pub max_compound_rels: usize,
+}
+
+impl Default for ExpansionLimits {
+    fn default() -> ExpansionLimits {
+        ExpansionLimits {
+            max_compound_classes: 1 << 20,
+            max_compound_attrs: 1 << 22,
+            max_compound_rels: 1 << 22,
+        }
+    }
+}
+
+/// The expansion exceeded a size limit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExpansionTooLarge {
+    /// Which component overflowed.
+    pub what: &'static str,
+    /// The limit that was hit.
+    pub limit: usize,
+}
+
+impl fmt::Display for ExpansionTooLarge {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "expansion too large: more than {} {}", self.limit, self.what)
+    }
+}
+
+impl std::error::Error for ExpansionTooLarge {}
+
+/// `true` iff the compound class is consistent w.r.t. the schema: every
+/// member class's isa formula is realized by the induced assignment.
+#[must_use]
+pub fn cc_consistent(schema: &Schema, cc: &BitSet) -> bool {
+    cc.iter().all(|c| {
+        schema
+            .class_def(crate::ids::ClassId::from_index(c))
+            .isa
+            .realized_by(cc)
+    })
+}
+
+/// Merged cardinality bound for `att` over the member classes of `cc`:
+/// `Some((umax, vmin))` if at least one member constrains `att`.
+#[must_use]
+pub fn merged_att_card(schema: &Schema, cc: &BitSet, att: AttRef) -> Option<Card> {
+    let mut merged: Option<Card> = None;
+    for c in cc.iter() {
+        if let Some(spec) = schema.attr_spec(crate::ids::ClassId::from_index(c), att) {
+            merged = Some(match merged {
+                None => spec.card,
+                Some(m) => m.merge(&spec.card),
+            });
+        }
+    }
+    merged
+}
+
+/// Merged participation bound for `rel[role_pos]` over the member classes
+/// of `cc`.
+#[must_use]
+pub fn merged_part_card(
+    schema: &Schema,
+    cc: &BitSet,
+    rel: RelId,
+    role_pos: usize,
+) -> Option<Card> {
+    let role = schema.rel_def(rel).roles[role_pos];
+    let mut merged: Option<Card> = None;
+    for c in cc.iter() {
+        for part in &schema.class_def(crate::ids::ClassId::from_index(c)).participations {
+            if part.rel == rel && part.role == role {
+                merged = Some(match merged {
+                    None => part.card,
+                    Some(m) => m.merge(&part.card),
+                });
+            }
+        }
+    }
+    merged
+}
+
+/// `true` iff `⟨cc1, cc2⟩_A` is a consistent compound attribute: `cc2`
+/// realizes the filler type of every `A`-specification of `cc1`'s members,
+/// and `cc1` realizes the filler type of every `inv A`-specification of
+/// `cc2`'s members. (Both compound classes are assumed consistent.)
+#[must_use]
+pub fn compound_attr_consistent(
+    schema: &Schema,
+    attr: AttrId,
+    cc1: &BitSet,
+    cc2: &BitSet,
+) -> bool {
+    for c in cc1.iter() {
+        if let Some(spec) =
+            schema.attr_spec(crate::ids::ClassId::from_index(c), AttRef::Direct(attr))
+        {
+            if !spec.ty.realized_by(cc2) {
+                return false;
+            }
+        }
+    }
+    for c in cc2.iter() {
+        if let Some(spec) =
+            schema.attr_spec(crate::ids::ClassId::from_index(c), AttRef::Inverse(attr))
+        {
+            if !spec.ty.realized_by(cc1) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// `true` iff the role assignment satisfies every role-clause of the
+/// relation: each clause has at least one literal `(U_ki : F_i)` whose
+/// component realizes `F_i`.
+#[must_use]
+pub fn compound_rel_consistent(schema: &Schema, rel: RelId, components: &[&BitSet]) -> bool {
+    let def = schema.rel_def(rel);
+    debug_assert_eq!(components.len(), def.arity());
+    def.constraints.iter().all(|clause| {
+        clause.literals.iter().any(|lit| {
+            def.role_position(lit.role)
+                .is_some_and(|pos| lit.formula.realized_by(components[pos]))
+        })
+    })
+}
+
+/// The expansion `S̄` of a schema (Definition 3.1), built from a given set
+/// of consistent compound classes (produced by one of the enumeration
+/// strategies in [`crate::enumerate`]).
+#[derive(Debug, Clone)]
+pub struct Expansion {
+    compound_classes: Vec<BitSet>,
+    compound_attrs: Vec<CompoundAttr>,
+    compound_rels: Vec<CompoundRel>,
+    natt: Vec<NattEntry>,
+    nrel: Vec<NrelEntry>,
+    /// For each attribute: compound-attr indices grouped by source cc.
+    attr_by_source: HashMap<(AttrId, CcId), Vec<usize>>,
+    /// For each attribute: compound-attr indices grouped by target cc.
+    attr_by_target: HashMap<(AttrId, CcId), Vec<usize>>,
+    /// Compound-rel indices grouped by (relation, role position, cc).
+    rel_by_role: HashMap<(RelId, usize, CcId), Vec<usize>>,
+}
+
+impl Expansion {
+    /// Builds the expansion from consistent compound classes.
+    ///
+    /// # Errors
+    /// Returns [`ExpansionTooLarge`] if a size limit is exceeded.
+    ///
+    /// # Panics
+    /// In debug builds, panics if some input compound class is
+    /// inconsistent or empty.
+    pub fn build(
+        schema: &Schema,
+        compound_classes: Vec<BitSet>,
+        limits: &ExpansionLimits,
+    ) -> Result<Expansion, ExpansionTooLarge> {
+        if compound_classes.len() > limits.max_compound_classes {
+            return Err(ExpansionTooLarge {
+                what: "compound classes",
+                limit: limits.max_compound_classes,
+            });
+        }
+        debug_assert!(compound_classes.iter().all(|cc| !cc.is_empty()));
+        debug_assert!(compound_classes.iter().all(|cc| cc_consistent(schema, cc)));
+
+        // Prefilter: a compound class whose merged bound has
+        // `umax > vmin` (e.g. one member demands an attribute the other
+        // forbids) is empty in every interpretation by Lemma 3.2 (B)/(C);
+        // dropping it here keeps its — often numerous — compound
+        // attributes and relations out of the disequation system.
+        let compound_classes: Vec<BitSet> = compound_classes
+            .into_iter()
+            .filter(|cc| {
+                let attrs_ok = schema.symbols().attr_ids().all(|a| {
+                    merged_att_card(schema, cc, AttRef::Direct(a))
+                        .is_none_or(|c| c.is_valid())
+                        && merged_att_card(schema, cc, AttRef::Inverse(a))
+                            .is_none_or(|c| c.is_valid())
+                });
+                let parts_ok = schema.relations().all(|(rel, def)| {
+                    (0..def.arity()).all(|pos| {
+                        merged_part_card(schema, cc, rel, pos).is_none_or(|c| c.is_valid())
+                    })
+                });
+                attrs_ok && parts_ok
+            })
+            .collect();
+
+        let ccs = &compound_classes;
+        let cc_ids: Vec<CcId> = (0..ccs.len()).map(|i| CcId(i as u32)).collect();
+
+        // ---- Natt and per-attribute relevance -------------------------
+        // Only *nontrivial* merged bounds (positive minimum or finite
+        // maximum) generate disequations; trivial `(0, ∞)` specifications
+        // still type their fillers, but that is a constraint on which
+        // link types may be nonempty, not on counts — enforced lazily
+        // (see `implication::implies_filler_type`) instead of
+        // materializing the — often quadratic — set of unconstrained
+        // compound attributes.
+        let nontrivial = |card: &Card| card.min > 0 || card.max.is_some();
+        let mut natt = Vec::new();
+        // relevant_src[attr] = ccs with a nontrivial Direct(attr) bound.
+        let mut relevant_src: HashMap<AttrId, Vec<CcId>> = HashMap::new();
+        let mut relevant_tgt: HashMap<AttrId, Vec<CcId>> = HashMap::new();
+        for attr_id in schema.symbols().attr_ids() {
+            for (&cc_id, cc) in cc_ids.iter().zip(ccs) {
+                if let Some(card) = merged_att_card(schema, cc, AttRef::Direct(attr_id))
+                    .filter(&nontrivial)
+                {
+                    relevant_src.entry(attr_id).or_default().push(cc_id);
+                    natt.push(NattEntry { cc: cc_id, att: AttRef::Direct(attr_id), card });
+                }
+                if let Some(card) = merged_att_card(schema, cc, AttRef::Inverse(attr_id))
+                    .filter(&nontrivial)
+                {
+                    relevant_tgt.entry(attr_id).or_default().push(cc_id);
+                    natt.push(NattEntry { cc: cc_id, att: AttRef::Inverse(attr_id), card });
+                }
+            }
+        }
+
+        // ---- Compound attributes --------------------------------------
+        let mut compound_attrs: Vec<CompoundAttr> = Vec::new();
+        let mut attr_by_source: HashMap<(AttrId, CcId), Vec<usize>> = HashMap::new();
+        // Indexes only singleton links (per-target resolution): inverse
+        // sums and inverse-side queries never involve grouped targets,
+        // which by construction carry no inverse bound.
+        let mut attr_by_target: HashMap<(AttrId, CcId), Vec<usize>> = HashMap::new();
+        for attr_id in schema.symbols().attr_ids() {
+            let srcs = relevant_src.get(&attr_id).cloned().unwrap_or_default();
+            let tgts = relevant_tgt.get(&attr_id).cloned().unwrap_or_default();
+            let mut push = |source: CcId,
+                            targets: Vec<CcId>,
+                            index_target: bool,
+                            compound_attrs: &mut Vec<CompoundAttr>|
+             -> Result<(), ExpansionTooLarge> {
+                if targets.is_empty() {
+                    return Ok(());
+                }
+                if compound_attrs.len() >= limits.max_compound_attrs {
+                    return Err(ExpansionTooLarge {
+                        what: "compound attributes",
+                        limit: limits.max_compound_attrs,
+                    });
+                }
+                let idx = compound_attrs.len();
+                if index_target {
+                    debug_assert_eq!(targets.len(), 1);
+                    attr_by_target.entry((attr_id, targets[0])).or_default().push(idx);
+                }
+                attr_by_source.entry((attr_id, source)).or_default().push(idx);
+                compound_attrs.push(CompoundAttr { attr: attr_id, source, targets });
+                Ok(())
+            };
+            let consistent = |source: CcId, target: CcId| {
+                compound_attr_consistent(
+                    schema,
+                    attr_id,
+                    &ccs[source.index()],
+                    &ccs[target.index()],
+                )
+            };
+            // Links with a count-constrained source: per-target variables
+            // for inverse-constrained targets, one shared variable for all
+            // interchangeable (inverse-unconstrained) targets.
+            for &source in &srcs {
+                let mut group: Vec<CcId> = Vec::new();
+                for &target in &cc_ids {
+                    if !consistent(source, target) {
+                        continue;
+                    }
+                    if tgts.contains(&target) {
+                        push(source, vec![target], true, &mut compound_attrs)?;
+                    } else {
+                        group.push(target);
+                    }
+                }
+                push(source, group, false, &mut compound_attrs)?;
+            }
+            // ...plus per-target links with a count-constrained target and
+            // count-unconstrained source (the constrained-source links are
+            // already in).
+            for &target in &tgts {
+                for &source in &cc_ids {
+                    if srcs.contains(&source) || !consistent(source, target) {
+                        continue;
+                    }
+                    push(source, vec![target], true, &mut compound_attrs)?;
+                }
+            }
+        }
+
+        // ---- Nrel and compound relations -------------------------------
+        let mut nrel = Vec::new();
+        let mut constrained_rels: Vec<RelId> = Vec::new();
+        for (rel, def) in schema.relations() {
+            let mut any = false;
+            for role_pos in 0..def.arity() {
+                for (&cc_id, cc) in cc_ids.iter().zip(ccs) {
+                    if let Some(card) =
+                        merged_part_card(schema, cc, rel, role_pos).filter(&nontrivial)
+                    {
+                        nrel.push(NrelEntry { cc: cc_id, rel, role_pos, card });
+                        any = true;
+                    }
+                }
+            }
+            if any {
+                constrained_rels.push(rel);
+            }
+        }
+
+        let mut compound_rels = Vec::new();
+        let mut rel_by_role: HashMap<(RelId, usize, CcId), Vec<usize>> = HashMap::new();
+        for &rel in &constrained_rels {
+            let def = schema.rel_def(rel);
+            let arity = def.arity();
+            // Per-role candidate filtering through unit role-clauses.
+            let mut candidates: Vec<Vec<CcId>> = Vec::with_capacity(arity);
+            for role_pos in 0..arity {
+                let role = def.roles[role_pos];
+                let unit_formulas: Vec<_> = def
+                    .constraints
+                    .iter()
+                    .filter(|c| c.is_unit() && c.literals[0].role == role)
+                    .map(|c| &c.literals[0].formula)
+                    .collect();
+                let cands: Vec<CcId> = cc_ids
+                    .iter()
+                    .copied()
+                    .filter(|&id| {
+                        unit_formulas.iter().all(|f| f.realized_by(&ccs[id.index()]))
+                    })
+                    .collect();
+                candidates.push(cands);
+            }
+            let non_unit: Vec<_> =
+                def.constraints.iter().filter(|c| !c.is_unit()).collect();
+
+            // Depth-first product over the per-role candidates.
+            let mut stack: Vec<CcId> = Vec::with_capacity(arity);
+            build_rel_tuples(
+                schema,
+                rel,
+                &candidates,
+                &non_unit,
+                ccs,
+                &mut stack,
+                &mut compound_rels,
+                &mut rel_by_role,
+                limits,
+            )?;
+        }
+
+        Ok(Expansion {
+            compound_classes,
+            compound_attrs,
+            compound_rels,
+            natt,
+            nrel,
+            attr_by_source,
+            attr_by_target,
+            rel_by_role,
+        })
+    }
+
+    /// The consistent compound classes, in input order.
+    #[must_use]
+    pub fn compound_classes(&self) -> &[BitSet] {
+        &self.compound_classes
+    }
+
+    /// The compound class with a given id.
+    #[must_use]
+    pub fn compound_class(&self, id: CcId) -> &BitSet {
+        &self.compound_classes[id.index()]
+    }
+
+    /// Ids of all compound classes.
+    pub fn cc_ids(&self) -> impl Iterator<Item = CcId> {
+        (0..self.compound_classes.len() as u32).map(CcId)
+    }
+
+    /// Ids of the compound classes containing a given class.
+    pub fn ccs_containing(
+        &self,
+        class: crate::ids::ClassId,
+    ) -> impl Iterator<Item = CcId> + '_ {
+        self.cc_ids()
+            .filter(move |id| self.compound_classes[id.index()].contains(class.index()))
+    }
+
+    /// The consistent, constrained compound attributes.
+    #[must_use]
+    pub fn compound_attrs(&self) -> &[CompoundAttr] {
+        &self.compound_attrs
+    }
+
+    /// The consistent, constrained compound relations.
+    #[must_use]
+    pub fn compound_rels(&self) -> &[CompoundRel] {
+        &self.compound_rels
+    }
+
+    /// The merged attribute-cardinality constraints `Natt`.
+    #[must_use]
+    pub fn natt(&self) -> &[NattEntry] {
+        &self.natt
+    }
+
+    /// The merged participation constraints `Nrel`.
+    #[must_use]
+    pub fn nrel(&self) -> &[NrelEntry] {
+        &self.nrel
+    }
+
+    /// Indices (into [`Self::compound_attrs`]) of the compound attributes
+    /// of `attr` whose source is `cc`.
+    #[must_use]
+    pub fn attrs_with_source(&self, attr: AttrId, cc: CcId) -> &[usize] {
+        self.attr_by_source.get(&(attr, cc)).map_or(&[], Vec::as_slice)
+    }
+
+    /// Indices of the compound attributes of `attr` whose target is `cc`.
+    #[must_use]
+    pub fn attrs_with_target(&self, attr: AttrId, cc: CcId) -> &[usize] {
+        self.attr_by_target.get(&(attr, cc)).map_or(&[], Vec::as_slice)
+    }
+
+    /// Indices (into [`Self::compound_rels`]) of the compound relations of
+    /// `rel` whose `role_pos` component is `cc`.
+    #[must_use]
+    pub fn rels_with_component(&self, rel: RelId, role_pos: usize, cc: CcId) -> &[usize] {
+        self.rel_by_role.get(&(rel, role_pos, cc)).map_or(&[], Vec::as_slice)
+    }
+
+    /// Total number of unknowns the disequation system will have.
+    #[must_use]
+    pub fn num_unknowns(&self) -> usize {
+        self.compound_classes.len() + self.compound_attrs.len() + self.compound_rels.len()
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn build_rel_tuples(
+    schema: &Schema,
+    rel: RelId,
+    candidates: &[Vec<CcId>],
+    non_unit: &[&crate::syntax::RoleClause],
+    ccs: &[BitSet],
+    stack: &mut Vec<CcId>,
+    out: &mut Vec<CompoundRel>,
+    rel_by_role: &mut HashMap<(RelId, usize, CcId), Vec<usize>>,
+    limits: &ExpansionLimits,
+) -> Result<(), ExpansionTooLarge> {
+    if stack.len() == candidates.len() {
+        let components: Vec<&BitSet> = stack.iter().map(|id| &ccs[id.index()]).collect();
+        // Unit clauses are pre-filtered; check the disjunctive ones.
+        let def = schema.rel_def(rel);
+        let ok = non_unit.iter().all(|clause| {
+            clause.literals.iter().any(|lit| {
+                def.role_position(lit.role)
+                    .is_some_and(|pos| lit.formula.realized_by(components[pos]))
+            })
+        });
+        if ok {
+            if out.len() >= limits.max_compound_rels {
+                return Err(ExpansionTooLarge {
+                    what: "compound relations",
+                    limit: limits.max_compound_rels,
+                });
+            }
+            let idx = out.len();
+            out.push(CompoundRel { rel, components: stack.clone() });
+            for (role_pos, &cc) in stack.iter().enumerate() {
+                rel_by_role.entry((rel, role_pos, cc)).or_default().push(idx);
+            }
+        }
+        return Ok(());
+    }
+    let depth = stack.len();
+    for &cand in &candidates[depth] {
+        stack.push(cand);
+        build_rel_tuples(schema, rel, candidates, non_unit, ccs, stack, out, rel_by_role, limits)?;
+        stack.pop();
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::enumerate;
+    use crate::syntax::{ClassFormula, RoleClause, RoleLiteral, SchemaBuilder};
+
+    fn university() -> Schema {
+        let mut b = SchemaBuilder::new();
+        let person = b.class("Person");
+        let professor = b.class("Professor");
+        let student = b.class("Student");
+        let course = b.class("Course");
+        let taught_by = b.attribute("taught_by");
+        let enrollment = b.relation("Enrollment", ["enrolled_in", "enrolls"]);
+        let enrolled_in = b.role("enrolled_in");
+        let enrolls = b.role("enrolls");
+        b.define_class(professor).isa(ClassFormula::class(person)).finish();
+        b.define_class(student)
+            .isa(ClassFormula::class(person).and(ClassFormula::neg_class(professor)))
+            .participates(enrollment, enrolls, Card::new(1, 6))
+            .finish();
+        b.define_class(course)
+            .isa(ClassFormula::neg_class(person))
+            .attr(
+                AttRef::Direct(taught_by),
+                Card::exactly(1),
+                ClassFormula::class(professor),
+            )
+            .participates(enrollment, enrolled_in, Card::new(5, 100))
+            .finish();
+        b.relation_constraint(
+            enrollment,
+            RoleClause::new(vec![RoleLiteral {
+                role: enrolled_in,
+                formula: ClassFormula::class(course),
+            }]),
+        );
+        b.relation_constraint(
+            enrollment,
+            RoleClause::new(vec![RoleLiteral {
+                role: enrolls,
+                formula: ClassFormula::class(student),
+            }]),
+        );
+        b.build().unwrap()
+    }
+
+    fn all_consistent(schema: &Schema) -> Vec<BitSet> {
+        enumerate::naive(schema, usize::MAX).unwrap()
+    }
+
+    #[test]
+    fn cc_consistency_follows_isa() {
+        let s = university();
+        let n = s.num_classes();
+        let person = s.class_id("Person").unwrap().index();
+        let professor = s.class_id("Professor").unwrap().index();
+        let student = s.class_id("Student").unwrap().index();
+        let course = s.class_id("Course").unwrap().index();
+        assert!(cc_consistent(&s, &BitSet::from_iter(n, [person])));
+        assert!(cc_consistent(&s, &BitSet::from_iter(n, [person, professor])));
+        // Professor without Person: inconsistent.
+        assert!(!cc_consistent(&s, &BitSet::from_iter(n, [professor])));
+        // Student and Professor together: inconsistent (¬Professor).
+        assert!(!cc_consistent(
+            &s,
+            &BitSet::from_iter(n, [person, professor, student])
+        ));
+        // Course with Person: inconsistent (Course isa ¬Person).
+        assert!(!cc_consistent(&s, &BitSet::from_iter(n, [person, course])));
+        assert!(cc_consistent(&s, &BitSet::from_iter(n, [course])));
+        // The empty compound class is vacuously consistent.
+        assert!(cc_consistent(&s, &BitSet::new(n)));
+    }
+
+    #[test]
+    fn merged_cards_take_umax_vmin() {
+        let mut b = SchemaBuilder::new();
+        let a = b.class("A");
+        let c = b.class("B");
+        let f = b.attribute("f");
+        b.define_class(a)
+            .attr(AttRef::Direct(f), Card::new(1, 10), ClassFormula::top())
+            .finish();
+        b.define_class(c)
+            .attr(AttRef::Direct(f), Card::new(3, 5), ClassFormula::top())
+            .finish();
+        let s = b.build().unwrap();
+        let both = BitSet::from_iter(2, [0, 1]);
+        assert_eq!(
+            merged_att_card(&s, &both, AttRef::Direct(s.attr_id("f").unwrap())),
+            Some(Card::new(3, 5))
+        );
+        let only_a = BitSet::from_iter(2, [0]);
+        assert_eq!(
+            merged_att_card(&s, &only_a, AttRef::Direct(s.attr_id("f").unwrap())),
+            Some(Card::new(1, 10))
+        );
+        assert_eq!(
+            merged_att_card(&s, &only_a, AttRef::Inverse(s.attr_id("f").unwrap())),
+            None
+        );
+    }
+
+    #[test]
+    fn compound_attr_consistency_checks_types_both_ways() {
+        let mut b = SchemaBuilder::new();
+        let a = b.class("A");
+        let t = b.class("T");
+        let f = b.attribute("f");
+        b.define_class(a)
+            .attr(AttRef::Direct(f), Card::any(), ClassFormula::class(t))
+            .finish();
+        b.define_class(t)
+            .attr(AttRef::Inverse(f), Card::any(), ClassFormula::class(a))
+            .finish();
+        let s = b.build().unwrap();
+        let f = s.attr_id("f").unwrap();
+        let ca = BitSet::from_iter(2, [0]);
+        let ct = BitSet::from_iter(2, [1]);
+        assert!(compound_attr_consistent(&s, f, &ca, &ct));
+        // Target lacking T violates A's filler type.
+        assert!(!compound_attr_consistent(&s, f, &ca, &ca));
+        // Source lacking A violates T's inverse filler type.
+        assert!(!compound_attr_consistent(&s, f, &ct, &ct));
+        // No specs on either side: consistent.
+        let empty = BitSet::new(2);
+        assert!(compound_attr_consistent(&s, f, &empty, &empty));
+    }
+
+    #[test]
+    fn university_expansion_shape() {
+        let s = university();
+        let ccs = all_consistent(&s);
+        // Consistent nonempty compound classes: {P}, {P,Prof}, {P,S}, {C}.
+        assert_eq!(ccs.len(), 4);
+        let exp = Expansion::build(&s, ccs, &ExpansionLimits::default()).unwrap();
+
+        // taught_by is constrained only on {Course}; its filler type is
+        // Professor, so the only consistent link variable is
+        // ({Course} → {Person, Professor}). No compound class carries an
+        // inverse taught_by bound, so the target is grouped.
+        assert_eq!(exp.compound_attrs().len(), 1);
+        let ca = &exp.compound_attrs()[0];
+        let src = exp.compound_class(ca.source);
+        assert!(src.contains(s.class_id("Course").unwrap().index()));
+        assert_eq!(ca.targets.len(), 1);
+        let tgt = exp.compound_class(ca.targets[0]);
+        assert!(tgt.contains(s.class_id("Professor").unwrap().index()));
+
+        // Enrollment: enrolled_in must realize Course, enrolls must realize
+        // Student: exactly one compound relation.
+        assert_eq!(exp.compound_rels().len(), 1);
+        let cr = &exp.compound_rels()[0];
+        assert!(exp
+            .compound_class(cr.components[0])
+            .contains(s.class_id("Course").unwrap().index()));
+        assert!(exp
+            .compound_class(cr.components[1])
+            .contains(s.class_id("Student").unwrap().index()));
+
+        // Natt: one entry ({Course}, taught_by); Nrel: two entries.
+        assert_eq!(exp.natt().len(), 1);
+        assert_eq!(exp.natt()[0].card, Card::exactly(1));
+        assert_eq!(exp.nrel().len(), 2);
+
+        // Index lookups agree: grouped (inverse-unconstrained) targets
+        // are reachable through the source index only.
+        assert_eq!(exp.attrs_with_source(ca.attr, ca.source), &[0]);
+        assert!(exp.attrs_with_target(ca.attr, ca.targets[0]).is_empty());
+        let rel = s.rel_id("Enrollment").unwrap();
+        assert_eq!(exp.rels_with_component(rel, 0, cr.components[0]), &[0]);
+        assert_eq!(exp.rels_with_component(rel, 1, cr.components[1]), &[0]);
+        assert!(exp.rels_with_component(rel, 0, cr.components[1]).is_empty());
+        assert_eq!(exp.num_unknowns(), 4 + 1 + 1);
+    }
+
+    #[test]
+    fn ccs_containing_filters_by_membership() {
+        let s = university();
+        let exp =
+            Expansion::build(&s, all_consistent(&s), &ExpansionLimits::default()).unwrap();
+        let person = s.class_id("Person").unwrap();
+        let with_person: Vec<CcId> = exp.ccs_containing(person).collect();
+        assert_eq!(with_person.len(), 3); // {P}, {P,Prof}, {P,S}
+        let course = s.class_id("Course").unwrap();
+        assert_eq!(exp.ccs_containing(course).count(), 1);
+    }
+
+    #[test]
+    fn limits_are_enforced() {
+        let s = university();
+        let ccs = all_consistent(&s);
+        let limits = ExpansionLimits { max_compound_classes: 2, ..Default::default() };
+        let err = Expansion::build(&s, ccs, &limits).unwrap_err();
+        assert_eq!(err.what, "compound classes");
+        assert!(err.to_string().contains("compound classes"));
+    }
+
+    #[test]
+    fn unconstrained_relation_is_skipped() {
+        // A relation with role clauses but no participation constraints
+        // generates no compound relations (nothing constrains its size).
+        let mut b = SchemaBuilder::new();
+        let a = b.class("A");
+        let r = b.relation("R", ["u", "v"]);
+        let u = b.role("u");
+        b.relation_constraint(
+            r,
+            RoleClause::new(vec![RoleLiteral { role: u, formula: ClassFormula::class(a) }]),
+        );
+        let s = b.build().unwrap();
+        let ccs = all_consistent(&s);
+        let exp = Expansion::build(&s, ccs, &ExpansionLimits::default()).unwrap();
+        assert!(exp.compound_rels().is_empty());
+        assert!(exp.nrel().is_empty());
+    }
+
+    #[test]
+    fn disjunctive_role_clause_filters_tuples() {
+        // Two classes A, B; R(u, v) with constraint (u:A) ∨ (v:B).
+        let mut b = SchemaBuilder::new();
+        let a = b.class("A");
+        let bb = b.class("B");
+        let r = b.relation("R", ["u", "v"]);
+        let u = b.role("u");
+        let v = b.role("v");
+        b.relation_constraint(
+            r,
+            RoleClause::new(vec![
+                RoleLiteral { role: u, formula: ClassFormula::class(a) },
+                RoleLiteral { role: v, formula: ClassFormula::class(bb) },
+            ]),
+        );
+        b.define_class(a).participates(r, u, Card::at_least(1)).finish();
+        let s = b.build().unwrap();
+        let ccs = all_consistent(&s);
+        // Compound classes: {A}, {B}, {A,B} — 3 of them.
+        assert_eq!(ccs.len(), 3);
+        let exp = Expansion::build(&s, ccs, &ExpansionLimits::default()).unwrap();
+        // Tuples (cu, cv) where A ∈ cu or B ∈ cv: 3*3 = 9 minus the pairs
+        // with A ∉ cu and B ∉ cv ({B}-only sources × {A}-only targets = 1).
+        assert_eq!(exp.compound_rels().len(), 8);
+        for cr in exp.compound_rels() {
+            let cu = exp.compound_class(cr.components[0]);
+            let cv = exp.compound_class(cr.components[1]);
+            assert!(cu.contains(0) || cv.contains(1));
+        }
+    }
+}

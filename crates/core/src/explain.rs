@@ -1,0 +1,338 @@
+//! Human-readable rendering of the reasoner's intermediate artifacts.
+//!
+//! The expansion and the disequation system are the paper's central
+//! objects, but as raw data they are hard to inspect. This module
+//! renders them with schema names — compound classes as
+//! `{Person, Student}`, merged constraints as
+//! `{Course} ⇒ taught_by : (1, 1)`, disequations in `Var(·)` notation —
+//! and turns [`crate::certify::UnsatProof`]s into step-by-step textual
+//! explanations. Used by the `schema_validator` example and handy in
+//! tests and debugging sessions.
+
+use crate::certify::{CertStep, UnsatProof};
+use crate::disequations::UnknownId;
+use crate::expansion::{CcId, Expansion};
+use crate::satisfiability::SatAnalysis;
+use crate::syntax::{AttRef, Schema};
+use std::fmt::Write;
+
+/// Renders a compound class with class names: `{Person, Student}`.
+#[must_use]
+pub fn compound_class_name(schema: &Schema, expansion: &Expansion, cc: CcId) -> String {
+    let names: Vec<&str> = expansion
+        .compound_class(cc)
+        .iter()
+        .map(|i| schema.class_name(crate::ids::ClassId::from_index(i)))
+        .collect();
+    format!("{{{}}}", names.join(", "))
+}
+
+/// Renders one unknown of `ΨS` with names.
+#[must_use]
+pub fn unknown_name(schema: &Schema, expansion: &Expansion, unknown: UnknownId) -> String {
+    match unknown {
+        UnknownId::Cc(i) => {
+            format!("Var{}", compound_class_name(schema, expansion, CcId(i as u32)))
+        }
+        UnknownId::Ca(i) => {
+            let ca = &expansion.compound_attrs()[i];
+            let targets: Vec<String> = ca
+                .targets
+                .iter()
+                .map(|&t| compound_class_name(schema, expansion, t))
+                .collect();
+            format!(
+                "Var⟨{} →{}→ {}⟩",
+                compound_class_name(schema, expansion, ca.source),
+                schema.symbols().attr_name(ca.attr),
+                targets.join(" | "),
+            )
+        }
+        UnknownId::Cr(i) => {
+            let cr = &expansion.compound_rels()[i];
+            let def = schema.rel_def(cr.rel);
+            let parts: Vec<String> = cr
+                .components
+                .iter()
+                .zip(&def.roles)
+                .map(|(&cc, &role)| {
+                    format!(
+                        "{}: {}",
+                        schema.symbols().role_name(role),
+                        compound_class_name(schema, expansion, cc)
+                    )
+                })
+                .collect();
+            format!("Var⟨{}({})⟩", schema.symbols().rel_name(cr.rel), parts.join(", "))
+        }
+    }
+}
+
+/// Renders the whole expansion: compound classes, compound attributes,
+/// compound relations, and the merged constraint sets `Natt` / `Nrel`.
+#[must_use]
+pub fn render_expansion(schema: &Schema, expansion: &Expansion) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "compound classes ({}):", expansion.compound_classes().len());
+    for cc in expansion.cc_ids() {
+        let _ = writeln!(out, "  {}", compound_class_name(schema, expansion, cc));
+    }
+    if !expansion.compound_attrs().is_empty() {
+        let _ = writeln!(out, "compound attributes ({}):", expansion.compound_attrs().len());
+        for i in 0..expansion.compound_attrs().len() {
+            let _ = writeln!(out, "  {}", unknown_name(schema, expansion, UnknownId::Ca(i)));
+        }
+    }
+    if !expansion.compound_rels().is_empty() {
+        let _ = writeln!(out, "compound relations ({}):", expansion.compound_rels().len());
+        for i in 0..expansion.compound_rels().len() {
+            let _ = writeln!(out, "  {}", unknown_name(schema, expansion, UnknownId::Cr(i)));
+        }
+    }
+    if !expansion.natt().is_empty() {
+        let _ = writeln!(out, "Natt:");
+        for entry in expansion.natt() {
+            let att = match entry.att {
+                AttRef::Direct(a) => schema.symbols().attr_name(a).to_owned(),
+                AttRef::Inverse(a) => format!("(inv {})", schema.symbols().attr_name(a)),
+            };
+            let _ = writeln!(
+                out,
+                "  {} ⇒ {att} : {}",
+                compound_class_name(schema, expansion, entry.cc),
+                entry.card
+            );
+        }
+    }
+    if !expansion.nrel().is_empty() {
+        let _ = writeln!(out, "Nrel:");
+        for entry in expansion.nrel() {
+            let def = schema.rel_def(entry.rel);
+            let _ = writeln!(
+                out,
+                "  {} ⇒ {}[{}] : {}",
+                compound_class_name(schema, expansion, entry.cc),
+                schema.symbols().rel_name(entry.rel),
+                schema.symbols().role_name(def.roles[entry.role_pos]),
+                entry.card
+            );
+        }
+    }
+    out
+}
+
+/// Renders the analysis outcome: which compound classes are realizable.
+#[must_use]
+pub fn render_analysis(schema: &Schema, expansion: &Expansion, analysis: &SatAnalysis) -> String {
+    let mut out = String::new();
+    for cc in expansion.cc_ids() {
+        let _ = writeln!(
+            out,
+            "  {} {}",
+            if analysis.is_realizable(cc) { "✓" } else { "✗" },
+            compound_class_name(schema, expansion, cc)
+        );
+    }
+    let stats = analysis.stats();
+    let _ = writeln!(
+        out,
+        "  ({} unknowns, {} disequations, {} LP calls, {} fixpoint rounds)",
+        stats.num_unknowns, stats.num_disequations, stats.lp_calls, stats.iterations
+    );
+    out
+}
+
+/// Renders a finite interpretation: per-class extensions, attribute
+/// pairs and relation tuples, with object ids.
+#[must_use]
+pub fn render_interpretation(
+    schema: &Schema,
+    interp: &crate::semantics::Interpretation,
+) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "universe: {} objects", interp.universe_size());
+    for class in schema.symbols().class_ids() {
+        let mut objs: Vec<u32> = interp.class_extension(class).iter().copied().collect();
+        objs.sort_unstable();
+        if !objs.is_empty() {
+            let strs: Vec<String> = objs.iter().map(|o| format!("#{o}")).collect();
+            let _ = writeln!(out, "  {} = {{{}}}", schema.class_name(class), strs.join(", "));
+        }
+    }
+    for attr in schema.symbols().attr_ids() {
+        let mut pairs: Vec<(u32, u32)> = interp.attr_extension(attr).iter().copied().collect();
+        pairs.sort_unstable();
+        if !pairs.is_empty() {
+            let strs: Vec<String> =
+                pairs.iter().map(|(a, b)| format!("#{a}→#{b}")).collect();
+            let _ = writeln!(
+                out,
+                "  {} = {{{}}}",
+                schema.symbols().attr_name(attr),
+                strs.join(", ")
+            );
+        }
+    }
+    for (rel, def) in schema.relations() {
+        let mut tuples: Vec<Vec<u32>> = interp.rel_extension(rel).to_vec();
+        tuples.sort_unstable();
+        if !tuples.is_empty() {
+            let strs: Vec<String> = tuples
+                .iter()
+                .map(|t| {
+                    let parts: Vec<String> = t
+                        .iter()
+                        .zip(&def.roles)
+                        .map(|(o, &r)| format!("{}: #{o}", schema.symbols().role_name(r)))
+                        .collect();
+                    format!("⟨{}⟩", parts.join(", "))
+                })
+                .collect();
+            let _ = writeln!(
+                out,
+                "  {} = {{{}}}",
+                schema.symbols().rel_name(rel),
+                strs.join(", ")
+            );
+        }
+    }
+    out
+}
+
+/// Renders an unsatisfiability proof as numbered steps.
+#[must_use]
+pub fn render_proof(schema: &Schema, expansion: &Expansion, proof: &UnsatProof) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "proof that '{}' is unsatisfiable ({} steps):",
+        schema.class_name(proof.class),
+        proof.steps.len()
+    );
+    for (k, step) in proof.steps.iter().enumerate() {
+        match step {
+            CertStep::StructuralEndpoint { unknown, dead_endpoint } => {
+                let _ = writeln!(
+                    out,
+                    "  {k:3}. {} = 0   (endpoint {} is dead)",
+                    unknown_name(schema, expansion, *unknown),
+                    unknown_name(schema, expansion, *dead_endpoint),
+                );
+            }
+            CertStep::StructuralEmptySum { unknown } => {
+                let _ = writeln!(
+                    out,
+                    "  {k:3}. {} = 0   (a positive lower bound has no live candidates)",
+                    unknown_name(schema, expansion, *unknown),
+                );
+            }
+            CertStep::StructuralDeadTargets { unknown } => {
+                let _ = writeln!(
+                    out,
+                    "  {k:3}. {} = 0   (every interchangeable target is dead)",
+                    unknown_name(schema, expansion, *unknown),
+                );
+            }
+            CertStep::ForcedZero { unknown, certificate } => {
+                let _ = writeln!(
+                    out,
+                    "  {k:3}. {} = 0   (Farkas certificate, {} nonzero multipliers)",
+                    unknown_name(schema, expansion, *unknown),
+                    certificate.multipliers.iter().filter(|m| !m.is_zero()).count(),
+                );
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::certify::certify_unsatisfiable;
+    use crate::enumerate;
+    use crate::expansion::ExpansionLimits;
+    use crate::syntax::{Card, ClassFormula, SchemaBuilder};
+
+    fn cycle_schema() -> (Schema, Expansion, SatAnalysis) {
+        let mut b = SchemaBuilder::new();
+        let a = b.class("A");
+        let bb = b.class("B");
+        let f = b.attribute("f");
+        b.define_class(a)
+            .attr(AttRef::Direct(f), Card::exactly(2), ClassFormula::class(bb))
+            .finish();
+        b.define_class(bb)
+            .isa(ClassFormula::class(a))
+            .attr(AttRef::Inverse(f), Card::new(0, 1), ClassFormula::class(a))
+            .finish();
+        let schema = b.build().unwrap();
+        let ccs = enumerate::naive(&schema, usize::MAX).unwrap();
+        let expansion = Expansion::build(&schema, ccs, &ExpansionLimits::default()).unwrap();
+        let analysis = SatAnalysis::run(&expansion);
+        (schema, expansion, analysis)
+    }
+
+    #[test]
+    fn names_are_readable() {
+        let (schema, expansion, _) = cycle_schema();
+        let names: Vec<String> = expansion
+            .cc_ids()
+            .map(|cc| compound_class_name(&schema, &expansion, cc))
+            .collect();
+        assert!(names.contains(&"{A}".to_owned()));
+        assert!(names.contains(&"{A, B}".to_owned()));
+    }
+
+    #[test]
+    fn expansion_rendering_mentions_everything() {
+        let (schema, expansion, _) = cycle_schema();
+        let text = render_expansion(&schema, &expansion);
+        assert!(text.contains("compound classes"));
+        assert!(text.contains("Natt:"));
+        assert!(text.contains("⇒ f : (2, 2)"), "{text}");
+        assert!(text.contains("(inv f)"), "{text}");
+    }
+
+    #[test]
+    fn analysis_rendering_marks_realizability() {
+        let (schema, expansion, analysis) = cycle_schema();
+        let text = render_analysis(&schema, &expansion, &analysis);
+        // Everything is dead in this schema.
+        assert!(text.contains('✗'));
+        assert!(!text.contains('✓'));
+        assert!(text.contains("LP calls"));
+    }
+
+    #[test]
+    fn interpretation_rendering_lists_extensions() {
+        let mut b = SchemaBuilder::new();
+        let a = b.class("A");
+        let t = b.class("T");
+        let f = b.attribute("f");
+        b.define_class(a)
+            .attr(AttRef::Direct(f), Card::exactly(1), ClassFormula::class(t))
+            .finish();
+        let schema = b.build().unwrap();
+        let mut interp = crate::semantics::Interpretation::new(&schema, 2);
+        interp.add_to_class(a, 0);
+        interp.add_to_class(t, 1);
+        interp.add_attr_pair(f, 0, 1);
+        assert!(interp.is_model(&schema));
+        let text = render_interpretation(&schema, &interp);
+        assert!(text.contains("A = {#0}"), "{text}");
+        assert!(text.contains("f = {#0→#1}"), "{text}");
+        assert!(text.contains("universe: 2"), "{text}");
+    }
+
+    #[test]
+    fn proof_rendering_is_step_by_step() {
+        let (schema, expansion, analysis) = cycle_schema();
+        let a = schema.class_id("A").unwrap();
+        let proof = certify_unsatisfiable(&expansion, &analysis, a).unwrap();
+        let text = render_proof(&schema, &expansion, &proof);
+        assert!(text.contains("proof that 'A' is unsatisfiable"));
+        assert!(text.contains("= 0"));
+        assert!(text.lines().count() >= proof.steps.len());
+    }
+}

@@ -1,0 +1,263 @@
+//! The generalization-hierarchy fast path (§4.4 of the paper).
+//!
+//! Generalization hierarchies are tree-like isa structures in which
+//! sibling classes are pairwise disjoint (and classes in different trees
+//! are disjoint altogether) — the organization "most object-oriented
+//! data models assume, either implicitly or explicitly" [BCN92, AK89].
+//! For such schemas each consistent compound class is the set of classes
+//! along one root-to-class path, so the number of compound classes equals
+//! the number of classes and the whole method runs in polynomial time.
+//!
+//! [`detect`] recognizes schemas whose isa parts have this shape
+//! *explicitly*: every class has at most one positive isa literal (its
+//! parent), parents form a forest, and sibling disjointness (including
+//! between roots of different trees) is spelled out through negative
+//! literals. [`path_closure_ccs`] then produces the compound classes
+//! directly, filtering by consistency so that extra negative literals
+//! (beyond the sibling ones) are honored.
+
+use crate::bitset::BitSet;
+use crate::expansion::cc_consistent;
+use crate::ids::ClassId;
+use crate::syntax::Schema;
+
+/// A detected generalization hierarchy: parent links forming a forest.
+#[derive(Debug, Clone)]
+pub struct Hierarchy {
+    /// `parent[i]` = parent class index, or `None` for roots.
+    pub parent: Vec<Option<usize>>,
+}
+
+/// Attempts to recognize the schema's isa structure as a generalization
+/// hierarchy. Returns `None` when any condition fails (the caller then
+/// falls back to a general strategy):
+///
+/// * every isa clause is a single literal (union-free isa parts);
+/// * every class has at most one positive isa literal (its parent);
+/// * the parent relation is acyclic;
+/// * sibling classes (children of one parent, and the roots collectively)
+///   are pairwise disjoint through an explicit negative literal in one of
+///   the two definitions.
+#[must_use]
+pub fn detect(schema: &Schema) -> Option<Hierarchy> {
+    let n = schema.num_classes();
+    let mut parent: Vec<Option<usize>> = vec![None; n];
+    // negated[i] = classes j with ¬C_j among i's isa literals.
+    let mut negated: Vec<BitSet> = vec![BitSet::new(n); n];
+
+    for (class, def) in schema.classes() {
+        let i = class.index();
+        for clause in &def.isa.clauses {
+            if clause.literals.len() != 1 {
+                return None; // union in an isa part
+            }
+            let lit = clause.literals[0];
+            if lit.positive {
+                if parent[i].is_some() && parent[i] != Some(lit.class.index()) {
+                    return None; // two distinct parents
+                }
+                if lit.class.index() == i {
+                    continue; // trivial self-inclusion
+                }
+                parent[i] = Some(lit.class.index());
+            } else {
+                negated[i].insert(lit.class.index());
+            }
+        }
+    }
+
+    // Acyclicity of the parent relation.
+    for start in 0..n {
+        let mut slow = start;
+        let mut steps = 0;
+        while let Some(p) = parent[slow] {
+            slow = p;
+            steps += 1;
+            if steps > n {
+                return None; // cycle
+            }
+        }
+    }
+
+    // Sibling disjointness: group children by parent (roots together).
+    let mut groups: Vec<Vec<usize>> = vec![Vec::new(); n + 1];
+    for i in 0..n {
+        match parent[i] {
+            Some(p) => groups[p].push(i),
+            None => groups[n].push(i),
+        }
+    }
+    for group in &groups {
+        for (k, &x) in group.iter().enumerate() {
+            for &y in &group[k + 1..] {
+                if !negated[x].contains(y) && !negated[y].contains(x) {
+                    return None; // siblings not declared disjoint
+                }
+            }
+        }
+    }
+
+    Some(Hierarchy { parent })
+}
+
+/// The compound classes of a generalization hierarchy: one root-to-class
+/// path closure per class, filtered by consistency (to honor any extra
+/// negative literals). Exactly `|C|` candidates are examined, so this is
+/// linear in the schema where the general strategies are exponential.
+#[must_use]
+pub fn path_closure_ccs(schema: &Schema, hierarchy: &Hierarchy) -> Vec<BitSet> {
+    let n = schema.num_classes();
+    let mut out = Vec::with_capacity(n);
+    for class in 0..n {
+        let mut cc = BitSet::new(n);
+        let mut cur = Some(class);
+        while let Some(c) = cur {
+            cc.insert(c);
+            cur = hierarchy.parent[c];
+        }
+        if cc_consistent(schema, &cc) {
+            out.push(cc);
+        }
+    }
+    out
+}
+
+/// Convenience: `ClassId` of the parent, if any.
+#[must_use]
+pub fn parent_of(hierarchy: &Hierarchy, class: ClassId) -> Option<ClassId> {
+    hierarchy.parent[class.index()].map(ClassId::from_index)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::enumerate;
+    use crate::syntax::{ClassFormula, SchemaBuilder};
+    use std::collections::BTreeSet;
+
+    /// A two-tree hierarchy with explicit sibling disjointness:
+    ///
+    /// ```text
+    ///   A            D
+    ///  / \
+    /// B   C          (roots A, D disjoint; siblings B, C disjoint)
+    /// ```
+    fn forest() -> Schema {
+        let mut b = SchemaBuilder::new();
+        let a = b.class("A");
+        let bb = b.class("B");
+        let c = b.class("C");
+        let d = b.class("D");
+        b.define_class(a).isa(ClassFormula::neg_class(d)).finish();
+        b.define_class(bb)
+            .isa(ClassFormula::class(a).and(ClassFormula::neg_class(c)))
+            .finish();
+        b.define_class(c).isa(ClassFormula::class(a)).finish();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn detection_succeeds_on_forest() {
+        let s = forest();
+        let h = detect(&s).expect("is a hierarchy");
+        let a = s.class_id("A").unwrap();
+        let bb = s.class_id("B").unwrap();
+        let d = s.class_id("D").unwrap();
+        assert_eq!(parent_of(&h, bb), Some(a));
+        assert_eq!(parent_of(&h, a), None);
+        assert_eq!(parent_of(&h, d), None);
+    }
+
+    #[test]
+    fn path_closures_match_full_enumeration() {
+        let s = forest();
+        let h = detect(&s).unwrap();
+        let fast: BTreeSet<BitSet> = path_closure_ccs(&s, &h).into_iter().collect();
+        let full: BTreeSet<BitSet> =
+            enumerate::naive(&s, usize::MAX).unwrap().into_iter().collect();
+        assert_eq!(fast, full);
+        assert_eq!(fast.len(), 4); // one per class
+    }
+
+    #[test]
+    fn union_in_isa_defeats_detection() {
+        let mut b = SchemaBuilder::new();
+        let a = b.class("A");
+        let bb = b.class("B");
+        let c = b.class("C");
+        b.define_class(c).isa(ClassFormula::union_of([a, bb])).finish();
+        let s = b.build().unwrap();
+        assert!(detect(&s).is_none());
+    }
+
+    #[test]
+    fn two_parents_defeat_detection() {
+        let mut b = SchemaBuilder::new();
+        let a = b.class("A");
+        let bb = b.class("B");
+        let c = b.class("C");
+        b.define_class(c)
+            .isa(ClassFormula::class(a).and(ClassFormula::class(bb)))
+            .finish();
+        let s = b.build().unwrap();
+        assert!(detect(&s).is_none());
+    }
+
+    #[test]
+    fn missing_sibling_disjointness_defeats_detection() {
+        let mut b = SchemaBuilder::new();
+        let a = b.class("A");
+        let bb = b.class("B");
+        let c = b.class("C");
+        b.define_class(bb).isa(ClassFormula::class(a)).finish();
+        b.define_class(c).isa(ClassFormula::class(a)).finish();
+        let s = b.build().unwrap();
+        assert!(detect(&s).is_none()); // B, C not declared disjoint
+    }
+
+    #[test]
+    fn isa_cycle_defeats_detection() {
+        let mut b = SchemaBuilder::new();
+        let a = b.class("A");
+        let bb = b.class("B");
+        b.define_class(a).isa(ClassFormula::class(bb)).finish();
+        b.define_class(bb).isa(ClassFormula::class(a)).finish();
+        let s = b.build().unwrap();
+        assert!(detect(&s).is_none());
+    }
+
+    #[test]
+    fn extra_negations_filter_inconsistent_paths() {
+        // B isa A ∧ ¬A: inconsistent path {A, B} must be dropped.
+        let mut b = SchemaBuilder::new();
+        let a = b.class("A");
+        let bb = b.class("B");
+        b.define_class(bb)
+            .isa(ClassFormula::class(a).and(ClassFormula::neg_class(a)))
+            .finish();
+        let s = b.build().unwrap();
+        // Single child; no sibling pairs; detection succeeds.
+        let h = detect(&s).expect("hierarchy shape");
+        let ccs = path_closure_ccs(&s, &h);
+        assert_eq!(ccs.len(), 1); // only {A}
+        assert!(ccs[0].contains(a.index()));
+        assert!(!ccs[0].contains(bb.index()));
+    }
+
+    #[test]
+    fn deep_chain_counts() {
+        let mut b = SchemaBuilder::new();
+        let mut prev = b.class("K0");
+        for i in 1..20 {
+            let cur = b.class(&format!("K{i}"));
+            b.define_class(cur).isa(ClassFormula::class(prev)).finish();
+            prev = cur;
+        }
+        let s = b.build().unwrap();
+        let h = detect(&s).expect("chain is a hierarchy");
+        let ccs = path_closure_ccs(&s, &h);
+        assert_eq!(ccs.len(), 20);
+        // Largest path contains all classes.
+        assert!(ccs.iter().any(|cc| cc.len() == 20));
+    }
+}

@@ -1,0 +1,265 @@
+//! Interned identifiers for the four symbol alphabets of a CAR schema.
+//!
+//! The paper (§2.2) fixes an alphabet `B` partitioned into class symbols
+//! `C`, attribute symbols `A`, relation symbols `R` and role symbols `U`.
+//! Each alphabet is interned into a dense id space so that the rest of the
+//! reasoner can use array indexing and bitsets instead of string maps.
+
+use std::collections::HashMap;
+use std::fmt;
+
+macro_rules! define_id {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        pub struct $name(pub(crate) u32);
+
+        impl $name {
+            /// Dense index of the symbol (0-based).
+            #[must_use]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+
+            /// Builds an id from a dense index. Intended for iteration
+            /// helpers; ids are normally obtained from a
+            /// [`SymbolTable`] or `SchemaBuilder`.
+            #[must_use]
+            pub fn from_index(index: usize) -> $name {
+                $name(u32::try_from(index).expect("symbol index overflow"))
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+    };
+}
+
+define_id!(
+    /// A class symbol (element of the alphabet `C`).
+    ClassId,
+    "C"
+);
+define_id!(
+    /// An attribute symbol (element of the alphabet `A`).
+    AttrId,
+    "A"
+);
+define_id!(
+    /// A relation symbol (element of the alphabet `R`).
+    RelId,
+    "R"
+);
+define_id!(
+    /// A role symbol (element of the alphabet `U`).
+    RoleId,
+    "U"
+);
+
+/// One interned alphabet: name ↔ dense id.
+#[derive(Debug, Clone, Default)]
+struct Interner {
+    names: Vec<String>,
+    by_name: HashMap<String, u32>,
+}
+
+impl Interner {
+    fn intern(&mut self, name: &str) -> u32 {
+        if let Some(&id) = self.by_name.get(name) {
+            return id;
+        }
+        let id = u32::try_from(self.names.len()).expect("too many symbols");
+        self.names.push(name.to_owned());
+        self.by_name.insert(name.to_owned(), id);
+        id
+    }
+
+    fn lookup(&self, name: &str) -> Option<u32> {
+        self.by_name.get(name).copied()
+    }
+
+    fn name(&self, id: u32) -> &str {
+        &self.names[id as usize]
+    }
+
+    fn len(&self) -> usize {
+        self.names.len()
+    }
+}
+
+/// The interned alphabets of one schema.
+#[derive(Debug, Clone, Default)]
+pub struct SymbolTable {
+    classes: Interner,
+    attrs: Interner,
+    rels: Interner,
+    roles: Interner,
+}
+
+impl SymbolTable {
+    /// An empty symbol table.
+    #[must_use]
+    pub fn new() -> SymbolTable {
+        SymbolTable::default()
+    }
+
+    /// Interns a class symbol (idempotent).
+    pub fn class(&mut self, name: &str) -> ClassId {
+        ClassId(self.classes.intern(name))
+    }
+
+    /// Interns an attribute symbol (idempotent).
+    pub fn attribute(&mut self, name: &str) -> AttrId {
+        AttrId(self.attrs.intern(name))
+    }
+
+    /// Interns a relation symbol (idempotent).
+    pub fn relation(&mut self, name: &str) -> RelId {
+        RelId(self.rels.intern(name))
+    }
+
+    /// Interns a role symbol (idempotent).
+    pub fn role(&mut self, name: &str) -> RoleId {
+        RoleId(self.roles.intern(name))
+    }
+
+    /// Looks up a class symbol by name.
+    #[must_use]
+    pub fn class_id(&self, name: &str) -> Option<ClassId> {
+        self.classes.lookup(name).map(ClassId)
+    }
+
+    /// Looks up an attribute symbol by name.
+    #[must_use]
+    pub fn attr_id(&self, name: &str) -> Option<AttrId> {
+        self.attrs.lookup(name).map(AttrId)
+    }
+
+    /// Looks up a relation symbol by name.
+    #[must_use]
+    pub fn rel_id(&self, name: &str) -> Option<RelId> {
+        self.rels.lookup(name).map(RelId)
+    }
+
+    /// Looks up a role symbol by name.
+    #[must_use]
+    pub fn role_id(&self, name: &str) -> Option<RoleId> {
+        self.roles.lookup(name).map(RoleId)
+    }
+
+    /// Name of a class symbol.
+    #[must_use]
+    pub fn class_name(&self, id: ClassId) -> &str {
+        self.classes.name(id.0)
+    }
+
+    /// Name of an attribute symbol.
+    #[must_use]
+    pub fn attr_name(&self, id: AttrId) -> &str {
+        self.attrs.name(id.0)
+    }
+
+    /// Name of a relation symbol.
+    #[must_use]
+    pub fn rel_name(&self, id: RelId) -> &str {
+        self.rels.name(id.0)
+    }
+
+    /// Name of a role symbol.
+    #[must_use]
+    pub fn role_name(&self, id: RoleId) -> &str {
+        self.roles.name(id.0)
+    }
+
+    /// Number of class symbols.
+    #[must_use]
+    pub fn num_classes(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// Number of attribute symbols.
+    #[must_use]
+    pub fn num_attrs(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// Number of relation symbols.
+    #[must_use]
+    pub fn num_rels(&self) -> usize {
+        self.rels.len()
+    }
+
+    /// Number of role symbols.
+    #[must_use]
+    pub fn num_roles(&self) -> usize {
+        self.roles.len()
+    }
+
+    /// Iterates over all class ids.
+    pub fn class_ids(&self) -> impl Iterator<Item = ClassId> {
+        (0..self.classes.len() as u32).map(ClassId)
+    }
+
+    /// Iterates over all attribute ids.
+    pub fn attr_ids(&self) -> impl Iterator<Item = AttrId> {
+        (0..self.attrs.len() as u32).map(AttrId)
+    }
+
+    /// Iterates over all relation ids.
+    pub fn rel_ids(&self) -> impl Iterator<Item = RelId> {
+        (0..self.rels.len() as u32).map(RelId)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let mut t = SymbolTable::new();
+        let a = t.class("Person");
+        let b = t.class("Course");
+        let a2 = t.class("Person");
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(t.num_classes(), 2);
+        assert_eq!(t.class_name(a), "Person");
+        assert_eq!(t.class_id("Course"), Some(b));
+        assert_eq!(t.class_id("Nope"), None);
+    }
+
+    #[test]
+    fn alphabets_are_independent() {
+        let mut t = SymbolTable::new();
+        let c = t.class("X");
+        let a = t.attribute("X");
+        let r = t.relation("X");
+        let u = t.role("X");
+        assert_eq!(c.index(), 0);
+        assert_eq!(a.index(), 0);
+        assert_eq!(r.index(), 0);
+        assert_eq!(u.index(), 0);
+        assert_eq!(t.attr_name(a), "X");
+        assert_eq!(t.rel_name(r), "X");
+        assert_eq!(t.role_name(u), "X");
+        assert_eq!(t.num_attrs(), 1);
+        assert_eq!(t.num_rels(), 1);
+        assert_eq!(t.num_roles(), 1);
+    }
+
+    #[test]
+    fn id_iteration_and_display() {
+        let mut t = SymbolTable::new();
+        t.class("A");
+        t.class("B");
+        let ids: Vec<ClassId> = t.class_ids().collect();
+        assert_eq!(ids, vec![ClassId(0), ClassId(1)]);
+        assert_eq!(ClassId(3).to_string(), "C3");
+        assert_eq!(RoleId(1).to_string(), "U1");
+        assert_eq!(ClassId::from_index(2).index(), 2);
+    }
+}

@@ -1,0 +1,627 @@
+//! Logical implication over a CAR schema.
+//!
+//! The paper (§3) notes that the class-satisfiability method "can also be
+//! extended to solve the logical implication problem" but omits the
+//! construction for space. This module supplies it, through the notion of
+//! *realizable type*: the compound classes surviving the acceptability
+//! fixpoint of [`crate::satisfiability`] are exactly the class-membership
+//! types that are nonempty in some model of the schema. Hence:
+//!
+//! * `S ⊨ C isa F` iff every realizable compound class containing `C`
+//!   realizes `F` — a counterexample type, being realizable, yields a
+//!   model with an object in `C` but outside `F`, and vice versa;
+//! * `C₁`, `C₂` disjoint in every model iff no realizable compound class
+//!   contains both;
+//! * subsumption and equivalence reduce to the above.
+//!
+//! **Completeness caveat**: these reductions are complete only when the
+//! expansion was built from *all* consistent compound classes (the naive
+//! or SAT strategies). The §4.3 preselection strategy deliberately drops
+//! realizable-but-irrelevant types (Theorem 4.6 preserves satisfiability
+//! answers, not implication answers), so [`crate::reasoner::Reasoner`]
+//! always runs implication queries on a complete expansion.
+
+use crate::expansion::Expansion;
+use crate::ids::ClassId;
+use crate::satisfiability::SatAnalysis;
+use crate::syntax::{Card, ClassFormula, Schema};
+
+/// Implication queries over a completed satisfiability analysis.
+///
+/// Borrow-only view; construct one from the expansion and analysis the
+/// reasoner already computed.
+#[derive(Debug, Clone, Copy)]
+pub struct Implications<'a> {
+    expansion: &'a Expansion,
+    analysis: &'a SatAnalysis,
+}
+
+impl<'a> Implications<'a> {
+    /// Creates the query view.
+    #[must_use]
+    pub fn new(expansion: &'a Expansion, analysis: &'a SatAnalysis) -> Implications<'a> {
+        Implications { expansion, analysis }
+    }
+
+    /// `S ⊨ class isa formula`: does every model interpret `class` inside
+    /// the formula's extension?
+    #[must_use]
+    pub fn implies_isa(&self, class: ClassId, formula: &ClassFormula) -> bool {
+        self.expansion
+            .ccs_containing(class)
+            .filter(|&cc| self.analysis.is_realizable(cc))
+            .all(|cc| formula.realized_by(self.expansion.compound_class(cc)))
+    }
+
+    /// Subsumption: `sub ⊑ sup` in every model.
+    #[must_use]
+    pub fn subsumes(&self, sup: ClassId, sub: ClassId) -> bool {
+        self.implies_isa(sub, &ClassFormula::class(sup))
+    }
+
+    /// Disjointness: `c1 ⊓ c2 = ∅` in every model.
+    #[must_use]
+    pub fn disjoint(&self, c1: ClassId, c2: ClassId) -> bool {
+        !self
+            .expansion
+            .ccs_containing(c1)
+            .filter(|&cc| self.analysis.is_realizable(cc))
+            .any(|cc| self.expansion.compound_class(cc).contains(c2.index()))
+    }
+
+    /// Equivalence: mutual subsumption.
+    #[must_use]
+    pub fn equivalent(&self, c1: ClassId, c2: ClassId) -> bool {
+        self.subsumes(c1, c2) && self.subsumes(c2, c1)
+    }
+
+    /// Class satisfiability (Theorem 3.3) via the same analysis.
+    #[must_use]
+    pub fn satisfiable(&self, class: ClassId) -> bool {
+        self.analysis.class_satisfiable(self.expansion, class)
+    }
+
+    /// All classes that are necessarily empty in every model.
+    #[must_use]
+    pub fn unsatisfiable_classes(&self, schema: &Schema) -> Vec<ClassId> {
+        schema
+            .symbols()
+            .class_ids()
+            .filter(|&c| !self.satisfiable(c))
+            .collect()
+    }
+
+    /// Exact filler-type implication: `true` iff in every model, every
+    /// `att`-filler of every instance of `class` satisfies `formula`.
+    ///
+    /// A filler of type `C̄₂` is possible for a source of type `C̄₁` iff
+    /// either the link type is materialized in the expansion (some
+    /// endpoint carries a nontrivial bound) and survives the
+    /// acceptability fixpoint, or the link type was omitted as
+    /// count-unconstrained — in which case a single edge can always be
+    /// added between realizable endpoints (including a filler belonging
+    /// to *no* class), subject only to the type-consistency condition of
+    /// §3.1. Complete, unlike the cardinality hull of
+    /// [`Self::implied_att_card`].
+    #[must_use]
+    pub fn implies_filler_type(
+        &self,
+        schema: &Schema,
+        class: ClassId,
+        att: crate::syntax::AttRef,
+        formula: &ClassFormula,
+    ) -> bool {
+        use crate::expansion::{compound_attr_consistent, merged_att_card};
+        use crate::syntax::AttRef;
+        let nontrivial =
+            |card: &crate::syntax::Card| card.min > 0 || card.max.is_some();
+        let witness = self.analysis.witness();
+        let n_cc = self.expansion.compound_classes().len();
+        let attr = att.attr();
+        let empty = crate::bitset::BitSet::new(schema.num_classes());
+
+        for src in self
+            .expansion
+            .ccs_containing(class)
+            .filter(|&cc| self.analysis.is_realizable(cc))
+        {
+            let src_bits = self.expansion.compound_class(src);
+            let Some(src_card) = merged_att_card(schema, src_bits, att) else {
+                // No specification at all: fillers are arbitrary objects.
+                return formula.is_top();
+            };
+
+            // Materialized link types with this end: realizable ones must
+            // satisfy the formula on the other end. For the inverse
+            // direction the target index only covers singleton links, so
+            // scan all links of the attribute — grouped targets may
+            // contain this compound class too.
+            match att {
+                AttRef::Direct(_) => {
+                    for &i in self.expansion.attrs_with_source(attr, src) {
+                        if !witness[n_cc + i].is_positive() {
+                            continue; // dead link type: never realized
+                        }
+                        let ca = &self.expansion.compound_attrs()[i];
+                        // Grouped targets: edges may go into any live
+                        // member, so each must satisfy the formula.
+                        for &t in &ca.targets {
+                            if self.analysis.is_realizable(t)
+                                && !formula
+                                    .realized_by(self.expansion.compound_class(t))
+                            {
+                                return false;
+                            }
+                        }
+                    }
+                }
+                AttRef::Inverse(_) => {
+                    for (i, ca) in self.expansion.compound_attrs().iter().enumerate() {
+                        if ca.attr != attr
+                            || !witness[n_cc + i].is_positive()
+                            || !ca.targets.contains(&src)
+                        {
+                            continue;
+                        }
+                        if !formula
+                            .realized_by(self.expansion.compound_class(ca.source))
+                        {
+                            return false;
+                        }
+                    }
+                }
+            }
+
+            // Omitted link types: both ends count-unconstrained. Such an
+            // edge can be added to any model realizing the endpoints, so
+            // type-consistency alone decides realizability.
+            if nontrivial(&src_card) {
+                continue; // every pair with this end was materialized
+            }
+            let consistent_pair = |other: &crate::bitset::BitSet| match att {
+                AttRef::Direct(_) => compound_attr_consistent(schema, attr, src_bits, other),
+                AttRef::Inverse(_) => compound_attr_consistent(schema, attr, other, src_bits),
+            };
+            // The filler may belong to no class at all.
+            if consistent_pair(&empty) && !formula.realized_by(&empty) {
+                return false;
+            }
+            for other in self.expansion.cc_ids().filter(|&cc| self.analysis.is_realizable(cc)) {
+                let other_bits = self.expansion.compound_class(other);
+                let other_end_card = merged_att_card(schema, other_bits, att.flipped());
+                if other_end_card.as_ref().is_some_and(nontrivial) {
+                    continue; // that pair was materialized and scanned above
+                }
+                if consistent_pair(other_bits) && !formula.realized_by(other_bits) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// A sound implied cardinality bound for `att` on the instances of
+    /// `class`: in every model, every instance of `class` has an
+    /// `att`-filler count within the returned bound. Combines, over the
+    /// realizable types containing `class`, the merged (`umax`/`vmin`)
+    /// bounds those types impose — so it is always at least as tight as
+    /// the constraint syntactically attached to `class`, and often
+    /// strictly tighter (inherited constraints narrow it). Returns
+    /// `None` when `class` is unsatisfiable (every bound holds
+    /// vacuously) or when some realizable type leaves `att` completely
+    /// unconstrained.
+    #[must_use]
+    pub fn implied_att_card(
+        &self,
+        schema: &Schema,
+        class: ClassId,
+        att: crate::syntax::AttRef,
+    ) -> Option<Card> {
+        let mut overall: Option<Card> = None;
+        for cc in self
+            .expansion
+            .ccs_containing(class)
+            .filter(|&cc| self.analysis.is_realizable(cc))
+        {
+            let merged =
+                crate::expansion::merged_att_card(schema, self.expansion.compound_class(cc), att)?;
+            overall = Some(match overall {
+                None => merged,
+                // Union of intervals (hull): instances may live in any
+                // realizable type.
+                Some(acc) => Card {
+                    min: acc.min.min(merged.min),
+                    max: match (acc.max, merged.max) {
+                        (Some(a), Some(b)) => Some(a.max(b)),
+                        _ => None,
+                    },
+                },
+            });
+        }
+        overall
+    }
+
+    /// The participation analogue of [`Self::implied_att_card`].
+    #[must_use]
+    pub fn implied_part_card(
+        &self,
+        schema: &Schema,
+        class: ClassId,
+        rel: crate::ids::RelId,
+        role_pos: usize,
+    ) -> Option<Card> {
+        let mut overall: Option<Card> = None;
+        for cc in self
+            .expansion
+            .ccs_containing(class)
+            .filter(|&cc| self.analysis.is_realizable(cc))
+        {
+            let merged = crate::expansion::merged_part_card(
+                schema,
+                self.expansion.compound_class(cc),
+                rel,
+                role_pos,
+            )?;
+            overall = Some(match overall {
+                None => merged,
+                Some(acc) => Card {
+                    min: acc.min.min(merged.min),
+                    max: match (acc.max, merged.max) {
+                        (Some(a), Some(b)) => Some(a.max(b)),
+                        _ => None,
+                    },
+                },
+            });
+        }
+        overall
+    }
+
+    /// The implied subsumption hierarchy: all pairs `(sup, sub)` with
+    /// `sub ⊑ sup`, `sub` satisfiable and `sub ≠ sup`. (Unsatisfiable
+    /// classes are subsumed by everything and excluded as noise.)
+    #[must_use]
+    pub fn classification(&self, schema: &Schema) -> Vec<(ClassId, ClassId)> {
+        let ids: Vec<ClassId> = schema.symbols().class_ids().collect();
+        let mut out = Vec::new();
+        for &sub in &ids {
+            if !self.satisfiable(sub) {
+                continue;
+            }
+            for &sup in &ids {
+                if sup != sub && self.subsumes(sup, sub) {
+                    out.push((sup, sub));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::enumerate;
+    use crate::expansion::ExpansionLimits;
+    use crate::satisfiability::SatAnalysis;
+    use crate::syntax::{AttRef, Card, ClassFormula, SchemaBuilder};
+
+    struct Fixture {
+        schema: Schema,
+        expansion: Expansion,
+        analysis: SatAnalysis,
+    }
+
+    impl Fixture {
+        fn new(build: impl FnOnce(&mut SchemaBuilder)) -> Fixture {
+            let mut b = SchemaBuilder::new();
+            build(&mut b);
+            let schema = b.build().unwrap();
+            let ccs = enumerate::naive(&schema, usize::MAX).unwrap();
+            let expansion =
+                Expansion::build(&schema, ccs, &ExpansionLimits::default()).unwrap();
+            let analysis = SatAnalysis::run(&expansion);
+            Fixture { schema, expansion, analysis }
+        }
+
+        fn imp(&self) -> Implications<'_> {
+            Implications::new(&self.expansion, &self.analysis)
+        }
+
+        fn id(&self, name: &str) -> ClassId {
+            self.schema.class_id(name).unwrap()
+        }
+    }
+
+    #[test]
+    fn explicit_isa_is_implied() {
+        let f = Fixture::new(|b| {
+            let person = b.class("Person");
+            let student = b.class("Student");
+            b.define_class(student).isa(ClassFormula::class(person)).finish();
+        });
+        assert!(f.imp().subsumes(f.id("Person"), f.id("Student")));
+        assert!(!f.imp().subsumes(f.id("Student"), f.id("Person")));
+    }
+
+    #[test]
+    fn transitive_subsumption_is_implied() {
+        let f = Fixture::new(|b| {
+            let a = b.class("A");
+            let bb = b.class("B");
+            let c = b.class("C");
+            b.define_class(bb).isa(ClassFormula::class(a)).finish();
+            b.define_class(c).isa(ClassFormula::class(bb)).finish();
+        });
+        assert!(f.imp().subsumes(f.id("A"), f.id("C")));
+    }
+
+    #[test]
+    fn explicit_disjointness_is_implied() {
+        let f = Fixture::new(|b| {
+            let person = b.class("Person");
+            let course = b.class("Course");
+            b.define_class(course).isa(ClassFormula::neg_class(person)).finish();
+        });
+        assert!(f.imp().disjoint(f.id("Person"), f.id("Course")));
+        assert!(f.imp().disjoint(f.id("Course"), f.id("Person")));
+        assert!(!f.imp().disjoint(f.id("Person"), f.id("Person")));
+    }
+
+    #[test]
+    fn unrelated_classes_are_not_disjoint_or_subsumed() {
+        let f = Fixture::new(|b| {
+            b.class("A");
+            b.class("B");
+        });
+        assert!(!f.imp().disjoint(f.id("A"), f.id("B")));
+        assert!(!f.imp().subsumes(f.id("A"), f.id("B")));
+        assert!(!f.imp().equivalent(f.id("A"), f.id("B")));
+    }
+
+    #[test]
+    fn mutual_isa_gives_equivalence() {
+        let f = Fixture::new(|b| {
+            let a = b.class("A");
+            let bb = b.class("B");
+            b.define_class(a).isa(ClassFormula::class(bb)).finish();
+            b.define_class(bb).isa(ClassFormula::class(a)).finish();
+        });
+        assert!(f.imp().equivalent(f.id("A"), f.id("B")));
+    }
+
+    /// Implication that only follows through cardinality reasoning: B's
+    /// instances each need an f-filler in the unsatisfiable class; B is
+    /// empty, hence subsumed by anything and disjoint from everything.
+    #[test]
+    fn cardinality_driven_emptiness_propagates_to_implications() {
+        let f = Fixture::new(|b| {
+            let a = b.class("A");
+            let bb = b.class("B");
+            let dead = b.class("Dead");
+            let att = b.attribute("f");
+            b.define_class(dead).isa(ClassFormula::neg_class(dead)).finish();
+            b.define_class(bb)
+                .attr(AttRef::Direct(att), Card::at_least(1), ClassFormula::class(dead))
+                .finish();
+            let _ = a;
+        });
+        assert!(!f.imp().satisfiable(f.id("B")));
+        assert!(f.imp().subsumes(f.id("A"), f.id("B")));
+        assert!(f.imp().disjoint(f.id("B"), f.id("A")));
+        assert_eq!(
+            f.imp().unsatisfiable_classes(&f.schema),
+            vec![f.id("B"), f.id("Dead")]
+        );
+    }
+
+    /// A non-syntactic implication: C isa A ∨ B where both A and B are
+    /// subclasses of S — so C ⊑ S even though S never appears in C's
+    /// definition.
+    #[test]
+    fn implied_isa_through_union() {
+        let f = Fixture::new(|b| {
+            let s = b.class("S");
+            let a = b.class("A");
+            let bb = b.class("B");
+            let c = b.class("C");
+            b.define_class(a).isa(ClassFormula::class(s)).finish();
+            b.define_class(bb).isa(ClassFormula::class(s)).finish();
+            b.define_class(c).isa(ClassFormula::union_of([a, bb])).finish();
+        });
+        assert!(f.imp().subsumes(f.id("S"), f.id("C")));
+        assert!(f.imp().implies_isa(f.id("C"), &ClassFormula::class(f.id("S"))));
+    }
+
+    #[test]
+    fn implies_isa_handles_complex_formulas() {
+        let f = Fixture::new(|b| {
+            let a = b.class("A");
+            let bb = b.class("B");
+            let c = b.class("C");
+            b.define_class(c)
+                .isa(ClassFormula::class(a).and(ClassFormula::neg_class(bb)))
+                .finish();
+        });
+        let target = ClassFormula::class(f.id("A")).and(ClassFormula::neg_class(f.id("B")));
+        assert!(f.imp().implies_isa(f.id("C"), &target));
+        let too_strong = ClassFormula::class(f.id("A")).and(ClassFormula::class(f.id("B")));
+        assert!(!f.imp().implies_isa(f.id("C"), &too_strong));
+    }
+
+    #[test]
+    fn filler_type_implication_is_exact() {
+        use crate::syntax::AttRef;
+        let f = Fixture::new(|b| {
+            let course = b.class("Course");
+            let person = b.class("Person");
+            let professor = b.class("Professor");
+            let grad = b.class("Grad");
+            let taught_by = b.attribute("taught_by");
+            b.define_class(professor).isa(ClassFormula::class(person)).finish();
+            b.define_class(grad).isa(ClassFormula::class(person)).finish();
+            b.define_class(course)
+                .isa(ClassFormula::neg_class(person))
+                .attr(
+                    AttRef::Direct(taught_by),
+                    Card::exactly(1),
+                    ClassFormula::union_of([professor, grad]),
+                )
+                .finish();
+        });
+        let taught_by = f.schema.attr_id("taught_by").unwrap();
+        let imp = f.imp();
+        // Fillers are professors-or-grads, hence persons — an implied
+        // type that is NOT syntactically attached to Course.
+        assert!(imp.implies_filler_type(
+            &f.schema,
+            f.id("Course"),
+            AttRef::Direct(taught_by),
+            &ClassFormula::class(f.id("Person")),
+        ));
+        // But not necessarily professors.
+        assert!(!imp.implies_filler_type(
+            &f.schema,
+            f.id("Course"),
+            AttRef::Direct(taught_by),
+            &ClassFormula::class(f.id("Professor")),
+        ));
+        // A class without any taught_by spec implies only ⊤.
+        assert!(imp.implies_filler_type(
+            &f.schema,
+            f.id("Person"),
+            AttRef::Direct(taught_by),
+            &ClassFormula::top(),
+        ));
+        assert!(!imp.implies_filler_type(
+            &f.schema,
+            f.id("Person"),
+            AttRef::Direct(taught_by),
+            &ClassFormula::class(f.id("Person")),
+        ));
+    }
+
+    /// Regression: inverse-direction queries must see link types whose
+    /// *grouped* targets contain the queried class (groups are not
+    /// target-indexed).
+    #[test]
+    fn inverse_filler_type_sees_grouped_links() {
+        use crate::syntax::AttRef;
+        let f = Fixture::new(|b| {
+            let a = b.class("A");
+            let bb = b.class("B");
+            let x = b.class("X");
+            let att = b.attribute("f");
+            // A: nontrivially bounded direct spec, untyped — its targets
+            // (everything) are grouped.
+            b.define_class(a)
+                .isa(ClassFormula::neg_class(bb))
+                .attr(AttRef::Direct(att), Card::exactly(1), ClassFormula::top())
+                .finish();
+            // B: trivially bounded inverse spec — predecessors may be
+            // A-objects, so "all my predecessors are X" must NOT hold.
+            b.define_class(bb)
+                .attr(AttRef::Inverse(att), Card::any(), ClassFormula::top())
+                .finish();
+            let _ = x;
+        });
+        let att = f.schema.attr_id("f").unwrap();
+        let imp = f.imp();
+        assert!(!imp.implies_filler_type(
+            &f.schema,
+            f.id("B"),
+            AttRef::Inverse(att),
+            &ClassFormula::class(f.id("X")),
+        ));
+        // The trivial formula is of course implied.
+        assert!(imp.implies_filler_type(
+            &f.schema,
+            f.id("B"),
+            AttRef::Inverse(att),
+            &ClassFormula::top(),
+        ));
+    }
+
+    #[test]
+    fn implied_att_cards_tighten_through_inheritance() {
+        use crate::syntax::AttRef;
+        let f = Fixture::new(|b| {
+            let person = b.class("Person");
+            let professor = b.class("Professor");
+            let busy = b.class("Busy_Professor");
+            let teaches = b.attribute("teaches");
+            b.define_class(professor)
+                .isa(ClassFormula::class(person))
+                .attr(AttRef::Direct(teaches), Card::new(0, 5), ClassFormula::top())
+                .finish();
+            b.define_class(busy)
+                .isa(ClassFormula::class(professor))
+                .attr(AttRef::Direct(teaches), Card::new(3, 9), ClassFormula::top())
+                .finish();
+        });
+        let teaches = f.schema.attr_id("teaches").unwrap();
+        let imp = f.imp();
+        // Busy professors: the merged bound (3, 5) in every realizable
+        // type containing them.
+        assert_eq!(
+            imp.implied_att_card(&f.schema, f.id("Busy_Professor"), AttRef::Direct(teaches)),
+            Some(Card::new(3, 5))
+        );
+        // Plain professors may or may not be busy: hull is (0, 5).
+        assert_eq!(
+            imp.implied_att_card(&f.schema, f.id("Professor"), AttRef::Direct(teaches)),
+            Some(Card::new(0, 5))
+        );
+        // Persons need not be professors at all: unconstrained types
+        // exist, so no finite implied bound.
+        assert_eq!(
+            imp.implied_att_card(&f.schema, f.id("Person"), AttRef::Direct(teaches)),
+            None
+        );
+    }
+
+    #[test]
+    fn implied_part_cards_merge_participations() {
+        let f = Fixture::new(|b| {
+            let student = b.class("Student");
+            let grad = b.class("Grad");
+            let enrollment = b.relation("E", ["enrolls", "enrolled_in"]);
+            let enrolls = b.role("enrolls");
+            b.define_class(student)
+                .participates(enrollment, enrolls, Card::new(1, 6))
+                .finish();
+            b.define_class(grad)
+                .isa(ClassFormula::class(student))
+                .participates(enrollment, enrolls, Card::new(2, 9))
+                .finish();
+        });
+        let rel = f.schema.rel_id("E").unwrap();
+        let imp = f.imp();
+        assert_eq!(
+            imp.implied_part_card(&f.schema, f.id("Grad"), rel, 0),
+            Some(Card::new(2, 6))
+        );
+        assert_eq!(
+            imp.implied_part_card(&f.schema, f.id("Student"), rel, 0),
+            Some(Card::new(1, 6))
+        );
+    }
+
+    #[test]
+    fn classification_lists_all_strict_subsumptions() {
+        let f = Fixture::new(|b| {
+            let a = b.class("A");
+            let bb = b.class("B");
+            let c = b.class("C");
+            b.define_class(bb).isa(ClassFormula::class(a)).finish();
+            b.define_class(c).isa(ClassFormula::class(bb)).finish();
+        });
+        let pairs = f.imp().classification(&f.schema);
+        let a = f.id("A");
+        let bb = f.id("B");
+        let c = f.id("C");
+        assert!(pairs.contains(&(a, bb)));
+        assert!(pairs.contains(&(a, c)));
+        assert!(pairs.contains(&(bb, c)));
+        assert_eq!(pairs.len(), 3);
+    }
+}

@@ -1,0 +1,74 @@
+//! # car-core — the CAR data model and its reasoning technique
+//!
+//! A complete implementation of the CAR object-oriented data model from
+//! *Making Object-Oriented Schemas More Expressive* (Calvanese &
+//! Lenzerini, PODS 1994): schemas with complex class formulae, inverse
+//! attributes, n-ary relations and cardinality constraints; finite-model
+//! semantics; and a sound, complete and terminating procedure for class
+//! satisfiability and logical implication.
+//!
+//! ## Layout, following the paper
+//!
+//! | Paper section | Module |
+//! |---|---|
+//! | §2.2 syntax | [`syntax`], [`ids`] |
+//! | §2.3 semantics | [`semantics`] |
+//! | §3.1 expansion | [`expansion`], [`enumerate`], [`bitset`] |
+//! | §3.2 disequations & Theorem 3.3 | [`disequations`], [`satisfiability`] |
+//! | model construction (proof of Thm 3.3) | [`model_extract`] |
+//! | logical implication (§3, extension) | [`implication`] |
+//! | §4.3 preselection & Theorem 4.6 | [`preselection`] |
+//! | §4.4 clusters | [`clusters`] |
+//! | §4.4 generalization hierarchies | [`hierarchy`] |
+//! | Theorem 4.5 arity reduction | [`arity`] |
+//! | top-level facade | [`reasoner`] |
+//! | certified answers (extension) | [`certify`], [`model_extract`] |
+//!
+//! ## Example
+//!
+//! ```
+//! use car_core::syntax::{SchemaBuilder, ClassFormula, Card, AttRef};
+//! use car_core::reasoner::Reasoner;
+//!
+//! // Student isa Person and not Professor; Professor isa Person.
+//! let mut b = SchemaBuilder::new();
+//! let person = b.class("Person");
+//! let professor = b.class("Professor");
+//! let student = b.class("Student");
+//! b.define_class(professor).isa(ClassFormula::class(person)).finish();
+//! b.define_class(student)
+//!     .isa(ClassFormula::class(person).and(ClassFormula::neg_class(professor)))
+//!     .finish();
+//! let schema = b.build().unwrap();
+//!
+//! let reasoner = Reasoner::new(&schema);
+//! assert!(reasoner.is_satisfiable(student));
+//! assert!(reasoner.subsumes(person, student));   // Student ⊑ Person
+//! assert!(reasoner.disjoint(student, professor));
+//! ```
+
+pub mod arity;
+pub mod bitset;
+pub mod certify;
+pub mod clusters;
+pub mod disequations;
+pub mod enumerate;
+pub mod expansion;
+pub mod explain;
+pub mod hierarchy;
+pub mod ids;
+pub mod implication;
+pub mod model_extract;
+pub mod preselection;
+pub mod reasoner;
+pub mod satisfiability;
+pub mod semantics;
+pub mod syntax;
+
+pub use ids::{AttrId, ClassId, RelId, RoleId, SymbolTable};
+pub use reasoner::{Reasoner, ReasonerConfig, Strategy};
+pub use semantics::{Interpretation, Violation};
+pub use syntax::{
+    AttRef, Card, ClassClause, ClassDef, ClassFormula, ClassLiteral, Participation,
+    RelDef, RoleClause, RoleLiteral, Schema, SchemaBuilder, SchemaError,
+};

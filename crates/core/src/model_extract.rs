@@ -1,0 +1,636 @@
+//! Constructing an actual finite model from an acceptable solution — the
+//! constructive content of Theorem 3.3.
+//!
+//! The acceptable integer solution produced by the satisfiability
+//! analysis fixes *how many* objects each compound class has and *how
+//! many* links each compound attribute/relation has; this module places
+//! the links so that every **per-object** cardinality bound holds:
+//!
+//! * the solution is scaled (solutions of the homogeneous `ΨS` are closed
+//!   under integer scaling) until every link group fits without duplicate
+//!   pairs/tuples;
+//! * per link group, link endpoints are dealt out round-robin through
+//!   cursors shared across groups — one cursor per (attribute, compound
+//!   class, side) and per (relation, role, compound class) — so every
+//!   object's final degree lands in `{⌊avg⌋, ⌈avg⌉}`, and the aggregate
+//!   bounds `u·n ≤ total ≤ v·n` of `ΨS` pin that interval inside `[u, v]`;
+//! * for `K`-ary relations the deal is recursive: the tuple count is
+//!   split near-evenly over the first role's objects, each part recursing
+//!   over the remaining roles, which keeps every role's marginal near-even
+//!   while distinct prefixes guarantee distinct tuples.
+//!
+//! The result is always re-verified against the independent model checker
+//! ([`crate::semantics::Interpretation::check`]); if verification fails
+//! the scale is doubled and extraction retried, so a returned model is a
+//! model by construction *and* by checking.
+
+use crate::expansion::{CcId, Expansion};
+use crate::satisfiability::SatAnalysis;
+use crate::semantics::{Interpretation, Violation};
+use crate::syntax::Schema;
+use car_arith::{BigInt, Ratio};
+use car_lp::scale_to_integers;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Size budget for model extraction.
+#[derive(Debug, Clone, Copy)]
+pub struct ExtractConfig {
+    /// Maximum universe size.
+    pub max_objects: u64,
+    /// Maximum total number of attribute pairs plus relation tuples.
+    pub max_links: u64,
+    /// Maximum number of verify-and-rescale retries.
+    pub max_retries: u32,
+}
+
+impl Default for ExtractConfig {
+    fn default() -> ExtractConfig {
+        ExtractConfig { max_objects: 1 << 20, max_links: 1 << 22, max_retries: 8 }
+    }
+}
+
+/// Extraction failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExtractError {
+    /// The smallest realizable model exceeds the configured budget.
+    TooLarge {
+        /// What overflowed ("objects" or "links").
+        what: &'static str,
+        /// The configured limit.
+        limit: u64,
+    },
+    /// The constructed interpretation failed verification even after all
+    /// rescale retries (indicates a bug; surfaced rather than hidden).
+    VerificationFailed(Violation),
+}
+
+impl fmt::Display for ExtractError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExtractError::TooLarge { what, limit } => {
+                write!(f, "extracted model needs more than {limit} {what}")
+            }
+            ExtractError::VerificationFailed(v) => {
+                write!(f, "extracted interpretation failed verification: {v}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExtractError {}
+
+/// Extracts a verified finite model realizing every realizable compound
+/// class simultaneously (the "maximal" model: every satisfiable class is
+/// nonempty in it).
+///
+/// # Errors
+/// [`ExtractError::TooLarge`] if the budget is exceeded;
+/// [`ExtractError::VerificationFailed`] if construction keeps failing
+/// (a bug, surfaced deliberately).
+pub fn extract_model(
+    schema: &Schema,
+    expansion: &Expansion,
+    analysis: &SatAnalysis,
+    config: &ExtractConfig,
+) -> Result<Interpretation, ExtractError> {
+    match extract_from_witness(schema, expansion, analysis.witness(), config) {
+        Err(ExtractError::TooLarge { .. }) => {}
+        other => return other,
+    }
+    // The analysis witness is a *sum* of probe vertices; the least common
+    // multiple of its denominators can make the scaled integer counts
+    // astronomical. Refine: one LP minimizing the total population over
+    // the alive support (dead unknowns pinned, alive ones >= 1) lands on
+    // the natural small counts the cardinality ratios dictate.
+    let witness = refined_witness(expansion, analysis)
+        .ok_or(ExtractError::TooLarge { what: "objects", limit: config.max_objects })?;
+    extract_from_witness(schema, expansion, &witness, config)
+}
+
+/// One extraction attempt cycle from a given acceptable witness.
+fn extract_from_witness(
+    schema: &Schema,
+    expansion: &Expansion,
+    witness: &[Ratio],
+    config: &ExtractConfig,
+) -> Result<Interpretation, ExtractError> {
+    let ints = scale_to_integers(witness);
+    let n_cc = expansion.compound_classes().len();
+    let n_ca = expansion.compound_attrs().len();
+    let cc_base = &ints[..n_cc];
+    let ca_base = &ints[n_cc..n_cc + n_ca];
+    let cr_base = &ints[n_cc + n_ca..];
+
+    let mut scale = initial_scale(expansion, cc_base, ca_base, cr_base);
+    for attempt in 0..=config.max_retries {
+        let interp = build(schema, expansion, cc_base, ca_base, cr_base, &scale, config)?;
+        match interp.check(schema) {
+            Ok(()) => return Ok(interp),
+            Err(violation) => {
+                if attempt == config.max_retries {
+                    return Err(ExtractError::VerificationFailed(violation));
+                }
+                scale = &scale * &BigInt::from(2u32);
+            }
+        }
+    }
+    unreachable!("loop returns on the final attempt");
+}
+
+/// Minimizes the total population over the alive support, keeping the
+/// solution acceptable (dead unknowns pinned at zero, alive ones >= 1).
+fn refined_witness(
+    expansion: &Expansion,
+    analysis: &SatAnalysis,
+) -> Option<Vec<Ratio>> {
+    use crate::disequations::DisequationSystem;
+    use car_lp::{LinExpr, Relation, SolveResult};
+
+    let sys = DisequationSystem::build(expansion, &[]);
+    let witness = analysis.witness();
+    let mut problem = sys.problem().clone();
+    let mut objective = LinExpr::zero();
+    for (pos, unknown) in sys.unknowns().enumerate() {
+        let var = sys.var_of(unknown);
+        if witness[pos].is_positive() {
+            problem.add_constraint(LinExpr::var(var), Relation::Ge, Ratio::one());
+        } else {
+            problem.add_constraint(LinExpr::var(var), Relation::Le, Ratio::zero());
+        }
+        objective.add_term(var, Ratio::one());
+    }
+    match problem.minimize(&objective) {
+        SolveResult::Optimal { point, .. } => Some(
+            sys.unknowns()
+                .map(|u| point[sys.var_of(u).index()].clone())
+                .collect(),
+        ),
+        _ => None,
+    }
+}
+
+/// Ceiling division of nonnegative big integers.
+fn ceil_div(a: &BigInt, b: &BigInt) -> BigInt {
+    let (q, r) = a.div_rem(b);
+    if r.is_zero() {
+        q
+    } else {
+        q + BigInt::one()
+    }
+}
+
+/// Smallest power-of-two scale satisfying all distinctness conditions:
+/// for every attribute group `ceil(m/n₁) ≤ n₂·t`, and for every relation
+/// group the nested condition `ceil(…ceil(m·t/(n₁·t))…/(n_{K-1}·t)) ≤ n_K·t`.
+fn initial_scale(
+    expansion: &Expansion,
+    cc: &[BigInt],
+    ca: &[BigInt],
+    cr: &[BigInt],
+) -> BigInt {
+    let mut t = BigInt::one();
+    let two = BigInt::from(2u32);
+    loop {
+        let mut ok = true;
+        for (i, group) in expansion.compound_attrs().iter().enumerate() {
+            if ca[i].is_zero() {
+                continue;
+            }
+            let n1 = &cc[group.source.index()];
+            // The construction routes a grouped variable's mass into the
+            // first live target; check capacity against that one.
+            let Some(target) = group.targets.iter().find(|c| !cc[c.index()].is_zero())
+            else {
+                ok = false;
+                break;
+            };
+            let n2 = &cc[target.index()];
+            // Degrees are invariant under scaling; capacity n₂·t grows.
+            if ceil_div(&ca[i], n1) > n2 * &t {
+                ok = false;
+                break;
+            }
+        }
+        if ok {
+            'rels: for (i, group) in expansion.compound_rels().iter().enumerate() {
+                if cr[i].is_zero() {
+                    continue;
+                }
+                let mut worst = &cr[i] * &t;
+                for (k, comp) in group.components.iter().enumerate() {
+                    let n = &cc[comp.index()] * &t;
+                    if k + 1 == group.components.len() {
+                        if worst > n {
+                            ok = false;
+                            break 'rels;
+                        }
+                    } else {
+                        worst = ceil_div(&worst, &n);
+                    }
+                }
+            }
+        }
+        if ok {
+            return t;
+        }
+        t = &t * &two;
+    }
+}
+
+/// One construction attempt at a fixed scale.
+fn build(
+    schema: &Schema,
+    expansion: &Expansion,
+    cc_base: &[BigInt],
+    ca_base: &[BigInt],
+    cr_base: &[BigInt],
+    scale: &BigInt,
+    config: &ExtractConfig,
+) -> Result<Interpretation, ExtractError> {
+    let to_u64 = |v: BigInt, what: &'static str, limit: u64| -> Result<u64, ExtractError> {
+        v.to_u64()
+            .filter(|&x| x <= limit)
+            .ok_or(ExtractError::TooLarge { what, limit })
+    };
+
+    // Object counts and offsets per compound class.
+    let mut counts: Vec<u64> = Vec::with_capacity(cc_base.len());
+    let mut total: u64 = 0;
+    for base in cc_base {
+        let n = to_u64(base * scale, "objects", config.max_objects)?;
+        total = total
+            .checked_add(n)
+            .ok_or(ExtractError::TooLarge { what: "objects", limit: config.max_objects })?;
+        if total > config.max_objects {
+            return Err(ExtractError::TooLarge { what: "objects", limit: config.max_objects });
+        }
+        counts.push(n);
+    }
+    let mut offsets: Vec<u64> = Vec::with_capacity(counts.len());
+    let mut acc = 0;
+    for &n in &counts {
+        offsets.push(acc);
+        acc += n;
+    }
+    let universe = if total == 0 { 1 } else { total };
+    let mut interp = Interpretation::new(schema, universe as usize);
+
+    // Class memberships: the objects of a compound class belong to
+    // exactly its member classes.
+    for (i, cc) in expansion.compound_classes().iter().enumerate() {
+        for c in cc.iter() {
+            let class = crate::ids::ClassId::from_index(c);
+            for o in 0..counts[i] {
+                interp.add_to_class(class, (offsets[i] + o) as u32);
+            }
+        }
+    }
+
+    let mut links: u64 = 0;
+    let budget = |m: u64, links: &mut u64| -> Result<(), ExtractError> {
+        *links = links
+            .checked_add(m)
+            .ok_or(ExtractError::TooLarge { what: "links", limit: config.max_links })?;
+        if *links > config.max_links {
+            return Err(ExtractError::TooLarge { what: "links", limit: config.max_links });
+        }
+        Ok(())
+    };
+
+    // ---- Attribute pairs -------------------------------------------
+    // Cursors shared across groups: per (attribute, compound class) for
+    // each side.
+    let mut src_cursor: HashMap<(u32, u32), u64> = HashMap::new();
+    let mut tgt_cursor: HashMap<(u32, u32), u64> = HashMap::new();
+    for (i, group) in expansion.compound_attrs().iter().enumerate() {
+        let m = to_u64(&ca_base[i] * scale, "links", config.max_links)?;
+        if m == 0 {
+            continue;
+        }
+        budget(m, &mut links)?;
+        let n1 = counts[group.source.index()];
+        // Grouped link variables may point into any of their
+        // interchangeable targets; none of those targets carries an
+        // inverse count bound, so routing the whole mass into one live
+        // member is always legal.
+        let target = *group
+            .targets
+            .iter()
+            .find(|t| counts[t.index()] > 0)
+            .expect("acceptability guarantees a live target");
+        let n2 = counts[target.index()];
+        debug_assert!(n1 > 0 && n2 > 0, "acceptability guarantees live endpoints");
+        let base = m / n1;
+        let extras = m % n1;
+        let sc = src_cursor
+            .entry((group.attr.index() as u32, group.source.0))
+            .or_insert(0);
+        let tc = tgt_cursor
+            .entry((group.attr.index() as u32, target.0))
+            .or_insert(0);
+        let mut tpos = *tc;
+        for p in 0..n1 {
+            let degree = base + u64::from(p < extras);
+            if degree == 0 {
+                continue;
+            }
+            let src_obj = (offsets[group.source.index()] + (*sc + p) % n1) as u32;
+            for q in 0..degree {
+                let tgt_obj = (offsets[target.index()] + (tpos + q) % n2) as u32;
+                interp.add_attr_pair(group.attr, src_obj, tgt_obj);
+            }
+            tpos = (tpos + degree) % n2;
+        }
+        *sc = (*sc + extras) % n1;
+        *tc = tpos;
+    }
+
+    // ---- Relation tuples -------------------------------------------
+    // Cursors per (relation, role position, compound class).
+    let mut rel_cursor: HashMap<(u32, usize, u32), u64> = HashMap::new();
+    for (i, group) in expansion.compound_rels().iter().enumerate() {
+        let m = to_u64(&cr_base[i] * scale, "links", config.max_links)?;
+        if m == 0 {
+            continue;
+        }
+        budget(m, &mut links)?;
+        let mut prefix: Vec<u32> = Vec::with_capacity(group.components.len());
+        place_tuples(
+            group.rel,
+            &group.components,
+            0,
+            m,
+            &counts,
+            &offsets,
+            &mut rel_cursor,
+            &mut prefix,
+            &mut interp,
+        );
+    }
+
+    Ok(interp)
+}
+
+/// Recursively deals `m` tuples over roles `level..K`, extending `prefix`.
+#[allow(clippy::too_many_arguments)]
+fn place_tuples(
+    rel: crate::ids::RelId,
+    components: &[CcId],
+    level: usize,
+    m: u64,
+    counts: &[u64],
+    offsets: &[u64],
+    cursors: &mut HashMap<(u32, usize, u32), u64>,
+    prefix: &mut Vec<u32>,
+    interp: &mut Interpretation,
+) {
+    let cc = components[level];
+    let n = counts[cc.index()];
+    debug_assert!(n > 0);
+    let key = (rel.index() as u32, level, cc.0);
+    let cursor = cursors.entry(key).or_insert(0);
+
+    if level + 1 == components.len() {
+        // Last role: lay m consecutive objects (distinct because the
+        // scale guarantees m ≤ n here).
+        debug_assert!(m <= n, "scale must bound the last-level part size");
+        let start = *cursor;
+        *cursor = (start + m) % n;
+        for q in 0..m {
+            let obj = (offsets[cc.index()] + (start + q) % n) as u32;
+            prefix.push(obj);
+            interp.add_tuple(rel, prefix.clone());
+            prefix.pop();
+        }
+        return;
+    }
+
+    let base = m / n;
+    let extras = m % n;
+    let start = *cursor;
+    *cursor = (start + extras) % n;
+    for p in 0..n {
+        let degree = base + u64::from(p < extras);
+        if degree == 0 {
+            continue;
+        }
+        let obj = (offsets[cc.index()] + (start + p) % n) as u32;
+        prefix.push(obj);
+        place_tuples(rel, components, level + 1, degree, counts, offsets, cursors, prefix, interp);
+        prefix.pop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::enumerate;
+    use crate::expansion::ExpansionLimits;
+    use crate::syntax::{
+        AttRef, Card, ClassFormula, RoleClause, RoleLiteral, SchemaBuilder,
+    };
+
+    fn pipeline(build: impl FnOnce(&mut SchemaBuilder)) -> (Schema, Interpretation) {
+        let mut b = SchemaBuilder::new();
+        build(&mut b);
+        let schema = b.build().unwrap();
+        let ccs = enumerate::naive(&schema, usize::MAX).unwrap();
+        let exp = Expansion::build(&schema, ccs, &ExpansionLimits::default()).unwrap();
+        let analysis = SatAnalysis::run(&exp);
+        let model =
+            extract_model(&schema, &exp, &analysis, &ExtractConfig::default()).unwrap();
+        (schema, model)
+    }
+
+    #[test]
+    fn trivial_schema_yields_nonempty_model() {
+        let (schema, model) = pipeline(|b| {
+            b.class("A");
+        });
+        assert!(model.universe_size() >= 1);
+        assert!(model.is_model(&schema));
+        let a = schema.class_id("A").unwrap();
+        assert!(!model.class_extension(a).is_empty());
+    }
+
+    #[test]
+    fn unsatisfiable_class_is_empty_in_extracted_model() {
+        let (schema, model) = pipeline(|b| {
+            let a = b.class("A");
+            b.define_class(a).isa(ClassFormula::neg_class(a)).finish();
+            b.class("B");
+        });
+        let a = schema.class_id("A").unwrap();
+        let bb = schema.class_id("B").unwrap();
+        assert!(model.class_extension(a).is_empty());
+        assert!(!model.class_extension(bb).is_empty());
+    }
+
+    #[test]
+    fn exact_attribute_cardinalities_are_realized() {
+        let (schema, model) = pipeline(|b| {
+            let a = b.class("A");
+            let t = b.class("T");
+            let f = b.attribute("f");
+            b.define_class(a)
+                .attr(AttRef::Direct(f), Card::exactly(3), ClassFormula::class(t))
+                .finish();
+        });
+        let a = schema.class_id("A").unwrap();
+        let f = schema.attr_id("f").unwrap();
+        for &obj in model.class_extension(a) {
+            assert_eq!(model.att_count(AttRef::Direct(f), obj), 3);
+        }
+    }
+
+    #[test]
+    fn inverse_bounds_shape_the_bipartite_graph() {
+        // Every A has exactly 2 fillers; every T-filler serves exactly 2
+        // sources: the extracted graph must be 2-regular on both sides.
+        let (schema, model) = pipeline(|b| {
+            let a = b.class("A");
+            let t = b.class("T");
+            let f = b.attribute("f");
+            b.define_class(a)
+                .attr(AttRef::Direct(f), Card::exactly(2), ClassFormula::class(t))
+                .finish();
+            b.define_class(t)
+                .attr(AttRef::Inverse(f), Card::exactly(2), ClassFormula::class(a))
+                .finish();
+        });
+        let f = schema.attr_id("f").unwrap();
+        let a = schema.class_id("A").unwrap();
+        let t = schema.class_id("T").unwrap();
+        for &obj in model.class_extension(a) {
+            assert_eq!(model.att_count(AttRef::Direct(f), obj), 2);
+        }
+        for &obj in model.class_extension(t) {
+            assert_eq!(model.att_count(AttRef::Inverse(f), obj), 2);
+        }
+    }
+
+    #[test]
+    fn relation_participations_are_realized() {
+        let (schema, model) = pipeline(|b| {
+            let student = b.class("Student");
+            let course = b.class("Course");
+            let enrollment = b.relation("Enrollment", ["enrolls", "enrolled_in"]);
+            let enrolls = b.role("enrolls");
+            let enrolled_in = b.role("enrolled_in");
+            b.define_class(student)
+                .isa(ClassFormula::neg_class(course))
+                .participates(enrollment, enrolls, Card::new(1, 6))
+                .finish();
+            b.define_class(course)
+                .participates(enrollment, enrolled_in, Card::new(5, 100))
+                .finish();
+            b.relation_constraint(
+                enrollment,
+                RoleClause::new(vec![RoleLiteral {
+                    role: enrolls,
+                    formula: ClassFormula::class(student),
+                }]),
+            );
+            b.relation_constraint(
+                enrollment,
+                RoleClause::new(vec![RoleLiteral {
+                    role: enrolled_in,
+                    formula: ClassFormula::class(course),
+                }]),
+            );
+        });
+        let enrollment = schema.rel_id("Enrollment").unwrap();
+        assert!(!model.rel_extension(enrollment).is_empty());
+        // check() already passed inside pipeline(); spot-check counts.
+        let course = schema.class_id("Course").unwrap();
+        for &obj in model.class_extension(course) {
+            let count = model
+                .rel_extension(enrollment)
+                .iter()
+                .filter(|t| t[1] == obj)
+                .count();
+            assert!((5..=100).contains(&count), "course enrolls {count}");
+        }
+    }
+
+    #[test]
+    fn ternary_relation_extraction() {
+        let (schema, model) = pipeline(|b| {
+            let s = b.class("S");
+            let p = b.class("P");
+            let c = b.class("C");
+            let exam = b.relation("Exam", ["of", "by", "in"]);
+            let of = b.role("of");
+            let by = b.role("by");
+            let r_in = b.role("in");
+            for (role, class) in [(of, s), (by, p), (r_in, c)] {
+                b.relation_constraint(
+                    exam,
+                    RoleClause::new(vec![RoleLiteral {
+                        role,
+                        formula: ClassFormula::class(class),
+                    }]),
+                );
+            }
+            b.define_class(s).participates(exam, of, Card::new(2, 3)).finish();
+            b.define_class(p).participates(exam, by, Card::new(1, 4)).finish();
+        });
+        let exam = schema.rel_id("Exam").unwrap();
+        let tuples = model.rel_extension(exam);
+        assert!(!tuples.is_empty());
+        // All tuples distinct (set semantics) — implied by check(), but
+        // assert explicitly for clarity.
+        let distinct: std::collections::HashSet<&Vec<u32>> = tuples.iter().collect();
+        assert_eq!(distinct.len(), tuples.len());
+    }
+
+    #[test]
+    fn skewed_ratio_needs_scaling_and_still_verifies() {
+        // Every A needs 7 fillers, every filler serves at most 2 sources:
+        // |T| >= ceil(7/2 |A|); pair distinctness forces the scale-up
+        // machinery to kick in.
+        let (schema, model) = pipeline(|b| {
+            let a = b.class("A");
+            let t = b.class("T");
+            let f = b.attribute("f");
+            b.define_class(a)
+                .attr(AttRef::Direct(f), Card::exactly(7), ClassFormula::class(t))
+                .finish();
+            b.define_class(t)
+                .attr(AttRef::Inverse(f), Card::new(1, 2), ClassFormula::class(a))
+                .finish();
+        });
+        assert!(model.is_model(&schema));
+        let a = schema.class_id("A").unwrap();
+        assert!(!model.class_extension(a).is_empty());
+    }
+
+    #[test]
+    fn budget_limits_are_enforced() {
+        let mut b = SchemaBuilder::new();
+        let a = b.class("A");
+        let t = b.class("T");
+        let f = b.attribute("f");
+        b.define_class(a)
+            .attr(AttRef::Direct(f), Card::exactly(1000), ClassFormula::class(t))
+            .finish();
+        let schema = b.build().unwrap();
+        let ccs = enumerate::naive(&schema, usize::MAX).unwrap();
+        let exp = Expansion::build(&schema, ccs, &ExpansionLimits::default()).unwrap();
+        let analysis = SatAnalysis::run(&exp);
+        let tight = ExtractConfig { max_links: 10, ..Default::default() };
+        let err = extract_model(&schema, &exp, &analysis, &tight).unwrap_err();
+        assert!(matches!(err, ExtractError::TooLarge { what: "links", .. }));
+        assert!(err.to_string().contains("links"));
+    }
+
+    #[test]
+    fn ceil_div_behaviour() {
+        let b = |v: i64| BigInt::from(v);
+        assert_eq!(ceil_div(&b(7), &b(2)), b(4));
+        assert_eq!(ceil_div(&b(6), &b(2)), b(3));
+        assert_eq!(ceil_div(&b(0), &b(5)), b(0));
+        assert_eq!(ceil_div(&b(1), &b(5)), b(1));
+    }
+}

@@ -1,0 +1,464 @@
+//! The preselection heuristics of §4.3: inclusion and disjointness
+//! tables, the connectivity graph `GS`, and the Theorem 4.6 transform.
+//!
+//! The preselection step runs before compound-class enumeration and fills
+//! two tables:
+//!
+//! * the **inclusion table** — pairs `(C₁, C₂)` with `C₁ ⊑ C₂` in every
+//!   model — and the **disjointness table** — pairs disjoint in every
+//!   model — derived from the isa parts by a sound but incomplete
+//!   procedure (criterion (a); we use unit propagation, cf. [Dal92]);
+//! * additional disjointness pairs that may be *assumed* without
+//!   influencing class satisfiability (criterion (b)): build the
+//!   undirected graph `GS` whose arcs witness possible co-occurrence of
+//!   two classes in one object, and impose disjointness between classes
+//!   not connected by any path (Theorem 4.6).
+//!
+//! Every table entry becomes a clause for the SAT-based compound-class
+//! enumeration, each pruning "three quarters of the compound classes"
+//! (§4.3); the connected components of `GS` are also the clusters of
+//! §4.4, enumerated independently by [`crate::clusters`].
+//!
+//! ### A note on arc coverage
+//!
+//! The paper's arc conditions connect (1) a class with the positive
+//! classes of its isa formula, (2) positives co-occurring in one
+//! attribute-type formula, and (3) positives of formulas attached to the
+//! same role. We additionally connect (2') the positives of *all*
+//! formulas that constrain the same side of the same attribute (filler
+//! types of `A` together with the owners of `inv A` specifications, and
+//! vice versa), and (3') a participating class with the positives of the
+//! formulas of the role it fills. Both describe genuine co-occurrence on
+//! one object that the literal reading misses; extra arcs only make the
+//! transform more conservative, never unsound.
+
+use crate::bitset::BitSet;
+use crate::enumerate::isa_cnf;
+use crate::ids::ClassId;
+use crate::syntax::{AttRef, ClassFormula, Schema};
+use car_logic::PropLit;
+
+/// Inclusion and disjointness tables plus the `GS` connectivity
+/// structure.
+#[derive(Debug, Clone)]
+pub struct Preselection {
+    n: usize,
+    /// `included[i]` = classes that provably contain class `i`.
+    included: Vec<BitSet>,
+    /// `disjoint[i]` = classes provably or safely-assumably disjoint
+    /// from class `i` (criterion (a) entries plus Theorem 4.6 entries).
+    disjoint: Vec<BitSet>,
+    /// Connected components of `GS` (each a set of class indices); the
+    /// clusters of §4.4.
+    components: Vec<Vec<usize>>,
+}
+
+impl Preselection {
+    /// Runs the full preselection: criterion (a), graph construction,
+    /// criterion (b).
+    #[must_use]
+    pub fn compute(schema: &Schema) -> Preselection {
+        let n = schema.num_classes();
+        let cnf = isa_cnf(schema);
+
+        // Criterion (a): sound, incomplete deductions from the isa parts.
+        // One unit-propagation closure per class — O(|C|) propagations
+        // instead of the O(|C|²) refutation calls a naive use of
+        // `up_entails` would make; slightly less complete, which §4.3
+        // explicitly tolerates ("an efficient and sound procedure that
+        // does not guarantee completeness").
+        let mut included = vec![BitSet::new(n); n];
+        let mut disjoint = vec![BitSet::new(n); n];
+        for i in 0..n {
+            match car_logic::propagate_units(&cnf, &[PropLit::pos(i)]) {
+                car_logic::Propagation::Closed(values) => {
+                    for (j, value) in values.iter().enumerate() {
+                        if j == i {
+                            continue;
+                        }
+                        match value {
+                            Some(true) => included[i].insert(j),
+                            Some(false) => {
+                                disjoint[i].insert(j);
+                                disjoint[j].insert(i);
+                            }
+                            None => {}
+                        }
+                    }
+                }
+                car_logic::Propagation::Conflict => {
+                    // C_i is provably empty: disjoint from everything and
+                    // included in everything (vacuously).
+                    for j in 0..n {
+                        if j != i {
+                            included[i].insert(j);
+                            disjoint[i].insert(j);
+                            disjoint[j].insert(i);
+                        }
+                    }
+                }
+            }
+        }
+
+        // The graph GS (criterion (b)).
+        let mut adj = vec![BitSet::new(n); n];
+        let link_pair = |a: usize, b: usize, adj: &mut Vec<BitSet>| {
+            if a != b {
+                adj[a].insert(b);
+                adj[b].insert(a);
+            }
+        };
+        let positives = |f: &ClassFormula| -> Vec<usize> {
+            f.literals()
+                .filter(|l| l.positive)
+                .map(|l| l.class.index())
+                .collect()
+        };
+        // Link a whole group of possibly-co-occurring classes, pairwise.
+        // A chain would give the same connectivity *before* step 3, but
+        // step 3 removes arcs between provably-disjoint pairs — cutting a
+        // chain link would strand members that still co-occur through the
+        // remaining pairs, wrongly imposing disjointness on them. Cliques
+        // survive any sound removal.
+        let link_group = |group: &[usize], adj: &mut Vec<BitSet>| {
+            for (k, &a) in group.iter().enumerate() {
+                for &b in &group[k + 1..] {
+                    if a != b {
+                        adj[a].insert(b);
+                        adj[b].insert(a);
+                    }
+                }
+            }
+        };
+
+        // (1) isa: C with each positive of its isa formula.
+        for (class, def) in schema.classes() {
+            for p in positives(&def.isa) {
+                link_pair(class.index(), p, &mut adj);
+            }
+        }
+        // (2)+(2'): per attribute and side, all filler-type positives and
+        // opposite-side spec owners form one co-occurrence group.
+        for attr in schema.symbols().attr_ids() {
+            let mut target_group: Vec<usize> = Vec::new(); // A-fillers
+            let mut source_group: Vec<usize> = Vec::new(); // A-sources
+            for (class, def) in schema.classes() {
+                for spec in &def.attrs {
+                    if spec.att.attr() != attr {
+                        continue;
+                    }
+                    match spec.att {
+                        AttRef::Direct(_) => {
+                            target_group.extend(positives(&spec.ty));
+                            source_group.push(class.index());
+                        }
+                        AttRef::Inverse(_) => {
+                            source_group.extend(positives(&spec.ty));
+                            target_group.push(class.index());
+                        }
+                    }
+                }
+            }
+            link_group(&target_group, &mut adj);
+            link_group(&source_group, &mut adj);
+        }
+        // (3)+(3'): per relation role, the positives of all attached
+        // role-clause formulas plus the classes participating through
+        // that role form one group.
+        for (rel, def) in schema.relations() {
+            for (role_pos, &role) in def.roles.iter().enumerate() {
+                let mut group: Vec<usize> = Vec::new();
+                for clause in &def.constraints {
+                    for lit in &clause.literals {
+                        if lit.role == role {
+                            group.extend(positives(&lit.formula));
+                        }
+                    }
+                }
+                for (class, cdef) in schema.classes() {
+                    if cdef
+                        .participations
+                        .iter()
+                        .any(|p| p.rel == rel && p.role == role)
+                    {
+                        group.push(class.index());
+                    }
+                }
+                let _ = role_pos;
+                link_group(&group, &mut adj);
+            }
+        }
+
+        // Step 3 of the construction: remove arcs between provably
+        // disjoint pairs.
+        for i in 0..n {
+            for j in disjoint[i].iter().collect::<Vec<_>>() {
+                adj[i].remove(j);
+                adj[j].remove(i);
+            }
+        }
+
+        // Connected components of GS.
+        let components = connected_components(&adj);
+
+        // Theorem 4.6: classes in different components may be assumed
+        // disjoint without influencing class satisfiability.
+        let mut component_of = vec![usize::MAX; n];
+        for (ci, comp) in components.iter().enumerate() {
+            for &c in comp {
+                component_of[c] = ci;
+            }
+        }
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if component_of[i] != component_of[j] {
+                    disjoint[i].insert(j);
+                    disjoint[j].insert(i);
+                }
+            }
+        }
+
+        Preselection { n, included, disjoint, components }
+    }
+
+    /// `true` iff the tables record `C₁ ⊑ C₂`.
+    #[must_use]
+    pub fn table_includes(&self, sub: ClassId, sup: ClassId) -> bool {
+        self.included[sub.index()].contains(sup.index())
+    }
+
+    /// `true` iff the tables record (or safely assume) disjointness.
+    #[must_use]
+    pub fn table_disjoint(&self, c1: ClassId, c2: ClassId) -> bool {
+        self.disjoint[c1.index()].contains(c2.index())
+    }
+
+    /// The clusters of §4.4: connected components of `GS`.
+    #[must_use]
+    pub fn clusters(&self) -> &[Vec<usize>] {
+        &self.components
+    }
+
+    /// Clauses encoding the table entries, for SAT-based enumeration:
+    /// `¬C₁ ∨ C₂` per inclusion, `¬C₁ ∨ ¬C₂` per disjointness.
+    #[must_use]
+    pub fn extra_clauses(&self) -> Vec<Vec<PropLit>> {
+        let mut out = Vec::new();
+        for i in 0..self.n {
+            for j in self.included[i].iter() {
+                out.push(vec![PropLit::neg(i), PropLit::pos(j)]);
+            }
+            for j in self.disjoint[i].iter() {
+                if j > i {
+                    out.push(vec![PropLit::neg(i), PropLit::neg(j)]);
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Connected components of an undirected graph in adjacency-bitset form.
+#[must_use]
+pub fn connected_components(adj: &[BitSet]) -> Vec<Vec<usize>> {
+    let n = adj.len();
+    let mut seen = vec![false; n];
+    let mut components = Vec::new();
+    for start in 0..n {
+        if seen[start] {
+            continue;
+        }
+        let mut component = Vec::new();
+        let mut stack = vec![start];
+        seen[start] = true;
+        while let Some(v) = stack.pop() {
+            component.push(v);
+            for w in adj[v].iter() {
+                if !seen[w] {
+                    seen[w] = true;
+                    stack.push(w);
+                }
+            }
+        }
+        component.sort_unstable();
+        components.push(component);
+    }
+    components
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::syntax::{Card, RoleClause, RoleLiteral, SchemaBuilder};
+
+    #[test]
+    fn criterion_a_finds_explicit_inclusions_and_disjointness() {
+        let mut b = SchemaBuilder::new();
+        let person = b.class("Person");
+        let professor = b.class("Professor");
+        let student = b.class("Student");
+        b.define_class(professor).isa(ClassFormula::class(person)).finish();
+        b.define_class(student)
+            .isa(ClassFormula::class(person).and(ClassFormula::neg_class(professor)))
+            .finish();
+        let s = b.build().unwrap();
+        let p = Preselection::compute(&s);
+        assert!(p.table_includes(professor, person));
+        assert!(p.table_includes(student, person));
+        assert!(!p.table_includes(person, professor));
+        assert!(p.table_disjoint(student, professor));
+        assert!(p.table_disjoint(professor, student));
+        assert!(!p.table_disjoint(student, person));
+    }
+
+    #[test]
+    fn criterion_a_follows_chains() {
+        let mut b = SchemaBuilder::new();
+        let a = b.class("A");
+        let bb = b.class("B");
+        let c = b.class("C");
+        b.define_class(bb).isa(ClassFormula::class(a)).finish();
+        b.define_class(c).isa(ClassFormula::class(bb)).finish();
+        let s = b.build().unwrap();
+        let p = Preselection::compute(&s);
+        assert!(p.table_includes(c, a)); // via B, needs propagation
+    }
+
+    #[test]
+    fn unrelated_classes_land_in_different_clusters_and_get_disjointness() {
+        let mut b = SchemaBuilder::new();
+        let a = b.class("A");
+        let a2 = b.class("A2");
+        let bb = b.class("B");
+        b.define_class(a2).isa(ClassFormula::class(a)).finish();
+        let _ = bb;
+        let s = b.build().unwrap();
+        let p = Preselection::compute(&s);
+        // {A, A2} and {B} are separate components.
+        assert_eq!(p.clusters().len(), 2);
+        assert!(p.table_disjoint(a, bb));
+        assert!(p.table_disjoint(a2, bb));
+        assert!(!p.table_disjoint(a, a2));
+    }
+
+    #[test]
+    fn attribute_types_connect_classes() {
+        // A's f-fillers are (T1 ∧ T2): T1 and T2 co-occur.
+        let mut b = SchemaBuilder::new();
+        let a = b.class("A");
+        let t1 = b.class("T1");
+        let t2 = b.class("T2");
+        let f = b.attribute("f");
+        b.define_class(a)
+            .attr(
+                AttRef::Direct(f),
+                Card::any(),
+                ClassFormula::class(t1).and(ClassFormula::class(t2)),
+            )
+            .finish();
+        let s = b.build().unwrap();
+        let p = Preselection::compute(&s);
+        assert!(!p.table_disjoint(t1, t2));
+        // A itself does not co-occur with its fillers; it may be assumed
+        // disjoint from them.
+        assert!(p.table_disjoint(a, t1));
+    }
+
+    #[test]
+    fn inverse_attribute_owner_joins_the_target_group() {
+        // A: f -> T; B: (inv f) <- anything. B-objects may be f-fillers
+        // of A-objects, which must be T: B and T co-occur.
+        let mut b = SchemaBuilder::new();
+        let a = b.class("A");
+        let t = b.class("T");
+        let bb = b.class("B");
+        let f = b.attribute("f");
+        b.define_class(a)
+            .attr(AttRef::Direct(f), Card::any(), ClassFormula::class(t))
+            .finish();
+        b.define_class(bb)
+            .attr(AttRef::Inverse(f), Card::any(), ClassFormula::top())
+            .finish();
+        let s = b.build().unwrap();
+        let p = Preselection::compute(&s);
+        assert!(!p.table_disjoint(bb, t));
+    }
+
+    #[test]
+    fn role_formulas_and_participants_connect() {
+        let mut b = SchemaBuilder::new();
+        let student = b.class("Student");
+        let grad = b.class("Grad");
+        let other = b.class("Other");
+        let r = b.relation("R", ["u", "v"]);
+        let u = b.role("u");
+        b.relation_constraint(
+            r,
+            RoleClause::new(vec![RoleLiteral {
+                role: u,
+                formula: ClassFormula::class(student),
+            }]),
+        );
+        // Grad participates through role u: co-occurs with Student.
+        b.define_class(grad).participates(r, u, Card::at_least(1)).finish();
+        let _ = other;
+        let s = b.build().unwrap();
+        let p = Preselection::compute(&s);
+        assert!(!p.table_disjoint(grad, student));
+        assert!(p.table_disjoint(other, student));
+        assert!(p.table_disjoint(other, grad));
+    }
+
+    #[test]
+    fn provably_disjoint_arcs_are_removed() {
+        // B isa A ∧ ¬C, and C appears positively in B's... construct:
+        // B isa (A ∨ C) ∧ ¬C. The isa links B with both A and C, but B
+        // and C are provably disjoint: the arc B–C must go away. A and C
+        // stay connected only through B... with the B–C arc removed, C is
+        // separated unless another path exists.
+        let mut b = SchemaBuilder::new();
+        let a = b.class("A");
+        let bb = b.class("B");
+        let c = b.class("C");
+        let mut isa = ClassFormula::union_of([a, c]);
+        isa = isa.and(ClassFormula::neg_class(c));
+        b.define_class(bb).isa(isa).finish();
+        let s = b.build().unwrap();
+        let p = Preselection::compute(&s);
+        assert!(p.table_disjoint(bb, c)); // criterion (a)
+        // After removing the B–C arc, C has no arcs: its own component.
+        assert!(p.clusters().iter().any(|comp| comp == &vec![c.index()]));
+    }
+
+    #[test]
+    fn extra_clauses_reflect_tables() {
+        let mut b = SchemaBuilder::new();
+        let a = b.class("A");
+        let bb = b.class("B");
+        b.define_class(bb).isa(ClassFormula::class(a)).finish();
+        let c = b.class("C");
+        let _ = c;
+        let s = b.build().unwrap();
+        let p = Preselection::compute(&s);
+        let clauses = p.extra_clauses();
+        // Inclusion B ⊑ A: ¬B ∨ A.
+        assert!(clauses.contains(&vec![PropLit::neg(bb.index()), PropLit::pos(a.index())]));
+        // Assumed disjointness A–C (different clusters): ¬A ∨ ¬C.
+        assert!(clauses
+            .iter()
+            .any(|cl| cl.contains(&PropLit::neg(a.index()))
+                && cl.contains(&PropLit::neg(c.index()))));
+    }
+
+    #[test]
+    fn connected_components_basics() {
+        let mut adj = vec![BitSet::new(4); 4];
+        adj[0].insert(1);
+        adj[1].insert(0);
+        adj[2].insert(3);
+        adj[3].insert(2);
+        let comps = connected_components(&adj);
+        assert_eq!(comps, vec![vec![0, 1], vec![2, 3]]);
+        assert_eq!(connected_components(&[]), Vec::<Vec<usize>>::new());
+    }
+}

@@ -1,0 +1,607 @@
+//! The top-level reasoning facade.
+//!
+//! [`Reasoner`] wraps a schema and answers the questions the paper's
+//! technique was designed for — class satisfiability, logical
+//! implication, schema coherence — plus verified model extraction.
+//!
+//! ## Strategies (§4.2–§4.4)
+//!
+//! The expensive step is enumerating consistent compound classes.
+//! [`Strategy`] selects how:
+//!
+//! * [`Strategy::Naive`] — sweep all `2^|C|` subsets (§4.2's "most
+//!   trivial way"; the baseline the heuristics are measured against);
+//! * [`Strategy::Sat`] — enumerate models of the isa consistency formula
+//!   (skips inconsistent candidates wholesale);
+//! * [`Strategy::Preselect`] — §4.3 preselection tables + Theorem 4.6
+//!   cluster decomposition (§4.4);
+//! * [`Strategy::Auto`] — the generalization-hierarchy fast path (§4.4)
+//!   when the schema has that shape, otherwise `Preselect`.
+//!
+//! Satisfiability answers are identical under all strategies. Logical
+//! implication, however, must see *every* realizable compound class —
+//! Theorem 4.6's imposed disjointness preserves satisfiability but not
+//! implication — so implication queries always run on a complete (`Sat`)
+//! analysis, computed lazily and cached separately.
+
+use crate::arity::reduce_arities;
+use crate::clusters::clustered_ccs;
+use crate::enumerate;
+use crate::expansion::{Expansion, ExpansionLimits, ExpansionTooLarge};
+use crate::hierarchy;
+use crate::ids::ClassId;
+use crate::implication::Implications;
+use crate::model_extract::{extract_model, ExtractConfig, ExtractError};
+use crate::preselection::Preselection;
+use crate::satisfiability::{AnalysisStats, SatAnalysis};
+use crate::semantics::Interpretation;
+use crate::syntax::{ClassFormula, Schema};
+use std::cell::OnceCell;
+use std::fmt;
+
+/// Compound-class enumeration strategy (see module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Strategy {
+    /// Enumerate all `2^|C|` subsets (§4.2 baseline).
+    Naive,
+    /// AllSAT over the isa consistency formula.
+    Sat,
+    /// §4.3 preselection + §4.4 clusters.
+    Preselect,
+    /// Hierarchy fast path when applicable, else `Preselect`.
+    #[default]
+    Auto,
+}
+
+/// Configuration of a [`Reasoner`].
+#[derive(Debug, Clone, Default)]
+pub struct ReasonerConfig {
+    /// Enumeration strategy for satisfiability queries.
+    pub strategy: Strategy,
+    /// Size limits for the expansion.
+    pub limits: ExpansionLimits,
+    /// Apply the Theorem 4.5 arity reduction before satisfiability
+    /// analysis when some relation is reducible.
+    pub arity_reduction: bool,
+    /// Budget for model extraction.
+    pub extract: ExtractConfig,
+}
+
+/// Reasoning failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReasonerError {
+    /// The expansion exceeded the configured limits.
+    TooLarge(ExpansionTooLarge),
+    /// Model extraction failed.
+    Extract(ExtractError),
+}
+
+impl fmt::Display for ReasonerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReasonerError::TooLarge(e) => write!(f, "{e}"),
+            ReasonerError::Extract(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ReasonerError {}
+
+impl From<ExpansionTooLarge> for ReasonerError {
+    fn from(e: ExpansionTooLarge) -> ReasonerError {
+        ReasonerError::TooLarge(e)
+    }
+}
+
+/// One computed analysis: the schema actually analyzed (possibly the
+/// arity-reduced one), its expansion, and the fixpoint result.
+struct Bundle {
+    /// `Some` when the Theorem 4.5 transform was applied (kept for
+    /// diagnostics; the expansion below was built against it).
+    #[allow(dead_code)]
+    transformed: Option<Schema>,
+    expansion: Expansion,
+    analysis: SatAnalysis,
+}
+
+/// The reasoning facade over one schema.
+pub struct Reasoner<'s> {
+    schema: &'s Schema,
+    config: ReasonerConfig,
+    sat_bundle: OnceCell<Result<Bundle, ReasonerError>>,
+    full_bundle: OnceCell<Result<Bundle, ReasonerError>>,
+}
+
+impl<'s> Reasoner<'s> {
+    /// A reasoner with the default configuration (`Auto` strategy,
+    /// arity reduction enabled).
+    #[must_use]
+    pub fn new(schema: &'s Schema) -> Reasoner<'s> {
+        Reasoner::with_config(
+            schema,
+            ReasonerConfig { arity_reduction: true, ..ReasonerConfig::default() },
+        )
+    }
+
+    /// A reasoner with an explicit configuration.
+    #[must_use]
+    pub fn with_config(schema: &'s Schema, config: ReasonerConfig) -> Reasoner<'s> {
+        Reasoner { schema, config, sat_bundle: OnceCell::new(), full_bundle: OnceCell::new() }
+    }
+
+    /// The schema being reasoned about.
+    #[must_use]
+    pub fn schema(&self) -> &Schema {
+        self.schema
+    }
+
+    fn compute_sat_bundle(&self) -> Result<Bundle, ReasonerError> {
+        // Theorem 4.5: reify wide relations first when enabled.
+        let transformed = if self.config.arity_reduction
+            && self
+                .schema
+                .symbols()
+                .rel_ids()
+                .any(|r| crate::arity::reducible(self.schema, r))
+        {
+            let red = reduce_arities(self.schema)
+                .expect("arity reduction of a valid schema is valid");
+            Some(red.schema)
+        } else {
+            None
+        };
+        let schema = transformed.as_ref().unwrap_or(self.schema);
+
+        let max = self.config.limits.max_compound_classes;
+        let ccs = match self.config.strategy {
+            Strategy::Naive => enumerate::naive(schema, max)?,
+            Strategy::Sat => enumerate::sat_models(schema, &[], max)?,
+            Strategy::Preselect => {
+                let pre = Preselection::compute(schema);
+                clustered_ccs(schema, &pre, max)?
+            }
+            Strategy::Auto => match hierarchy::detect(schema) {
+                Some(h) => hierarchy::path_closure_ccs(schema, &h),
+                None => {
+                    let pre = Preselection::compute(schema);
+                    clustered_ccs(schema, &pre, max)?
+                }
+            },
+        };
+        let expansion = Expansion::build(schema, ccs, &self.config.limits)?;
+        let analysis = SatAnalysis::run(&expansion);
+        Ok(Bundle { transformed, expansion, analysis })
+    }
+
+    fn compute_full_bundle(&self) -> Result<Bundle, ReasonerError> {
+        let ccs =
+            enumerate::sat_models(self.schema, &[], self.config.limits.max_compound_classes)?;
+        let expansion = Expansion::build(self.schema, ccs, &self.config.limits)?;
+        let analysis = SatAnalysis::run(&expansion);
+        Ok(Bundle { transformed: None, expansion, analysis })
+    }
+
+    fn sat_bundle(&self) -> Result<&Bundle, ReasonerError> {
+        self.sat_bundle
+            .get_or_init(|| self.compute_sat_bundle())
+            .as_ref()
+            .map_err(Clone::clone)
+    }
+
+    fn full_bundle(&self) -> Result<&Bundle, ReasonerError> {
+        self.full_bundle
+            .get_or_init(|| self.compute_full_bundle())
+            .as_ref()
+            .map_err(Clone::clone)
+    }
+
+    // ---- Satisfiability -------------------------------------------
+
+    /// Class satisfiability (Theorem 3.3), using the configured strategy.
+    ///
+    /// # Errors
+    /// [`ReasonerError::TooLarge`] when the expansion exceeds the limits.
+    pub fn try_is_satisfiable(&self, class: ClassId) -> Result<bool, ReasonerError> {
+        let bundle = self.sat_bundle()?;
+        Ok(bundle.analysis.class_satisfiable(&bundle.expansion, class))
+    }
+
+    /// Class satisfiability; panics on resource exhaustion.
+    ///
+    /// # Panics
+    /// Panics if the expansion exceeds the configured limits; use
+    /// [`Self::try_is_satisfiable`] to handle that case.
+    #[must_use]
+    pub fn is_satisfiable(&self, class: ClassId) -> bool {
+        self.try_is_satisfiable(class).expect("expansion exceeded configured limits")
+    }
+
+    /// All classes that are necessarily empty in every database state.
+    ///
+    /// # Errors
+    /// [`ReasonerError::TooLarge`] when the expansion exceeds the limits.
+    pub fn try_unsatisfiable_classes(&self) -> Result<Vec<ClassId>, ReasonerError> {
+        let bundle = self.sat_bundle()?;
+        Ok(self
+            .schema
+            .symbols()
+            .class_ids()
+            .filter(|&c| !bundle.analysis.class_satisfiable(&bundle.expansion, c))
+            .collect())
+    }
+
+    /// `true` iff every class of the schema is satisfiable.
+    ///
+    /// # Errors
+    /// [`ReasonerError::TooLarge`] when the expansion exceeds the limits.
+    pub fn try_is_coherent(&self) -> Result<bool, ReasonerError> {
+        Ok(self.try_unsatisfiable_classes()?.is_empty())
+    }
+
+    /// Statistics of the satisfiability analysis (forces computation).
+    ///
+    /// # Errors
+    /// [`ReasonerError::TooLarge`] when the expansion exceeds the limits.
+    pub fn try_stats(&self) -> Result<&AnalysisStats, ReasonerError> {
+        Ok(self.sat_bundle()?.analysis.stats())
+    }
+
+    // ---- Logical implication ---------------------------------------
+
+    /// `S ⊨ class isa formula`.
+    ///
+    /// # Panics
+    /// Panics if the (complete) expansion exceeds the configured limits.
+    #[must_use]
+    pub fn implies_isa(&self, class: ClassId, formula: &ClassFormula) -> bool {
+        let bundle = self.full_bundle().expect("expansion exceeded configured limits");
+        Implications::new(&bundle.expansion, &bundle.analysis).implies_isa(class, formula)
+    }
+
+    /// Subsumption `sub ⊑ sup` in every model.
+    ///
+    /// # Panics
+    /// Panics if the (complete) expansion exceeds the configured limits.
+    #[must_use]
+    pub fn subsumes(&self, sup: ClassId, sub: ClassId) -> bool {
+        let bundle = self.full_bundle().expect("expansion exceeded configured limits");
+        Implications::new(&bundle.expansion, &bundle.analysis).subsumes(sup, sub)
+    }
+
+    /// Disjointness in every model.
+    ///
+    /// # Panics
+    /// Panics if the (complete) expansion exceeds the configured limits.
+    #[must_use]
+    pub fn disjoint(&self, c1: ClassId, c2: ClassId) -> bool {
+        let bundle = self.full_bundle().expect("expansion exceeded configured limits");
+        Implications::new(&bundle.expansion, &bundle.analysis).disjoint(c1, c2)
+    }
+
+    /// Equivalence in every model.
+    ///
+    /// # Panics
+    /// Panics if the (complete) expansion exceeds the configured limits.
+    #[must_use]
+    pub fn equivalent(&self, c1: ClassId, c2: ClassId) -> bool {
+        let bundle = self.full_bundle().expect("expansion exceeded configured limits");
+        Implications::new(&bundle.expansion, &bundle.analysis).equivalent(c1, c2)
+    }
+
+    /// The implied strict subsumption pairs `(sup, sub)` among
+    /// satisfiable classes.
+    ///
+    /// # Panics
+    /// Panics if the (complete) expansion exceeds the configured limits.
+    #[must_use]
+    pub fn classification(&self) -> Vec<(ClassId, ClassId)> {
+        let bundle = self.full_bundle().expect("expansion exceeded configured limits");
+        Implications::new(&bundle.expansion, &bundle.analysis).classification(self.schema)
+    }
+
+    /// Exact filler-type implication for instances of a class (see
+    /// [`Implications::implies_filler_type`]).
+    ///
+    /// # Panics
+    /// Panics if the (complete) expansion exceeds the configured limits.
+    #[must_use]
+    pub fn implies_filler_type(
+        &self,
+        class: ClassId,
+        att: crate::syntax::AttRef,
+        formula: &ClassFormula,
+    ) -> bool {
+        let bundle = self.full_bundle().expect("expansion exceeded configured limits");
+        Implications::new(&bundle.expansion, &bundle.analysis)
+            .implies_filler_type(self.schema, class, att, formula)
+    }
+
+    /// Sound implied attribute-cardinality bound for instances of a
+    /// class (see [`Implications::implied_att_card`]).
+    ///
+    /// # Panics
+    /// Panics if the (complete) expansion exceeds the configured limits.
+    #[must_use]
+    pub fn implied_att_card(
+        &self,
+        class: ClassId,
+        att: crate::syntax::AttRef,
+    ) -> Option<crate::syntax::Card> {
+        let bundle = self.full_bundle().expect("expansion exceeded configured limits");
+        Implications::new(&bundle.expansion, &bundle.analysis)
+            .implied_att_card(self.schema, class, att)
+    }
+
+    /// Sound implied participation bound for instances of a class (see
+    /// [`Implications::implied_part_card`]).
+    ///
+    /// # Panics
+    /// Panics if the (complete) expansion exceeds the configured limits.
+    #[must_use]
+    pub fn implied_part_card(
+        &self,
+        class: ClassId,
+        rel: crate::ids::RelId,
+        role_pos: usize,
+    ) -> Option<crate::syntax::Card> {
+        let bundle = self.full_bundle().expect("expansion exceeded configured limits");
+        Implications::new(&bundle.expansion, &bundle.analysis)
+            .implied_part_card(self.schema, class, rel, role_pos)
+    }
+
+    /// Builds a machine-checkable proof that `class` is unsatisfiable
+    /// (see [`crate::certify`]), or `None` when the class is satisfiable.
+    /// Together with [`Self::extract_model`], every verdict the reasoner
+    /// gives can be audited by an independent checker.
+    ///
+    /// # Errors
+    /// [`ReasonerError::TooLarge`] when the expansion exceeds the limits.
+    pub fn certify_unsatisfiable(
+        &self,
+        class: ClassId,
+    ) -> Result<Option<crate::certify::UnsatProof>, ReasonerError> {
+        let bundle = self.full_bundle()?;
+        Ok(crate::certify::certify_unsatisfiable(
+            &bundle.expansion,
+            &bundle.analysis,
+            class,
+        ))
+    }
+
+    /// The (complete) expansion used for implication and certification
+    /// queries — exposed so proofs can be verified externally.
+    ///
+    /// # Errors
+    /// [`ReasonerError::TooLarge`] when the expansion exceeds the limits.
+    pub fn full_expansion(&self) -> Result<&Expansion, ReasonerError> {
+        Ok(&self.full_bundle()?.expansion)
+    }
+
+    // ---- Model extraction ------------------------------------------
+
+    /// Extracts a verified finite model of the schema in which every
+    /// satisfiable class is nonempty. Always built on the original
+    /// (untransformed) schema.
+    ///
+    /// # Errors
+    /// [`ReasonerError`] on resource exhaustion or extraction failure.
+    pub fn extract_model(&self) -> Result<Interpretation, ReasonerError> {
+        let bundle = self.full_bundle()?;
+        extract_model(self.schema, &bundle.expansion, &bundle.analysis, &self.config.extract)
+            .map_err(ReasonerError::Extract)
+    }
+}
+
+impl fmt::Debug for Reasoner<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Reasoner")
+            .field("classes", &self.schema.num_classes())
+            .field("strategy", &self.config.strategy)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::syntax::{AttRef, Card, RoleClause, RoleLiteral, SchemaBuilder};
+
+    fn university() -> Schema {
+        let mut b = SchemaBuilder::new();
+        let person = b.class("Person");
+        let professor = b.class("Professor");
+        let student = b.class("Student");
+        let grad = b.class("Grad_Student");
+        let course = b.class("Course");
+        let taught_by = b.attribute("taught_by");
+        b.define_class(professor).isa(ClassFormula::class(person)).finish();
+        b.define_class(student)
+            .isa(ClassFormula::class(person).and(ClassFormula::neg_class(professor)))
+            .finish();
+        b.define_class(grad).isa(ClassFormula::class(student)).finish();
+        b.define_class(course)
+            .isa(ClassFormula::neg_class(person))
+            .attr(
+                AttRef::Direct(taught_by),
+                Card::exactly(1),
+                ClassFormula::union_of([professor, grad]),
+            )
+            .finish();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn all_strategies_agree_on_satisfiability() {
+        let s = university();
+        let mut reference: Option<Vec<bool>> = None;
+        for strategy in [Strategy::Naive, Strategy::Sat, Strategy::Preselect, Strategy::Auto]
+        {
+            let r = Reasoner::with_config(
+                &s,
+                ReasonerConfig { strategy, arity_reduction: true, ..Default::default() },
+            );
+            let answers: Vec<bool> = s
+                .symbols()
+                .class_ids()
+                .map(|c| r.is_satisfiable(c))
+                .collect();
+            match &reference {
+                None => reference = Some(answers),
+                Some(expected) => assert_eq!(&answers, expected, "strategy {strategy:?}"),
+            }
+        }
+        assert!(reference.unwrap().iter().all(|&b| b)); // coherent schema
+    }
+
+    #[test]
+    fn implication_queries_work_under_any_strategy() {
+        let s = university();
+        let r = Reasoner::with_config(
+            &s,
+            ReasonerConfig { strategy: Strategy::Preselect, ..Default::default() },
+        );
+        let person = s.class_id("Person").unwrap();
+        let grad = s.class_id("Grad_Student").unwrap();
+        let professor = s.class_id("Professor").unwrap();
+        let course = s.class_id("Course").unwrap();
+        // Transitive subsumption through Student.
+        assert!(r.subsumes(person, grad));
+        assert!(r.disjoint(grad, professor));
+        assert!(r.disjoint(course, person));
+        assert!(!r.disjoint(professor, person));
+        assert!(!r.equivalent(person, professor));
+        // Even under Preselect (which prunes types for satisfiability),
+        // unrelated classes must NOT be reported disjoint.
+        let mut b2 = SchemaBuilder::new();
+        let x = b2.class("X");
+        let y = b2.class("Y");
+        let s2 = b2.build().unwrap();
+        let r2 = Reasoner::with_config(
+            &s2,
+            ReasonerConfig { strategy: Strategy::Preselect, ..Default::default() },
+        );
+        assert!(!r2.disjoint(x, y));
+        assert!(!r2.subsumes(x, y));
+    }
+
+    #[test]
+    fn coherence_and_unsatisfiable_listing() {
+        let mut b = SchemaBuilder::new();
+        let a = b.class("A");
+        let dead = b.class("Dead");
+        b.define_class(dead).isa(ClassFormula::neg_class(dead)).finish();
+        let _ = a;
+        let s = b.build().unwrap();
+        let r = Reasoner::new(&s);
+        assert!(!r.try_is_coherent().unwrap());
+        assert_eq!(r.try_unsatisfiable_classes().unwrap(), vec![dead]);
+    }
+
+    #[test]
+    fn limits_produce_errors_not_panics() {
+        let mut b = SchemaBuilder::new();
+        for i in 0..10 {
+            b.class(&format!("K{i}"));
+        }
+        let s = b.build().unwrap();
+        let config = ReasonerConfig {
+            strategy: Strategy::Sat,
+            limits: ExpansionLimits { max_compound_classes: 4, ..Default::default() },
+            ..Default::default()
+        };
+        let r = Reasoner::with_config(&s, config);
+        let c0 = s.class_id("K0").unwrap();
+        assert!(matches!(
+            r.try_is_satisfiable(c0),
+            Err(ReasonerError::TooLarge(_))
+        ));
+    }
+
+    #[test]
+    fn auto_uses_hierarchy_fast_path() {
+        // A strict hierarchy with explicit sibling disjointness; Auto
+        // should produce exactly one compound class per class.
+        let mut b = SchemaBuilder::new();
+        let a = b.class("A");
+        let l = b.class("L");
+        let r_ = b.class("R");
+        b.define_class(l)
+            .isa(ClassFormula::class(a).and(ClassFormula::neg_class(r_)))
+            .finish();
+        b.define_class(r_).isa(ClassFormula::class(a)).finish();
+        let s = b.build().unwrap();
+        let reasoner = Reasoner::new(&s);
+        assert!(reasoner.is_satisfiable(l));
+        let stats = reasoner.try_stats().unwrap();
+        assert_eq!(stats.num_compound_classes, 3); // one per class
+    }
+
+    #[test]
+    fn arity_reduction_is_applied_transparently() {
+        let mut b = SchemaBuilder::new();
+        let s_ = b.class("S");
+        let p = b.class("P");
+        let c = b.class("C");
+        let exam = b.relation("Exam", ["of", "by", "in"]);
+        let of = b.role("of");
+        let by = b.role("by");
+        let r_in = b.role("in");
+        for (role, class) in [(of, s_), (by, p), (r_in, c)] {
+            b.relation_constraint(
+                exam,
+                RoleClause::new(vec![RoleLiteral {
+                    role,
+                    formula: ClassFormula::class(class),
+                }]),
+            );
+        }
+        b.define_class(s_).participates(exam, of, Card::new(1, 3)).finish();
+        let s = b.build().unwrap();
+        let with = Reasoner::with_config(
+            &s,
+            ReasonerConfig {
+                strategy: Strategy::Sat,
+                arity_reduction: true,
+                ..Default::default()
+            },
+        );
+        let without = Reasoner::with_config(
+            &s,
+            ReasonerConfig {
+                strategy: Strategy::Sat,
+                arity_reduction: false,
+                ..Default::default()
+            },
+        );
+        for class in s.symbols().class_ids() {
+            assert_eq!(with.is_satisfiable(class), without.is_satisfiable(class));
+        }
+        // The reduced analysis sees no 3-ary compound relations.
+        assert!(with.try_stats().unwrap().num_compound_rels <= without.try_stats().unwrap().num_compound_rels);
+    }
+
+    #[test]
+    fn extracted_model_is_a_model() {
+        let s = university();
+        let r = Reasoner::new(&s);
+        let model = r.extract_model().unwrap();
+        assert!(model.is_model(&s));
+        for class in s.symbols().class_ids() {
+            assert_eq!(
+                r.is_satisfiable(class),
+                !model.class_extension(class).is_empty(),
+                "class {}",
+                s.class_name(class)
+            );
+        }
+    }
+
+    #[test]
+    fn debug_impl_is_compact() {
+        let s = university();
+        let r = Reasoner::new(&s);
+        let dbg = format!("{r:?}");
+        assert!(dbg.contains("Reasoner"));
+        assert!(dbg.contains("classes"));
+    }
+}

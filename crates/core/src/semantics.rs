@@ -1,0 +1,560 @@
+//! Finite-model semantics of CAR schemas (§2.3 of the paper) and a
+//! model checker.
+//!
+//! An [`Interpretation`] is a finite nonempty universe together with
+//! extensions for every class (a set of objects), attribute (a set of
+//! pairs) and relation (a set of labeled tuples). [`Interpretation::check`]
+//! verifies, definition by definition, whether the interpretation is a
+//! model of a schema, reporting the first violation found. The checker is
+//! written directly from the satisfaction conditions of §2.3 and is
+//! independent of the reasoning machinery, so it serves as ground truth:
+//! every model extracted by the reasoner is re-verified against it.
+
+use crate::ids::{AttrId, ClassId, RelId};
+use crate::syntax::{AttRef, Card, ClassFormula, Schema};
+use std::collections::HashSet;
+use std::fmt;
+
+/// An object of the universe, identified by a dense index.
+pub type ObjId = u32;
+
+/// A finite interpretation (database state) for a schema.
+///
+/// Relation extensions store labeled tuples positionally: tuple component
+/// `k` is the filler of the `k`-th role in the relation's declaration
+/// order (see [`crate::syntax::RelDef::roles`]).
+#[derive(Debug, Clone)]
+pub struct Interpretation {
+    universe: usize,
+    class_ext: Vec<HashSet<ObjId>>,
+    attr_ext: Vec<HashSet<(ObjId, ObjId)>>,
+    rel_ext: Vec<Vec<Vec<ObjId>>>,
+}
+
+impl Interpretation {
+    /// An interpretation with `universe` objects and all extensions empty,
+    /// shaped for `schema`.
+    #[must_use]
+    pub fn new(schema: &Schema, universe: usize) -> Interpretation {
+        Interpretation {
+            universe,
+            class_ext: vec![HashSet::new(); schema.num_classes()],
+            attr_ext: vec![HashSet::new(); schema.num_attrs()],
+            rel_ext: vec![Vec::new(); schema.num_rels()],
+        }
+    }
+
+    /// Size of the universe.
+    #[must_use]
+    pub fn universe_size(&self) -> usize {
+        self.universe
+    }
+
+    /// Adds an object to a class extension.
+    ///
+    /// # Panics
+    /// Panics if the object is outside the universe.
+    pub fn add_to_class(&mut self, class: ClassId, obj: ObjId) {
+        assert!((obj as usize) < self.universe, "object outside universe");
+        self.class_ext[class.index()].insert(obj);
+    }
+
+    /// Adds a pair to an attribute extension.
+    pub fn add_attr_pair(&mut self, attr: AttrId, from: ObjId, to: ObjId) {
+        assert!((from as usize) < self.universe && (to as usize) < self.universe);
+        self.attr_ext[attr.index()].insert((from, to));
+    }
+
+    /// Adds a labeled tuple (components in role-declaration order) to a
+    /// relation extension. Duplicates are detected by [`Self::check`].
+    pub fn add_tuple(&mut self, rel: RelId, tuple: Vec<ObjId>) {
+        assert!(tuple.iter().all(|&o| (o as usize) < self.universe));
+        self.rel_ext[rel.index()].push(tuple);
+    }
+
+    /// `true` iff the object belongs to the class extension.
+    #[must_use]
+    pub fn in_class(&self, class: ClassId, obj: ObjId) -> bool {
+        self.class_ext[class.index()].contains(&obj)
+    }
+
+    /// The extension of a class.
+    #[must_use]
+    pub fn class_extension(&self, class: ClassId) -> &HashSet<ObjId> {
+        &self.class_ext[class.index()]
+    }
+
+    /// The extension of an attribute.
+    #[must_use]
+    pub fn attr_extension(&self, attr: AttrId) -> &HashSet<(ObjId, ObjId)> {
+        &self.attr_ext[attr.index()]
+    }
+
+    /// The extension of a relation (tuples in role-declaration order).
+    #[must_use]
+    pub fn rel_extension(&self, rel: RelId) -> &[Vec<ObjId>] {
+        &self.rel_ext[rel.index()]
+    }
+
+    /// `true` iff `obj` is an instance of the class-formula (the
+    /// inductive extension of §2.3).
+    #[must_use]
+    pub fn satisfies_formula(&self, formula: &ClassFormula, obj: ObjId) -> bool {
+        formula.clauses.iter().all(|clause| {
+            clause
+                .literals
+                .iter()
+                .any(|l| l.positive == self.in_class(l.class, obj))
+        })
+    }
+
+    /// Number of `att`-fillers of `obj`: pairs `(obj, ·)` for a direct
+    /// attribute, pairs `(·, obj)` for an inverse one.
+    #[must_use]
+    pub fn att_count(&self, att: AttRef, obj: ObjId) -> u64 {
+        let ext = &self.attr_ext[att.attr().index()];
+        match att {
+            AttRef::Direct(_) => ext.iter().filter(|(f, _)| *f == obj).count() as u64,
+            AttRef::Inverse(_) => ext.iter().filter(|(_, t)| *t == obj).count() as u64,
+        }
+    }
+
+    /// Iterates over the `att`-fillers of `obj`.
+    pub fn att_fillers<'a>(&'a self, att: AttRef, obj: ObjId) -> impl Iterator<Item = ObjId> + 'a {
+        let ext = &self.attr_ext[att.attr().index()];
+        ext.iter().filter_map(move |&(f, t)| match att {
+            AttRef::Direct(_) if f == obj => Some(t),
+            AttRef::Inverse(_) if t == obj => Some(f),
+            _ => None,
+        })
+    }
+
+    /// Checks every definition of the schema against this interpretation;
+    /// `Ok(())` means the interpretation is a model (§2.3).
+    ///
+    /// The universe must be nonempty and relation extensions must be
+    /// duplicate-free (they denote *sets* of labeled tuples).
+    pub fn check(&self, schema: &Schema) -> Result<(), Violation> {
+        if self.universe == 0 {
+            return Err(Violation::EmptyUniverse);
+        }
+
+        // Relation extensions are sets of labeled tuples.
+        for (rel, _) in schema.relations() {
+            let ext = &self.rel_ext[rel.index()];
+            let distinct: HashSet<&Vec<ObjId>> = ext.iter().collect();
+            if distinct.len() != ext.len() {
+                return Err(Violation::DuplicateTuple { rel });
+            }
+        }
+
+        for (class, def) in schema.classes() {
+            for &obj in &self.class_ext[class.index()] {
+                // isa part: C^I ⊆ F^I.
+                if !self.satisfies_formula(&def.isa, obj) {
+                    return Err(Violation::IsaViolated { class, obj });
+                }
+                // attributes part: filler types and cardinalities.
+                for spec in &def.attrs {
+                    let mut count = 0;
+                    for filler in self.att_fillers(spec.att, obj) {
+                        count += 1;
+                        if !self.satisfies_formula(&spec.ty, filler) {
+                            return Err(Violation::AttrTypeViolated {
+                                class,
+                                obj,
+                                att: spec.att,
+                                filler,
+                            });
+                        }
+                    }
+                    if !spec.card.contains(count) {
+                        return Err(Violation::AttrCardViolated {
+                            class,
+                            obj,
+                            att: spec.att,
+                            count,
+                            card: spec.card,
+                        });
+                    }
+                }
+                // participates-in part.
+                for part in &def.participations {
+                    let rel_def = schema.rel_def(part.rel);
+                    let Some(pos) = rel_def.role_position(part.role) else {
+                        continue; // builder validation rejects this
+                    };
+                    let count = self.rel_ext[part.rel.index()]
+                        .iter()
+                        .filter(|t| t[pos] == obj)
+                        .count() as u64;
+                    if !part.card.contains(count) {
+                        return Err(Violation::ParticipationViolated {
+                            class,
+                            obj,
+                            rel: part.rel,
+                            count,
+                            card: part.card,
+                        });
+                    }
+                }
+            }
+        }
+
+        // Relation constraints: every tuple satisfies every role-clause.
+        for (rel, def) in schema.relations() {
+            for (tuple_index, tuple) in self.rel_ext[rel.index()].iter().enumerate() {
+                if tuple.len() != def.arity() {
+                    return Err(Violation::ArityMismatch { rel, tuple_index });
+                }
+                for (clause_index, clause) in def.constraints.iter().enumerate() {
+                    let satisfied = clause.literals.iter().any(|lit| {
+                        def.role_position(lit.role).is_some_and(|pos| {
+                            self.satisfies_formula(&lit.formula, tuple[pos])
+                        })
+                    });
+                    if !satisfied {
+                        return Err(Violation::RoleClauseViolated {
+                            rel,
+                            tuple_index,
+                            clause_index,
+                        });
+                    }
+                }
+            }
+        }
+
+        Ok(())
+    }
+
+    /// Convenience wrapper around [`Self::check`].
+    #[must_use]
+    pub fn is_model(&self, schema: &Schema) -> bool {
+        self.check(schema).is_ok()
+    }
+}
+
+/// A reason why an interpretation fails to be a model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Violation {
+    /// The universe is empty (interpretations require `Δ ≠ ∅`).
+    EmptyUniverse,
+    /// A relation extension contains the same labeled tuple twice.
+    DuplicateTuple {
+        /// The relation.
+        rel: RelId,
+    },
+    /// A tuple's length differs from the relation's arity.
+    ArityMismatch {
+        /// The relation.
+        rel: RelId,
+        /// Index of the offending tuple in the extension.
+        tuple_index: usize,
+    },
+    /// An instance of a class is not an instance of its isa formula.
+    IsaViolated {
+        /// The class.
+        class: ClassId,
+        /// The offending object.
+        obj: ObjId,
+    },
+    /// An attribute filler violates the declared filler type.
+    AttrTypeViolated {
+        /// The constraining class.
+        class: ClassId,
+        /// The source object.
+        obj: ObjId,
+        /// The attribute reference.
+        att: AttRef,
+        /// The ill-typed filler.
+        filler: ObjId,
+    },
+    /// An object has too few or too many attribute fillers.
+    AttrCardViolated {
+        /// The constraining class.
+        class: ClassId,
+        /// The object.
+        obj: ObjId,
+        /// The attribute reference.
+        att: AttRef,
+        /// The observed filler count.
+        count: u64,
+        /// The violated bound.
+        card: Card,
+    },
+    /// An object participates in too few or too many tuples of a role.
+    ParticipationViolated {
+        /// The constraining class.
+        class: ClassId,
+        /// The object.
+        obj: ObjId,
+        /// The relation.
+        rel: RelId,
+        /// The observed tuple count.
+        count: u64,
+        /// The violated bound.
+        card: Card,
+    },
+    /// A tuple satisfies none of the literals of a role-clause.
+    RoleClauseViolated {
+        /// The relation.
+        rel: RelId,
+        /// Index of the tuple in the extension.
+        tuple_index: usize,
+        /// Index of the violated clause in the constraints part.
+        clause_index: usize,
+    },
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::EmptyUniverse => write!(f, "universe is empty"),
+            Violation::DuplicateTuple { rel } => {
+                write!(f, "relation {rel} contains a duplicate tuple")
+            }
+            Violation::ArityMismatch { rel, tuple_index } => {
+                write!(f, "tuple #{tuple_index} of relation {rel} has wrong arity")
+            }
+            Violation::IsaViolated { class, obj } => {
+                write!(f, "object {obj} violates the isa formula of class {class}")
+            }
+            Violation::AttrTypeViolated { obj, filler, .. } => {
+                write!(f, "attribute filler {filler} of object {obj} is ill-typed")
+            }
+            Violation::AttrCardViolated { obj, count, card, .. } => {
+                write!(f, "object {obj} has {count} fillers, outside {card}")
+            }
+            Violation::ParticipationViolated { obj, rel, count, card, .. } => {
+                write!(f, "object {obj} occurs in {count} tuples of {rel}, outside {card}")
+            }
+            Violation::RoleClauseViolated { rel, tuple_index, clause_index } => {
+                write!(
+                    f,
+                    "tuple #{tuple_index} of {rel} violates role-clause #{clause_index}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for Violation {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::syntax::{
+        ClassFormula, RoleClause, RoleLiteral, SchemaBuilder,
+    };
+
+    /// Professor isa Person, teaches (1,2) Course; Course isa ¬Person.
+    fn schema() -> Schema {
+        let mut b = SchemaBuilder::new();
+        let person = b.class("Person");
+        let professor = b.class("Professor");
+        let course = b.class("Course");
+        let teaches = b.attribute("teaches");
+        b.define_class(professor)
+            .isa(ClassFormula::class(person))
+            .attr(
+                AttRef::Direct(teaches),
+                Card::new(1, 2),
+                ClassFormula::class(course),
+            )
+            .finish();
+        b.define_class(course).isa(ClassFormula::neg_class(person)).finish();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn empty_universe_is_not_a_model() {
+        let s = schema();
+        let i = Interpretation::new(&s, 0);
+        assert_eq!(i.check(&s), Err(Violation::EmptyUniverse));
+    }
+
+    #[test]
+    fn empty_extensions_over_nonempty_universe_are_a_model() {
+        // §2.3: "every CAR schema is satisfied by any interpretation that
+        // assigns the empty set to every class, relationship, attribute".
+        let s = schema();
+        let i = Interpretation::new(&s, 1);
+        assert_eq!(i.check(&s), Ok(()));
+    }
+
+    #[test]
+    fn valid_model_passes() {
+        let s = schema();
+        let person = s.class_id("Person").unwrap();
+        let professor = s.class_id("Professor").unwrap();
+        let course = s.class_id("Course").unwrap();
+        let teaches = s.attr_id("teaches").unwrap();
+        let mut i = Interpretation::new(&s, 2);
+        i.add_to_class(person, 0);
+        i.add_to_class(professor, 0);
+        i.add_to_class(course, 1);
+        i.add_attr_pair(teaches, 0, 1);
+        assert_eq!(i.check(&s), Ok(()));
+        assert_eq!(i.att_count(AttRef::Direct(teaches), 0), 1);
+        assert_eq!(i.att_count(AttRef::Inverse(teaches), 1), 1);
+        assert_eq!(i.att_fillers(AttRef::Direct(teaches), 0).collect::<Vec<_>>(), vec![1]);
+    }
+
+    #[test]
+    fn isa_violation_is_detected() {
+        let s = schema();
+        let professor = s.class_id("Professor").unwrap();
+        let course = s.class_id("Course").unwrap();
+        let teaches = s.attr_id("teaches").unwrap();
+        let mut i = Interpretation::new(&s, 2);
+        i.add_to_class(professor, 0); // not a Person!
+        i.add_to_class(course, 1);
+        i.add_attr_pair(teaches, 0, 1);
+        assert!(matches!(i.check(&s), Err(Violation::IsaViolated { .. })));
+    }
+
+    #[test]
+    fn attr_cardinality_violations_are_detected() {
+        let s = schema();
+        let person = s.class_id("Person").unwrap();
+        let professor = s.class_id("Professor").unwrap();
+        let mut i = Interpretation::new(&s, 1);
+        i.add_to_class(person, 0);
+        i.add_to_class(professor, 0);
+        // teaches no course: below the (1,2) minimum.
+        assert!(matches!(
+            i.check(&s),
+            Err(Violation::AttrCardViolated { count: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn attr_type_violation_is_detected() {
+        let s = schema();
+        let person = s.class_id("Person").unwrap();
+        let professor = s.class_id("Professor").unwrap();
+        let teaches = s.attr_id("teaches").unwrap();
+        let mut i = Interpretation::new(&s, 2);
+        i.add_to_class(person, 0);
+        i.add_to_class(professor, 0);
+        i.add_to_class(person, 1); // a Person, not a Course
+        i.add_attr_pair(teaches, 0, 1);
+        assert!(matches!(i.check(&s), Err(Violation::AttrTypeViolated { .. })));
+    }
+
+    #[test]
+    fn negated_isa_is_enforced() {
+        let s = schema();
+        let person = s.class_id("Person").unwrap();
+        let course = s.class_id("Course").unwrap();
+        let mut i = Interpretation::new(&s, 1);
+        i.add_to_class(person, 0);
+        i.add_to_class(course, 0); // Course isa ¬Person: contradiction
+        assert!(matches!(i.check(&s), Err(Violation::IsaViolated { .. })));
+    }
+
+    fn rel_schema() -> Schema {
+        let mut b = SchemaBuilder::new();
+        let student = b.class("Student");
+        let course = b.class("Course");
+        let enrollment = b.relation("Enrollment", ["enrolls", "enrolled_in"]);
+        let enrolls = b.role("enrolls");
+        let enrolled_in = b.role("enrolled_in");
+        b.relation_constraint(
+            enrollment,
+            RoleClause::new(vec![RoleLiteral {
+                role: enrolls,
+                formula: ClassFormula::class(student),
+            }]),
+        );
+        b.define_class(student)
+            .participates(enrollment, enrolls, Card::new(1, 2))
+            .finish();
+        let _ = (course, enrolled_in);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn relation_semantics() {
+        let s = rel_schema();
+        let student = s.class_id("Student").unwrap();
+        let course = s.class_id("Course").unwrap();
+        let enrollment = s.rel_id("Enrollment").unwrap();
+
+        let mut i = Interpretation::new(&s, 2);
+        i.add_to_class(student, 0);
+        i.add_to_class(course, 1);
+        i.add_tuple(enrollment, vec![0, 1]);
+        assert_eq!(i.check(&s), Ok(()));
+        assert_eq!(i.rel_extension(enrollment).len(), 1);
+
+        // Duplicate tuple.
+        let mut j = i.clone();
+        j.add_tuple(enrollment, vec![0, 1]);
+        assert!(matches!(j.check(&s), Err(Violation::DuplicateTuple { .. })));
+
+        // Participation below minimum.
+        let mut k = Interpretation::new(&s, 1);
+        k.add_to_class(student, 0);
+        assert!(matches!(
+            k.check(&s),
+            Err(Violation::ParticipationViolated { count: 0, .. })
+        ));
+
+        // Role clause violated: the enroller is not a Student.
+        let mut l = Interpretation::new(&s, 2);
+        l.add_to_class(course, 0);
+        l.add_tuple(enrollment, vec![0, 1]);
+        assert!(matches!(l.check(&s), Err(Violation::RoleClauseViolated { .. })));
+
+        // Arity mismatch.
+        let mut m = Interpretation::new(&s, 2);
+        m.add_tuple(enrollment, vec![0]);
+        assert!(matches!(m.check(&s), Err(Violation::ArityMismatch { .. })));
+    }
+
+    #[test]
+    fn disjunctive_role_clause() {
+        // Constraint: (enrolls: Student) ∨ (enrolled_in: Course).
+        let mut b = SchemaBuilder::new();
+        let student = b.class("Student");
+        let course = b.class("Course");
+        let enrollment = b.relation("Enrollment", ["enrolls", "enrolled_in"]);
+        let enrolls = b.role("enrolls");
+        let enrolled_in = b.role("enrolled_in");
+        b.relation_constraint(
+            enrollment,
+            RoleClause::new(vec![
+                RoleLiteral { role: enrolls, formula: ClassFormula::class(student) },
+                RoleLiteral { role: enrolled_in, formula: ClassFormula::class(course) },
+            ]),
+        );
+        let s = b.build().unwrap();
+        let enrollment = s.rel_id("Enrollment").unwrap();
+        let course = s.class_id("Course").unwrap();
+
+        // Satisfied through the second literal only.
+        let mut i = Interpretation::new(&s, 2);
+        i.add_to_class(course, 1);
+        i.add_tuple(enrollment, vec![0, 1]);
+        assert_eq!(i.check(&s), Ok(()));
+
+        // Neither literal satisfied.
+        let mut j = Interpretation::new(&s, 2);
+        j.add_tuple(enrollment, vec![0, 1]);
+        assert!(matches!(j.check(&s), Err(Violation::RoleClauseViolated { .. })));
+    }
+
+    #[test]
+    fn violation_messages() {
+        assert!(Violation::EmptyUniverse.to_string().contains("empty"));
+        let v = Violation::AttrCardViolated {
+            class: ClassId::from_index(0),
+            obj: 3,
+            att: AttRef::Direct(AttrId::from_index(0)),
+            count: 5,
+            card: Card::new(0, 2),
+        };
+        assert!(v.to_string().contains('5'));
+    }
+}

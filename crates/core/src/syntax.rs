@@ -1,0 +1,1041 @@
+//! Abstract syntax of CAR schemas (§2.2 of the paper).
+//!
+//! A schema is a collection of class and relation definitions over an
+//! alphabet of class, attribute, relation and role symbols. Class
+//! definitions constrain their instances through three kinds of
+//! properties — `isa` over a [`ClassFormula`], typed and
+//! cardinality-bounded [`AttrSpec`]s (possibly on *inverse* attributes),
+//! and [`Participation`] bounds in relation roles. Relation definitions
+//! fix a role set and constrain tuples through [`RoleClause`]s.
+
+use crate::bitset::BitSet;
+use crate::ids::{AttrId, ClassId, RelId, RoleId, SymbolTable};
+use std::fmt;
+
+/// A cardinality bound `(min, max)`; `max = None` encodes `∞`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Card {
+    /// Lower bound (`u` / `x` in the paper), a nonnegative integer.
+    pub min: u64,
+    /// Upper bound (`v` / `y`), a nonnegative integer or `∞` (`None`).
+    pub max: Option<u64>,
+}
+
+impl Card {
+    /// The bound `(min, max)`.
+    #[must_use]
+    pub fn new(min: u64, max: u64) -> Card {
+        Card { min, max: Some(max) }
+    }
+
+    /// The bound `(min, ∞)`.
+    #[must_use]
+    pub fn at_least(min: u64) -> Card {
+        Card { min, max: None }
+    }
+
+    /// The bound `(n, n)` (exactly `n`).
+    #[must_use]
+    pub fn exactly(n: u64) -> Card {
+        Card::new(n, n)
+    }
+
+    /// The unconstrained bound `(0, ∞)`.
+    #[must_use]
+    pub fn any() -> Card {
+        Card::at_least(0)
+    }
+
+    /// `true` iff `min <= max` (with `∞` larger than everything).
+    #[must_use]
+    pub fn is_valid(&self) -> bool {
+        self.max.is_none_or(|max| self.min <= max)
+    }
+
+    /// `true` iff `count` lies within the bound.
+    #[must_use]
+    pub fn contains(&self, count: u64) -> bool {
+        count >= self.min && self.max.is_none_or(|max| count <= max)
+    }
+
+    /// Pointwise refinement of two bounds on the same connection: the
+    /// larger minimum and the smaller maximum (`umax`/`vmin` of §3.1).
+    #[must_use]
+    pub fn merge(&self, other: &Card) -> Card {
+        let max = match (self.max, other.max) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (Some(a), None) | (None, Some(a)) => Some(a),
+            (None, None) => None,
+        };
+        Card { min: self.min.max(other.min), max }
+    }
+}
+
+impl fmt::Display for Card {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.max {
+            Some(max) => write!(f, "({}, {})", self.min, max),
+            None => write!(f, "({}, *)", self.min),
+        }
+    }
+}
+
+/// A class-literal: a class symbol or its complement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ClassLiteral {
+    /// The class symbol.
+    pub class: ClassId,
+    /// `true` for `C`, `false` for `¬C`.
+    pub positive: bool,
+}
+
+impl ClassLiteral {
+    /// The positive literal `C`.
+    #[must_use]
+    pub fn pos(class: ClassId) -> ClassLiteral {
+        ClassLiteral { class, positive: true }
+    }
+
+    /// The negative literal `¬C`.
+    #[must_use]
+    pub fn neg(class: ClassId) -> ClassLiteral {
+        ClassLiteral { class, positive: false }
+    }
+}
+
+/// A class-clause `L₁ ∨ … ∨ Lₘ`.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ClassClause {
+    /// The disjuncts.
+    pub literals: Vec<ClassLiteral>,
+}
+
+impl ClassClause {
+    /// Builds a clause from literals.
+    #[must_use]
+    pub fn new(literals: Vec<ClassLiteral>) -> ClassClause {
+        ClassClause { literals }
+    }
+}
+
+/// A class-formula `γ₁ ∧ … ∧ γₙ` in conjunctive normal form.
+///
+/// The empty formula is `⊤` (no constraint). Class-formulae appear as isa
+/// bounds, attribute types, and role-literal types.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ClassFormula {
+    /// The conjuncts.
+    pub clauses: Vec<ClassClause>,
+}
+
+impl ClassFormula {
+    /// The always-true formula `⊤`.
+    #[must_use]
+    pub fn top() -> ClassFormula {
+        ClassFormula::default()
+    }
+
+    /// The formula consisting of the single positive literal `C`.
+    #[must_use]
+    pub fn class(class: ClassId) -> ClassFormula {
+        ClassFormula { clauses: vec![ClassClause::new(vec![ClassLiteral::pos(class)])] }
+    }
+
+    /// The formula consisting of the single negative literal `¬C`.
+    #[must_use]
+    pub fn neg_class(class: ClassId) -> ClassFormula {
+        ClassFormula { clauses: vec![ClassClause::new(vec![ClassLiteral::neg(class)])] }
+    }
+
+    /// Conjunction of two formulae (concatenation of clause lists).
+    #[must_use]
+    pub fn and(mut self, other: ClassFormula) -> ClassFormula {
+        self.clauses.extend(other.clauses);
+        self
+    }
+
+    /// The single-clause formula `C₁ ∨ … ∨ Cₙ` over positive literals.
+    #[must_use]
+    pub fn union_of<I: IntoIterator<Item = ClassId>>(classes: I) -> ClassFormula {
+        ClassFormula {
+            clauses: vec![ClassClause::new(
+                classes.into_iter().map(ClassLiteral::pos).collect(),
+            )],
+        }
+    }
+
+    /// Adds one clause.
+    pub fn push_clause(&mut self, clause: ClassClause) {
+        self.clauses.push(clause);
+    }
+
+    /// `true` iff the formula has no clauses (is `⊤`).
+    #[must_use]
+    pub fn is_top(&self) -> bool {
+        self.clauses.is_empty()
+    }
+
+    /// Evaluates the formula under the truth assignment induced by a
+    /// compound class (the `Φ_C̄` of §3.1): a class is true iff it is a
+    /// member of the set.
+    #[must_use]
+    pub fn realized_by(&self, compound: &BitSet) -> bool {
+        self.clauses.iter().all(|clause| {
+            clause
+                .literals
+                .iter()
+                .any(|l| l.positive == compound.contains(l.class.index()))
+        })
+    }
+
+    /// Iterates over every literal of the formula.
+    pub fn literals(&self) -> impl Iterator<Item = ClassLiteral> + '_ {
+        self.clauses.iter().flat_map(|c| c.literals.iter().copied())
+    }
+
+    /// `true` iff every clause consists of a single literal (the formula
+    /// is a pure conjunction — "union-free" in the sense of §4.1).
+    #[must_use]
+    pub fn is_union_free(&self) -> bool {
+        self.clauses.iter().all(|c| c.literals.len() == 1)
+    }
+
+    /// `true` iff no literal is negative ("negation-free", §4.1).
+    #[must_use]
+    pub fn is_negation_free(&self) -> bool {
+        self.literals().all(|l| l.positive)
+    }
+}
+
+/// Reference to an attribute or to the inverse of an attribute (`inv A`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum AttRef {
+    /// The function represented by the attribute itself.
+    Direct(AttrId),
+    /// The inverse of the function represented by the attribute.
+    Inverse(AttrId),
+}
+
+impl AttRef {
+    /// The underlying attribute symbol.
+    #[must_use]
+    pub fn attr(self) -> AttrId {
+        match self {
+            AttRef::Direct(a) | AttRef::Inverse(a) => a,
+        }
+    }
+
+    /// `true` for `inv A`.
+    #[must_use]
+    pub fn is_inverse(self) -> bool {
+        matches!(self, AttRef::Inverse(_))
+    }
+
+    /// The opposite direction over the same attribute.
+    #[must_use]
+    pub fn flipped(self) -> AttRef {
+        match self {
+            AttRef::Direct(a) => AttRef::Inverse(a),
+            AttRef::Inverse(a) => AttRef::Direct(a),
+        }
+    }
+}
+
+/// One attribute specification `att : (u, v) F` in a class definition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AttrSpec {
+    /// The attribute or inverse attribute being constrained.
+    pub att: AttRef,
+    /// The cardinality bound on the number of fillers per instance.
+    pub card: Card,
+    /// The type of the fillers.
+    pub ty: ClassFormula,
+}
+
+/// One relation-participation specification `R[U] : (x, y)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Participation {
+    /// The relation.
+    pub rel: RelId,
+    /// The role through which instances participate.
+    pub role: RoleId,
+    /// Bounds on the number of tuples per instance.
+    pub card: Card,
+}
+
+/// A class definition (the `class C isa … attributes … participates_in …
+/// endclass` block of §2.2).
+#[derive(Debug, Clone, Default)]
+pub struct ClassDef {
+    /// The isa part: a class-formula every instance must belong to.
+    pub isa: ClassFormula,
+    /// The attributes part.
+    pub attrs: Vec<AttrSpec>,
+    /// The participates-in part.
+    pub participations: Vec<Participation>,
+}
+
+/// A role-literal `(U : F)` inside a relation constraint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RoleLiteral {
+    /// The role.
+    pub role: RoleId,
+    /// The class-formula the role filler must satisfy.
+    pub formula: ClassFormula,
+}
+
+/// A role-clause `(U₁ : F₁) ∨ … ∨ (Uₛ : Fₛ)` with pairwise-distinct roles.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct RoleClause {
+    /// The disjuncts.
+    pub literals: Vec<RoleLiteral>,
+}
+
+impl RoleClause {
+    /// Builds a clause from role literals.
+    #[must_use]
+    pub fn new(literals: Vec<RoleLiteral>) -> RoleClause {
+        RoleClause { literals }
+    }
+
+    /// `true` iff the clause has exactly one literal.
+    #[must_use]
+    pub fn is_unit(&self) -> bool {
+        self.literals.len() == 1
+    }
+}
+
+/// A relation definition (the `relation R(U₁, …, U_K) constraints …
+/// endrelation` block of §2.2).
+#[derive(Debug, Clone, Default)]
+pub struct RelDef {
+    /// The roles of the relation, in declaration order; `rol(R)`.
+    pub roles: Vec<RoleId>,
+    /// The role-clauses every tuple must satisfy.
+    pub constraints: Vec<RoleClause>,
+}
+
+impl RelDef {
+    /// The arity `K` of the relation.
+    #[must_use]
+    pub fn arity(&self) -> usize {
+        self.roles.len()
+    }
+
+    /// Position of a role within the tuple, if it belongs to the relation.
+    #[must_use]
+    pub fn role_position(&self, role: RoleId) -> Option<usize> {
+        self.roles.iter().position(|&r| r == role)
+    }
+}
+
+/// A complete CAR schema: interned symbols plus one definition per class
+/// (classes mentioned but never defined get the empty definition) and one
+/// definition per relation.
+#[derive(Debug, Clone)]
+pub struct Schema {
+    symbols: SymbolTable,
+    class_defs: Vec<ClassDef>,
+    rel_defs: Vec<RelDef>,
+}
+
+impl Schema {
+    /// The symbol table of the schema.
+    #[must_use]
+    pub fn symbols(&self) -> &SymbolTable {
+        &self.symbols
+    }
+
+    /// Number of class symbols.
+    #[must_use]
+    pub fn num_classes(&self) -> usize {
+        self.symbols.num_classes()
+    }
+
+    /// Number of attribute symbols.
+    #[must_use]
+    pub fn num_attrs(&self) -> usize {
+        self.symbols.num_attrs()
+    }
+
+    /// Number of relation symbols.
+    #[must_use]
+    pub fn num_rels(&self) -> usize {
+        self.symbols.num_rels()
+    }
+
+    /// Looks up a class by name.
+    #[must_use]
+    pub fn class_id(&self, name: &str) -> Option<ClassId> {
+        self.symbols.class_id(name)
+    }
+
+    /// Looks up an attribute by name.
+    #[must_use]
+    pub fn attr_id(&self, name: &str) -> Option<AttrId> {
+        self.symbols.attr_id(name)
+    }
+
+    /// Looks up a relation by name.
+    #[must_use]
+    pub fn rel_id(&self, name: &str) -> Option<RelId> {
+        self.symbols.rel_id(name)
+    }
+
+    /// The definition of a class (empty if the class was only mentioned).
+    #[must_use]
+    pub fn class_def(&self, class: ClassId) -> &ClassDef {
+        &self.class_defs[class.index()]
+    }
+
+    /// The definition of a relation.
+    #[must_use]
+    pub fn rel_def(&self, rel: RelId) -> &RelDef {
+        &self.rel_defs[rel.index()]
+    }
+
+    /// Iterates over `(id, definition)` for all classes.
+    pub fn classes(&self) -> impl Iterator<Item = (ClassId, &ClassDef)> {
+        self.class_defs
+            .iter()
+            .enumerate()
+            .map(|(i, d)| (ClassId::from_index(i), d))
+    }
+
+    /// Iterates over `(id, definition)` for all relations.
+    pub fn relations(&self) -> impl Iterator<Item = (RelId, &RelDef)> {
+        self.rel_defs
+            .iter()
+            .enumerate()
+            .map(|(i, d)| (RelId::from_index(i), d))
+    }
+
+    /// The attribute specification for `att` in the definition of
+    /// `class`, if present (§2.2 guarantees at most one).
+    #[must_use]
+    pub fn attr_spec(&self, class: ClassId, att: AttRef) -> Option<&AttrSpec> {
+        self.class_def(class).attrs.iter().find(|s| s.att == att)
+    }
+
+    /// `true` iff every class-clause and role-clause in the schema has a
+    /// single literal (union-free, §4.1).
+    #[must_use]
+    pub fn is_union_free(&self) -> bool {
+        self.class_defs.iter().all(|d| {
+            d.isa.is_union_free() && d.attrs.iter().all(|a| a.ty.is_union_free())
+        }) && self.rel_defs.iter().all(|d| {
+            d.constraints
+                .iter()
+                .all(|c| c.is_unit() && c.literals.iter().all(|l| l.formula.is_union_free()))
+        })
+    }
+
+    /// `true` iff no `¬` appears in any class-formula (negation-free,
+    /// §4.1).
+    #[must_use]
+    pub fn is_negation_free(&self) -> bool {
+        self.class_defs.iter().all(|d| {
+            d.isa.is_negation_free() && d.attrs.iter().all(|a| a.ty.is_negation_free())
+        }) && self.rel_defs.iter().all(|d| {
+            d.constraints
+                .iter()
+                .all(|c| c.literals.iter().all(|l| l.formula.is_negation_free()))
+        })
+    }
+
+    /// Pretty name of a class.
+    #[must_use]
+    pub fn class_name(&self, class: ClassId) -> &str {
+        self.symbols.class_name(class)
+    }
+}
+
+/// Errors detected while assembling a schema.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SchemaError {
+    /// A cardinality bound has `min > max`.
+    InvalidCard {
+        /// The offending bound.
+        card: Card,
+        /// Human-readable location.
+        context: String,
+    },
+    /// The same attribute (or inverse attribute) is specified twice in
+    /// one class definition — §2.2 requires at most one occurrence.
+    DuplicateAttrSpec {
+        /// The class whose definition is malformed.
+        class: String,
+        /// The attribute name.
+        attr: String,
+    },
+    /// The same class is defined twice.
+    DuplicateClassDef {
+        /// The class name.
+        class: String,
+    },
+    /// The same relation is defined twice.
+    DuplicateRelDef {
+        /// The relation name.
+        rel: String,
+    },
+    /// A relation declares the same role twice.
+    DuplicateRole {
+        /// The relation name.
+        rel: String,
+        /// The repeated role name.
+        role: String,
+    },
+    /// A role-clause mentions a role not declared by the relation, or a
+    /// participation references a role the relation does not have.
+    UnknownRole {
+        /// The relation name.
+        rel: String,
+        /// The offending role name.
+        role: String,
+    },
+    /// A role-clause repeats a role (§2.2 assumes pairwise-distinct
+    /// roles within a clause).
+    RepeatedRoleInClause {
+        /// The relation name.
+        rel: String,
+        /// The repeated role name.
+        role: String,
+    },
+    /// A participation references a relation that was never defined.
+    UndefinedRelation {
+        /// The relation name.
+        rel: String,
+    },
+    /// A relation has arity zero or one. CAR relations represent
+    /// relationships *between* classes; tuples are sets, so a unary
+    /// relation can never give an object more than one tuple and the
+    /// aggregate system of Theorem 3.3 would be incomplete for it.
+    BadArity {
+        /// The relation name.
+        rel: String,
+        /// The declared arity.
+        arity: usize,
+    },
+}
+
+impl fmt::Display for SchemaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchemaError::InvalidCard { card, context } => {
+                write!(f, "invalid cardinality {card} in {context}")
+            }
+            SchemaError::DuplicateAttrSpec { class, attr } => {
+                write!(f, "attribute '{attr}' specified twice in class '{class}'")
+            }
+            SchemaError::DuplicateClassDef { class } => {
+                write!(f, "class '{class}' defined twice")
+            }
+            SchemaError::DuplicateRelDef { rel } => {
+                write!(f, "relation '{rel}' defined twice")
+            }
+            SchemaError::DuplicateRole { rel, role } => {
+                write!(f, "relation '{rel}' declares role '{role}' twice")
+            }
+            SchemaError::UnknownRole { rel, role } => {
+                write!(f, "role '{role}' does not belong to relation '{rel}'")
+            }
+            SchemaError::RepeatedRoleInClause { rel, role } => {
+                write!(f, "role '{role}' repeated within a clause of relation '{rel}'")
+            }
+            SchemaError::UndefinedRelation { rel } => {
+                write!(f, "relation '{rel}' referenced but never defined")
+            }
+            SchemaError::BadArity { rel, arity } => {
+                write!(f, "relation '{rel}' has arity {arity}; CAR requires arity >= 2")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SchemaError {}
+
+/// Incremental schema construction with validation.
+///
+/// ```
+/// use car_core::syntax::{SchemaBuilder, ClassFormula, Card, AttRef};
+///
+/// let mut b = SchemaBuilder::new();
+/// let person = b.class("Person");
+/// let professor = b.class("Professor");
+/// let teaches = b.attribute("teaches");
+/// b.define_class(professor)
+///     .isa(ClassFormula::class(person))
+///     .attr(AttRef::Direct(teaches), Card::new(1, 2), ClassFormula::top())
+///     .finish();
+/// let schema = b.build().unwrap();
+/// assert_eq!(schema.num_classes(), 2);
+/// ```
+#[derive(Debug, Default)]
+pub struct SchemaBuilder {
+    symbols: SymbolTable,
+    class_defs: Vec<Option<ClassDef>>,
+    rel_defs: Vec<Option<RelDef>>,
+    errors: Vec<SchemaError>,
+}
+
+impl SchemaBuilder {
+    /// An empty builder.
+    #[must_use]
+    pub fn new() -> SchemaBuilder {
+        SchemaBuilder::default()
+    }
+
+    /// Interns a class symbol.
+    pub fn class(&mut self, name: &str) -> ClassId {
+        let id = self.symbols.class(name);
+        if id.index() >= self.class_defs.len() {
+            self.class_defs.resize(id.index() + 1, None);
+        }
+        id
+    }
+
+    /// Interns an attribute symbol.
+    pub fn attribute(&mut self, name: &str) -> AttrId {
+        self.symbols.attribute(name)
+    }
+
+    /// Interns a role symbol.
+    pub fn role(&mut self, name: &str) -> RoleId {
+        self.symbols.role(name)
+    }
+
+    /// Interns a relation symbol *without* defining it — for forward
+    /// references (e.g. a participation parsed before the relation's
+    /// definition). A relation that is referenced but never defined via
+    /// [`Self::relation`] fails validation with
+    /// [`SchemaError::UndefinedRelation`].
+    pub fn relation_ref(&mut self, name: &str) -> RelId {
+        let id = self.symbols.relation(name);
+        if id.index() >= self.rel_defs.len() {
+            self.rel_defs.resize(id.index() + 1, None);
+        }
+        id
+    }
+
+    /// Declares a relation with its roles (`relation R(U₁, …, U_K)`).
+    pub fn relation<'a, I>(&mut self, name: &str, roles: I) -> RelId
+    where
+        I: IntoIterator<Item = &'a str>,
+    {
+        let id = self.symbols.relation(name);
+        if id.index() >= self.rel_defs.len() {
+            self.rel_defs.resize(id.index() + 1, None);
+        }
+        let role_ids: Vec<RoleId> = roles.into_iter().map(|r| self.symbols.role(r)).collect();
+        if self.rel_defs[id.index()].is_some() {
+            self.errors.push(SchemaError::DuplicateRelDef { rel: name.to_owned() });
+            return id;
+        }
+        let mut seen = Vec::new();
+        for &r in &role_ids {
+            if seen.contains(&r) {
+                self.errors.push(SchemaError::DuplicateRole {
+                    rel: name.to_owned(),
+                    role: self.symbols.role_name(r).to_owned(),
+                });
+            }
+            seen.push(r);
+        }
+        if role_ids.len() < 2 {
+            self.errors.push(SchemaError::BadArity {
+                rel: name.to_owned(),
+                arity: role_ids.len(),
+            });
+        }
+        self.rel_defs[id.index()] = Some(RelDef { roles: role_ids, constraints: Vec::new() });
+        id
+    }
+
+    /// Adds a role-clause to a relation's constraints part.
+    pub fn relation_constraint(&mut self, rel: RelId, clause: RoleClause) {
+        let rel_name = self.symbols.rel_name(rel).to_owned();
+        let Some(def) = self.rel_defs.get_mut(rel.index()).and_then(Option::as_mut) else {
+            self.errors.push(SchemaError::UndefinedRelation { rel: rel_name });
+            return;
+        };
+        let roles = def.roles.clone();
+        let mut seen = Vec::new();
+        for lit in &clause.literals {
+            if !roles.contains(&lit.role) {
+                self.errors.push(SchemaError::UnknownRole {
+                    rel: rel_name.clone(),
+                    role: self.symbols.role_name(lit.role).to_owned(),
+                });
+            }
+            if seen.contains(&lit.role) {
+                self.errors.push(SchemaError::RepeatedRoleInClause {
+                    rel: rel_name.clone(),
+                    role: self.symbols.role_name(lit.role).to_owned(),
+                });
+            }
+            seen.push(lit.role);
+        }
+        self.rel_defs[rel.index()]
+            .as_mut()
+            .expect("checked above")
+            .constraints
+            .push(clause);
+    }
+
+    /// Starts the definition of a class; finish with
+    /// [`ClassDefBuilder::finish`].
+    pub fn define_class(&mut self, class: ClassId) -> ClassDefBuilder<'_> {
+        ClassDefBuilder { builder: self, class, def: ClassDef::default() }
+    }
+
+    /// Validates everything and produces the schema.
+    ///
+    /// # Errors
+    /// Returns all accumulated [`SchemaError`]s.
+    pub fn build(mut self) -> Result<Schema, Vec<SchemaError>> {
+        // Classes interned after the last define_class call need slots.
+        self.class_defs.resize(self.symbols.num_classes(), None);
+        self.rel_defs.resize(self.symbols.num_rels(), None);
+
+        // Relations referenced (via relation_ref) but never defined.
+        for (i, def) in self.rel_defs.iter().enumerate() {
+            if def.is_none() {
+                self.errors.push(SchemaError::UndefinedRelation {
+                    rel: self.symbols.rel_name(RelId::from_index(i)).to_owned(),
+                });
+            }
+        }
+
+        if !self.errors.is_empty() {
+            return Err(self.errors);
+        }
+        Ok(Schema {
+            symbols: self.symbols,
+            class_defs: self
+                .class_defs
+                .into_iter()
+                .map(Option::unwrap_or_default)
+                .collect(),
+            rel_defs: self.rel_defs.into_iter().map(Option::unwrap_or_default).collect(),
+        })
+    }
+}
+
+/// Builder for one class definition; created by
+/// [`SchemaBuilder::define_class`].
+pub struct ClassDefBuilder<'b> {
+    builder: &'b mut SchemaBuilder,
+    class: ClassId,
+    def: ClassDef,
+}
+
+impl ClassDefBuilder<'_> {
+    /// Interns a role symbol through the underlying schema builder
+    /// (convenient while a class definition is in progress).
+    pub fn builder_role(&mut self, name: &str) -> RoleId {
+        self.builder.symbols.role(name)
+    }
+
+    /// Adds a conjunct to the isa part.
+    #[must_use]
+    pub fn isa(mut self, formula: ClassFormula) -> Self {
+        self.def.isa = std::mem::take(&mut self.def.isa).and(formula);
+        self
+    }
+
+    /// Adds an attribute specification `att : card ty`.
+    #[must_use]
+    pub fn attr(mut self, att: AttRef, card: Card, ty: ClassFormula) -> Self {
+        let class_name = self.builder.symbols.class_name(self.class).to_owned();
+        if !card.is_valid() {
+            self.builder.errors.push(SchemaError::InvalidCard {
+                card,
+                context: format!("attribute specification of class '{class_name}'"),
+            });
+        }
+        if self.def.attrs.iter().any(|s| s.att == att) {
+            self.builder.errors.push(SchemaError::DuplicateAttrSpec {
+                class: class_name,
+                attr: self.builder.symbols.attr_name(att.attr()).to_owned(),
+            });
+        }
+        self.def.attrs.push(AttrSpec { att, card, ty });
+        self
+    }
+
+    /// Adds a participation specification `R[U] : card`.
+    #[must_use]
+    pub fn participates(mut self, rel: RelId, role: RoleId, card: Card) -> Self {
+        let class_name = self.builder.symbols.class_name(self.class).to_owned();
+        let rel_name = self.builder.symbols.rel_name(rel).to_owned();
+        if !card.is_valid() {
+            self.builder.errors.push(SchemaError::InvalidCard {
+                card,
+                context: format!("participation of class '{class_name}' in '{rel_name}'"),
+            });
+        }
+        match self.builder.rel_defs.get(rel.index()).and_then(Option::as_ref) {
+            None => {
+                self.builder
+                    .errors
+                    .push(SchemaError::UndefinedRelation { rel: rel_name });
+            }
+            Some(def) if def.role_position(role).is_none() => {
+                self.builder.errors.push(SchemaError::UnknownRole {
+                    rel: rel_name,
+                    role: self.builder.symbols.role_name(role).to_owned(),
+                });
+            }
+            Some(_) => {}
+        }
+        self.def.participations.push(Participation { rel, role, card });
+        self
+    }
+
+    /// Completes the class definition.
+    pub fn finish(self) {
+        let slot = &mut self.builder.class_defs[self.class.index()];
+        if slot.is_some() {
+            self.builder.errors.push(SchemaError::DuplicateClassDef {
+                class: self.builder.symbols.class_name(self.class).to_owned(),
+            });
+            return;
+        }
+        *slot = Some(self.def);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn card_validity_and_merge() {
+        assert!(Card::new(1, 3).is_valid());
+        assert!(!Card::new(3, 1).is_valid());
+        assert!(Card::at_least(100).is_valid());
+        assert!(Card::new(2, 2).contains(2));
+        assert!(!Card::new(2, 2).contains(3));
+        assert!(Card::at_least(1).contains(u64::MAX));
+        assert_eq!(
+            Card::new(1, 5).merge(&Card::new(2, 10)),
+            Card::new(2, 5)
+        );
+        assert_eq!(
+            Card::at_least(3).merge(&Card::new(0, 4)),
+            Card::new(3, 4)
+        );
+        assert_eq!(
+            Card::at_least(1).merge(&Card::at_least(2)),
+            Card::at_least(2)
+        );
+        assert_eq!(Card::exactly(1), Card::new(1, 1));
+        assert_eq!(Card::any(), Card::at_least(0));
+        assert_eq!(Card::new(5, 7).to_string(), "(5, 7)");
+        assert_eq!(Card::at_least(2).to_string(), "(2, *)");
+    }
+
+    #[test]
+    fn formula_realization() {
+        let c0 = ClassId::from_index(0);
+        let c1 = ClassId::from_index(1);
+        let c2 = ClassId::from_index(2);
+        // (C0 ∨ ¬C1) ∧ C2
+        let f = ClassFormula {
+            clauses: vec![
+                ClassClause::new(vec![ClassLiteral::pos(c0), ClassLiteral::neg(c1)]),
+                ClassClause::new(vec![ClassLiteral::pos(c2)]),
+            ],
+        };
+        assert!(f.realized_by(&BitSet::from_iter(3, [0, 2])));
+        assert!(f.realized_by(&BitSet::from_iter(3, [2])));
+        assert!(!f.realized_by(&BitSet::from_iter(3, [1, 2])));
+        assert!(!f.realized_by(&BitSet::from_iter(3, [0])));
+        assert!(ClassFormula::top().realized_by(&BitSet::new(3)));
+        assert!(!f.is_union_free());
+        assert!(!f.is_negation_free());
+        assert!(ClassFormula::class(c0).is_union_free());
+        assert!(ClassFormula::class(c0).is_negation_free());
+        assert!(ClassFormula::union_of([c0, c1]).is_negation_free());
+        assert!(!ClassFormula::union_of([c0, c1]).is_union_free());
+    }
+
+    #[test]
+    fn attref_helpers() {
+        let a = AttrId::from_index(4);
+        assert_eq!(AttRef::Direct(a).attr(), a);
+        assert_eq!(AttRef::Inverse(a).attr(), a);
+        assert!(AttRef::Inverse(a).is_inverse());
+        assert!(!AttRef::Direct(a).is_inverse());
+        assert_eq!(AttRef::Direct(a).flipped(), AttRef::Inverse(a));
+        assert_eq!(AttRef::Inverse(a).flipped(), AttRef::Direct(a));
+    }
+
+    fn build_university() -> Schema {
+        let mut b = SchemaBuilder::new();
+        let person = b.class("Person");
+        let professor = b.class("Professor");
+        let student = b.class("Student");
+        let teaches = b.attribute("teaches");
+        let enrollment = b.relation("Enrollment", ["enrolls", "enrolled_in"]);
+        let enrolls = b.role("enrolls");
+        b.define_class(professor)
+            .isa(ClassFormula::class(person))
+            .attr(AttRef::Direct(teaches), Card::new(1, 2), ClassFormula::top())
+            .finish();
+        b.define_class(student)
+            .isa(ClassFormula::class(person).and(ClassFormula::neg_class(professor)))
+            .participates(enrollment, enrolls, Card::new(1, 6))
+            .finish();
+        b.relation_constraint(
+            enrollment,
+            RoleClause::new(vec![RoleLiteral {
+                role: enrolls,
+                formula: ClassFormula::class(student),
+            }]),
+        );
+        b.build().expect("valid schema")
+    }
+
+    #[test]
+    fn builder_constructs_valid_schema() {
+        let s = build_university();
+        assert_eq!(s.num_classes(), 3);
+        assert_eq!(s.num_attrs(), 1);
+        assert_eq!(s.num_rels(), 1);
+        let student = s.class_id("Student").unwrap();
+        let def = s.class_def(student);
+        assert_eq!(def.isa.clauses.len(), 2);
+        assert_eq!(def.participations.len(), 1);
+        let person = s.class_id("Person").unwrap();
+        assert!(s.class_def(person).isa.is_top()); // undefined class
+        let rel = s.rel_id("Enrollment").unwrap();
+        assert_eq!(s.rel_def(rel).arity(), 2);
+        assert_eq!(s.rel_def(rel).constraints.len(), 1);
+        // Every clause is a single literal: union-free — but the literal
+        // ¬Professor makes the schema not negation-free.
+        assert!(s.is_union_free());
+        assert!(!s.is_negation_free());
+        let professor = s.class_id("Professor").unwrap();
+        let spec = s
+            .attr_spec(professor, AttRef::Direct(s.attr_id("teaches").unwrap()))
+            .unwrap();
+        assert_eq!(spec.card, Card::new(1, 2));
+    }
+
+    #[test]
+    fn union_free_negation_free_classification() {
+        let mut b = SchemaBuilder::new();
+        let a = b.class("A");
+        let c = b.class("B");
+        b.define_class(a).isa(ClassFormula::class(c)).finish();
+        let s = b.build().unwrap();
+        assert!(s.is_union_free());
+        assert!(s.is_negation_free());
+    }
+
+    #[test]
+    fn duplicate_attr_spec_is_rejected() {
+        let mut b = SchemaBuilder::new();
+        let a = b.class("A");
+        let att = b.attribute("f");
+        b.define_class(a)
+            .attr(AttRef::Direct(att), Card::any(), ClassFormula::top())
+            .attr(AttRef::Direct(att), Card::any(), ClassFormula::top())
+            .finish();
+        let errs = b.build().unwrap_err();
+        assert!(matches!(errs[0], SchemaError::DuplicateAttrSpec { .. }));
+    }
+
+    #[test]
+    fn direct_and_inverse_of_same_attr_are_distinct_specs() {
+        let mut b = SchemaBuilder::new();
+        let a = b.class("A");
+        let att = b.attribute("f");
+        b.define_class(a)
+            .attr(AttRef::Direct(att), Card::any(), ClassFormula::top())
+            .attr(AttRef::Inverse(att), Card::any(), ClassFormula::top())
+            .finish();
+        assert!(b.build().is_ok());
+    }
+
+    #[test]
+    fn invalid_card_is_rejected() {
+        let mut b = SchemaBuilder::new();
+        let a = b.class("A");
+        let att = b.attribute("f");
+        b.define_class(a)
+            .attr(AttRef::Direct(att), Card::new(3, 1), ClassFormula::top())
+            .finish();
+        let errs = b.build().unwrap_err();
+        assert!(matches!(errs[0], SchemaError::InvalidCard { .. }));
+    }
+
+    #[test]
+    fn duplicate_class_definition_is_rejected() {
+        let mut b = SchemaBuilder::new();
+        let a = b.class("A");
+        b.define_class(a).finish();
+        b.define_class(a).finish();
+        let errs = b.build().unwrap_err();
+        assert!(matches!(errs[0], SchemaError::DuplicateClassDef { .. }));
+    }
+
+    #[test]
+    fn relation_validation() {
+        let mut b = SchemaBuilder::new();
+        b.relation("R", ["u", "u"]);
+        let errs = b.build().unwrap_err();
+        assert!(matches!(errs[0], SchemaError::DuplicateRole { .. }));
+
+        let mut b = SchemaBuilder::new();
+        b.relation("R", ["only"]);
+        let errs = b.build().unwrap_err();
+        assert!(matches!(errs[0], SchemaError::BadArity { arity: 1, .. }));
+
+        let mut b = SchemaBuilder::new();
+        let r = b.relation("R", ["u", "v"]);
+        let w = b.role("w");
+        b.relation_constraint(
+            r,
+            RoleClause::new(vec![RoleLiteral { role: w, formula: ClassFormula::top() }]),
+        );
+        let errs = b.build().unwrap_err();
+        assert!(matches!(errs[0], SchemaError::UnknownRole { .. }));
+    }
+
+    #[test]
+    fn participation_validation() {
+        let mut b = SchemaBuilder::new();
+        let a = b.class("A");
+        let r = b.relation("R", ["u", "v"]);
+        let w = b.role("w");
+        b.define_class(a).participates(r, w, Card::any()).finish();
+        let errs = b.build().unwrap_err();
+        assert!(matches!(errs[0], SchemaError::UnknownRole { .. }));
+    }
+
+    #[test]
+    fn repeated_role_in_clause_is_rejected() {
+        let mut b = SchemaBuilder::new();
+        let r = b.relation("R", ["u", "v"]);
+        let u = b.role("u");
+        b.relation_constraint(
+            r,
+            RoleClause::new(vec![
+                RoleLiteral { role: u, formula: ClassFormula::top() },
+                RoleLiteral { role: u, formula: ClassFormula::top() },
+            ]),
+        );
+        let errs = b.build().unwrap_err();
+        assert!(matches!(errs[0], SchemaError::RepeatedRoleInClause { .. }));
+    }
+
+    #[test]
+    fn error_messages_are_informative() {
+        let e = SchemaError::DuplicateAttrSpec { class: "A".into(), attr: "f".into() };
+        assert!(e.to_string().contains('A') && e.to_string().contains('f'));
+        let e = SchemaError::BadArity { rel: "R".into(), arity: 0 };
+        assert!(e.to_string().contains("arity 0"));
+    }
+}

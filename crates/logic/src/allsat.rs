@@ -1,0 +1,201 @@
+//! Exhaustive model enumeration (AllSAT).
+//!
+//! Enumerates every *total* model of a CNF formula, visiting conflicting
+//! subtrees at most once thanks to unit propagation. Used to enumerate
+//! the consistent compound classes of a CAR schema (the models of
+//! `⋀_C (C → F_C)`) without sweeping all `2^|C|` candidates.
+
+use crate::assignment::Assignment;
+use crate::cnf::{CnfFormula, PropLit};
+
+/// Calls `visit` once per total model of `formula`, in lexicographic
+/// order of the model vector (with `true` explored before `false` on each
+/// variable). Enumeration stops early when `visit` returns `false`.
+pub fn for_each_model<F>(formula: &CnfFormula, mut visit: F)
+where
+    F: FnMut(&[bool]) -> bool,
+{
+    let mut assignment = Assignment::new(formula.num_vars());
+    let mut model = vec![false; formula.num_vars()];
+    enumerate(formula, &mut assignment, &mut model, &mut visit);
+}
+
+/// Counts the total models of `formula` (up to `limit`, to bound work on
+/// adversarial inputs; pass `usize::MAX` for an exact count).
+#[must_use]
+pub fn count_models(formula: &CnfFormula, limit: usize) -> usize {
+    let mut count = 0;
+    for_each_model(formula, |_| {
+        count += 1;
+        count < limit
+    });
+    count
+}
+
+/// Returns `false` iff the visitor aborted enumeration.
+fn enumerate<F>(
+    formula: &CnfFormula,
+    assignment: &mut Assignment,
+    model: &mut Vec<bool>,
+    visit: &mut F,
+) -> bool
+where
+    F: FnMut(&[bool]) -> bool,
+{
+    // Classify clauses under the current partial assignment.
+    let mut unit: Option<PropLit> = None;
+    for clause in formula.clauses() {
+        let mut satisfied = false;
+        let mut unassigned: Option<PropLit> = None;
+        let mut unassigned_count = 0;
+        for &lit in &clause.literals {
+            match assignment.lit_value(lit) {
+                Some(true) => {
+                    satisfied = true;
+                    break;
+                }
+                Some(false) => {}
+                None => {
+                    unassigned = Some(lit);
+                    unassigned_count += 1;
+                }
+            }
+        }
+        if satisfied {
+            continue;
+        }
+        match unassigned_count {
+            0 => return true, // conflict: prune this subtree
+            1 => unit = unit.or(unassigned),
+            _ => {}
+        }
+    }
+
+    if let Some(lit) = unit {
+        // The opposite branch is a conflict, so propagation preserves the
+        // exact model set.
+        assignment.assign(lit.var, lit.positive);
+        let keep_going = enumerate(formula, assignment, model, visit);
+        assignment.unassign(lit.var);
+        return keep_going;
+    }
+
+    match assignment.first_unassigned() {
+        None => {
+            for v in 0..assignment.len() {
+                model[v] = assignment.value(v).expect("assignment is total");
+            }
+            debug_assert!(formula.eval(model));
+            visit(model)
+        }
+        Some(var) => {
+            for value in [true, false] {
+                assignment.assign(var, value);
+                let keep_going = enumerate(formula, assignment, model, visit);
+                assignment.unassign(var);
+                if !keep_going {
+                    return false;
+                }
+            }
+            true
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cnf::PropLit;
+    use proptest::prelude::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn empty_formula_enumerates_all_assignments() {
+        let f = CnfFormula::new(3);
+        assert_eq!(count_models(&f, usize::MAX), 8);
+    }
+
+    #[test]
+    fn zero_vars() {
+        let f = CnfFormula::new(0);
+        assert_eq!(count_models(&f, usize::MAX), 1); // the empty model
+        let mut g = CnfFormula::new(0);
+        g.add_clause([]);
+        assert_eq!(count_models(&g, usize::MAX), 0);
+    }
+
+    #[test]
+    fn exactly_one_constraint() {
+        // (x0 ∨ x1 ∨ x2) ∧ pairwise exclusion: exactly 3 models.
+        let mut f = CnfFormula::new(3);
+        f.add_clause([PropLit::pos(0), PropLit::pos(1), PropLit::pos(2)]);
+        for i in 0..3 {
+            for j in (i + 1)..3 {
+                f.add_clause([PropLit::neg(i), PropLit::neg(j)]);
+            }
+        }
+        let mut models = Vec::new();
+        for_each_model(&f, |m| {
+            models.push(m.to_vec());
+            true
+        });
+        assert_eq!(models.len(), 3);
+        for m in &models {
+            assert_eq!(m.iter().filter(|&&b| b).count(), 1);
+        }
+    }
+
+    #[test]
+    fn early_abort_stops_enumeration() {
+        let f = CnfFormula::new(10);
+        assert_eq!(count_models(&f, 5), 5);
+    }
+
+    #[test]
+    fn unsatisfiable_formula_yields_nothing() {
+        let mut f = CnfFormula::new(1);
+        f.add_clause([PropLit::pos(0)]);
+        f.add_clause([PropLit::neg(0)]);
+        assert_eq!(count_models(&f, usize::MAX), 0);
+    }
+
+    fn arb_cnf() -> impl Strategy<Value = CnfFormula> {
+        let clause = proptest::collection::vec(
+            (-4i32..=4).prop_filter("nonzero", |v| *v != 0),
+            1..4,
+        );
+        proptest::collection::vec(clause, 0..10).prop_map(|clauses| {
+            let mut f = CnfFormula::new(4);
+            for c in clauses {
+                f.add_clause(c.iter().map(|&v| {
+                    if v > 0 {
+                        PropLit::pos((v - 1) as usize)
+                    } else {
+                        PropLit::neg((-v - 1) as usize)
+                    }
+                }));
+            }
+            f
+        })
+    }
+
+    proptest! {
+        #[test]
+        fn prop_enumeration_matches_truth_table(f in arb_cnf()) {
+            let mut visited = Vec::new();
+            for_each_model(&f, |m| {
+                visited.push(m.to_vec());
+                true
+            });
+            let enumerated: BTreeSet<Vec<bool>> = visited.iter().cloned().collect();
+            prop_assert_eq!(enumerated.len(), visited.len(), "duplicate models");
+            // Compare against brute force.
+            let n = f.num_vars();
+            let expected: BTreeSet<Vec<bool>> = (0..1u32 << n)
+                .map(|bits| (0..n).map(|i| bits & (1 << i) != 0).collect::<Vec<bool>>())
+                .filter(|m| f.eval(m))
+                .collect();
+            prop_assert_eq!(enumerated, expected);
+        }
+    }
+}

@@ -1,0 +1,108 @@
+//! Partial truth assignments used by the DPLL search.
+
+use crate::cnf::{PropLit, PropVar};
+
+/// A partial assignment of truth values to variables.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Assignment {
+    values: Vec<Option<bool>>,
+}
+
+impl Assignment {
+    /// An all-unassigned assignment over `num_vars` variables.
+    #[must_use]
+    pub fn new(num_vars: usize) -> Assignment {
+        Assignment { values: vec![None; num_vars] }
+    }
+
+    /// Number of variables covered.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// `true` iff there are no variables at all.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Current value of `var`, if assigned.
+    #[must_use]
+    pub fn value(&self, var: PropVar) -> Option<bool> {
+        self.values[var]
+    }
+
+    /// Assigns `value` to `var` (overwrites any previous value).
+    pub fn assign(&mut self, var: PropVar, value: bool) {
+        self.values[var] = Some(value);
+    }
+
+    /// Clears the value of `var`.
+    pub fn unassign(&mut self, var: PropVar) {
+        self.values[var] = None;
+    }
+
+    /// Status of a literal under the current assignment.
+    #[must_use]
+    pub fn lit_value(&self, lit: PropLit) -> Option<bool> {
+        self.values[lit.var].map(|v| lit.satisfied_by(v))
+    }
+
+    /// `true` iff every variable is assigned.
+    #[must_use]
+    pub fn is_total(&self) -> bool {
+        self.values.iter().all(Option::is_some)
+    }
+
+    /// First unassigned variable, if any.
+    #[must_use]
+    pub fn first_unassigned(&self) -> Option<PropVar> {
+        self.values.iter().position(Option::is_none)
+    }
+
+    /// Extracts a total model; unassigned variables default to `false`
+    /// (harmless completions for enumeration are handled by the caller).
+    #[must_use]
+    pub fn to_model(&self) -> Vec<bool> {
+        self.values.iter().map(|v| v.unwrap_or(false)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assign_and_query() {
+        let mut a = Assignment::new(3);
+        assert_eq!(a.len(), 3);
+        assert!(!a.is_empty());
+        assert!(!a.is_total());
+        assert_eq!(a.first_unassigned(), Some(0));
+        a.assign(0, true);
+        a.assign(2, false);
+        assert_eq!(a.value(0), Some(true));
+        assert_eq!(a.value(1), None);
+        assert_eq!(a.first_unassigned(), Some(1));
+        assert_eq!(a.lit_value(PropLit::pos(0)), Some(true));
+        assert_eq!(a.lit_value(PropLit::neg(0)), Some(false));
+        assert_eq!(a.lit_value(PropLit::pos(1)), None);
+        assert_eq!(a.lit_value(PropLit::neg(2)), Some(true));
+        a.assign(1, true);
+        assert!(a.is_total());
+        assert_eq!(a.to_model(), vec![true, true, false]);
+        a.unassign(1);
+        assert!(!a.is_total());
+        assert_eq!(a.to_model(), vec![true, false, false]);
+    }
+
+    #[test]
+    fn empty_assignment() {
+        let a = Assignment::new(0);
+        assert!(a.is_empty());
+        assert!(a.is_total());
+        assert_eq!(a.first_unassigned(), None);
+        assert_eq!(a.to_model(), Vec::<bool>::new());
+    }
+}

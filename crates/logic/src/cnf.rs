@@ -1,0 +1,222 @@
+//! Propositional variables, literals, clauses and CNF formulas.
+
+use std::fmt;
+
+/// Index of a propositional variable (dense, starting at 0).
+pub type PropVar = usize;
+
+/// A propositional literal: a variable with a polarity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PropLit {
+    /// The underlying variable.
+    pub var: PropVar,
+    /// `true` for the positive literal `x`, `false` for `¬x`.
+    pub positive: bool,
+}
+
+impl PropLit {
+    /// The positive literal of `var`.
+    #[must_use]
+    pub fn pos(var: PropVar) -> PropLit {
+        PropLit { var, positive: true }
+    }
+
+    /// The negative literal of `var`.
+    #[must_use]
+    pub fn neg(var: PropVar) -> PropLit {
+        PropLit { var, positive: false }
+    }
+
+    /// The complementary literal.
+    #[must_use]
+    pub fn negated(self) -> PropLit {
+        PropLit { var: self.var, positive: !self.positive }
+    }
+
+    /// Whether the literal is satisfied by assigning `value` to its
+    /// variable.
+    #[must_use]
+    pub fn satisfied_by(self, value: bool) -> bool {
+        self.positive == value
+    }
+}
+
+impl fmt::Display for PropLit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.positive {
+            write!(f, "x{}", self.var)
+        } else {
+            write!(f, "¬x{}", self.var)
+        }
+    }
+}
+
+/// A disjunction of literals.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Clause {
+    /// The literals of the clause, in insertion order.
+    pub literals: Vec<PropLit>,
+}
+
+impl Clause {
+    /// Builds a clause from literals.
+    #[must_use]
+    pub fn new(literals: Vec<PropLit>) -> Clause {
+        Clause { literals }
+    }
+
+    /// `true` for the empty clause (unsatisfiable).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.literals.is_empty()
+    }
+
+    /// `true` iff the clause contains both a literal and its negation
+    /// (and is therefore valid, i.e. always satisfied).
+    #[must_use]
+    pub fn is_tautology(&self) -> bool {
+        self.literals.iter().any(|l| self.literals.contains(&l.negated()))
+    }
+
+    /// Evaluates the clause under a total assignment.
+    #[must_use]
+    pub fn eval(&self, model: &[bool]) -> bool {
+        self.literals.iter().any(|l| l.satisfied_by(model[l.var]))
+    }
+}
+
+impl fmt::Display for Clause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.literals.is_empty() {
+            return write!(f, "⊥");
+        }
+        for (i, l) in self.literals.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ∨ ")?;
+            }
+            write!(f, "{l}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A CNF formula: a conjunction of clauses over `num_vars` variables.
+#[derive(Debug, Clone, Default)]
+pub struct CnfFormula {
+    num_vars: usize,
+    clauses: Vec<Clause>,
+}
+
+impl CnfFormula {
+    /// An empty (trivially true) formula over `num_vars` variables.
+    #[must_use]
+    pub fn new(num_vars: usize) -> CnfFormula {
+        CnfFormula { num_vars, clauses: Vec::new() }
+    }
+
+    /// Number of variables.
+    #[must_use]
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// The clauses of the formula.
+    #[must_use]
+    pub fn clauses(&self) -> &[Clause] {
+        &self.clauses
+    }
+
+    /// Adds a clause given its literals.
+    ///
+    /// # Panics
+    /// Panics if a literal references a variable `≥ num_vars`.
+    pub fn add_clause<I>(&mut self, literals: I)
+    where
+        I: IntoIterator<Item = PropLit>,
+    {
+        let clause = Clause::new(literals.into_iter().collect());
+        for l in &clause.literals {
+            assert!(l.var < self.num_vars, "literal variable out of range");
+        }
+        self.clauses.push(clause);
+    }
+
+    /// Evaluates the formula under a total assignment.
+    ///
+    /// # Panics
+    /// Panics if `model.len() < num_vars`.
+    #[must_use]
+    pub fn eval(&self, model: &[bool]) -> bool {
+        assert!(model.len() >= self.num_vars);
+        self.clauses.iter().all(|c| c.eval(model))
+    }
+}
+
+impl fmt::Display for CnfFormula {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.clauses.is_empty() {
+            return write!(f, "⊤");
+        }
+        for (i, c) in self.clauses.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ∧ ")?;
+            }
+            write!(f, "({c})")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literal_basics() {
+        let l = PropLit::pos(3);
+        assert_eq!(l.negated(), PropLit::neg(3));
+        assert_eq!(l.negated().negated(), l);
+        assert!(l.satisfied_by(true));
+        assert!(!l.satisfied_by(false));
+        assert!(PropLit::neg(3).satisfied_by(false));
+    }
+
+    #[test]
+    fn clause_eval_and_tautology() {
+        let c = Clause::new(vec![PropLit::pos(0), PropLit::neg(1)]);
+        assert!(c.eval(&[true, true]));
+        assert!(c.eval(&[false, false]));
+        assert!(!c.eval(&[false, true]));
+        assert!(!c.is_tautology());
+        let t = Clause::new(vec![PropLit::pos(0), PropLit::neg(0)]);
+        assert!(t.is_tautology());
+        assert!(Clause::default().is_empty());
+    }
+
+    #[test]
+    fn formula_eval() {
+        let mut f = CnfFormula::new(2);
+        f.add_clause([PropLit::pos(0)]);
+        f.add_clause([PropLit::neg(1)]);
+        assert!(f.eval(&[true, false]));
+        assert!(!f.eval(&[true, true]));
+        assert!(!f.eval(&[false, false]));
+        assert!(CnfFormula::new(0).eval(&[]));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_literal_panics() {
+        let mut f = CnfFormula::new(1);
+        f.add_clause([PropLit::pos(1)]);
+    }
+
+    #[test]
+    fn display() {
+        let mut f = CnfFormula::new(2);
+        f.add_clause([PropLit::pos(0), PropLit::neg(1)]);
+        assert_eq!(f.to_string(), "(x0 ∨ ¬x1)");
+        assert_eq!(CnfFormula::new(3).to_string(), "⊤");
+        assert_eq!(Clause::default().to_string(), "⊥");
+    }
+}

@@ -1,0 +1,263 @@
+//! A DPLL satisfiability solver with unit propagation and pure-literal
+//! elimination.
+//!
+//! Deliberately simple (no clause learning, no watched literals): the CNF
+//! instances arising from CAR schema expansion are small — one variable
+//! per class of a cluster — and the solver's simplicity makes the AllSAT
+//! enumeration built on top of it (in [`crate::allsat`]) easy to trust.
+
+use crate::assignment::Assignment;
+use crate::cnf::{CnfFormula, PropLit};
+
+/// Decides satisfiability; returns a total satisfying model if one exists.
+#[must_use]
+pub fn solve(formula: &CnfFormula) -> Option<Vec<bool>> {
+    let mut assignment = Assignment::new(formula.num_vars());
+    if search(formula, &mut assignment, true) {
+        let model = assignment.to_model();
+        debug_assert!(formula.eval(&model));
+        Some(model)
+    } else {
+        None
+    }
+}
+
+/// Status of the formula under a partial assignment.
+enum Status {
+    /// All clauses satisfied.
+    Satisfied,
+    /// Some clause has all literals false.
+    Conflict,
+    /// Undecided; if a unit clause exists, its forced literal.
+    Open(Option<PropLit>),
+}
+
+fn status(formula: &CnfFormula, assignment: &Assignment) -> Status {
+    let mut all_satisfied = true;
+    let mut unit: Option<PropLit> = None;
+    for clause in formula.clauses() {
+        let mut satisfied = false;
+        let mut unassigned: Option<PropLit> = None;
+        let mut unassigned_count = 0;
+        for &lit in &clause.literals {
+            match assignment.lit_value(lit) {
+                Some(true) => {
+                    satisfied = true;
+                    break;
+                }
+                Some(false) => {}
+                None => {
+                    unassigned = Some(lit);
+                    unassigned_count += 1;
+                }
+            }
+        }
+        if satisfied {
+            continue;
+        }
+        match unassigned_count {
+            0 => return Status::Conflict,
+            1 => unit = unit.or(unassigned),
+            _ => {}
+        }
+        all_satisfied = false;
+    }
+    if all_satisfied {
+        Status::Satisfied
+    } else {
+        Status::Open(unit)
+    }
+}
+
+/// Finds a literal that occurs with only one polarity among the clauses
+/// not yet satisfied (a *pure* literal, safe to assert).
+fn pure_literal(formula: &CnfFormula, assignment: &Assignment) -> Option<PropLit> {
+    let n = assignment.len();
+    let mut pos = vec![false; n];
+    let mut neg = vec![false; n];
+    for clause in formula.clauses() {
+        if clause.literals.iter().any(|&l| assignment.lit_value(l) == Some(true)) {
+            continue;
+        }
+        for &lit in &clause.literals {
+            if assignment.lit_value(lit).is_none() {
+                if lit.positive {
+                    pos[lit.var] = true;
+                } else {
+                    neg[lit.var] = true;
+                }
+            }
+        }
+    }
+    (0..n).find_map(|v| {
+        if assignment.value(v).is_some() {
+            return None;
+        }
+        match (pos[v], neg[v]) {
+            (true, false) => Some(PropLit::pos(v)),
+            (false, true) => Some(PropLit::neg(v)),
+            _ => None,
+        }
+    })
+}
+
+/// Recursive DPLL. When `use_pure` is false the pure-literal rule is
+/// skipped (required for model *enumeration*, where asserting a pure
+/// literal would silently drop models with the opposite polarity).
+pub(crate) fn search(
+    formula: &CnfFormula,
+    assignment: &mut Assignment,
+    use_pure: bool,
+) -> bool {
+    match status(formula, assignment) {
+        Status::Satisfied => return true,
+        Status::Conflict => return false,
+        Status::Open(Some(unit)) => {
+            assignment.assign(unit.var, unit.positive);
+            if search(formula, assignment, use_pure) {
+                return true;
+            }
+            assignment.unassign(unit.var);
+            return false;
+        }
+        Status::Open(None) => {}
+    }
+
+    if use_pure {
+        if let Some(pure) = pure_literal(formula, assignment) {
+            assignment.assign(pure.var, pure.positive);
+            if search(formula, assignment, use_pure) {
+                return true;
+            }
+            assignment.unassign(pure.var);
+            return false;
+        }
+    }
+
+    let var = assignment
+        .first_unassigned()
+        .expect("open status implies an unassigned variable");
+    for value in [true, false] {
+        assignment.assign(var, value);
+        if search(formula, assignment, use_pure) {
+            return true;
+        }
+        assignment.unassign(var);
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn pl(v: i32) -> PropLit {
+        if v >= 0 {
+            PropLit::pos(v as usize)
+        } else {
+            PropLit::neg((-v - 1) as usize)
+        }
+    }
+
+    /// Encodes DIMACS-like literals: 1 = x0, -1 = ¬x0, 2 = x1, ...
+    fn formula(num_vars: usize, clauses: &[&[i32]]) -> CnfFormula {
+        let mut f = CnfFormula::new(num_vars);
+        for c in clauses {
+            f.add_clause(c.iter().map(|&v| {
+                if v > 0 {
+                    PropLit::pos((v - 1) as usize)
+                } else {
+                    PropLit::neg((-v - 1) as usize)
+                }
+            }));
+        }
+        f
+    }
+
+    #[test]
+    fn trivial_cases() {
+        assert!(solve(&CnfFormula::new(0)).is_some());
+        assert!(solve(&CnfFormula::new(3)).is_some());
+        let mut f = CnfFormula::new(1);
+        f.add_clause([]);
+        assert!(solve(&f).is_none());
+    }
+
+    #[test]
+    fn simple_sat_and_unsat() {
+        let f = formula(2, &[&[1, 2], &[-1, 2], &[1, -2]]);
+        let m = solve(&f).expect("satisfiable");
+        assert!(f.eval(&m));
+        let g = formula(2, &[&[1, 2], &[-1, 2], &[1, -2], &[-1, -2]]);
+        assert!(solve(&g).is_none());
+    }
+
+    #[test]
+    fn unit_propagation_chains() {
+        // x0, x0 -> x1, x1 -> x2, x2 -> ¬x3
+        let f = formula(4, &[&[1], &[-1, 2], &[-2, 3], &[-3, -4]]);
+        let m = solve(&f).unwrap();
+        assert_eq!(&m[..4], &[true, true, true, false]);
+    }
+
+    #[test]
+    fn pigeonhole_3_into_2_is_unsat() {
+        // p_{i,j}: pigeon i in hole j, vars 0..6 as i*2+j.
+        let mut f = CnfFormula::new(6);
+        for i in 0..3 {
+            f.add_clause([PropLit::pos(i * 2), PropLit::pos(i * 2 + 1)]);
+        }
+        for j in 0..2 {
+            for i1 in 0..3 {
+                for i2 in (i1 + 1)..3 {
+                    f.add_clause([PropLit::neg(i1 * 2 + j), PropLit::neg(i2 * 2 + j)]);
+                }
+            }
+        }
+        assert!(solve(&f).is_none());
+    }
+
+    #[test]
+    fn pl_helper_sanity() {
+        assert_eq!(pl(0), PropLit::pos(0));
+        assert_eq!(pl(-1), PropLit::neg(0));
+    }
+
+    /// Random 3-CNF instances: DPLL must agree with truth-table search.
+    fn arb_cnf() -> impl Strategy<Value = CnfFormula> {
+        let clause = proptest::collection::vec((-4i32..=4).prop_filter("nonzero", |v| *v != 0), 1..4);
+        proptest::collection::vec(clause, 0..12).prop_map(|clauses| {
+            let mut f = CnfFormula::new(4);
+            for c in clauses {
+                f.add_clause(c.iter().map(|&v| {
+                    if v > 0 {
+                        PropLit::pos((v - 1) as usize)
+                    } else {
+                        PropLit::neg((-v - 1) as usize)
+                    }
+                }));
+            }
+            f
+        })
+    }
+
+    fn truth_table_sat(f: &CnfFormula) -> bool {
+        let n = f.num_vars();
+        (0..1u32 << n).any(|bits| {
+            let model: Vec<bool> = (0..n).map(|i| bits & (1 << i) != 0).collect();
+            f.eval(&model)
+        })
+    }
+
+    proptest! {
+        #[test]
+        fn prop_dpll_matches_truth_table(f in arb_cnf()) {
+            let dpll = solve(&f);
+            prop_assert_eq!(dpll.is_some(), truth_table_sat(&f));
+            if let Some(m) = dpll {
+                prop_assert!(f.eval(&m));
+            }
+        }
+    }
+}

@@ -1,0 +1,239 @@
+//! Unit-propagation closure and sound-but-incomplete entailment.
+//!
+//! Section 4.3 of the paper fills its inclusion and disjointness tables
+//! with deductions over the isa parts of class definitions, noting that
+//! full deduction is NP-complete and that "it may be sufficient to use an
+//! efficient and sound procedure that does not guarantee completeness
+//! [Dal92]". Unit propagation is exactly such a procedure: everything it
+//! derives is entailed, it runs in time linear in the formula per derived
+//! literal, and it misses some entailments — which the surrounding
+//! algorithm tolerates by construction.
+
+use crate::cnf::{CnfFormula, PropLit, PropVar};
+
+/// Result of propagating a set of assumption literals.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Propagation {
+    /// Propagation closed without conflict; the fixed literals are
+    /// recorded per variable (`None` = untouched).
+    Closed(Vec<Option<bool>>),
+    /// The assumptions unit-propagate to a contradiction.
+    Conflict,
+}
+
+/// Computes the unit-propagation closure of `formula` under `assumptions`.
+///
+/// # Panics
+/// Panics if an assumption references a variable out of range.
+#[must_use]
+pub fn propagate_units(formula: &CnfFormula, assumptions: &[PropLit]) -> Propagation {
+    let n = formula.num_vars();
+    let mut values: Vec<Option<bool>> = vec![None; n];
+    let mut queue: Vec<PropLit> = Vec::new();
+
+    for &lit in assumptions {
+        assert!(lit.var < n, "assumption variable out of range");
+        match values[lit.var] {
+            Some(v) if v != lit.positive => return Propagation::Conflict,
+            Some(_) => {}
+            None => {
+                values[lit.var] = Some(lit.positive);
+                queue.push(lit);
+            }
+        }
+    }
+
+    // Saturate: scan clauses for new units until a fixpoint. The formulas
+    // involved are small, so the quadratic scan is simpler and fast
+    // enough; a watched-literal scheme would obscure the logic.
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for clause in formula.clauses() {
+            let mut satisfied = false;
+            let mut unassigned: Option<PropLit> = None;
+            let mut unassigned_count = 0;
+            for &lit in &clause.literals {
+                match values[lit.var] {
+                    Some(v) if lit.satisfied_by(v) => {
+                        satisfied = true;
+                        break;
+                    }
+                    Some(_) => {}
+                    None => {
+                        unassigned = Some(lit);
+                        unassigned_count += 1;
+                    }
+                }
+            }
+            if satisfied {
+                continue;
+            }
+            match unassigned_count {
+                0 => return Propagation::Conflict,
+                1 => {
+                    let lit = unassigned.expect("counted one unassigned literal");
+                    values[lit.var] = Some(lit.positive);
+                    changed = true;
+                }
+                _ => {}
+            }
+        }
+    }
+    Propagation::Closed(values)
+}
+
+/// Sound, incomplete entailment: `true` means `formula ∧ assumptions ⊨ goal`
+/// is *certain* (refutation closes under unit propagation alone); `false`
+/// means "not derived" — the entailment may still hold.
+#[must_use]
+pub fn up_entails(formula: &CnfFormula, assumptions: &[PropLit], goal: PropLit) -> bool {
+    let mut with_negated_goal = assumptions.to_vec();
+    with_negated_goal.push(goal.negated());
+    matches!(propagate_units(formula, &with_negated_goal), Propagation::Conflict)
+}
+
+/// Convenience wrapper: does the formula alone force `var` to a value,
+/// as far as unit propagation can tell under the given assumptions?
+#[must_use]
+pub fn up_forced_value(
+    formula: &CnfFormula,
+    assumptions: &[PropLit],
+    var: PropVar,
+) -> Option<bool> {
+    match propagate_units(formula, assumptions) {
+        Propagation::Conflict => None,
+        Propagation::Closed(values) => values[var],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dpll::solve;
+    use proptest::prelude::*;
+
+    fn formula(num_vars: usize, clauses: &[&[i32]]) -> CnfFormula {
+        let mut f = CnfFormula::new(num_vars);
+        for c in clauses {
+            f.add_clause(c.iter().map(|&v| {
+                if v > 0 {
+                    PropLit::pos((v - 1) as usize)
+                } else {
+                    PropLit::neg((-v - 1) as usize)
+                }
+            }));
+        }
+        f
+    }
+
+    #[test]
+    fn propagation_closure() {
+        // x0 -> x1, x1 -> x2
+        let f = formula(3, &[&[-1, 2], &[-2, 3]]);
+        match propagate_units(&f, &[PropLit::pos(0)]) {
+            Propagation::Closed(values) => {
+                assert_eq!(values, vec![Some(true), Some(true), Some(true)]);
+            }
+            Propagation::Conflict => panic!("no conflict expected"),
+        }
+    }
+
+    #[test]
+    fn conflict_detection() {
+        let f = formula(2, &[&[-1, 2], &[-1, -2]]);
+        assert_eq!(propagate_units(&f, &[PropLit::pos(0)]), Propagation::Conflict);
+        // Contradictory assumptions conflict immediately.
+        let g = CnfFormula::new(1);
+        assert_eq!(
+            propagate_units(&g, &[PropLit::pos(0), PropLit::neg(0)]),
+            Propagation::Conflict
+        );
+    }
+
+    #[test]
+    fn entailment_finds_chains() {
+        let f = formula(4, &[&[-1, 2], &[-2, 3], &[-3, 4]]);
+        assert!(up_entails(&f, &[PropLit::pos(0)], PropLit::pos(3)));
+        assert!(!up_entails(&f, &[PropLit::pos(3)], PropLit::pos(0)));
+    }
+
+    #[test]
+    fn entailment_is_incomplete_but_sound() {
+        // (x0 ∨ x1 ∨ x2) ∧ (x0 ∨ ¬x1 ∨ x2) ∧ (x0 ∨ x1 ∨ ¬x2) ∧
+        // (x0 ∨ ¬x1 ∨ ¬x2) entails x0, but after assuming ¬x0 the
+        // remaining clauses all have width two: unit propagation is stuck
+        // and the entailment is missed (it needs a case split on x1).
+        let f = formula(3, &[&[1, 2, 3], &[1, -2, 3], &[1, 2, -3], &[1, -2, -3]]);
+        assert!(!up_entails(&f, &[], PropLit::pos(0)));
+        {
+            // ...but it *is* a real entailment, as DPLL confirms.
+            let mut refutation = f.clone();
+            refutation.add_clause([PropLit::neg(0)]);
+            assert!(solve(&refutation).is_none());
+        }
+        // ...whereas a directly forced literal is found:
+        let g = formula(1, &[&[1]]);
+        assert!(up_entails(&g, &[], PropLit::pos(0)));
+    }
+
+    #[test]
+    fn forced_value() {
+        let f = formula(2, &[&[1], &[-1, -2]]);
+        assert_eq!(up_forced_value(&f, &[], 0), Some(true));
+        assert_eq!(up_forced_value(&f, &[], 1), Some(false));
+        let g = CnfFormula::new(1);
+        assert_eq!(up_forced_value(&g, &[], 0), None);
+    }
+
+    fn arb_cnf() -> impl Strategy<Value = CnfFormula> {
+        let clause = proptest::collection::vec(
+            (-4i32..=4).prop_filter("nonzero", |v| *v != 0),
+            1..4,
+        );
+        proptest::collection::vec(clause, 0..10).prop_map(|clauses| {
+            let mut f = CnfFormula::new(4);
+            for c in clauses {
+                f.add_clause(c.iter().map(|&v| {
+                    if v > 0 {
+                        PropLit::pos((v - 1) as usize)
+                    } else {
+                        PropLit::neg((-v - 1) as usize)
+                    }
+                }));
+            }
+            f
+        })
+    }
+
+    proptest! {
+        /// Soundness: whenever unit propagation claims entailment, full
+        /// DPLL on the refutation must agree it is unsatisfiable.
+        #[test]
+        fn prop_up_entailment_is_sound(f in arb_cnf(), goal_var in 0usize..4) {
+            let goal = PropLit::pos(goal_var);
+            if up_entails(&f, &[], goal) {
+                let mut refutation = f.clone();
+                refutation.add_clause([goal.negated()]);
+                prop_assert!(solve(&refutation).is_none());
+            }
+        }
+
+        /// Propagation never fixes a variable to a value that contradicts
+        /// some model of the formula extended with the fixed literals.
+        #[test]
+        fn prop_closure_is_consistent(f in arb_cnf()) {
+            if let Propagation::Closed(values) = propagate_units(&f, &[]) {
+                if solve(&f).is_some() {
+                    let mut extended = f.clone();
+                    for (v, val) in values.iter().enumerate() {
+                        if let Some(b) = val {
+                            extended.add_clause([PropLit { var: v, positive: *b }]);
+                        }
+                    }
+                    prop_assert!(solve(&extended).is_some());
+                }
+            }
+        }
+    }
+}

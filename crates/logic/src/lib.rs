@@ -1,0 +1,44 @@
+//! # car-logic — propositional reasoning for schema expansion
+//!
+//! CNF formulas, a DPLL SAT solver with unit propagation and pure-literal
+//! elimination, exhaustive model enumeration (AllSAT), and a
+//! unit-propagation-only entailment test.
+//!
+//! ## Role in the CAR reproduction
+//!
+//! Section 3.1 of the paper defines the *consistent compound classes* of a
+//! schema `S`: subsets `C̄` of the class alphabet such that every class
+//! `C ∈ C̄` has its isa-formula `F_C` realized by the truth assignment
+//! induced by `C̄`. Those are exactly the models of the propositional
+//! formula `⋀_C (C → F_C)`, so:
+//!
+//! * [`for_each_model`] enumerates consistent compound classes without ever
+//!   visiting the inconsistent ones (the naive `2^|C|` sweep of §4.2 is kept
+//!   in `car-baseline` as the paper's comparison point);
+//! * [`up_entails`] is the "efficient and sound procedure that does not
+//!   guarantee completeness" ([Dal92]) used by the §4.3 preselection step to
+//!   fill the inclusion and disjointness tables.
+//!
+//! ```
+//! use car_logic::{CnfFormula, PropLit, solve, for_each_model};
+//!
+//! let mut f = CnfFormula::new(2);
+//! f.add_clause([PropLit::pos(0), PropLit::pos(1)]); // x0 ∨ x1
+//! f.add_clause([PropLit::neg(0), PropLit::neg(1)]); // ¬x0 ∨ ¬x1
+//! assert!(solve(&f).is_some());
+//! let mut count = 0;
+//! for_each_model(&f, |_model| { count += 1; true });
+//! assert_eq!(count, 2); // exactly {x0}, {x1}
+//! ```
+
+mod allsat;
+mod assignment;
+mod cnf;
+mod dpll;
+mod entail;
+
+pub use allsat::{count_models, for_each_model};
+pub use assignment::Assignment;
+pub use cnf::{Clause, CnfFormula, PropLit, PropVar};
+pub use dpll::solve;
+pub use entail::{propagate_units, up_entails, up_forced_value, Propagation};

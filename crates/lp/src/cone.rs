@@ -1,0 +1,307 @@
+//! Support analysis for homogeneous systems.
+//!
+//! The system `ΨS` built from a CAR schema expansion is *homogeneous*
+//! (every disequation has a zero constant term), so its solution set over
+//! nonnegative variables is a convex cone: closed under addition and
+//! under scaling by positive rationals. Two consequences drive phase 2 of
+//! the satisfiability algorithm:
+//!
+//! 1. a variable is positive in *some* solution iff the system stays
+//!    feasible with `x ≥ 1` added (scale any witness), and
+//! 2. the sum of such witnesses is a single solution positive on the
+//!    entire support — the "maximal" solution used by Theorem 3.3.
+//!
+//! Rational solutions scale to integer ones by clearing denominators
+//! ([`scale_to_integers`]), which is exactly the integer-solution argument
+//! the paper borrows from [LN90] and [Pap81] in Theorem 4.3.
+
+use crate::expr::LinExpr;
+use crate::problem::{Problem, Relation};
+use car_arith::{lcm, BigInt, Ratio};
+
+/// Result of [`support`]: which variables can be strictly positive, and a
+/// single solution witnessing all of them at once.
+#[derive(Debug, Clone)]
+pub struct SupportAnalysis {
+    /// `in_support[j]` iff variable `j` is positive in some solution.
+    pub in_support: Vec<bool>,
+    /// A solution of the system that is strictly positive on exactly the
+    /// variables in the support (all-zero when the support is empty).
+    pub witness: Vec<Ratio>,
+    /// Number of LP feasibility calls performed (for statistics).
+    pub lp_calls: usize,
+}
+
+/// Computes the support of the solution cone of a homogeneous problem.
+///
+/// Runs at most one LP feasibility test per variable; every returned
+/// witness short-circuits the variables it already proves positive.
+///
+/// # Panics
+/// Panics if the problem is not homogeneous (the cone reasoning would be
+/// unsound otherwise).
+#[must_use]
+pub fn support(problem: &Problem) -> SupportAnalysis {
+    assert!(
+        problem.is_homogeneous(),
+        "support analysis requires a homogeneous system"
+    );
+    let n = problem.num_vars();
+    let mut in_support = vec![false; n];
+    let mut decided = vec![false; n];
+    let mut witness = vec![Ratio::zero(); n];
+    let mut lp_calls = 0;
+
+    let absorb = |point: &[Ratio],
+                      witness: &mut Vec<Ratio>,
+                      in_support: &mut Vec<bool>,
+                      decided: &mut Vec<bool>| {
+        for (k, v) in point.iter().enumerate().take(n) {
+            witness[k] += v;
+            if v.is_positive() {
+                in_support[k] = true;
+                decided[k] = true;
+            }
+        }
+    };
+
+    // The `Each` probe adds one row per probed variable; exact-rational
+    // tableaus that tall develop enormous subdeterminant entries, so it
+    // is only worthwhile once few variables remain. Until then the
+    // single-row `Some` probe absorbs the support in vertex-sized
+    // batches.
+    const ALL_PROBE_LIMIT: usize = 96;
+    loop {
+        let undecided: Vec<usize> = (0..n).filter(|&j| !decided[j]).collect();
+        if undecided.is_empty() {
+            break;
+        }
+        // Optimistic probe: can all still-undecided variables be positive
+        // simultaneously? (In category-β schemas this succeeds immediately,
+        // collapsing the whole analysis to one LP call.)
+        if undecided.len() <= ALL_PROBE_LIMIT {
+            lp_calls += 1;
+            if let Some(point) = positivity_probe(problem, &undecided, ProbeMode::Each) {
+                absorb(&point, &mut witness, &mut in_support, &mut decided);
+                debug_assert!(undecided.iter().all(|&j| decided[j]));
+                break;
+            }
+        }
+        // Pessimistic probe: can ANY still-undecided variable be positive?
+        // If not, all of them are forced to zero — settled in one call.
+        // Otherwise the witness proves at least one more variable positive,
+        // guaranteeing progress: at most |support| + 2 calls total.
+        lp_calls += 1;
+        match positivity_probe(problem, &undecided, ProbeMode::Some) {
+            Some(point) => {
+                let before: usize = decided.iter().filter(|&&d| d).count();
+                absorb(&point, &mut witness, &mut in_support, &mut decided);
+                debug_assert!(
+                    decided.iter().filter(|&&d| d).count() > before,
+                    "sum-probe witness must decide at least one variable"
+                );
+            }
+            None => {
+                for &j in &undecided {
+                    decided[j] = true; // all remaining are forced to zero
+                }
+            }
+        }
+    }
+
+    debug_assert!(problem.check_point(&witness));
+    debug_assert!((0..n).all(|j| in_support[j] == witness[j].is_positive()));
+    SupportAnalysis { in_support, witness, lp_calls }
+}
+
+/// How a positivity probe quantifies over its variable set.
+enum ProbeMode {
+    /// Every listed variable must be simultaneously positive.
+    Each,
+    /// At least one listed variable must be positive.
+    Some,
+}
+
+/// Decides whether the cone contains a point positive on the probe set
+/// (in the [`ProbeMode`] sense) and returns such a point.
+///
+/// Rather than bolting `x_j ≥ 1` rows onto the system — inhomogeneous
+/// rows that force the simplex through a full phase 1 with one artificial
+/// variable each — this maximizes a fresh variable `t` subject to
+/// `x_j − t ≥ 0` (or `Σ x_j − t ≥ 0`) and `t ≤ 1`. Every row except
+/// `t ≤ 1` keeps a zero right-hand side, so the all-slack basis is
+/// feasible... almost: `≥`-rows still standardize with (degenerate)
+/// artificials, but driving a zero-valued artificial out is a handful of
+/// degenerate pivots, not a search. By the cone's scalability, the probe
+/// succeeds iff the optimal `t` is strictly positive.
+fn positivity_probe(
+    problem: &Problem,
+    vars: &[usize],
+    mode: ProbeMode,
+) -> Option<Vec<Ratio>> {
+    let mut p = problem.clone();
+    let t = p.add_var("probe_t");
+    match mode {
+        ProbeMode::Each => {
+            for &j in vars {
+                let mut expr = LinExpr::var(crate::VarId(j));
+                expr.add_term(t, -Ratio::one());
+                p.add_constraint(expr, Relation::Ge, Ratio::zero());
+            }
+        }
+        ProbeMode::Some => {
+            // Box each probed variable at 1 and maximize their sum: the
+            // optimum is positive iff some probed variable can be
+            // positive, and — unlike a thin `max t` objective, which
+            // stops at a sparse vertex — sum-maximization drives *most*
+            // of the reachable support to its box bound, so one call
+            // absorbs a large batch.
+            let mut objective = LinExpr::zero();
+            for &j in vars {
+                objective.add_term(crate::VarId(j), Ratio::one());
+                p.add_constraint(LinExpr::var(crate::VarId(j)), Relation::Le, Ratio::one());
+            }
+            return match p.maximize(&objective) {
+                crate::SolveResult::Optimal { value, mut point } if value.is_positive() => {
+                    point.truncate(problem.num_vars());
+                    debug_assert!(problem.check_point(&point));
+                    Some(point)
+                }
+                crate::SolveResult::Optimal { .. } => None,
+                other => {
+                    unreachable!("probe is feasible (x = 0) and box-bounded: {other:?}")
+                }
+            };
+        }
+    }
+    p.add_constraint(LinExpr::var(t), Relation::Le, Ratio::one());
+    match p.maximize(&LinExpr::var(t)) {
+        crate::SolveResult::Optimal { value, mut point } if value.is_positive() => {
+            point.truncate(problem.num_vars());
+            debug_assert!(problem.check_point(&point));
+            Some(point)
+        }
+        crate::SolveResult::Optimal { .. } => None,
+        other => unreachable!("probe is feasible (x = 0) and bounded (t ≤ 1): {other:?}"),
+    }
+}
+
+/// Scales a nonnegative rational solution of a homogeneous system to the
+/// smallest integer multiple: multiplies by the least common multiple of
+/// all denominators and returns the resulting integers.
+#[must_use]
+pub fn scale_to_integers(point: &[Ratio]) -> Vec<BigInt> {
+    let mut scale = BigInt::one();
+    for v in point {
+        scale = lcm(&scale, v.denom());
+    }
+    point
+        .iter()
+        .map(|v| {
+            let scaled = v * &Ratio::from_integer(scale.clone());
+            debug_assert!(scaled.is_integer());
+            scaled.numer().clone()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{int, VarId};
+
+    fn homogeneous(pairs: &[(&[(usize, i64)], Relation)], n: usize) -> Problem {
+        let mut p = Problem::new();
+        for i in 0..n {
+            p.add_var(format!("x{i}"));
+        }
+        for (terms, rel) in pairs {
+            let expr = LinExpr::from_terms(terms.iter().map(|&(v, c)| (VarId(v), c)));
+            p.add_constraint(expr, *rel, Ratio::zero());
+        }
+        p
+    }
+
+    #[test]
+    fn all_variables_free_cone() {
+        // No constraints: everything is in the support.
+        let p = homogeneous(&[], 3);
+        let s = support(&p);
+        assert_eq!(s.in_support, vec![true, true, true]);
+        assert!(s.witness.iter().all(Ratio::is_positive));
+    }
+
+    #[test]
+    fn forced_zero_variable() {
+        // x0 <= 0 forces x0 = 0; x1 stays free.
+        let p = homogeneous(&[(&[(0, 1)], Relation::Le)], 2);
+        let s = support(&p);
+        assert_eq!(s.in_support, vec![false, true]);
+        assert!(s.witness[0].is_zero());
+        assert!(s.witness[1].is_positive());
+    }
+
+    #[test]
+    fn chained_implications() {
+        // x0 <= x1, x1 <= x2: all can be positive together.
+        let p = homogeneous(
+            &[
+                (&[(0, 1), (1, -1)], Relation::Le),
+                (&[(1, 1), (2, -1)], Relation::Le),
+            ],
+            3,
+        );
+        let s = support(&p);
+        assert_eq!(s.in_support, vec![true, true, true]);
+    }
+
+    #[test]
+    fn mutual_exclusion_still_in_joint_support() {
+        // 2·x0 <= x1 and 2·x1 <= x0 force both to zero.
+        let p = homogeneous(
+            &[
+                (&[(0, 2), (1, -1)], Relation::Le),
+                (&[(1, 2), (0, -1)], Relation::Le),
+            ],
+            2,
+        );
+        let s = support(&p);
+        assert_eq!(s.in_support, vec![false, false]);
+        assert!(s.witness.iter().all(Ratio::is_zero));
+    }
+
+    #[test]
+    fn lp_call_count_is_bounded_by_vars() {
+        let p = homogeneous(&[], 5);
+        let s = support(&p);
+        // One witness proves all five positive: exactly 1 call.
+        assert_eq!(s.lp_calls, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "homogeneous")]
+    fn non_homogeneous_input_panics() {
+        let mut p = Problem::new();
+        let x = p.add_var("x");
+        p.add_constraint(LinExpr::var(x), Relation::Le, int(3));
+        let _ = support(&p);
+    }
+
+    #[test]
+    fn scale_to_integers_clears_denominators() {
+        let point = vec![
+            Ratio::new(1.into(), 2.into()),
+            Ratio::new(2.into(), 3.into()),
+            Ratio::zero(),
+        ];
+        let ints = scale_to_integers(&point);
+        assert_eq!(ints, vec![BigInt::from(3), BigInt::from(4), BigInt::zero()]);
+    }
+
+    #[test]
+    fn scale_to_integers_identity_on_integers() {
+        let point = vec![int(3), int(0), int(7)];
+        let ints = scale_to_integers(&point);
+        assert_eq!(ints, vec![BigInt::from(3), BigInt::zero(), BigInt::from(7)]);
+    }
+}

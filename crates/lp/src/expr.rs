@@ -1,0 +1,210 @@
+//! Sparse linear expressions over problem variables.
+
+use car_arith::Ratio;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Identifier of a decision variable inside one [`crate::Problem`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VarId(pub(crate) usize);
+
+impl VarId {
+    /// Position of the variable in solution vectors.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// A sparse linear expression `Σ cᵢ·xᵢ` (no constant term).
+///
+/// Zero coefficients are never stored, so two expressions are equal iff
+/// they denote the same linear form.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct LinExpr {
+    terms: BTreeMap<VarId, Ratio>,
+}
+
+impl LinExpr {
+    /// The zero expression.
+    #[must_use]
+    pub fn zero() -> LinExpr {
+        LinExpr::default()
+    }
+
+    /// A single variable with coefficient one.
+    #[must_use]
+    pub fn var(v: VarId) -> LinExpr {
+        let mut e = LinExpr::zero();
+        e.add_term(v, Ratio::one());
+        e
+    }
+
+    /// Builds an expression from `(variable, integer coefficient)` pairs.
+    /// Repeated variables accumulate.
+    #[must_use]
+    pub fn from_terms<I>(terms: I) -> LinExpr
+    where
+        I: IntoIterator<Item = (VarId, i64)>,
+    {
+        let mut e = LinExpr::zero();
+        for (v, c) in terms {
+            e.add_term(v, Ratio::from(c));
+        }
+        e
+    }
+
+    /// Adds `coeff · var` to the expression.
+    pub fn add_term(&mut self, var: VarId, coeff: Ratio) {
+        if coeff.is_zero() {
+            return;
+        }
+        let entry = self.terms.entry(var).or_insert_with(Ratio::zero);
+        *entry += &coeff;
+        if entry.is_zero() {
+            self.terms.remove(&var);
+        }
+    }
+
+    /// Adds `scale · other` to the expression.
+    pub fn add_scaled(&mut self, other: &LinExpr, scale: &Ratio) {
+        for (v, c) in &other.terms {
+            self.add_term(*v, c * scale);
+        }
+    }
+
+    /// Coefficient of `var` (zero if absent).
+    #[must_use]
+    pub fn coeff(&self, var: VarId) -> Ratio {
+        self.terms.get(&var).cloned().unwrap_or_else(Ratio::zero)
+    }
+
+    /// Iterates over `(variable, nonzero coefficient)` pairs in variable
+    /// order.
+    pub fn iter(&self) -> impl Iterator<Item = (VarId, &Ratio)> {
+        self.terms.iter().map(|(v, c)| (*v, c))
+    }
+
+    /// `true` iff the expression has no terms.
+    #[must_use]
+    pub fn is_zero(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Number of nonzero terms.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// `true` iff the expression has no terms (alias of [`Self::is_zero`]).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Evaluates the expression at a point (indexed by [`VarId::index`]).
+    #[must_use]
+    pub fn eval(&self, point: &[Ratio]) -> Ratio {
+        let mut acc = Ratio::zero();
+        for (v, c) in &self.terms {
+            acc += &(c * &point[v.0]);
+        }
+        acc
+    }
+
+    /// Largest variable index referenced, if any.
+    #[must_use]
+    pub fn max_var(&self) -> Option<VarId> {
+        self.terms.keys().next_back().copied()
+    }
+}
+
+impl fmt::Display for LinExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.terms.is_empty() {
+            return write!(f, "0");
+        }
+        let mut first = true;
+        for (v, c) in &self.terms {
+            if first {
+                if c == &Ratio::one() {
+                    write!(f, "x{}", v.0)?;
+                } else {
+                    write!(f, "{c}·x{}", v.0)?;
+                }
+                first = false;
+            } else if c.is_negative() {
+                let a = c.abs();
+                if a == Ratio::one() {
+                    write!(f, " - x{}", v.0)?;
+                } else {
+                    write!(f, " - {a}·x{}", v.0)?;
+                }
+            } else if c == &Ratio::one() {
+                write!(f, " + x{}", v.0)?;
+            } else {
+                write!(f, " + {c}·x{}", v.0)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Convenience: an integer coefficient as an exact [`Ratio`] (test helper).
+#[cfg(test)]
+#[must_use]
+pub(crate) fn int(v: i64) -> Ratio {
+    Ratio::from_integer(car_arith::BigInt::from(v))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn terms_accumulate_and_cancel() {
+        let v = VarId(0);
+        let w = VarId(1);
+        let mut e = LinExpr::from_terms([(v, 2), (w, 3), (v, -2)]);
+        assert_eq!(e.coeff(v), Ratio::zero());
+        assert_eq!(e.coeff(w), int(3));
+        assert_eq!(e.len(), 1);
+        e.add_term(w, int(-3));
+        assert!(e.is_zero());
+        assert!(e.is_empty());
+    }
+
+    #[test]
+    fn add_scaled() {
+        let v = VarId(0);
+        let w = VarId(1);
+        let mut e = LinExpr::from_terms([(v, 1)]);
+        let other = LinExpr::from_terms([(v, 1), (w, 2)]);
+        e.add_scaled(&other, &int(3));
+        assert_eq!(e.coeff(v), int(4));
+        assert_eq!(e.coeff(w), int(6));
+    }
+
+    #[test]
+    fn eval() {
+        let e = LinExpr::from_terms([(VarId(0), 2), (VarId(2), -1)]);
+        let point = vec![int(3), int(100), int(4)];
+        assert_eq!(e.eval(&point), int(2));
+        assert_eq!(LinExpr::zero().eval(&point), Ratio::zero());
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let e = LinExpr::from_terms([(VarId(0), 1), (VarId(1), -2), (VarId(2), 1)]);
+        assert_eq!(e.to_string(), "x0 - 2·x1 + x2");
+        assert_eq!(LinExpr::zero().to_string(), "0");
+    }
+
+    #[test]
+    fn max_var() {
+        assert_eq!(LinExpr::zero().max_var(), None);
+        let e = LinExpr::from_terms([(VarId(3), 1), (VarId(7), 2)]);
+        assert_eq!(e.max_var(), Some(VarId(7)));
+    }
+}

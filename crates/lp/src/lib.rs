@@ -1,0 +1,53 @@
+//! # car-lp — exact linear programming over the rationals
+//!
+//! A from-scratch two-phase primal simplex solver with Bland's
+//! anti-cycling rule, computing over exact rationals
+//! ([`car_arith::Ratio`]), plus a support analysis for homogeneous
+//! systems ([`support`]).
+//!
+//! This crate is the engine behind phase 2 of the CAR satisfiability
+//! algorithm (Theorem 4.3 of the paper): the system `ΨS` of linear
+//! disequations derived from a schema expansion is homogeneous, so its
+//! solution set is a convex cone; deciding whether an *acceptable integer*
+//! solution exists reduces to a polynomial number of exact rational
+//! feasibility tests (rational feasibility yields integer feasibility by
+//! clearing denominators, which [`scale_to_integers`] performs).
+//!
+//! ## Contract
+//!
+//! Every variable of a [`Problem`] is implicitly constrained to be
+//! **nonnegative** — exactly what the unknowns `Var(X̄)` of `ΨS` require.
+//!
+//! ```
+//! use car_lp::{Problem, Relation, LinExpr, SolveResult};
+//! use car_arith::Ratio;
+//!
+//! let mut p = Problem::new();
+//! let x = p.add_var("x");
+//! let y = p.add_var("y");
+//! // x + 2y <= 14, 3x - y >= 0, x - y <= 2
+//! p.add_constraint(LinExpr::from_terms([(x, 1), (y, 2)]), Relation::Le, Ratio::from(14i64));
+//! p.add_constraint(LinExpr::from_terms([(x, 3), (y, -1)]), Relation::Ge, Ratio::from(0i64));
+//! p.add_constraint(LinExpr::from_terms([(x, 1), (y, -1)]), Relation::Le, Ratio::from(2i64));
+//! // maximize 3x + 4y  ->  optimum 34 at (6, 4)
+//! match p.maximize(&LinExpr::from_terms([(x, 3), (y, 4)])) {
+//!     SolveResult::Optimal { value, point } => {
+//!         assert_eq!(value, Ratio::from(34i64));
+//!         assert_eq!(point[x.index()], Ratio::from(6i64));
+//!         assert_eq!(point[y.index()], Ratio::from(4i64));
+//!     }
+//!     other => panic!("unexpected: {other:?}"),
+//! }
+//! ```
+
+mod cone;
+mod expr;
+mod farkas;
+mod problem;
+mod simplex;
+mod tableau;
+
+pub use cone::{scale_to_integers, support, SupportAnalysis};
+pub use expr::{LinExpr, VarId};
+pub use farkas::FarkasCertificate;
+pub use problem::{Constraint, Problem, Relation, SolveResult};

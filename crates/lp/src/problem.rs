@@ -1,0 +1,332 @@
+//! Linear-programming problem description and public solving entry points.
+
+use crate::expr::{LinExpr, VarId};
+use crate::simplex;
+use car_arith::Ratio;
+use std::fmt;
+
+/// Direction of a linear constraint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Relation {
+    /// `expr ≤ rhs`
+    Le,
+    /// `expr ≥ rhs`
+    Ge,
+    /// `expr = rhs`
+    Eq,
+}
+
+impl fmt::Display for Relation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Relation::Le => "<=",
+            Relation::Ge => ">=",
+            Relation::Eq => "=",
+        })
+    }
+}
+
+/// One linear constraint `expr rel rhs`.
+#[derive(Debug, Clone)]
+pub struct Constraint {
+    /// Left-hand side linear form.
+    pub expr: LinExpr,
+    /// Constraint direction.
+    pub rel: Relation,
+    /// Right-hand-side constant.
+    pub rhs: Ratio,
+}
+
+impl Constraint {
+    /// `true` iff `point` satisfies the constraint.
+    #[must_use]
+    pub fn holds_at(&self, point: &[Ratio]) -> bool {
+        let lhs = self.expr.eval(point);
+        match self.rel {
+            Relation::Le => lhs <= self.rhs,
+            Relation::Ge => lhs >= self.rhs,
+            Relation::Eq => lhs == self.rhs,
+        }
+    }
+
+    /// `true` iff the right-hand side is zero (the constraint is
+    /// homogeneous).
+    #[must_use]
+    pub fn is_homogeneous(&self) -> bool {
+        self.rhs.is_zero()
+    }
+}
+
+impl fmt::Display for Constraint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} {}", self.expr, self.rel, self.rhs)
+    }
+}
+
+/// Result of an optimization call.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SolveResult {
+    /// No point satisfies the constraints (with all variables `≥ 0`).
+    Infeasible,
+    /// The objective can be improved without bound.
+    Unbounded,
+    /// An optimal vertex was found.
+    Optimal {
+        /// Optimal objective value.
+        value: Ratio,
+        /// Optimal point, indexed by [`VarId::index`].
+        point: Vec<Ratio>,
+    },
+}
+
+/// A linear program over nonnegative variables.
+///
+/// All variables carry the implicit bound `x ≥ 0`; constraints are added
+/// with [`Problem::add_constraint`]. Solving is exact: no floating point
+/// is involved anywhere.
+#[derive(Debug, Clone, Default)]
+pub struct Problem {
+    names: Vec<String>,
+    constraints: Vec<Constraint>,
+}
+
+impl Problem {
+    /// An empty problem with no variables or constraints.
+    #[must_use]
+    pub fn new() -> Problem {
+        Problem::default()
+    }
+
+    /// Adds a decision variable (implicitly `≥ 0`) and returns its id.
+    pub fn add_var(&mut self, name: impl Into<String>) -> VarId {
+        self.names.push(name.into());
+        VarId(self.names.len() - 1)
+    }
+
+    /// Number of variables added so far.
+    #[must_use]
+    pub fn num_vars(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Diagnostic name of a variable.
+    #[must_use]
+    pub fn var_name(&self, v: VarId) -> &str {
+        &self.names[v.0]
+    }
+
+    /// Adds the constraint `expr rel rhs`.
+    ///
+    /// # Panics
+    /// Panics if `expr` references a variable not added to this problem.
+    pub fn add_constraint(&mut self, expr: LinExpr, rel: Relation, rhs: Ratio) {
+        if let Some(v) = expr.max_var() {
+            assert!(
+                v.index() < self.names.len(),
+                "constraint references unknown variable x{}",
+                v.index()
+            );
+        }
+        self.constraints.push(Constraint { expr, rel, rhs });
+    }
+
+    /// The constraints added so far.
+    #[must_use]
+    pub fn constraints(&self) -> &[Constraint] {
+        &self.constraints
+    }
+
+    /// Number of constraints.
+    #[must_use]
+    pub fn num_constraints(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// `true` iff every constraint has a zero right-hand side.
+    #[must_use]
+    pub fn is_homogeneous(&self) -> bool {
+        self.constraints.iter().all(Constraint::is_homogeneous)
+    }
+
+    /// Maximizes `objective` subject to the constraints.
+    #[must_use]
+    pub fn maximize(&self, objective: &LinExpr) -> SolveResult {
+        simplex::solve(self, Some(objective))
+    }
+
+    /// Minimizes `objective` subject to the constraints.
+    #[must_use]
+    pub fn minimize(&self, objective: &LinExpr) -> SolveResult {
+        let mut neg = LinExpr::zero();
+        neg.add_scaled(objective, &-Ratio::one());
+        match simplex::solve(self, Some(&neg)) {
+            SolveResult::Optimal { value, point } => {
+                SolveResult::Optimal { value: -value, point }
+            }
+            other => other,
+        }
+    }
+
+    /// Returns a feasible point, or `None` if the constraints are
+    /// unsatisfiable over nonnegative variables.
+    #[must_use]
+    pub fn feasible_point(&self) -> Option<Vec<Ratio>> {
+        match simplex::solve(self, None) {
+            SolveResult::Optimal { point, .. } => Some(point),
+            SolveResult::Infeasible => None,
+            SolveResult::Unbounded => unreachable!("feasibility has no objective"),
+        }
+    }
+
+    /// Attempts to produce a [`crate::FarkasCertificate`] proving the
+    /// constraints infeasible over nonnegative variables. Returns `None`
+    /// when the constraints are feasible. A returned certificate has
+    /// already been verified against this problem.
+    #[must_use]
+    pub fn certify_infeasible(&self) -> Option<crate::FarkasCertificate> {
+        crate::simplex::certify(self)
+    }
+
+    /// Verifies that `point` satisfies every constraint and every implicit
+    /// nonnegativity bound. Used as an independent check in tests.
+    #[must_use]
+    pub fn check_point(&self, point: &[Ratio]) -> bool {
+        point.len() >= self.names.len()
+            && point.iter().all(|v| !v.is_negative())
+            && self.constraints.iter().all(|c| c.holds_at(point))
+    }
+}
+
+impl fmt::Display for Problem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "variables: {}", self.names.join(", "))?;
+        for c in &self.constraints {
+            writeln!(f, "  {c}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::int;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_problem_is_feasible() {
+        let p = Problem::new();
+        assert_eq!(p.feasible_point(), Some(vec![]));
+        assert!(p.is_homogeneous());
+    }
+
+    #[test]
+    fn nonnegativity_is_implicit() {
+        let mut p = Problem::new();
+        let x = p.add_var("x");
+        p.add_constraint(LinExpr::var(x), Relation::Le, int(-1));
+        assert!(p.feasible_point().is_none());
+    }
+
+    #[test]
+    fn check_point_catches_violations() {
+        let mut p = Problem::new();
+        let x = p.add_var("x");
+        p.add_constraint(LinExpr::var(x), Relation::Ge, int(2));
+        assert!(p.check_point(&[int(2)]));
+        assert!(p.check_point(&[int(5)]));
+        assert!(!p.check_point(&[int(1)]));
+        assert!(!p.check_point(&[int(-3)]));
+        assert!(!p.check_point(&[]));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown variable")]
+    fn constraint_with_unknown_variable_panics() {
+        let mut p = Problem::new();
+        p.add_constraint(LinExpr::var(VarId(0)), Relation::Le, int(1));
+    }
+
+    #[test]
+    fn display_formats() {
+        let mut p = Problem::new();
+        let x = p.add_var("x");
+        p.add_constraint(LinExpr::var(x), Relation::Ge, int(1));
+        let s = p.to_string();
+        assert!(s.contains("x0 >= 1"), "{s}");
+        assert_eq!(p.var_name(x), "x");
+    }
+
+    /// Random small LPs: whatever the solver returns must be consistent —
+    /// feasible points must check out, and optimal values must dominate
+    /// the value at any other feasible vertex we can construct.
+    fn arb_problem() -> impl Strategy<Value = Problem> {
+        let constraint =
+            (proptest::collection::vec(-4i64..5, 3), 0usize..3, -10i64..11);
+        proptest::collection::vec(constraint, 1..6).prop_map(|rows| {
+            let mut p = Problem::new();
+            let vars: Vec<VarId> = (0..3).map(|i| p.add_var(format!("v{i}"))).collect();
+            for (coeffs, rel, rhs) in rows {
+                let expr = LinExpr::from_terms(
+                    vars.iter().copied().zip(coeffs.iter().copied()),
+                );
+                let rel = match rel {
+                    0 => Relation::Le,
+                    1 => Relation::Ge,
+                    _ => Relation::Eq,
+                };
+                p.add_constraint(expr, rel, int(rhs));
+            }
+            p
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn prop_feasible_points_verify(p in arb_problem()) {
+            if let Some(point) = p.feasible_point() {
+                prop_assert!(p.check_point(&point), "returned infeasible point for\n{p}");
+            }
+        }
+
+        #[test]
+        fn prop_optimum_dominates_feasible_point(p in arb_problem()) {
+            let obj = LinExpr::from_terms([(VarId(0), 1), (VarId(1), 1), (VarId(2), 1)]);
+            match p.maximize(&obj) {
+                SolveResult::Optimal { value, point } => {
+                    prop_assert!(p.check_point(&point));
+                    prop_assert_eq!(obj.eval(&point), value.clone());
+                    if let Some(fp) = p.feasible_point() {
+                        prop_assert!(obj.eval(&fp) <= value);
+                    }
+                }
+                SolveResult::Infeasible => {
+                    prop_assert!(p.feasible_point().is_none());
+                }
+                SolveResult::Unbounded => {
+                    // Unbounded implies feasible.
+                    prop_assert!(p.feasible_point().is_some());
+                }
+            }
+        }
+
+        #[test]
+        fn prop_minimize_maximize_duality(p in arb_problem()) {
+            let obj = LinExpr::from_terms([(VarId(0), 2), (VarId(2), -1)]);
+            let max = p.maximize(&obj);
+            let mut neg = LinExpr::zero();
+            neg.add_scaled(&obj, &-Ratio::one());
+            let min_neg = p.minimize(&neg);
+            match (max, min_neg) {
+                (SolveResult::Optimal { value: a, .. }, SolveResult::Optimal { value: b, .. }) => {
+                    prop_assert_eq!(a, -b);
+                }
+                (SolveResult::Infeasible, SolveResult::Infeasible) => {}
+                (SolveResult::Unbounded, SolveResult::Unbounded) => {}
+                (a, b) => prop_assert!(false, "mismatch {a:?} vs {b:?}"),
+            }
+        }
+    }
+}

@@ -1,0 +1,170 @@
+//! Dense simplex tableau with exact rational entries.
+
+use car_arith::Ratio;
+
+/// A simplex tableau in canonical form: every basic column is a unit
+/// vector, all right-hand sides are nonnegative, and an objective row of
+/// reduced costs is maintained alongside.
+///
+/// The tableau represents the constraints `A·x = b, x ≥ 0` together with
+/// an objective `z = obj_val + Σ obj[j]·x_j` expressed over the current
+/// nonbasic variables.
+#[derive(Debug, Clone)]
+pub(crate) struct Tableau {
+    /// Constraint coefficient rows (length `n_cols` each).
+    pub rows: Vec<Vec<Ratio>>,
+    /// Right-hand sides, one per row; invariant: nonnegative.
+    pub rhs: Vec<Ratio>,
+    /// Column index of the basic variable of each row.
+    pub basis: Vec<usize>,
+    /// Reduced-cost row (length `n_cols`).
+    pub obj: Vec<Ratio>,
+    /// Objective value at the current basic solution.
+    pub obj_val: Ratio,
+    /// Total number of columns (structural + slack + artificial).
+    pub n_cols: usize,
+}
+
+impl Tableau {
+    /// Pivots on `(row, col)`: `col` enters the basis, the variable basic
+    /// in `row` leaves. Requires a nonzero pivot entry.
+    pub fn pivot(&mut self, row: usize, col: usize) {
+        let pivot = self.rows[row][col].clone();
+        debug_assert!(!pivot.is_zero(), "pivot on zero entry");
+        let inv = pivot.recip();
+        for entry in &mut self.rows[row] {
+            *entry *= &inv;
+        }
+        self.rhs[row] *= &inv;
+
+        let pivot_row = self.rows[row].clone();
+        let pivot_rhs = self.rhs[row].clone();
+        // The systems this solver sees are very sparse; touching only the
+        // nonzero pivot-row columns is the dominant speedup.
+        let nonzero_cols: Vec<usize> =
+            (0..self.n_cols).filter(|&j| !pivot_row[j].is_zero()).collect();
+        for i in 0..self.rows.len() {
+            if i == row {
+                continue;
+            }
+            let factor = self.rows[i][col].clone();
+            if factor.is_zero() {
+                continue;
+            }
+            for &j in &nonzero_cols {
+                let delta = &factor * &pivot_row[j];
+                self.rows[i][j] -= &delta;
+            }
+            self.rhs[i] -= &(&factor * &pivot_rhs);
+        }
+
+        let factor = self.obj[col].clone();
+        if !factor.is_zero() {
+            for &j in &nonzero_cols {
+                let delta = &factor * &pivot_row[j];
+                self.obj[j] -= &delta;
+            }
+            self.obj_val += &(&factor * &pivot_rhs);
+        }
+
+        self.basis[row] = col;
+    }
+
+    /// Reads the value of column `col` at the current basic solution.
+    pub fn value_of(&self, col: usize) -> Ratio {
+        for (i, &b) in self.basis.iter().enumerate() {
+            if b == col {
+                return self.rhs[i].clone();
+            }
+        }
+        Ratio::zero()
+    }
+
+    /// Rewrites the objective row so that reduced costs of basic columns
+    /// are zero (canonical form), given raw costs already stored in
+    /// `self.obj` with `self.obj_val = 0`.
+    pub fn canonicalize_objective(&mut self) {
+        for i in 0..self.rows.len() {
+            let k = self.obj[self.basis[i]].clone();
+            if k.is_zero() {
+                continue;
+            }
+            for j in 0..self.n_cols {
+                if self.rows[i][j].is_zero() {
+                    continue;
+                }
+                let delta = &k * &self.rows[i][j];
+                self.obj[j] -= &delta;
+            }
+            self.obj_val += &(&k * &self.rhs[i]);
+        }
+    }
+
+    /// Asserts canonical-form invariants (debug builds only).
+    pub fn debug_check(&self) {
+        if cfg!(debug_assertions) {
+            for (i, &b) in self.basis.iter().enumerate() {
+                debug_assert!(self.rows[i][b] == Ratio::one(), "basic entry not 1");
+                for (k, row) in self.rows.iter().enumerate() {
+                    if k != i {
+                        debug_assert!(row[b].is_zero(), "basic column not unit");
+                    }
+                }
+                debug_assert!(self.obj[b].is_zero(), "reduced cost of basic var not 0");
+                debug_assert!(!self.rhs[i].is_negative(), "negative rhs");
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::int;
+
+    fn r(v: i64) -> Ratio {
+        int(v)
+    }
+
+    #[test]
+    fn pivot_produces_unit_column() {
+        // x + y = 4 (slack s0 basic), 2x + y = 6 (slack s1 basic)
+        let mut t = Tableau {
+            rows: vec![
+                vec![r(1), r(1), r(1), r(0)],
+                vec![r(2), r(1), r(0), r(1)],
+            ],
+            rhs: vec![r(4), r(6)],
+            basis: vec![2, 3],
+            obj: vec![r(3), r(2), r(0), r(0)],
+            obj_val: r(0),
+            n_cols: 4,
+        };
+        t.pivot(1, 0); // x enters on row 1
+        assert_eq!(t.rows[1][0], r(1));
+        assert!(t.rows[0][0].is_zero());
+        assert_eq!(t.basis, vec![2, 0]);
+        assert_eq!(t.value_of(0), r(3));
+        assert_eq!(t.rhs[0], r(1));
+        // obj row updated: 3x + 2y with x = 3 - y/2 - s1/2
+        assert_eq!(t.obj_val, r(9));
+        t.debug_check();
+    }
+
+    #[test]
+    fn canonicalize_objective_zeroes_basic_costs() {
+        let mut t = Tableau {
+            rows: vec![vec![r(1), r(2), r(1)]],
+            rhs: vec![r(5)],
+            basis: vec![0],
+            obj: vec![r(4), r(1), r(0)],
+            obj_val: r(0),
+            n_cols: 3,
+        };
+        t.canonicalize_objective();
+        assert!(t.obj[0].is_zero());
+        assert_eq!(t.obj[1], r(-7));
+        assert_eq!(t.obj_val, r(20));
+        t.debug_check();
+    }
+}

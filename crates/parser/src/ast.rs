@@ -1,0 +1,97 @@
+//! Untyped syntax tree produced by the parser, before name resolution.
+
+/// A parsed schema: class and relation definitions in source order.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct AstSchema {
+    /// Class definitions.
+    pub classes: Vec<AstClassDef>,
+    /// Relation definitions.
+    pub relations: Vec<AstRelDef>,
+}
+
+/// A parsed class definition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AstClassDef {
+    /// Class name.
+    pub name: String,
+    /// The isa formula, if present.
+    pub isa: Option<AstFormula>,
+    /// Attribute specifications.
+    pub attrs: Vec<AstAttrSpec>,
+    /// Participation specifications.
+    pub participations: Vec<AstParticipation>,
+}
+
+/// A class-formula in CNF: clauses of literals.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AstFormula {
+    /// The conjuncts; each inner vector is one disjunctive clause.
+    pub clauses: Vec<Vec<AstLiteral>>,
+}
+
+/// A possibly negated class name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AstLiteral {
+    /// The class name.
+    pub class: String,
+    /// `false` for `not C`.
+    pub positive: bool,
+}
+
+/// Attribute reference: direct or inverse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AstAttRef {
+    /// `f`
+    Direct(String),
+    /// `(inv f)`
+    Inverse(String),
+}
+
+/// A cardinality `(min, max)`; `max = None` is `∞`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AstCard {
+    /// Lower bound.
+    pub min: u64,
+    /// Upper bound, `None` for `*`.
+    pub max: Option<u64>,
+}
+
+/// One attribute specification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AstAttrSpec {
+    /// The attribute or inverse attribute.
+    pub att: AstAttRef,
+    /// The cardinality (defaults to `(0, *)` when omitted).
+    pub card: AstCard,
+    /// The filler type (`None` means unconstrained).
+    pub ty: Option<AstFormula>,
+}
+
+/// One participation specification `R[U] : (x, y)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AstParticipation {
+    /// Relation name.
+    pub rel: String,
+    /// Role name.
+    pub role: String,
+    /// The cardinality.
+    pub card: AstCard,
+}
+
+/// A parsed relation definition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AstRelDef {
+    /// Relation name.
+    pub name: String,
+    /// Role names in declaration order.
+    pub roles: Vec<String>,
+    /// Role-clauses of the constraints part.
+    pub constraints: Vec<AstRoleClause>,
+}
+
+/// A disjunction of `(role : formula)` literals.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AstRoleClause {
+    /// The literals: role name and its formula.
+    pub literals: Vec<(String, AstFormula)>,
+}

@@ -1,0 +1,76 @@
+//! Parser error type with source positions.
+
+use crate::token::Pos;
+use car_core::SchemaError;
+use std::fmt;
+
+/// A lexical, syntactic or schema-validation error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// Unexpected character during lexing.
+    Lex {
+        /// Where.
+        pos: Pos,
+        /// The offending character.
+        found: char,
+    },
+    /// A number too large to represent.
+    NumberOverflow {
+        /// Where.
+        pos: Pos,
+    },
+    /// Unexpected token during parsing.
+    Unexpected {
+        /// Where.
+        pos: Pos,
+        /// What was found.
+        found: String,
+        /// What the parser wanted.
+        expected: &'static str,
+    },
+    /// The parsed schema failed validation.
+    Invalid {
+        /// All validation errors, in order of detection.
+        errors: Vec<SchemaError>,
+    },
+}
+
+impl ParseError {
+    pub(crate) fn unexpected(pos: Pos, found: impl fmt::Display, expected: &'static str) -> Self {
+        ParseError::Unexpected { pos, found: found.to_string(), expected }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::Lex { pos, found } => {
+                write!(f, "{pos}: unexpected character '{found}'")
+            }
+            ParseError::NumberOverflow { pos } => {
+                write!(f, "{pos}: number literal out of range")
+            }
+            ParseError::Unexpected { pos, found, expected } => {
+                write!(f, "{pos}: expected {expected}, found {found}")
+            }
+            ParseError::Invalid { errors } => {
+                write!(f, "schema validation failed: ")?;
+                for (i, e) in errors.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, "; ")?;
+                    }
+                    write!(f, "{e}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<Vec<SchemaError>> for ParseError {
+    fn from(errors: Vec<SchemaError>) -> ParseError {
+        ParseError::Invalid { errors }
+    }
+}

@@ -1,0 +1,232 @@
+//! Hand-written lexer for the CAR schema syntax.
+
+use crate::error::ParseError;
+use crate::token::{Pos, Token, TokenKind};
+
+/// Tokenizes input text. `#` and `//` start comments that run to the end
+/// of the line.
+pub fn lex(input: &str) -> Result<Vec<Token>, ParseError> {
+    let mut tokens = Vec::new();
+    let mut chars = input.chars().peekable();
+    let mut line: u32 = 1;
+    let mut col: u32 = 1;
+
+    macro_rules! bump {
+        () => {{
+            let c = chars.next();
+            if c == Some('\n') {
+                line += 1;
+                col = 1;
+            } else if c.is_some() {
+                col += 1;
+            }
+            c
+        }};
+    }
+
+    loop {
+        let pos = Pos { line, col };
+        let Some(&c) = chars.peek() else {
+            tokens.push(Token { kind: TokenKind::Eof, pos });
+            return Ok(tokens);
+        };
+        match c {
+            ' ' | '\t' | '\r' | '\n' => {
+                bump!();
+            }
+            '#' => {
+                while chars.peek().is_some_and(|&c| c != '\n') {
+                    bump!();
+                }
+            }
+            '/' => {
+                bump!();
+                if chars.peek() == Some(&'/') {
+                    while chars.peek().is_some_and(|&c| c != '\n') {
+                        bump!();
+                    }
+                } else {
+                    return Err(ParseError::Lex { pos, found: '/' });
+                }
+            }
+            '(' => {
+                bump!();
+                tokens.push(Token { kind: TokenKind::LParen, pos });
+            }
+            ')' => {
+                bump!();
+                tokens.push(Token { kind: TokenKind::RParen, pos });
+            }
+            '[' => {
+                bump!();
+                tokens.push(Token { kind: TokenKind::LBracket, pos });
+            }
+            ']' => {
+                bump!();
+                tokens.push(Token { kind: TokenKind::RBracket, pos });
+            }
+            ',' => {
+                bump!();
+                tokens.push(Token { kind: TokenKind::Comma, pos });
+            }
+            ':' => {
+                bump!();
+                tokens.push(Token { kind: TokenKind::Colon, pos });
+            }
+            ';' => {
+                bump!();
+                tokens.push(Token { kind: TokenKind::Semicolon, pos });
+            }
+            '*' => {
+                bump!();
+                tokens.push(Token { kind: TokenKind::Star, pos });
+            }
+            '&' | '∧' => {
+                bump!();
+                tokens.push(Token { kind: TokenKind::KwAnd, pos });
+            }
+            '|' | '∨' => {
+                bump!();
+                tokens.push(Token { kind: TokenKind::KwOr, pos });
+            }
+            '~' | '¬' => {
+                bump!();
+                tokens.push(Token { kind: TokenKind::KwNot, pos });
+            }
+            '0'..='9' => {
+                let mut value: u64 = 0;
+                while let Some(&d) = chars.peek() {
+                    let Some(digit) = d.to_digit(10) else { break };
+                    value = value
+                        .checked_mul(10)
+                        .and_then(|v| v.checked_add(u64::from(digit)))
+                        .ok_or(ParseError::NumberOverflow { pos })?;
+                    bump!();
+                }
+                tokens.push(Token { kind: TokenKind::Nat(value), pos });
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let mut word = String::new();
+                while let Some(&c) = chars.peek() {
+                    if c.is_alphanumeric() || c == '_' {
+                        word.push(c);
+                        bump!();
+                    } else {
+                        break;
+                    }
+                }
+                let kind = match word.as_str() {
+                    "class" => TokenKind::KwClass,
+                    "isa" => TokenKind::KwIsa,
+                    "attributes" => TokenKind::KwAttributes,
+                    "participates_in" => TokenKind::KwParticipatesIn,
+                    "endclass" => TokenKind::KwEndClass,
+                    "relation" => TokenKind::KwRelation,
+                    "constraints" => TokenKind::KwConstraints,
+                    "endrelation" => TokenKind::KwEndRelation,
+                    "and" => TokenKind::KwAnd,
+                    "or" => TokenKind::KwOr,
+                    "not" => TokenKind::KwNot,
+                    "inv" => TokenKind::KwInv,
+                    "inf" => TokenKind::Star,
+                    _ => TokenKind::Ident(word),
+                };
+                tokens.push(Token { kind, pos });
+            }
+            other => return Err(ParseError::Lex { pos, found: other }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(input: &str) -> Vec<TokenKind> {
+        lex(input).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn keywords_and_idents() {
+        assert_eq!(
+            kinds("class Person isa endclass"),
+            vec![
+                TokenKind::KwClass,
+                TokenKind::Ident("Person".into()),
+                TokenKind::KwIsa,
+                TokenKind::KwEndClass,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn operators_ascii_and_unicode() {
+        assert_eq!(kinds("and & ∧"), vec![TokenKind::KwAnd; 3].into_iter().chain([TokenKind::Eof]).collect::<Vec<_>>());
+        assert_eq!(kinds("or | ∨")[..3], vec![TokenKind::KwOr; 3][..]);
+        assert_eq!(kinds("not ~ ¬")[..3], vec![TokenKind::KwNot; 3][..]);
+    }
+
+    #[test]
+    fn cardinality_tokens() {
+        assert_eq!(
+            kinds("(1, 20) (0, *) (2, inf)"),
+            vec![
+                TokenKind::LParen,
+                TokenKind::Nat(1),
+                TokenKind::Comma,
+                TokenKind::Nat(20),
+                TokenKind::RParen,
+                TokenKind::LParen,
+                TokenKind::Nat(0),
+                TokenKind::Comma,
+                TokenKind::Star,
+                TokenKind::RParen,
+                TokenKind::LParen,
+                TokenKind::Nat(2),
+                TokenKind::Comma,
+                TokenKind::Star,
+                TokenKind::RParen,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(
+            kinds("class # a comment\n// another\nPerson"),
+            vec![TokenKind::KwClass, TokenKind::Ident("Person".into()), TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn positions_are_tracked() {
+        let tokens = lex("class\n  Person").unwrap();
+        assert_eq!(tokens[0].pos, Pos { line: 1, col: 1 });
+        assert_eq!(tokens[1].pos, Pos { line: 2, col: 3 });
+    }
+
+    #[test]
+    fn bad_character_errors() {
+        let err = lex("class $").unwrap_err();
+        assert!(matches!(err, ParseError::Lex { found: '$', .. }));
+        assert!(err.to_string().contains('$'));
+        // A single slash (not a comment) is also an error.
+        assert!(lex("a / b").is_err());
+    }
+
+    #[test]
+    fn number_overflow_is_reported() {
+        let err = lex("99999999999999999999999").unwrap_err();
+        assert!(matches!(err, ParseError::NumberOverflow { .. }));
+    }
+
+    #[test]
+    fn identifiers_with_underscores_and_digits() {
+        assert_eq!(
+            kinds("Grad_Student2"),
+            vec![TokenKind::Ident("Grad_Student2".into()), TokenKind::Eof]
+        );
+    }
+}

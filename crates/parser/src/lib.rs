@@ -1,0 +1,67 @@
+//! # car-parser — concrete syntax for CAR schemas
+//!
+//! A lexer, recursive-descent parser and pretty-printer for the schema
+//! syntax used in the paper's figures, ASCII-ized:
+//!
+//! ```text
+//! class Student
+//!   isa Person and not Professor
+//!   attributes student_id : (1, 1) String
+//!   participates_in Enrollment[enrolls] : (1, 6)
+//! endclass
+//!
+//! relation Enrollment(enrolled_in, enrolls)
+//!   constraints (enrolled_in : Course);
+//!               (enrolls : Student);
+//!               (enrolled_in : not Adv_Course) or (enrolls : Grad_Student)
+//! endrelation
+//! ```
+//!
+//! * class-formulae are CNF: `or` binds tighter than `and`, and a
+//!   parenthesized clause may appear anywhere a clause may
+//!   (`A and (B or C)`); `not`/`~` negates a class symbol;
+//! * cardinalities are `(min, max)` with `*` or `inf` for `∞`; an omitted
+//!   cardinality means `(0, *)`;
+//! * `(inv A)` references the inverse of attribute `A`;
+//! * `#` and `//` start line comments.
+//!
+//! [`parse_schema`] produces a validated [`car_core::Schema`];
+//! [`pretty`] renders a schema back to this syntax, and
+//! `parse_schema(&pretty(&s))` reproduces `s` up to symbol interning
+//! order (property-tested in the workspace integration tests).
+
+mod ast;
+mod error;
+mod lexer;
+mod lower;
+mod parser;
+mod pretty;
+mod token;
+
+pub use ast::{
+    AstAttRef, AstAttrSpec, AstCard, AstClassDef, AstFormula, AstLiteral, AstParticipation,
+    AstRelDef, AstRoleClause, AstSchema,
+};
+pub use error::ParseError;
+pub use pretty::pretty;
+
+use car_core::Schema;
+
+/// Parses schema text into a validated [`Schema`].
+///
+/// # Errors
+/// [`ParseError`] on lexical or syntactic errors (with source position)
+/// and on schema-validation errors.
+pub fn parse_schema(input: &str) -> Result<Schema, ParseError> {
+    let ast = parse_ast(input)?;
+    lower::lower(&ast)
+}
+
+/// Parses schema text to the untyped AST (mainly for tooling and tests).
+///
+/// # Errors
+/// [`ParseError`] on lexical or syntactic errors.
+pub fn parse_ast(input: &str) -> Result<AstSchema, ParseError> {
+    let tokens = lexer::lex(input)?;
+    parser::parse(&tokens)
+}

@@ -1,0 +1,181 @@
+//! Lowering the AST to a validated `car_core::Schema`.
+//!
+//! Two passes: relations are declared first so that participation
+//! specifications may reference relations defined later in the text; then
+//! class definitions and relation constraints are installed. All name
+//! resolution goes through the `SchemaBuilder` interners, so a class name
+//! that only occurs inside a formula is still a class of the alphabet.
+
+use crate::ast::*;
+use crate::error::ParseError;
+use car_core::syntax::{
+    Card, ClassClause, ClassFormula, ClassLiteral, RoleClause, RoleLiteral, SchemaBuilder,
+};
+use car_core::{AttRef, Schema};
+
+/// Lowers a parsed schema.
+pub fn lower(ast: &AstSchema) -> Result<Schema, ParseError> {
+    let mut b = SchemaBuilder::new();
+
+    // Pass 1: declare relations (and their roles).
+    let mut rel_ids = Vec::with_capacity(ast.relations.len());
+    for rel in &ast.relations {
+        let id = b.relation(&rel.name, rel.roles.iter().map(String::as_str));
+        rel_ids.push(id);
+    }
+
+    // Pass 2a: relation constraints.
+    for (rel, &id) in ast.relations.iter().zip(&rel_ids) {
+        for clause in &rel.constraints {
+            let literals = clause
+                .literals
+                .iter()
+                .map(|(role, formula)| RoleLiteral {
+                    role: b.role(role),
+                    formula: lower_formula(&mut b, formula),
+                })
+                .collect();
+            b.relation_constraint(id, RoleClause::new(literals));
+        }
+    }
+
+    // Pass 2b: class definitions.
+    for class in &ast.classes {
+        let id = b.class(&class.name);
+        let isa = class.isa.as_ref().map(|f| lower_formula(&mut b, f));
+        let attrs: Vec<(AttRef, Card, ClassFormula)> = class
+            .attrs
+            .iter()
+            .map(|spec| {
+                let att = match &spec.att {
+                    AstAttRef::Direct(name) => AttRef::Direct(b.attribute(name)),
+                    AstAttRef::Inverse(name) => AttRef::Inverse(b.attribute(name)),
+                };
+                let ty = spec
+                    .ty
+                    .as_ref()
+                    .map_or_else(ClassFormula::top, |f| lower_formula(&mut b, f));
+                (att, lower_card(spec.card), ty)
+            })
+            .collect();
+        let parts: Vec<_> = class
+            .participations
+            .iter()
+            .map(|p| {
+                // Reference the relation by name; unknown names become
+                // fresh relation symbols that fail validation with an
+                // UndefinedRelation error.
+                let rel = b.relation_ref(&p.rel);
+                let role = b.role(&p.role);
+                (rel, role, lower_card(p.card))
+            })
+            .collect();
+
+        let mut cb = b.define_class(id);
+        if let Some(isa) = isa {
+            cb = cb.isa(isa);
+        }
+        for (att, card, ty) in attrs {
+            cb = cb.attr(att, card, ty);
+        }
+        for (rel, role, card) in parts {
+            cb = cb.participates(rel, role, card);
+        }
+        cb.finish();
+    }
+
+    b.build().map_err(ParseError::from)
+}
+
+fn lower_formula(b: &mut SchemaBuilder, f: &AstFormula) -> ClassFormula {
+    let mut out = ClassFormula::top();
+    for clause in &f.clauses {
+        let literals = clause
+            .iter()
+            .map(|l| {
+                let id = b.class(&l.class);
+                if l.positive {
+                    ClassLiteral::pos(id)
+                } else {
+                    ClassLiteral::neg(id)
+                }
+            })
+            .collect();
+        out.push_clause(ClassClause::new(literals));
+    }
+    out
+}
+
+fn lower_card(c: AstCard) -> Card {
+    Card { min: c.min, max: c.max }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_schema;
+    use car_core::SchemaError;
+
+    #[test]
+    fn full_pipeline_builds_schema() {
+        let s = parse_schema(
+            "class Person endclass
+             class Student
+               isa Person and not Professor
+               participates_in Enrollment[enrolls] : (1, 6)
+             endclass
+             class Professor isa Person endclass
+             relation Enrollment(enrolled_in, enrolls)
+               constraints (enrolls : Student)
+             endrelation",
+        )
+        .unwrap();
+        assert_eq!(s.num_classes(), 3);
+        assert_eq!(s.num_rels(), 1);
+        let student = s.class_id("Student").unwrap();
+        assert_eq!(s.class_def(student).participations.len(), 1);
+        assert_eq!(s.class_def(student).isa.clauses.len(), 2);
+    }
+
+    #[test]
+    fn participation_may_precede_relation_definition() {
+        let s = parse_schema(
+            "class A participates_in R[u] : (1, 2) endclass
+             relation R(u, v) endrelation",
+        )
+        .unwrap();
+        assert!(s.rel_id("R").is_some());
+    }
+
+    #[test]
+    fn classes_only_in_formulas_join_the_alphabet() {
+        let s = parse_schema("class A isa not Ghost endclass").unwrap();
+        assert!(s.class_id("Ghost").is_some());
+        assert_eq!(s.num_classes(), 2);
+    }
+
+    #[test]
+    fn undefined_relation_is_a_validation_error() {
+        let err = parse_schema("class A participates_in R[u] : (1, 2) endclass").unwrap_err();
+        match err {
+            ParseError::Invalid { errors } => {
+                assert!(matches!(errors[0], SchemaError::UndefinedRelation { .. }));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn invalid_cardinality_is_a_validation_error() {
+        let err =
+            parse_schema("class A attributes f : (5, 2) T endclass").unwrap_err();
+        assert!(err.to_string().contains("invalid cardinality"));
+    }
+
+    #[test]
+    fn attribute_without_type_gets_top() {
+        let s = parse_schema("class A attributes f : (1, 2) endclass").unwrap();
+        let a = s.class_id("A").unwrap();
+        assert!(s.class_def(a).attrs[0].ty.is_top());
+    }
+}

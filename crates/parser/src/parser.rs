@@ -1,0 +1,432 @@
+//! Recursive-descent parser for the CAR schema syntax.
+//!
+//! Grammar (CNF formulas: `or` binds tighter than `and`; parentheses may
+//! wrap a single disjunctive clause):
+//!
+//! ```text
+//! schema        := (class_def | relation_def)* EOF
+//! class_def     := 'class' IDENT ['isa' formula]
+//!                  ['attributes' attr_spec (';' attr_spec)*]
+//!                  ['participates_in' participation (';' participation)*]
+//!                  'endclass'
+//! attr_spec     := att_ref ':' [card] [formula]
+//! att_ref       := IDENT | '(' 'inv' IDENT ')'
+//! card          := '(' NAT ',' (NAT | '*') ')'
+//! participation := IDENT '[' IDENT ']' ':' card
+//! formula       := clause ('and' clause)*
+//! clause        := term ('or' term)*
+//! term          := ['not'] IDENT | '(' clause ')'
+//! relation_def  := 'relation' IDENT '(' IDENT (',' IDENT)* ')'
+//!                  ['constraints' role_clause (';' role_clause)*]
+//!                  'endrelation'
+//! role_clause   := role_lit ('or' role_lit)*
+//! role_lit      := '(' IDENT ':' formula ')'
+//! ```
+
+use crate::ast::*;
+use crate::error::ParseError;
+use crate::token::{Token, TokenKind};
+
+/// Parses a token stream (ending in `Eof`) into an AST.
+pub fn parse(tokens: &[Token]) -> Result<AstSchema, ParseError> {
+    let mut p = Parser { tokens, pos: 0 };
+    p.schema()
+}
+
+struct Parser<'t> {
+    tokens: &'t [Token],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos.min(self.tokens.len() - 1)]
+    }
+
+    fn peek2(&self) -> &Token {
+        &self.tokens[(self.pos + 1).min(self.tokens.len() - 1)]
+    }
+
+    fn bump(&mut self) -> &Token {
+        let t = &self.tokens[self.pos.min(self.tokens.len() - 1)];
+        if self.pos < self.tokens.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, kind: &TokenKind, what: &'static str) -> Result<(), ParseError> {
+        if &self.peek().kind == kind {
+            self.bump();
+            Ok(())
+        } else {
+            Err(ParseError::unexpected(self.peek().pos, &self.peek().kind, what))
+        }
+    }
+
+    fn ident(&mut self, what: &'static str) -> Result<String, ParseError> {
+        match &self.peek().kind {
+            TokenKind::Ident(name) => {
+                let name = name.clone();
+                self.bump();
+                Ok(name)
+            }
+            other => Err(ParseError::unexpected(self.peek().pos, other, what)),
+        }
+    }
+
+    fn schema(&mut self) -> Result<AstSchema, ParseError> {
+        let mut schema = AstSchema::default();
+        loop {
+            match self.peek().kind {
+                TokenKind::KwClass => schema.classes.push(self.class_def()?),
+                TokenKind::KwRelation => schema.relations.push(self.relation_def()?),
+                TokenKind::Eof => return Ok(schema),
+                ref other => {
+                    return Err(ParseError::unexpected(
+                        self.peek().pos,
+                        other,
+                        "'class', 'relation' or end of input",
+                    ))
+                }
+            }
+        }
+    }
+
+    fn class_def(&mut self) -> Result<AstClassDef, ParseError> {
+        self.expect(&TokenKind::KwClass, "'class'")?;
+        let name = self.ident("class name")?;
+        let mut def =
+            AstClassDef { name, isa: None, attrs: Vec::new(), participations: Vec::new() };
+        if self.peek().kind == TokenKind::KwIsa {
+            self.bump();
+            def.isa = Some(self.formula()?);
+        }
+        if self.peek().kind == TokenKind::KwAttributes {
+            self.bump();
+            def.attrs.push(self.attr_spec()?);
+            while self.peek().kind == TokenKind::Semicolon
+                && !matches!(
+                    self.peek2().kind,
+                    TokenKind::KwParticipatesIn | TokenKind::KwEndClass
+                )
+            {
+                self.bump();
+                def.attrs.push(self.attr_spec()?);
+            }
+            // Tolerate a trailing semicolon before the next section.
+            if self.peek().kind == TokenKind::Semicolon {
+                self.bump();
+            }
+        }
+        if self.peek().kind == TokenKind::KwParticipatesIn {
+            self.bump();
+            def.participations.push(self.participation()?);
+            while self.peek().kind == TokenKind::Semicolon {
+                self.bump();
+                if self.peek().kind == TokenKind::KwEndClass {
+                    break;
+                }
+                def.participations.push(self.participation()?);
+            }
+        }
+        self.expect(&TokenKind::KwEndClass, "'endclass'")?;
+        Ok(def)
+    }
+
+    fn attr_spec(&mut self) -> Result<AstAttrSpec, ParseError> {
+        let att = if self.peek().kind == TokenKind::LParen {
+            self.bump();
+            self.expect(&TokenKind::KwInv, "'inv'")?;
+            let name = self.ident("attribute name")?;
+            self.expect(&TokenKind::RParen, "')'")?;
+            AstAttRef::Inverse(name)
+        } else {
+            AstAttRef::Direct(self.ident("attribute name")?)
+        };
+        self.expect(&TokenKind::Colon, "':'")?;
+        // Optional cardinality: '(' NAT ... — distinguished from a
+        // parenthesized clause by the token after '('.
+        let card = if self.peek().kind == TokenKind::LParen
+            && matches!(self.peek2().kind, TokenKind::Nat(_))
+        {
+            self.card()?
+        } else {
+            AstCard { min: 0, max: None }
+        };
+        // Optional filler type.
+        let ty = if self.starts_formula() { Some(self.formula()?) } else { None };
+        Ok(AstAttrSpec { att, card, ty })
+    }
+
+    fn starts_formula(&self) -> bool {
+        matches!(
+            self.peek().kind,
+            TokenKind::Ident(_) | TokenKind::KwNot | TokenKind::LParen
+        )
+    }
+
+    fn card(&mut self) -> Result<AstCard, ParseError> {
+        self.expect(&TokenKind::LParen, "'('")?;
+        let min = match self.peek().kind {
+            TokenKind::Nat(n) => {
+                self.bump();
+                n
+            }
+            ref other => {
+                return Err(ParseError::unexpected(self.peek().pos, other, "lower bound"))
+            }
+        };
+        self.expect(&TokenKind::Comma, "','")?;
+        let max = match self.peek().kind {
+            TokenKind::Nat(n) => {
+                self.bump();
+                Some(n)
+            }
+            TokenKind::Star => {
+                self.bump();
+                None
+            }
+            ref other => {
+                return Err(ParseError::unexpected(
+                    self.peek().pos,
+                    other,
+                    "upper bound or '*'",
+                ))
+            }
+        };
+        self.expect(&TokenKind::RParen, "')'")?;
+        Ok(AstCard { min, max })
+    }
+
+    fn participation(&mut self) -> Result<AstParticipation, ParseError> {
+        let rel = self.ident("relation name")?;
+        self.expect(&TokenKind::LBracket, "'['")?;
+        let role = self.ident("role name")?;
+        self.expect(&TokenKind::RBracket, "']'")?;
+        self.expect(&TokenKind::Colon, "':'")?;
+        let card = self.card()?;
+        Ok(AstParticipation { rel, role, card })
+    }
+
+    fn formula(&mut self) -> Result<AstFormula, ParseError> {
+        let mut clauses = vec![self.clause()?];
+        while self.peek().kind == TokenKind::KwAnd {
+            self.bump();
+            clauses.push(self.clause()?);
+        }
+        Ok(AstFormula { clauses })
+    }
+
+    fn clause(&mut self) -> Result<Vec<AstLiteral>, ParseError> {
+        let mut literals = self.term()?;
+        while self.peek().kind == TokenKind::KwOr {
+            self.bump();
+            literals.extend(self.term()?);
+        }
+        Ok(literals)
+    }
+
+    fn term(&mut self) -> Result<Vec<AstLiteral>, ParseError> {
+        match self.peek().kind {
+            TokenKind::KwNot => {
+                self.bump();
+                let class = self.ident("class name after 'not'")?;
+                Ok(vec![AstLiteral { class, positive: false }])
+            }
+            TokenKind::Ident(_) => {
+                let class = self.ident("class name")?;
+                Ok(vec![AstLiteral { class, positive: true }])
+            }
+            TokenKind::LParen => {
+                self.bump();
+                let inner = self.clause()?;
+                self.expect(&TokenKind::RParen, "')'")?;
+                Ok(inner)
+            }
+            ref other => Err(ParseError::unexpected(
+                self.peek().pos,
+                other,
+                "class literal or '('",
+            )),
+        }
+    }
+
+    fn relation_def(&mut self) -> Result<AstRelDef, ParseError> {
+        self.expect(&TokenKind::KwRelation, "'relation'")?;
+        let name = self.ident("relation name")?;
+        self.expect(&TokenKind::LParen, "'('")?;
+        let mut roles = vec![self.ident("role name")?];
+        while self.peek().kind == TokenKind::Comma {
+            self.bump();
+            roles.push(self.ident("role name")?);
+        }
+        self.expect(&TokenKind::RParen, "')'")?;
+        let mut constraints = Vec::new();
+        if self.peek().kind == TokenKind::KwConstraints {
+            self.bump();
+            constraints.push(self.role_clause()?);
+            while self.peek().kind == TokenKind::Semicolon {
+                self.bump();
+                if self.peek().kind == TokenKind::KwEndRelation {
+                    break;
+                }
+                constraints.push(self.role_clause()?);
+            }
+        }
+        self.expect(&TokenKind::KwEndRelation, "'endrelation'")?;
+        Ok(AstRelDef { name, roles, constraints })
+    }
+
+    fn role_clause(&mut self) -> Result<AstRoleClause, ParseError> {
+        let mut literals = vec![self.role_literal()?];
+        while self.peek().kind == TokenKind::KwOr {
+            self.bump();
+            literals.push(self.role_literal()?);
+        }
+        Ok(AstRoleClause { literals })
+    }
+
+    fn role_literal(&mut self) -> Result<(String, AstFormula), ParseError> {
+        self.expect(&TokenKind::LParen, "'('")?;
+        let role = self.ident("role name")?;
+        self.expect(&TokenKind::Colon, "':'")?;
+        let formula = self.formula()?;
+        self.expect(&TokenKind::RParen, "')'")?;
+        Ok((role, formula))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse_text(input: &str) -> Result<AstSchema, ParseError> {
+        parse(&lex(input)?)
+    }
+
+    #[test]
+    fn minimal_class() {
+        let s = parse_text("class Person endclass").unwrap();
+        assert_eq!(s.classes.len(), 1);
+        assert_eq!(s.classes[0].name, "Person");
+        assert!(s.classes[0].isa.is_none());
+    }
+
+    #[test]
+    fn isa_formula_cnf_precedence() {
+        let s = parse_text("class S isa Person and not Professor or Grad endclass").unwrap();
+        let isa = s.classes[0].isa.as_ref().unwrap();
+        // (Person) ∧ (¬Professor ∨ Grad)
+        assert_eq!(isa.clauses.len(), 2);
+        assert_eq!(isa.clauses[0].len(), 1);
+        assert_eq!(isa.clauses[1].len(), 2);
+        assert!(!isa.clauses[1][0].positive);
+        assert_eq!(isa.clauses[1][1].class, "Grad");
+    }
+
+    #[test]
+    fn parenthesized_clause() {
+        let s = parse_text("class S isa (A or B) and C endclass").unwrap();
+        let isa = s.classes[0].isa.as_ref().unwrap();
+        assert_eq!(isa.clauses.len(), 2);
+        assert_eq!(isa.clauses[0].len(), 2);
+    }
+
+    #[test]
+    fn attribute_specs() {
+        let s = parse_text(
+            "class Course
+               attributes taught_by : (1, 1) Professor or Grad;
+                          (inv teaches) : (0, *) Person;
+                          free_form : Topic
+             endclass",
+        )
+        .unwrap();
+        let attrs = &s.classes[0].attrs;
+        assert_eq!(attrs.len(), 3);
+        assert_eq!(attrs[0].att, AstAttRef::Direct("taught_by".into()));
+        assert_eq!(attrs[0].card, AstCard { min: 1, max: Some(1) });
+        assert_eq!(attrs[0].ty.as_ref().unwrap().clauses[0].len(), 2);
+        assert_eq!(attrs[1].att, AstAttRef::Inverse("teaches".into()));
+        assert_eq!(attrs[1].card, AstCard { min: 0, max: None });
+        // Omitted cardinality defaults to (0, *).
+        assert_eq!(attrs[2].card, AstCard { min: 0, max: None });
+        assert!(attrs[2].ty.is_some());
+    }
+
+    #[test]
+    fn attribute_type_starting_with_paren_is_not_a_card() {
+        let s = parse_text("class A attributes f : (X or Y) endclass").unwrap();
+        let spec = &s.classes[0].attrs[0];
+        assert_eq!(spec.card, AstCard { min: 0, max: None });
+        assert_eq!(spec.ty.as_ref().unwrap().clauses[0].len(), 2);
+    }
+
+    #[test]
+    fn participations() {
+        let s = parse_text(
+            "class Student
+               participates_in Enrollment[enrolls] : (1, 6);
+                               Exam[of] : (0, *)
+             endclass",
+        )
+        .unwrap();
+        let parts = &s.classes[0].participations;
+        assert_eq!(parts.len(), 2);
+        assert_eq!(parts[0].rel, "Enrollment");
+        assert_eq!(parts[0].role, "enrolls");
+        assert_eq!(parts[0].card, AstCard { min: 1, max: Some(6) });
+        assert_eq!(parts[1].card.max, None);
+    }
+
+    #[test]
+    fn relation_with_constraints() {
+        let s = parse_text(
+            "relation Enrollment(enrolled_in, enrolls)
+               constraints (enrolled_in : Course);
+                           (enrolled_in : not Adv_Course) or (enrolls : Grad_Student)
+             endrelation",
+        )
+        .unwrap();
+        let r = &s.relations[0];
+        assert_eq!(r.name, "Enrollment");
+        assert_eq!(r.roles, vec!["enrolled_in", "enrolls"]);
+        assert_eq!(r.constraints.len(), 2);
+        assert_eq!(r.constraints[1].literals.len(), 2);
+        assert_eq!(r.constraints[1].literals[1].0, "enrolls");
+    }
+
+    #[test]
+    fn trailing_semicolons_are_tolerated() {
+        let s = parse_text(
+            "class A attributes f : (1, 1) T; participates_in R[u] : (0, 2); endclass
+             relation R(u, v) constraints (u : A); endrelation",
+        )
+        .unwrap();
+        assert_eq!(s.classes[0].attrs.len(), 1);
+        assert_eq!(s.classes[0].participations.len(), 1);
+        assert_eq!(s.relations[0].constraints.len(), 1);
+    }
+
+    #[test]
+    fn error_messages_carry_positions() {
+        let err = parse_text("class endclass").unwrap_err();
+        match err {
+            ParseError::Unexpected { pos, expected, .. } => {
+                assert_eq!(pos.line, 1);
+                assert_eq!(expected, "class name");
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+        let err = parse_text("class A isa endclass").unwrap_err();
+        assert!(err.to_string().contains("class literal"));
+    }
+
+    #[test]
+    fn unexpected_top_level_token() {
+        let err = parse_text("blah").unwrap_err();
+        assert!(err.to_string().contains("'class', 'relation'"));
+    }
+}

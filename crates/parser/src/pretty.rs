@@ -1,0 +1,203 @@
+//! Rendering a schema back to the concrete syntax.
+
+use car_core::syntax::{Card, ClassFormula, Schema};
+use car_core::AttRef;
+use std::fmt::Write;
+
+/// Renders a schema in the paper's concrete syntax. The output parses
+/// back ([`crate::parse_schema`]) to a schema equal to the input up to
+/// symbol interning order.
+#[must_use]
+pub fn pretty(schema: &Schema) -> String {
+    let mut out = String::new();
+
+    for (class, def) in schema.classes() {
+        let _ = writeln!(out, "class {}", schema.class_name(class));
+        if !def.isa.is_top() {
+            let _ = writeln!(out, "  isa {}", fmt_formula(schema, &def.isa));
+        }
+        if !def.attrs.is_empty() {
+            let _ = write!(out, "  attributes ");
+            for (i, spec) in def.attrs.iter().enumerate() {
+                if i > 0 {
+                    let _ = write!(out, ";\n             ");
+                }
+                let att = match spec.att {
+                    AttRef::Direct(a) => schema.symbols().attr_name(a).to_owned(),
+                    AttRef::Inverse(a) => {
+                        format!("(inv {})", schema.symbols().attr_name(a))
+                    }
+                };
+                let _ = write!(out, "{att} : {}", fmt_card(spec.card));
+                if !spec.ty.is_top() {
+                    let _ = write!(out, " {}", fmt_formula(schema, &spec.ty));
+                }
+            }
+            let _ = writeln!(out);
+        }
+        if !def.participations.is_empty() {
+            let _ = write!(out, "  participates_in ");
+            for (i, p) in def.participations.iter().enumerate() {
+                if i > 0 {
+                    let _ = write!(out, ";\n                  ");
+                }
+                let _ = write!(
+                    out,
+                    "{}[{}] : {}",
+                    schema.symbols().rel_name(p.rel),
+                    schema.symbols().role_name(p.role),
+                    fmt_card(p.card)
+                );
+            }
+            let _ = writeln!(out);
+        }
+        let _ = writeln!(out, "endclass\n");
+    }
+
+    for (rel, def) in schema.relations() {
+        let roles: Vec<&str> =
+            def.roles.iter().map(|&r| schema.symbols().role_name(r)).collect();
+        let _ = writeln!(out, "relation {}({})", schema.symbols().rel_name(rel), roles.join(", "));
+        if !def.constraints.is_empty() {
+            let _ = write!(out, "  constraints ");
+            for (i, clause) in def.constraints.iter().enumerate() {
+                if i > 0 {
+                    let _ = write!(out, ";\n              ");
+                }
+                let lits: Vec<String> = clause
+                    .literals
+                    .iter()
+                    .map(|l| {
+                        format!(
+                            "({} : {})",
+                            schema.symbols().role_name(l.role),
+                            fmt_formula(schema, &l.formula)
+                        )
+                    })
+                    .collect();
+                let _ = write!(out, "{}", lits.join(" or "));
+            }
+            let _ = writeln!(out);
+        }
+        let _ = writeln!(out, "endrelation\n");
+    }
+
+    out
+}
+
+fn fmt_card(card: Card) -> String {
+    match card.max {
+        Some(max) => format!("({}, {})", card.min, max),
+        None => format!("({}, *)", card.min),
+    }
+}
+
+fn fmt_formula(schema: &Schema, f: &ClassFormula) -> String {
+    let clauses: Vec<String> = f
+        .clauses
+        .iter()
+        .map(|clause| {
+            let lits: Vec<String> = clause
+                .literals
+                .iter()
+                .map(|l| {
+                    if l.positive {
+                        schema.class_name(l.class).to_owned()
+                    } else {
+                        format!("not {}", schema.class_name(l.class))
+                    }
+                })
+                .collect();
+            let joined = lits.join(" or ");
+            if clause.literals.len() > 1 && f.clauses.len() > 1 {
+                format!("({joined})")
+            } else {
+                joined
+            }
+        })
+        .collect();
+    clauses.join(" and ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_schema;
+
+    const UNIVERSITY: &str = "
+        class Person
+          attributes name : (1, 1) String
+        endclass
+        class Professor
+          isa Person
+          attributes (inv taught_by) : (1, 2) Course
+        endclass
+        class Student
+          isa Person and not Professor
+          participates_in Enrollment[enrolls] : (1, 6)
+        endclass
+        class Course
+          isa not Person
+          attributes taught_by : (1, 1) Professor or Grad_Student
+          participates_in Enrollment[enrolled_in] : (5, 100)
+        endclass
+        class Grad_Student isa Student endclass
+        relation Enrollment(enrolled_in, enrolls)
+          constraints (enrolled_in : Course);
+                      (enrolls : Student);
+                      (enrolled_in : not Adv_Course) or (enrolls : Grad_Student)
+        endrelation
+    ";
+
+    /// Round-tripping may permute declaration order (the printer emits
+    /// id order; reparsing interns in mention order), but the *set* of
+    /// printed definition blocks must be stable.
+    #[test]
+    fn round_trip_preserves_definition_blocks() {
+        fn blocks(text: &str) -> std::collections::BTreeSet<String> {
+            text.split("\n\n")
+                .map(str::trim)
+                .filter(|b| !b.is_empty())
+                .map(str::to_owned)
+                .collect()
+        }
+        let s1 = parse_schema(UNIVERSITY).unwrap();
+        let p1 = pretty(&s1);
+        let s2 = parse_schema(&p1).expect("pretty output parses");
+        let p2 = pretty(&s2);
+        assert_eq!(blocks(&p1), blocks(&p2), "{p1}\n=====\n{p2}");
+        assert_eq!(s1.num_classes(), s2.num_classes());
+        assert_eq!(s1.num_rels(), s2.num_rels());
+        assert_eq!(s1.num_attrs(), s2.num_attrs());
+    }
+
+    #[test]
+    fn round_trip_preserves_semantics() {
+        use car_core::reasoner::Reasoner;
+        let s1 = parse_schema(UNIVERSITY).unwrap();
+        let s2 = parse_schema(&pretty(&s1)).unwrap();
+        let r1 = Reasoner::new(&s1);
+        let r2 = Reasoner::new(&s2);
+        for class in ["Person", "Professor", "Student", "Course", "Grad_Student"] {
+            let c1 = s1.class_id(class).unwrap();
+            let c2 = s2.class_id(class).unwrap();
+            assert_eq!(r1.is_satisfiable(c1), r2.is_satisfiable(c2), "{class}");
+        }
+    }
+
+    #[test]
+    fn formula_formatting_parenthesizes_only_when_needed() {
+        let s = parse_schema("class A isa (X or Y) and Z endclass").unwrap();
+        let out = pretty(&s);
+        assert!(out.contains("isa (X or Y) and Z"), "{out}");
+        let s = parse_schema("class A isa X or Y endclass").unwrap();
+        let out = pretty(&s);
+        assert!(out.contains("isa X or Y"), "{out}");
+    }
+
+    #[test]
+    fn infinity_renders_as_star() {
+        let s = parse_schema("class A attributes f : (2, *) T endclass").unwrap();
+        assert!(pretty(&s).contains("f : (2, *) T"));
+    }
+}

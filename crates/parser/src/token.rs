@@ -1,0 +1,108 @@
+//! Tokens of the CAR schema surface syntax.
+
+use std::fmt;
+
+/// A source position (1-based line and column).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Pos {
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+}
+
+impl fmt::Display for Pos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// One lexical token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier (class, attribute, relation or role name).
+    Ident(String),
+    /// Natural-number literal.
+    Nat(u64),
+    /// `class`
+    KwClass,
+    /// `isa`
+    KwIsa,
+    /// `attributes`
+    KwAttributes,
+    /// `participates_in`
+    KwParticipatesIn,
+    /// `endclass`
+    KwEndClass,
+    /// `relation`
+    KwRelation,
+    /// `constraints`
+    KwConstraints,
+    /// `endrelation`
+    KwEndRelation,
+    /// `and` / `&`
+    KwAnd,
+    /// `or` / `|`
+    KwOr,
+    /// `not` / `~`
+    KwNot,
+    /// `inv`
+    KwInv,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `,`
+    Comma,
+    /// `:`
+    Colon,
+    /// `;`
+    Semicolon,
+    /// `*` or `inf` (infinity in cardinalities)
+    Star,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Ident(s) => write!(f, "identifier '{s}'"),
+            TokenKind::Nat(n) => write!(f, "number {n}"),
+            TokenKind::KwClass => write!(f, "'class'"),
+            TokenKind::KwIsa => write!(f, "'isa'"),
+            TokenKind::KwAttributes => write!(f, "'attributes'"),
+            TokenKind::KwParticipatesIn => write!(f, "'participates_in'"),
+            TokenKind::KwEndClass => write!(f, "'endclass'"),
+            TokenKind::KwRelation => write!(f, "'relation'"),
+            TokenKind::KwConstraints => write!(f, "'constraints'"),
+            TokenKind::KwEndRelation => write!(f, "'endrelation'"),
+            TokenKind::KwAnd => write!(f, "'and'"),
+            TokenKind::KwOr => write!(f, "'or'"),
+            TokenKind::KwNot => write!(f, "'not'"),
+            TokenKind::KwInv => write!(f, "'inv'"),
+            TokenKind::LParen => write!(f, "'('"),
+            TokenKind::RParen => write!(f, "')'"),
+            TokenKind::LBracket => write!(f, "'['"),
+            TokenKind::RBracket => write!(f, "']'"),
+            TokenKind::Comma => write!(f, "','"),
+            TokenKind::Colon => write!(f, "':'"),
+            TokenKind::Semicolon => write!(f, "';'"),
+            TokenKind::Star => write!(f, "'*'"),
+            TokenKind::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+/// A token with its source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// The token.
+    pub kind: TokenKind,
+    /// Where it starts.
+    pub pos: Pos,
+}

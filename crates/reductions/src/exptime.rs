@@ -1,0 +1,565 @@
+//! The Theorem 4.1 construction: Turing machine acceptance reduced to
+//! class satisfiability.
+//!
+//! The paper's proof sketch encodes time instants and tape positions with
+//! polynomially many classes, uses two attributes (spatial and temporal
+//! successor) together with their inverses, and makes the class of the
+//! accepting state satisfiable iff the machine accepts. This module is
+//! the executable counterpart, *clocked*: the encoder takes explicit time
+//! and space bounds `T`, `S` and produces a schema whose designated class
+//! is satisfiable iff the machine accepts within those bounds — running
+//! it at small sizes validates the construction, which is the reduction's
+//! essential property (see `DESIGN.md`, substitution table).
+//!
+//! ## Construction
+//!
+//! A `(T+1) × S` grid of **cell classes** `cell_{t,p}`; each cell's
+//! content is one of a set of mutually disjoint **variant classes**:
+//! either a plain tape symbol `a`, or a head variant `(q, a, tag)` where
+//! the tag records how the head arrived (`stayed` / `from-left` /
+//! `from-right`) — at `t = 0` the start variant is untagged and pinned to
+//! the input configuration. Temporal successor attributes `fut_{t,p}`
+//! (with `(inv fut)` exactly-one on the next row, so every object's
+//! backward chain is uniquely linked) carry the tape contents forward:
+//!
+//! * a plain-symbol variant types its future as "same symbol, or a head
+//!   arrives on the same symbol";
+//! * a head variant with transition `δ(q, a) = (q', b, move)` types its
+//!   future as the written symbol `b` (with the head on it for `Stay`),
+//!   and, for `Left`/`Right` moves, a diagonal attribute `fl/fr_{t,p}`
+//!   typed with arrival variants at the neighbor cell;
+//! * every arrival variant carries an inverse-attribute specification
+//!   `(1,1)` typed with the union of transitions that could have produced
+//!   it — so no head can appear out of thin air, and by determinism the
+//!   only justified chain is the machine's actual run.
+//!
+//! Every cardinality is `0` or `1` and no relation appears, matching the
+//! theorem's strengthened statement.
+
+use crate::turing::{Move, TuringMachine};
+use car_core::syntax::{Card, ClassClause, ClassFormula, ClassLiteral, SchemaBuilder};
+use car_core::{AttRef, ClassId, Schema};
+
+/// The encoded schema plus the designated classes of Theorem 4.1.
+#[derive(Debug)]
+pub struct TmEncoding {
+    /// The CAR schema (attributes only, 0/1 bounds).
+    pub schema: Schema,
+    /// The accepting-state variant classes, one per grid position and
+    /// read symbol: the machine accepts within the bounds iff *some* of
+    /// them is satisfiable. (A single disjunctive `Accept` class would
+    /// merge every grid cluster of the Theorem 4.6 decomposition into
+    /// one; querying the variants individually keeps the clusters — and
+    /// hence the reasoning — per-cell.)
+    pub accept_classes: Vec<ClassId>,
+}
+
+impl TmEncoding {
+    /// Theorem 4.1 query: is some accepting-state class satisfiable?
+    ///
+    /// # Errors
+    /// Propagates reasoner resource errors.
+    pub fn accepts(
+        &self,
+        reasoner: &car_core::reasoner::Reasoner<'_>,
+    ) -> Result<bool, car_core::reasoner::ReasonerError> {
+        for &class in &self.accept_classes {
+            if reasoner.try_is_satisfiable(class)? {
+                return Ok(true);
+            }
+        }
+        Ok(false)
+    }
+}
+
+/// Content variant of one tape cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum Variant {
+    /// Plain tape symbol, no head.
+    Sym(usize),
+    /// Head on the cell: state, symbol under the head, arrival tag.
+    Head(usize, usize, Tag),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum Tag {
+    /// The `t = 0` head (pinned by the input configuration).
+    Initial,
+    /// The head stayed on this cell.
+    Stayed,
+    /// The head moved in from the left neighbor.
+    FromLeft,
+    /// The head moved in from the right neighbor.
+    FromRight,
+}
+
+impl Tag {
+    fn name(self) -> &'static str {
+        match self {
+            Tag::Initial => "i",
+            Tag::Stayed => "s",
+            Tag::FromLeft => "l",
+            Tag::FromRight => "r",
+        }
+    }
+}
+
+fn variant_name(t: usize, p: usize, v: Variant) -> String {
+    match v {
+        Variant::Sym(a) => format!("v_{t}_{p}_s{a}"),
+        Variant::Head(q, a, tag) => format!("v_{t}_{p}_h{q}_{a}_{}", tag.name()),
+    }
+}
+
+/// Encodes `(machine, input)` with time bound `time` and `tape` cells.
+///
+/// # Panics
+/// Panics if the input does not fit the tape or the machine is invalid.
+#[must_use]
+pub fn encode_tm(
+    machine: &TuringMachine,
+    input: &[usize],
+    time: usize,
+    tape: usize,
+) -> TmEncoding {
+    machine.validate();
+    assert!(input.len() <= tape, "input longer than tape");
+    assert!(tape >= 1 && time >= 1);
+
+    let mut b = SchemaBuilder::new();
+
+    // The variants available at each row.
+    let variants_at = |t: usize| -> Vec<Variant> {
+        let mut vs = Vec::new();
+        for a in 0..machine.symbols {
+            vs.push(Variant::Sym(a));
+        }
+        for q in 0..machine.states {
+            for a in 0..machine.symbols {
+                if t == 0 {
+                    vs.push(Variant::Head(q, a, Tag::Initial));
+                } else {
+                    vs.push(Variant::Head(q, a, Tag::Stayed));
+                    vs.push(Variant::Head(q, a, Tag::FromLeft));
+                    vs.push(Variant::Head(q, a, Tag::FromRight));
+                }
+            }
+        }
+        vs
+    };
+
+    // Intern every class first.
+    let cell = |t: usize, p: usize| format!("cell_{t}_{p}");
+    let mut cell_ids = vec![vec![ClassId::from_index(0); tape]; time + 1];
+    let mut var_ids: Vec<Vec<Vec<(Variant, ClassId)>>> =
+        vec![vec![Vec::new(); tape]; time + 1];
+    for t in 0..=time {
+        for p in 0..tape {
+            cell_ids[t][p] = b.class(&cell(t, p));
+            for v in variants_at(t) {
+                let id = b.class(&variant_name(t, p, v));
+                var_ids[t][p].push((v, id));
+            }
+        }
+    }
+    // Attributes.
+    let fut = |t: usize, p: usize| format!("fut_{t}_{p}");
+    let fr = |t: usize, p: usize| format!("fr_{t}_{p}");
+    let fl = |t: usize, p: usize| format!("fl_{t}_{p}");
+    let fut_ids: Vec<Vec<_>> = (0..time)
+        .map(|t| (0..tape).map(|p| b.attribute(&fut(t, p))).collect::<Vec<_>>())
+        .collect();
+    let fr_ids: Vec<Vec<_>> = (0..time)
+        .map(|t| (0..tape).map(|p| b.attribute(&fr(t, p))).collect::<Vec<_>>())
+        .collect();
+    let fl_ids: Vec<Vec<_>> = (0..time)
+        .map(|t| (0..tape).map(|p| b.attribute(&fl(t, p))).collect::<Vec<_>>())
+        .collect();
+
+    let find = |t: usize, p: usize, v: Variant, var_ids: &Vec<Vec<Vec<(Variant, ClassId)>>>| {
+        var_ids[t][p]
+            .iter()
+            .find(|(w, _)| *w == v)
+            .map(|(_, id)| *id)
+            .expect("variant interned")
+    };
+
+    // Arrival variants at (t+1, ·) caused by transitions out of (q, a).
+    let movers_into = |q2: usize, mv: Move| -> Vec<(usize, usize)> {
+        machine
+            .delta
+            .iter()
+            .filter(|(&(q, _), &(q2x, _, m))| {
+                q != machine.accept && q2x == q2 && m == mv
+            })
+            .map(|(&(q, a), _)| (q, a))
+            .collect()
+    };
+
+    // ---- Cell definitions -------------------------------------------
+    for t in 0..=time {
+        for p in 0..tape {
+            let vs = &var_ids[t][p];
+            let mut isa = ClassFormula::top();
+            // Some variant holds...
+            isa.push_clause(ClassClause::new(
+                vs.iter().map(|&(_, id)| ClassLiteral::pos(id)).collect(),
+            ));
+            // ...and at most one (pairwise disjointness).
+            for i in 0..vs.len() {
+                for j in (i + 1)..vs.len() {
+                    isa.push_clause(ClassClause::new(vec![
+                        ClassLiteral::neg(vs[i].1),
+                        ClassLiteral::neg(vs[j].1),
+                    ]));
+                }
+            }
+            // t = 0: pin to the input configuration.
+            if t == 0 {
+                let symbol = input.get(p).copied().unwrap_or(machine.blank);
+                let pinned = if p == 0 {
+                    Variant::Head(machine.start, symbol, Tag::Initial)
+                } else {
+                    Variant::Sym(symbol)
+                };
+                isa.push_clause(ClassClause::new(vec![ClassLiteral::pos(find(
+                    0, p, pinned, &var_ids,
+                ))]));
+            }
+
+            let mut cb = b.define_class(cell_ids[t][p]).isa(isa);
+            if t < time {
+                // Every cell has exactly one temporal successor...
+                cb = cb.attr(
+                    AttRef::Direct(fut_ids[t][p]),
+                    Card::exactly(1),
+                    ClassFormula::class(cell_ids[t + 1][p]),
+                );
+            }
+            if t >= 1 {
+                // ...and exactly one temporal predecessor, which is what
+                // links every object's backward chain uniquely.
+                cb = cb.attr(
+                    AttRef::Inverse(fut_ids[t - 1][p]),
+                    Card::exactly(1),
+                    ClassFormula::class(cell_ids[t - 1][p]),
+                );
+            }
+            cb.finish();
+        }
+    }
+
+    // ---- Variant definitions ----------------------------------------
+    for t in 0..=time {
+        for p in 0..tape {
+            for &(v, id) in &var_ids[t][p] {
+                let mut isa = ClassFormula::class(cell_ids[t][p]);
+                let mut specs: Vec<(AttRef, ClassFormula)> = Vec::new();
+                let mut dead = false;
+
+                match v {
+                    Variant::Sym(a) => {
+                        if t < time {
+                            // Symbol persists; a head may arrive onto it.
+                            let mut succ = vec![ClassLiteral::pos(find(
+                                t + 1,
+                                p,
+                                Variant::Sym(a),
+                                &var_ids,
+                            ))];
+                            for q in 0..machine.states {
+                                for tag in [Tag::Stayed, Tag::FromLeft, Tag::FromRight] {
+                                    succ.push(ClassLiteral::pos(find(
+                                        t + 1,
+                                        p,
+                                        Variant::Head(q, a, tag),
+                                        &var_ids,
+                                    )));
+                                }
+                            }
+                            specs.push((
+                                AttRef::Direct(fut_ids[t][p]),
+                                ClassFormula { clauses: vec![ClassClause::new(succ)] },
+                            ));
+                        }
+                    }
+                    Variant::Head(q, a, tag) => {
+                        // Justification of the arrival (t >= 1 tags).
+                        match tag {
+                            Tag::Initial => {}
+                            Tag::Stayed => {
+                                let origins = movers_into(q, Move::Stay);
+                                if origins.is_empty() {
+                                    dead = true;
+                                } else {
+                                    let lits = origin_literals(
+                                        &origins, t - 1, p, &var_ids, &find,
+                                    );
+                                    specs.push((
+                                        AttRef::Inverse(fut_ids[t - 1][p]),
+                                        ClassFormula {
+                                            clauses: vec![ClassClause::new(lits)],
+                                        },
+                                    ));
+                                }
+                            }
+                            Tag::FromLeft => {
+                                let origins = movers_into(q, Move::Right);
+                                if p == 0 || origins.is_empty() {
+                                    dead = true;
+                                } else {
+                                    let lits = origin_literals(
+                                        &origins, t - 1, p - 1, &var_ids, &find,
+                                    );
+                                    specs.push((
+                                        AttRef::Inverse(fr_ids[t - 1][p - 1]),
+                                        ClassFormula {
+                                            clauses: vec![ClassClause::new(lits)],
+                                        },
+                                    ));
+                                }
+                            }
+                            Tag::FromRight => {
+                                let origins = movers_into(q, Move::Left);
+                                if p + 1 >= tape || origins.is_empty() {
+                                    dead = true;
+                                } else {
+                                    let lits = origin_literals(
+                                        &origins, t - 1, p + 1, &var_ids, &find,
+                                    );
+                                    specs.push((
+                                        AttRef::Inverse(fl_ids[t - 1][p + 1]),
+                                        ClassFormula {
+                                            clauses: vec![ClassClause::new(lits)],
+                                        },
+                                    ));
+                                }
+                            }
+                        }
+
+                        // Forward behavior from the transition function.
+                        if !dead && t < time && q != machine.accept {
+                            if let Some(&(q2, write, mv)) = machine.delta.get(&(q, a)) {
+                                match mv {
+                                    Move::Stay => {
+                                        specs.push((
+                                            AttRef::Direct(fut_ids[t][p]),
+                                            ClassFormula::class(find(
+                                                t + 1,
+                                                p,
+                                                Variant::Head(q2, write, Tag::Stayed),
+                                                &var_ids,
+                                            )),
+                                        ));
+                                    }
+                                    Move::Right => {
+                                        if p + 1 >= tape {
+                                            dead = true; // off the tape
+                                        } else {
+                                            specs.push((
+                                                AttRef::Direct(fut_ids[t][p]),
+                                                ClassFormula::class(find(
+                                                    t + 1,
+                                                    p,
+                                                    Variant::Sym(write),
+                                                    &var_ids,
+                                                )),
+                                            ));
+                                            let arrivals = (0..machine.symbols)
+                                                .map(|a2| {
+                                                    ClassLiteral::pos(find(
+                                                        t + 1,
+                                                        p + 1,
+                                                        Variant::Head(
+                                                            q2,
+                                                            a2,
+                                                            Tag::FromLeft,
+                                                        ),
+                                                        &var_ids,
+                                                    ))
+                                                })
+                                                .collect();
+                                            specs.push((
+                                                AttRef::Direct(fr_ids[t][p]),
+                                                ClassFormula {
+                                                    clauses: vec![ClassClause::new(
+                                                        arrivals,
+                                                    )],
+                                                },
+                                            ));
+                                        }
+                                    }
+                                    Move::Left => {
+                                        if p == 0 {
+                                            dead = true;
+                                        } else {
+                                            specs.push((
+                                                AttRef::Direct(fut_ids[t][p]),
+                                                ClassFormula::class(find(
+                                                    t + 1,
+                                                    p,
+                                                    Variant::Sym(write),
+                                                    &var_ids,
+                                                )),
+                                            ));
+                                            let arrivals = (0..machine.symbols)
+                                                .map(|a2| {
+                                                    ClassLiteral::pos(find(
+                                                        t + 1,
+                                                        p - 1,
+                                                        Variant::Head(
+                                                            q2,
+                                                            a2,
+                                                            Tag::FromRight,
+                                                        ),
+                                                        &var_ids,
+                                                    ))
+                                                })
+                                                .collect();
+                                            specs.push((
+                                                AttRef::Direct(fl_ids[t][p]),
+                                                ClassFormula {
+                                                    clauses: vec![ClassClause::new(
+                                                        arrivals,
+                                                    )],
+                                                },
+                                            ));
+                                        }
+                                    }
+                                }
+                            }
+                            // δ undefined: the machine halts; the cell's own
+                            // fut spec (from cell_{t,p}) still forces a
+                            // successor cell, unconstrained in content.
+                        }
+
+                        let _ = tag;
+                    }
+                }
+
+                if dead {
+                    // Unsatisfiable marker: V ⊑ ¬V.
+                    isa = isa.and(ClassFormula::neg_class(id));
+                }
+                let mut cb = b.define_class(id).isa(isa);
+                for (att, ty) in specs {
+                    cb = cb.attr(att, Card::exactly(1), ty);
+                }
+                cb.finish();
+            }
+        }
+    }
+
+    // ---- The accepting classes ---------------------------------------
+    let mut accept_classes = Vec::new();
+    for t in 0..=time {
+        for p in 0..tape {
+            for &(v, id) in &var_ids[t][p] {
+                if matches!(v, Variant::Head(q, _, _) if q == machine.accept) {
+                    accept_classes.push(id);
+                }
+            }
+        }
+    }
+
+    let schema = b.build().expect("encoder produces a valid schema");
+    TmEncoding { schema, accept_classes }
+}
+
+fn origin_literals(
+    origins: &[(usize, usize)],
+    t: usize,
+    p: usize,
+    var_ids: &Vec<Vec<Vec<(Variant, ClassId)>>>,
+    find: &impl Fn(usize, usize, Variant, &Vec<Vec<Vec<(Variant, ClassId)>>>) -> ClassId,
+) -> Vec<ClassLiteral> {
+    let mut lits = Vec::new();
+    for &(q, a) in origins {
+        let tags: &[Tag] = if t == 0 {
+            &[Tag::Initial]
+        } else {
+            &[Tag::Stayed, Tag::FromLeft, Tag::FromRight]
+        };
+        for &tag in tags {
+            lits.push(ClassLiteral::pos(find(t, p, Variant::Head(q, a, tag), var_ids)));
+        }
+    }
+    lits
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::turing::RunOutcome;
+    use car_core::reasoner::{Reasoner, ReasonerConfig, Strategy};
+
+    fn reduction_agrees(machine: &TuringMachine, input: &[usize], time: usize, tape: usize) {
+        let outcome = machine.run(input, time, tape);
+        let accepts = matches!(outcome, RunOutcome::Accept { .. });
+        let enc = encode_tm(machine, input, time, tape);
+        let reasoner = Reasoner::with_config(
+            &enc.schema,
+            ReasonerConfig { strategy: Strategy::Preselect, ..Default::default() },
+        );
+        assert_eq!(
+            enc.accepts(&reasoner).unwrap(),
+            accepts,
+            "machine outcome {outcome:?} for input {input:?} (T={time}, S={tape})"
+        );
+    }
+
+    #[test]
+    fn accepting_run_makes_accept_satisfiable() {
+        // Parity machine on the empty input: accepts at step 1.
+        reduction_agrees(&TuringMachine::parity_machine(), &[], 2, 2);
+    }
+
+    #[test]
+    fn accepting_run_with_movement() {
+        // Input [1, 1]: walks right twice, accepts on the blank.
+        reduction_agrees(&TuringMachine::parity_machine(), &[1, 1], 3, 3);
+    }
+
+    #[test]
+    fn rejecting_run_makes_accept_unsatisfiable() {
+        // Input [1]: halts in the odd state — rejects.
+        reduction_agrees(&TuringMachine::parity_machine(), &[1], 3, 3);
+    }
+
+    #[test]
+    fn time_bound_cuts_off_acceptance() {
+        // Input [1, 1] needs 3 steps; with T = 2 the clocked reduction
+        // must report unsatisfiable.
+        reduction_agrees(&TuringMachine::parity_machine(), &[1, 1], 2, 3);
+    }
+
+    #[test]
+    fn looping_machine_never_accepts() {
+        reduction_agrees(&TuringMachine::looper(), &[], 3, 2);
+    }
+
+    #[test]
+    fn schema_uses_only_01_bounds_and_no_relations() {
+        let enc = encode_tm(&TuringMachine::parity_machine(), &[1], 2, 2);
+        assert_eq!(enc.schema.num_rels(), 0);
+        for (_, def) in enc.schema.classes() {
+            for spec in &def.attrs {
+                assert!(spec.card.min <= 1);
+                assert_eq!(spec.card.max, Some(1));
+            }
+        }
+    }
+
+    #[test]
+    fn schema_size_is_polynomial_in_bounds() {
+        let m = TuringMachine::parity_machine();
+        let small = encode_tm(&m, &[], 2, 2).schema.num_classes();
+        let large = encode_tm(&m, &[], 4, 4).schema.num_classes();
+        // Classes grow ~ linearly with T·S (grid), not exponentially.
+        let cells_small = 3 * 2;
+        let cells_large = 5 * 4;
+        let per_cell_small = small as f64 / cells_small as f64;
+        let per_cell_large = large as f64 / cells_large as f64;
+        assert!((per_cell_small - per_cell_large).abs() < 4.0);
+    }
+}

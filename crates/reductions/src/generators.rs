@@ -1,0 +1,355 @@
+//! Workload generators for the benchmark harness.
+//!
+//! Each generator produces a family of schemas parameterized by size,
+//! covering the regimes the paper's complexity analysis distinguishes:
+//!
+//! * [`clustered_schema`] — category β of §4.3: independent clusters,
+//!   where preselection + cluster decomposition is polynomial;
+//! * [`dense_schema`] — category α: unions crossing the whole alphabet,
+//!   where the expansion is necessarily exponential;
+//! * [`hierarchy_schema`] — generalization hierarchies of §4.4 (balanced
+//!   trees with explicit sibling disjointness);
+//! * [`kary_schema`] — one K-ary relation with unit role-clauses, the
+//!   Theorem 4.5 regime;
+//! * [`ratio_chain_schema`] — attribute chains whose cardinality bounds
+//!   force geometric population growth, stressing phase 2 (the linear
+//!   disequations) while phase 1 stays trivial;
+//! * [`random_schema`] — seeded random schemas for oracle agreement
+//!   testing (small alphabets, small bounds).
+
+use car_core::syntax::{Card, ClassFormula, RoleClause, RoleLiteral, SchemaBuilder};
+use car_core::{AttRef, Schema};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// `k` independent clusters of `size` classes each: within a cluster,
+/// class `i+1` isa class `i`, and the cluster's leaf carries an attribute
+/// bound into the cluster root. Clusters never reference each other.
+#[must_use]
+pub fn clustered_schema(clusters: usize, size: usize) -> Schema {
+    assert!(size >= 1);
+    let mut b = SchemaBuilder::new();
+    for c in 0..clusters {
+        let ids: Vec<_> = (0..size).map(|i| b.class(&format!("K{c}_{i}"))).collect();
+        for i in 1..size {
+            b.define_class(ids[i]).isa(ClassFormula::class(ids[i - 1])).finish();
+        }
+        let att = b.attribute(&format!("f{c}"));
+        b.define_class(ids[0])
+            .attr(AttRef::Direct(att), Card::new(1, 2), ClassFormula::class(ids[size - 1]))
+            .finish();
+    }
+    b.build().expect("generator produces valid schemas")
+}
+
+/// A category-α schema: `n` classes, every class's isa contains a clause
+/// `C_0 ∨ C_1 ∨ … ∨ C_{n-1}` (everything may co-occur with everything),
+/// so no disjointness can be assumed and the expansion is necessarily
+/// exponential in `n`. Deliberately free of cardinality constraints:
+/// category α measures phase-1 enumeration cost, and any attribute over
+/// these fully-overlapping classes would square the already-exponential
+/// unknown count.
+#[must_use]
+pub fn dense_schema(n: usize) -> Schema {
+    let mut b = SchemaBuilder::new();
+    let ids: Vec<_> = (0..n).map(|i| b.class(&format!("D{i}"))).collect();
+    for &id in &ids {
+        // A clause over all classes: satisfied by any nonempty compound
+        // class, so it prunes nothing — the worst case for enumeration.
+        let all = ClassFormula::union_of(ids.iter().copied());
+        b.define_class(id).isa(all).finish();
+    }
+    b.build().expect("generator produces valid schemas")
+}
+
+/// A balanced generalization hierarchy: a tree of the given `depth` and
+/// `branching` factor (depth 0 = a single root) with explicit pairwise
+/// sibling disjointness — the §4.4 polynomial case. Total classes:
+/// `(branching^(depth+1) - 1) / (branching - 1)` for `branching > 1`.
+#[must_use]
+pub fn hierarchy_schema(depth: usize, branching: usize) -> Schema {
+    assert!(branching >= 1);
+    let mut b = SchemaBuilder::new();
+    let root = b.class("N");
+    b.define_class(root).finish();
+    let mut frontier = vec![(root, "N".to_owned())];
+    for _ in 0..depth {
+        let mut next = Vec::new();
+        for (parent, name) in frontier {
+            let children: Vec<_> = (0..branching)
+                .map(|k| {
+                    let child_name = format!("{name}_{k}");
+                    (b.class(&child_name), child_name)
+                })
+                .collect();
+            for (k, (child, _)) in children.iter().enumerate() {
+                let mut isa = ClassFormula::class(parent);
+                for (other, _) in &children[..k] {
+                    isa = isa.and(ClassFormula::neg_class(*other));
+                }
+                b.define_class(*child).isa(isa).finish();
+            }
+            next.extend(children);
+        }
+        frontier = next;
+    }
+    b.build().expect("generator produces valid schemas")
+}
+
+/// One `K`-ary relation with unit role-clauses typing each role with its
+/// own class, and a participation constraint on the first role — the
+/// Theorem 4.5 regime. The filler classes are pairwise disjoint;
+/// `extra_free_classes` adds unconstrained classes that may co-occur
+/// with every filler, so each role has `2^extra` candidate compound
+/// classes and the direct expansion carries `2^(extra·K)` compound
+/// relations — the `|C̄|^K` blow-up of §4.2, with a controllable base.
+#[must_use]
+pub fn kary_schema(arity: usize, extra_free_classes: usize) -> Schema {
+    assert!(arity >= 2);
+    let mut b = SchemaBuilder::new();
+    let role_names: Vec<String> = (0..arity).map(|k| format!("u{k}")).collect();
+    let rel = b.relation("R", role_names.iter().map(String::as_str));
+    let fillers: Vec<_> = (0..arity).map(|k| b.class(&format!("F{k}"))).collect();
+    for (k, &filler) in fillers.iter().enumerate() {
+        let role = b.role(&role_names[k]);
+        b.relation_constraint(
+            rel,
+            RoleClause::new(vec![RoleLiteral { role, formula: ClassFormula::class(filler) }]),
+        );
+    }
+    let u0 = b.role("u0");
+    for (k, &filler) in fillers.iter().enumerate() {
+        let mut cb = b.define_class(filler);
+        for &other in &fillers[..k] {
+            cb = cb.isa(ClassFormula::neg_class(other));
+        }
+        if k == 0 {
+            cb = cb.participates(rel, u0, Card::new(1, 2));
+        }
+        cb.finish();
+    }
+    for e in 0..extra_free_classes {
+        b.class(&format!("X{e}"));
+    }
+    b.build().expect("generator produces valid schemas")
+}
+
+/// A chain `C_0 → C_1 → … → C_len` where each `C_i` needs exactly `grow`
+/// attribute fillers in `C_{i+1}` and each `C_{i+1}` object serves
+/// exactly one predecessor: populations are forced to grow geometrically
+/// (`|C_{i+1}| = grow · |C_i|`), producing disequation systems whose
+/// solutions have large values — a phase-2 stress test with a trivial
+/// phase 1 (the chain is a hierarchy-free, disjoint family).
+#[must_use]
+pub fn ratio_chain_schema(len: usize, grow: u64) -> Schema {
+    let mut b = SchemaBuilder::new();
+    let ids: Vec<_> = (0..=len).map(|i| b.class(&format!("C{i}"))).collect();
+    let atts: Vec<_> = (0..len).map(|i| b.attribute(&format!("f{i}"))).collect();
+    for i in 0..=len {
+        let mut cb = b.define_class(ids[i]);
+        if i < len {
+            // Forward edge: each C_i object has exactly `grow` fillers.
+            cb = cb.attr(
+                AttRef::Direct(atts[i]),
+                Card::exactly(grow),
+                ClassFormula::class(ids[i + 1]),
+            );
+        }
+        if i > 0 {
+            // The inverse pins the ratio exactly, and the negative
+            // literal keeps chain classes pairwise disjoint so each is
+            // its own compound class.
+            cb = cb
+                .attr(
+                    AttRef::Inverse(atts[i - 1]),
+                    Card::exactly(1),
+                    ClassFormula::class(ids[i - 1]),
+                )
+                .isa(ClassFormula::neg_class(ids[i - 1]));
+        }
+        cb.finish();
+    }
+    b.build().expect("generator produces valid schemas")
+}
+
+/// Parameters for [`random_schema`].
+#[derive(Debug, Clone, Copy)]
+pub struct RandomSchemaParams {
+    /// Number of classes (keep ≤ 5 for oracle comparisons).
+    pub classes: usize,
+    /// Number of attributes.
+    pub attrs: usize,
+    /// Number of binary relations.
+    pub rels: usize,
+    /// Probability that a class gets an isa clause.
+    pub isa_density: f64,
+    /// Largest cardinality bound generated.
+    pub max_bound: u64,
+}
+
+impl Default for RandomSchemaParams {
+    fn default() -> RandomSchemaParams {
+        RandomSchemaParams { classes: 4, attrs: 1, rels: 1, isa_density: 0.6, max_bound: 2 }
+    }
+}
+
+/// A seeded random schema for oracle agreement testing: random isa
+/// clauses (1–2 literals, mixed polarity), random attribute specs with
+/// small bounds, random binary relations with unit role-clauses and
+/// participations.
+#[must_use]
+pub fn random_schema(params: &RandomSchemaParams, seed: u64) -> Schema {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = SchemaBuilder::new();
+    let classes: Vec<_> = (0..params.classes).map(|i| b.class(&format!("C{i}"))).collect();
+    let attrs: Vec<_> = (0..params.attrs).map(|i| b.attribute(&format!("a{i}"))).collect();
+    let rels: Vec<_> = (0..params.rels)
+        .map(|i| b.relation(&format!("R{i}"), ["u", "v"]))
+        .collect();
+    let role_u = b.role("u");
+    let role_v = b.role("v");
+
+    // Random unit role-clauses.
+    for &rel in &rels {
+        for role in [role_u, role_v] {
+            if rng.gen_bool(0.7) {
+                let target = classes[rng.gen_range(0..classes.len())];
+                b.relation_constraint(
+                    rel,
+                    RoleClause::new(vec![RoleLiteral {
+                        role,
+                        formula: ClassFormula::class(target),
+                    }]),
+                );
+            }
+        }
+    }
+
+    let rand_card = |rng: &mut StdRng| -> Card {
+        let min = rng.gen_range(0..=params.max_bound);
+        if rng.gen_bool(0.3) {
+            Card::at_least(min)
+        } else {
+            Card::new(min, rng.gen_range(min..=params.max_bound.max(min)))
+        }
+    };
+
+    for (i, &class) in classes.iter().enumerate() {
+        let mut isa = ClassFormula::top();
+        if rng.gen_bool(params.isa_density) {
+            let width = rng.gen_range(1..=2usize);
+            let mut lits = Vec::new();
+            for _ in 0..width {
+                let j = rng.gen_range(0..classes.len());
+                if j == i {
+                    continue;
+                }
+                let lit = if rng.gen_bool(0.3) {
+                    car_core::ClassLiteral::neg(classes[j])
+                } else {
+                    car_core::ClassLiteral::pos(classes[j])
+                };
+                lits.push(lit);
+            }
+            if !lits.is_empty() {
+                isa.push_clause(car_core::ClassClause::new(lits));
+            }
+        }
+        let mut cb = b.define_class(class).isa(isa);
+        if !attrs.is_empty() && rng.gen_bool(0.5) {
+            let att = attrs[rng.gen_range(0..attrs.len())];
+            let att_ref = if rng.gen_bool(0.3) {
+                AttRef::Inverse(att)
+            } else {
+                AttRef::Direct(att)
+            };
+            let ty = if rng.gen_bool(0.7) {
+                ClassFormula::class(classes[rng.gen_range(0..classes.len())])
+            } else {
+                ClassFormula::top()
+            };
+            cb = cb.attr(att_ref, rand_card(&mut rng), ty);
+        }
+        if !rels.is_empty() && rng.gen_bool(0.4) {
+            let rel = rels[rng.gen_range(0..rels.len())];
+            let role = if rng.gen_bool(0.5) { role_u } else { role_v };
+            cb = cb.participates(rel, role, rand_card(&mut rng));
+        }
+        cb.finish();
+    }
+    b.build().expect("generator produces valid schemas")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use car_core::hierarchy;
+    use car_core::preselection::Preselection;
+    use car_core::reasoner::Reasoner;
+
+    #[test]
+    fn clustered_schema_has_expected_clusters() {
+        let s = clustered_schema(3, 4);
+        assert_eq!(s.num_classes(), 12);
+        let p = Preselection::compute(&s);
+        assert_eq!(p.clusters().len(), 3);
+        let r = Reasoner::new(&s);
+        assert!(r.try_is_coherent().unwrap());
+    }
+
+    #[test]
+    fn dense_schema_resists_clustering() {
+        let s = dense_schema(5);
+        let p = Preselection::compute(&s);
+        assert_eq!(p.clusters().len(), 1);
+    }
+
+    #[test]
+    fn hierarchy_schema_is_detected_by_fast_path() {
+        let s = hierarchy_schema(3, 2);
+        assert_eq!(s.num_classes(), 15);
+        let h = hierarchy::detect(&s).expect("generator emits detectable hierarchies");
+        let ccs = hierarchy::path_closure_ccs(&s, &h);
+        assert_eq!(ccs.len(), 15);
+        let r = Reasoner::new(&s);
+        assert!(r.try_is_coherent().unwrap());
+    }
+
+    #[test]
+    fn kary_schema_shape() {
+        let s = kary_schema(4, 2);
+        let rel = s.rel_id("R").unwrap();
+        assert_eq!(s.rel_def(rel).arity(), 4);
+        assert!(car_core::arity::reducible(&s, rel));
+        let r = Reasoner::new(&s);
+        assert!(r.is_satisfiable(s.class_id("F0").unwrap()));
+    }
+
+    #[test]
+    fn ratio_chain_is_satisfiable_and_grows() {
+        let s = ratio_chain_schema(4, 2);
+        let r = Reasoner::new(&s);
+        assert!(r.try_is_coherent().unwrap());
+        // The forced growth shows up in the extracted model.
+        let model = r.extract_model().unwrap();
+        let c0 = s.class_id("C0").unwrap();
+        let c4 = s.class_id("C4").unwrap();
+        assert_eq!(
+            model.class_extension(c4).len(),
+            16 * model.class_extension(c0).len()
+        );
+    }
+
+    #[test]
+    fn random_schemas_are_valid_and_deterministic() {
+        let params = RandomSchemaParams::default();
+        for seed in 0..20 {
+            let s1 = random_schema(&params, seed);
+            let s2 = random_schema(&params, seed);
+            assert_eq!(s1.num_classes(), s2.num_classes());
+            // Reasoning terminates without panicking.
+            let r = Reasoner::new(&s1);
+            let _ = r.try_unsatisfiable_classes().unwrap();
+        }
+    }
+}

@@ -1,0 +1,337 @@
+//! The Theorem 4.2 construction: Intersection Pattern reduced to class
+//! satisfiability in a union-free, negation-free CAR schema with no
+//! relations.
+//!
+//! **Intersection Pattern** ([GJ79], problem SP9): given a symmetric
+//! `n × n` matrix `A` of nonnegative integers, do there exist sets
+//! `S_1, …, S_n` with `|S_i ∩ S_j| = A[i][j]` for all `i ≤ j`?
+//!
+//! ## Construction
+//!
+//! One anchor class `P` (the class whose satisfiability is queried) pins
+//! class sizes relative to `|P|` through a counting gadget: `P` has an
+//! attribute with bound `(k, k)` typed `X` and `X` carries the inverse
+//! with `(1, 1)`, forcing `|X| = k · |P|`. With classes `S_i` (sizes
+//! pinned to `A[i][i]`), and per pair `i < j` two classes
+//!
+//! * `M_ij ⊑ S_i ⊓ S_j` with `|M_ij| = A[i][j]`, and
+//! * `N_ij ⊑ S_i` with `|N_ij| = A[i][i] − A[i][j]`,
+//!
+//! where `M_ij`, `N_ij` are disjoint from each other and `N_ij` is
+//! disjoint from `S_j` — *both disjointnesses expressed through
+//! cardinality constraints alone* (one class carries an attribute with
+//! bound `(1, 1)`, the other the same attribute with `(0, 0)`; no object
+//! can satisfy both), which is exactly the trick the paper's proof sketch
+//! points at. Then `|M_ij| + |N_ij| = |S_i|` with `M_ij ⊔ N_ij ⊆ S_i`
+//! forces `M_ij ⊔ N_ij = S_i`, so `S_i ∩ S_j = M_ij ∩ S_j = M_ij` and
+//! the intersection size is pinned *exactly* — no unions, no negations,
+//! no relations.
+//!
+//! A model with `|P| = k` realizes the scaled pattern `k · A`; scaled
+//! realizations divide back into rational realizations of `A`, and the
+//! pattern system (a 0/1 type-incidence system) admits an integer
+//! realization whenever it admits a rational one, so satisfiability of
+//! `P` coincides with realizability of `A` (cross-validated empirically
+//! against [`pattern_realizable`]).
+
+use car_core::syntax::{Card, ClassFormula, SchemaBuilder};
+use car_core::{AttRef, ClassId, Schema};
+
+/// The encoded schema plus the anchor class.
+#[derive(Debug)]
+pub struct PatternEncoding {
+    /// The union-free, negation-free schema (no relations).
+    pub schema: Schema,
+    /// Satisfiable iff the pattern is realizable.
+    pub anchor: ClassId,
+    /// The set classes `S_i`.
+    pub sets: Vec<ClassId>,
+}
+
+/// Encodes a symmetric pattern matrix. Only the upper triangle
+/// (including the diagonal) is read.
+///
+/// # Panics
+/// Panics if the matrix is not square or some `A[i][j] > A[i][i]` /
+/// `A[i][j] > A[j][j]` (trivially unrealizable inputs are rejected so the
+/// encoding's subtraction `A[i][i] − A[i][j]` stays in range; callers
+/// should treat such inputs as "not realizable" directly).
+#[must_use]
+pub fn encode_pattern(matrix: &[Vec<u64>]) -> PatternEncoding {
+    let n = matrix.len();
+    for row in matrix {
+        assert_eq!(row.len(), n, "pattern matrix must be square");
+    }
+    for i in 0..n {
+        for j in (i + 1)..n {
+            assert!(
+                matrix[i][j] <= matrix[i][i] && matrix[i][j] <= matrix[j][j],
+                "intersection larger than a set: reject before encoding"
+            );
+        }
+    }
+
+    let mut b = SchemaBuilder::new();
+    let anchor = b.class("P");
+    let sets: Vec<ClassId> = (0..n).map(|i| b.class(&format!("S{i}"))).collect();
+
+    // Counting gadget bookkeeping: (attribute, counted class, factor k).
+    let mut counted: Vec<(car_core::AttrId, ClassId, u64)> = Vec::new();
+    for (i, &s_i) in sets.iter().enumerate() {
+        let att = b.attribute(&format!("cnt_s{i}"));
+        counted.push((att, s_i, matrix[i][i]));
+    }
+
+    // Pair gadgets.
+    struct PairGadget {
+        m: ClassId,
+        n_class: ClassId,
+        s_i: ClassId,
+        s_j: ClassId,
+        sep_mn: car_core::AttrId,
+        sep_nj: car_core::AttrId,
+    }
+    let mut gadgets = Vec::new();
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let m = b.class(&format!("M_{i}_{j}"));
+            let nc = b.class(&format!("N_{i}_{j}"));
+            let cm = b.attribute(&format!("cnt_m{i}_{j}"));
+            let cn = b.attribute(&format!("cnt_n{i}_{j}"));
+            counted.push((cm, m, matrix[i][j]));
+            counted.push((cn, nc, matrix[i][i] - matrix[i][j]));
+            let sep_mn = b.attribute(&format!("sep_mn_{i}_{j}"));
+            let sep_nj = b.attribute(&format!("sep_nj_{i}_{j}"));
+            gadgets.push(PairGadget {
+                m,
+                n_class: nc,
+                s_i: sets[i],
+                s_j: sets[j],
+                sep_mn,
+                sep_nj,
+            });
+        }
+    }
+
+    // P: one counting attribute per counted class.
+    let mut pb = b.define_class(anchor);
+    for &(att, class, k) in &counted {
+        pb = pb.attr(AttRef::Direct(att), Card::exactly(k), ClassFormula::class(class));
+    }
+    pb.finish();
+
+    // Collect all per-class constraints, then emit one definition each.
+    #[derive(Default)]
+    struct ClassSpec {
+        isa: Vec<ClassId>,
+        attrs: Vec<(AttRef, Card)>,
+    }
+    let mut specs: std::collections::BTreeMap<ClassId, ClassSpec> =
+        std::collections::BTreeMap::new();
+    let mut typed_inverse: Vec<(ClassId, car_core::AttrId)> = Vec::new();
+
+    for &(att, class, _) in &counted {
+        // The inverse must be typed with the anchor: each counted object
+        // owes its single incoming edge to a `P`-object, which is what
+        // pins `|class| = k · |P|`. (Typed `⊤` the edge could come from
+        // anywhere and the count gadget would not count.)
+        specs
+            .entry(class)
+            .or_default()
+            .attrs
+            .push((AttRef::Inverse(att), Card::exactly(1)));
+        typed_inverse.push((class, att));
+    }
+    for g in &gadgets {
+        // M ⊑ S_i ⊓ S_j; N ⊑ S_i.
+        specs.entry(g.m).or_default().isa.extend([g.s_i, g.s_j]);
+        specs.entry(g.n_class).or_default().isa.push(g.s_i);
+        // M/N disjoint via cardinalities alone.
+        specs
+            .entry(g.m)
+            .or_default()
+            .attrs
+            .push((AttRef::Direct(g.sep_mn), Card::exactly(1)));
+        specs
+            .entry(g.n_class)
+            .or_default()
+            .attrs
+            .push((AttRef::Direct(g.sep_mn), Card::new(0, 0)));
+        // N disjoint from S_j the same way.
+        specs
+            .entry(g.n_class)
+            .or_default()
+            .attrs
+            .push((AttRef::Direct(g.sep_nj), Card::exactly(1)));
+        specs
+            .entry(g.s_j)
+            .or_default()
+            .attrs
+            .push((AttRef::Direct(g.sep_nj), Card::new(0, 0)));
+    }
+
+    for (class, spec) in specs {
+        let mut cb = b.define_class(class);
+        for sup in spec.isa {
+            cb = cb.isa(ClassFormula::class(sup));
+        }
+        for (att, card) in spec.attrs {
+            let ty = if typed_inverse.contains(&(class, att.attr()))
+                && matches!(att, AttRef::Inverse(_))
+            {
+                ClassFormula::class(anchor)
+            } else {
+                ClassFormula::top()
+            };
+            cb = cb.attr(att, card, ty);
+        }
+        cb.finish();
+    }
+
+    let schema = b.build().expect("encoder produces a valid schema");
+    debug_assert!(schema.is_union_free());
+    debug_assert!(schema.is_negation_free());
+    debug_assert_eq!(schema.num_rels(), 0);
+    PatternEncoding { schema, anchor, sets }
+}
+
+/// Ground truth by exhaustive search: is the pattern realizable by sets?
+/// Searches nonnegative integer counts per element *type* (subset of
+/// `[n]` with at least two members; singleton types are slack for the
+/// diagonal) satisfying `Σ_{T ⊇ {i,j}} x_T = A[i][j]`. Exponential in
+/// `n`; intended for `n ≤ 4`.
+#[must_use]
+pub fn pattern_realizable(matrix: &[Vec<u64>]) -> bool {
+    let n = matrix.len();
+    assert!(n <= 4, "brute-force pattern check supports n <= 4");
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if matrix[i][j] > matrix[i][i] || matrix[i][j] > matrix[j][j] {
+                return false;
+            }
+        }
+    }
+    let types: Vec<u32> = (1u32..(1 << n)).filter(|t| t.count_ones() >= 2).collect();
+    let bound = |t: u32| -> u64 {
+        (0..n)
+            .filter(|&i| t & (1 << i) != 0)
+            .map(|i| matrix[i][i])
+            .min()
+            .unwrap_or(0)
+    };
+    let mut counts = vec![0u64; types.len()];
+    search(matrix, n, &types, &bound, &mut counts, 0)
+}
+
+fn search(
+    matrix: &[Vec<u64>],
+    n: usize,
+    types: &[u32],
+    bound: &impl Fn(u32) -> u64,
+    counts: &mut Vec<u64>,
+    k: usize,
+) -> bool {
+    if k == types.len() {
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let pair_sum: u64 = types
+                    .iter()
+                    .zip(counts.iter())
+                    .filter(|(t, _)| *t & (1 << i) != 0 && *t & (1 << j) != 0)
+                    .map(|(_, &c)| c)
+                    .sum();
+                if pair_sum != matrix[i][j] {
+                    return false;
+                }
+            }
+            let used: u64 = types
+                .iter()
+                .zip(counts.iter())
+                .filter(|(t, _)| *t & (1 << i) != 0)
+                .map(|(_, &c)| c)
+                .sum();
+            if used > matrix[i][i] {
+                return false;
+            }
+        }
+        return true;
+    }
+    for v in 0..=bound(types[k]) {
+        counts[k] = v;
+        if search(matrix, n, types, bound, counts, k + 1) {
+            return true;
+        }
+    }
+    counts[k] = 0;
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use car_core::reasoner::{Reasoner, ReasonerConfig, Strategy};
+
+    fn agree(matrix: Vec<Vec<u64>>) {
+        let realizable = pattern_realizable(&matrix);
+        let trivially_bad = (0..matrix.len()).any(|i| {
+            ((i + 1)..matrix.len())
+                .any(|j| matrix[i][j] > matrix[i][i] || matrix[i][j] > matrix[j][j])
+        });
+        if trivially_bad {
+            assert!(!realizable);
+            return;
+        }
+        let enc = encode_pattern(&matrix);
+        let r = Reasoner::with_config(
+            &enc.schema,
+            ReasonerConfig { strategy: Strategy::Preselect, ..Default::default() },
+        );
+        assert_eq!(
+            r.try_is_satisfiable(enc.anchor).unwrap(),
+            realizable,
+            "matrix {matrix:?}"
+        );
+    }
+
+    #[test]
+    fn realizable_patterns() {
+        agree(vec![vec![2]]);
+        agree(vec![vec![1, 1], vec![1, 1]]);
+        agree(vec![vec![2, 1], vec![1, 3]]);
+        agree(vec![vec![2, 0], vec![0, 2]]);
+    }
+
+    #[test]
+    fn unrealizable_pattern_equal_sets_conflict() {
+        // |S1|=|S2|=|S3|=2 with |S1∩S2| = |S2∩S3| = 2 forces
+        // S1 = S2 = S3, contradicting |S1∩S3| = 1.
+        agree(vec![vec![2, 2, 1], vec![2, 2, 2], vec![1, 2, 2]]);
+    }
+
+    #[test]
+    fn unrealizable_pattern_triangle() {
+        // Singletons: S1 ~ S2 share their element, S2 ~ S3 share theirs,
+        // so S1 = S2 = S3 as singletons — but |S1∩S3| = 0. Impossible.
+        agree(vec![vec![1, 1, 0], vec![1, 1, 1], vec![0, 1, 1]]);
+    }
+
+    #[test]
+    fn oversized_intersections_are_rejected() {
+        assert!(!pattern_realizable(&[vec![1, 2], vec![2, 1]]));
+    }
+
+    #[test]
+    fn schema_shape_matches_theorem_4_2() {
+        let enc = encode_pattern(&[vec![2, 1], vec![1, 2]]);
+        assert!(enc.schema.is_union_free());
+        assert!(enc.schema.is_negation_free());
+        assert_eq!(enc.schema.num_rels(), 0);
+        assert_eq!(enc.sets.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "reject before encoding")]
+    fn encoder_rejects_oversized_intersections() {
+        let _ = encode_pattern(&[vec![1, 2], vec![2, 1]]);
+    }
+}

@@ -1,0 +1,25 @@
+//! # car-reductions — lower-bound constructions and workload generators
+//!
+//! The executable counterparts of the paper's complexity results, plus
+//! the workload generators used by the benchmark harness:
+//!
+//! * [`turing`] — a deterministic single-tape Turing machine simulator;
+//! * [`exptime`] — the Theorem 4.1 construction: TM acceptance (clocked)
+//!   reduced to class satisfiability in a schema with only attributes and
+//!   `0/1` cardinalities;
+//! * [`intersection_pattern`] — the Theorem 4.2 construction: Intersection
+//!   Pattern ([GJ79], SP9) reduced to class satisfiability in a
+//!   *union-free, negation-free* schema with no relations;
+//! * [`generators`] — random/structured schema families for the
+//!   experiments in `EXPERIMENTS.md` (category-α dense schemas,
+//!   category-β clustered schemas, generalization hierarchies, k-ary
+//!   relation families, cardinality-ratio chains).
+
+pub mod exptime;
+pub mod generators;
+pub mod intersection_pattern;
+pub mod turing;
+
+pub use exptime::encode_tm;
+pub use intersection_pattern::{encode_pattern, pattern_realizable};
+pub use turing::{Move, RunOutcome, TuringMachine};

@@ -1,0 +1,185 @@
+//! A deterministic single-tape Turing machine, with a bounded simulator.
+//!
+//! The substrate for the Theorem 4.1 reduction: the schema encoder in
+//! [`crate::exptime`] translates machines of this type, and the simulator
+//! provides the ground truth the reduction is validated against.
+
+use std::collections::HashMap;
+
+/// Head movement of a transition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Move {
+    /// One cell left.
+    Left,
+    /// One cell right.
+    Right,
+    /// Stay in place.
+    Stay,
+}
+
+/// A deterministic single-tape Turing machine over dense state/symbol
+/// alphabets `0..states` and `0..symbols`.
+///
+/// A missing transition halts the machine (accepting iff the current
+/// state is the accepting state; reaching the accepting state also halts).
+#[derive(Debug, Clone)]
+pub struct TuringMachine {
+    /// Number of states.
+    pub states: usize,
+    /// Initial state.
+    pub start: usize,
+    /// Accepting state (halting).
+    pub accept: usize,
+    /// Number of tape symbols.
+    pub symbols: usize,
+    /// The blank symbol.
+    pub blank: usize,
+    /// `(state, read) -> (state', write, move)`.
+    pub delta: HashMap<(usize, usize), (usize, usize, Move)>,
+}
+
+/// Result of a bounded run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// Reached the accepting state within the bounds.
+    Accept {
+        /// Step at which the accepting state was entered.
+        step: usize,
+    },
+    /// Halted (no transition) in a non-accepting state.
+    Reject,
+    /// Ran out of time without halting.
+    TimeExceeded,
+    /// Tried to leave the allotted tape region.
+    SpaceExceeded,
+}
+
+impl TuringMachine {
+    /// Validates internal consistency (indices in range).
+    ///
+    /// # Panics
+    /// Panics on out-of-range states or symbols.
+    pub fn validate(&self) {
+        assert!(self.start < self.states && self.accept < self.states);
+        assert!(self.blank < self.symbols);
+        for (&(q, a), &(q2, b, _)) in &self.delta {
+            assert!(q < self.states && q2 < self.states);
+            assert!(a < self.symbols && b < self.symbols);
+        }
+    }
+
+    /// Runs the machine on `input` with at most `max_steps` steps over a
+    /// tape of `tape_cells` cells (the head starts on cell 0).
+    #[must_use]
+    pub fn run(&self, input: &[usize], max_steps: usize, tape_cells: usize) -> RunOutcome {
+        self.validate();
+        assert!(input.len() <= tape_cells, "input longer than tape");
+        let mut tape = vec![self.blank; tape_cells];
+        tape[..input.len()].copy_from_slice(input);
+        let mut state = self.start;
+        let mut head: usize = 0;
+        if state == self.accept {
+            return RunOutcome::Accept { step: 0 };
+        }
+        for step in 1..=max_steps {
+            let Some(&(q2, write, mv)) = self.delta.get(&(state, tape[head])) else {
+                return RunOutcome::Reject;
+            };
+            tape[head] = write;
+            state = q2;
+            match mv {
+                Move::Left => {
+                    if head == 0 {
+                        return RunOutcome::SpaceExceeded;
+                    }
+                    head -= 1;
+                }
+                Move::Right => {
+                    if head + 1 == tape_cells {
+                        return RunOutcome::SpaceExceeded;
+                    }
+                    head += 1;
+                }
+                Move::Stay => {}
+            }
+            if state == self.accept {
+                return RunOutcome::Accept { step };
+            }
+        }
+        RunOutcome::TimeExceeded
+    }
+
+    /// A machine that accepts iff the tape starts with an even number of
+    /// `1` symbols (symbol alphabet `{0 = blank, 1}`): walks right over
+    /// the `1`s flipping a parity state, accepts on blank with even
+    /// parity. Handy test machine.
+    #[must_use]
+    pub fn parity_machine() -> TuringMachine {
+        // states: 0 = even (start), 1 = odd, 2 = accept
+        let mut delta = HashMap::new();
+        delta.insert((0, 1), (1, 1, Move::Right));
+        delta.insert((1, 1), (0, 1, Move::Right));
+        delta.insert((0, 0), (2, 0, Move::Stay));
+        // (1, 0): halt-reject (odd parity on blank)
+        TuringMachine { states: 3, start: 0, accept: 2, symbols: 2, blank: 0, delta }
+    }
+
+    /// A machine that never halts (loops in place). For rejection tests.
+    #[must_use]
+    pub fn looper() -> TuringMachine {
+        let mut delta = HashMap::new();
+        delta.insert((0, 0), (0, 0, Move::Stay));
+        delta.insert((0, 1), (0, 1, Move::Stay));
+        TuringMachine { states: 2, start: 0, accept: 1, symbols: 2, blank: 0, delta }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parity_machine_accepts_even_runs_of_ones() {
+        let m = TuringMachine::parity_machine();
+        assert!(matches!(m.run(&[], 10, 4), RunOutcome::Accept { step: 1 }));
+        assert!(matches!(m.run(&[1, 1], 10, 4), RunOutcome::Accept { step: 3 }));
+        assert!(matches!(m.run(&[1, 1, 1, 1], 10, 6), RunOutcome::Accept { .. }));
+        assert_eq!(m.run(&[1], 10, 4), RunOutcome::Reject);
+        assert_eq!(m.run(&[1, 1, 1], 10, 5), RunOutcome::Reject);
+    }
+
+    #[test]
+    fn looper_exceeds_time() {
+        let m = TuringMachine::looper();
+        assert_eq!(m.run(&[], 100, 3), RunOutcome::TimeExceeded);
+    }
+
+    #[test]
+    fn space_bound_is_enforced() {
+        // A right-runner on blanks.
+        let mut delta = HashMap::new();
+        delta.insert((0, 0), (0, 0, Move::Right));
+        let m = TuringMachine { states: 2, start: 0, accept: 1, symbols: 1, blank: 0, delta };
+        assert_eq!(m.run(&[], 100, 3), RunOutcome::SpaceExceeded);
+    }
+
+    #[test]
+    fn accept_at_step_zero() {
+        let m = TuringMachine {
+            states: 1,
+            start: 0,
+            accept: 0,
+            symbols: 1,
+            blank: 0,
+            delta: HashMap::new(),
+        };
+        assert!(matches!(m.run(&[], 5, 2), RunOutcome::Accept { step: 0 }));
+    }
+
+    #[test]
+    #[should_panic(expected = "input longer than tape")]
+    fn input_must_fit() {
+        let m = TuringMachine::parity_machine();
+        let _ = m.run(&[1, 1, 1], 5, 2);
+    }
+}

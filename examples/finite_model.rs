@@ -1,0 +1,81 @@
+//! Finite-model reasoning: schemas that are satisfiable over *infinite*
+//! domains but unsatisfiable over the finite database states CAR
+//! semantics prescribes (§1: "it may happen that there exists a class
+//! that is necessarily empty in all finite database states").
+//!
+//! Run with `cargo run --example finite_model`.
+
+use car::core::reasoner::Reasoner;
+use car::parser::parse_schema;
+
+fn main() {
+    // Every Node has exactly 2 children, every Node is the child of at
+    // most one Node, and children are Nodes again: an infinite binary
+    // tree satisfies this, but any *finite* nonempty set of Nodes would
+    // need |Node| >= 2|Node| children slots served by at most |Node|
+    // parent links. CAR (finite semantics) must report Node empty.
+    let infinite_tree = "
+        class Node
+          isa Tree
+          attributes child : (2, 2) Node
+        endclass
+        class Tree
+          attributes (inv child) : (0, 1) Node
+        endclass
+    ";
+    let schema = parse_schema(infinite_tree).expect("parses");
+    let reasoner = Reasoner::new(&schema);
+    let node = schema.class_id("Node").unwrap();
+    println!(
+        "binary-tree schema: Node satisfiable finitely? {}",
+        reasoner.is_satisfiable(node)
+    );
+    assert!(!reasoner.is_satisfiable(node));
+
+    // Balance the in/out degrees and finite models reappear: each node
+    // has 2 children and exactly 2 parents — a 2-regular bipartite-style
+    // structure that folds into a finite cycle.
+    let balanced = "
+        class Node
+          attributes child : (2, 2) Node;
+                     (inv child) : (2, 2) Node
+        endclass
+    ";
+    let schema = parse_schema(balanced).expect("parses");
+    let reasoner = Reasoner::new(&schema);
+    let node = schema.class_id("Node").unwrap();
+    println!(
+        "balanced schema:    Node satisfiable finitely? {}",
+        reasoner.is_satisfiable(node)
+    );
+    assert!(reasoner.is_satisfiable(node));
+    let model = reasoner.extract_model().expect("model exists");
+    println!(
+        "  extracted a verified model with {} objects and {} child links",
+        model.universe_size(),
+        model.attr_extension(schema.attr_id("child").unwrap()).len()
+    );
+
+    // The same phenomenon through relations: every Person mentors
+    // exactly two and is mentored exactly once. Tuple counting gives
+    // 2·|Person| = |Mentoring| = 1·|Person|, so Person must be empty in
+    // every finite state — even though every constraint is locally
+    // plausible.
+    let mentoring = "
+        class Person
+          participates_in Mentoring[mentor] : (2, 2);
+                          Mentoring[protege] : (1, 1)
+        endclass
+        relation Mentoring(mentor, protege)
+          constraints (mentor : Person); (protege : Person)
+        endrelation
+    ";
+    let schema = parse_schema(mentoring).expect("parses");
+    let reasoner = Reasoner::new(&schema);
+    let person = schema.class_id("Person").unwrap();
+    println!(
+        "mentoring schema:   Person satisfiable finitely? {}",
+        reasoner.is_satisfiable(person)
+    );
+    assert!(!reasoner.is_satisfiable(person));
+}

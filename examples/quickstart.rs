@@ -1,0 +1,58 @@
+//! Quickstart: build a schema with the API, reason about it, extract a
+//! verified finite model.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use car::core::reasoner::Reasoner;
+use car::core::syntax::{AttRef, Card, ClassFormula, SchemaBuilder};
+
+fn main() {
+    // A small library domain: every Book has exactly one author (a
+    // Person); Authors are Persons that authored at least one book
+    // (inverse attribute!); Books are not Persons.
+    let mut b = SchemaBuilder::new();
+    let person = b.class("Person");
+    let author = b.class("Author");
+    let book = b.class("Book");
+    let written_by = b.attribute("written_by");
+
+    b.define_class(book)
+        .isa(ClassFormula::neg_class(person))
+        .attr(AttRef::Direct(written_by), Card::exactly(1), ClassFormula::class(author))
+        .finish();
+    b.define_class(author)
+        .isa(ClassFormula::class(person))
+        .attr(AttRef::Inverse(written_by), Card::at_least(1), ClassFormula::class(book))
+        .finish();
+    let schema = b.build().expect("valid schema");
+
+    let reasoner = Reasoner::new(&schema);
+
+    println!("Class satisfiability (Theorem 3.3):");
+    for class in schema.symbols().class_ids() {
+        println!(
+            "  {:10} {}",
+            schema.class_name(class),
+            if reasoner.is_satisfiable(class) { "satisfiable" } else { "UNSATISFIABLE" }
+        );
+    }
+
+    println!("\nLogical implications:");
+    println!("  Author ⊑ Person : {}", reasoner.subsumes(person, author));
+    println!("  Book disjoint Person: {}", reasoner.disjoint(book, person));
+    println!("  Book disjoint Author: {}", reasoner.disjoint(book, author));
+
+    let model = reasoner.extract_model().expect("coherent schema has a model");
+    println!(
+        "\nExtracted and verified a finite model with {} objects:",
+        model.universe_size()
+    );
+    for class in schema.symbols().class_ids() {
+        println!(
+            "  |{}| = {}",
+            schema.class_name(class),
+            model.class_extension(class).len()
+        );
+    }
+    assert!(model.is_model(&schema));
+}

@@ -1,0 +1,100 @@
+//! A schema validation tool: reads a CAR schema from a file (or stdin),
+//! checks coherence, and prints the implied classification — the
+//! "schema validation, inheritance computation" application the paper
+//! names in §2.3.
+//!
+//! Usage:
+//! ```text
+//! cargo run --example schema_validator -- path/to/schema.car
+//! echo 'class A isa not A endclass' | cargo run --example schema_validator
+//! ```
+
+use car::core::reasoner::Reasoner;
+use car::parser::{parse_schema, pretty};
+use std::io::Read;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let text = match std::env::args().nth(1) {
+        Some(path) => match std::fs::read_to_string(&path) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!("error: cannot read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => {
+            let mut buf = String::new();
+            if std::io::stdin().read_to_string(&mut buf).is_err() {
+                eprintln!("error: cannot read stdin");
+                return ExitCode::FAILURE;
+            }
+            buf
+        }
+    };
+
+    let schema = match parse_schema(&text) {
+        Ok(schema) => schema,
+        Err(e) => {
+            eprintln!("parse error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    println!(
+        "parsed: {} classes, {} attributes, {} relations",
+        schema.num_classes(),
+        schema.num_attrs(),
+        schema.num_rels()
+    );
+    println!("normalized schema:\n{}", pretty(&schema));
+
+    let reasoner = Reasoner::new(&schema);
+    let unsat = match reasoner.try_unsatisfiable_classes() {
+        Ok(unsat) => unsat,
+        Err(e) => {
+            eprintln!("reasoning aborted: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut ok = true;
+    for class in &unsat {
+        println!("warning: class '{}' is necessarily empty", schema.class_name(*class));
+        // Attach a machine-checkable explanation.
+        if let (Ok(Some(proof)), Ok(expansion)) =
+            (reasoner.certify_unsatisfiable(*class), reasoner.full_expansion())
+        {
+            assert!(proof.verify(expansion), "proof must verify");
+            print!("{}", car::core::explain::render_proof(&schema, expansion, &proof));
+        }
+        ok = false;
+    }
+
+    println!("implied classification:");
+    let mut pairs = reasoner.classification();
+    // Drop transitively implied edges for readability.
+    let direct: Vec<_> = pairs
+        .iter()
+        .filter(|&&(sup, sub)| {
+            !pairs
+                .iter()
+                .any(|&(s2, b2)| b2 == sub && s2 != sup && pairs.contains(&(sup, s2)))
+        })
+        .copied()
+        .collect();
+    pairs = direct;
+    if pairs.is_empty() {
+        println!("  (none)");
+    }
+    for (sup, sub) in pairs {
+        println!("  {} ⊑ {}", schema.class_name(sub), schema.class_name(sup));
+    }
+
+    if ok {
+        println!("schema is coherent");
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

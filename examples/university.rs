@@ -1,0 +1,134 @@
+//! The paper's running example: the university schemas of Figure 1 and
+//! Figure 2, loaded from their concrete syntax, reasoned about, and
+//! stress-tested with a contradictory refinement.
+//!
+//! Run with `cargo run --example university`.
+
+use car::core::reasoner::Reasoner;
+use car::parser::parse_schema;
+
+/// Figure 1: the basic object-oriented schema (no CAR extensions).
+const FIGURE_1: &str = "
+    class Person
+      attributes name : (0, *) String;
+                 date_of_birth : (0, *) String
+    endclass
+    class Professor
+      isa Person
+      attributes teaches : (0, *) Course
+    endclass
+    class Student
+      isa Person
+      attributes student_id : (0, *) String
+    endclass
+    class Grad_Student
+      isa Student
+    endclass
+    class Course
+      attributes taught_by : (0, *) Professor
+    endclass
+    class Adv_Course
+      isa Course
+    endclass
+    class Enrollment
+      attributes enrolls : (0, *) Student;
+                 enrolled_in : (0, *) Course
+    endclass
+";
+
+/// Figure 2: the full CAR schema — complements, unions, inverse
+/// attributes, n-ary relations and cardinality constraints.
+const FIGURE_2: &str = "
+    class Person
+      attributes name : (1, 1) String;
+                 date_of_birth : (1, 1) String
+    endclass
+    class Professor
+      isa Person
+      attributes (inv taught_by) : (1, 2) Course
+    endclass
+    class Student
+      isa Person and not Professor
+      attributes student_id : (1, 1) String
+      participates_in Enrollment[enrolls] : (1, 6)
+    endclass
+    class Grad_Student
+      isa Student
+      attributes (inv taught_by) : (0, 1) Course
+      participates_in Enrollment[enrolls] : (2, 3)
+    endclass
+    class Course
+      attributes taught_by : (1, 1) Professor or Grad_Student
+      participates_in Enrollment[enrolled_in] : (5, 100)
+    endclass
+    class Adv_Course
+      isa Course
+      attributes taught_by : (1, 1) Professor
+      participates_in Enrollment[enrolled_in] : (5, 20)
+    endclass
+
+    relation Enrollment(enrolled_in, enrolls)
+      constraints (enrolled_in : Course);
+                  (enrolls : Student);
+                  (enrolled_in : not Adv_Course) or (enrolls : Grad_Student)
+    endrelation
+
+    relation Exam(of, by, in)
+      constraints (of : Student);
+                  (by : Professor);
+                  (in : Course)
+    endrelation
+";
+
+fn report(label: &str, text: &str) {
+    println!("== {label} ==");
+    let schema = parse_schema(text).expect("figure parses");
+    let reasoner = Reasoner::new(&schema);
+
+    let unsat = reasoner.try_unsatisfiable_classes().expect("within limits");
+    if unsat.is_empty() {
+        println!("all {} classes are satisfiable", schema.num_classes());
+    } else {
+        for class in &unsat {
+            println!("UNSATISFIABLE: {}", schema.class_name(*class));
+        }
+    }
+
+    println!("implied subsumptions (beyond reflexivity):");
+    for (sup, sub) in reasoner.classification() {
+        println!("  {} ⊑ {}", schema.class_name(sub), schema.class_name(sup));
+    }
+
+    let student = schema.class_id("Student").unwrap();
+    let professor = schema.class_id("Professor").unwrap();
+    println!(
+        "Student disjoint from Professor: {}\n",
+        reasoner.disjoint(student, professor)
+    );
+}
+
+fn main() {
+    report("Figure 1 (basic object-oriented schema)", FIGURE_1);
+    report("Figure 2 (CAR schema)", FIGURE_2);
+
+    // Interaction of isa and cardinality constraints (§1): refine
+    // Grad_Student to enroll in at least 7 courses while Student allows
+    // at most 6 — Grad_Student becomes necessarily empty.
+    let broken = FIGURE_2.replace(
+        "participates_in Enrollment[enrolls] : (2, 3)",
+        "participates_in Enrollment[enrolls] : (7, 9)",
+    );
+    let schema = parse_schema(&broken).expect("still parses");
+    let reasoner = Reasoner::new(&schema);
+    let grad = schema.class_id("Grad_Student").unwrap();
+    println!("== Figure 2 with Grad_Student enrolling in (7, 9) courses ==");
+    println!(
+        "Grad_Student satisfiable: {} (the merged bound (7, 6) is empty)",
+        reasoner.is_satisfiable(grad)
+    );
+    assert!(!reasoner.is_satisfiable(grad));
+    // Advanced courses require >= 5 graduate students each, and every
+    // graduate student is gone: Adv_Course dies with it.
+    let adv = schema.class_id("Adv_Course").unwrap();
+    println!("Adv_Course satisfiable:   {}", reasoner.is_satisfiable(adv));
+}

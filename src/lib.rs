@@ -1,0 +1,50 @@
+//! # CAR — Classes, Attributes, Relations
+//!
+//! A complete Rust implementation of the CAR object-oriented data model and
+//! its reasoning technique, from:
+//!
+//! > Diego Calvanese and Maurizio Lenzerini.
+//! > *Making Object-Oriented Schemas More Expressive.*
+//! > Proc. of the 13th ACM Symposium on Principles of Database Systems
+//! > (PODS 1994), pages 243–254.
+//!
+//! This umbrella crate re-exports the workspace members so that downstream
+//! users can depend on a single crate:
+//!
+//! * [`core`] — the CAR data model: schemas, finite-model semantics, the
+//!   two-phase satisfiability algorithm (expansion + linear disequations),
+//!   logical implication, and the optimization strategies of Sections 4.3
+//!   and 4.4 of the paper.
+//! * [`parser`] — a parser and pretty-printer for the paper's concrete
+//!   schema syntax.
+//! * [`reductions`] — the lower-bound constructions (Theorems 4.1 and 4.2)
+//!   and workload generators.
+//! * [`baseline`] — brute-force finite-model search (ground truth) and the
+//!   naive expansion strategy.
+//! * [`arith`] — arbitrary-precision integers and exact rationals.
+//! * [`lp`] — an exact-rational simplex linear-programming solver.
+//! * [`logic`] — CNF machinery and a DPLL SAT solver with model enumeration.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use car::parser::parse_schema;
+//! use car::core::reasoner::Reasoner;
+//!
+//! let schema = parse_schema(
+//!     "class Student isa Person and not Professor endclass
+//!      class Professor isa Person endclass
+//!      class Person endclass",
+//! ).unwrap();
+//! let reasoner = Reasoner::new(&schema);
+//! let student = schema.class_id("Student").unwrap();
+//! assert!(reasoner.is_satisfiable(student));
+//! ```
+
+pub use car_arith as arith;
+pub use car_baseline as baseline;
+pub use car_core as core;
+pub use car_logic as logic;
+pub use car_lp as lp;
+pub use car_parser as parser;
+pub use car_reductions as reductions;

@@ -1,0 +1,67 @@
+//! Every verdict auditable: satisfiable classes come with verified
+//! models, unsatisfiable ones with machine-checkable proofs.
+
+use car::core::reasoner::{Reasoner, ReasonerConfig, Strategy};
+use car::parser::parse_schema;
+use car::reductions::generators::{random_schema, RandomSchemaParams};
+
+#[test]
+fn every_verdict_is_auditable_on_random_schemas() {
+    let params = RandomSchemaParams {
+        classes: 4,
+        attrs: 1,
+        rels: 1,
+        isa_density: 0.8,
+        max_bound: 2,
+    };
+    let mut proofs = 0;
+    let mut models = 0;
+    for seed in 200..230 {
+        let schema = random_schema(&params, seed);
+        let reasoner = Reasoner::with_config(
+            &schema,
+            ReasonerConfig { strategy: Strategy::Sat, ..Default::default() },
+        );
+        let expansion = reasoner.full_expansion().expect("small schema");
+        for class in schema.symbols().class_ids() {
+            if reasoner.try_is_satisfiable(class).unwrap() {
+                let model = reasoner.extract_model().expect("model");
+                assert!(model.is_model(&schema), "seed {seed}");
+                assert!(!model.class_extension(class).is_empty());
+                models += 1;
+            } else {
+                let proof = reasoner
+                    .certify_unsatisfiable(class)
+                    .unwrap()
+                    .unwrap_or_else(|| panic!("seed {seed}: missing proof"));
+                assert!(
+                    proof.verify(expansion),
+                    "seed {seed}: proof failed verification for {}",
+                    schema.class_name(class)
+                );
+                proofs += 1;
+            }
+        }
+    }
+    assert!(models > 40, "workload too easy: {models} models");
+    assert!(proofs >= 3, "workload too easy: {proofs} proofs");
+}
+
+#[test]
+fn figure_2_refinement_unsat_is_certified() {
+    let figure2 = include_str!("data/figure2.car").replace(
+        "participates_in Enrollment[enrolls] : (2, 3)",
+        "participates_in Enrollment[enrolls] : (7, 9)",
+    );
+    let schema = parse_schema(&figure2).expect("parses");
+    let reasoner = Reasoner::new(&schema);
+    let grad = schema.class_id("Grad_Student").unwrap();
+    assert!(!reasoner.is_satisfiable(grad));
+    let proof = reasoner
+        .certify_unsatisfiable(grad)
+        .expect("within limits")
+        .expect("Grad_Student is unsatisfiable");
+    let expansion = reasoner.full_expansion().unwrap();
+    assert!(proof.verify(expansion));
+    assert!(!proof.steps.is_empty());
+}

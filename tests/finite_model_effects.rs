@@ -1,0 +1,99 @@
+//! Experiment E9: finite-model effects — schemas satisfiable over
+//! infinite domains but not over the finite database states of CAR
+//! semantics, and their balanced (finitely satisfiable) counterparts.
+
+use car::core::reasoner::Reasoner;
+use car::parser::parse_schema;
+
+/// (schema text, class, finitely satisfiable?)
+fn cases() -> Vec<(&'static str, &'static str, bool)> {
+    vec![
+        // Unbalanced binary tree: infinite models only.
+        (
+            "class Node isa Tree attributes child : (2, 2) Node endclass
+             class Tree attributes (inv child) : (0, 1) Node endclass",
+            "Node",
+            false,
+        ),
+        // Balanced: 2 out, 2 in — folds into a finite structure.
+        (
+            "class Node attributes child : (2, 2) Node; (inv child) : (2, 2) Node endclass",
+            "Node",
+            true,
+        ),
+        // Strict growth along a subclass: |B| >= 2|A|, B ⊆ A, both
+        // nonempty — impossible finitely, fine infinitely.
+        (
+            "class A attributes f : (2, 2) B endclass
+             class B isa A attributes (inv f) : (1, 1) A endclass",
+            "A",
+            false,
+        ),
+        // Relation-based count conflict: 2|P| tuples = 1|P| tuples.
+        (
+            "class P participates_in M[mentor] : (2, 2); M[protege] : (1, 1) endclass
+             relation M(mentor, protege)
+               constraints (mentor : P); (protege : P)
+             endrelation",
+            "P",
+            false,
+        ),
+        // Same shape, balanced: 2 = 2.
+        (
+            "class P participates_in M[mentor] : (2, 2); M[protege] : (2, 2) endclass
+             relation M(mentor, protege)
+               constraints (mentor : P); (protege : P)
+             endrelation",
+            "P",
+            true,
+        ),
+        // A pure cycle through three classes with strict growth.
+        (
+            "class A attributes f : (2, 2) B; (inv h) : (0, 1) C endclass
+             class B attributes g : (1, 1) C; (inv f) : (0, 1) A endclass
+             class C attributes h : (1, 1) A; (inv g) : (0, 1) B endclass",
+            "A",
+            false,
+        ),
+    ]
+}
+
+#[test]
+fn finite_model_reasoning_distinguishes_the_cases() {
+    for (text, class, expected) in cases() {
+        let schema = parse_schema(text).expect("parses");
+        let reasoner = Reasoner::new(&schema);
+        let class_id = schema.class_id(class).unwrap();
+        assert_eq!(
+            reasoner.is_satisfiable(class_id),
+            expected,
+            "class {class} in:\n{text}"
+        );
+        if expected {
+            // Finitely satisfiable: put a verified model on the table.
+            let model = reasoner.extract_model().expect("model");
+            assert!(model.is_model(&schema));
+            assert!(!model.class_extension(class_id).is_empty());
+        }
+    }
+}
+
+#[test]
+fn unsatisfiable_classes_do_not_poison_the_rest() {
+    // The infinite-tree Node coexists with an unrelated class, which
+    // must stay satisfiable, and the extracted model simply leaves the
+    // Node classes empty.
+    let text = "
+        class Node isa Tree attributes child : (2, 2) Node endclass
+        class Tree attributes (inv child) : (0, 1) Node endclass
+        class Bystander endclass
+    ";
+    let schema = parse_schema(text).expect("parses");
+    let reasoner = Reasoner::new(&schema);
+    assert!(!reasoner.is_satisfiable(schema.class_id("Node").unwrap()));
+    assert!(reasoner.is_satisfiable(schema.class_id("Bystander").unwrap()));
+    assert!(reasoner.is_satisfiable(schema.class_id("Tree").unwrap()));
+    let model = reasoner.extract_model().expect("model");
+    assert!(model.class_extension(schema.class_id("Node").unwrap()).is_empty());
+    assert!(!model.class_extension(schema.class_id("Bystander").unwrap()).is_empty());
+}

@@ -1,0 +1,130 @@
+//! Cross-crate pipeline tests: text → parser → reasoner → model
+//! extractor → independent checker, plus strategy-agreement and
+//! transform-invariance properties on generated schemas.
+
+use car::core::reasoner::{Reasoner, ReasonerConfig, Strategy};
+use car::core::Schema;
+use car::parser::{parse_schema, pretty};
+use car::reductions::generators::{
+    clustered_schema, hierarchy_schema, random_schema, ratio_chain_schema,
+    RandomSchemaParams,
+};
+
+fn answers(schema: &Schema, strategy: Strategy) -> Vec<bool> {
+    let r = Reasoner::with_config(
+        schema,
+        ReasonerConfig { strategy, arity_reduction: false, ..Default::default() },
+    );
+    schema
+        .symbols()
+        .class_ids()
+        .map(|c| r.try_is_satisfiable(c).expect("within limits"))
+        .collect()
+}
+
+#[test]
+fn all_strategies_agree_on_random_schemas() {
+    let params = RandomSchemaParams {
+        classes: 4,
+        attrs: 1,
+        rels: 1,
+        isa_density: 0.7,
+        max_bound: 2,
+    };
+    for seed in 0..15 {
+        let schema = random_schema(&params, seed);
+        let naive = answers(&schema, Strategy::Naive);
+        let sat = answers(&schema, Strategy::Sat);
+        let preselect = answers(&schema, Strategy::Preselect);
+        let auto = answers(&schema, Strategy::Auto);
+        assert_eq!(naive, sat, "seed {seed}");
+        assert_eq!(naive, preselect, "seed {seed}");
+        assert_eq!(naive, auto, "seed {seed}");
+    }
+}
+
+#[test]
+fn all_strategies_agree_on_structured_schemas() {
+    for schema in [
+        clustered_schema(3, 3),
+        hierarchy_schema(2, 3),
+        ratio_chain_schema(3, 2),
+    ] {
+        let naive = answers(&schema, Strategy::Naive);
+        assert_eq!(naive, answers(&schema, Strategy::Sat));
+        assert_eq!(naive, answers(&schema, Strategy::Preselect));
+        assert_eq!(naive, answers(&schema, Strategy::Auto));
+        assert!(naive.iter().all(|&b| b), "structured schemas are coherent");
+    }
+}
+
+#[test]
+fn text_to_verified_model_pipeline() {
+    let text = "
+        class Library
+          attributes holds : (100, 200) Book
+        endclass
+        class Book
+          isa not Library
+          attributes (inv holds) : (1, 1) Library
+        endclass
+    ";
+    let schema = parse_schema(text).expect("parses");
+    let reasoner = Reasoner::new(&schema);
+    assert!(reasoner.try_is_coherent().unwrap());
+    let model = reasoner.extract_model().expect("model");
+    assert!(model.is_model(&schema));
+    let library = schema.class_id("Library").unwrap();
+    let book = schema.class_id("Book").unwrap();
+    // Each library holds 100..=200 books, each book held exactly once.
+    let libs = model.class_extension(library).len();
+    let books = model.class_extension(book).len();
+    assert!(books >= 100 * libs && books <= 200 * libs);
+}
+
+#[test]
+fn pretty_round_trip_preserves_reasoning_on_generated_schemas() {
+    for seed in 0..10 {
+        let params = RandomSchemaParams::default();
+        let schema = random_schema(&params, seed);
+        let printed = pretty(&schema);
+        let reparsed = parse_schema(&printed)
+            .unwrap_or_else(|e| panic!("seed {seed}: pretty output must parse: {e}\n{printed}"));
+        let r1 = Reasoner::new(&schema);
+        let r2 = Reasoner::new(&reparsed);
+        for class in schema.symbols().class_ids() {
+            let name = schema.class_name(class);
+            let c2 = reparsed.class_id(name).expect("class survives round trip");
+            assert_eq!(
+                r1.try_is_satisfiable(class).unwrap(),
+                r2.try_is_satisfiable(c2).unwrap(),
+                "seed {seed}, class {name}"
+            );
+        }
+    }
+}
+
+#[test]
+fn renaming_classes_does_not_change_answers() {
+    // Satisfiability is a property of the schema's structure, not its
+    // names: rebuild a parsed schema with mangled names and compare.
+    let text = "
+        class A isa not B endclass
+        class B attributes f : (1, 2) A endclass
+        class C isa A or B endclass
+    ";
+    let schema = parse_schema(text).expect("parses");
+    let mangled_text = text
+        .replace('A', "Alpha_Prime")
+        .replace('B', "Beta_Prime")
+        .replace('C', "Gamma_Prime");
+    let mangled = parse_schema(&mangled_text).expect("parses");
+    let r1 = Reasoner::new(&schema);
+    let r2 = Reasoner::new(&mangled);
+    for (orig, renamed) in [("A", "Alpha_Prime"), ("B", "Beta_Prime"), ("C", "Gamma_Prime")] {
+        assert_eq!(
+            r1.is_satisfiable(schema.class_id(orig).unwrap()),
+            r2.is_satisfiable(mangled.class_id(renamed).unwrap()),
+        );
+    }
+}

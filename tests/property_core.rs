@@ -1,0 +1,168 @@
+//! Property-based invariants of the reasoning pipeline over randomly
+//! generated schemas (proptest drives the generator parameters and
+//! seeds; the schemas themselves come from `car-reductions`).
+
+use car::core::reasoner::{Reasoner, ReasonerConfig, Strategy as EnumStrategy};
+use car::core::Schema;
+use car::reductions::generators::{random_schema, RandomSchemaParams};
+use proptest::prelude::*;
+
+fn arb_schema() -> impl proptest::strategy::Strategy<Value = Schema> {
+    (
+        2usize..=4,  // classes
+        0usize..=1,  // attrs
+        0usize..=1,  // rels
+        0u64..=3,    // max bound
+        any::<u64>(), // seed
+    )
+        .prop_map(|(classes, attrs, rels, max_bound, seed)| {
+            let params = RandomSchemaParams {
+                classes,
+                attrs,
+                rels,
+                isa_density: 0.7,
+                max_bound,
+            };
+            random_schema(&params, seed)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// All enumeration strategies answer satisfiability identically.
+    #[test]
+    fn strategies_agree(schema in arb_schema()) {
+        let answers = |strategy: EnumStrategy| -> Vec<bool> {
+            let r = Reasoner::with_config(
+                &schema,
+                ReasonerConfig { strategy, ..Default::default() },
+            );
+            schema
+                .symbols()
+                .class_ids()
+                .map(|c| r.try_is_satisfiable(c).unwrap())
+                .collect()
+        };
+        let naive = answers(EnumStrategy::Naive);
+        prop_assert_eq!(&naive, &answers(EnumStrategy::Sat));
+        prop_assert_eq!(&naive, &answers(EnumStrategy::Preselect));
+        prop_assert_eq!(&naive, &answers(EnumStrategy::Auto));
+    }
+
+    /// Extracted models always verify, and class emptiness in the model
+    /// matches the satisfiability verdicts.
+    #[test]
+    fn extraction_is_sound_and_exhaustive(schema in arb_schema()) {
+        let r = Reasoner::with_config(
+            &schema,
+            ReasonerConfig { strategy: EnumStrategy::Sat, ..Default::default() },
+        );
+        let model = r.extract_model().unwrap();
+        prop_assert!(model.is_model(&schema));
+        for class in schema.symbols().class_ids() {
+            prop_assert_eq!(
+                r.try_is_satisfiable(class).unwrap(),
+                !model.class_extension(class).is_empty(),
+                "class {}", schema.class_name(class)
+            );
+        }
+    }
+
+    /// Subsumption is a preorder compatible with satisfiability, and
+    /// disjointness is symmetric; unsatisfiable classes are subsumed by
+    /// and disjoint from everything.
+    #[test]
+    fn implication_laws(schema in arb_schema()) {
+        let r = Reasoner::new(&schema);
+        let ids: Vec<_> = schema.symbols().class_ids().collect();
+        for &a in &ids {
+            prop_assert!(r.subsumes(a, a), "reflexivity");
+            for &b in &ids {
+                prop_assert_eq!(r.disjoint(a, b), r.disjoint(b, a), "symmetry");
+                if !r.try_is_satisfiable(a).unwrap() {
+                    prop_assert!(r.subsumes(b, a), "empty class subsumed by all");
+                    prop_assert!(r.disjoint(a, b), "empty class disjoint from all");
+                }
+                for &c in &ids {
+                    if r.subsumes(b, a) && r.subsumes(c, b) {
+                        prop_assert!(r.subsumes(c, a), "transitivity");
+                    }
+                }
+            }
+        }
+    }
+
+    /// The §4.4 hierarchy fast path produces exactly the consistent
+    /// compound classes the naive sweep finds, for every tree shape.
+    #[test]
+    fn hierarchy_fast_path_matches_naive(depth in 1usize..4, branching in 1usize..4) {
+        use car::core::{enumerate, hierarchy};
+        use car::reductions::generators::hierarchy_schema;
+        use std::collections::BTreeSet;
+        let schema = hierarchy_schema(depth, branching);
+        prop_assume!(schema.num_classes() <= 25); // naive sweep bound
+        let h = hierarchy::detect(&schema).expect("generator emits hierarchies");
+        let fast: BTreeSet<_> =
+            hierarchy::path_closure_ccs(&schema, &h).into_iter().collect();
+        let naive: BTreeSet<_> =
+            enumerate::naive(&schema, usize::MAX).unwrap().into_iter().collect();
+        prop_assert_eq!(&fast, &naive);
+        prop_assert_eq!(fast.len(), schema.num_classes());
+    }
+
+    /// The Theorem 4.5 reification preserves satisfiability for every
+    /// class, across arities and filler-pool sizes.
+    #[test]
+    fn arity_reduction_preserves_satisfiability(
+        arity in 3usize..5,
+        extra in 0usize..3,
+    ) {
+        use car::reductions::generators::kary_schema;
+        let schema = kary_schema(arity, extra);
+        let with = Reasoner::with_config(
+            &schema,
+            ReasonerConfig {
+                strategy: EnumStrategy::Preselect,
+                arity_reduction: true,
+                ..Default::default()
+            },
+        );
+        let without = Reasoner::with_config(
+            &schema,
+            ReasonerConfig {
+                strategy: EnumStrategy::Preselect,
+                arity_reduction: false,
+                ..Default::default()
+            },
+        );
+        for class in schema.symbols().class_ids() {
+            prop_assert_eq!(
+                with.try_is_satisfiable(class).unwrap(),
+                without.try_is_satisfiable(class).unwrap(),
+                "class {}", schema.class_name(class)
+            );
+        }
+    }
+
+    /// A satisfiable class stays satisfiable when the schema gains an
+    /// unrelated fresh class (monotonicity under conservative extension).
+    #[test]
+    fn conservative_extension_preserves_answers(schema in arb_schema()) {
+        use car::parser::{parse_schema, pretty};
+        let r1 = Reasoner::new(&schema);
+        let extended_text = format!("{}\nclass Fresh_Unrelated endclass\n", pretty(&schema));
+        let extended = parse_schema(&extended_text).unwrap();
+        let r2 = Reasoner::new(&extended);
+        for class in schema.symbols().class_ids() {
+            let name = schema.class_name(class);
+            let c2 = extended.class_id(name).unwrap();
+            prop_assert_eq!(
+                r1.try_is_satisfiable(class).unwrap(),
+                r2.try_is_satisfiable(c2).unwrap(),
+                "class {}", name
+            );
+        }
+        prop_assert!(r2.try_is_satisfiable(extended.class_id("Fresh_Unrelated").unwrap()).unwrap());
+    }
+}

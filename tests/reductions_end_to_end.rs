@@ -1,0 +1,117 @@
+//! Experiments E3 and E5: the lower-bound reductions, end to end, across
+//! more instances than the crate-local unit tests cover.
+
+use car::core::reasoner::{Reasoner, ReasonerConfig, Strategy};
+use car::reductions::generators::kary_schema;
+use car::reductions::{encode_pattern, encode_tm, pattern_realizable, RunOutcome, TuringMachine};
+use std::collections::HashMap;
+
+fn preselect(schema: &car::core::Schema) -> Reasoner<'_> {
+    Reasoner::with_config(
+        schema,
+        ReasonerConfig { strategy: Strategy::Preselect, ..Default::default() },
+    )
+}
+
+#[test]
+fn intersection_pattern_reduction_matches_brute_force_exhaustively() {
+    // All symmetric 2x2 matrices with entries <= 2.
+    for a11 in 0..=2u64 {
+        for a22 in 0..=2u64 {
+            for a12 in 0..=2u64 {
+                let matrix = vec![vec![a11, a12], vec![a12, a22]];
+                let realizable = pattern_realizable(&matrix);
+                if a12 > a11 || a12 > a22 {
+                    assert!(!realizable);
+                    continue; // encoder rejects trivially-bad inputs
+                }
+                let enc = encode_pattern(&matrix);
+                let r = preselect(&enc.schema);
+                assert_eq!(
+                    r.try_is_satisfiable(enc.anchor).unwrap(),
+                    realizable,
+                    "matrix {matrix:?}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn intersection_pattern_three_sets_spot_checks() {
+    let cases: Vec<(Vec<Vec<u64>>, bool)> = vec![
+        // Pairwise disjoint sets.
+        (vec![vec![1, 0, 0], vec![0, 1, 0], vec![0, 0, 1]], true),
+        // A common element everywhere.
+        (vec![vec![1, 1, 1], vec![1, 1, 1], vec![1, 1, 1]], true),
+        // Transitivity violation on singletons.
+        (vec![vec![1, 1, 0], vec![1, 1, 1], vec![0, 1, 1]], false),
+    ];
+    for (matrix, expected) in cases {
+        assert_eq!(pattern_realizable(&matrix), expected, "oracle {matrix:?}");
+        let enc = encode_pattern(&matrix);
+        let r = preselect(&enc.schema);
+        assert_eq!(
+            r.try_is_satisfiable(enc.anchor).unwrap(),
+            expected,
+            "reduction {matrix:?}"
+        );
+    }
+}
+
+/// A 3-state machine that writes a 1, moves right over it, and accepts
+/// when it reads a blank after exactly two moves — exercises Left moves
+/// too via a final bounce.
+fn bouncer() -> TuringMachine {
+    use car::reductions::Move;
+    let mut delta = HashMap::new();
+    delta.insert((0, 0), (1, 1, Move::Right)); // write 1, go right
+    delta.insert((1, 0), (2, 1, Move::Left)); // write 1, bounce left
+    delta.insert((2, 1), (3, 1, Move::Stay)); // accept on the written 1
+    TuringMachine { states: 4, start: 0, accept: 3, symbols: 2, blank: 0, delta }
+}
+
+#[test]
+fn tm_reduction_handles_left_moves_and_stays() {
+    let m = bouncer();
+    assert!(matches!(m.run(&[], 4, 3), RunOutcome::Accept { step: 3 }));
+    let enc = encode_tm(&m, &[], 4, 3);
+    let r = preselect(&enc.schema);
+    assert!(enc.accepts(&r).unwrap());
+
+    // Starve it of time: T = 2 cannot reach the accepting state.
+    let enc = encode_tm(&m, &[], 2, 3);
+    let r = preselect(&enc.schema);
+    assert!(!enc.accepts(&r).unwrap());
+}
+
+#[test]
+fn arity_reduction_preserves_satisfiability_on_kary_families() {
+    for arity in [3, 4] {
+        let schema = kary_schema(arity, 1);
+        let with = Reasoner::with_config(
+            &schema,
+            ReasonerConfig {
+                strategy: Strategy::Preselect,
+                arity_reduction: true,
+                ..Default::default()
+            },
+        );
+        let without = Reasoner::with_config(
+            &schema,
+            ReasonerConfig {
+                strategy: Strategy::Preselect,
+                arity_reduction: false,
+                ..Default::default()
+            },
+        );
+        for class in schema.symbols().class_ids() {
+            assert_eq!(
+                with.try_is_satisfiable(class).unwrap(),
+                without.try_is_satisfiable(class).unwrap(),
+                "arity {arity}, class {}",
+                schema.class_name(class)
+            );
+        }
+    }
+}

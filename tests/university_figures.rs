@@ -1,0 +1,117 @@
+//! Experiment E1: the paper's Figure 1 and Figure 2 schemas, verbatim
+//! (ASCII-ized), with the properties the paper's prose states about them.
+
+use car::core::reasoner::{Reasoner, ReasonerConfig, Strategy};
+use car::core::Card;
+use car::parser::{parse_schema, pretty};
+
+const FIGURE_2: &str = include_str!("data/figure2.car");
+
+#[test]
+fn figure_2_parses_with_expected_shape() {
+    let schema = parse_schema(FIGURE_2).expect("Figure 2 parses");
+    // Classes: Person, Professor, Student, Grad_Student, Course,
+    // Adv_Course + String (mentioned as an attribute type).
+    assert_eq!(schema.num_classes(), 7);
+    assert_eq!(schema.num_rels(), 2);
+    let enrollment = schema.rel_id("Enrollment").unwrap();
+    assert_eq!(schema.rel_def(enrollment).arity(), 2);
+    assert_eq!(schema.rel_def(enrollment).constraints.len(), 3);
+    let exam = schema.rel_id("Exam").unwrap();
+    assert_eq!(schema.rel_def(exam).arity(), 3);
+
+    // Spot-check the cardinality constraints the paper calls out.
+    let professor = schema.class_id("Professor").unwrap();
+    let taught_by = schema.attr_id("taught_by").unwrap();
+    let spec = schema
+        .attr_spec(professor, car::core::AttRef::Inverse(taught_by))
+        .expect("professors teach through (inv taught_by)");
+    assert_eq!(spec.card, Card::new(1, 2));
+}
+
+#[test]
+fn figure_2_is_coherent_and_implies_the_stated_facts() {
+    let schema = parse_schema(FIGURE_2).expect("parses");
+    let reasoner = Reasoner::new(&schema);
+    assert!(reasoner.try_is_coherent().expect("within limits"));
+
+    let id = |name: &str| schema.class_id(name).unwrap();
+    // "Professors and students are persons."
+    assert!(reasoner.subsumes(id("Person"), id("Professor")));
+    assert!(reasoner.subsumes(id("Person"), id("Student")));
+    assert!(reasoner.subsumes(id("Person"), id("Grad_Student"))); // transitive
+    // "students cannot be professors"
+    assert!(reasoner.disjoint(id("Student"), id("Professor")));
+    assert!(reasoner.disjoint(id("Grad_Student"), id("Professor")));
+    // Courses are taught, not teachers; nothing makes them persons.
+    assert!(!reasoner.subsumes(id("Person"), id("Course")));
+    assert!(!reasoner.disjoint(id("Course"), id("Adv_Course")));
+    assert!(reasoner.subsumes(id("Course"), id("Adv_Course")));
+}
+
+#[test]
+fn figure_2_has_a_verified_finite_model() {
+    let schema = parse_schema(FIGURE_2).expect("parses");
+    let reasoner = Reasoner::new(&schema);
+    let model = reasoner.extract_model().expect("coherent schema");
+    assert!(model.is_model(&schema));
+    // Every class inhabited; courses enroll 5..=100 students each
+    // (checked again explicitly on top of the model checker).
+    let enrollment = schema.rel_id("Enrollment").unwrap();
+    let course = schema.class_id("Course").unwrap();
+    assert!(!model.class_extension(course).is_empty());
+    for &obj in model.class_extension(course) {
+        let enrolls = model
+            .rel_extension(enrollment)
+            .iter()
+            .filter(|t| t[0] == obj)
+            .count();
+        assert!((5..=100).contains(&enrolls), "course enrolls {enrolls}");
+    }
+}
+
+#[test]
+fn refining_grad_student_bounds_creates_incoherence() {
+    // §1: "the interaction between isa-relationships and cardinality
+    // constraints may cause a database schema to exhibit undesirable
+    // properties" — refine Grad_Student's enrollment minimum above
+    // Student's maximum.
+    let broken = FIGURE_2.replace(
+        "participates_in Enrollment[enrolls] : (2, 3)",
+        "participates_in Enrollment[enrolls] : (7, 9)",
+    );
+    assert_ne!(broken, FIGURE_2, "replacement must hit");
+    let schema = parse_schema(&broken).expect("parses");
+    let reasoner = Reasoner::new(&schema);
+    let grad = schema.class_id("Grad_Student").unwrap();
+    let adv = schema.class_id("Adv_Course").unwrap();
+    let student = schema.class_id("Student").unwrap();
+    assert!(!reasoner.is_satisfiable(grad));
+    // Advanced courses need >= 5 enrolled graduate students: gone too.
+    assert!(!reasoner.is_satisfiable(adv));
+    // Ordinary students and courses survive.
+    assert!(reasoner.is_satisfiable(student));
+    assert!(reasoner.is_satisfiable(schema.class_id("Course").unwrap()));
+}
+
+#[test]
+fn figure_2_round_trips_through_the_pretty_printer() {
+    let schema = parse_schema(FIGURE_2).expect("parses");
+    let printed = pretty(&schema);
+    let reparsed = parse_schema(&printed).expect("pretty output parses");
+    assert_eq!(pretty(&reparsed), printed);
+    // Satisfiability answers survive the round trip.
+    let r1 = Reasoner::with_config(
+        &schema,
+        ReasonerConfig { strategy: Strategy::Preselect, ..Default::default() },
+    );
+    let r2 = Reasoner::with_config(
+        &reparsed,
+        ReasonerConfig { strategy: Strategy::Preselect, ..Default::default() },
+    );
+    for class in schema.symbols().class_ids() {
+        let name = schema.class_name(class);
+        let c2 = reparsed.class_id(name).unwrap();
+        assert_eq!(r1.is_satisfiable(class), r2.is_satisfiable(c2), "{name}");
+    }
+}
