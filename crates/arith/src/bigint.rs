@@ -31,9 +31,13 @@ impl Sign {
         }
     }
 
-    /// Sign of the product of two values with these signs.
-    #[must_use]
-    pub fn mul(self, other: Sign) -> Sign {
+}
+
+/// Sign of the product of two values with these signs.
+impl std::ops::Mul for Sign {
+    type Output = Sign;
+
+    fn mul(self, other: Sign) -> Sign {
         match (self, other) {
             (Sign::Zero, _) | (_, Sign::Zero) => Sign::Zero,
             (Sign::Plus, Sign::Plus) | (Sign::Minus, Sign::Minus) => Sign::Plus,
@@ -412,8 +416,8 @@ mod tests {
         assert_eq!(v.abs(), BigInt::from(9u32));
         assert_eq!(v.negated(), BigInt::from(9u32));
         assert_eq!(BigInt::from(9u32).negated(), v);
-        assert_eq!(Sign::Plus.mul(Sign::Minus), Sign::Minus);
-        assert_eq!(Sign::Minus.mul(Sign::Minus), Sign::Plus);
-        assert_eq!(Sign::Zero.mul(Sign::Minus), Sign::Zero);
+        assert_eq!(Sign::Plus * Sign::Minus, Sign::Minus);
+        assert_eq!(Sign::Minus * Sign::Minus, Sign::Plus);
+        assert_eq!(Sign::Zero * Sign::Minus, Sign::Zero);
     }
 }

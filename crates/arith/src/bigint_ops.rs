@@ -10,8 +10,8 @@ fn add_limbs(a: &[u32], b: &[u32]) -> Vec<u32> {
     let (long, short) = if a.len() >= b.len() { (a, b) } else { (b, a) };
     let mut out = Vec::with_capacity(long.len() + 1);
     let mut carry: u64 = 0;
-    for i in 0..long.len() {
-        let sum = u64::from(long[i]) + u64::from(short.get(i).copied().unwrap_or(0)) + carry;
+    for (i, &limb) in long.iter().enumerate() {
+        let sum = u64::from(limb) + u64::from(short.get(i).copied().unwrap_or(0)) + carry;
         out.push(sum as u32);
         carry = sum >> 32;
     }
@@ -26,8 +26,8 @@ fn sub_limbs(a: &[u32], b: &[u32]) -> Vec<u32> {
     debug_assert!(cmp_limbs(a, b) != Ordering::Less);
     let mut out = Vec::with_capacity(a.len());
     let mut borrow: i64 = 0;
-    for i in 0..a.len() {
-        let diff = i64::from(a[i]) - i64::from(b.get(i).copied().unwrap_or(0)) - borrow;
+    for (i, &limb) in a.iter().enumerate() {
+        let diff = i64::from(limb) - i64::from(b.get(i).copied().unwrap_or(0)) - borrow;
         if diff < 0 {
             out.push((diff + (1 << 32)) as u32);
             borrow = 1;

@@ -29,11 +29,11 @@ fn bench(c: &mut Criterion) {
     // Sanity: identical verdicts with and without the pre-pass.
     let with = SatAnalysis::run_with_options(
         &tm_expansion,
-        &AnalysisOptions { structural_propagation: true },
+        &AnalysisOptions { structural_propagation: true, ..Default::default() },
     );
     let without = SatAnalysis::run_with_options(
         &tm_expansion,
-        &AnalysisOptions { structural_propagation: false },
+        &AnalysisOptions { structural_propagation: false, ..Default::default() },
     );
     assert_eq!(with.realizable(), without.realizable());
     eprintln!(
@@ -48,7 +48,7 @@ fn bench(c: &mut Criterion) {
         b.iter(|| {
             black_box(SatAnalysis::run_with_options(
                 &tm_expansion,
-                &AnalysisOptions { structural_propagation: true },
+                &AnalysisOptions { structural_propagation: true, ..Default::default() },
             ))
         })
     });
@@ -56,7 +56,7 @@ fn bench(c: &mut Criterion) {
         b.iter(|| {
             black_box(SatAnalysis::run_with_options(
                 &tm_expansion,
-                &AnalysisOptions { structural_propagation: false },
+                &AnalysisOptions { structural_propagation: false, ..Default::default() },
             ))
         })
     });

@@ -6,12 +6,16 @@
 
 use car_core::clusters::clustered_ccs;
 use car_core::disequations::DisequationSystem;
+use car_core::enumerate;
 use car_core::expansion::{Expansion, ExpansionLimits};
 use car_core::preselection::Preselection;
-use car_core::satisfiability::SatAnalysis;
+use car_core::satisfiability::{AnalysisOptions, SatAnalysis};
+use car_core::syntax::{ClassFormula, SchemaBuilder};
 use car_reductions::generators::ratio_chain_schema;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
+use std::num::NonZeroUsize;
+use std::time::Instant;
 
 fn expansion_of(schema: &car_core::Schema) -> Expansion {
     // Preselection keeps phase 1 linear in the chain length, isolating
@@ -21,10 +25,53 @@ fn expansion_of(schema: &car_core::Schema) -> Expansion {
     Expansion::build(schema, ccs, &ExpansionLimits::default()).unwrap()
 }
 
+/// `n` pairwise-disjoint classes: every candidate subset except the
+/// singletons is inconsistent, so the naive `2^n` sweep dominates the
+/// runtime while the surviving expansion (and its LP) stays tiny — the
+/// enumeration-bound workload the parallel layer targets.
+fn disjoint_classes_schema(n: usize) -> car_core::Schema {
+    let mut b = SchemaBuilder::new();
+    let ids: Vec<_> = (0..n).map(|i| b.class(&format!("D{i}"))).collect();
+    for (i, &di) in ids.iter().enumerate().skip(1) {
+        let mut formula = ClassFormula::neg_class(ids[0]);
+        for &dj in &ids[1..i] {
+            formula = formula.and(ClassFormula::neg_class(dj));
+        }
+        b.define_class(di).isa(formula).finish();
+    }
+    b.build().unwrap()
+}
+
+/// Opt-in (`CAR_PAR_CHECK=1`) cross-check: every thread count must
+/// produce the same analysis on the benchmark expansions.
+fn check_parallel_agreement(expansions: &[Expansion]) {
+    if std::env::var_os("CAR_PAR_CHECK").is_none() {
+        return;
+    }
+    for (i, exp) in expansions.iter().enumerate() {
+        let serial = SatAnalysis::run(exp);
+        let parallel = SatAnalysis::run_with_options(
+            exp,
+            &AnalysisOptions {
+                threads: NonZeroUsize::new(4).unwrap(),
+                ..Default::default()
+            },
+        );
+        assert_eq!(serial.realizable(), parallel.realizable(), "expansion #{i}");
+        assert_eq!(serial.witness(), parallel.witness(), "expansion #{i}");
+        assert_eq!(serial.stats(), parallel.stats(), "expansion #{i}");
+    }
+    eprintln!(
+        "[par-check] serial and 4-thread analyses agree on {} expansions",
+        expansions.len()
+    );
+}
+
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("phase2_scaling");
     group.sample_size(10);
 
+    let mut expansions = Vec::new();
     for len in [2usize, 4, 8, 12] {
         let schema = ratio_chain_schema(len, 2);
         let expansion = expansion_of(&schema);
@@ -35,8 +82,52 @@ fn bench(c: &mut Criterion) {
             &expansion,
             |b, exp| b.iter(|| black_box(SatAnalysis::run(exp))),
         );
+        expansions.push(expansion);
     }
     group.finish();
+    check_parallel_agreement(&expansions);
+
+    // Parallel enumeration sweep: the 2^20-candidate consistency sweep
+    // sharded over the workers. On a multi-core host the 4-thread run
+    // should be >= 1.5x faster; the result vector is identical (asserted)
+    // for every thread count.
+    let sweep_schema = disjoint_classes_schema(20);
+    let serial_ccs = enumerate::naive(&sweep_schema, usize::MAX).unwrap();
+    let mut group = c.benchmark_group("phase2_scaling/parallel_sweep");
+    group.sample_size(10);
+    for threads in [1usize, 2, 4] {
+        let t = NonZeroUsize::new(threads).unwrap();
+        assert_eq!(
+            enumerate::naive_par(&sweep_schema, usize::MAX, t).unwrap(),
+            serial_ccs
+        );
+        group.bench_with_input(
+            BenchmarkId::new("naive_enumeration_20_classes", threads),
+            &t,
+            |b, &t| {
+                b.iter(|| black_box(enumerate::naive_par(&sweep_schema, usize::MAX, t).unwrap()))
+            },
+        );
+    }
+    group.finish();
+
+    // One-shot wall-clock comparison, printed for the record (criterion
+    // already reports per-thread-count timings above).
+    let mut elapsed = Vec::new();
+    for threads in [1usize, 4] {
+        let t = NonZeroUsize::new(threads).unwrap();
+        let start = Instant::now();
+        black_box(enumerate::naive_par(&sweep_schema, usize::MAX, t).unwrap());
+        elapsed.push(start.elapsed());
+    }
+    eprintln!(
+        "[par] naive sweep over 2^20 candidates: 1 thread {:?}, 4 threads {:?} ({:.2}x); \
+         host has {} cpu(s)",
+        elapsed[0],
+        elapsed[1],
+        elapsed[0].as_secs_f64() / elapsed[1].as_secs_f64().max(1e-9),
+        std::thread::available_parallelism().map_or(1, NonZeroUsize::get),
+    );
 
     eprintln!("[E4] phase-2 system sizes and LP work (ratio chains, grow=2):");
     for len in [2usize, 4, 8, 12, 16] {

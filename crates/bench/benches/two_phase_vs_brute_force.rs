@@ -10,6 +10,43 @@ use car_reductions::generators::{random_schema, RandomSchemaParams};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
+/// Opt-in (`CAR_PAR_CHECK=1`) cross-check: the parallel reasoner must
+/// return the very same answers and statistics as the serial one on the
+/// benchmark schemas.
+fn check_parallel_agreement(schemas: &[car_core::Schema]) {
+    if std::env::var_os("CAR_PAR_CHECK").is_none() {
+        return;
+    }
+    for (i, schema) in schemas.iter().enumerate() {
+        let serial = Reasoner::with_config(
+            schema,
+            ReasonerConfig { strategy: Strategy::Sat, ..Default::default() },
+        );
+        let parallel = Reasoner::with_config(
+            schema,
+            ReasonerConfig {
+                strategy: Strategy::Sat,
+                threads: std::num::NonZeroUsize::new(4).unwrap(),
+                ..Default::default()
+            },
+        );
+        assert_eq!(
+            serial.try_unsatisfiable_classes().unwrap(),
+            parallel.try_unsatisfiable_classes().unwrap(),
+            "schema #{i}"
+        );
+        assert_eq!(
+            serial.try_stats().unwrap(),
+            parallel.try_stats().unwrap(),
+            "schema #{i}"
+        );
+    }
+    eprintln!(
+        "[par-check] serial and 4-thread reasoners agree on {} schemas",
+        schemas.len()
+    );
+}
+
 fn bench(c: &mut Criterion) {
     let params = RandomSchemaParams {
         classes: 3,
@@ -19,6 +56,7 @@ fn bench(c: &mut Criterion) {
         max_bound: 2,
     };
     let schemas: Vec<_> = (0..2).map(|seed| random_schema(&params, seed)).collect();
+    check_parallel_agreement(&schemas);
 
     let mut group = c.benchmark_group("two_phase_vs_brute_force");
     group.sample_size(10);

@@ -17,9 +17,11 @@
 //! support analysis of `car-lp` rely on.
 
 use crate::expansion::{CcId, Expansion};
+use crate::par;
 use crate::syntax::AttRef;
 use car_arith::Ratio;
 use car_lp::{LinExpr, Problem, Relation, VarId};
+use std::num::NonZeroUsize;
 
 /// `ΨS`, together with the mapping between expansion components and LP
 /// unknowns.
@@ -84,6 +86,73 @@ impl DisequationSystem {
         }
 
         // Pinned unknowns: Var(X̄) = 0 (≤ 0 with the implicit ≥ 0).
+        for &u in pinned_zero {
+            let var = match u {
+                UnknownId::Cc(i) => cc_vars[i],
+                UnknownId::Ca(i) => ca_vars[i],
+                UnknownId::Cr(i) => cr_vars[i],
+            };
+            problem.add_constraint(LinExpr::var(var), Relation::Le, Ratio::zero());
+        }
+
+        DisequationSystem { problem, cc_vars, ca_vars, cr_vars }
+    }
+
+    /// Builds `ΨS` with the per-entry row construction sharded over up
+    /// to `threads` workers.
+    ///
+    /// Variables are registered serially (their ids are positional), the
+    /// `Natt`/`Nrel` rows — each a function of one entry only — are built
+    /// in parallel and appended in entry order, so the resulting system
+    /// is identical to [`DisequationSystem::build`] for every thread
+    /// count; `threads = 1` runs the serial code directly.
+    #[must_use]
+    pub fn build_with_threads(
+        expansion: &Expansion,
+        pinned_zero: &[UnknownId],
+        threads: NonZeroUsize,
+    ) -> DisequationSystem {
+        if threads.get() == 1 {
+            return DisequationSystem::build(expansion, pinned_zero);
+        }
+        let mut problem = Problem::new();
+        let cc_vars: Vec<VarId> = expansion
+            .cc_ids()
+            .map(|id| problem.add_var(format!("cc{}", id.index())))
+            .collect();
+        let ca_vars: Vec<VarId> = (0..expansion.compound_attrs().len())
+            .map(|i| problem.add_var(format!("ca{i}")))
+            .collect();
+        let cr_vars: Vec<VarId> = (0..expansion.compound_rels().len())
+            .map(|i| problem.add_var(format!("cr{i}")))
+            .collect();
+
+        let natt = expansion.natt();
+        let natt_rows = par::parallel_map(threads, natt.len(), |i| {
+            let entry = &natt[i];
+            let mut sum = LinExpr::zero();
+            let indices = match entry.att {
+                AttRef::Direct(a) => expansion.attrs_with_source(a, entry.cc),
+                AttRef::Inverse(a) => expansion.attrs_with_target(a, entry.cc),
+            };
+            for &i in indices {
+                sum.add_term(ca_vars[i], Ratio::one());
+            }
+            bounds_rows(&sum, cc_vars[entry.cc.index()], entry.card.min, entry.card.max)
+        });
+        let nrel = expansion.nrel();
+        let nrel_rows = par::parallel_map(threads, nrel.len(), |i| {
+            let entry = &nrel[i];
+            let mut sum = LinExpr::zero();
+            for &i in expansion.rels_with_component(entry.rel, entry.role_pos, entry.cc) {
+                sum.add_term(cr_vars[i], Ratio::one());
+            }
+            bounds_rows(&sum, cc_vars[entry.cc.index()], entry.card.min, entry.card.max)
+        });
+        for (expr, rel) in natt_rows.into_iter().chain(nrel_rows).flatten() {
+            problem.add_constraint(expr, rel, Ratio::zero());
+        }
+
         for &u in pinned_zero {
             let var = match u {
                 UnknownId::Cc(i) => cc_vars[i],
@@ -170,18 +239,33 @@ fn push_bounds(
     min: u64,
     max: Option<u64>,
 ) {
+    for (expr, rel) in bounds_rows(sum, cc_var, min, max) {
+        problem.add_constraint(expr, rel, Ratio::zero());
+    }
+}
+
+/// The rows of `min·var ≤ sum` and `sum ≤ max·var`, in lower-then-upper
+/// order, skipping trivial halves. All rows have zero right-hand side.
+fn bounds_rows(
+    sum: &LinExpr,
+    cc_var: VarId,
+    min: u64,
+    max: Option<u64>,
+) -> Vec<(LinExpr, Relation)> {
+    let mut rows = Vec::new();
     if min > 0 {
         // sum - min·cc ≥ 0
         let mut expr = sum.clone();
         expr.add_term(cc_var, -Ratio::from_integer(car_arith::BigInt::from(min)));
-        problem.add_constraint(expr, Relation::Ge, Ratio::zero());
+        rows.push((expr, Relation::Ge));
     }
     if let Some(max) = max {
         // sum - max·cc ≤ 0
         let mut expr = sum.clone();
         expr.add_term(cc_var, -Ratio::from_integer(car_arith::BigInt::from(max)));
-        problem.add_constraint(expr, Relation::Le, Ratio::zero());
+        rows.push((expr, Relation::Le));
     }
+    rows
 }
 
 #[cfg(test)]
@@ -267,6 +351,40 @@ mod tests {
         let sys = DisequationSystem::build(&exp, &[UnknownId::Cc(0)]);
         let point = sys.problem().feasible_point().unwrap();
         assert!(point[sys.cc_var(CcId(0)).index()].is_zero());
+    }
+
+    #[test]
+    fn parallel_system_is_identical_to_serial() {
+        let (_s, exp) = expansion_of(|b| {
+            let a = b.class("A");
+            let t = b.class("T");
+            let f = b.attribute("f");
+            let g = b.attribute("g");
+            b.define_class(a)
+                .attr(AttRef::Direct(f), Card::new(2, 5), ClassFormula::class(t))
+                .attr(AttRef::Direct(g), Card::at_least(1), ClassFormula::top())
+                .finish();
+            b.define_class(t)
+                .attr(AttRef::Inverse(f), Card::new(0, 3), ClassFormula::top())
+                .finish();
+        });
+        let pinned = [UnknownId::Cc(0), UnknownId::Ca(0)];
+        let serial = DisequationSystem::build(&exp, &pinned);
+        for threads in 1..=4 {
+            let par = DisequationSystem::build_with_threads(
+                &exp,
+                &pinned,
+                NonZeroUsize::new(threads).unwrap(),
+            );
+            assert_eq!(
+                format!("{:?}", par.problem()),
+                format!("{:?}", serial.problem()),
+                "threads={threads}"
+            );
+            assert_eq!(par.cc_vars, serial.cc_vars);
+            assert_eq!(par.ca_vars, serial.ca_vars);
+            assert_eq!(par.cr_vars, serial.cr_vars);
+        }
     }
 
     #[test]

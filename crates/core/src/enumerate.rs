@@ -16,8 +16,10 @@
 
 use crate::bitset::BitSet;
 use crate::expansion::{cc_consistent, ExpansionTooLarge};
+use crate::par::{self, Budget};
 use crate::syntax::Schema;
 use car_logic::{CnfFormula, PropLit};
+use std::num::NonZeroUsize;
 
 /// Builds the propositional consistency formula `⋀_C (C → F_C)` of a
 /// schema: one propositional variable per class (same index); one clause
@@ -99,6 +101,113 @@ pub fn sat_models(
     Ok(out)
 }
 
+/// Parallel [`naive`]: shards the `2^|C|` sweep into contiguous blocks
+/// across `threads` scoped workers and merges the survivors in block
+/// order, so the output (and the overflow verdict, via a shared
+/// [`Budget`]) is identical to the serial sweep for every thread count.
+///
+/// # Errors
+/// Exactly as [`naive`].
+pub fn naive_par(
+    schema: &Schema,
+    max: usize,
+    threads: NonZeroUsize,
+) -> Result<Vec<BitSet>, ExpansionTooLarge> {
+    if threads.get() == 1 {
+        return naive(schema, max);
+    }
+    let n = schema.num_classes();
+    if n > 25 {
+        return Err(ExpansionTooLarge { what: "classes for naive enumeration", limit: 25 });
+    }
+    let n_candidates = (1usize << n) - 1; // candidates 1..2^n, empty set excluded
+    let chunks = par::chunk_ranges(n_candidates, threads.get() * 4);
+    let budget = Budget::new(max);
+    let parts = par::parallel_map(threads, chunks.len(), |ci| {
+        let mut found = Vec::new();
+        for offset in chunks[ci].clone() {
+            let bits = offset as u64 + 1;
+            let cc = BitSet::from_iter(n, (0..n).filter(|i| bits & (1 << i) != 0));
+            if cc_consistent(schema, &cc) {
+                if !budget.take() {
+                    return Err(ExpansionTooLarge { what: "compound classes", limit: max });
+                }
+                found.push(cc);
+            }
+        }
+        Ok(found)
+    });
+    let mut out = Vec::new();
+    for part in parts {
+        out.extend(part?);
+    }
+    Ok(out)
+}
+
+/// Parallel [`sat_models`]: splits the search space into `2^k` *cubes*
+/// fixing the first `k` propositional variables, enumerates each cube's
+/// models independently, and concatenates the results in cube order.
+///
+/// Cube `c` assigns variable `j < k` to `true` iff bit `k-1-j` of `c`
+/// is zero, so ascending cube indices enumerate the fixed prefixes in
+/// exactly the order [`car_logic::for_each_model`] explores them
+/// (lexicographic over the model vector, `true` before `false`). Since
+/// the per-cube enumeration is itself lexicographic over the remaining
+/// variables, the concatenation equals the serial model order, and the
+/// shared [`Budget`] makes the overflow verdict identical too.
+///
+/// # Errors
+/// Exactly as [`sat_models`].
+pub fn sat_models_par(
+    schema: &Schema,
+    extra_clauses: &[Vec<PropLit>],
+    max: usize,
+    threads: NonZeroUsize,
+) -> Result<Vec<BitSet>, ExpansionTooLarge> {
+    let n = schema.num_classes();
+    // Aim for a few cubes per worker; deeper splits only add overhead.
+    let k = (threads.get() * 4).next_power_of_two().trailing_zeros() as usize;
+    let k = k.min(n).min(12);
+    if threads.get() == 1 || k == 0 {
+        return sat_models(schema, extra_clauses, max);
+    }
+    let mut f = isa_cnf(schema);
+    for clause in extra_clauses {
+        f.add_clause(clause.iter().copied());
+    }
+    let budget = Budget::new(max);
+    let parts = par::parallel_map(threads, 1usize << k, |cube| {
+        let mut g = f.clone();
+        for j in 0..k {
+            let positive = (cube >> (k - 1 - j)) & 1 == 0;
+            g.add_clause([PropLit { var: j, positive }]);
+        }
+        let mut found = Vec::new();
+        let mut overflow = false;
+        car_logic::for_each_model(&g, |model| {
+            if model.iter().all(|&b| !b) {
+                return true; // skip the empty compound class
+            }
+            if !budget.take() {
+                overflow = true;
+                return false;
+            }
+            found.push(BitSet::from_iter(n, (0..n).filter(|&i| model[i])));
+            true
+        });
+        if overflow {
+            Err(ExpansionTooLarge { what: "compound classes", limit: max })
+        } else {
+            Ok(found)
+        }
+    });
+    let mut out = Vec::new();
+    for part in parts {
+        out.extend(part?);
+    }
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -165,6 +274,60 @@ mod tests {
         }
         let s = big.build().unwrap();
         assert!(naive(&s, usize::MAX).is_err());
+    }
+
+    #[test]
+    fn parallel_enumeration_matches_serial_order_exactly() {
+        let schemas = [schema_with_isa(), {
+            let mut b = SchemaBuilder::new();
+            for i in 0..6 {
+                b.class(&format!("K{i}"));
+            }
+            b.build().unwrap()
+        }];
+        for s in &schemas {
+            let serial_naive = naive(s, usize::MAX).unwrap();
+            let serial_sat = sat_models(s, &[], usize::MAX).unwrap();
+            for t in 1..=5 {
+                let t = NonZeroUsize::new(t).unwrap();
+                assert_eq!(naive_par(s, usize::MAX, t).unwrap(), serial_naive);
+                assert_eq!(sat_models_par(s, &[], usize::MAX, t).unwrap(), serial_sat);
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_enumeration_respects_limits() {
+        let mut b = SchemaBuilder::new();
+        for i in 0..10 {
+            b.class(&format!("K{i}"));
+        }
+        let s = b.build().unwrap();
+        let four = NonZeroUsize::new(4).unwrap();
+        assert_eq!(
+            naive_par(&s, 5, four).unwrap_err(),
+            naive(&s, 5).unwrap_err()
+        );
+        assert_eq!(
+            sat_models_par(&s, &[], 5, four).unwrap_err(),
+            sat_models(&s, &[], 5).unwrap_err()
+        );
+        // At exactly the limit no error fires, serial or parallel.
+        assert_eq!(naive_par(&s, 1023, four).unwrap().len(), 1023);
+        assert_eq!(sat_models_par(&s, &[], 1023, four).unwrap().len(), 1023);
+    }
+
+    #[test]
+    fn parallel_sat_models_honors_extra_clauses() {
+        let mut b = SchemaBuilder::new();
+        b.class("A");
+        b.class("B");
+        let s = b.build().unwrap();
+        let extra = vec![vec![PropLit::neg(0), PropLit::neg(1)]];
+        let serial = sat_models(&s, &extra, usize::MAX).unwrap();
+        let par = sat_models_par(&s, &extra, usize::MAX, NonZeroUsize::new(3).unwrap())
+            .unwrap();
+        assert_eq!(par, serial);
     }
 
     #[test]

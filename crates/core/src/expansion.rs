@@ -26,9 +26,11 @@
 
 use crate::bitset::BitSet;
 use crate::ids::{AttrId, RelId};
+use crate::par::{self, Budget};
 use crate::syntax::{AttRef, Card, Schema};
 use std::collections::HashMap;
 use std::fmt;
+use std::num::NonZeroUsize;
 
 /// Index of a compound class within an [`Expansion`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -243,7 +245,7 @@ pub fn compound_rel_consistent(schema: &Schema, rel: RelId, components: &[&BitSe
 /// The expansion `S̄` of a schema (Definition 3.1), built from a given set
 /// of consistent compound classes (produced by one of the enumeration
 /// strategies in [`crate::enumerate`]).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Expansion {
     compound_classes: Vec<BitSet>,
     compound_attrs: Vec<CompoundAttr>,
@@ -482,6 +484,313 @@ impl Expansion {
         })
     }
 
+    /// Builds the expansion using up to `threads` scoped workers.
+    ///
+    /// The independent units — per-compound-class prefilter checks,
+    /// per-`(attribute, endpoint)` link construction, per-first-component
+    /// relation-tuple blocks — run in parallel; their outputs are merged
+    /// in the serial traversal order, and the size limits are enforced
+    /// through a shared [`Budget`] whose exhaustion verdict depends only
+    /// on totals. The result (including the [`ExpansionTooLarge`] error
+    /// cases) is therefore identical to [`Expansion::build`] for every
+    /// thread count; `threads = 1` runs the serial code directly.
+    ///
+    /// # Errors
+    /// Exactly as [`Expansion::build`].
+    pub fn build_with_threads(
+        schema: &Schema,
+        compound_classes: Vec<BitSet>,
+        limits: &ExpansionLimits,
+        threads: NonZeroUsize,
+    ) -> Result<Expansion, ExpansionTooLarge> {
+        if threads.get() == 1 {
+            return Expansion::build(schema, compound_classes, limits);
+        }
+        Expansion::build_par(schema, compound_classes, limits, threads)
+    }
+
+    fn build_par(
+        schema: &Schema,
+        compound_classes: Vec<BitSet>,
+        limits: &ExpansionLimits,
+        threads: NonZeroUsize,
+    ) -> Result<Expansion, ExpansionTooLarge> {
+        if compound_classes.len() > limits.max_compound_classes {
+            return Err(ExpansionTooLarge {
+                what: "compound classes",
+                limit: limits.max_compound_classes,
+            });
+        }
+        debug_assert!(compound_classes.iter().all(|cc| !cc.is_empty()));
+        debug_assert!(compound_classes.iter().all(|cc| cc_consistent(schema, cc)));
+
+        // Prefilter (see `build`): per-candidate predicate, chunked.
+        let keep = |cc: &BitSet| {
+            let attrs_ok = schema.symbols().attr_ids().all(|a| {
+                merged_att_card(schema, cc, AttRef::Direct(a)).is_none_or(|c| c.is_valid())
+                    && merged_att_card(schema, cc, AttRef::Inverse(a))
+                        .is_none_or(|c| c.is_valid())
+            });
+            let parts_ok = schema.relations().all(|(rel, def)| {
+                (0..def.arity())
+                    .all(|pos| merged_part_card(schema, cc, rel, pos).is_none_or(|c| c.is_valid()))
+            });
+            attrs_ok && parts_ok
+        };
+        let chunks = par::chunk_ranges(compound_classes.len(), threads.get() * 4);
+        let compound_classes: Vec<BitSet> = par::parallel_map(threads, chunks.len(), |ci| {
+            compound_classes[chunks[ci].clone()]
+                .iter()
+                .filter(|cc| keep(cc))
+                .cloned()
+                .collect::<Vec<BitSet>>()
+        })
+        .into_iter()
+        .flatten()
+        .collect();
+
+        let ccs = &compound_classes;
+        let cc_ids: Vec<CcId> = (0..ccs.len()).map(|i| CcId(i as u32)).collect();
+        let nontrivial = |card: &Card| card.min > 0 || card.max.is_some();
+
+        // ---- Natt and per-attribute relevance (parallel per attribute,
+        // merged in attribute order = serial order) --------------------
+        let attr_ids: Vec<AttrId> = schema.symbols().attr_ids().collect();
+        let natt_parts = par::parallel_map(threads, attr_ids.len(), |ai| {
+            let attr_id = attr_ids[ai];
+            let mut part = Vec::new();
+            let mut srcs: Vec<CcId> = Vec::new();
+            let mut tgts: Vec<CcId> = Vec::new();
+            for (&cc_id, cc) in cc_ids.iter().zip(ccs) {
+                if let Some(card) =
+                    merged_att_card(schema, cc, AttRef::Direct(attr_id)).filter(&nontrivial)
+                {
+                    srcs.push(cc_id);
+                    part.push(NattEntry { cc: cc_id, att: AttRef::Direct(attr_id), card });
+                }
+                if let Some(card) =
+                    merged_att_card(schema, cc, AttRef::Inverse(attr_id)).filter(&nontrivial)
+                {
+                    tgts.push(cc_id);
+                    part.push(NattEntry { cc: cc_id, att: AttRef::Inverse(attr_id), card });
+                }
+            }
+            (part, srcs, tgts)
+        });
+        let mut natt = Vec::new();
+        let mut relevant_src: HashMap<AttrId, Vec<CcId>> = HashMap::new();
+        let mut relevant_tgt: HashMap<AttrId, Vec<CcId>> = HashMap::new();
+        for (ai, (part, srcs, tgts)) in natt_parts.into_iter().enumerate() {
+            natt.extend(part);
+            if !srcs.is_empty() {
+                relevant_src.insert(attr_ids[ai], srcs);
+            }
+            if !tgts.is_empty() {
+                relevant_tgt.insert(attr_ids[ai], tgts);
+            }
+        }
+
+        // ---- Compound attributes (parallel per endpoint, merged in the
+        // serial task order with a shared budget) ----------------------
+        #[derive(Clone, Copy)]
+        enum AttrTask {
+            /// One count-constrained source: its singleton + grouped links.
+            Src(AttrId, CcId),
+            /// One count-constrained target: its unconstrained-source links.
+            Tgt(AttrId, CcId),
+        }
+        let empty_ccs: Vec<CcId> = Vec::new();
+        let mut tasks: Vec<AttrTask> = Vec::new();
+        for &attr_id in &attr_ids {
+            for &s in relevant_src.get(&attr_id).unwrap_or(&empty_ccs) {
+                tasks.push(AttrTask::Src(attr_id, s));
+            }
+            for &t in relevant_tgt.get(&attr_id).unwrap_or(&empty_ccs) {
+                tasks.push(AttrTask::Tgt(attr_id, t));
+            }
+        }
+        let attr_budget = Budget::new(limits.max_compound_attrs);
+        let attrs_too_large = || ExpansionTooLarge {
+            what: "compound attributes",
+            limit: limits.max_compound_attrs,
+        };
+        type AttrLinks = Vec<(CcId, Vec<CcId>, bool)>; // (source, targets, index_target)
+        let attr_parts: Vec<Result<AttrLinks, ExpansionTooLarge>> =
+            par::parallel_map(threads, tasks.len(), |ti| {
+                let consistent = |source: CcId, target: CcId| {
+                    compound_attr_consistent(
+                        schema,
+                        match tasks[ti] {
+                            AttrTask::Src(a, _) | AttrTask::Tgt(a, _) => a,
+                        },
+                        &ccs[source.index()],
+                        &ccs[target.index()],
+                    )
+                };
+                let mut links: AttrLinks = Vec::new();
+                match tasks[ti] {
+                    AttrTask::Src(attr_id, source) => {
+                        let tgts = relevant_tgt.get(&attr_id).unwrap_or(&empty_ccs);
+                        let mut group: Vec<CcId> = Vec::new();
+                        for &target in &cc_ids {
+                            if !consistent(source, target) {
+                                continue;
+                            }
+                            if tgts.contains(&target) {
+                                if !attr_budget.take() {
+                                    return Err(attrs_too_large());
+                                }
+                                links.push((source, vec![target], true));
+                            } else {
+                                group.push(target);
+                            }
+                        }
+                        if !group.is_empty() {
+                            if !attr_budget.take() {
+                                return Err(attrs_too_large());
+                            }
+                            links.push((source, group, false));
+                        }
+                    }
+                    AttrTask::Tgt(attr_id, target) => {
+                        let srcs = relevant_src.get(&attr_id).unwrap_or(&empty_ccs);
+                        for &source in &cc_ids {
+                            if srcs.contains(&source) || !consistent(source, target) {
+                                continue;
+                            }
+                            if !attr_budget.take() {
+                                return Err(attrs_too_large());
+                            }
+                            links.push((source, vec![target], true));
+                        }
+                    }
+                }
+                Ok(links)
+            });
+        let mut compound_attrs: Vec<CompoundAttr> = Vec::new();
+        let mut attr_by_source: HashMap<(AttrId, CcId), Vec<usize>> = HashMap::new();
+        let mut attr_by_target: HashMap<(AttrId, CcId), Vec<usize>> = HashMap::new();
+        for (task, part) in tasks.iter().zip(attr_parts) {
+            let attr_id = match *task {
+                AttrTask::Src(a, _) | AttrTask::Tgt(a, _) => a,
+            };
+            for (source, targets, index_target) in part? {
+                if compound_attrs.len() >= limits.max_compound_attrs {
+                    return Err(attrs_too_large());
+                }
+                let idx = compound_attrs.len();
+                if index_target {
+                    debug_assert_eq!(targets.len(), 1);
+                    attr_by_target.entry((attr_id, targets[0])).or_default().push(idx);
+                }
+                attr_by_source.entry((attr_id, source)).or_default().push(idx);
+                compound_attrs.push(CompoundAttr { attr: attr_id, source, targets });
+            }
+        }
+
+        // ---- Nrel (parallel per relation, merged in relation order) ---
+        let rels: Vec<RelId> = schema.relations().map(|(rel, _)| rel).collect();
+        let nrel_parts = par::parallel_map(threads, rels.len(), |ri| {
+            let rel = rels[ri];
+            let def = schema.rel_def(rel);
+            let mut part = Vec::new();
+            for role_pos in 0..def.arity() {
+                for (&cc_id, cc) in cc_ids.iter().zip(ccs) {
+                    if let Some(card) =
+                        merged_part_card(schema, cc, rel, role_pos).filter(&nontrivial)
+                    {
+                        part.push(NrelEntry { cc: cc_id, rel, role_pos, card });
+                    }
+                }
+            }
+            part
+        });
+        let mut nrel = Vec::new();
+        let mut constrained_rels: Vec<RelId> = Vec::new();
+        for (ri, part) in nrel_parts.into_iter().enumerate() {
+            if !part.is_empty() {
+                constrained_rels.push(rels[ri]);
+            }
+            nrel.extend(part);
+        }
+
+        // ---- Compound relations (parallel per first-component block) --
+        let rel_budget = Budget::new(limits.max_compound_rels);
+        let mut compound_rels: Vec<CompoundRel> = Vec::new();
+        let mut rel_by_role: HashMap<(RelId, usize, CcId), Vec<usize>> = HashMap::new();
+        for &rel in &constrained_rels {
+            let def = schema.rel_def(rel);
+            let arity = def.arity();
+            let mut candidates: Vec<Vec<CcId>> = Vec::with_capacity(arity);
+            for role_pos in 0..arity {
+                let role = def.roles[role_pos];
+                let unit_formulas: Vec<_> = def
+                    .constraints
+                    .iter()
+                    .filter(|c| c.is_unit() && c.literals[0].role == role)
+                    .map(|c| &c.literals[0].formula)
+                    .collect();
+                let cands: Vec<CcId> = cc_ids
+                    .iter()
+                    .copied()
+                    .filter(|&id| {
+                        unit_formulas.iter().all(|f| f.realized_by(&ccs[id.index()]))
+                    })
+                    .collect();
+                candidates.push(cands);
+            }
+            let non_unit: Vec<_> =
+                def.constraints.iter().filter(|c| !c.is_unit()).collect();
+
+            let first = &candidates[0];
+            let blocks = par::chunk_ranges(first.len(), threads.get() * 4);
+            let tuple_parts = par::parallel_map(threads, blocks.len(), |bi| {
+                let mut tuples: Vec<Vec<CcId>> = Vec::new();
+                for &c0 in &first[blocks[bi].clone()] {
+                    let mut stack = vec![c0];
+                    collect_rel_tuples(
+                        schema,
+                        rel,
+                        &candidates,
+                        &non_unit,
+                        ccs,
+                        &mut stack,
+                        &mut tuples,
+                        &rel_budget,
+                        limits.max_compound_rels,
+                    )?;
+                }
+                Ok(tuples)
+            });
+            for part in tuple_parts {
+                for components in part? {
+                    if compound_rels.len() >= limits.max_compound_rels {
+                        return Err(ExpansionTooLarge {
+                            what: "compound relations",
+                            limit: limits.max_compound_rels,
+                        });
+                    }
+                    let idx = compound_rels.len();
+                    for (role_pos, &cc) in components.iter().enumerate() {
+                        rel_by_role.entry((rel, role_pos, cc)).or_default().push(idx);
+                    }
+                    compound_rels.push(CompoundRel { rel, components });
+                }
+            }
+        }
+
+        Ok(Expansion {
+            compound_classes,
+            compound_attrs,
+            compound_rels,
+            natt,
+            nrel,
+            attr_by_source,
+            attr_by_target,
+            rel_by_role,
+        })
+    }
+
     /// The consistent compound classes, in input order.
     #[must_use]
     pub fn compound_classes(&self) -> &[BitSet] {
@@ -600,6 +909,47 @@ fn build_rel_tuples(
     for &cand in &candidates[depth] {
         stack.push(cand);
         build_rel_tuples(schema, rel, candidates, non_unit, ccs, stack, out, rel_by_role, limits)?;
+        stack.pop();
+    }
+    Ok(())
+}
+
+/// Worker-side variant of [`build_rel_tuples`]: collects accepted tuples
+/// (in depth-first order) instead of assigning indices, and draws from a
+/// shared [`Budget`] so the limit verdict matches the serial path.
+#[allow(clippy::too_many_arguments)]
+fn collect_rel_tuples(
+    schema: &Schema,
+    rel: RelId,
+    candidates: &[Vec<CcId>],
+    non_unit: &[&crate::syntax::RoleClause],
+    ccs: &[BitSet],
+    stack: &mut Vec<CcId>,
+    out: &mut Vec<Vec<CcId>>,
+    budget: &Budget,
+    limit: usize,
+) -> Result<(), ExpansionTooLarge> {
+    if stack.len() == candidates.len() {
+        let components: Vec<&BitSet> = stack.iter().map(|id| &ccs[id.index()]).collect();
+        let def = schema.rel_def(rel);
+        let ok = non_unit.iter().all(|clause| {
+            clause.literals.iter().any(|lit| {
+                def.role_position(lit.role)
+                    .is_some_and(|pos| lit.formula.realized_by(components[pos]))
+            })
+        });
+        if ok {
+            if !budget.take() {
+                return Err(ExpansionTooLarge { what: "compound relations", limit });
+            }
+            out.push(stack.clone());
+        }
+        return Ok(());
+    }
+    let depth = stack.len();
+    for &cand in &candidates[depth] {
+        stack.push(cand);
+        collect_rel_tuples(schema, rel, candidates, non_unit, ccs, stack, out, budget, limit)?;
         stack.pop();
     }
     Ok(())
@@ -852,6 +1202,83 @@ mod tests {
             let cu = exp.compound_class(cr.components[0]);
             let cv = exp.compound_class(cr.components[1]);
             assert!(cu.contains(0) || cv.contains(1));
+        }
+    }
+
+    /// A schema exercising every expansion stage: inverse attribute
+    /// bounds (so both singleton and grouped links appear), a binary
+    /// relation with a disjunctive role clause, and several free classes
+    /// to fan out the compound-class count.
+    fn parallel_stress_schema() -> Schema {
+        let mut b = SchemaBuilder::new();
+        let a = b.class("A");
+        let bb = b.class("B");
+        let t = b.class("T");
+        for name in ["F1", "F2", "F3"] {
+            b.class(name);
+        }
+        let f = b.attribute("f");
+        let r = b.relation("R", ["u", "v"]);
+        let u = b.role("u");
+        let v = b.role("v");
+        b.define_class(a)
+            .attr(AttRef::Direct(f), Card::new(1, 3), ClassFormula::top())
+            .participates(r, u, Card::at_least(1))
+            .finish();
+        b.define_class(t)
+            .attr(AttRef::Inverse(f), Card::new(0, 2), ClassFormula::top())
+            .finish();
+        b.relation_constraint(
+            r,
+            RoleClause::new(vec![
+                RoleLiteral { role: u, formula: ClassFormula::class(a) },
+                RoleLiteral { role: v, formula: ClassFormula::class(bb) },
+            ]),
+        );
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn parallel_build_matches_serial_exactly() {
+        for schema in [university(), parallel_stress_schema()] {
+            let ccs = all_consistent(&schema);
+            let serial =
+                Expansion::build(&schema, ccs.clone(), &ExpansionLimits::default()).unwrap();
+            for threads in 1..=5 {
+                let par = Expansion::build_with_threads(
+                    &schema,
+                    ccs.clone(),
+                    &ExpansionLimits::default(),
+                    NonZeroUsize::new(threads).unwrap(),
+                )
+                .unwrap();
+                assert_eq!(par, serial, "threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_build_limit_errors_match_serial() {
+        let schema = parallel_stress_schema();
+        let ccs = all_consistent(&schema);
+        let serial_rels = Expansion::build(&schema, ccs.clone(), &ExpansionLimits::default())
+            .unwrap()
+            .compound_rels()
+            .len();
+        assert!(serial_rels > 1);
+        let tight = ExpansionLimits { max_compound_rels: serial_rels - 1, ..Default::default() };
+        let serial_err = Expansion::build(&schema, ccs.clone(), &tight).unwrap_err();
+        let exact = ExpansionLimits { max_compound_rels: serial_rels, ..Default::default() };
+        for threads in 2..=4 {
+            let threads = NonZeroUsize::new(threads).unwrap();
+            let err = Expansion::build_with_threads(&schema, ccs.clone(), &tight, threads)
+                .unwrap_err();
+            assert_eq!(err.what, serial_err.what);
+            assert_eq!(err.limit, serial_err.limit);
+            // Exactly at the limit: still succeeds, on both paths.
+            let ok = Expansion::build_with_threads(&schema, ccs.clone(), &exact, threads)
+                .unwrap();
+            assert_eq!(ok.compound_rels().len(), serial_rels);
         }
     }
 }

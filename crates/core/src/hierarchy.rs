@@ -81,9 +81,9 @@ pub fn detect(schema: &Schema) -> Option<Hierarchy> {
 
     // Sibling disjointness: group children by parent (roots together).
     let mut groups: Vec<Vec<usize>> = vec![Vec::new(); n + 1];
-    for i in 0..n {
-        match parent[i] {
-            Some(p) => groups[p].push(i),
+    for (i, p) in parent.iter().enumerate() {
+        match p {
+            Some(p) => groups[*p].push(i),
             None => groups[n].push(i),
         }
     }

@@ -21,10 +21,30 @@
 //! answers, not implication answers), so [`crate::reasoner::Reasoner`]
 //! always runs implication queries on a complete expansion.
 
-use crate::expansion::Expansion;
+use crate::expansion::{CcId, Expansion};
 use crate::ids::ClassId;
 use crate::satisfiability::SatAnalysis;
 use crate::syntax::{Card, ClassFormula, Schema};
+
+/// The per-class lists of realizable compound classes containing each
+/// class, in compound-class order — the iteration every implication
+/// query starts from. Computing it once and sharing it across queries
+/// (see [`Implications::with_class_index`]) turns the per-query scan
+/// over all compound classes into a direct lookup.
+#[must_use]
+pub fn realizable_class_index(
+    num_classes: usize,
+    expansion: &Expansion,
+    analysis: &SatAnalysis,
+) -> Vec<Vec<CcId>> {
+    let mut index: Vec<Vec<CcId>> = vec![Vec::new(); num_classes];
+    for cc in expansion.cc_ids().filter(|&cc| analysis.is_realizable(cc)) {
+        for class in expansion.compound_class(cc).iter() {
+            index[class].push(cc);
+        }
+    }
+    index
+}
 
 /// Implication queries over a completed satisfiability analysis.
 ///
@@ -34,22 +54,51 @@ use crate::syntax::{Card, ClassFormula, Schema};
 pub struct Implications<'a> {
     expansion: &'a Expansion,
     analysis: &'a SatAnalysis,
+    /// Precomputed [`realizable_class_index`], when the caller keeps one.
+    class_index: Option<&'a [Vec<CcId>]>,
 }
 
 impl<'a> Implications<'a> {
     /// Creates the query view.
     #[must_use]
     pub fn new(expansion: &'a Expansion, analysis: &'a SatAnalysis) -> Implications<'a> {
-        Implications { expansion, analysis }
+        Implications { expansion, analysis, class_index: None }
+    }
+
+    /// Creates the query view backed by a precomputed
+    /// [`realizable_class_index`] (built from the same expansion and
+    /// analysis), replacing the per-query compound-class scans with
+    /// index lookups.
+    #[must_use]
+    pub fn with_class_index(
+        expansion: &'a Expansion,
+        analysis: &'a SatAnalysis,
+        class_index: &'a [Vec<CcId>],
+    ) -> Implications<'a> {
+        Implications { expansion, analysis, class_index: Some(class_index) }
+    }
+
+    /// The realizable compound classes containing `class`, in
+    /// compound-class order.
+    fn realizable_containing(&self, class: ClassId) -> Box<dyn Iterator<Item = CcId> + 'a> {
+        match self.class_index {
+            Some(index) => Box::new(index[class.index()].iter().copied()),
+            None => {
+                let analysis = self.analysis;
+                Box::new(
+                    self.expansion
+                        .ccs_containing(class)
+                        .filter(move |&cc| analysis.is_realizable(cc)),
+                )
+            }
+        }
     }
 
     /// `S ⊨ class isa formula`: does every model interpret `class` inside
     /// the formula's extension?
     #[must_use]
     pub fn implies_isa(&self, class: ClassId, formula: &ClassFormula) -> bool {
-        self.expansion
-            .ccs_containing(class)
-            .filter(|&cc| self.analysis.is_realizable(cc))
+        self.realizable_containing(class)
             .all(|cc| formula.realized_by(self.expansion.compound_class(cc)))
     }
 
@@ -63,9 +112,7 @@ impl<'a> Implications<'a> {
     #[must_use]
     pub fn disjoint(&self, c1: ClassId, c2: ClassId) -> bool {
         !self
-            .expansion
-            .ccs_containing(c1)
-            .filter(|&cc| self.analysis.is_realizable(cc))
+            .realizable_containing(c1)
             .any(|cc| self.expansion.compound_class(cc).contains(c2.index()))
     }
 
@@ -120,11 +167,7 @@ impl<'a> Implications<'a> {
         let attr = att.attr();
         let empty = crate::bitset::BitSet::new(schema.num_classes());
 
-        for src in self
-            .expansion
-            .ccs_containing(class)
-            .filter(|&cc| self.analysis.is_realizable(cc))
-        {
+        for src in self.realizable_containing(class) {
             let src_bits = self.expansion.compound_class(src);
             let Some(src_card) = merged_att_card(schema, src_bits, att) else {
                 // No specification at all: fillers are arbitrary objects.
@@ -218,11 +261,7 @@ impl<'a> Implications<'a> {
         att: crate::syntax::AttRef,
     ) -> Option<Card> {
         let mut overall: Option<Card> = None;
-        for cc in self
-            .expansion
-            .ccs_containing(class)
-            .filter(|&cc| self.analysis.is_realizable(cc))
-        {
+        for cc in self.realizable_containing(class) {
             let merged =
                 crate::expansion::merged_att_card(schema, self.expansion.compound_class(cc), att)?;
             overall = Some(match overall {
@@ -251,11 +290,7 @@ impl<'a> Implications<'a> {
         role_pos: usize,
     ) -> Option<Card> {
         let mut overall: Option<Card> = None;
-        for cc in self
-            .expansion
-            .ccs_containing(class)
-            .filter(|&cc| self.analysis.is_realizable(cc))
-        {
+        for cc in self.realizable_containing(class) {
             let merged = crate::expansion::merged_part_card(
                 schema,
                 self.expansion.compound_class(cc),
@@ -603,6 +638,65 @@ mod tests {
         assert_eq!(
             imp.implied_part_card(&f.schema, f.id("Student"), rel, 0),
             Some(Card::new(1, 6))
+        );
+    }
+
+    #[test]
+    fn class_index_view_agrees_with_scanning_view() {
+        let f = Fixture::new(|b| {
+            let person = b.class("Person");
+            let professor = b.class("Professor");
+            let course = b.class("Course");
+            let dead = b.class("Dead");
+            let taught_by = b.attribute("taught_by");
+            b.define_class(professor).isa(ClassFormula::class(person)).finish();
+            b.define_class(dead).isa(ClassFormula::neg_class(dead)).finish();
+            b.define_class(course)
+                .isa(ClassFormula::neg_class(person))
+                .attr(
+                    AttRef::Direct(taught_by),
+                    Card::exactly(1),
+                    ClassFormula::class(professor),
+                )
+                .finish();
+        });
+        let index =
+            realizable_class_index(f.schema.num_classes(), &f.expansion, &f.analysis);
+        let scan = f.imp();
+        let indexed = Implications::with_class_index(&f.expansion, &f.analysis, &index);
+        let taught_by = f.schema.attr_id("taught_by").unwrap();
+        let ids: Vec<ClassId> = f.schema.symbols().class_ids().collect();
+        for &c1 in &ids {
+            assert_eq!(
+                indexed.implies_isa(c1, &ClassFormula::class(f.id("Person"))),
+                scan.implies_isa(c1, &ClassFormula::class(f.id("Person")))
+            );
+            assert_eq!(
+                indexed.implied_att_card(&f.schema, c1, AttRef::Direct(taught_by)),
+                scan.implied_att_card(&f.schema, c1, AttRef::Direct(taught_by))
+            );
+            assert_eq!(
+                indexed.implies_filler_type(
+                    &f.schema,
+                    c1,
+                    AttRef::Direct(taught_by),
+                    &ClassFormula::class(f.id("Professor"))
+                ),
+                scan.implies_filler_type(
+                    &f.schema,
+                    c1,
+                    AttRef::Direct(taught_by),
+                    &ClassFormula::class(f.id("Professor"))
+                )
+            );
+            for &c2 in &ids {
+                assert_eq!(indexed.disjoint(c1, c2), scan.disjoint(c1, c2));
+                assert_eq!(indexed.subsumes(c1, c2), scan.subsumes(c1, c2));
+            }
+        }
+        assert_eq!(
+            indexed.classification(&f.schema),
+            scan.classification(&f.schema)
         );
     }
 

@@ -21,6 +21,7 @@
 //! | §4.4 clusters | [`clusters`] |
 //! | §4.4 generalization hierarchies | [`hierarchy`] |
 //! | Theorem 4.5 arity reduction | [`arity`] |
+//! | parallel execution layer | [`par`] |
 //! | top-level facade | [`reasoner`] |
 //! | certified answers (extension) | [`certify`], [`model_extract`] |
 //!
@@ -59,6 +60,7 @@ pub mod hierarchy;
 pub mod ids;
 pub mod implication;
 pub mod model_extract;
+pub mod par;
 pub mod preselection;
 pub mod reasoner;
 pub mod satisfiability;

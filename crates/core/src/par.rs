@@ -1,0 +1,177 @@
+//! Dependency-free parallel execution utilities (`std::thread::scope`).
+//!
+//! The reasoner's hot paths — candidate enumeration, expansion
+//! construction, the fixpoint's per-compound-object sweeps — are
+//! data-parallel over independently checkable items. The helpers here
+//! shard those sweeps across a configurable worker count without
+//! changing any observable result:
+//!
+//! * [`parallel_map`] preserves output order: results are merged by job
+//!   index, so concatenating them reproduces the serial left-to-right
+//!   traversal exactly. With one worker (or one job) it degenerates to
+//!   a plain in-order loop on the calling thread — no threads are
+//!   spawned, so `threads = 1` is byte-identical to the serial code.
+//! * [`Budget`] enforces size limits with an order-independent verdict:
+//!   a unit is granted iff the running total stays within the limit, so
+//!   the limit fires iff the *total* number of accepted items exceeds
+//!   it — exactly the condition under which the serial path fails, no
+//!   matter how the items are distributed over workers.
+//! * [`chunk_ranges`] splits an index range into contiguous,
+//!   near-equal chunks; contiguity is what makes the chunk-order merge
+//!   equal the serial order.
+
+use std::num::NonZeroUsize;
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Splits `0..n` into at most `pieces` contiguous, non-empty ranges of
+/// near-equal length, covering every index exactly once and in order.
+#[must_use]
+pub fn chunk_ranges(n: usize, pieces: usize) -> Vec<Range<usize>> {
+    let k = pieces.max(1).min(n);
+    if k == 0 {
+        return Vec::new();
+    }
+    let base = n / k;
+    let rem = n % k;
+    let mut out = Vec::with_capacity(k);
+    let mut start = 0;
+    for i in 0..k {
+        let len = base + usize::from(i < rem);
+        out.push(start..start + len);
+        start += len;
+    }
+    debug_assert_eq!(start, n);
+    out
+}
+
+/// Applies `f` to every index in `0..n_jobs` using up to `threads`
+/// scoped workers and returns the results in index order.
+///
+/// Workers pull job indices from a shared cursor (dynamic load
+/// balancing); the merge is by index, so the output is independent of
+/// scheduling. With `threads = 1` (or fewer than two jobs) no thread is
+/// spawned and `f` runs in order on the calling thread.
+///
+/// # Panics
+/// Propagates panics from `f`.
+pub fn parallel_map<T, F>(threads: NonZeroUsize, n_jobs: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let workers = threads.get().min(n_jobs);
+    if workers <= 1 {
+        return (0..n_jobs).map(f).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let mut slots: Vec<Option<T>> = Vec::with_capacity(n_jobs);
+    slots.resize_with(n_jobs, || None);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                s.spawn(|| {
+                    let mut produced = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= n_jobs {
+                            break;
+                        }
+                        produced.push((i, f(i)));
+                    }
+                    produced
+                })
+            })
+            .collect();
+        for handle in handles {
+            match handle.join() {
+                Ok(produced) => {
+                    for (i, v) in produced {
+                        slots[i] = Some(v);
+                    }
+                }
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+    });
+    slots.into_iter().map(|v| v.expect("every job produces a result")).collect()
+}
+
+/// A shared atomic size budget for limit enforcement across workers.
+///
+/// Each accepted item takes one unit. Because grants depend only on the
+/// running total (not on which worker asks, or when), the exhaustion
+/// verdict is deterministic: some [`Budget::take`] returns `false` iff
+/// the total number of takes exceeds the limit — the same condition
+/// under which the serial `len() >= limit` check fails.
+#[derive(Debug)]
+pub struct Budget {
+    limit: usize,
+    used: AtomicUsize,
+}
+
+impl Budget {
+    /// A fresh budget of `limit` units.
+    #[must_use]
+    pub fn new(limit: usize) -> Budget {
+        Budget { limit, used: AtomicUsize::new(0) }
+    }
+
+    /// Takes one unit; `false` iff the limit is already exhausted.
+    #[must_use]
+    pub fn take(&self) -> bool {
+        self.used.fetch_add(1, Ordering::Relaxed) < self.limit
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nz(n: usize) -> NonZeroUsize {
+        NonZeroUsize::new(n).unwrap()
+    }
+
+    #[test]
+    fn chunk_ranges_partition_in_order() {
+        for n in [0usize, 1, 5, 16, 17, 100] {
+            for pieces in [1usize, 2, 3, 7, 200] {
+                let chunks = chunk_ranges(n, pieces);
+                let flat: Vec<usize> = chunks.iter().cloned().flatten().collect();
+                assert_eq!(flat, (0..n).collect::<Vec<_>>(), "n={n} pieces={pieces}");
+                assert!(chunks.iter().all(|c| !c.is_empty()));
+                assert!(chunks.len() <= pieces.max(1));
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        for threads in [1usize, 2, 4, 9] {
+            let out = parallel_map(nz(threads), 37, |i| i * i);
+            assert_eq!(out, (0..37).map(|i| i * i).collect::<Vec<_>>());
+        }
+        assert!(parallel_map(nz(4), 0, |i| i).is_empty());
+    }
+
+    #[test]
+    fn budget_verdict_depends_only_on_totals() {
+        let b = Budget::new(3);
+        assert!(b.take());
+        assert!(b.take());
+        assert!(b.take());
+        assert!(!b.take());
+        // Concurrent takes: exactly `limit` grants, the rest denied.
+        let b = Budget::new(10);
+        let grants: usize = parallel_map(nz(4), 25, |_| usize::from(b.take()))
+            .into_iter()
+            .sum();
+        assert_eq!(grants, 10);
+    }
+
+    #[test]
+    fn zero_budget_denies_everything() {
+        let b = Budget::new(0);
+        assert!(!b.take());
+    }
+}

@@ -27,17 +27,18 @@
 use crate::arity::reduce_arities;
 use crate::clusters::clustered_ccs;
 use crate::enumerate;
-use crate::expansion::{Expansion, ExpansionLimits, ExpansionTooLarge};
+use crate::expansion::{CcId, Expansion, ExpansionLimits, ExpansionTooLarge};
 use crate::hierarchy;
 use crate::ids::ClassId;
-use crate::implication::Implications;
+use crate::implication::{realizable_class_index, Implications};
 use crate::model_extract::{extract_model, ExtractConfig, ExtractError};
 use crate::preselection::Preselection;
-use crate::satisfiability::{AnalysisStats, SatAnalysis};
+use crate::satisfiability::{AnalysisOptions, AnalysisStats, SatAnalysis};
 use crate::semantics::Interpretation;
 use crate::syntax::{ClassFormula, Schema};
 use std::cell::OnceCell;
 use std::fmt;
+use std::num::NonZeroUsize;
 
 /// Compound-class enumeration strategy (see module docs).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -54,7 +55,7 @@ pub enum Strategy {
 }
 
 /// Configuration of a [`Reasoner`].
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct ReasonerConfig {
     /// Enumeration strategy for satisfiability queries.
     pub strategy: Strategy,
@@ -65,6 +66,24 @@ pub struct ReasonerConfig {
     pub arity_reduction: bool,
     /// Budget for model extraction.
     pub extract: ExtractConfig,
+    /// Worker count for the parallel execution layer (`crate::par`):
+    /// candidate enumeration, expansion construction and the fixpoint
+    /// sweeps are sharded over this many `std::thread::scope` workers.
+    /// The default `1` runs everything serially on the calling thread;
+    /// any value returns identical answers, errors and statistics.
+    pub threads: NonZeroUsize,
+}
+
+impl Default for ReasonerConfig {
+    fn default() -> ReasonerConfig {
+        ReasonerConfig {
+            strategy: Strategy::default(),
+            limits: ExpansionLimits::default(),
+            arity_reduction: false,
+            extract: ExtractConfig::default(),
+            threads: NonZeroUsize::MIN,
+        }
+    }
 }
 
 /// Reasoning failure.
@@ -96,12 +115,39 @@ impl From<ExpansionTooLarge> for ReasonerError {
 /// One computed analysis: the schema actually analyzed (possibly the
 /// arity-reduced one), its expansion, and the fixpoint result.
 struct Bundle {
-    /// `Some` when the Theorem 4.5 transform was applied (kept for
-    /// diagnostics; the expansion below was built against it).
-    #[allow(dead_code)]
+    /// `Some` when the Theorem 4.5 transform was applied (surfaced via
+    /// [`AnalysisStats::arity_reduced`]; the expansion below was built
+    /// against it).
     transformed: Option<Schema>,
     expansion: Expansion,
     analysis: SatAnalysis,
+    /// Lazily built per-class lists of realizable compound classes,
+    /// shared by every implication query on this bundle.
+    class_index: OnceCell<Vec<Vec<CcId>>>,
+}
+
+impl Bundle {
+    fn new(transformed: Option<Schema>, expansion: Expansion, analysis: SatAnalysis) -> Bundle {
+        Bundle { transformed, expansion, analysis, class_index: OnceCell::new() }
+    }
+
+    /// The implication view, backed by the cached class index.
+    /// `num_classes` must be the class count of the schema this bundle's
+    /// expansion was built from.
+    fn implications(&self, num_classes: usize) -> Implications<'_> {
+        let index = self.class_index.get_or_init(|| {
+            realizable_class_index(num_classes, &self.expansion, &self.analysis)
+        });
+        Implications::with_class_index(&self.expansion, &self.analysis, index)
+    }
+
+    /// The analysis statistics, stamped with whether the Theorem 4.5
+    /// transform was applied.
+    fn stats(&self) -> AnalysisStats {
+        let mut stats = self.analysis.stats().clone();
+        stats.arity_reduced = self.transformed.is_some();
+        stats
+    }
 }
 
 /// The reasoning facade over one schema.
@@ -152,10 +198,11 @@ impl<'s> Reasoner<'s> {
         };
         let schema = transformed.as_ref().unwrap_or(self.schema);
 
+        let threads = self.config.threads;
         let max = self.config.limits.max_compound_classes;
         let ccs = match self.config.strategy {
-            Strategy::Naive => enumerate::naive(schema, max)?,
-            Strategy::Sat => enumerate::sat_models(schema, &[], max)?,
+            Strategy::Naive => enumerate::naive_par(schema, max, threads)?,
+            Strategy::Sat => enumerate::sat_models_par(schema, &[], max, threads)?,
             Strategy::Preselect => {
                 let pre = Preselection::compute(schema);
                 clustered_ccs(schema, &pre, max)?
@@ -168,17 +215,29 @@ impl<'s> Reasoner<'s> {
                 }
             },
         };
-        let expansion = Expansion::build(schema, ccs, &self.config.limits)?;
-        let analysis = SatAnalysis::run(&expansion);
-        Ok(Bundle { transformed, expansion, analysis })
+        let expansion = Expansion::build_with_threads(schema, ccs, &self.config.limits, threads)?;
+        let analysis = SatAnalysis::run_with_options(
+            &expansion,
+            &AnalysisOptions { threads, ..AnalysisOptions::default() },
+        );
+        Ok(Bundle::new(transformed, expansion, analysis))
     }
 
     fn compute_full_bundle(&self) -> Result<Bundle, ReasonerError> {
-        let ccs =
-            enumerate::sat_models(self.schema, &[], self.config.limits.max_compound_classes)?;
-        let expansion = Expansion::build(self.schema, ccs, &self.config.limits)?;
-        let analysis = SatAnalysis::run(&expansion);
-        Ok(Bundle { transformed: None, expansion, analysis })
+        let threads = self.config.threads;
+        let ccs = enumerate::sat_models_par(
+            self.schema,
+            &[],
+            self.config.limits.max_compound_classes,
+            threads,
+        )?;
+        let expansion =
+            Expansion::build_with_threads(self.schema, ccs, &self.config.limits, threads)?;
+        let analysis = SatAnalysis::run_with_options(
+            &expansion,
+            &AnalysisOptions { threads, ..AnalysisOptions::default() },
+        );
+        Ok(Bundle::new(None, expansion, analysis))
     }
 
     fn sat_bundle(&self) -> Result<&Bundle, ReasonerError> {
@@ -238,72 +297,144 @@ impl<'s> Reasoner<'s> {
         Ok(self.try_unsatisfiable_classes()?.is_empty())
     }
 
-    /// Statistics of the satisfiability analysis (forces computation).
+    /// Statistics of the satisfiability analysis (forces computation),
+    /// including whether the Theorem 4.5 arity reduction was applied.
     ///
     /// # Errors
     /// [`ReasonerError::TooLarge`] when the expansion exceeds the limits.
-    pub fn try_stats(&self) -> Result<&AnalysisStats, ReasonerError> {
-        Ok(self.sat_bundle()?.analysis.stats())
+    pub fn try_stats(&self) -> Result<AnalysisStats, ReasonerError> {
+        Ok(self.sat_bundle()?.stats())
     }
 
     // ---- Logical implication ---------------------------------------
 
+    /// The implication view over the complete analysis.
+    fn implications(&self) -> Result<Implications<'_>, ReasonerError> {
+        Ok(self.full_bundle()?.implications(self.schema.num_classes()))
+    }
+
+    /// `S ⊨ class isa formula`.
+    ///
+    /// # Errors
+    /// [`ReasonerError::TooLarge`] when the (complete) expansion exceeds
+    /// the limits.
+    pub fn try_implies_isa(
+        &self,
+        class: ClassId,
+        formula: &ClassFormula,
+    ) -> Result<bool, ReasonerError> {
+        Ok(self.implications()?.implies_isa(class, formula))
+    }
+
     /// `S ⊨ class isa formula`.
     ///
     /// # Panics
-    /// Panics if the (complete) expansion exceeds the configured limits.
+    /// Panics if the (complete) expansion exceeds the configured limits;
+    /// use [`Self::try_implies_isa`] to handle that case.
     #[must_use]
     pub fn implies_isa(&self, class: ClassId, formula: &ClassFormula) -> bool {
-        let bundle = self.full_bundle().expect("expansion exceeded configured limits");
-        Implications::new(&bundle.expansion, &bundle.analysis).implies_isa(class, formula)
+        self.try_implies_isa(class, formula).expect("expansion exceeded configured limits")
+    }
+
+    /// Subsumption `sub ⊑ sup` in every model.
+    ///
+    /// # Errors
+    /// [`ReasonerError::TooLarge`] when the (complete) expansion exceeds
+    /// the limits.
+    pub fn try_subsumes(&self, sup: ClassId, sub: ClassId) -> Result<bool, ReasonerError> {
+        Ok(self.implications()?.subsumes(sup, sub))
     }
 
     /// Subsumption `sub ⊑ sup` in every model.
     ///
     /// # Panics
-    /// Panics if the (complete) expansion exceeds the configured limits.
+    /// Panics if the (complete) expansion exceeds the configured limits;
+    /// use [`Self::try_subsumes`] to handle that case.
     #[must_use]
     pub fn subsumes(&self, sup: ClassId, sub: ClassId) -> bool {
-        let bundle = self.full_bundle().expect("expansion exceeded configured limits");
-        Implications::new(&bundle.expansion, &bundle.analysis).subsumes(sup, sub)
+        self.try_subsumes(sup, sub).expect("expansion exceeded configured limits")
+    }
+
+    /// Disjointness in every model.
+    ///
+    /// # Errors
+    /// [`ReasonerError::TooLarge`] when the (complete) expansion exceeds
+    /// the limits.
+    pub fn try_disjoint(&self, c1: ClassId, c2: ClassId) -> Result<bool, ReasonerError> {
+        Ok(self.implications()?.disjoint(c1, c2))
     }
 
     /// Disjointness in every model.
     ///
     /// # Panics
-    /// Panics if the (complete) expansion exceeds the configured limits.
+    /// Panics if the (complete) expansion exceeds the configured limits;
+    /// use [`Self::try_disjoint`] to handle that case.
     #[must_use]
     pub fn disjoint(&self, c1: ClassId, c2: ClassId) -> bool {
-        let bundle = self.full_bundle().expect("expansion exceeded configured limits");
-        Implications::new(&bundle.expansion, &bundle.analysis).disjoint(c1, c2)
+        self.try_disjoint(c1, c2).expect("expansion exceeded configured limits")
+    }
+
+    /// Equivalence in every model.
+    ///
+    /// # Errors
+    /// [`ReasonerError::TooLarge`] when the (complete) expansion exceeds
+    /// the limits.
+    pub fn try_equivalent(&self, c1: ClassId, c2: ClassId) -> Result<bool, ReasonerError> {
+        Ok(self.implications()?.equivalent(c1, c2))
     }
 
     /// Equivalence in every model.
     ///
     /// # Panics
-    /// Panics if the (complete) expansion exceeds the configured limits.
+    /// Panics if the (complete) expansion exceeds the configured limits;
+    /// use [`Self::try_equivalent`] to handle that case.
     #[must_use]
     pub fn equivalent(&self, c1: ClassId, c2: ClassId) -> bool {
-        let bundle = self.full_bundle().expect("expansion exceeded configured limits");
-        Implications::new(&bundle.expansion, &bundle.analysis).equivalent(c1, c2)
+        self.try_equivalent(c1, c2).expect("expansion exceeded configured limits")
+    }
+
+    /// The implied strict subsumption pairs `(sup, sub)` among
+    /// satisfiable classes.
+    ///
+    /// # Errors
+    /// [`ReasonerError::TooLarge`] when the (complete) expansion exceeds
+    /// the limits.
+    pub fn try_classification(&self) -> Result<Vec<(ClassId, ClassId)>, ReasonerError> {
+        Ok(self.implications()?.classification(self.schema))
     }
 
     /// The implied strict subsumption pairs `(sup, sub)` among
     /// satisfiable classes.
     ///
     /// # Panics
-    /// Panics if the (complete) expansion exceeds the configured limits.
+    /// Panics if the (complete) expansion exceeds the configured limits;
+    /// use [`Self::try_classification`] to handle that case.
     #[must_use]
     pub fn classification(&self) -> Vec<(ClassId, ClassId)> {
-        let bundle = self.full_bundle().expect("expansion exceeded configured limits");
-        Implications::new(&bundle.expansion, &bundle.analysis).classification(self.schema)
+        self.try_classification().expect("expansion exceeded configured limits")
+    }
+
+    /// Exact filler-type implication for instances of a class (see
+    /// [`Implications::implies_filler_type`]).
+    ///
+    /// # Errors
+    /// [`ReasonerError::TooLarge`] when the (complete) expansion exceeds
+    /// the limits.
+    pub fn try_implies_filler_type(
+        &self,
+        class: ClassId,
+        att: crate::syntax::AttRef,
+        formula: &ClassFormula,
+    ) -> Result<bool, ReasonerError> {
+        Ok(self.implications()?.implies_filler_type(self.schema, class, att, formula))
     }
 
     /// Exact filler-type implication for instances of a class (see
     /// [`Implications::implies_filler_type`]).
     ///
     /// # Panics
-    /// Panics if the (complete) expansion exceeds the configured limits.
+    /// Panics if the (complete) expansion exceeds the configured limits;
+    /// use [`Self::try_implies_filler_type`] to handle that case.
     #[must_use]
     pub fn implies_filler_type(
         &self,
@@ -311,32 +442,60 @@ impl<'s> Reasoner<'s> {
         att: crate::syntax::AttRef,
         formula: &ClassFormula,
     ) -> bool {
-        let bundle = self.full_bundle().expect("expansion exceeded configured limits");
-        Implications::new(&bundle.expansion, &bundle.analysis)
-            .implies_filler_type(self.schema, class, att, formula)
+        self.try_implies_filler_type(class, att, formula)
+            .expect("expansion exceeded configured limits")
+    }
+
+    /// Sound implied attribute-cardinality bound for instances of a
+    /// class (see [`Implications::implied_att_card`]).
+    ///
+    /// # Errors
+    /// [`ReasonerError::TooLarge`] when the (complete) expansion exceeds
+    /// the limits.
+    pub fn try_implied_att_card(
+        &self,
+        class: ClassId,
+        att: crate::syntax::AttRef,
+    ) -> Result<Option<crate::syntax::Card>, ReasonerError> {
+        Ok(self.implications()?.implied_att_card(self.schema, class, att))
     }
 
     /// Sound implied attribute-cardinality bound for instances of a
     /// class (see [`Implications::implied_att_card`]).
     ///
     /// # Panics
-    /// Panics if the (complete) expansion exceeds the configured limits.
+    /// Panics if the (complete) expansion exceeds the configured limits;
+    /// use [`Self::try_implied_att_card`] to handle that case.
     #[must_use]
     pub fn implied_att_card(
         &self,
         class: ClassId,
         att: crate::syntax::AttRef,
     ) -> Option<crate::syntax::Card> {
-        let bundle = self.full_bundle().expect("expansion exceeded configured limits");
-        Implications::new(&bundle.expansion, &bundle.analysis)
-            .implied_att_card(self.schema, class, att)
+        self.try_implied_att_card(class, att).expect("expansion exceeded configured limits")
+    }
+
+    /// Sound implied participation bound for instances of a class (see
+    /// [`Implications::implied_part_card`]).
+    ///
+    /// # Errors
+    /// [`ReasonerError::TooLarge`] when the (complete) expansion exceeds
+    /// the limits.
+    pub fn try_implied_part_card(
+        &self,
+        class: ClassId,
+        rel: crate::ids::RelId,
+        role_pos: usize,
+    ) -> Result<Option<crate::syntax::Card>, ReasonerError> {
+        Ok(self.implications()?.implied_part_card(self.schema, class, rel, role_pos))
     }
 
     /// Sound implied participation bound for instances of a class (see
     /// [`Implications::implied_part_card`]).
     ///
     /// # Panics
-    /// Panics if the (complete) expansion exceeds the configured limits.
+    /// Panics if the (complete) expansion exceeds the configured limits;
+    /// use [`Self::try_implied_part_card`] to handle that case.
     #[must_use]
     pub fn implied_part_card(
         &self,
@@ -344,9 +503,8 @@ impl<'s> Reasoner<'s> {
         rel: crate::ids::RelId,
         role_pos: usize,
     ) -> Option<crate::syntax::Card> {
-        let bundle = self.full_bundle().expect("expansion exceeded configured limits");
-        Implications::new(&bundle.expansion, &bundle.analysis)
-            .implied_part_card(self.schema, class, rel, role_pos)
+        self.try_implied_part_card(class, rel, role_pos)
+            .expect("expansion exceeded configured limits")
     }
 
     /// Builds a machine-checkable proof that `class` is unsatisfiable

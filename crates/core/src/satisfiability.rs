@@ -29,8 +29,10 @@
 use crate::disequations::{DisequationSystem, UnknownId};
 use crate::expansion::{CcId, Expansion};
 use crate::ids::ClassId;
+use crate::par;
 use car_arith::Ratio;
 use car_lp::support;
+use std::num::NonZeroUsize;
 
 /// Statistics collected during the satisfiability analysis.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -49,6 +51,10 @@ pub struct AnalysisStats {
     pub num_compound_attrs: usize,
     /// Compound relations in the expansion.
     pub num_compound_rels: usize,
+    /// Whether the Theorem 4.5 arity reduction was applied before the
+    /// analysis (set by [`crate::reasoner::Reasoner`], `false` when the
+    /// analysis runs on a hand-built expansion).
+    pub arity_reduced: bool,
 }
 
 /// Outcome of the fixpoint: which compound classes are realizable (have a
@@ -69,11 +75,17 @@ pub struct AnalysisOptions {
     /// (default: on). Turning it off shifts the same kills onto LP
     /// support calls.
     pub structural_propagation: bool,
+    /// Worker count for the per-compound-object sweeps and the
+    /// disequation-system construction (default: 1, fully serial). The
+    /// sweeps are chunked *within* each round, so rounds — and therefore
+    /// iteration counts, LP calls and all verdicts — are identical for
+    /// every thread count.
+    pub threads: NonZeroUsize,
 }
 
 impl Default for AnalysisOptions {
     fn default() -> AnalysisOptions {
-        AnalysisOptions { structural_propagation: true }
+        AnalysisOptions { structural_propagation: true, threads: NonZeroUsize::MIN }
     }
 }
 
@@ -91,11 +103,19 @@ impl SatAnalysis {
         let n_ca = expansion.compound_attrs().len();
         let n_cr = expansion.compound_rels().len();
 
+        let threads = options.threads;
+        let pieces = threads.get() * 4;
         let mut dead_cc = vec![false; n_cc];
         let mut dead_ca = vec![false; n_ca];
         let mut dead_cr = vec![false; n_cr];
         if options.structural_propagation {
-            propagate_structural_deaths(expansion, &mut dead_cc, &mut dead_ca, &mut dead_cr);
+            propagate_structural_deaths(
+                expansion,
+                &mut dead_cc,
+                &mut dead_ca,
+                &mut dead_cr,
+                threads,
+            );
         }
         let mut stats = AnalysisStats {
             num_compound_classes: n_cc,
@@ -127,7 +147,7 @@ impl SatAnalysis {
                         .map(|(i, _)| UnknownId::Cr(i)),
                 )
                 .collect();
-            let sys = DisequationSystem::build(expansion, &pinned);
+            let sys = DisequationSystem::build_with_threads(expansion, &pinned, threads);
             if stats.num_unknowns == 0 {
                 stats.num_unknowns = sys.num_unknowns();
                 stats.num_disequations = sys.num_disequations();
@@ -138,43 +158,58 @@ impl SatAnalysis {
 
             // Step 2a: unknowns outside the support are zero in every
             // solution — killing them never changes the solution set.
-            for i in 0..n_cc {
-                if !analysis.in_support[sys.cc_var(CcId(i as u32)).index()] {
-                    dead_cc[i] = true;
-                }
+            // Each verdict reads only the (immutable) support vector, so
+            // the sweep is chunked over the workers; the kills are
+            // applied afterwards, in order, exactly as the serial loop
+            // would set them.
+            for i in sweep(threads, pieces, n_cc, |i| {
+                !analysis.in_support[sys.cc_var(CcId(i as u32)).index()]
+            }) {
+                dead_cc[i] = true;
             }
-            for (i, dead) in dead_ca.iter_mut().enumerate() {
-                if !analysis.in_support[sys.ca_var(i).index()] {
-                    *dead = true;
-                }
+            for i in sweep(threads, pieces, n_ca, |i| {
+                !analysis.in_support[sys.ca_var(i).index()]
+            }) {
+                dead_ca[i] = true;
             }
-            for (i, dead) in dead_cr.iter_mut().enumerate() {
-                if !analysis.in_support[sys.cr_var(i).index()] {
-                    *dead = true;
-                }
+            for i in sweep(threads, pieces, n_cr, |i| {
+                !analysis.in_support[sys.cr_var(i).index()]
+            }) {
+                dead_cr[i] = true;
             }
 
             // Step 2b/3: acceptability propagation. Killing an unknown
             // that was still in the support changes the solution set, so
-            // the fixpoint must iterate.
+            // the fixpoint must iterate. The verdict for a compound
+            // attribute/relation reads only its own flag and the
+            // compound-class flags — none of which this sweep writes —
+            // so chunking does not change the kill set.
             let mut changed = false;
-            for (i, ca) in expansion.compound_attrs().iter().enumerate() {
-                if !dead_ca[i]
-                    && (dead_cc[ca.source.index()]
-                        || ca.targets.iter().all(|t| dead_cc[t.index()]))
-                {
-                    dead_ca[i] = true;
-                    if analysis.in_support[sys.ca_var(i).index()] {
-                        changed = true;
-                    }
+            let ca_kills = {
+                let attrs = expansion.compound_attrs();
+                sweep(threads, pieces, n_ca, |i| {
+                    let ca = &attrs[i];
+                    !dead_ca[i]
+                        && (dead_cc[ca.source.index()]
+                            || ca.targets.iter().all(|t| dead_cc[t.index()]))
+                })
+            };
+            for i in ca_kills {
+                dead_ca[i] = true;
+                if analysis.in_support[sys.ca_var(i).index()] {
+                    changed = true;
                 }
             }
-            for (i, cr) in expansion.compound_rels().iter().enumerate() {
-                if !dead_cr[i] && cr.components.iter().any(|c| dead_cc[c.index()]) {
-                    dead_cr[i] = true;
-                    if analysis.in_support[sys.cr_var(i).index()] {
-                        changed = true;
-                    }
+            let cr_kills = {
+                let rels = expansion.compound_rels();
+                sweep(threads, pieces, n_cr, |i| {
+                    !dead_cr[i] && rels[i].components.iter().any(|c| dead_cc[c.index()])
+                })
+            };
+            for i in cr_kills {
+                dead_cr[i] = true;
+                if analysis.in_support[sys.cr_var(i).index()] {
+                    changed = true;
                 }
             }
 
@@ -234,58 +269,120 @@ impl SatAnalysis {
 }
 
 
+/// Chunks the index range `0..n` over the workers and returns, in index
+/// order, the indices for which `verdict` holds.
+///
+/// `verdict` must not depend on anything the caller mutates based on the
+/// result (the sweep reads a snapshot); under that contract the returned
+/// kill set — and anything derived from it — is identical to the serial
+/// left-to-right loop, for every thread count.
+fn sweep<F>(threads: NonZeroUsize, pieces: usize, n: usize, verdict: F) -> Vec<usize>
+where
+    F: Fn(usize) -> bool + Sync,
+{
+    let chunks = par::chunk_ranges(n, pieces);
+    par::parallel_map(threads, chunks.len(), |ci| {
+        chunks[ci].clone().filter(|&i| verdict(i)).collect::<Vec<usize>>()
+    })
+    .into_iter()
+    .flatten()
+    .collect()
+}
+
 /// Cheap LP-free pre-pass: kill compound classes whose positive lower
 /// bounds have no candidate links at all (the sum in the disequation is
 /// empty), then propagate acceptability, to a fixpoint. Everything killed
 /// here is zero in every solution of `ΨS`, so the LP answers are
 /// unchanged — but the LP gets much smaller on schemas with heavily typed
 /// attributes (e.g. the Theorem 4.1 grids).
+///
+/// Each of the four sweeps inside a round writes only its own flag
+/// family and reads families it does not write (a compound class may be
+/// re-killed by a second `Natt`/`Nrel` entry under chunking where the
+/// serial loop would skip it — same final flags), so the rounds, the
+/// final state and the termination point are identical for every thread
+/// count.
 fn propagate_structural_deaths(
     expansion: &Expansion,
     dead_cc: &mut [bool],
     dead_ca: &mut [bool],
     dead_cr: &mut [bool],
+    threads: NonZeroUsize,
 ) {
+    let pieces = threads.get() * 4;
     let mut changed = true;
     while changed {
         changed = false;
-        for entry in expansion.natt() {
-            if dead_cc[entry.cc.index()] || entry.card.min == 0 {
-                continue;
-            }
-            let indices = match entry.att {
-                crate::syntax::AttRef::Direct(a) => expansion.attrs_with_source(a, entry.cc),
-                crate::syntax::AttRef::Inverse(a) => expansion.attrs_with_target(a, entry.cc),
-            };
-            if indices.iter().all(|&i| dead_ca[i]) {
-                dead_cc[entry.cc.index()] = true;
+        let natt = expansion.natt();
+        let cc_kills = {
+            let (dcc, dca): (&[bool], &[bool]) = (dead_cc, dead_ca);
+            sweep(threads, pieces, natt.len(), |ei| {
+                let entry = &natt[ei];
+                if dcc[entry.cc.index()] || entry.card.min == 0 {
+                    return false;
+                }
+                let indices = match entry.att {
+                    crate::syntax::AttRef::Direct(a) => {
+                        expansion.attrs_with_source(a, entry.cc)
+                    }
+                    crate::syntax::AttRef::Inverse(a) => {
+                        expansion.attrs_with_target(a, entry.cc)
+                    }
+                };
+                indices.iter().all(|&i| dca[i])
+            })
+        };
+        for ei in cc_kills {
+            let cc = natt[ei].cc.index();
+            if !dead_cc[cc] {
+                dead_cc[cc] = true;
                 changed = true;
             }
         }
-        for entry in expansion.nrel() {
-            if dead_cc[entry.cc.index()] || entry.card.min == 0 {
-                continue;
-            }
-            let indices = expansion.rels_with_component(entry.rel, entry.role_pos, entry.cc);
-            if indices.iter().all(|&i| dead_cr[i]) {
-                dead_cc[entry.cc.index()] = true;
+        let nrel = expansion.nrel();
+        let cc_kills = {
+            let (dcc, dcr): (&[bool], &[bool]) = (dead_cc, dead_cr);
+            sweep(threads, pieces, nrel.len(), |ei| {
+                let entry = &nrel[ei];
+                if dcc[entry.cc.index()] || entry.card.min == 0 {
+                    return false;
+                }
+                expansion
+                    .rels_with_component(entry.rel, entry.role_pos, entry.cc)
+                    .iter()
+                    .all(|&i| dcr[i])
+            })
+        };
+        for ei in cc_kills {
+            let cc = nrel[ei].cc.index();
+            if !dead_cc[cc] {
+                dead_cc[cc] = true;
                 changed = true;
             }
         }
-        for (i, ca) in expansion.compound_attrs().iter().enumerate() {
-            if !dead_ca[i]
-                && (dead_cc[ca.source.index()]
-                    || ca.targets.iter().all(|t| dead_cc[t.index()]))
-            {
-                dead_ca[i] = true;
-                changed = true;
-            }
+        let attrs = expansion.compound_attrs();
+        let ca_kills = {
+            let (dcc, dca): (&[bool], &[bool]) = (dead_cc, dead_ca);
+            sweep(threads, pieces, attrs.len(), |i| {
+                let ca = &attrs[i];
+                !dca[i]
+                    && (dcc[ca.source.index()] || ca.targets.iter().all(|t| dcc[t.index()]))
+            })
+        };
+        for i in ca_kills {
+            dead_ca[i] = true;
+            changed = true;
         }
-        for (i, cr) in expansion.compound_rels().iter().enumerate() {
-            if !dead_cr[i] && cr.components.iter().any(|c| dead_cc[c.index()]) {
-                dead_cr[i] = true;
-                changed = true;
-            }
+        let rels = expansion.compound_rels();
+        let cr_kills = {
+            let (dcc, dcr): (&[bool], &[bool]) = (dead_cc, dead_cr);
+            sweep(threads, pieces, rels.len(), |i| {
+                !dcr[i] && rels[i].components.iter().any(|c| dcc[c.index()])
+            })
+        };
+        for i in cr_kills {
+            dead_cr[i] = true;
+            changed = true;
         }
     }
 }
@@ -525,6 +622,49 @@ mod tests {
         assert!(stats.lp_calls >= 1);
         assert!(stats.num_unknowns > 0);
         assert_eq!(stats.num_compound_classes, 1);
+    }
+
+    #[test]
+    fn thread_count_never_changes_the_analysis() {
+        // A mix of kills from every stage: an unsatisfiable class, a
+        // finite cardinality cycle and a healthy relation.
+        let mut b = SchemaBuilder::new();
+        let a = b.class("A");
+        let bb = b.class("B");
+        let bad = b.class("Bad");
+        let f = b.attribute("f");
+        let r = b.relation("R", ["u", "v"]);
+        let u = b.role("u");
+        b.define_class(a)
+            .attr(AttRef::Direct(f), Card::exactly(2), ClassFormula::class(bb))
+            .participates(r, u, Card::new(1, 4))
+            .finish();
+        b.define_class(bb)
+            .isa(ClassFormula::class(a))
+            .attr(AttRef::Inverse(f), Card::new(0, 1), ClassFormula::class(a))
+            .finish();
+        b.define_class(bad).isa(ClassFormula::neg_class(bad)).finish();
+        let s = b.build().unwrap();
+        let ccs = enumerate::naive(&s, usize::MAX).unwrap();
+        let exp = Expansion::build(&s, ccs, &ExpansionLimits::default()).unwrap();
+        for structural in [true, false] {
+            let serial = SatAnalysis::run_with_options(
+                &exp,
+                &AnalysisOptions { structural_propagation: structural, ..Default::default() },
+            );
+            for threads in 2..=4 {
+                let par = SatAnalysis::run_with_options(
+                    &exp,
+                    &AnalysisOptions {
+                        structural_propagation: structural,
+                        threads: NonZeroUsize::new(threads).unwrap(),
+                    },
+                );
+                assert_eq!(par.realizable(), serial.realizable());
+                assert_eq!(par.witness(), serial.witness());
+                assert_eq!(par.stats(), serial.stats(), "threads={threads}");
+            }
+        }
     }
 
     #[test]

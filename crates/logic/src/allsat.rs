@@ -82,8 +82,8 @@ where
 
     match assignment.first_unassigned() {
         None => {
-            for v in 0..assignment.len() {
-                model[v] = assignment.value(v).expect("assignment is total");
+            for (v, slot) in model.iter_mut().enumerate() {
+                *slot = assignment.value(v).expect("assignment is total");
             }
             debug_assert!(formula.eval(model));
             visit(model)

@@ -29,11 +29,8 @@ fn optimize(t: &mut Tableau, enterable: &[bool]) -> LoopResult {
             (0..t.n_cols).find(|&j| enterable[j] && t.obj[j].is_positive())
         } else {
             let mut best: Option<usize> = None;
-            for j in 0..t.n_cols {
-                if enterable[j]
-                    && t.obj[j].is_positive()
-                    && best.is_none_or(|b| t.obj[j] > t.obj[b])
-                {
+            for (j, &ok) in enterable.iter().enumerate() {
+                if ok && t.obj[j].is_positive() && best.is_none_or(|b| t.obj[j] > t.obj[b]) {
                     best = Some(j);
                 }
             }

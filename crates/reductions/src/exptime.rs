@@ -452,9 +452,9 @@ pub fn encode_tm(
 
     // ---- The accepting classes ---------------------------------------
     let mut accept_classes = Vec::new();
-    for t in 0..=time {
-        for p in 0..tape {
-            for &(v, id) in &var_ids[t][p] {
+    for row in &var_ids {
+        for cell_vars in row {
+            for &(v, id) in cell_vars {
                 if matches!(v, Variant::Head(q, _, _) if q == machine.accept) {
                     accept_classes.push(id);
                 }

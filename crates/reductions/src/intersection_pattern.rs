@@ -232,15 +232,15 @@ fn search(
     k: usize,
 ) -> bool {
     if k == types.len() {
-        for i in 0..n {
-            for j in (i + 1)..n {
+        for (i, row) in matrix.iter().enumerate().take(n) {
+            for (j, &required) in row.iter().enumerate().take(n).skip(i + 1) {
                 let pair_sum: u64 = types
                     .iter()
                     .zip(counts.iter())
                     .filter(|(t, _)| *t & (1 << i) != 0 && *t & (1 << j) != 0)
                     .map(|(_, &c)| c)
                     .sum();
-                if pair_sum != matrix[i][j] {
+                if pair_sum != required {
                     return false;
                 }
             }
@@ -250,7 +250,7 @@ fn search(
                 .filter(|(t, _)| *t & (1 << i) != 0)
                 .map(|(_, &c)| c)
                 .sum();
-            if used > matrix[i][i] {
+            if used > row[i] {
                 return false;
             }
         }

@@ -1,0 +1,138 @@
+//! Serial-vs-parallel agreement: the `threads` knob of
+//! [`ReasonerConfig`] must never change an answer, an error or a
+//! statistic — across enumeration strategies, arity reduction on/off and
+//! randomly generated schemas.
+
+use car::core::reasoner::{Reasoner, ReasonerConfig, Strategy as EnumStrategy};
+use car::core::Schema;
+use car::reductions::generators::{random_schema, RandomSchemaParams};
+use proptest::prelude::*;
+use std::num::NonZeroUsize;
+
+fn arb_schema() -> impl proptest::strategy::Strategy<Value = Schema> {
+    (
+        2usize..=4,   // classes
+        0usize..=1,   // attrs
+        0usize..=1,   // rels
+        0u64..=3,     // max bound
+        any::<u64>(), // seed
+    )
+        .prop_map(|(classes, attrs, rels, max_bound, seed)| {
+            let params = RandomSchemaParams {
+                classes,
+                attrs,
+                rels,
+                isa_density: 0.7,
+                max_bound,
+            };
+            random_schema(&params, seed)
+        })
+}
+
+fn reasoner(
+    schema: &Schema,
+    strategy: EnumStrategy,
+    arity_reduction: bool,
+    threads: usize,
+) -> Reasoner<'_> {
+    Reasoner::with_config(
+        schema,
+        ReasonerConfig {
+            strategy,
+            arity_reduction,
+            threads: NonZeroUsize::new(threads).unwrap(),
+            ..Default::default()
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// For every strategy × arity-reduction combination, the parallel
+    /// reasoner returns the same satisfiability verdicts, implication
+    /// verdicts and analysis statistics as the serial one.
+    #[test]
+    fn parallel_reasoner_agrees_with_serial(schema in arb_schema(), threads in 2usize..=4) {
+        let strategies = [
+            EnumStrategy::Naive,
+            EnumStrategy::Sat,
+            EnumStrategy::Preselect,
+            EnumStrategy::Auto,
+        ];
+        let ids: Vec<_> = schema.symbols().class_ids().collect();
+        for strategy in strategies {
+            for arity_reduction in [false, true] {
+                let serial = reasoner(&schema, strategy, arity_reduction, 1);
+                let parallel = reasoner(&schema, strategy, arity_reduction, threads);
+                for &c in &ids {
+                    prop_assert_eq!(
+                        serial.try_is_satisfiable(c).unwrap(),
+                        parallel.try_is_satisfiable(c).unwrap(),
+                        "satisfiability of {} under {:?}", schema.class_name(c), strategy
+                    );
+                }
+                prop_assert_eq!(
+                    serial.try_stats().unwrap(),
+                    parallel.try_stats().unwrap(),
+                    "stats under {:?}, arity_reduction={}", strategy, arity_reduction
+                );
+                prop_assert_eq!(
+                    serial.try_classification().unwrap(),
+                    parallel.try_classification().unwrap(),
+                    "classification under {:?}", strategy
+                );
+                for &a in &ids {
+                    for &b in &ids {
+                        prop_assert_eq!(
+                            serial.try_subsumes(a, b).unwrap(),
+                            parallel.try_subsumes(a, b).unwrap()
+                        );
+                        prop_assert_eq!(
+                            serial.try_disjoint(a, b).unwrap(),
+                            parallel.try_disjoint(a, b).unwrap()
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Regression: identical `AnalysisStats` (iterations, LP calls, system
+/// sizes) for `threads = 1` and `threads = N` on a schema that exercises
+/// every phase — enumeration, expansion with relations and inverse
+/// attributes, and a multi-round fixpoint.
+#[test]
+fn thread_count_leaves_stats_untouched() {
+    use car::core::syntax::{AttRef, Card, ClassFormula, SchemaBuilder};
+    let mut b = SchemaBuilder::new();
+    let a = b.class("A");
+    let bb = b.class("B");
+    let dead = b.class("Dead");
+    let f = b.attribute("f");
+    let r = b.relation("R", ["u", "v"]);
+    let u = b.role("u");
+    b.define_class(a)
+        .attr(AttRef::Direct(f), Card::exactly(2), ClassFormula::class(bb))
+        .participates(r, u, Card::new(1, 4))
+        .finish();
+    b.define_class(bb)
+        .isa(ClassFormula::class(a))
+        .attr(AttRef::Inverse(f), Card::new(0, 1), ClassFormula::class(a))
+        .finish();
+    b.define_class(dead).isa(ClassFormula::neg_class(dead)).finish();
+    let schema = b.build().unwrap();
+
+    let baseline = reasoner(&schema, EnumStrategy::Sat, false, 1)
+        .try_stats()
+        .unwrap();
+    assert!(baseline.iterations >= 1);
+    assert!(baseline.lp_calls >= 1);
+    for threads in 2..=8 {
+        let stats = reasoner(&schema, EnumStrategy::Sat, false, threads)
+            .try_stats()
+            .unwrap();
+        assert_eq!(stats, baseline, "threads={threads}");
+    }
+}
