@@ -12,7 +12,7 @@
 //! number of candidate interpretations; exceeding it yields
 //! [`BruteForceVerdict::BudgetExceeded`] rather than a wrong answer.
 
-use car_core::{ClassId, Interpretation, Schema};
+use car_core::{Budget, ClassId, Interpretation, ResourceExhausted, Schema};
 
 /// Limits for the exhaustive search.
 #[derive(Debug, Clone, Copy)]
@@ -48,15 +48,35 @@ pub fn search_model(
     target: ClassId,
     budget: &BruteForceBudget,
 ) -> BruteForceVerdict {
+    search_model_governed(schema, target, budget, &Budget::unbounded())
+        .expect("unbounded budget cannot exhaust")
+}
+
+/// [`search_model`] under a resource [`Budget`]: one checkpoint per
+/// candidate interpretation in the odometer sweep. The structural
+/// [`BruteForceBudget`] still applies and still yields
+/// [`BruteForceVerdict::BudgetExceeded`]; the resource budget instead
+/// interrupts the search with an error.
+///
+/// # Errors
+/// [`ResourceExhausted`] as soon as the resource budget runs out.
+pub fn search_model_governed(
+    schema: &Schema,
+    target: ClassId,
+    budget: &BruteForceBudget,
+    resources: &Budget,
+) -> Result<BruteForceVerdict, ResourceExhausted> {
     let mut candidates_left = budget.max_candidates;
     for n in 1..=budget.max_universe {
-        match search_at_size(schema, target, n, &mut candidates_left) {
-            Outcome::Found(model) => return BruteForceVerdict::Satisfiable(Box::new(model)),
+        match search_at_size(schema, target, n, &mut candidates_left, resources)? {
+            Outcome::Found(model) => {
+                return Ok(BruteForceVerdict::Satisfiable(Box::new(model)));
+            }
             Outcome::Exhausted => {}
-            Outcome::OutOfBudget => return BruteForceVerdict::BudgetExceeded,
+            Outcome::OutOfBudget => return Ok(BruteForceVerdict::BudgetExceeded),
         }
     }
-    BruteForceVerdict::NoModelWithinBound
+    Ok(BruteForceVerdict::NoModelWithinBound)
 }
 
 enum Outcome {
@@ -70,7 +90,8 @@ fn search_at_size(
     target: ClassId,
     n: u32,
     candidates_left: &mut u64,
-) -> Outcome {
+    resources: &Budget,
+) -> Result<Outcome, ResourceExhausted> {
     let num_classes = schema.num_classes();
     assert!(num_classes <= 16, "brute force supports at most 16 classes");
     let type_count: u32 = 1 << num_classes;
@@ -78,16 +99,16 @@ fn search_at_size(
     // Non-decreasing sequences of per-object types.
     let mut types = vec![0u32; n as usize];
     loop {
-        match try_types(schema, target, n, &types, candidates_left) {
-            Outcome::Found(model) => return Outcome::Found(model),
-            Outcome::OutOfBudget => return Outcome::OutOfBudget,
+        match try_types(schema, target, n, &types, candidates_left, resources)? {
+            Outcome::Found(model) => return Ok(Outcome::Found(model)),
+            Outcome::OutOfBudget => return Ok(Outcome::OutOfBudget),
             Outcome::Exhausted => {}
         }
         // Advance the non-decreasing odometer.
         let mut i = n as usize;
         loop {
             if i == 0 {
-                return Outcome::Exhausted;
+                return Ok(Outcome::Exhausted);
             }
             i -= 1;
             if types[i] + 1 < type_count {
@@ -110,10 +131,11 @@ fn try_types(
     n: u32,
     types: &[u32],
     candidates_left: &mut u64,
-) -> Outcome {
+    resources: &Budget,
+) -> Result<Outcome, ResourceExhausted> {
     // Quick reject: target must be inhabited.
     if !types.iter().any(|&t| t & (1 << target.index()) != 0) {
-        return Outcome::Exhausted;
+        return Ok(Outcome::Exhausted);
     }
     // Quick reject: isa formulas depend only on memberships; check them
     // once per type assignment instead of once per edge configuration.
@@ -129,7 +151,7 @@ fn try_types(
                     .any(|l| l.positive == (t & (1 << l.class.index()) != 0))
             });
             if !satisfied {
-                return Outcome::Exhausted;
+                return Ok(Outcome::Exhausted);
             }
         }
     }
@@ -151,21 +173,22 @@ fn try_types(
     // Odometer over all component bitmasks.
     let mut masks = vec![0u64; widths.len()];
     loop {
+        resources.checkpoint()?;
         if *candidates_left == 0 {
-            return Outcome::OutOfBudget;
+            return Ok(Outcome::OutOfBudget);
         }
         *candidates_left -= 1;
 
         let model = materialize(schema, n, types, &masks);
         if model.check(schema).is_ok() {
-            return Outcome::Found(model);
+            return Ok(Outcome::Found(model));
         }
 
         // Advance.
         let mut i = 0;
         loop {
             if i == masks.len() {
-                return Outcome::Exhausted;
+                return Ok(Outcome::Exhausted);
             }
             masks[i] += 1;
             if masks[i] < (1u64 << widths[i]) {

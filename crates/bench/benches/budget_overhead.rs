@@ -1,0 +1,165 @@
+//! Cost of the resource-governance layer. Every potentially exponential
+//! loop in the pipeline now polls a `Budget` checkpoint; this bench
+//! measures what that costs on the phase2_scaling shapes, in the two
+//! regimes that matter:
+//!
+//! * **inactive** (the default `Budget::unbounded()`): a checkpoint is
+//!   one relaxed atomic load and a branch — this is the price every
+//!   ungoverned caller pays, and it should be noise (< 2% end to end);
+//! * **active** (deadline/step/memory limits set): checkpoints also
+//!   `fetch_add` a shared step counter — the price of actually being
+//!   able to interrupt the run.
+//!
+//! Criterion reports both per shape; the `[budget]` lines print a
+//! one-shot summary of active-over-inactive overhead for the record.
+
+use car_core::clusters::clustered_ccs;
+use car_core::enumerate;
+use car_core::expansion::{Expansion, ExpansionLimits};
+use car_core::preselection::Preselection;
+use car_core::reasoner::{Reasoner, ReasonerConfig, Strategy};
+use car_core::satisfiability::{AnalysisOptions, SatAnalysis};
+use car_core::syntax::{ClassFormula, SchemaBuilder};
+use car_core::Budget;
+use car_reductions::generators::ratio_chain_schema;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::num::NonZeroUsize;
+use std::time::{Duration, Instant};
+
+fn expansion_of(schema: &car_core::Schema) -> Expansion {
+    let pre = Preselection::compute(schema);
+    let ccs = clustered_ccs(schema, &pre, usize::MAX).unwrap();
+    Expansion::build(schema, ccs, &ExpansionLimits::default()).unwrap()
+}
+
+/// Same enumeration-bound shape as `phase2_scaling/parallel_sweep`:
+/// `n` pairwise-disjoint classes make the naive `2^n` candidate sweep
+/// (checkpointed once per candidate) dominate the runtime.
+fn disjoint_classes_schema(n: usize) -> car_core::Schema {
+    let mut b = SchemaBuilder::new();
+    let ids: Vec<_> = (0..n).map(|i| b.class(&format!("D{i}"))).collect();
+    for (i, &di) in ids.iter().enumerate().skip(1) {
+        let mut formula = ClassFormula::neg_class(ids[0]);
+        for &dj in &ids[1..i] {
+            formula = formula.and(ClassFormula::neg_class(dj));
+        }
+        b.define_class(di).isa(formula).finish();
+    }
+    b.build().unwrap()
+}
+
+/// An active budget that never trips: all checkpoint bookkeeping, no
+/// interruption.
+fn active_budget() -> Budget {
+    Budget::counting()
+}
+
+/// Minimum of `n` timed runs of `f` — the usual noise-robust one-shot
+/// estimate for the printed summary.
+fn min_time(n: usize, mut f: impl FnMut()) -> Duration {
+    (0..n)
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed()
+        })
+        .min()
+        .unwrap()
+}
+
+fn overhead_pct(base: Duration, governed: Duration) -> f64 {
+    (governed.as_secs_f64() / base.as_secs_f64().max(1e-12) - 1.0) * 100.0
+}
+
+fn bench(c: &mut Criterion) {
+    // Fixpoint-bound shapes: the ratio chains of phase2_scaling.
+    let mut group = c.benchmark_group("budget_overhead/fixpoint");
+    group.sample_size(10);
+    for len in [4usize, 8, 12] {
+        let schema = ratio_chain_schema(len, 2);
+        let expansion = expansion_of(&schema);
+        let opts = AnalysisOptions::default();
+        group.bench_with_input(BenchmarkId::new("inactive", len), &expansion, |b, exp| {
+            b.iter(|| black_box(SatAnalysis::run(exp)))
+        });
+        let budget = active_budget();
+        group.bench_with_input(BenchmarkId::new("active", len), &expansion, |b, exp| {
+            b.iter(|| black_box(SatAnalysis::try_run_with_budget(exp, &opts, &budget).unwrap()))
+        });
+    }
+    group.finish();
+
+    // Enumeration-bound shape: the 2^18 candidate sweep.
+    let sweep_schema = disjoint_classes_schema(18);
+    let mut group = c.benchmark_group("budget_overhead/enumeration");
+    group.sample_size(10);
+    group.bench_function("inactive", |b| {
+        b.iter(|| black_box(enumerate::naive(&sweep_schema, usize::MAX).unwrap()))
+    });
+    let budget = active_budget();
+    group.bench_function("active", |b| {
+        b.iter(|| {
+            black_box(
+                enumerate::naive_governed(&sweep_schema, usize::MAX, &budget).unwrap(),
+            )
+        })
+    });
+    group.finish();
+
+    // One-shot end-to-end summary through the reasoner facade.
+    let runs = 5;
+    let end_to_end = |budget: Budget| {
+        let schema = &sweep_schema;
+        min_time(runs, move || {
+            let r = Reasoner::with_config(
+                schema,
+                ReasonerConfig {
+                    strategy: Strategy::Naive,
+                    budget: budget.clone(),
+                    ..Default::default()
+                },
+            );
+            black_box(r.try_is_coherent().unwrap());
+        })
+    };
+    let inactive = end_to_end(Budget::unbounded());
+    let active = end_to_end(active_budget());
+    eprintln!(
+        "[budget] end-to-end coherence over 2^18 candidates: \
+         inactive {inactive:?}, active {active:?} ({:+.2}% for live accounting); \
+         target: inactive checkpoints < 2% over ungoverned code",
+        overhead_pct(inactive, active),
+    );
+
+    let expansion = expansion_of(&ratio_chain_schema(12, 2));
+    let opts = AnalysisOptions::default();
+    let fix_inactive = min_time(runs, || {
+        black_box(SatAnalysis::run(&expansion));
+    });
+    let budget = active_budget();
+    let fix_active = min_time(runs, || {
+        black_box(SatAnalysis::try_run_with_budget(&expansion, &opts, &budget).unwrap());
+    });
+    eprintln!(
+        "[budget] fixpoint on ratio chain len=12: inactive {fix_inactive:?}, \
+         active {fix_active:?} ({:+.2}%); {} checkpoints consumed",
+        overhead_pct(fix_inactive, fix_active),
+        budget.checkpoints_used(),
+    );
+    let threads = NonZeroUsize::new(4).unwrap();
+    let par_opts = AnalysisOptions { threads, ..Default::default() };
+    let par_budget = active_budget();
+    let fix_par = min_time(runs, || {
+        black_box(
+            SatAnalysis::try_run_with_budget(&expansion, &par_opts, &par_budget).unwrap(),
+        );
+    });
+    eprintln!(
+        "[budget] same fixpoint, 4 threads sharing one active budget: {fix_par:?} \
+         (shared step counter contention check)",
+    );
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

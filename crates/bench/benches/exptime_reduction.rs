@@ -24,7 +24,8 @@ fn bench(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("exptime_reduction/solve");
     group.sample_size(10);
-    for (t, s) in [(2usize, 2usize)] {
+    {
+        let (t, s) = (2usize, 2usize);
         let enc = encode_tm(&machine, &[1, 1], t, s);
         group.bench_with_input(
             BenchmarkId::from_parameter(format!("T{t}xS{s}")),

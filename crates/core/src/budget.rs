@@ -1,0 +1,625 @@
+//! Resource governance for the reasoning pipeline.
+//!
+//! Class satisfiability in CAR is EXPTIME-hard (§4 of the paper) and the
+//! expansion is worst-case exponential, so every unbounded loop in the
+//! pipeline polls a [`Budget`]: a shared handle carrying a deadline, a
+//! work/step quota, a memory (allocation-count) quota and a cooperative
+//! [`CancelToken`]. An unbounded budget is inert — its checkpoint is a
+//! single predictable branch — so governed code paths cost nothing when
+//! no limit is set.
+//!
+//! Checkpoint placement rules (for future contributors):
+//!
+//! * call [`Budget::checkpoint`] once per *unit of work* in any loop whose
+//!   trip count depends on schema size (per candidate compound class, per
+//!   SAT model, per disequation row, per fixpoint iteration, per simplex
+//!   pivot, per classification pair, per brute-force candidate);
+//! * call [`Budget::charge`] when a compound object is materialized, so
+//!   the memory quota and the [`ProgressReport`] stay honest;
+//! * parallel code may checkpoint more coarsely than its serial twin
+//!   (e.g. once per chunk) — the contract is *clean abort*, not identical
+//!   checkpoint counts; only the error **kind** must agree;
+//! * never hold a lock across a checkpoint, and treat every governed
+//!   function as re-runnable: exhaustion must leave no partial state
+//!   behind that a retry with a larger budget could observe.
+
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A cooperative cancellation flag, sharable across threads.
+///
+/// Cloning the token shares the flag: calling [`CancelToken::cancel`] on
+/// any clone makes every [`Budget`] created from the token fail its next
+/// checkpoint with [`ResourceKind::Cancelled`].
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// Creates a fresh, un-cancelled token.
+    #[must_use]
+    pub fn new() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// Requests cancellation. Idempotent; safe from any thread.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Relaxed);
+    }
+
+    /// `true` once [`CancelToken::cancel`] has been called.
+    #[must_use]
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Relaxed)
+    }
+}
+
+/// Declarative resource limits for [`Budget::new`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BudgetLimits {
+    /// Wall-clock allowance, measured from budget construction.
+    pub deadline: Option<Duration>,
+    /// Maximum number of checkpoints (units of work) allowed.
+    pub max_steps: Option<u64>,
+    /// Maximum number of compound objects materialized (allocation count).
+    pub max_items: Option<u64>,
+}
+
+/// Which resource ran out.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ResourceKind {
+    /// The wall-clock deadline passed.
+    Deadline,
+    /// The [`CancelToken`] was triggered.
+    Cancelled,
+    /// The work/step quota was consumed.
+    Steps,
+    /// The memory (allocation-count) quota was consumed.
+    Memory,
+    /// A [`Budget::trip_after`] test hook fired.
+    FaultInjected,
+}
+
+/// A governed computation ran out of some resource.
+///
+/// Carries only the *kind*; the caller (the [`crate::reasoner::Reasoner`])
+/// attaches a [`ProgressReport`] snapshot when surfacing the error.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResourceExhausted {
+    /// Which resource ran out.
+    pub kind: ResourceKind,
+}
+
+impl fmt::Display for ResourceExhausted {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.kind {
+            ResourceKind::Deadline => write!(f, "deadline exceeded"),
+            ResourceKind::Cancelled => write!(f, "cancelled"),
+            ResourceKind::Steps => write!(f, "step quota exhausted"),
+            ResourceKind::Memory => write!(f, "memory quota exhausted"),
+            ResourceKind::FaultInjected => write!(f, "fault injected (test hook)"),
+        }
+    }
+}
+
+impl std::error::Error for ResourceExhausted {}
+
+/// Pipeline phase, for progress reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum Phase {
+    /// Schema transformation (arity reduction) and setup.
+    Setup = 0,
+    /// Compound-class enumeration.
+    Enumerate = 1,
+    /// Expansion construction.
+    Expand = 2,
+    /// The acceptability fixpoint.
+    Fixpoint = 3,
+    /// Implication / classification sweeps.
+    Implication = 4,
+    /// Model extraction.
+    Extract = 5,
+}
+
+impl Phase {
+    fn from_u8(v: u8) -> Phase {
+        match v {
+            0 => Phase::Setup,
+            1 => Phase::Enumerate,
+            2 => Phase::Expand,
+            3 => Phase::Fixpoint,
+            4 => Phase::Implication,
+            _ => Phase::Extract,
+        }
+    }
+}
+
+impl fmt::Display for Phase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Phase::Setup => "setup",
+            Phase::Enumerate => "enumeration",
+            Phase::Expand => "expansion",
+            Phase::Fixpoint => "fixpoint",
+            Phase::Implication => "implication",
+            Phase::Extract => "extraction",
+        };
+        f.write_str(name)
+    }
+}
+
+/// How far the pipeline got before a budget ran out (or where it stands
+/// now, for an in-flight budget).
+///
+/// All fields are integers so the report — and every error embedding it —
+/// stays `Eq`-comparable; [`ProgressReport::fixpoint_fraction`] derives
+/// the completion ratio on demand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProgressReport {
+    /// The pipeline phase that was executing.
+    pub phase: Phase,
+    /// Checkpoints passed (units of work performed).
+    pub steps: u64,
+    /// Compound classes materialized so far.
+    pub compound_classes: u64,
+    /// Compound attributes materialized so far.
+    pub compound_attrs: u64,
+    /// Compound relations materialized so far.
+    pub compound_rels: u64,
+    /// Fixpoint iterations completed.
+    pub fixpoint_iterations: u64,
+    /// Unknowns settled (proven dead or finished) in the fixpoint.
+    pub fixpoint_settled: u64,
+    /// Total unknowns the fixpoint must settle (0 before it starts).
+    pub fixpoint_total: u64,
+}
+
+impl ProgressReport {
+    /// Fraction of the fixpoint completed, if the fixpoint has started.
+    #[must_use]
+    pub fn fixpoint_fraction(&self) -> Option<f64> {
+        if self.fixpoint_total == 0 {
+            return None;
+        }
+        #[allow(clippy::cast_precision_loss)]
+        Some(self.fixpoint_settled as f64 / self.fixpoint_total as f64)
+    }
+}
+
+impl fmt::Display for ProgressReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "phase {}: {} steps, {} compound classes, {} compound attrs, {} compound rels",
+            self.phase, self.steps, self.compound_classes, self.compound_attrs, self.compound_rels
+        )?;
+        if let Some(frac) = self.fixpoint_fraction() {
+            write!(
+                f,
+                ", fixpoint {:.0}% ({} iterations)",
+                frac * 100.0,
+                self.fixpoint_iterations
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Kind of compound object for [`Budget::charge`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Item {
+    /// A compound class.
+    CompoundClass,
+    /// A compound attribute (link variable).
+    CompoundAttr,
+    /// A compound relation tuple.
+    CompoundRel,
+}
+
+#[derive(Debug)]
+struct Inner {
+    /// Absolute deadline, if any.
+    deadline: Option<Instant>,
+    max_steps: Option<u64>,
+    max_items: Option<u64>,
+    /// Fault-injection hook: fail the `trip_at`-th checkpoint and every
+    /// later one (so all workers abort promptly).
+    trip_at: Option<u64>,
+    cancel: Option<Arc<AtomicBool>>,
+    /// `false` for the unbounded budget: checkpoints return early and
+    /// count nothing.
+    active: bool,
+    steps: AtomicU64,
+    items: AtomicU64,
+    phase: AtomicU8,
+    ccs_built: AtomicU64,
+    attrs_built: AtomicU64,
+    rels_built: AtomicU64,
+    fixpoint_iterations: AtomicU64,
+    fixpoint_settled: AtomicU64,
+    fixpoint_total: AtomicU64,
+}
+
+/// A shared, thread-safe resource budget.
+///
+/// Cheap to clone (an `Arc`); every clone draws from the same quotas.
+/// Construct with [`Budget::unbounded`] (the inert default),
+/// [`Budget::new`], [`Budget::deadline`], [`Budget::cancellable`] or the
+/// test hook [`Budget::trip_after`].
+#[derive(Debug, Clone)]
+pub struct Budget {
+    inner: Arc<Inner>,
+}
+
+impl Default for Budget {
+    fn default() -> Budget {
+        Budget::unbounded()
+    }
+}
+
+impl Budget {
+    fn from_parts(
+        limits: BudgetLimits,
+        trip_at: Option<u64>,
+        cancel: Option<Arc<AtomicBool>>,
+    ) -> Budget {
+        let active = limits.deadline.is_some()
+            || limits.max_steps.is_some()
+            || limits.max_items.is_some()
+            || trip_at.is_some()
+            || cancel.is_some();
+        Budget {
+            inner: Arc::new(Inner {
+                deadline: limits.deadline.map(|d| Instant::now() + d),
+                max_steps: limits.max_steps,
+                max_items: limits.max_items,
+                trip_at,
+                cancel,
+                active,
+                steps: AtomicU64::new(0),
+                items: AtomicU64::new(0),
+                phase: AtomicU8::new(Phase::Setup as u8),
+                ccs_built: AtomicU64::new(0),
+                attrs_built: AtomicU64::new(0),
+                rels_built: AtomicU64::new(0),
+                fixpoint_iterations: AtomicU64::new(0),
+                fixpoint_settled: AtomicU64::new(0),
+                fixpoint_total: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// A budget that never runs out. Checkpoints are inert (a single
+    /// branch) and track no progress.
+    #[must_use]
+    pub fn unbounded() -> Budget {
+        Budget::from_parts(BudgetLimits::default(), None, None)
+    }
+
+    /// A budget enforcing the given limits.
+    #[must_use]
+    pub fn new(limits: BudgetLimits) -> Budget {
+        Budget::from_parts(limits, None, None)
+    }
+
+    /// A budget enforcing `limits` that additionally honors an external
+    /// [`CancelToken`].
+    #[must_use]
+    pub fn with_cancel(limits: BudgetLimits, token: &CancelToken) -> Budget {
+        Budget::from_parts(limits, None, Some(Arc::clone(&token.flag)))
+    }
+
+    /// An otherwise-unbounded budget plus the token that cancels it.
+    #[must_use]
+    pub fn cancellable() -> (Budget, CancelToken) {
+        let token = CancelToken::new();
+        let budget = Budget::with_cancel(BudgetLimits::default(), &token);
+        (budget, token)
+    }
+
+    /// A budget with only a wall-clock deadline.
+    #[must_use]
+    pub fn deadline(allowance: Duration) -> Budget {
+        Budget::new(BudgetLimits { deadline: Some(allowance), ..BudgetLimits::default() })
+    }
+
+    /// Fault-injection test hook: the `n`-th checkpoint (1-based) fails
+    /// with [`ResourceKind::FaultInjected`], as does every later one (so
+    /// that with parallel workers, every thread aborts promptly).
+    #[must_use]
+    pub fn trip_after(n: u64) -> Budget {
+        Budget::from_parts(BudgetLimits::default(), Some(n), None)
+    }
+
+    /// Polls the budget; governed loops call this once per unit of work.
+    ///
+    /// The deadline is only consulted every 64th step (plus the first),
+    /// keeping the common-path cost to a handful of atomic increments.
+    ///
+    /// # Errors
+    /// [`ResourceExhausted`] as soon as any resource runs out; once a
+    /// budget has failed, every later checkpoint fails too.
+    #[inline]
+    pub fn checkpoint(&self) -> Result<(), ResourceExhausted> {
+        if !self.inner.active {
+            return Ok(());
+        }
+        self.checkpoint_slow()
+    }
+
+    #[cold]
+    fn checkpoint_slow(&self) -> Result<(), ResourceExhausted> {
+        let inner = &*self.inner;
+        if let Some(cancel) = &inner.cancel {
+            if cancel.load(Ordering::Relaxed) {
+                return Err(ResourceExhausted { kind: ResourceKind::Cancelled });
+            }
+        }
+        let step = inner.steps.fetch_add(1, Ordering::Relaxed) + 1;
+        if let Some(trip_at) = inner.trip_at {
+            if step >= trip_at {
+                return Err(ResourceExhausted { kind: ResourceKind::FaultInjected });
+            }
+        }
+        if let Some(max) = inner.max_steps {
+            if step > max {
+                return Err(ResourceExhausted { kind: ResourceKind::Steps });
+            }
+        }
+        if let Some(deadline) = inner.deadline {
+            if step & 63 == 1 && Instant::now() >= deadline {
+                return Err(ResourceExhausted { kind: ResourceKind::Deadline });
+            }
+        }
+        Ok(())
+    }
+
+    /// Re-examines every limit *without* consuming a step.
+    ///
+    /// Unlike [`Budget::checkpoint`], the deadline is consulted
+    /// unconditionally. Used to attribute an interruption observed
+    /// elsewhere (e.g. an interrupted LP solve whose poll callback saw a
+    /// failing checkpoint) to the precise resource that ran out.
+    ///
+    /// # Errors
+    /// [`ResourceExhausted`] if any limit is already exceeded.
+    pub fn probe(&self) -> Result<(), ResourceExhausted> {
+        if !self.inner.active {
+            return Ok(());
+        }
+        let inner = &*self.inner;
+        if let Some(cancel) = &inner.cancel {
+            if cancel.load(Ordering::Relaxed) {
+                return Err(ResourceExhausted { kind: ResourceKind::Cancelled });
+            }
+        }
+        let step = inner.steps.load(Ordering::Relaxed);
+        if let Some(trip_at) = inner.trip_at {
+            if step >= trip_at {
+                return Err(ResourceExhausted { kind: ResourceKind::FaultInjected });
+            }
+        }
+        if let Some(max) = inner.max_steps {
+            if step > max {
+                return Err(ResourceExhausted { kind: ResourceKind::Steps });
+            }
+        }
+        if let Some(deadline) = inner.deadline {
+            if Instant::now() >= deadline {
+                return Err(ResourceExhausted { kind: ResourceKind::Deadline });
+            }
+        }
+        Ok(())
+    }
+
+    /// Records the materialization of `n` compound objects of one kind,
+    /// charging the memory (allocation-count) quota.
+    ///
+    /// # Errors
+    /// [`ResourceKind::Memory`] when the item quota is exceeded.
+    pub fn charge(&self, item: Item, n: u64) -> Result<(), ResourceExhausted> {
+        if !self.inner.active {
+            return Ok(());
+        }
+        let inner = &*self.inner;
+        let counter = match item {
+            Item::CompoundClass => &inner.ccs_built,
+            Item::CompoundAttr => &inner.attrs_built,
+            Item::CompoundRel => &inner.rels_built,
+        };
+        counter.fetch_add(n, Ordering::Relaxed);
+        let items = inner.items.fetch_add(n, Ordering::Relaxed) + n;
+        if let Some(max) = inner.max_items {
+            if items > max {
+                return Err(ResourceExhausted { kind: ResourceKind::Memory });
+            }
+        }
+        Ok(())
+    }
+
+    /// Marks the start of a pipeline phase (for progress reporting).
+    pub fn enter_phase(&self, phase: Phase) {
+        if self.inner.active {
+            self.inner.phase.store(phase as u8, Ordering::Relaxed);
+        }
+    }
+
+    /// Records one completed fixpoint iteration.
+    pub fn note_fixpoint_iteration(&self) {
+        if self.inner.active {
+            self.inner.fixpoint_iterations.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Records fixpoint progress: `settled` of `total` unknowns decided.
+    pub fn note_fixpoint_progress(&self, settled: u64, total: u64) {
+        if self.inner.active {
+            self.inner.fixpoint_settled.store(settled, Ordering::Relaxed);
+            self.inner.fixpoint_total.store(total, Ordering::Relaxed);
+        }
+    }
+
+    /// A snapshot of the progress made under this budget.
+    #[must_use]
+    pub fn progress(&self) -> ProgressReport {
+        let inner = &*self.inner;
+        ProgressReport {
+            phase: Phase::from_u8(inner.phase.load(Ordering::Relaxed)),
+            steps: inner.steps.load(Ordering::Relaxed),
+            compound_classes: inner.ccs_built.load(Ordering::Relaxed),
+            compound_attrs: inner.attrs_built.load(Ordering::Relaxed),
+            compound_rels: inner.rels_built.load(Ordering::Relaxed),
+            fixpoint_iterations: inner.fixpoint_iterations.load(Ordering::Relaxed),
+            fixpoint_settled: inner.fixpoint_settled.load(Ordering::Relaxed),
+            fixpoint_total: inner.fixpoint_total.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Total checkpoints passed so far. With a *counting* budget (one
+    /// constructed by [`Budget::new`] with no limits — see the fault
+    /// injection harness), this measures how many trip points a pipeline
+    /// run exposes.
+    #[must_use]
+    pub fn checkpoints_used(&self) -> u64 {
+        self.inner.steps.load(Ordering::Relaxed)
+    }
+
+    /// A counting budget: active (so checkpoints are tallied) but with no
+    /// limit set, used by the fault-injection harness to discover the
+    /// number of checkpoints a computation passes.
+    #[must_use]
+    pub fn counting() -> Budget {
+        Budget::from_parts(
+            BudgetLimits { max_steps: Some(u64::MAX), ..BudgetLimits::default() },
+            None,
+            None,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unbounded_budget_is_inert() {
+        let b = Budget::unbounded();
+        for _ in 0..10_000 {
+            b.checkpoint().unwrap();
+        }
+        b.charge(Item::CompoundClass, 1_000_000).unwrap();
+        assert_eq!(b.checkpoints_used(), 0);
+        assert_eq!(b.progress().compound_classes, 0);
+    }
+
+    #[test]
+    fn step_quota_trips_exactly() {
+        let b = Budget::new(BudgetLimits { max_steps: Some(5), ..Default::default() });
+        for _ in 0..5 {
+            b.checkpoint().unwrap();
+        }
+        assert_eq!(
+            b.checkpoint(),
+            Err(ResourceExhausted { kind: ResourceKind::Steps })
+        );
+        // Keeps failing.
+        assert!(b.checkpoint().is_err());
+    }
+
+    #[test]
+    fn memory_quota_trips() {
+        let b = Budget::new(BudgetLimits { max_items: Some(10), ..Default::default() });
+        b.charge(Item::CompoundClass, 6).unwrap();
+        b.charge(Item::CompoundAttr, 4).unwrap();
+        assert_eq!(
+            b.charge(Item::CompoundRel, 1),
+            Err(ResourceExhausted { kind: ResourceKind::Memory })
+        );
+        let p = b.progress();
+        assert_eq!(p.compound_classes, 6);
+        assert_eq!(p.compound_attrs, 4);
+        assert_eq!(p.compound_rels, 1);
+    }
+
+    #[test]
+    fn zero_deadline_trips_on_first_checkpoint() {
+        let b = Budget::deadline(Duration::ZERO);
+        assert_eq!(
+            b.checkpoint(),
+            Err(ResourceExhausted { kind: ResourceKind::Deadline })
+        );
+    }
+
+    #[test]
+    fn generous_deadline_does_not_trip() {
+        let b = Budget::deadline(Duration::from_secs(3600));
+        for _ in 0..1000 {
+            b.checkpoint().unwrap();
+        }
+    }
+
+    #[test]
+    fn cancel_token_trips_all_clones() {
+        let (b, token) = Budget::cancellable();
+        let b2 = b.clone();
+        b.checkpoint().unwrap();
+        token.cancel();
+        assert!(token.is_cancelled());
+        assert_eq!(
+            b.checkpoint(),
+            Err(ResourceExhausted { kind: ResourceKind::Cancelled })
+        );
+        assert_eq!(
+            b2.checkpoint(),
+            Err(ResourceExhausted { kind: ResourceKind::Cancelled })
+        );
+    }
+
+    #[test]
+    fn trip_after_fires_at_kth_checkpoint_and_stays_tripped() {
+        let b = Budget::trip_after(3);
+        b.checkpoint().unwrap();
+        b.checkpoint().unwrap();
+        assert_eq!(
+            b.checkpoint(),
+            Err(ResourceExhausted { kind: ResourceKind::FaultInjected })
+        );
+        assert!(b.checkpoint().is_err());
+    }
+
+    #[test]
+    fn counting_budget_tallies_checkpoints() {
+        let b = Budget::counting();
+        for _ in 0..42 {
+            b.checkpoint().unwrap();
+        }
+        assert_eq!(b.checkpoints_used(), 42);
+    }
+
+    #[test]
+    fn progress_report_displays_fixpoint_fraction() {
+        let b = Budget::counting();
+        b.enter_phase(Phase::Fixpoint);
+        b.note_fixpoint_progress(3, 12);
+        b.note_fixpoint_iteration();
+        let p = b.progress();
+        assert_eq!(p.phase, Phase::Fixpoint);
+        assert_eq!(p.fixpoint_fraction(), Some(0.25));
+        let text = p.to_string();
+        assert!(text.contains("fixpoint"), "{text}");
+        assert!(text.contains("25%"), "{text}");
+    }
+
+    #[test]
+    fn phase_ordering_matches_pipeline() {
+        assert!(Phase::Setup < Phase::Enumerate);
+        assert!(Phase::Enumerate < Phase::Expand);
+        assert!(Phase::Expand < Phase::Fixpoint);
+        assert!(Phase::Fixpoint < Phase::Implication);
+        assert!(Phase::Implication < Phase::Extract);
+    }
+}

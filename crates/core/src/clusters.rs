@@ -11,8 +11,9 @@
 //! by [`crate::preselection`].
 
 use crate::bitset::BitSet;
-use crate::enumerate::sat_models;
-use crate::expansion::ExpansionTooLarge;
+use crate::budget::Budget;
+use crate::enumerate::sat_models_governed;
+use crate::expansion::{expect_too_large, BuildError, ExpansionTooLarge};
 use crate::preselection::Preselection;
 use crate::syntax::Schema;
 use car_logic::PropLit;
@@ -27,11 +28,28 @@ pub fn clustered_ccs(
     preselection: &Preselection,
     max: usize,
 ) -> Result<Vec<BitSet>, ExpansionTooLarge> {
+    clustered_ccs_governed(schema, preselection, max, &Budget::unbounded())
+        .map_err(expect_too_large)
+}
+
+/// [`clustered_ccs`] under a resource [`Budget`]: one checkpoint per
+/// cluster plus the per-model checkpoints of the inner SAT enumeration.
+///
+/// # Errors
+/// [`BuildError::TooLarge`] exactly as [`clustered_ccs`], or
+/// [`BuildError::Exhausted`] as soon as the budget runs out.
+pub fn clustered_ccs_governed(
+    schema: &Schema,
+    preselection: &Preselection,
+    max: usize,
+    budget: &Budget,
+) -> Result<Vec<BitSet>, BuildError> {
     let n = schema.num_classes();
     let table_clauses = preselection.extra_clauses();
     let mut out: Vec<BitSet> = Vec::new();
 
     for cluster in preselection.clusters() {
+        budget.checkpoint()?;
         let in_cluster = BitSet::from_iter(n, cluster.iter().copied());
         // Force every class outside the cluster to false; the cluster's
         // compound classes are the remaining models.
@@ -42,9 +60,14 @@ pub fn clustered_ccs(
             }
         }
         let remaining = max.saturating_sub(out.len());
-        let cluster_ccs = sat_models(schema, &clauses, remaining).map_err(|_| {
-            ExpansionTooLarge { what: "compound classes", limit: max }
-        })?;
+        let cluster_ccs = sat_models_governed(schema, &clauses, remaining, budget)
+            .map_err(|e| match e {
+                // Normalize the per-cluster overflow to the global limit.
+                BuildError::TooLarge(_) => {
+                    BuildError::TooLarge(ExpansionTooLarge { what: "compound classes", limit: max })
+                }
+                exhausted @ BuildError::Exhausted(_) => exhausted,
+            })?;
         out.extend(cluster_ccs);
     }
     Ok(out)

@@ -16,6 +16,7 @@
 //! property both Theorem 3.3 (integer solutions by scaling) and the
 //! support analysis of `car-lp` rely on.
 
+use crate::budget::{Budget, ResourceExhausted};
 use crate::expansion::{CcId, Expansion};
 use crate::par;
 use crate::syntax::AttRef;
@@ -39,6 +40,15 @@ impl DisequationSystem {
     /// of [`crate::satisfiability`].
     #[must_use]
     pub fn build(expansion: &Expansion, pinned_zero: &[UnknownId]) -> DisequationSystem {
+        DisequationSystem::build_serial_governed(expansion, pinned_zero, &Budget::unbounded())
+            .expect("unbounded budget cannot exhaust")
+    }
+
+    fn build_serial_governed(
+        expansion: &Expansion,
+        pinned_zero: &[UnknownId],
+        budget: &Budget,
+    ) -> Result<DisequationSystem, ResourceExhausted> {
         let mut problem = Problem::new();
         let cc_vars: Vec<VarId> = expansion
             .cc_ids()
@@ -53,6 +63,7 @@ impl DisequationSystem {
 
         // Natt: u·Var(C̄) ≤ S(att, C̄) ≤ v·Var(C̄).
         for entry in expansion.natt() {
+            budget.checkpoint()?;
             let mut sum = LinExpr::zero();
             let indices = match entry.att {
                 AttRef::Direct(a) => expansion.attrs_with_source(a, entry.cc),
@@ -72,6 +83,7 @@ impl DisequationSystem {
 
         // Nrel: x·Var(C̄) ≤ Σ Var(R̄) ≤ y·Var(C̄).
         for entry in expansion.nrel() {
+            budget.checkpoint()?;
             let mut sum = LinExpr::zero();
             for &i in expansion.rels_with_component(entry.rel, entry.role_pos, entry.cc) {
                 sum.add_term(cr_vars[i], Ratio::one());
@@ -87,6 +99,7 @@ impl DisequationSystem {
 
         // Pinned unknowns: Var(X̄) = 0 (≤ 0 with the implicit ≥ 0).
         for &u in pinned_zero {
+            budget.checkpoint()?;
             let var = match u {
                 UnknownId::Cc(i) => cc_vars[i],
                 UnknownId::Ca(i) => ca_vars[i],
@@ -95,7 +108,7 @@ impl DisequationSystem {
             problem.add_constraint(LinExpr::var(var), Relation::Le, Ratio::zero());
         }
 
-        DisequationSystem { problem, cc_vars, ca_vars, cr_vars }
+        Ok(DisequationSystem { problem, cc_vars, ca_vars, cr_vars })
     }
 
     /// Builds `ΨS` with the per-entry row construction sharded over up
@@ -112,8 +125,24 @@ impl DisequationSystem {
         pinned_zero: &[UnknownId],
         threads: NonZeroUsize,
     ) -> DisequationSystem {
+        DisequationSystem::build_governed(expansion, pinned_zero, threads, &Budget::unbounded())
+            .expect("unbounded budget cannot exhaust")
+    }
+
+    /// [`DisequationSystem::build_with_threads`] under a resource
+    /// [`Budget`]: one checkpoint per `Natt`/`Nrel` entry and per pinned
+    /// unknown, on both the serial and the parallel path.
+    ///
+    /// # Errors
+    /// [`ResourceExhausted`] as soon as the budget runs out.
+    pub fn build_governed(
+        expansion: &Expansion,
+        pinned_zero: &[UnknownId],
+        threads: NonZeroUsize,
+        budget: &Budget,
+    ) -> Result<DisequationSystem, ResourceExhausted> {
         if threads.get() == 1 {
-            return DisequationSystem::build(expansion, pinned_zero);
+            return DisequationSystem::build_serial_governed(expansion, pinned_zero, budget);
         }
         let mut problem = Problem::new();
         let cc_vars: Vec<VarId> = expansion
@@ -127,33 +156,41 @@ impl DisequationSystem {
             .map(|i| problem.add_var(format!("cr{i}")))
             .collect();
 
+        type Rows = Vec<(LinExpr, Relation)>;
         let natt = expansion.natt();
-        let natt_rows = par::parallel_map(threads, natt.len(), |i| {
-            let entry = &natt[i];
-            let mut sum = LinExpr::zero();
-            let indices = match entry.att {
-                AttRef::Direct(a) => expansion.attrs_with_source(a, entry.cc),
-                AttRef::Inverse(a) => expansion.attrs_with_target(a, entry.cc),
-            };
-            for &i in indices {
-                sum.add_term(ca_vars[i], Ratio::one());
-            }
-            bounds_rows(&sum, cc_vars[entry.cc.index()], entry.card.min, entry.card.max)
-        });
+        let natt_rows: Vec<Result<Rows, ResourceExhausted>> =
+            par::parallel_map(threads, natt.len(), |i| {
+                budget.checkpoint()?;
+                let entry = &natt[i];
+                let mut sum = LinExpr::zero();
+                let indices = match entry.att {
+                    AttRef::Direct(a) => expansion.attrs_with_source(a, entry.cc),
+                    AttRef::Inverse(a) => expansion.attrs_with_target(a, entry.cc),
+                };
+                for &i in indices {
+                    sum.add_term(ca_vars[i], Ratio::one());
+                }
+                Ok(bounds_rows(&sum, cc_vars[entry.cc.index()], entry.card.min, entry.card.max))
+            });
         let nrel = expansion.nrel();
-        let nrel_rows = par::parallel_map(threads, nrel.len(), |i| {
-            let entry = &nrel[i];
-            let mut sum = LinExpr::zero();
-            for &i in expansion.rels_with_component(entry.rel, entry.role_pos, entry.cc) {
-                sum.add_term(cr_vars[i], Ratio::one());
+        let nrel_rows: Vec<Result<Rows, ResourceExhausted>> =
+            par::parallel_map(threads, nrel.len(), |i| {
+                budget.checkpoint()?;
+                let entry = &nrel[i];
+                let mut sum = LinExpr::zero();
+                for &i in expansion.rels_with_component(entry.rel, entry.role_pos, entry.cc) {
+                    sum.add_term(cr_vars[i], Ratio::one());
+                }
+                Ok(bounds_rows(&sum, cc_vars[entry.cc.index()], entry.card.min, entry.card.max))
+            });
+        for rows in natt_rows.into_iter().chain(nrel_rows) {
+            for (expr, rel) in rows? {
+                problem.add_constraint(expr, rel, Ratio::zero());
             }
-            bounds_rows(&sum, cc_vars[entry.cc.index()], entry.card.min, entry.card.max)
-        });
-        for (expr, rel) in natt_rows.into_iter().chain(nrel_rows).flatten() {
-            problem.add_constraint(expr, rel, Ratio::zero());
         }
 
         for &u in pinned_zero {
+            budget.checkpoint()?;
             let var = match u {
                 UnknownId::Cc(i) => cc_vars[i],
                 UnknownId::Ca(i) => ca_vars[i],
@@ -162,7 +199,7 @@ impl DisequationSystem {
             problem.add_constraint(LinExpr::var(var), Relation::Le, Ratio::zero());
         }
 
-        DisequationSystem { problem, cc_vars, ca_vars, cr_vars }
+        Ok(DisequationSystem { problem, cc_vars, ca_vars, cr_vars })
     }
 
     /// The underlying LP problem (all unknowns implicitly `≥ 0`).

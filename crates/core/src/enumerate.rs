@@ -15,8 +15,9 @@
 //! class satisfy no constraint premise; see `DESIGN.md`).
 
 use crate::bitset::BitSet;
-use crate::expansion::{cc_consistent, ExpansionTooLarge};
-use crate::par::{self, Budget};
+use crate::budget::{Budget, Item, ResourceExhausted};
+use crate::expansion::{cc_consistent, expect_too_large, BuildError, ExpansionTooLarge};
+use crate::par::{self, Budget as SizeBudget};
 use crate::syntax::Schema;
 use car_logic::{CnfFormula, PropLit};
 use std::num::NonZeroUsize;
@@ -49,17 +50,33 @@ pub fn isa_cnf(schema: &Schema) -> CnfFormula {
 /// [`ExpansionTooLarge`] if the alphabet exceeds 25 classes or more than
 /// `max` consistent compound classes are found.
 pub fn naive(schema: &Schema, max: usize) -> Result<Vec<BitSet>, ExpansionTooLarge> {
+    naive_governed(schema, max, &Budget::unbounded()).map_err(expect_too_large)
+}
+
+/// [`naive`] under a resource [`Budget`]: one checkpoint per candidate
+/// subset, one charge per compound class kept.
+///
+/// # Errors
+/// [`BuildError::TooLarge`] exactly as [`naive`], or
+/// [`BuildError::Exhausted`] as soon as the budget runs out.
+pub fn naive_governed(
+    schema: &Schema,
+    max: usize,
+    budget: &Budget,
+) -> Result<Vec<BitSet>, BuildError> {
     let n = schema.num_classes();
     if n > 25 {
-        return Err(ExpansionTooLarge { what: "classes for naive enumeration", limit: 25 });
+        return Err(ExpansionTooLarge { what: "classes for naive enumeration", limit: 25 }.into());
     }
     let mut out = Vec::new();
     for bits in 1u64..(1u64 << n) {
+        budget.checkpoint()?;
         let cc = BitSet::from_iter(n, (0..n).filter(|i| bits & (1 << i) != 0));
         if cc_consistent(schema, &cc) {
             if out.len() >= max {
-                return Err(ExpansionTooLarge { what: "compound classes", limit: max });
+                return Err(ExpansionTooLarge { what: "compound classes", limit: max }.into());
             }
+            budget.charge(Item::CompoundClass, 1)?;
             out.push(cc);
         }
     }
@@ -77,6 +94,22 @@ pub fn sat_models(
     extra_clauses: &[Vec<PropLit>],
     max: usize,
 ) -> Result<Vec<BitSet>, ExpansionTooLarge> {
+    sat_models_governed(schema, extra_clauses, max, &Budget::unbounded())
+        .map_err(expect_too_large)
+}
+
+/// [`sat_models`] under a resource [`Budget`]: one checkpoint per model
+/// enumerated, one charge per compound class kept.
+///
+/// # Errors
+/// [`BuildError::TooLarge`] exactly as [`sat_models`], or
+/// [`BuildError::Exhausted`] as soon as the budget runs out.
+pub fn sat_models_governed(
+    schema: &Schema,
+    extra_clauses: &[Vec<PropLit>],
+    max: usize,
+    budget: &Budget,
+) -> Result<Vec<BitSet>, BuildError> {
     let mut f = isa_cnf(schema);
     for clause in extra_clauses {
         f.add_clause(clause.iter().copied());
@@ -84,7 +117,12 @@ pub fn sat_models(
     let n = schema.num_classes();
     let mut out = Vec::new();
     let mut overflow = false;
+    let mut exhausted: Option<ResourceExhausted> = None;
     car_logic::for_each_model(&f, |model| {
+        if let Err(e) = budget.checkpoint() {
+            exhausted = Some(e);
+            return false;
+        }
         if model.iter().all(|&b| !b) {
             return true; // skip the empty compound class
         }
@@ -92,11 +130,18 @@ pub fn sat_models(
             overflow = true;
             return false;
         }
+        if let Err(e) = budget.charge(Item::CompoundClass, 1) {
+            exhausted = Some(e);
+            return false;
+        }
         out.push(BitSet::from_iter(n, (0..n).filter(|&i| model[i])));
         true
     });
+    if let Some(e) = exhausted {
+        return Err(e.into());
+    }
     if overflow {
-        return Err(ExpansionTooLarge { what: "compound classes", limit: max });
+        return Err(ExpansionTooLarge { what: "compound classes", limit: max }.into());
     }
     Ok(out)
 }
@@ -113,30 +158,50 @@ pub fn naive_par(
     max: usize,
     threads: NonZeroUsize,
 ) -> Result<Vec<BitSet>, ExpansionTooLarge> {
+    naive_par_governed(schema, max, threads, &Budget::unbounded()).map_err(expect_too_large)
+}
+
+/// [`naive_par`] under a resource [`Budget`]: workers checkpoint per
+/// candidate and charge per kept compound class; the first error in
+/// block order wins.
+///
+/// # Errors
+/// Exactly as [`naive_governed`].
+pub fn naive_par_governed(
+    schema: &Schema,
+    max: usize,
+    threads: NonZeroUsize,
+    budget: &Budget,
+) -> Result<Vec<BitSet>, BuildError> {
     if threads.get() == 1 {
-        return naive(schema, max);
+        return naive_governed(schema, max, budget);
     }
     let n = schema.num_classes();
     if n > 25 {
-        return Err(ExpansionTooLarge { what: "classes for naive enumeration", limit: 25 });
+        return Err(ExpansionTooLarge { what: "classes for naive enumeration", limit: 25 }.into());
     }
     let n_candidates = (1usize << n) - 1; // candidates 1..2^n, empty set excluded
     let chunks = par::chunk_ranges(n_candidates, threads.get() * 4);
-    let budget = Budget::new(max);
-    let parts = par::parallel_map(threads, chunks.len(), |ci| {
-        let mut found = Vec::new();
-        for offset in chunks[ci].clone() {
-            let bits = offset as u64 + 1;
-            let cc = BitSet::from_iter(n, (0..n).filter(|i| bits & (1 << i) != 0));
-            if cc_consistent(schema, &cc) {
-                if !budget.take() {
-                    return Err(ExpansionTooLarge { what: "compound classes", limit: max });
+    let size_budget = SizeBudget::new(max);
+    let parts: Vec<Result<Vec<BitSet>, BuildError>> =
+        par::parallel_map(threads, chunks.len(), |ci| {
+            let mut found = Vec::new();
+            for offset in chunks[ci].clone() {
+                budget.checkpoint()?;
+                let bits = offset as u64 + 1;
+                let cc = BitSet::from_iter(n, (0..n).filter(|i| bits & (1 << i) != 0));
+                if cc_consistent(schema, &cc) {
+                    if !size_budget.take() {
+                        return Err(
+                            ExpansionTooLarge { what: "compound classes", limit: max }.into()
+                        );
+                    }
+                    budget.charge(Item::CompoundClass, 1)?;
+                    found.push(cc);
                 }
-                found.push(cc);
             }
-        }
-        Ok(found)
-    });
+            Ok(found)
+        });
     let mut out = Vec::new();
     for part in parts {
         out.extend(part?);
@@ -164,43 +229,72 @@ pub fn sat_models_par(
     max: usize,
     threads: NonZeroUsize,
 ) -> Result<Vec<BitSet>, ExpansionTooLarge> {
+    sat_models_par_governed(schema, extra_clauses, max, threads, &Budget::unbounded())
+        .map_err(expect_too_large)
+}
+
+/// [`sat_models_par`] under a resource [`Budget`]: workers checkpoint per
+/// model and charge per kept compound class; the first error in cube
+/// order wins.
+///
+/// # Errors
+/// Exactly as [`sat_models_governed`].
+pub fn sat_models_par_governed(
+    schema: &Schema,
+    extra_clauses: &[Vec<PropLit>],
+    max: usize,
+    threads: NonZeroUsize,
+    budget: &Budget,
+) -> Result<Vec<BitSet>, BuildError> {
     let n = schema.num_classes();
     // Aim for a few cubes per worker; deeper splits only add overhead.
     let k = (threads.get() * 4).next_power_of_two().trailing_zeros() as usize;
     let k = k.min(n).min(12);
     if threads.get() == 1 || k == 0 {
-        return sat_models(schema, extra_clauses, max);
+        return sat_models_governed(schema, extra_clauses, max, budget);
     }
     let mut f = isa_cnf(schema);
     for clause in extra_clauses {
         f.add_clause(clause.iter().copied());
     }
-    let budget = Budget::new(max);
-    let parts = par::parallel_map(threads, 1usize << k, |cube| {
-        let mut g = f.clone();
-        for j in 0..k {
-            let positive = (cube >> (k - 1 - j)) & 1 == 0;
-            g.add_clause([PropLit { var: j, positive }]);
-        }
-        let mut found = Vec::new();
-        let mut overflow = false;
-        car_logic::for_each_model(&g, |model| {
-            if model.iter().all(|&b| !b) {
-                return true; // skip the empty compound class
+    let size_budget = SizeBudget::new(max);
+    let parts: Vec<Result<Vec<BitSet>, BuildError>> =
+        par::parallel_map(threads, 1usize << k, |cube| {
+            let mut g = f.clone();
+            for j in 0..k {
+                let positive = (cube >> (k - 1 - j)) & 1 == 0;
+                g.add_clause([PropLit { var: j, positive }]);
             }
-            if !budget.take() {
-                overflow = true;
-                return false;
+            let mut found = Vec::new();
+            let mut overflow = false;
+            let mut exhausted: Option<ResourceExhausted> = None;
+            car_logic::for_each_model(&g, |model| {
+                if let Err(e) = budget.checkpoint() {
+                    exhausted = Some(e);
+                    return false;
+                }
+                if model.iter().all(|&b| !b) {
+                    return true; // skip the empty compound class
+                }
+                if !size_budget.take() {
+                    overflow = true;
+                    return false;
+                }
+                if let Err(e) = budget.charge(Item::CompoundClass, 1) {
+                    exhausted = Some(e);
+                    return false;
+                }
+                found.push(BitSet::from_iter(n, (0..n).filter(|&i| model[i])));
+                true
+            });
+            if let Some(e) = exhausted {
+                Err(e.into())
+            } else if overflow {
+                Err(ExpansionTooLarge { what: "compound classes", limit: max }.into())
+            } else {
+                Ok(found)
             }
-            found.push(BitSet::from_iter(n, (0..n).filter(|&i| model[i])));
-            true
         });
-        if overflow {
-            Err(ExpansionTooLarge { what: "compound classes", limit: max })
-        } else {
-            Ok(found)
-        }
-    });
     let mut out = Vec::new();
     for part in parts {
         out.extend(part?);

@@ -25,8 +25,9 @@
 //! would occur in no disequation.
 
 use crate::bitset::BitSet;
+use crate::budget::{Budget, Item, ResourceExhausted};
 use crate::ids::{AttrId, RelId};
-use crate::par::{self, Budget};
+use crate::par::{self, Budget as SizeBudget};
 use crate::syntax::{AttRef, Card, Schema};
 use std::collections::HashMap;
 use std::fmt;
@@ -142,6 +143,48 @@ impl fmt::Display for ExpansionTooLarge {
 }
 
 impl std::error::Error for ExpansionTooLarge {}
+
+/// Why a governed build stopped early: a size limit was exceeded, or the
+/// caller's [`Budget`] ran out.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildError {
+    /// A [`ExpansionLimits`] size limit was exceeded.
+    TooLarge(ExpansionTooLarge),
+    /// The caller's resource budget was exhausted.
+    Exhausted(ResourceExhausted),
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::TooLarge(e) => e.fmt(f),
+            BuildError::Exhausted(e) => e.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+impl From<ExpansionTooLarge> for BuildError {
+    fn from(e: ExpansionTooLarge) -> BuildError {
+        BuildError::TooLarge(e)
+    }
+}
+
+impl From<ResourceExhausted> for BuildError {
+    fn from(e: ResourceExhausted) -> BuildError {
+        BuildError::Exhausted(e)
+    }
+}
+
+/// Unwraps a [`BuildError`] produced under an unbounded budget, which can
+/// only ever be a size-limit overflow.
+pub(crate) fn expect_too_large(e: BuildError) -> ExpansionTooLarge {
+    match e {
+        BuildError::TooLarge(e) => e,
+        BuildError::Exhausted(_) => unreachable!("unbounded budget cannot exhaust"),
+    }
+}
 
 /// `true` iff the compound class is consistent w.r.t. the schema: every
 /// member class's isa formula is realized by the induced assignment.
@@ -274,11 +317,44 @@ impl Expansion {
         compound_classes: Vec<BitSet>,
         limits: &ExpansionLimits,
     ) -> Result<Expansion, ExpansionTooLarge> {
+        Expansion::build_serial(schema, compound_classes, limits, &Budget::unbounded())
+            .map_err(expect_too_large)
+    }
+
+    /// Builds the expansion under a resource [`Budget`]: the construction
+    /// polls the budget once per candidate examined (serial path; the
+    /// parallel path checkpoints more coarsely, per work unit) and charges
+    /// every materialized compound object against the memory quota.
+    ///
+    /// # Errors
+    /// [`BuildError::TooLarge`] exactly as [`Expansion::build`], or
+    /// [`BuildError::Exhausted`] as soon as the budget runs out.
+    pub fn build_governed(
+        schema: &Schema,
+        compound_classes: Vec<BitSet>,
+        limits: &ExpansionLimits,
+        threads: NonZeroUsize,
+        budget: &Budget,
+    ) -> Result<Expansion, BuildError> {
+        if threads.get() == 1 {
+            Expansion::build_serial(schema, compound_classes, limits, budget)
+        } else {
+            Expansion::build_par(schema, compound_classes, limits, threads, budget)
+        }
+    }
+
+    fn build_serial(
+        schema: &Schema,
+        compound_classes: Vec<BitSet>,
+        limits: &ExpansionLimits,
+        budget: &Budget,
+    ) -> Result<Expansion, BuildError> {
         if compound_classes.len() > limits.max_compound_classes {
             return Err(ExpansionTooLarge {
                 what: "compound classes",
                 limit: limits.max_compound_classes,
-            });
+            }
+            .into());
         }
         debug_assert!(compound_classes.iter().all(|cc| !cc.is_empty()));
         debug_assert!(compound_classes.iter().all(|cc| cc_consistent(schema, cc)));
@@ -288,23 +364,23 @@ impl Expansion {
         // forbids) is empty in every interpretation by Lemma 3.2 (B)/(C);
         // dropping it here keeps its — often numerous — compound
         // attributes and relations out of the disequation system.
-        let compound_classes: Vec<BitSet> = compound_classes
-            .into_iter()
-            .filter(|cc| {
-                let attrs_ok = schema.symbols().attr_ids().all(|a| {
-                    merged_att_card(schema, cc, AttRef::Direct(a))
+        let mut kept: Vec<BitSet> = Vec::with_capacity(compound_classes.len());
+        for cc in compound_classes {
+            budget.checkpoint()?;
+            let attrs_ok = schema.symbols().attr_ids().all(|a| {
+                merged_att_card(schema, &cc, AttRef::Direct(a)).is_none_or(|c| c.is_valid())
+                    && merged_att_card(schema, &cc, AttRef::Inverse(a))
                         .is_none_or(|c| c.is_valid())
-                        && merged_att_card(schema, cc, AttRef::Inverse(a))
-                            .is_none_or(|c| c.is_valid())
-                });
-                let parts_ok = schema.relations().all(|(rel, def)| {
-                    (0..def.arity()).all(|pos| {
-                        merged_part_card(schema, cc, rel, pos).is_none_or(|c| c.is_valid())
-                    })
-                });
-                attrs_ok && parts_ok
-            })
-            .collect();
+            });
+            let parts_ok = schema.relations().all(|(rel, def)| {
+                (0..def.arity())
+                    .all(|pos| merged_part_card(schema, &cc, rel, pos).is_none_or(|c| c.is_valid()))
+            });
+            if attrs_ok && parts_ok {
+                kept.push(cc);
+            }
+        }
+        let compound_classes = kept;
 
         let ccs = &compound_classes;
         let cc_ids: Vec<CcId> = (0..ccs.len()).map(|i| CcId(i as u32)).collect();
@@ -324,6 +400,7 @@ impl Expansion {
         let mut relevant_tgt: HashMap<AttrId, Vec<CcId>> = HashMap::new();
         for attr_id in schema.symbols().attr_ids() {
             for (&cc_id, cc) in cc_ids.iter().zip(ccs) {
+                budget.checkpoint()?;
                 if let Some(card) = merged_att_card(schema, cc, AttRef::Direct(attr_id))
                     .filter(&nontrivial)
                 {
@@ -353,7 +430,7 @@ impl Expansion {
                             targets: Vec<CcId>,
                             index_target: bool,
                             compound_attrs: &mut Vec<CompoundAttr>|
-             -> Result<(), ExpansionTooLarge> {
+             -> Result<(), BuildError> {
                 if targets.is_empty() {
                     return Ok(());
                 }
@@ -361,8 +438,10 @@ impl Expansion {
                     return Err(ExpansionTooLarge {
                         what: "compound attributes",
                         limit: limits.max_compound_attrs,
-                    });
+                    }
+                    .into());
                 }
+                budget.charge(Item::CompoundAttr, 1)?;
                 let idx = compound_attrs.len();
                 if index_target {
                     debug_assert_eq!(targets.len(), 1);
@@ -386,6 +465,7 @@ impl Expansion {
             for &source in &srcs {
                 let mut group: Vec<CcId> = Vec::new();
                 for &target in &cc_ids {
+                    budget.checkpoint()?;
                     if !consistent(source, target) {
                         continue;
                     }
@@ -402,6 +482,7 @@ impl Expansion {
             // already in).
             for &target in &tgts {
                 for &source in &cc_ids {
+                    budget.checkpoint()?;
                     if srcs.contains(&source) || !consistent(source, target) {
                         continue;
                     }
@@ -417,6 +498,7 @@ impl Expansion {
             let mut any = false;
             for role_pos in 0..def.arity() {
                 for (&cc_id, cc) in cc_ids.iter().zip(ccs) {
+                    budget.checkpoint()?;
                     if let Some(card) =
                         merged_part_card(schema, cc, rel, role_pos).filter(&nontrivial)
                     {
@@ -469,6 +551,7 @@ impl Expansion {
                 &mut compound_rels,
                 &mut rel_by_role,
                 limits,
+                budget,
             )?;
         }
 
@@ -503,10 +586,8 @@ impl Expansion {
         limits: &ExpansionLimits,
         threads: NonZeroUsize,
     ) -> Result<Expansion, ExpansionTooLarge> {
-        if threads.get() == 1 {
-            return Expansion::build(schema, compound_classes, limits);
-        }
-        Expansion::build_par(schema, compound_classes, limits, threads)
+        Expansion::build_governed(schema, compound_classes, limits, threads, &Budget::unbounded())
+            .map_err(expect_too_large)
     }
 
     fn build_par(
@@ -514,12 +595,14 @@ impl Expansion {
         compound_classes: Vec<BitSet>,
         limits: &ExpansionLimits,
         threads: NonZeroUsize,
-    ) -> Result<Expansion, ExpansionTooLarge> {
+        budget: &Budget,
+    ) -> Result<Expansion, BuildError> {
         if compound_classes.len() > limits.max_compound_classes {
             return Err(ExpansionTooLarge {
                 what: "compound classes",
                 limit: limits.max_compound_classes,
-            });
+            }
+            .into());
         }
         debug_assert!(compound_classes.iter().all(|cc| !cc.is_empty()));
         debug_assert!(compound_classes.iter().all(|cc| cc_consistent(schema, cc)));
@@ -538,16 +621,21 @@ impl Expansion {
             attrs_ok && parts_ok
         };
         let chunks = par::chunk_ranges(compound_classes.len(), threads.get() * 4);
-        let compound_classes: Vec<BitSet> = par::parallel_map(threads, chunks.len(), |ci| {
-            compound_classes[chunks[ci].clone()]
-                .iter()
-                .filter(|cc| keep(cc))
-                .cloned()
-                .collect::<Vec<BitSet>>()
-        })
-        .into_iter()
-        .flatten()
-        .collect();
+        let kept_parts: Vec<Result<Vec<BitSet>, ResourceExhausted>> =
+            par::parallel_map(threads, chunks.len(), |ci| {
+                let mut kept = Vec::new();
+                for cc in &compound_classes[chunks[ci].clone()] {
+                    budget.checkpoint()?;
+                    if keep(cc) {
+                        kept.push(cc.clone());
+                    }
+                }
+                Ok(kept)
+            });
+        let mut compound_classes: Vec<BitSet> = Vec::new();
+        for part in kept_parts {
+            compound_classes.extend(part?);
+        }
 
         let ccs = &compound_classes;
         let cc_ids: Vec<CcId> = (0..ccs.len()).map(|i| CcId(i as u32)).collect();
@@ -556,31 +644,35 @@ impl Expansion {
         // ---- Natt and per-attribute relevance (parallel per attribute,
         // merged in attribute order = serial order) --------------------
         let attr_ids: Vec<AttrId> = schema.symbols().attr_ids().collect();
-        let natt_parts = par::parallel_map(threads, attr_ids.len(), |ai| {
-            let attr_id = attr_ids[ai];
-            let mut part = Vec::new();
-            let mut srcs: Vec<CcId> = Vec::new();
-            let mut tgts: Vec<CcId> = Vec::new();
-            for (&cc_id, cc) in cc_ids.iter().zip(ccs) {
-                if let Some(card) =
-                    merged_att_card(schema, cc, AttRef::Direct(attr_id)).filter(&nontrivial)
-                {
-                    srcs.push(cc_id);
-                    part.push(NattEntry { cc: cc_id, att: AttRef::Direct(attr_id), card });
+        type NattPart = (Vec<NattEntry>, Vec<CcId>, Vec<CcId>);
+        let natt_parts: Vec<Result<NattPart, ResourceExhausted>> =
+            par::parallel_map(threads, attr_ids.len(), |ai| {
+                let attr_id = attr_ids[ai];
+                let mut part = Vec::new();
+                let mut srcs: Vec<CcId> = Vec::new();
+                let mut tgts: Vec<CcId> = Vec::new();
+                for (&cc_id, cc) in cc_ids.iter().zip(ccs) {
+                    budget.checkpoint()?;
+                    if let Some(card) =
+                        merged_att_card(schema, cc, AttRef::Direct(attr_id)).filter(&nontrivial)
+                    {
+                        srcs.push(cc_id);
+                        part.push(NattEntry { cc: cc_id, att: AttRef::Direct(attr_id), card });
+                    }
+                    if let Some(card) =
+                        merged_att_card(schema, cc, AttRef::Inverse(attr_id)).filter(&nontrivial)
+                    {
+                        tgts.push(cc_id);
+                        part.push(NattEntry { cc: cc_id, att: AttRef::Inverse(attr_id), card });
+                    }
                 }
-                if let Some(card) =
-                    merged_att_card(schema, cc, AttRef::Inverse(attr_id)).filter(&nontrivial)
-                {
-                    tgts.push(cc_id);
-                    part.push(NattEntry { cc: cc_id, att: AttRef::Inverse(attr_id), card });
-                }
-            }
-            (part, srcs, tgts)
-        });
+                Ok((part, srcs, tgts))
+            });
         let mut natt = Vec::new();
         let mut relevant_src: HashMap<AttrId, Vec<CcId>> = HashMap::new();
         let mut relevant_tgt: HashMap<AttrId, Vec<CcId>> = HashMap::new();
-        for (ai, (part, srcs, tgts)) in natt_parts.into_iter().enumerate() {
+        for (ai, part) in natt_parts.into_iter().enumerate() {
+            let (part, srcs, tgts) = part?;
             natt.extend(part);
             if !srcs.is_empty() {
                 relevant_src.insert(attr_ids[ai], srcs);
@@ -609,13 +701,13 @@ impl Expansion {
                 tasks.push(AttrTask::Tgt(attr_id, t));
             }
         }
-        let attr_budget = Budget::new(limits.max_compound_attrs);
+        let attr_budget = SizeBudget::new(limits.max_compound_attrs);
         let attrs_too_large = || ExpansionTooLarge {
             what: "compound attributes",
             limit: limits.max_compound_attrs,
         };
         type AttrLinks = Vec<(CcId, Vec<CcId>, bool)>; // (source, targets, index_target)
-        let attr_parts: Vec<Result<AttrLinks, ExpansionTooLarge>> =
+        let attr_parts: Vec<Result<AttrLinks, BuildError>> =
             par::parallel_map(threads, tasks.len(), |ti| {
                 let consistent = |source: CcId, target: CcId| {
                     compound_attr_consistent(
@@ -633,13 +725,15 @@ impl Expansion {
                         let tgts = relevant_tgt.get(&attr_id).unwrap_or(&empty_ccs);
                         let mut group: Vec<CcId> = Vec::new();
                         for &target in &cc_ids {
+                            budget.checkpoint()?;
                             if !consistent(source, target) {
                                 continue;
                             }
                             if tgts.contains(&target) {
                                 if !attr_budget.take() {
-                                    return Err(attrs_too_large());
+                                    return Err(attrs_too_large().into());
                                 }
+                                budget.charge(Item::CompoundAttr, 1)?;
                                 links.push((source, vec![target], true));
                             } else {
                                 group.push(target);
@@ -647,20 +741,23 @@ impl Expansion {
                         }
                         if !group.is_empty() {
                             if !attr_budget.take() {
-                                return Err(attrs_too_large());
+                                return Err(attrs_too_large().into());
                             }
+                            budget.charge(Item::CompoundAttr, 1)?;
                             links.push((source, group, false));
                         }
                     }
                     AttrTask::Tgt(attr_id, target) => {
                         let srcs = relevant_src.get(&attr_id).unwrap_or(&empty_ccs);
                         for &source in &cc_ids {
+                            budget.checkpoint()?;
                             if srcs.contains(&source) || !consistent(source, target) {
                                 continue;
                             }
                             if !attr_budget.take() {
-                                return Err(attrs_too_large());
+                                return Err(attrs_too_large().into());
                             }
+                            budget.charge(Item::CompoundAttr, 1)?;
                             links.push((source, vec![target], true));
                         }
                     }
@@ -676,7 +773,7 @@ impl Expansion {
             };
             for (source, targets, index_target) in part? {
                 if compound_attrs.len() >= limits.max_compound_attrs {
-                    return Err(attrs_too_large());
+                    return Err(attrs_too_large().into());
                 }
                 let idx = compound_attrs.len();
                 if index_target {
@@ -690,24 +787,27 @@ impl Expansion {
 
         // ---- Nrel (parallel per relation, merged in relation order) ---
         let rels: Vec<RelId> = schema.relations().map(|(rel, _)| rel).collect();
-        let nrel_parts = par::parallel_map(threads, rels.len(), |ri| {
-            let rel = rels[ri];
-            let def = schema.rel_def(rel);
-            let mut part = Vec::new();
-            for role_pos in 0..def.arity() {
-                for (&cc_id, cc) in cc_ids.iter().zip(ccs) {
-                    if let Some(card) =
-                        merged_part_card(schema, cc, rel, role_pos).filter(&nontrivial)
-                    {
-                        part.push(NrelEntry { cc: cc_id, rel, role_pos, card });
+        let nrel_parts: Vec<Result<Vec<NrelEntry>, ResourceExhausted>> =
+            par::parallel_map(threads, rels.len(), |ri| {
+                let rel = rels[ri];
+                let def = schema.rel_def(rel);
+                let mut part = Vec::new();
+                for role_pos in 0..def.arity() {
+                    for (&cc_id, cc) in cc_ids.iter().zip(ccs) {
+                        budget.checkpoint()?;
+                        if let Some(card) =
+                            merged_part_card(schema, cc, rel, role_pos).filter(&nontrivial)
+                        {
+                            part.push(NrelEntry { cc: cc_id, rel, role_pos, card });
+                        }
                     }
                 }
-            }
-            part
-        });
+                Ok(part)
+            });
         let mut nrel = Vec::new();
         let mut constrained_rels: Vec<RelId> = Vec::new();
         for (ri, part) in nrel_parts.into_iter().enumerate() {
+            let part = part?;
             if !part.is_empty() {
                 constrained_rels.push(rels[ri]);
             }
@@ -715,7 +815,7 @@ impl Expansion {
         }
 
         // ---- Compound relations (parallel per first-component block) --
-        let rel_budget = Budget::new(limits.max_compound_rels);
+        let rel_budget = SizeBudget::new(limits.max_compound_rels);
         let mut compound_rels: Vec<CompoundRel> = Vec::new();
         let mut rel_by_role: HashMap<(RelId, usize, CcId), Vec<usize>> = HashMap::new();
         for &rel in &constrained_rels {
@@ -744,31 +844,34 @@ impl Expansion {
 
             let first = &candidates[0];
             let blocks = par::chunk_ranges(first.len(), threads.get() * 4);
-            let tuple_parts = par::parallel_map(threads, blocks.len(), |bi| {
-                let mut tuples: Vec<Vec<CcId>> = Vec::new();
-                for &c0 in &first[blocks[bi].clone()] {
-                    let mut stack = vec![c0];
-                    collect_rel_tuples(
-                        schema,
-                        rel,
-                        &candidates,
-                        &non_unit,
-                        ccs,
-                        &mut stack,
-                        &mut tuples,
-                        &rel_budget,
-                        limits.max_compound_rels,
-                    )?;
-                }
-                Ok(tuples)
-            });
+            let tuple_parts: Vec<Result<Vec<Vec<CcId>>, BuildError>> =
+                par::parallel_map(threads, blocks.len(), |bi| {
+                    let mut tuples: Vec<Vec<CcId>> = Vec::new();
+                    for &c0 in &first[blocks[bi].clone()] {
+                        let mut stack = vec![c0];
+                        collect_rel_tuples(
+                            schema,
+                            rel,
+                            &candidates,
+                            &non_unit,
+                            ccs,
+                            &mut stack,
+                            &mut tuples,
+                            &rel_budget,
+                            limits.max_compound_rels,
+                            budget,
+                        )?;
+                    }
+                    Ok(tuples)
+                });
             for part in tuple_parts {
                 for components in part? {
                     if compound_rels.len() >= limits.max_compound_rels {
                         return Err(ExpansionTooLarge {
                             what: "compound relations",
                             limit: limits.max_compound_rels,
-                        });
+                        }
+                        .into());
                     }
                     let idx = compound_rels.len();
                     for (role_pos, &cc) in components.iter().enumerate() {
@@ -879,8 +982,10 @@ fn build_rel_tuples(
     out: &mut Vec<CompoundRel>,
     rel_by_role: &mut HashMap<(RelId, usize, CcId), Vec<usize>>,
     limits: &ExpansionLimits,
-) -> Result<(), ExpansionTooLarge> {
+    budget: &Budget,
+) -> Result<(), BuildError> {
     if stack.len() == candidates.len() {
+        budget.checkpoint()?;
         let components: Vec<&BitSet> = stack.iter().map(|id| &ccs[id.index()]).collect();
         // Unit clauses are pre-filtered; check the disjunctive ones.
         let def = schema.rel_def(rel);
@@ -895,8 +1000,10 @@ fn build_rel_tuples(
                 return Err(ExpansionTooLarge {
                     what: "compound relations",
                     limit: limits.max_compound_rels,
-                });
+                }
+                .into());
             }
+            budget.charge(Item::CompoundRel, 1)?;
             let idx = out.len();
             out.push(CompoundRel { rel, components: stack.clone() });
             for (role_pos, &cc) in stack.iter().enumerate() {
@@ -908,7 +1015,9 @@ fn build_rel_tuples(
     let depth = stack.len();
     for &cand in &candidates[depth] {
         stack.push(cand);
-        build_rel_tuples(schema, rel, candidates, non_unit, ccs, stack, out, rel_by_role, limits)?;
+        build_rel_tuples(
+            schema, rel, candidates, non_unit, ccs, stack, out, rel_by_role, limits, budget,
+        )?;
         stack.pop();
     }
     Ok(())
@@ -916,7 +1025,7 @@ fn build_rel_tuples(
 
 /// Worker-side variant of [`build_rel_tuples`]: collects accepted tuples
 /// (in depth-first order) instead of assigning indices, and draws from a
-/// shared [`Budget`] so the limit verdict matches the serial path.
+/// shared [`SizeBudget`] so the limit verdict matches the serial path.
 #[allow(clippy::too_many_arguments)]
 fn collect_rel_tuples(
     schema: &Schema,
@@ -926,10 +1035,12 @@ fn collect_rel_tuples(
     ccs: &[BitSet],
     stack: &mut Vec<CcId>,
     out: &mut Vec<Vec<CcId>>,
-    budget: &Budget,
+    size_budget: &SizeBudget,
     limit: usize,
-) -> Result<(), ExpansionTooLarge> {
+    budget: &Budget,
+) -> Result<(), BuildError> {
     if stack.len() == candidates.len() {
+        budget.checkpoint()?;
         let components: Vec<&BitSet> = stack.iter().map(|id| &ccs[id.index()]).collect();
         let def = schema.rel_def(rel);
         let ok = non_unit.iter().all(|clause| {
@@ -939,9 +1050,10 @@ fn collect_rel_tuples(
             })
         });
         if ok {
-            if !budget.take() {
-                return Err(ExpansionTooLarge { what: "compound relations", limit });
+            if !size_budget.take() {
+                return Err(ExpansionTooLarge { what: "compound relations", limit }.into());
             }
+            budget.charge(Item::CompoundRel, 1)?;
             out.push(stack.clone());
         }
         return Ok(());
@@ -949,7 +1061,9 @@ fn collect_rel_tuples(
     let depth = stack.len();
     for &cand in &candidates[depth] {
         stack.push(cand);
-        collect_rel_tuples(schema, rel, candidates, non_unit, ccs, stack, out, budget, limit)?;
+        collect_rel_tuples(
+            schema, rel, candidates, non_unit, ccs, stack, out, size_budget, limit, budget,
+        )?;
         stack.pop();
     }
     Ok(())

@@ -17,6 +17,7 @@
 //! (beyond the sibling ones) are honored.
 
 use crate::bitset::BitSet;
+use crate::budget::{Budget, Item, ResourceExhausted};
 use crate::expansion::cc_consistent;
 use crate::ids::ClassId;
 use crate::syntax::Schema;
@@ -106,9 +107,24 @@ pub fn detect(schema: &Schema) -> Option<Hierarchy> {
 /// linear in the schema where the general strategies are exponential.
 #[must_use]
 pub fn path_closure_ccs(schema: &Schema, hierarchy: &Hierarchy) -> Vec<BitSet> {
+    path_closure_ccs_governed(schema, hierarchy, &Budget::unbounded())
+        .expect("unbounded budget cannot exhaust")
+}
+
+/// [`path_closure_ccs`] under a resource [`Budget`]: one checkpoint per
+/// class, one charge per compound class kept.
+///
+/// # Errors
+/// [`ResourceExhausted`] as soon as the budget runs out.
+pub fn path_closure_ccs_governed(
+    schema: &Schema,
+    hierarchy: &Hierarchy,
+    budget: &Budget,
+) -> Result<Vec<BitSet>, ResourceExhausted> {
     let n = schema.num_classes();
     let mut out = Vec::with_capacity(n);
     for class in 0..n {
+        budget.checkpoint()?;
         let mut cc = BitSet::new(n);
         let mut cur = Some(class);
         while let Some(c) = cur {
@@ -116,10 +132,11 @@ pub fn path_closure_ccs(schema: &Schema, hierarchy: &Hierarchy) -> Vec<BitSet> {
             cur = hierarchy.parent[c];
         }
         if cc_consistent(schema, &cc) {
+            budget.charge(Item::CompoundClass, 1)?;
             out.push(cc);
         }
     }
-    out
+    Ok(out)
 }
 
 /// Convenience: `ClassId` of the parent, if any.

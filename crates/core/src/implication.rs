@@ -21,6 +21,7 @@
 //! answers, not implication answers), so [`crate::reasoner::Reasoner`]
 //! always runs implication queries on a complete expansion.
 
+use crate::budget::{Budget, ResourceExhausted};
 use crate::expansion::{CcId, Expansion};
 use crate::ids::ClassId;
 use crate::satisfiability::SatAnalysis;
@@ -316,19 +317,35 @@ impl<'a> Implications<'a> {
     /// classes are subsumed by everything and excluded as noise.)
     #[must_use]
     pub fn classification(&self, schema: &Schema) -> Vec<(ClassId, ClassId)> {
+        self.classification_governed(schema, &Budget::unbounded())
+            .expect("unbounded budget cannot exhaust")
+    }
+
+    /// [`Self::classification`] under a resource [`Budget`]: one
+    /// checkpoint per candidate `(sup, sub)` pair of the quadratic sweep.
+    ///
+    /// # Errors
+    /// [`ResourceExhausted`] as soon as the budget runs out.
+    pub fn classification_governed(
+        &self,
+        schema: &Schema,
+        budget: &Budget,
+    ) -> Result<Vec<(ClassId, ClassId)>, ResourceExhausted> {
         let ids: Vec<ClassId> = schema.symbols().class_ids().collect();
         let mut out = Vec::new();
         for &sub in &ids {
+            budget.checkpoint()?;
             if !self.satisfiable(sub) {
                 continue;
             }
             for &sup in &ids {
+                budget.checkpoint()?;
                 if sup != sub && self.subsumes(sup, sub) {
                     out.push((sup, sub));
                 }
             }
         }
-        out
+        Ok(out)
     }
 }
 

@@ -22,6 +22,7 @@
 //! | §4.4 generalization hierarchies | [`hierarchy`] |
 //! | Theorem 4.5 arity reduction | [`arity`] |
 //! | parallel execution layer | [`par`] |
+//! | resource governance (extension) | [`budget`] |
 //! | top-level facade | [`reasoner`] |
 //! | certified answers (extension) | [`certify`], [`model_extract`] |
 //!
@@ -50,6 +51,7 @@
 
 pub mod arity;
 pub mod bitset;
+pub mod budget;
 pub mod certify;
 pub mod clusters;
 pub mod disequations;
@@ -67,8 +69,11 @@ pub mod satisfiability;
 pub mod semantics;
 pub mod syntax;
 
+pub use budget::{
+    Budget, BudgetLimits, CancelToken, Phase, ProgressReport, ResourceExhausted, ResourceKind,
+};
 pub use ids::{AttrId, ClassId, RelId, RoleId, SymbolTable};
-pub use reasoner::{Reasoner, ReasonerConfig, Strategy};
+pub use reasoner::{Outcome, Reasoner, ReasonerConfig, ReasonerError, Strategy};
 pub use semantics::{Interpretation, Violation};
 pub use syntax::{
     AttRef, Card, ClassClause, ClassDef, ClassFormula, ClassLiteral, Participation,

@@ -25,9 +25,10 @@
 //! analysis, computed lazily and cached separately.
 
 use crate::arity::reduce_arities;
-use crate::clusters::clustered_ccs;
+use crate::budget::{Budget, Phase, ProgressReport, ResourceExhausted, ResourceKind};
+use crate::clusters::clustered_ccs_governed;
 use crate::enumerate;
-use crate::expansion::{CcId, Expansion, ExpansionLimits, ExpansionTooLarge};
+use crate::expansion::{BuildError, CcId, Expansion, ExpansionLimits, ExpansionTooLarge};
 use crate::hierarchy;
 use crate::ids::ClassId;
 use crate::implication::{realizable_class_index, Implications};
@@ -35,7 +36,7 @@ use crate::model_extract::{extract_model, ExtractConfig, ExtractError};
 use crate::preselection::Preselection;
 use crate::satisfiability::{AnalysisOptions, AnalysisStats, SatAnalysis};
 use crate::semantics::Interpretation;
-use crate::syntax::{ClassFormula, Schema};
+use crate::syntax::{ClassFormula, Schema, SchemaError};
 use std::cell::OnceCell;
 use std::fmt;
 use std::num::NonZeroUsize;
@@ -72,6 +73,14 @@ pub struct ReasonerConfig {
     /// The default `1` runs everything serially on the calling thread;
     /// any value returns identical answers, errors and statistics.
     pub threads: NonZeroUsize,
+    /// Resource budget governing every pipeline stage: deadline, step
+    /// quota, memory quota, cooperative cancellation and the
+    /// fault-injection hook. The default [`Budget::unbounded`] is inert.
+    /// Exhaustion surfaces as [`ReasonerError::DeadlineExceeded`],
+    /// [`ReasonerError::Cancelled`] or [`ReasonerError::BudgetExhausted`];
+    /// such failures are *not* cached, so the same [`Reasoner`] can be
+    /// re-run with a larger budget (see [`Reasoner::set_budget`]).
+    pub budget: Budget,
 }
 
 impl Default for ReasonerConfig {
@@ -82,6 +91,7 @@ impl Default for ReasonerConfig {
             arity_reduction: false,
             extract: ExtractConfig::default(),
             threads: NonZeroUsize::MIN,
+            budget: Budget::unbounded(),
         }
     }
 }
@@ -93,6 +103,38 @@ pub enum ReasonerError {
     TooLarge(ExpansionTooLarge),
     /// Model extraction failed.
     Extract(ExtractError),
+    /// The schema failed validation during a transformation (e.g. the
+    /// Theorem 4.5 arity reduction rejected it).
+    InvalidSchema(Vec<SchemaError>),
+    /// The wall-clock deadline of the configured [`Budget`] passed.
+    DeadlineExceeded(ProgressReport),
+    /// The [`crate::budget::CancelToken`] attached to the configured
+    /// [`Budget`] was triggered.
+    Cancelled(ProgressReport),
+    /// A step, memory or fault-injection quota of the configured
+    /// [`Budget`] ran out.
+    BudgetExhausted(ProgressReport),
+}
+
+impl ReasonerError {
+    /// The progress snapshot attached to a resource-exhaustion failure,
+    /// if this is one.
+    #[must_use]
+    pub fn progress(&self) -> Option<&ProgressReport> {
+        match self {
+            ReasonerError::DeadlineExceeded(p)
+            | ReasonerError::Cancelled(p)
+            | ReasonerError::BudgetExhausted(p) => Some(p),
+            _ => None,
+        }
+    }
+
+    /// `true` for the resource-exhaustion variants — failures that a
+    /// retry with a larger [`Budget`] may turn into answers.
+    #[must_use]
+    pub fn is_resource_exhaustion(&self) -> bool {
+        self.progress().is_some()
+    }
 }
 
 impl fmt::Display for ReasonerError {
@@ -100,6 +142,20 @@ impl fmt::Display for ReasonerError {
         match self {
             ReasonerError::TooLarge(e) => write!(f, "{e}"),
             ReasonerError::Extract(e) => write!(f, "{e}"),
+            ReasonerError::InvalidSchema(errors) => {
+                write!(f, "schema failed validation during transformation:")?;
+                for e in errors {
+                    write!(f, " {e};")?;
+                }
+                Ok(())
+            }
+            ReasonerError::DeadlineExceeded(p) => {
+                write!(f, "deadline exceeded ({p})")
+            }
+            ReasonerError::Cancelled(p) => write!(f, "cancelled ({p})"),
+            ReasonerError::BudgetExhausted(p) => {
+                write!(f, "resource budget exhausted ({p})")
+            }
         }
     }
 }
@@ -109,6 +165,31 @@ impl std::error::Error for ReasonerError {}
 impl From<ExpansionTooLarge> for ReasonerError {
     fn from(e: ExpansionTooLarge) -> ReasonerError {
         ReasonerError::TooLarge(e)
+    }
+}
+
+/// Three-valued answer of the anytime query variants: the budgeted
+/// analysis either settled the question or ran out of resources, in
+/// which case the progress made so far is reported instead of an error.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Outcome {
+    /// The queried property holds in every model.
+    Proved,
+    /// The queried property fails in some model.
+    Disproved,
+    /// The budget ran out before the analysis settled the question.
+    Unknown(ProgressReport),
+}
+
+impl Outcome {
+    fn from_result(result: Result<bool, ReasonerError>, budget: &Budget) -> Outcome {
+        match result {
+            Ok(true) => Outcome::Proved,
+            Ok(false) => Outcome::Disproved,
+            Err(e) => Outcome::Unknown(
+                e.progress().copied().unwrap_or_else(|| budget.progress()),
+            ),
+        }
     }
 }
 
@@ -151,11 +232,16 @@ impl Bundle {
 }
 
 /// The reasoning facade over one schema.
+///
+/// Successful analyses are cached; failures (size limits, resource
+/// exhaustion) are **not**, so after an exhaustion error the same
+/// reasoner can be re-run — typically after [`Self::set_budget`] with a
+/// larger allowance — and will recompute from scratch.
 pub struct Reasoner<'s> {
     schema: &'s Schema,
     config: ReasonerConfig,
-    sat_bundle: OnceCell<Result<Bundle, ReasonerError>>,
-    full_bundle: OnceCell<Result<Bundle, ReasonerError>>,
+    sat_bundle: OnceCell<Bundle>,
+    full_bundle: OnceCell<Bundle>,
 }
 
 impl<'s> Reasoner<'s> {
@@ -181,7 +267,38 @@ impl<'s> Reasoner<'s> {
         self.schema
     }
 
+    /// Replaces the resource budget for subsequent computations. Cached
+    /// successful analyses are kept (they are already paid for); only
+    /// queries that still need to compute draw on the new budget. The
+    /// standard retry loop after an exhaustion error is
+    /// `r.set_budget(Budget::unbounded())` followed by re-asking.
+    pub fn set_budget(&mut self, budget: Budget) {
+        self.config.budget = budget;
+    }
+
+    /// Maps a resource-exhaustion error to the public error variant,
+    /// stamping it with the progress snapshot at the point of failure.
+    fn exhausted(&self, e: ResourceExhausted) -> ReasonerError {
+        let report = self.config.budget.progress();
+        match e.kind {
+            ResourceKind::Deadline => ReasonerError::DeadlineExceeded(report),
+            ResourceKind::Cancelled => ReasonerError::Cancelled(report),
+            ResourceKind::Steps | ResourceKind::Memory | ResourceKind::FaultInjected => {
+                ReasonerError::BudgetExhausted(report)
+            }
+        }
+    }
+
+    fn build_error(&self, e: BuildError) -> ReasonerError {
+        match e {
+            BuildError::TooLarge(t) => ReasonerError::TooLarge(t),
+            BuildError::Exhausted(x) => self.exhausted(x),
+        }
+    }
+
     fn compute_sat_bundle(&self) -> Result<Bundle, ReasonerError> {
+        let budget = &self.config.budget;
+        budget.enter_phase(Phase::Setup);
         // Theorem 4.5: reify wide relations first when enabled.
         let transformed = if self.config.arity_reduction
             && self
@@ -190,8 +307,7 @@ impl<'s> Reasoner<'s> {
                 .rel_ids()
                 .any(|r| crate::arity::reducible(self.schema, r))
         {
-            let red = reduce_arities(self.schema)
-                .expect("arity reduction of a valid schema is valid");
+            let red = reduce_arities(self.schema).map_err(ReasonerError::InvalidSchema)?;
             Some(red.schema)
         } else {
             None
@@ -200,58 +316,84 @@ impl<'s> Reasoner<'s> {
 
         let threads = self.config.threads;
         let max = self.config.limits.max_compound_classes;
+        budget.enter_phase(Phase::Enumerate);
         let ccs = match self.config.strategy {
-            Strategy::Naive => enumerate::naive_par(schema, max, threads)?,
-            Strategy::Sat => enumerate::sat_models_par(schema, &[], max, threads)?,
+            Strategy::Naive => enumerate::naive_par_governed(schema, max, threads, budget),
+            Strategy::Sat => {
+                enumerate::sat_models_par_governed(schema, &[], max, threads, budget)
+            }
             Strategy::Preselect => {
                 let pre = Preselection::compute(schema);
-                clustered_ccs(schema, &pre, max)?
+                clustered_ccs_governed(schema, &pre, max, budget)
             }
             Strategy::Auto => match hierarchy::detect(schema) {
-                Some(h) => hierarchy::path_closure_ccs(schema, &h),
+                Some(h) => hierarchy::path_closure_ccs_governed(schema, &h, budget)
+                    .map_err(BuildError::from),
                 None => {
                     let pre = Preselection::compute(schema);
-                    clustered_ccs(schema, &pre, max)?
+                    clustered_ccs_governed(schema, &pre, max, budget)
                 }
             },
-        };
-        let expansion = Expansion::build_with_threads(schema, ccs, &self.config.limits, threads)?;
-        let analysis = SatAnalysis::run_with_options(
+        }
+        .map_err(|e| self.build_error(e))?;
+        budget.enter_phase(Phase::Expand);
+        let expansion =
+            Expansion::build_governed(schema, ccs, &self.config.limits, threads, budget)
+                .map_err(|e| self.build_error(e))?;
+        budget.enter_phase(Phase::Fixpoint);
+        let analysis = SatAnalysis::try_run_with_budget(
             &expansion,
             &AnalysisOptions { threads, ..AnalysisOptions::default() },
-        );
+            budget,
+        )
+        .map_err(|e| self.exhausted(e))?;
         Ok(Bundle::new(transformed, expansion, analysis))
     }
 
     fn compute_full_bundle(&self) -> Result<Bundle, ReasonerError> {
+        let budget = &self.config.budget;
         let threads = self.config.threads;
-        let ccs = enumerate::sat_models_par(
+        budget.enter_phase(Phase::Enumerate);
+        let ccs = enumerate::sat_models_par_governed(
             self.schema,
             &[],
             self.config.limits.max_compound_classes,
             threads,
-        )?;
+            budget,
+        )
+        .map_err(|e| self.build_error(e))?;
+        budget.enter_phase(Phase::Expand);
         let expansion =
-            Expansion::build_with_threads(self.schema, ccs, &self.config.limits, threads)?;
-        let analysis = SatAnalysis::run_with_options(
+            Expansion::build_governed(self.schema, ccs, &self.config.limits, threads, budget)
+                .map_err(|e| self.build_error(e))?;
+        budget.enter_phase(Phase::Fixpoint);
+        let analysis = SatAnalysis::try_run_with_budget(
             &expansion,
             &AnalysisOptions { threads, ..AnalysisOptions::default() },
-        );
+            budget,
+        )
+        .map_err(|e| self.exhausted(e))?;
         Ok(Bundle::new(None, expansion, analysis))
     }
 
+    /// The cached satisfiability bundle, computing it on first success.
+    /// Errors are returned but never cached — a later call retries (with
+    /// whatever budget the config then holds), keeping the reasoner
+    /// usable after cancellation or exhaustion.
     fn sat_bundle(&self) -> Result<&Bundle, ReasonerError> {
-        self.sat_bundle
-            .get_or_init(|| self.compute_sat_bundle())
-            .as_ref()
-            .map_err(Clone::clone)
+        if let Some(bundle) = self.sat_bundle.get() {
+            return Ok(bundle);
+        }
+        let bundle = self.compute_sat_bundle()?;
+        Ok(self.sat_bundle.get_or_init(|| bundle))
     }
 
     fn full_bundle(&self) -> Result<&Bundle, ReasonerError> {
-        self.full_bundle
-            .get_or_init(|| self.compute_full_bundle())
-            .as_ref()
-            .map_err(Clone::clone)
+        if let Some(bundle) = self.full_bundle.get() {
+            return Ok(bundle);
+        }
+        let bundle = self.compute_full_bundle()?;
+        Ok(self.full_bundle.get_or_init(|| bundle))
     }
 
     // ---- Satisfiability -------------------------------------------
@@ -304,6 +446,36 @@ impl<'s> Reasoner<'s> {
     /// [`ReasonerError::TooLarge`] when the expansion exceeds the limits.
     pub fn try_stats(&self) -> Result<AnalysisStats, ReasonerError> {
         Ok(self.sat_bundle()?.stats())
+    }
+
+    // ---- Anytime queries -------------------------------------------
+
+    /// Anytime class satisfiability: [`Outcome::Proved`] /
+    /// [`Outcome::Disproved`] when the budgeted analysis settles the
+    /// question, [`Outcome::Unknown`] with the progress made when the
+    /// budget runs out first. Never panics on exhaustion; a size-limit
+    /// or validation failure also maps to `Unknown`.
+    #[must_use]
+    pub fn anytime_is_satisfiable(&self, class: ClassId) -> Outcome {
+        Outcome::from_result(self.try_is_satisfiable(class), &self.config.budget)
+    }
+
+    /// Anytime schema coherence (see [`Self::try_is_coherent`]).
+    #[must_use]
+    pub fn anytime_is_coherent(&self) -> Outcome {
+        Outcome::from_result(self.try_is_coherent(), &self.config.budget)
+    }
+
+    /// Anytime subsumption (see [`Self::try_subsumes`]).
+    #[must_use]
+    pub fn anytime_subsumes(&self, sup: ClassId, sub: ClassId) -> Outcome {
+        Outcome::from_result(self.try_subsumes(sup, sub), &self.config.budget)
+    }
+
+    /// Anytime disjointness (see [`Self::try_disjoint`]).
+    #[must_use]
+    pub fn anytime_disjoint(&self, c1: ClassId, c2: ClassId) -> Outcome {
+        Outcome::from_result(self.try_disjoint(c1, c2), &self.config.budget)
     }
 
     // ---- Logical implication ---------------------------------------
@@ -400,7 +572,11 @@ impl<'s> Reasoner<'s> {
     /// [`ReasonerError::TooLarge`] when the (complete) expansion exceeds
     /// the limits.
     pub fn try_classification(&self) -> Result<Vec<(ClassId, ClassId)>, ReasonerError> {
-        Ok(self.implications()?.classification(self.schema))
+        let imp = self.implications()?;
+        let budget = &self.config.budget;
+        budget.enter_phase(Phase::Implication);
+        imp.classification_governed(self.schema, budget)
+            .map_err(|e| self.exhausted(e))
     }
 
     /// The implied strict subsumption pairs `(sup, sub)` among
@@ -545,6 +721,7 @@ impl<'s> Reasoner<'s> {
     /// [`ReasonerError`] on resource exhaustion or extraction failure.
     pub fn extract_model(&self) -> Result<Interpretation, ReasonerError> {
         let bundle = self.full_bundle()?;
+        self.config.budget.enter_phase(Phase::Extract);
         extract_model(self.schema, &bundle.expansion, &bundle.analysis, &self.config.extract)
             .map_err(ReasonerError::Extract)
     }

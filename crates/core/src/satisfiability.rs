@@ -26,12 +26,13 @@
 //! model. Satisfiability of `Cs` is then: *some surviving compound class
 //! contains `Cs`* — and rational witnesses scale to integer ones.
 
+use crate::budget::{Budget, ResourceExhausted, ResourceKind};
 use crate::disequations::{DisequationSystem, UnknownId};
 use crate::expansion::{CcId, Expansion};
 use crate::ids::ClassId;
 use crate::par;
 use car_arith::Ratio;
-use car_lp::support;
+use car_lp::{try_support, SolveHooks};
 use std::num::NonZeroUsize;
 
 /// Statistics collected during the satisfiability analysis.
@@ -99,6 +100,24 @@ impl SatAnalysis {
     /// Runs the fixpoint with explicit [`AnalysisOptions`].
     #[must_use]
     pub fn run_with_options(expansion: &Expansion, options: &AnalysisOptions) -> SatAnalysis {
+        SatAnalysis::try_run_with_budget(expansion, options, &Budget::unbounded())
+            .expect("unbounded budget cannot exhaust")
+    }
+
+    /// Runs the fixpoint under a resource [`Budget`]: one checkpoint per
+    /// fixpoint iteration and per structural-propagation round, one per
+    /// disequation row, and a poll on every simplex pivot (so pivots
+    /// count as steps and a deadline interrupts mid-solve).
+    ///
+    /// # Errors
+    /// [`ResourceExhausted`] as soon as the budget runs out. The partial
+    /// kill state is discarded; retrying with a larger budget recomputes
+    /// from scratch and returns the exact unbounded answer.
+    pub fn try_run_with_budget(
+        expansion: &Expansion,
+        options: &AnalysisOptions,
+        budget: &Budget,
+    ) -> Result<SatAnalysis, ResourceExhausted> {
         let n_cc = expansion.compound_classes().len();
         let n_ca = expansion.compound_attrs().len();
         let n_cr = expansion.compound_rels().len();
@@ -115,7 +134,8 @@ impl SatAnalysis {
                 &mut dead_ca,
                 &mut dead_cr,
                 threads,
-            );
+                budget,
+            )?;
         }
         let mut stats = AnalysisStats {
             num_compound_classes: n_cc,
@@ -123,9 +143,11 @@ impl SatAnalysis {
             num_compound_rels: n_cr,
             ..AnalysisStats::default()
         };
+        let total_unknowns = (n_cc + n_ca + n_cr) as u64;
         let witness: Vec<Ratio>;
 
         loop {
+            budget.checkpoint()?;
             stats.iterations += 1;
             let pinned: Vec<UnknownId> = dead_cc
                 .iter()
@@ -147,13 +169,27 @@ impl SatAnalysis {
                         .map(|(i, _)| UnknownId::Cr(i)),
                 )
                 .collect();
-            let sys = DisequationSystem::build_with_threads(expansion, &pinned, threads);
+            let sys = DisequationSystem::build_governed(expansion, &pinned, threads, budget)?;
             if stats.num_unknowns == 0 {
                 stats.num_unknowns = sys.num_unknowns();
                 stats.num_disequations = sys.num_disequations();
             }
 
-            let analysis = support(sys.problem());
+            // Every simplex pivot polls the budget (and counts as a
+            // step), so even a single long LP solve honors deadlines and
+            // cancellation. An interruption is mapped back to the
+            // resource that caused it via `probe`.
+            let poll = || budget.checkpoint().is_err();
+            let hooks = SolveHooks { poll: Some(&poll), ..SolveHooks::default() };
+            let analysis = match try_support(sys.problem(), &hooks) {
+                Ok(a) => a,
+                Err(_interrupted) => {
+                    return Err(budget
+                        .probe()
+                        .err()
+                        .unwrap_or(ResourceExhausted { kind: ResourceKind::Steps }));
+                }
+            };
             stats.lp_calls += analysis.lp_calls;
 
             // Step 2a: unknowns outside the support are zero in every
@@ -213,6 +249,12 @@ impl SatAnalysis {
                 }
             }
 
+            budget.note_fixpoint_iteration();
+            let settled = dead_cc.iter().filter(|&&d| d).count()
+                + dead_ca.iter().filter(|&&d| d).count()
+                + dead_cr.iter().filter(|&&d| d).count();
+            budget.note_fixpoint_progress(settled as u64, total_unknowns);
+
             if !changed {
                 // Reorder the witness from LP-variable order into
                 // (cc..., ca..., cr...) unknown order.
@@ -231,7 +273,7 @@ impl SatAnalysis {
             .enumerate()
             .all(|(i, &r)| r == witness[i].is_positive()));
 
-        SatAnalysis { realizable, witness, stats }
+        Ok(SatAnalysis { realizable, witness, stats })
     }
 
     /// `true` iff the compound class has a model with nonempty extension.
@@ -308,10 +350,12 @@ fn propagate_structural_deaths(
     dead_ca: &mut [bool],
     dead_cr: &mut [bool],
     threads: NonZeroUsize,
-) {
+    budget: &Budget,
+) -> Result<(), ResourceExhausted> {
     let pieces = threads.get() * 4;
     let mut changed = true;
     while changed {
+        budget.checkpoint()?;
         changed = false;
         let natt = expansion.natt();
         let cc_kills = {
@@ -385,6 +429,7 @@ fn propagate_structural_deaths(
             changed = true;
         }
     }
+    Ok(())
 }
 
 #[cfg(test)]

@@ -506,6 +506,14 @@ pub enum SchemaError {
         /// The relation name.
         rel: String,
     },
+    /// A formula references a class that was never declared. Only
+    /// reported by strict front-ends (e.g. `parse_schema_strict`); the
+    /// core builder and the lenient parser intern such names as fresh
+    /// classes of the alphabet.
+    UndeclaredClass {
+        /// The class name.
+        class: String,
+    },
     /// A relation has arity zero or one. CAR relations represent
     /// relationships *between* classes; tuples are sets, so a unary
     /// relation can never give an object more than one tuple and the
@@ -544,6 +552,9 @@ impl fmt::Display for SchemaError {
             }
             SchemaError::UndefinedRelation { rel } => {
                 write!(f, "relation '{rel}' referenced but never defined")
+            }
+            SchemaError::UndeclaredClass { class } => {
+                write!(f, "class '{class}' referenced but never declared")
             }
             SchemaError::BadArity { rel, arity } => {
                 write!(f, "relation '{rel}' has arity {arity}; CAR requires arity >= 2")

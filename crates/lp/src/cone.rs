@@ -17,6 +17,7 @@
 
 use crate::expr::LinExpr;
 use crate::problem::{Problem, Relation};
+use crate::simplex::{LpInterrupted, SolveHooks};
 use car_arith::{lcm, BigInt, Ratio};
 
 /// Result of [`support`]: which variables can be strictly positive, and a
@@ -42,6 +43,24 @@ pub struct SupportAnalysis {
 /// unsound otherwise).
 #[must_use]
 pub fn support(problem: &Problem) -> SupportAnalysis {
+    match try_support(problem, &SolveHooks::default()) {
+        Ok(analysis) => analysis,
+        Err(LpInterrupted) => unreachable!("default hooks never interrupt"),
+    }
+}
+
+/// [`support`] with cooperative interruption: the `hooks` are threaded
+/// into every underlying LP solve and polled once per simplex pivot.
+///
+/// # Errors
+/// [`LpInterrupted`] as soon as the hooks say stop.
+///
+/// # Panics
+/// Panics if the problem is not homogeneous.
+pub fn try_support(
+    problem: &Problem,
+    hooks: &SolveHooks<'_>,
+) -> Result<SupportAnalysis, LpInterrupted> {
     assert!(
         problem.is_homogeneous(),
         "support analysis requires a homogeneous system"
@@ -81,7 +100,7 @@ pub fn support(problem: &Problem) -> SupportAnalysis {
         // collapsing the whole analysis to one LP call.)
         if undecided.len() <= ALL_PROBE_LIMIT {
             lp_calls += 1;
-            if let Some(point) = positivity_probe(problem, &undecided, ProbeMode::Each) {
+            if let Some(point) = positivity_probe(problem, &undecided, ProbeMode::Each, hooks)? {
                 absorb(&point, &mut witness, &mut in_support, &mut decided);
                 debug_assert!(undecided.iter().all(|&j| decided[j]));
                 break;
@@ -92,7 +111,7 @@ pub fn support(problem: &Problem) -> SupportAnalysis {
         // Otherwise the witness proves at least one more variable positive,
         // guaranteeing progress: at most |support| + 2 calls total.
         lp_calls += 1;
-        match positivity_probe(problem, &undecided, ProbeMode::Some) {
+        match positivity_probe(problem, &undecided, ProbeMode::Some, hooks)? {
             Some(point) => {
                 let before: usize = decided.iter().filter(|&&d| d).count();
                 absorb(&point, &mut witness, &mut in_support, &mut decided);
@@ -111,7 +130,7 @@ pub fn support(problem: &Problem) -> SupportAnalysis {
 
     debug_assert!(problem.check_point(&witness));
     debug_assert!((0..n).all(|j| in_support[j] == witness[j].is_positive()));
-    SupportAnalysis { in_support, witness, lp_calls }
+    Ok(SupportAnalysis { in_support, witness, lp_calls })
 }
 
 /// How a positivity probe quantifies over its variable set.
@@ -138,7 +157,8 @@ fn positivity_probe(
     problem: &Problem,
     vars: &[usize],
     mode: ProbeMode,
-) -> Option<Vec<Ratio>> {
+    hooks: &SolveHooks<'_>,
+) -> Result<Option<Vec<Ratio>>, LpInterrupted> {
     let mut p = problem.clone();
     let t = p.add_var("probe_t");
     match mode {
@@ -161,13 +181,13 @@ fn positivity_probe(
                 objective.add_term(crate::VarId(j), Ratio::one());
                 p.add_constraint(LinExpr::var(crate::VarId(j)), Relation::Le, Ratio::one());
             }
-            return match p.maximize(&objective) {
+            return match p.maximize_with_hooks(&objective, hooks)? {
                 crate::SolveResult::Optimal { value, mut point } if value.is_positive() => {
                     point.truncate(problem.num_vars());
                     debug_assert!(problem.check_point(&point));
-                    Some(point)
+                    Ok(Some(point))
                 }
-                crate::SolveResult::Optimal { .. } => None,
+                crate::SolveResult::Optimal { .. } => Ok(None),
                 other => {
                     unreachable!("probe is feasible (x = 0) and box-bounded: {other:?}")
                 }
@@ -175,13 +195,13 @@ fn positivity_probe(
         }
     }
     p.add_constraint(LinExpr::var(t), Relation::Le, Ratio::one());
-    match p.maximize(&LinExpr::var(t)) {
+    match p.maximize_with_hooks(&LinExpr::var(t), hooks)? {
         crate::SolveResult::Optimal { value, mut point } if value.is_positive() => {
             point.truncate(problem.num_vars());
             debug_assert!(problem.check_point(&point));
-            Some(point)
+            Ok(Some(point))
         }
-        crate::SolveResult::Optimal { .. } => None,
+        crate::SolveResult::Optimal { .. } => Ok(None),
         other => unreachable!("probe is feasible (x = 0) and bounded (t ≤ 1): {other:?}"),
     }
 }
@@ -303,5 +323,22 @@ mod tests {
         let point = vec![int(3), int(0), int(7)];
         let ints = scale_to_integers(&point);
         assert_eq!(ints, vec![BigInt::from(3), BigInt::zero(), BigInt::from(7)]);
+    }
+
+    #[test]
+    fn try_support_honors_interruption_hooks() {
+        let p = homogeneous(
+            &[
+                (&[(0, 1), (1, -1)], Relation::Le),
+                (&[(1, 1), (2, -1)], Relation::Le),
+            ],
+            3,
+        );
+        let stop = || true;
+        let hooks = SolveHooks { max_pivots: None, poll: Some(&stop) };
+        assert!(matches!(try_support(&p, &hooks), Err(LpInterrupted)));
+        let lenient = SolveHooks::default();
+        let s = try_support(&p, &lenient).unwrap();
+        assert_eq!(s.in_support, support(&p).in_support);
     }
 }

@@ -47,7 +47,8 @@ mod problem;
 mod simplex;
 mod tableau;
 
-pub use cone::{scale_to_integers, support, SupportAnalysis};
+pub use cone::{scale_to_integers, support, try_support, SupportAnalysis};
 pub use expr::{LinExpr, VarId};
 pub use farkas::FarkasCertificate;
 pub use problem::{Constraint, Problem, Relation, SolveResult};
+pub use simplex::{LpInterrupted, SolveHooks};

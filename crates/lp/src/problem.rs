@@ -154,6 +154,19 @@ impl Problem {
         simplex::solve(self, Some(objective))
     }
 
+    /// [`Problem::maximize`] with cooperative interruption.
+    ///
+    /// # Errors
+    /// [`crate::LpInterrupted`] as soon as `hooks` say stop (pivot cap
+    /// reached or the poll callback returned `true`).
+    pub fn maximize_with_hooks(
+        &self,
+        objective: &LinExpr,
+        hooks: &crate::SolveHooks<'_>,
+    ) -> Result<SolveResult, crate::LpInterrupted> {
+        simplex::solve_with_hooks(self, Some(objective), hooks)
+    }
+
     /// Minimizes `objective` subject to the constraints.
     #[must_use]
     pub fn minimize(&self, objective: &LinExpr) -> SolveResult {

@@ -4,6 +4,55 @@ use crate::expr::LinExpr;
 use crate::problem::{Problem, Relation, SolveResult};
 use crate::tableau::Tableau;
 use car_arith::Ratio;
+use std::fmt;
+
+/// A solve was interrupted by a [`SolveHooks`] condition (pivot cap hit
+/// or external poll returned `true`) before reaching a verdict.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LpInterrupted;
+
+impl fmt::Display for LpInterrupted {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("linear program interrupted before completion")
+    }
+}
+
+impl std::error::Error for LpInterrupted {}
+
+/// Cooperative interruption hooks for the simplex loops.
+///
+/// `max_pivots` caps the *total* pivot count of a solve (across both
+/// phases); `poll` is consulted once per pivot and interrupts the solve
+/// when it returns `true`. The default hooks never interrupt.
+#[derive(Clone, Copy, Default)]
+pub struct SolveHooks<'a> {
+    /// Cap on total pivots across phase 1 and phase 2.
+    pub max_pivots: Option<u64>,
+    /// External stop condition, polled once per pivot.
+    pub poll: Option<&'a (dyn Fn() -> bool + Sync)>,
+}
+
+impl fmt::Debug for SolveHooks<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SolveHooks")
+            .field("max_pivots", &self.max_pivots)
+            .field("poll", &self.poll.map(|_| "..."))
+            .finish()
+    }
+}
+
+impl SolveHooks<'_> {
+    /// `Err(LpInterrupted)` once the hooks say stop.
+    fn check(&self, pivots: u64) -> Result<(), LpInterrupted> {
+        if self.max_pivots.is_some_and(|max| pivots >= max) {
+            return Err(LpInterrupted);
+        }
+        if self.poll.is_some_and(|poll| poll()) {
+            return Err(LpInterrupted);
+        }
+        Ok(())
+    }
+}
 
 /// Outcome of running the pivoting loop to optimality.
 enum LoopResult {
@@ -15,8 +64,14 @@ enum LoopResult {
 /// (maximization) or the problem is detected unbounded.
 ///
 /// `enterable` marks the columns allowed to enter the basis (used to keep
-/// artificial columns out during phase 2).
-fn optimize(t: &mut Tableau, enterable: &[bool]) -> LoopResult {
+/// artificial columns out during phase 2). `total_pivots` accumulates
+/// across calls so `hooks.max_pivots` caps a whole solve, not one phase.
+fn optimize(
+    t: &mut Tableau,
+    enterable: &[bool],
+    hooks: &SolveHooks<'_>,
+    total_pivots: &mut u64,
+) -> Result<LoopResult, LpInterrupted> {
     // Dantzig pricing (most positive reduced cost) is fast in practice
     // but can cycle on degenerate problems; after a generous pivot
     // budget, switch permanently to Bland's rule, which cannot cycle —
@@ -24,6 +79,7 @@ fn optimize(t: &mut Tableau, enterable: &[bool]) -> LoopResult {
     let bland_after = 4 * (t.rows.len() + t.n_cols) + 64;
     let mut pivots = 0usize;
     loop {
+        hooks.check(*total_pivots)?;
         let use_bland = pivots >= bland_after;
         let col = if use_bland {
             (0..t.n_cols).find(|&j| enterable[j] && t.obj[j].is_positive())
@@ -37,7 +93,7 @@ fn optimize(t: &mut Tableau, enterable: &[bool]) -> LoopResult {
             best
         };
         let Some(col) = col else {
-            return LoopResult::Optimal;
+            return Ok(LoopResult::Optimal);
         };
         // Ratio test; on ties pick the row whose basic variable has the
         // smallest column index (Bland's leaving rule — harmless under
@@ -58,10 +114,11 @@ fn optimize(t: &mut Tableau, enterable: &[bool]) -> LoopResult {
             }
         }
         let Some((row, _)) = best else {
-            return LoopResult::Unbounded;
+            return Ok(LoopResult::Unbounded);
         };
         t.pivot(row, col);
         pivots += 1;
+        *total_pivots += 1;
     }
 }
 
@@ -177,9 +234,13 @@ fn effective_relation(rel: Relation, negated: bool) -> Relation {
 /// Runs phase 1 (drive artificials to zero). Returns `false` if the
 /// problem is infeasible. On success the tableau is feasible and no
 /// artificial column is basic.
-fn phase1(s: &mut Standardized) -> bool {
+fn phase1(
+    s: &mut Standardized,
+    hooks: &SolveHooks<'_>,
+    total_pivots: &mut u64,
+) -> Result<bool, LpInterrupted> {
     if !s.has_artificials {
-        return true;
+        return Ok(true);
     }
     let t = &mut s.tableau;
     // Maximize W = -Σ artificials: raw costs -1 on artificial columns.
@@ -190,12 +251,12 @@ fn phase1(s: &mut Standardized) -> bool {
     t.canonicalize_objective();
 
     let enterable: Vec<bool> = (0..t.n_cols).map(|j| !s.is_artificial[j]).collect();
-    match optimize(t, &enterable) {
+    match optimize(t, &enterable, hooks, total_pivots)? {
         LoopResult::Unbounded => unreachable!("phase-1 objective is bounded above by 0"),
         LoopResult::Optimal => {}
     }
     if t.obj_val.is_negative() {
-        return false; // some artificial stuck positive
+        return Ok(false); // some artificial stuck positive
     }
 
     // Drive remaining (degenerate, zero-valued) artificials out of the
@@ -220,12 +281,25 @@ fn phase1(s: &mut Standardized) -> bool {
         }
         i += 1;
     }
-    true
+    Ok(true)
 }
 
 /// Solves `maximize objective` (or just feasibility when `objective` is
 /// `None`) over the problem's constraints with all variables `≥ 0`.
 pub(crate) fn solve(problem: &Problem, objective: Option<&LinExpr>) -> SolveResult {
+    match solve_with_hooks(problem, objective, &SolveHooks::default()) {
+        Ok(result) => result,
+        Err(LpInterrupted) => unreachable!("default hooks never interrupt"),
+    }
+}
+
+/// [`solve`] with cooperative interruption: checks `hooks` once per pivot
+/// and returns `Err(LpInterrupted)` as soon as they say stop.
+pub(crate) fn solve_with_hooks(
+    problem: &Problem,
+    objective: Option<&LinExpr>,
+    hooks: &SolveHooks<'_>,
+) -> Result<SolveResult, LpInterrupted> {
     if let Some(obj) = objective {
         if let Some(v) = obj.max_var() {
             assert!(
@@ -236,9 +310,10 @@ pub(crate) fn solve(problem: &Problem, objective: Option<&LinExpr>) -> SolveResu
         }
     }
 
+    let mut total_pivots = 0u64;
     let mut s = standardize(problem);
-    if !phase1(&mut s) {
-        return SolveResult::Infeasible;
+    if !phase1(&mut s, hooks, &mut total_pivots)? {
+        return Ok(SolveResult::Infeasible);
     }
 
     let enterable: Vec<bool> =
@@ -254,8 +329,8 @@ pub(crate) fn solve(problem: &Problem, objective: Option<&LinExpr>) -> SolveResu
             t.obj[v.index()] = c.clone();
         }
         t.canonicalize_objective();
-        if let LoopResult::Unbounded = optimize(t, &enterable) {
-            return SolveResult::Unbounded;
+        if let LoopResult::Unbounded = optimize(t, &enterable, hooks, &mut total_pivots)? {
+            return Ok(SolveResult::Unbounded);
         }
     }
 
@@ -266,15 +341,18 @@ pub(crate) fn solve(problem: &Problem, objective: Option<&LinExpr>) -> SolveResu
         None => Ratio::zero(),
     };
     debug_assert!(objective.is_none() || value == s.tableau.obj_val);
-    SolveResult::Optimal { value, point }
+    Ok(SolveResult::Optimal { value, point })
 }
 
 /// Attempts to extract a Farkas infeasibility certificate. `None` means
 /// the constraints are feasible.
 pub(crate) fn certify(problem: &Problem) -> Option<crate::FarkasCertificate> {
     let mut s = standardize(problem);
-    if phase1(&mut s) {
-        return None;
+    let mut total_pivots = 0u64;
+    match phase1(&mut s, &SolveHooks::default(), &mut total_pivots) {
+        Ok(true) => return None,
+        Ok(false) => {}
+        Err(LpInterrupted) => unreachable!("default hooks never interrupt"),
     }
     // Phase 1 stalled with a positive artificial sum: read the simplex
     // multipliers y off the reduced costs of each row's initial basis
@@ -465,5 +543,35 @@ mod tests {
     fn objective_with_unknown_variable_panics() {
         let p = Problem::new();
         let _ = p.maximize(&LinExpr::var(VarId(5)));
+    }
+
+    #[test]
+    fn pivot_cap_interrupts() {
+        // The textbook problem needs at least one pivot; a zero cap must
+        // interrupt rather than answer.
+        let mut p = Problem::new();
+        let x = p.add_var("x");
+        let y = p.add_var("y");
+        le(&mut p, &[(x, 6), (y, 4)], 24);
+        le(&mut p, &[(x, 1), (y, 2)], 6);
+        let obj = LinExpr::from_terms([(x, 5), (y, 4)]);
+        let hooks = SolveHooks { max_pivots: Some(0), poll: None };
+        assert_eq!(p.maximize_with_hooks(&obj, &hooks), Err(LpInterrupted));
+        // A generous cap reproduces the uncapped answer.
+        let hooks = SolveHooks { max_pivots: Some(10_000), poll: None };
+        assert_eq!(p.maximize_with_hooks(&obj, &hooks), Ok(p.maximize(&obj)));
+    }
+
+    #[test]
+    fn poll_interrupts_immediately() {
+        let mut p = Problem::new();
+        let x = p.add_var("x");
+        ge(&mut p, &[(x, 1)], 3);
+        let stop = || true;
+        let hooks = SolveHooks { max_pivots: None, poll: Some(&stop) };
+        assert_eq!(p.maximize_with_hooks(&LinExpr::var(x), &hooks), Err(LpInterrupted));
+        let go = || false;
+        let hooks = SolveHooks { max_pivots: None, poll: Some(&go) };
+        assert!(p.maximize_with_hooks(&LinExpr::var(x), &hooks).is_ok());
     }
 }

@@ -1,4 +1,11 @@
 //! Untyped syntax tree produced by the parser, before name resolution.
+//!
+//! Every definition-like node carries the [`Pos`] of its defining token
+//! so that validation errors detected after parsing (duplicate
+//! definitions, invalid cardinalities, unknown roles, undeclared
+//! classes) can point back into the source text.
+
+use crate::token::Pos;
 
 /// A parsed schema: class and relation definitions in source order.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -12,6 +19,8 @@ pub struct AstSchema {
 /// A parsed class definition.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct AstClassDef {
+    /// Position of the class name.
+    pub pos: Pos,
     /// Class name.
     pub name: String,
     /// The isa formula, if present.
@@ -32,6 +41,8 @@ pub struct AstFormula {
 /// A possibly negated class name.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct AstLiteral {
+    /// Position of the class name.
+    pub pos: Pos,
     /// The class name.
     pub class: String,
     /// `false` for `not C`.
@@ -39,12 +50,22 @@ pub struct AstLiteral {
 }
 
 /// Attribute reference: direct or inverse.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum AstAttRef {
     /// `f`
     Direct(String),
     /// `(inv f)`
     Inverse(String),
+}
+
+impl AstAttRef {
+    /// The underlying attribute name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        match self {
+            AstAttRef::Direct(n) | AstAttRef::Inverse(n) => n,
+        }
+    }
 }
 
 /// A cardinality `(min, max)`; `max = None` is `∞`.
@@ -59,6 +80,8 @@ pub struct AstCard {
 /// One attribute specification.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct AstAttrSpec {
+    /// Position of the attribute reference.
+    pub pos: Pos,
     /// The attribute or inverse attribute.
     pub att: AstAttRef,
     /// The cardinality (defaults to `(0, *)` when omitted).
@@ -70,6 +93,8 @@ pub struct AstAttrSpec {
 /// One participation specification `R[U] : (x, y)`.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct AstParticipation {
+    /// Position of the relation name.
+    pub pos: Pos,
     /// Relation name.
     pub rel: String,
     /// Role name.
@@ -81,6 +106,8 @@ pub struct AstParticipation {
 /// A parsed relation definition.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct AstRelDef {
+    /// Position of the relation name.
+    pub pos: Pos,
     /// Relation name.
     pub name: String,
     /// Role names in declaration order.
@@ -92,6 +119,17 @@ pub struct AstRelDef {
 /// A disjunction of `(role : formula)` literals.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct AstRoleClause {
-    /// The literals: role name and its formula.
-    pub literals: Vec<(String, AstFormula)>,
+    /// The literals.
+    pub literals: Vec<AstRoleLiteral>,
+}
+
+/// One `(role : formula)` literal of a role-clause.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AstRoleLiteral {
+    /// Position of the role name.
+    pub pos: Pos,
+    /// The role name.
+    pub role: String,
+    /// The formula constraining the role's filler.
+    pub formula: AstFormula,
 }

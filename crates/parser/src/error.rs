@@ -4,6 +4,28 @@ use crate::token::Pos;
 use car_core::SchemaError;
 use std::fmt;
 
+/// A schema-validation error with an optional source position.
+///
+/// Errors detected by the parser's own AST validation pass point at the
+/// offending token; errors only detected later, inside
+/// `car_core::SchemaBuilder`, have no position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpannedSchemaError {
+    /// Where in the source the error was detected, if known.
+    pub pos: Option<Pos>,
+    /// The underlying validation error.
+    pub error: SchemaError,
+}
+
+impl fmt::Display for SpannedSchemaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.pos {
+            Some(pos) => write!(f, "{pos}: {}", self.error),
+            None => write!(f, "{}", self.error),
+        }
+    }
+}
+
 /// A lexical, syntactic or schema-validation error.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ParseError {
@@ -31,7 +53,7 @@ pub enum ParseError {
     /// The parsed schema failed validation.
     Invalid {
         /// All validation errors, in order of detection.
-        errors: Vec<SchemaError>,
+        errors: Vec<SpannedSchemaError>,
     },
 }
 
@@ -71,6 +93,11 @@ impl std::error::Error for ParseError {}
 
 impl From<Vec<SchemaError>> for ParseError {
     fn from(errors: Vec<SchemaError>) -> ParseError {
-        ParseError::Invalid { errors }
+        ParseError::Invalid {
+            errors: errors
+                .into_iter()
+                .map(|error| SpannedSchemaError { pos: None, error })
+                .collect(),
+        }
     }
 }

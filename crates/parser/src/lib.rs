@@ -40,14 +40,22 @@ mod token;
 
 pub use ast::{
     AstAttRef, AstAttrSpec, AstCard, AstClassDef, AstFormula, AstLiteral, AstParticipation,
-    AstRelDef, AstRoleClause, AstSchema,
+    AstRelDef, AstRoleClause, AstRoleLiteral, AstSchema,
 };
-pub use error::ParseError;
+pub use error::{ParseError, SpannedSchemaError};
 pub use pretty::pretty;
+pub use token::Pos;
 
 use car_core::Schema;
 
 /// Parses schema text into a validated [`Schema`].
+///
+/// Definition-level validation errors (duplicate definitions, invalid
+/// cardinalities, unknown roles, undefined relations) are reported with
+/// the source position of the offending token
+/// ([`SpannedSchemaError`]). Class names that only occur inside
+/// formulas join the alphabet as fresh classes — use
+/// [`parse_schema_strict`] to reject them instead.
 ///
 /// # Errors
 /// [`ParseError`] on lexical or syntactic errors (with source position)
@@ -55,6 +63,18 @@ use car_core::Schema;
 pub fn parse_schema(input: &str) -> Result<Schema, ParseError> {
     let ast = parse_ast(input)?;
     lower::lower(&ast)
+}
+
+/// Like [`parse_schema`], but additionally rejects references to
+/// classes that are never introduced by a `class ... endclass`
+/// definition ([`car_core::SchemaError::UndeclaredClass`], with the
+/// position of the offending formula literal).
+///
+/// # Errors
+/// [`ParseError`] on lexical, syntactic or schema-validation errors.
+pub fn parse_schema_strict(input: &str) -> Result<Schema, ParseError> {
+    let ast = parse_ast(input)?;
+    lower::lower_strict(&ast)
 }
 
 /// Parses schema text to the untyped AST (mainly for tooling and tests).

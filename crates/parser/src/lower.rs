@@ -5,16 +5,51 @@
 //! class definitions and relation constraints are installed. All name
 //! resolution goes through the `SchemaBuilder` interners, so a class name
 //! that only occurs inside a formula is still a class of the alphabet.
+//!
+//! Before lowering, [`validate`] walks the AST and reports every
+//! definition-level error — duplicate class/relation definitions,
+//! invalid `(min, max)` cardinalities, roles that do not belong to their
+//! relation, participations in undefined relations — with the source
+//! position of the offending token. The `SchemaBuilder`'s own validation
+//! still runs afterwards as a position-less backstop, so nothing the
+//! core rejects is ever silently accepted here.
 
 use crate::ast::*;
-use crate::error::ParseError;
+use crate::error::{ParseError, SpannedSchemaError};
+use crate::token::Pos;
 use car_core::syntax::{
     Card, ClassClause, ClassFormula, ClassLiteral, RoleClause, RoleLiteral, SchemaBuilder,
 };
-use car_core::{AttRef, Schema};
+use car_core::{AttRef, Schema, SchemaError};
+use std::collections::{HashMap, HashSet};
 
-/// Lowers a parsed schema.
+/// Name-resolution strictness for class references inside formulas.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Strictness {
+    /// A class name that only occurs inside a formula joins the
+    /// alphabet as a fresh unconstrained class (the paper's convention).
+    Lenient,
+    /// Every class referenced in a formula must be introduced by a
+    /// `class ... endclass` definition.
+    Strict,
+}
+
+/// Lowers a parsed schema with lenient class-reference resolution.
 pub fn lower(ast: &AstSchema) -> Result<Schema, ParseError> {
+    lower_with(ast, Strictness::Lenient)
+}
+
+/// Lowers a parsed schema, rejecting references to undeclared classes.
+pub(crate) fn lower_strict(ast: &AstSchema) -> Result<Schema, ParseError> {
+    lower_with(ast, Strictness::Strict)
+}
+
+fn lower_with(ast: &AstSchema, strictness: Strictness) -> Result<Schema, ParseError> {
+    let errors = validate(ast, strictness);
+    if !errors.is_empty() {
+        return Err(ParseError::Invalid { errors });
+    }
+
     let mut b = SchemaBuilder::new();
 
     // Pass 1: declare relations (and their roles).
@@ -30,9 +65,9 @@ pub fn lower(ast: &AstSchema) -> Result<Schema, ParseError> {
             let literals = clause
                 .literals
                 .iter()
-                .map(|(role, formula)| RoleLiteral {
-                    role: b.role(role),
-                    formula: lower_formula(&mut b, formula),
+                .map(|lit| RoleLiteral {
+                    role: b.role(&lit.role),
+                    formula: lower_formula(&mut b, &lit.formula),
                 })
                 .collect();
             b.relation_constraint(id, RoleClause::new(literals));
@@ -87,6 +122,152 @@ pub fn lower(ast: &AstSchema) -> Result<Schema, ParseError> {
     b.build().map_err(ParseError::from)
 }
 
+/// AST-level validation with source positions. Mirrors (and pre-empts)
+/// the `SchemaBuilder` checks so that the common definition errors are
+/// reported where they occur in the text; under [`Strictness::Strict`]
+/// it additionally rejects formula references to undeclared classes.
+fn validate(ast: &AstSchema, strictness: Strictness) -> Vec<SpannedSchemaError> {
+    let mut errors = Vec::new();
+    let mut push = |pos: Pos, error: SchemaError| {
+        errors.push(SpannedSchemaError { pos: Some(pos), error });
+    };
+
+    // Relations: duplicates, arity, role sets, constraint clauses.
+    let mut rel_roles: HashMap<&str, &[String]> = HashMap::new();
+    for rel in &ast.relations {
+        if rel_roles.insert(&rel.name, &rel.roles).is_some() {
+            push(rel.pos, SchemaError::DuplicateRelDef { rel: rel.name.clone() });
+        }
+        if rel.roles.len() < 2 {
+            push(rel.pos, SchemaError::BadArity { rel: rel.name.clone(), arity: rel.roles.len() });
+        }
+        let mut seen_roles = HashSet::new();
+        for role in &rel.roles {
+            if !seen_roles.insert(role.as_str()) {
+                push(
+                    rel.pos,
+                    SchemaError::DuplicateRole { rel: rel.name.clone(), role: role.clone() },
+                );
+            }
+        }
+        for clause in &rel.constraints {
+            let mut seen_in_clause = HashSet::new();
+            for lit in &clause.literals {
+                if !rel.roles.contains(&lit.role) {
+                    push(
+                        lit.pos,
+                        SchemaError::UnknownRole { rel: rel.name.clone(), role: lit.role.clone() },
+                    );
+                } else if !seen_in_clause.insert(lit.role.as_str()) {
+                    push(
+                        lit.pos,
+                        SchemaError::RepeatedRoleInClause {
+                            rel: rel.name.clone(),
+                            role: lit.role.clone(),
+                        },
+                    );
+                }
+            }
+        }
+    }
+
+    // Classes: duplicates, attribute specs, participations.
+    let mut class_names = HashSet::new();
+    for class in &ast.classes {
+        if !class_names.insert(class.name.as_str()) {
+            push(class.pos, SchemaError::DuplicateClassDef { class: class.name.clone() });
+        }
+        let mut seen_attrs = HashSet::new();
+        for spec in &class.attrs {
+            if !card_ok(spec.card) {
+                push(
+                    spec.pos,
+                    SchemaError::InvalidCard {
+                        card: lower_card(spec.card),
+                        context: format!(
+                            "attribute '{}' of class '{}'",
+                            spec.att.name(),
+                            class.name
+                        ),
+                    },
+                );
+            }
+            if !seen_attrs.insert(&spec.att) {
+                push(
+                    spec.pos,
+                    SchemaError::DuplicateAttrSpec {
+                        class: class.name.clone(),
+                        attr: spec.att.name().to_owned(),
+                    },
+                );
+            }
+        }
+        for p in &class.participations {
+            if !card_ok(p.card) {
+                push(
+                    p.pos,
+                    SchemaError::InvalidCard {
+                        card: lower_card(p.card),
+                        context: format!(
+                            "participation of class '{}' in relation '{}'",
+                            class.name, p.rel
+                        ),
+                    },
+                );
+            }
+            match rel_roles.get(p.rel.as_str()) {
+                None => push(p.pos, SchemaError::UndefinedRelation { rel: p.rel.clone() }),
+                Some(roles) if !roles.contains(&p.role) => push(
+                    p.pos,
+                    SchemaError::UnknownRole { rel: p.rel.clone(), role: p.role.clone() },
+                ),
+                Some(_) => {}
+            }
+        }
+    }
+
+    if strictness == Strictness::Strict {
+        let mut check_formula = |f: &AstFormula| {
+            for clause in &f.clauses {
+                for lit in clause {
+                    if !class_names.contains(lit.class.as_str()) {
+                        push(
+                            lit.pos,
+                            SchemaError::UndeclaredClass { class: lit.class.clone() },
+                        );
+                    }
+                }
+            }
+        };
+        for class in &ast.classes {
+            if let Some(isa) = &class.isa {
+                check_formula(isa);
+            }
+            for spec in &class.attrs {
+                if let Some(ty) = &spec.ty {
+                    check_formula(ty);
+                }
+            }
+        }
+        for rel in &ast.relations {
+            for clause in &rel.constraints {
+                for lit in &clause.literals {
+                    check_formula(&lit.formula);
+                }
+            }
+        }
+    }
+
+    errors
+}
+
+fn card_ok(c: AstCard) -> bool {
+    match c.max {
+        Some(max) => c.min <= max,
+        None => true,
+    }
+}
+
 fn lower_formula(b: &mut SchemaBuilder, f: &AstFormula) -> ClassFormula {
     let mut out = ClassFormula::top();
     for clause in &f.clauses {
@@ -113,8 +294,15 @@ fn lower_card(c: AstCard) -> Card {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::parse_schema;
+    use crate::{parse_schema, parse_schema_strict};
     use car_core::SchemaError;
+
+    fn invalid_errors(err: ParseError) -> Vec<SpannedSchemaError> {
+        match err {
+            ParseError::Invalid { errors } => errors,
+            other => panic!("expected validation errors, got {other:?}"),
+        }
+    }
 
     #[test]
     fn full_pipeline_builds_schema() {
@@ -157,18 +345,14 @@ mod tests {
     #[test]
     fn undefined_relation_is_a_validation_error() {
         let err = parse_schema("class A participates_in R[u] : (1, 2) endclass").unwrap_err();
-        match err {
-            ParseError::Invalid { errors } => {
-                assert!(matches!(errors[0], SchemaError::UndefinedRelation { .. }));
-            }
-            other => panic!("unexpected {other:?}"),
-        }
+        let errors = invalid_errors(err);
+        assert!(matches!(errors[0].error, SchemaError::UndefinedRelation { .. }));
+        assert!(errors[0].pos.is_some(), "participation errors carry positions");
     }
 
     #[test]
     fn invalid_cardinality_is_a_validation_error() {
-        let err =
-            parse_schema("class A attributes f : (5, 2) T endclass").unwrap_err();
+        let err = parse_schema("class A attributes f : (5, 2) T endclass").unwrap_err();
         assert!(err.to_string().contains("invalid cardinality"));
     }
 
@@ -177,5 +361,152 @@ mod tests {
         let s = parse_schema("class A attributes f : (1, 2) endclass").unwrap();
         let a = s.class_id("A").unwrap();
         assert!(s.class_def(a).attrs[0].ty.is_top());
+    }
+
+    #[test]
+    fn duplicate_class_definition_is_reported_at_the_second_site() {
+        let err = parse_schema(
+            "class A endclass
+             class A endclass",
+        )
+        .unwrap_err();
+        let errors = invalid_errors(err);
+        assert_eq!(errors.len(), 1);
+        assert!(matches!(errors[0].error, SchemaError::DuplicateClassDef { .. }));
+        let pos = errors[0].pos.expect("duplicate definitions carry positions");
+        assert_eq!(pos.line, 2);
+    }
+
+    #[test]
+    fn duplicate_relation_definition_is_reported_with_position() {
+        let err = parse_schema(
+            "relation R(u, v) endrelation
+             relation R(u, v) endrelation",
+        )
+        .unwrap_err();
+        let errors = invalid_errors(err);
+        assert!(matches!(errors[0].error, SchemaError::DuplicateRelDef { .. }));
+        assert_eq!(errors[0].pos.unwrap().line, 2);
+    }
+
+    #[test]
+    fn invalid_cardinality_points_at_the_offending_spec() {
+        let err = parse_schema(
+            "class A
+               attributes f : (1, 1) T;
+                          g : (5, 2)
+             endclass",
+        )
+        .unwrap_err();
+        let errors = invalid_errors(err);
+        assert_eq!(errors.len(), 1);
+        assert!(matches!(
+            errors[0].error,
+            SchemaError::InvalidCard { card: Card { min: 5, max: Some(2) }, .. }
+        ));
+        assert_eq!(errors[0].pos.unwrap().line, 3);
+    }
+
+    #[test]
+    fn unknown_constraint_role_points_at_the_literal() {
+        let err = parse_schema(
+            "relation R(u, v)
+               constraints (u : A) or (w : B)
+             endrelation",
+        )
+        .unwrap_err();
+        let errors = invalid_errors(err);
+        assert_eq!(errors.len(), 1);
+        assert!(
+            matches!(&errors[0].error, SchemaError::UnknownRole { rel, role }
+                if rel == "R" && role == "w")
+        );
+        let pos = errors[0].pos.unwrap();
+        assert_eq!((pos.line, pos.col), (2, 40));
+    }
+
+    #[test]
+    fn participation_with_foreign_role_is_rejected() {
+        let err = parse_schema(
+            "class A participates_in R[w] : (1, 2) endclass
+             relation R(u, v) endrelation",
+        )
+        .unwrap_err();
+        let errors = invalid_errors(err);
+        assert!(
+            matches!(&errors[0].error, SchemaError::UnknownRole { rel, role }
+                if rel == "R" && role == "w")
+        );
+        assert_eq!(errors[0].pos.unwrap().line, 1);
+    }
+
+    #[test]
+    fn all_validation_errors_are_collected_in_one_pass() {
+        let err = parse_schema(
+            "class A attributes f : (3, 1) endclass
+             class A endclass
+             class B participates_in S[u] : (0, 1) endclass",
+        )
+        .unwrap_err();
+        let errors = invalid_errors(err);
+        assert_eq!(errors.len(), 3, "{errors:?}");
+        assert!(matches!(errors[0].error, SchemaError::InvalidCard { .. }));
+        assert!(matches!(errors[1].error, SchemaError::DuplicateClassDef { .. }));
+        assert!(matches!(errors[2].error, SchemaError::UndefinedRelation { .. }));
+    }
+
+    #[test]
+    fn strict_mode_rejects_undeclared_classes_with_positions() {
+        let text = "class A isa not Ghost endclass";
+        assert!(parse_schema(text).is_ok(), "lenient mode interns Ghost");
+        let err = parse_schema_strict(text).unwrap_err();
+        let errors = invalid_errors(err);
+        assert!(
+            matches!(&errors[0].error, SchemaError::UndeclaredClass { class } if class == "Ghost")
+        );
+        let pos = errors[0].pos.unwrap();
+        assert_eq!((pos.line, pos.col), (1, 17));
+    }
+
+    #[test]
+    fn strict_mode_checks_attr_types_and_role_constraints() {
+        let err = parse_schema_strict(
+            "class A attributes f : (0, 1) Phantom endclass
+             relation R(u, v) constraints (u : Wraith) endrelation",
+        )
+        .unwrap_err();
+        let errors = invalid_errors(err);
+        let names: Vec<&str> = errors
+            .iter()
+            .filter_map(|e| match &e.error {
+                SchemaError::UndeclaredClass { class } => Some(class.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(names, ["Phantom", "Wraith"]);
+    }
+
+    #[test]
+    fn strict_mode_accepts_fully_declared_schemas() {
+        let s = parse_schema_strict(
+            "class Person endclass
+             class Student isa Person endclass
+             relation Advises(advisor, advisee)
+               constraints (advisee : Student)
+             endrelation",
+        )
+        .unwrap();
+        assert_eq!(s.num_classes(), 2);
+    }
+
+    #[test]
+    fn spanned_errors_render_with_their_position() {
+        let err = parse_schema(
+            "class A endclass
+             class A endclass",
+        )
+        .unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("2:20: class 'A' defined twice"), "{msg}");
     }
 }

@@ -95,9 +95,10 @@ impl Parser<'_> {
 
     fn class_def(&mut self) -> Result<AstClassDef, ParseError> {
         self.expect(&TokenKind::KwClass, "'class'")?;
+        let pos = self.peek().pos;
         let name = self.ident("class name")?;
         let mut def =
-            AstClassDef { name, isa: None, attrs: Vec::new(), participations: Vec::new() };
+            AstClassDef { pos, name, isa: None, attrs: Vec::new(), participations: Vec::new() };
         if self.peek().kind == TokenKind::KwIsa {
             self.bump();
             def.isa = Some(self.formula()?);
@@ -135,6 +136,7 @@ impl Parser<'_> {
     }
 
     fn attr_spec(&mut self) -> Result<AstAttrSpec, ParseError> {
+        let pos = self.peek().pos;
         let att = if self.peek().kind == TokenKind::LParen {
             self.bump();
             self.expect(&TokenKind::KwInv, "'inv'")?;
@@ -156,7 +158,7 @@ impl Parser<'_> {
         };
         // Optional filler type.
         let ty = if self.starts_formula() { Some(self.formula()?) } else { None };
-        Ok(AstAttrSpec { att, card, ty })
+        Ok(AstAttrSpec { pos, att, card, ty })
     }
 
     fn starts_formula(&self) -> bool {
@@ -200,13 +202,14 @@ impl Parser<'_> {
     }
 
     fn participation(&mut self) -> Result<AstParticipation, ParseError> {
+        let pos = self.peek().pos;
         let rel = self.ident("relation name")?;
         self.expect(&TokenKind::LBracket, "'['")?;
         let role = self.ident("role name")?;
         self.expect(&TokenKind::RBracket, "']'")?;
         self.expect(&TokenKind::Colon, "':'")?;
         let card = self.card()?;
-        Ok(AstParticipation { rel, role, card })
+        Ok(AstParticipation { pos, rel, role, card })
     }
 
     fn formula(&mut self) -> Result<AstFormula, ParseError> {
@@ -231,12 +234,14 @@ impl Parser<'_> {
         match self.peek().kind {
             TokenKind::KwNot => {
                 self.bump();
+                let pos = self.peek().pos;
                 let class = self.ident("class name after 'not'")?;
-                Ok(vec![AstLiteral { class, positive: false }])
+                Ok(vec![AstLiteral { pos, class, positive: false }])
             }
             TokenKind::Ident(_) => {
+                let pos = self.peek().pos;
                 let class = self.ident("class name")?;
-                Ok(vec![AstLiteral { class, positive: true }])
+                Ok(vec![AstLiteral { pos, class, positive: true }])
             }
             TokenKind::LParen => {
                 self.bump();
@@ -254,6 +259,7 @@ impl Parser<'_> {
 
     fn relation_def(&mut self) -> Result<AstRelDef, ParseError> {
         self.expect(&TokenKind::KwRelation, "'relation'")?;
+        let pos = self.peek().pos;
         let name = self.ident("relation name")?;
         self.expect(&TokenKind::LParen, "'('")?;
         let mut roles = vec![self.ident("role name")?];
@@ -275,7 +281,7 @@ impl Parser<'_> {
             }
         }
         self.expect(&TokenKind::KwEndRelation, "'endrelation'")?;
-        Ok(AstRelDef { name, roles, constraints })
+        Ok(AstRelDef { pos, name, roles, constraints })
     }
 
     fn role_clause(&mut self) -> Result<AstRoleClause, ParseError> {
@@ -287,13 +293,14 @@ impl Parser<'_> {
         Ok(AstRoleClause { literals })
     }
 
-    fn role_literal(&mut self) -> Result<(String, AstFormula), ParseError> {
+    fn role_literal(&mut self) -> Result<AstRoleLiteral, ParseError> {
         self.expect(&TokenKind::LParen, "'('")?;
+        let pos = self.peek().pos;
         let role = self.ident("role name")?;
         self.expect(&TokenKind::Colon, "':'")?;
         let formula = self.formula()?;
         self.expect(&TokenKind::RParen, "')'")?;
-        Ok((role, formula))
+        Ok(AstRoleLiteral { pos, role, formula })
     }
 }
 
@@ -395,7 +402,7 @@ mod tests {
         assert_eq!(r.roles, vec!["enrolled_in", "enrolls"]);
         assert_eq!(r.constraints.len(), 2);
         assert_eq!(r.constraints[1].literals.len(), 2);
-        assert_eq!(r.constraints[1].literals[1].0, "enrolls");
+        assert_eq!(r.constraints[1].literals[1].role, "enrolls");
     }
 
     #[test]

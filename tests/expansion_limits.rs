@@ -1,0 +1,170 @@
+//! `ExpansionLimits` coverage: each of the three size limits trips with
+//! the correct `ExpansionTooLarge` payload — under serial construction
+//! and under `threads > 1` — and the expansion at the exact limit is
+//! identical across thread counts.
+
+use car::core::enumerate;
+use car::core::expansion::{Expansion, ExpansionLimits, ExpansionTooLarge};
+use car::core::reasoner::{Reasoner, ReasonerConfig, ReasonerError, Strategy};
+use car::core::syntax::{
+    AttRef, Card, ClassFormula, RoleClause, RoleLiteral, Schema, SchemaBuilder,
+};
+use std::num::NonZeroUsize;
+
+/// A schema exercising every expansion component: compound classes,
+/// direct and inverse compound attributes, and compound relation tuples.
+fn stress_schema() -> Schema {
+    let mut b = SchemaBuilder::new();
+    let a = b.class("A");
+    let bb = b.class("B");
+    let t = b.class("T");
+    b.class("F1");
+    b.class("F2");
+    let f = b.attribute("f");
+    let r = b.relation("R", ["u", "v"]);
+    let u = b.role("u");
+    let v = b.role("v");
+    b.define_class(a)
+        .attr(AttRef::Direct(f), Card::new(1, 3), ClassFormula::top())
+        .participates(r, u, Card::at_least(1))
+        .finish();
+    b.define_class(t)
+        .attr(AttRef::Inverse(f), Card::new(0, 2), ClassFormula::top())
+        .finish();
+    b.relation_constraint(
+        r,
+        RoleClause::new(vec![
+            RoleLiteral { role: u, formula: ClassFormula::class(a) },
+            RoleLiteral { role: v, formula: ClassFormula::class(bb) },
+        ]),
+    );
+    b.build().unwrap()
+}
+
+fn ccs(schema: &Schema) -> Vec<car::core::bitset::BitSet> {
+    enumerate::sat_models(schema, &[], usize::MAX).unwrap()
+}
+
+fn build(
+    schema: &Schema,
+    limits: &ExpansionLimits,
+    threads: usize,
+) -> Result<Expansion, ExpansionTooLarge> {
+    Expansion::build_with_threads(
+        schema,
+        ccs(schema),
+        limits,
+        NonZeroUsize::new(threads).unwrap(),
+    )
+}
+
+/// Unbounded component counts, to derive limits just below each.
+fn unbounded_counts(schema: &Schema) -> (usize, usize, usize) {
+    let e = build(schema, &ExpansionLimits::default(), 1).unwrap();
+    (e.compound_classes().len(), e.compound_attrs().len(), e.compound_rels().len())
+}
+
+#[test]
+fn compound_class_limit_trips_with_payload_under_all_thread_counts() {
+    let schema = stress_schema();
+    let (n_cc, _, _) = unbounded_counts(&schema);
+    assert!(n_cc > 1);
+    let limits = ExpansionLimits { max_compound_classes: n_cc - 1, ..Default::default() };
+    for threads in [1, 2, 4] {
+        let err = build(&schema, &limits, threads).unwrap_err();
+        assert_eq!(
+            err,
+            ExpansionTooLarge { what: "compound classes", limit: n_cc - 1 },
+            "threads={threads}"
+        );
+    }
+}
+
+#[test]
+fn compound_attr_limit_trips_with_payload_under_all_thread_counts() {
+    let schema = stress_schema();
+    let (_, n_ca, _) = unbounded_counts(&schema);
+    assert!(n_ca > 1, "schema must build compound attributes");
+    let limits = ExpansionLimits { max_compound_attrs: n_ca - 1, ..Default::default() };
+    for threads in [1, 2, 4] {
+        let err = build(&schema, &limits, threads).unwrap_err();
+        assert_eq!(
+            err,
+            ExpansionTooLarge { what: "compound attributes", limit: n_ca - 1 },
+            "threads={threads}"
+        );
+    }
+}
+
+#[test]
+fn compound_rel_limit_trips_with_payload_under_all_thread_counts() {
+    let schema = stress_schema();
+    let (_, _, n_cr) = unbounded_counts(&schema);
+    assert!(n_cr > 1, "schema must build compound relations");
+    let limits = ExpansionLimits { max_compound_rels: n_cr - 1, ..Default::default() };
+    for threads in [1, 2, 4] {
+        let err = build(&schema, &limits, threads).unwrap_err();
+        assert_eq!(
+            err,
+            ExpansionTooLarge { what: "compound relations", limit: n_cr - 1 },
+            "threads={threads}"
+        );
+    }
+}
+
+/// At the exact limit the build succeeds, and the component counts (the
+/// stats at the trip threshold) are identical across thread counts.
+#[test]
+fn exact_limit_succeeds_with_consistent_stats() {
+    let schema = stress_schema();
+    let (n_cc, n_ca, n_cr) = unbounded_counts(&schema);
+    let limits = ExpansionLimits {
+        max_compound_classes: n_cc,
+        max_compound_attrs: n_ca,
+        max_compound_rels: n_cr,
+    };
+    for threads in [1, 2, 4] {
+        let e = build(&schema, &limits, threads).unwrap();
+        assert_eq!(e.compound_classes().len(), n_cc, "threads={threads}");
+        assert_eq!(e.compound_attrs().len(), n_ca, "threads={threads}");
+        assert_eq!(e.compound_rels().len(), n_cr, "threads={threads}");
+    }
+}
+
+/// Through the reasoner, every limit surfaces as
+/// `ReasonerError::TooLarge` with the same payload serial and parallel,
+/// and the analysis stats at the trip point agree across thread counts.
+#[test]
+fn reasoner_surfaces_limits_identically_across_thread_counts() {
+    let schema = stress_schema();
+    let (n_cc, n_ca, n_cr) = unbounded_counts(&schema);
+    let cases = [
+        ExpansionLimits { max_compound_classes: n_cc - 1, ..Default::default() },
+        ExpansionLimits { max_compound_attrs: n_ca - 1, ..Default::default() },
+        ExpansionLimits { max_compound_rels: n_cr - 1, ..Default::default() },
+    ];
+    for limits in cases {
+        let mut reference: Option<ReasonerError> = None;
+        for threads in [1, 2, 4] {
+            let r = Reasoner::with_config(
+                &schema,
+                ReasonerConfig {
+                    strategy: Strategy::Sat,
+                    limits,
+                    threads: NonZeroUsize::new(threads).unwrap(),
+                    ..Default::default()
+                },
+            );
+            let err = r
+                .try_is_coherent()
+                .expect_err("limit below the unbounded count must trip");
+            assert!(matches!(err, ReasonerError::TooLarge(_)), "got {err:?}");
+            match &reference {
+                None => reference = Some(err),
+                Some(expected) => {
+                    assert_eq!(&err, expected, "threads={threads}, limits={limits:?}");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,470 @@
+//! Fault-injection harness for the resource-governance layer.
+//!
+//! [`Budget::trip_after`] deterministically fails the k-th checkpoint of
+//! a pipeline run. Sweeping k across the whole checkpoint range — for
+//! every enumeration strategy and several thread counts — asserts the
+//! three-part contract of governed execution:
+//!
+//! 1. **clean failure**: tripping at any k yields a
+//!    [`ReasonerError::BudgetExhausted`], never a panic, a deadlock or a
+//!    wrong answer;
+//! 2. **re-runnability**: after an injected failure, the *same*
+//!    [`Reasoner`] re-run with an unbounded budget returns exactly the
+//!    serial reference answers (failures are never cached, `OnceCell`
+//!    bundles are never poisoned);
+//! 3. **kind agreement**: serial and parallel runs that both trip
+//!    surface the same error variant (checkpoint *counts* may differ
+//!    across thread counts; kinds may not).
+//!
+//! Deadlines, cooperative cancellation (including from another thread,
+//! mid-run), step quotas and memory quotas get targeted tests of the
+//! same shape, plus a proptest sweep over random schemas.
+
+use car::core::reasoner::{Outcome, Reasoner, ReasonerConfig, ReasonerError, Strategy};
+use car::core::syntax::{AttRef, Card, ClassFormula, RoleClause, RoleLiteral, SchemaBuilder};
+use car::core::{Budget, BudgetLimits, ClassId, Schema};
+use car::reductions::generators::{random_schema, RandomSchemaParams};
+use proptest::prelude::*;
+use proptest::strategy::Strategy as _;
+use std::num::NonZeroUsize;
+use std::time::{Duration, Instant};
+
+const STRATEGIES: [Strategy; 4] =
+    [Strategy::Naive, Strategy::Sat, Strategy::Preselect, Strategy::Auto];
+const THREAD_COUNTS: [usize; 3] = [1, 2, 4];
+
+fn governed(schema: &Schema, strategy: Strategy, threads: usize, budget: Budget) -> Reasoner<'_> {
+    Reasoner::with_config(
+        schema,
+        ReasonerConfig {
+            strategy,
+            arity_reduction: true,
+            threads: NonZeroUsize::new(threads).unwrap(),
+            budget,
+            ..ReasonerConfig::default()
+        },
+    )
+}
+
+/// Satisfiability of every class, or the first error.
+fn all_sat(r: &Reasoner<'_>, schema: &Schema) -> Result<Vec<bool>, ReasonerError> {
+    schema.symbols().class_ids().map(|c| r.try_is_satisfiable(c)).collect()
+}
+
+/// Serial, unbounded reference answers (strategy-independent).
+fn reference(schema: &Schema) -> (Vec<bool>, Vec<(ClassId, ClassId)>) {
+    let r = governed(schema, Strategy::Sat, 1, Budget::unbounded());
+    (all_sat(&r, schema).unwrap(), r.try_classification().unwrap())
+}
+
+/// Seed schemas covering every pipeline phase: isa reasoning, attribute
+/// links (direct + inverse), relations with role constraints, a
+/// generalization hierarchy (Auto fast path), and an incoherent schema.
+fn seed_schemas() -> Vec<(&'static str, Schema)> {
+    let university = {
+        let mut b = SchemaBuilder::new();
+        let person = b.class("Person");
+        let professor = b.class("Professor");
+        let student = b.class("Student");
+        let course = b.class("Course");
+        let taught_by = b.attribute("taught_by");
+        b.define_class(professor).isa(ClassFormula::class(person)).finish();
+        b.define_class(student)
+            .isa(ClassFormula::class(person).and(ClassFormula::neg_class(professor)))
+            .finish();
+        b.define_class(course)
+            .isa(ClassFormula::neg_class(person))
+            .attr(AttRef::Direct(taught_by), Card::exactly(1), ClassFormula::class(professor))
+            .finish();
+        b.build().unwrap()
+    };
+    let relational = {
+        let mut b = SchemaBuilder::new();
+        let a = b.class("A");
+        let bb = b.class("B");
+        let t = b.class("T");
+        let f = b.attribute("f");
+        let r = b.relation("R", ["u", "v"]);
+        let u = b.role("u");
+        let v = b.role("v");
+        b.define_class(a)
+            .attr(AttRef::Direct(f), Card::new(1, 3), ClassFormula::class(t))
+            .participates(r, u, Card::at_least(1))
+            .finish();
+        b.define_class(t)
+            .isa(ClassFormula::neg_class(a))
+            .attr(AttRef::Inverse(f), Card::new(0, 2), ClassFormula::top())
+            .finish();
+        b.relation_constraint(
+            r,
+            RoleClause::new(vec![RoleLiteral { role: v, formula: ClassFormula::class(bb) }]),
+        );
+        b.build().unwrap()
+    };
+    let hierarchy = {
+        let mut b = SchemaBuilder::new();
+        let root = b.class("Root");
+        let l = b.class("L");
+        let r_ = b.class("R");
+        let ll = b.class("LL");
+        b.define_class(l)
+            .isa(ClassFormula::class(root).and(ClassFormula::neg_class(r_)))
+            .finish();
+        b.define_class(r_).isa(ClassFormula::class(root)).finish();
+        b.define_class(ll).isa(ClassFormula::class(l)).finish();
+        b.build().unwrap()
+    };
+    let incoherent = {
+        let mut b = SchemaBuilder::new();
+        let a = b.class("A");
+        let dead = b.class("Dead");
+        let f = b.attribute("f");
+        b.define_class(dead).isa(ClassFormula::neg_class(dead)).finish();
+        b.define_class(a)
+            .attr(AttRef::Direct(f), Card::at_least(1), ClassFormula::class(dead))
+            .finish();
+        b.build().unwrap()
+    };
+    vec![
+        ("university", university),
+        ("relational", relational),
+        ("hierarchy", hierarchy),
+        ("incoherent", incoherent),
+    ]
+}
+
+/// `n` pairwise-disjoint free classes: the naive strategy must sweep all
+/// `2^n` subsets, so enumeration time is tunable via `n` while the
+/// surviving expansion (singletons only) stays trivial.
+fn wide_disjoint_schema(n: usize) -> Schema {
+    let mut b = SchemaBuilder::new();
+    let ids: Vec<_> = (0..n).map(|i| b.class(&format!("W{i}"))).collect();
+    for i in 1..n {
+        let mut formula = ClassFormula::neg_class(ids[0]);
+        for &other in &ids[1..i] {
+            formula = formula.and(ClassFormula::neg_class(other));
+        }
+        b.define_class(ids[i]).isa(formula).finish();
+    }
+    b.build().unwrap()
+}
+
+/// Number of checkpoints one full pipeline pass (satisfiability of every
+/// class + classification) exposes under the given strategy/threads.
+fn count_checkpoints(schema: &Schema, strategy: Strategy, threads: usize) -> u64 {
+    let budget = Budget::counting();
+    let r = governed(schema, strategy, threads, budget.clone());
+    all_sat(&r, schema).unwrap();
+    r.try_classification().unwrap();
+    budget.checkpoints_used()
+}
+
+/// Checkpoints of the satisfiability pipeline alone (no classification).
+fn count_sat_checkpoints(schema: &Schema, strategy: Strategy, threads: usize) -> u64 {
+    let budget = Budget::counting();
+    let r = governed(schema, strategy, threads, budget.clone());
+    all_sat(&r, schema).unwrap();
+    budget.checkpoints_used()
+}
+
+/// The tentpole sweep: trip the k-th checkpoint for every k (strided),
+/// every strategy, every thread count, on every seed schema. Each run
+/// must either agree with the reference or fail with `BudgetExhausted`;
+/// the retried reasoner must always agree with the reference.
+#[test]
+fn injected_faults_never_panic_and_retries_recover() {
+    for (name, schema) in seed_schemas() {
+        let (ref_sat, ref_classification) = reference(&schema);
+        for strategy in STRATEGIES {
+            for threads in THREAD_COUNTS {
+                let total = count_checkpoints(&schema, strategy, threads);
+                assert!(total > 0, "{name}/{strategy:?}: pipeline exposes no checkpoints");
+                // Stride keeps the sweep bounded; always include the
+                // edges (k=1 trips immediately, k=total+1 never trips).
+                let stride = (total / 25).max(1);
+                let mut ks: Vec<u64> = (1..=total).step_by(stride as usize).collect();
+                ks.push(total);
+                ks.push(total + 1);
+                for k in ks {
+                    let mut r = governed(&schema, strategy, threads, Budget::trip_after(k));
+                    match all_sat(&r, &schema) {
+                        Ok(answers) => assert_eq!(
+                            answers, ref_sat,
+                            "{name}/{strategy:?}/threads={threads}/k={k}: wrong answers"
+                        ),
+                        Err(ReasonerError::BudgetExhausted(report)) => {
+                            assert!(
+                                report.steps >= k,
+                                "{name}/{strategy:?}/threads={threads}/k={k}: \
+                                 progress report predates the trip point"
+                            );
+                        }
+                        Err(other) => panic!(
+                            "{name}/{strategy:?}/threads={threads}/k={k}: \
+                             unexpected error variant {other:?}"
+                        ),
+                    }
+                    // Retry on the SAME reasoner with an unbounded
+                    // budget: bundles must be unpoisoned and the answers
+                    // exactly the serial reference.
+                    r.set_budget(Budget::unbounded());
+                    assert_eq!(
+                        all_sat(&r, &schema).unwrap(),
+                        ref_sat,
+                        "{name}/{strategy:?}/threads={threads}/k={k}: retry diverged"
+                    );
+                    assert_eq!(
+                        r.try_classification().unwrap(),
+                        ref_classification,
+                        "{name}/{strategy:?}/threads={threads}/k={k}: \
+                         retry classification diverged"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Serial and parallel runs tripped at the same k surface the same error
+/// *variant* (checkpoint counts may differ across thread counts, kinds
+/// may not).
+#[test]
+fn serial_and_parallel_agree_on_the_error_variant() {
+    for (name, schema) in seed_schemas() {
+        for strategy in STRATEGIES {
+            // k=1 trips the very first checkpoint of any run.
+            let counts: Vec<u64> = THREAD_COUNTS
+                .iter()
+                .map(|&t| count_sat_checkpoints(&schema, strategy, t))
+                .collect();
+            let min_count = *counts.iter().min().unwrap();
+            for k in [1, (min_count / 2).max(1)] {
+                for threads in THREAD_COUNTS {
+                    let r = governed(&schema, strategy, threads, Budget::trip_after(k));
+                    let err = all_sat(&r, &schema)
+                        .expect_err(&format!("{name}/{strategy:?}/threads={threads}/k={k}"));
+                    assert!(
+                        matches!(err, ReasonerError::BudgetExhausted(_)),
+                        "{name}/{strategy:?}/threads={threads}/k={k}: got {err:?}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// An already-expired deadline fails fast with `DeadlineExceeded` at
+/// every thread count, and the reasoner recovers after a budget swap.
+#[test]
+fn expired_deadline_fails_cleanly_at_all_thread_counts() {
+    for (name, schema) in seed_schemas() {
+        let (ref_sat, _) = reference(&schema);
+        for threads in THREAD_COUNTS {
+            let mut r =
+                governed(&schema, Strategy::Sat, threads, Budget::deadline(Duration::ZERO));
+            let err = all_sat(&r, &schema).expect_err(name);
+            assert!(
+                matches!(err, ReasonerError::DeadlineExceeded(_)),
+                "{name}/threads={threads}: got {err:?}"
+            );
+            r.set_budget(Budget::unbounded());
+            assert_eq!(all_sat(&r, &schema).unwrap(), ref_sat);
+        }
+    }
+}
+
+/// A 50ms deadline aborts an expansion that takes over a second
+/// unbounded — the wall-clock acceptance criterion.
+#[test]
+fn short_deadline_aborts_long_enumeration_quickly() {
+    let schema = wide_disjoint_schema(25);
+
+    let deadline_start = Instant::now();
+    let r = governed(&schema, Strategy::Naive, 1, Budget::deadline(Duration::from_millis(50)));
+    let err = all_sat(&r, &schema).expect_err("50ms must not finish a 2^25 sweep");
+    let deadline_elapsed = deadline_start.elapsed();
+    assert!(
+        matches!(err, ReasonerError::DeadlineExceeded(_)),
+        "expected DeadlineExceeded, got {err:?}"
+    );
+    assert!(
+        deadline_elapsed < Duration::from_millis(900),
+        "deadline abort took {deadline_elapsed:?}"
+    );
+
+    let unbounded_start = Instant::now();
+    let r = governed(&schema, Strategy::Naive, 1, Budget::unbounded());
+    let answers = all_sat(&r, &schema).unwrap();
+    let unbounded_elapsed = unbounded_start.elapsed();
+    assert!(answers.iter().all(|&b| b));
+    assert!(
+        unbounded_elapsed > Duration::from_secs(1),
+        "unbounded sweep finished in {unbounded_elapsed:?}; \
+         the deadline test needs a >1s workload"
+    );
+}
+
+/// A pre-cancelled token yields `Cancelled` before any work happens.
+#[test]
+fn pre_cancelled_token_stops_immediately() {
+    for (name, schema) in seed_schemas() {
+        let (budget, token) = Budget::cancellable();
+        token.cancel();
+        for threads in THREAD_COUNTS {
+            let r = governed(&schema, Strategy::Sat, threads, budget.clone());
+            let err = all_sat(&r, &schema).expect_err(name);
+            assert!(
+                matches!(err, ReasonerError::Cancelled(_)),
+                "{name}/threads={threads}: got {err:?}"
+            );
+        }
+    }
+}
+
+/// Cancellation from another thread interrupts a long-running analysis
+/// mid-flight; the same reasoner then recovers with a fresh budget.
+#[test]
+fn mid_run_cancellation_from_another_thread_recovers() {
+    let schema = wide_disjoint_schema(22);
+    let (budget, token) = Budget::cancellable();
+    let canceller = std::thread::spawn(move || {
+        std::thread::sleep(Duration::from_millis(30));
+        token.cancel();
+    });
+    let mut r = governed(&schema, Strategy::Naive, 2, budget);
+    let err = all_sat(&r, &schema).expect_err("cancellation must interrupt the sweep");
+    canceller.join().unwrap();
+    assert!(matches!(err, ReasonerError::Cancelled(_)), "got {err:?}");
+
+    // The OnceCell bundles must be unpoisoned: a retry with a fresh
+    // budget computes the exact answers.
+    r.set_budget(Budget::unbounded());
+    let answers = all_sat(&r, &schema).unwrap();
+    assert!(answers.iter().all(|&b| b));
+}
+
+/// Step and memory quotas trip with `BudgetExhausted` and recover.
+#[test]
+fn step_and_memory_quotas_trip_and_recover() {
+    for (name, schema) in seed_schemas() {
+        let (ref_sat, _) = reference(&schema);
+        let limits = [
+            BudgetLimits { max_steps: Some(3), ..BudgetLimits::default() },
+            BudgetLimits { max_items: Some(0), ..BudgetLimits::default() },
+        ];
+        for limit in limits {
+            for threads in THREAD_COUNTS {
+                let mut r = governed(&schema, Strategy::Sat, threads, Budget::new(limit));
+                let err = all_sat(&r, &schema).expect_err(name);
+                assert!(
+                    matches!(err, ReasonerError::BudgetExhausted(_)),
+                    "{name}/threads={threads}/{limit:?}: got {err:?}"
+                );
+                r.set_budget(Budget::unbounded());
+                assert_eq!(all_sat(&r, &schema).unwrap(), ref_sat);
+            }
+        }
+    }
+}
+
+/// The anytime API: exhausted budgets yield `Outcome::Unknown` carrying
+/// the progress made; settled questions yield `Proved`/`Disproved`
+/// matching the boolean API.
+#[test]
+fn anytime_outcomes_match_contract() {
+    // Incoherent schema: A needs a filler in Dead, so both are empty in
+    // every model.
+    let (_, schema) = seed_schemas().remove(3);
+    let a = schema.class_id("A").unwrap();
+    let dead = schema.class_id("Dead").unwrap();
+
+    // Unbounded: settled verdicts.
+    let r = governed(&schema, Strategy::Sat, 1, Budget::unbounded());
+    assert_eq!(r.anytime_is_satisfiable(a), Outcome::Disproved);
+    assert_eq!(r.anytime_is_satisfiable(dead), Outcome::Disproved);
+    assert_eq!(r.anytime_is_coherent(), Outcome::Disproved);
+
+    // A coherent schema proves satisfiability and coherence.
+    let (_, university) = seed_schemas().remove(0);
+    let person = university.class_id("Person").unwrap();
+    let r = governed(&university, Strategy::Sat, 1, Budget::unbounded());
+    assert_eq!(r.anytime_is_satisfiable(person), Outcome::Proved);
+    assert_eq!(r.anytime_is_coherent(), Outcome::Proved);
+
+    // Tripped: Unknown with a nonempty progress report, never a panic.
+    let r = governed(&schema, Strategy::Sat, 1, Budget::trip_after(2));
+    match r.anytime_is_satisfiable(a) {
+        Outcome::Unknown(report) => assert!(report.steps >= 2),
+        other => panic!("expected Unknown, got {other:?}"),
+    }
+
+    // A successful bundle computed under a budget that then trips still
+    // answers from cache: anytime queries stay settled.
+    let budget = Budget::counting();
+    let r = governed(&schema, Strategy::Sat, 1, budget);
+    assert_eq!(r.anytime_is_satisfiable(a), Outcome::Disproved);
+    assert_eq!(r.anytime_is_satisfiable(dead), Outcome::Disproved);
+}
+
+/// Exhaustion errors carry a phase-stamped progress report.
+#[test]
+fn progress_reports_name_the_phase_reached() {
+    let (_, schema) = seed_schemas().remove(1); // relational
+    let r = governed(&schema, Strategy::Sat, 1, Budget::trip_after(1));
+    let err = all_sat(&r, &schema).expect_err("k=1 must trip");
+    let report = *err.progress().expect("exhaustion carries progress");
+    assert!(report.steps >= 1);
+    // The first checkpoint fires during enumeration or later.
+    assert!(report.phase >= car::core::Phase::Enumerate);
+    // Display is human-readable and names the phase.
+    let text = format!("{report}");
+    assert!(text.contains("phase"), "{text}");
+}
+
+fn arb_schema() -> impl proptest::strategy::Strategy<Value = Schema> {
+    (
+        2usize..=4,   // classes
+        0usize..=1,   // attrs
+        0usize..=1,   // rels
+        0u64..=3,     // max bound
+        any::<u64>(), // seed
+    )
+        .prop_map(|(classes, attrs, rels, max_bound, seed)| {
+            let params = RandomSchemaParams {
+                classes,
+                attrs,
+                rels,
+                isa_density: 0.7,
+                max_bound,
+            };
+            random_schema(&params, seed)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random schemas × random trip points × random thread counts: the
+    /// clean-failure and retry-recovery contract holds off the seed set
+    /// too.
+    #[test]
+    fn random_schemas_survive_random_trip_points(
+        schema in arb_schema(),
+        k in 1u64..=300,
+        threads in 1usize..=4,
+        strategy_index in 0usize..4,
+    ) {
+        let strategy = STRATEGIES[strategy_index];
+        let (ref_sat, _) = reference(&schema);
+        let mut r = governed(&schema, strategy, threads, Budget::trip_after(k));
+        match all_sat(&r, &schema) {
+            Ok(answers) => prop_assert_eq!(&answers, &ref_sat),
+            Err(ReasonerError::BudgetExhausted(_)) => {}
+            Err(other) => {
+                return Err(TestCaseError::fail(format!("unexpected error {other:?}")));
+            }
+        }
+        r.set_budget(Budget::unbounded());
+        prop_assert_eq!(&all_sat(&r, &schema).unwrap(), &ref_sat);
+    }
+}
