@@ -1,0 +1,177 @@
+//! Incremental engine vs full rebuild on localized edits.
+//!
+//! Workload: `BLOCKS` independent pigeonhole blocks. Block `c` has a
+//! root `Rc` whose isa demands each of `HOLES + 1` pigeons sit in one
+//! of `HOLES` holes, while the hole classes exclude one another per
+//! hole — so every block is one §4.4 cluster whose enumeration is a
+//! full DPLL *refutation* (zero compound classes, exponential search).
+//! That puts the entire cost in the stage the cluster cache can skip:
+//! expansion and the acceptability fixpoint see no compound classes and
+//! cost microseconds.
+//!
+//! A single-class edit rewrites `R0`'s isa inside block 0 and dirties
+//! exactly that cluster; the [`Workspace`] splices the other
+//! `BLOCKS − 1` refutations from its cluster cache, while a fresh
+//! [`Reasoner`] re-searches all of them. The added clause is always a
+//! *superset* of an existing pigeon clause, so it changes the cluster's
+//! content key without enabling new unit propagation (the cluster
+//! decomposition itself is untouched).
+//!
+//! Every measured edit is *unique* (the widened clause cycles through
+//! `2^(3·HOLES)` subsets), so the workspace's whole-bundle cache never
+//! hits — the measurement is the honest cluster-splice path, not a
+//! lookup. The `[incremental]` line prints the one-shot speedup; the
+//! workload is refutation-bound and single-threaded, so the number is
+//! meaningful on 1-CPU runners too.
+
+use car_core::incremental::{SchemaDelta, Workspace};
+use car_core::reasoner::{Reasoner, ReasonerConfig, Strategy};
+use car_core::syntax::{ClassFormula, SchemaBuilder};
+use car_core::Schema;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::cell::{Cell, RefCell};
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Pigeonhole blocks per schema (clusters the incremental path skips).
+const BLOCKS: usize = 10;
+/// Holes per block: `HOLES + 1` pigeons, `(HOLES + 1) · HOLES + 1`
+/// classes, and a DPLL refutation that grows factorially in `HOLES`.
+const HOLES: usize = 4;
+
+fn php_blocks(blocks: usize, holes: usize) -> Schema {
+    let mut b = SchemaBuilder::new();
+    for c in 0..blocks {
+        let root = b.class(&format!("R{c}"));
+        let h: Vec<Vec<_>> = (0..holes + 1)
+            .map(|i| (0..holes).map(|j| b.class(&format!("H{c}_{i}_{j}"))).collect())
+            .collect();
+        // Root: every pigeon is in some hole.
+        let mut isa = ClassFormula::top();
+        for row in &h {
+            isa = isa.and(ClassFormula::union_of(row.iter().copied()));
+        }
+        b.define_class(root).isa(isa).finish();
+        // Hole classes: tied to the root, exclusive per hole.
+        for i in 0..holes + 1 {
+            for j in 0..holes {
+                let mut f = ClassFormula::class(root);
+                for (k, row) in h.iter().enumerate() {
+                    if k != i {
+                        f = f.and(ClassFormula::neg_class(row[j]));
+                    }
+                }
+                b.define_class(h[i][j]).isa(f).finish();
+            }
+        }
+    }
+    b.build().unwrap()
+}
+
+fn config() -> ReasonerConfig {
+    ReasonerConfig { strategy: Strategy::Preselect, ..ReasonerConfig::default() }
+}
+
+/// The `i`-th edit: append to `R0`'s isa a clause that widens pigeon
+/// row 0's clause by the subset of rows 1..=3 selected by the bits of
+/// `i`. A superset of an existing clause is logically redundant and
+/// never becomes unit under a single-class closure, so block 0 keeps
+/// its cluster shape but changes its content key — and consecutive
+/// edits never repeat a schema version (no whole-bundle cache hits).
+fn edit_for(schema: &Schema, i: u64) -> SchemaDelta {
+    let mut isa = ClassFormula::top();
+    for p in 0..HOLES + 1 {
+        isa = isa.and(ClassFormula::union_of(
+            (0..HOLES).map(|j| schema.class_id(&format!("H0_{p}_{j}")).unwrap()),
+        ));
+    }
+    let nsub = 3 * HOLES;
+    let mask = i % (1u64 << nsub);
+    let mut clause: Vec<_> = (0..HOLES)
+        .map(|j| schema.class_id(&format!("H0_0_{j}")).unwrap())
+        .collect();
+    for b in 0..nsub {
+        if mask >> b & 1 == 1 {
+            let (p, j) = (1 + b / HOLES, b % HOLES);
+            clause.push(schema.class_id(&format!("H0_{p}_{j}")).unwrap());
+        }
+    }
+    isa = isa.and(ClassFormula::union_of(clause));
+    SchemaDelta::SetIsa { class: "R0".into(), isa }
+}
+
+fn min_time(n: usize, mut f: impl FnMut()) -> Duration {
+    (0..n)
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed()
+        })
+        .min()
+        .unwrap()
+}
+
+fn bench(c: &mut Criterion) {
+    let base = php_blocks(BLOCKS, HOLES);
+
+    let mut group = c.benchmark_group("incremental_edits");
+    group.sample_size(10);
+
+    // Reference: a fresh reasoner re-refutes every cluster after the edit.
+    let edited = {
+        let mut ws = Workspace::new(base.clone(), config());
+        ws.apply(&edit_for(&base, 0)).unwrap();
+        ws.schema().clone()
+    };
+    group.bench_function("full_rebuild", |b| {
+        b.iter(|| {
+            let r = Reasoner::with_config(&edited, config());
+            black_box(r.try_is_coherent().unwrap())
+        })
+    });
+
+    // Incremental: one warmed workspace, a unique edit per iteration.
+    let ws = RefCell::new(Workspace::new(base.clone(), config()));
+    ws.borrow_mut().try_is_coherent().unwrap(); // warm the cluster cache
+    let counter = Cell::new(1u64);
+    group.bench_function("workspace_edit", |b| {
+        b.iter(|| {
+            let mut ws = ws.borrow_mut();
+            let i = counter.get();
+            counter.set(i + 1);
+            let delta = edit_for(&base, i);
+            ws.apply(&delta).unwrap();
+            black_box(ws.try_is_coherent().unwrap())
+        })
+    });
+    group.finish();
+
+    // One-shot summary (the acceptance number): min-of-n of each path.
+    let runs = 5;
+    let full = min_time(runs, || {
+        let r = Reasoner::with_config(&edited, config());
+        black_box(r.try_is_coherent().unwrap());
+    });
+    let mut ws = Workspace::new(base.clone(), config());
+    ws.try_is_coherent().unwrap();
+    let counter = Cell::new(1u64);
+    let incremental = min_time(runs, || {
+        let i = counter.get();
+        counter.set(i + 1);
+        ws.apply(&edit_for(&base, i)).unwrap();
+        black_box(ws.try_is_coherent().unwrap());
+    });
+    let stats = ws.stats();
+    let speedup = full.as_secs_f64() / incremental.as_secs_f64().max(1e-12);
+    eprintln!(
+        "[incremental] single-class edit on {BLOCKS} pigeonhole blocks ({} classes): \
+         full rebuild {full:?}, workspace {incremental:?} — {speedup:.1}x speedup \
+         (target >= 5x); clusters reused {}, rebuilt {}",
+        base.num_classes(),
+        stats.clusters_reused,
+        stats.clusters_rebuilt,
+    );
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

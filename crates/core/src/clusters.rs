@@ -44,33 +44,56 @@ pub fn clustered_ccs_governed(
     max: usize,
     budget: &Budget,
 ) -> Result<Vec<BitSet>, BuildError> {
-    let n = schema.num_classes();
     let table_clauses = preselection.extra_clauses();
     let mut out: Vec<BitSet> = Vec::new();
 
     for cluster in preselection.clusters() {
-        budget.checkpoint()?;
-        let in_cluster = BitSet::from_iter(n, cluster.iter().copied());
-        // Force every class outside the cluster to false; the cluster's
-        // compound classes are the remaining models.
-        let mut clauses = table_clauses.clone();
-        for c in 0..n {
-            if !in_cluster.contains(c) {
-                clauses.push(vec![PropLit::neg(c)]);
-            }
-        }
         let remaining = max.saturating_sub(out.len());
-        let cluster_ccs = sat_models_governed(schema, &clauses, remaining, budget)
-            .map_err(|e| match e {
-                // Normalize the per-cluster overflow to the global limit.
-                BuildError::TooLarge(_) => {
-                    BuildError::TooLarge(ExpansionTooLarge { what: "compound classes", limit: max })
-                }
-                exhausted @ BuildError::Exhausted(_) => exhausted,
-            })?;
+        let cluster_ccs =
+            cluster_ccs_governed(schema, &table_clauses, cluster, remaining, budget)
+                .map_err(|e| match e {
+                    // Normalize the per-cluster overflow to the global limit.
+                    BuildError::TooLarge(_) => BuildError::TooLarge(ExpansionTooLarge {
+                        what: "compound classes",
+                        limit: max,
+                    }),
+                    exhausted @ BuildError::Exhausted(_) => exhausted,
+                })?;
         out.extend(cluster_ccs);
     }
     Ok(out)
+}
+
+/// Enumerates one cluster's compound classes: the models of the
+/// preselection table clauses with every class outside `cluster` forced
+/// to false. One budget checkpoint up front plus the per-model
+/// checkpoints of the inner SAT enumeration. The returned list is in
+/// the enumeration order of [`sat_models_governed`], so for a fixed
+/// reduced formula it is deterministic — the property the incremental
+/// cluster cache relies on.
+///
+/// # Errors
+/// [`BuildError::TooLarge`] with the raw per-call limit `max` (callers
+/// normalize), or [`BuildError::Exhausted`] when the budget runs out.
+pub fn cluster_ccs_governed(
+    schema: &Schema,
+    table_clauses: &[Vec<PropLit>],
+    cluster: &[usize],
+    max: usize,
+    budget: &Budget,
+) -> Result<Vec<BitSet>, BuildError> {
+    budget.checkpoint()?;
+    let n = schema.num_classes();
+    let in_cluster = BitSet::from_iter(n, cluster.iter().copied());
+    // Force every class outside the cluster to false; the cluster's
+    // compound classes are the remaining models.
+    let mut clauses = table_clauses.to_vec();
+    for c in 0..n {
+        if !in_cluster.contains(c) {
+            clauses.push(vec![PropLit::neg(c)]);
+        }
+    }
+    sat_models_governed(schema, &clauses, max, budget)
 }
 
 #[cfg(test)]

@@ -22,6 +22,14 @@ use crate::syntax::Schema;
 use car_logic::{CnfFormula, PropLit};
 use std::num::NonZeroUsize;
 
+/// Largest alphabet the naive `2^|C|` sweep accepts. Beyond this, the
+/// sweep is hopeless regardless of limits, so [`naive`] and its variants
+/// refuse up front with [`ExpansionTooLarge`]. The [`crate::reasoner`]
+/// facade treats the cap as a tractability boundary, not an answer: when
+/// `Strategy::Naive` meets a larger schema it falls back to the AllSAT
+/// enumeration (identical output set) instead of surfacing this error.
+pub const NAIVE_CAP: usize = 25;
+
 /// Builds the propositional consistency formula `⋀_C (C → F_C)` of a
 /// schema: one propositional variable per class (same index); one clause
 /// `¬C ∨ γ` per class-clause `γ` of each isa formula. Its models are
@@ -65,8 +73,10 @@ pub fn naive_governed(
     budget: &Budget,
 ) -> Result<Vec<BitSet>, BuildError> {
     let n = schema.num_classes();
-    if n > 25 {
-        return Err(ExpansionTooLarge { what: "classes for naive enumeration", limit: 25 }.into());
+    if n > NAIVE_CAP {
+        return Err(
+            ExpansionTooLarge { what: "classes for naive enumeration", limit: NAIVE_CAP }.into()
+        );
     }
     let mut out = Vec::new();
     for bits in 1u64..(1u64 << n) {
@@ -177,8 +187,10 @@ pub fn naive_par_governed(
         return naive_governed(schema, max, budget);
     }
     let n = schema.num_classes();
-    if n > 25 {
-        return Err(ExpansionTooLarge { what: "classes for naive enumeration", limit: 25 }.into());
+    if n > NAIVE_CAP {
+        return Err(
+            ExpansionTooLarge { what: "classes for naive enumeration", limit: NAIVE_CAP }.into()
+        );
     }
     let n_candidates = (1usize << n) - 1; // candidates 1..2^n, empty set excluded
     let chunks = par::chunk_ranges(n_candidates, threads.get() * 4);

@@ -1,0 +1,1531 @@
+//! Incremental reasoning over an evolving schema (extension).
+//!
+//! [`Workspace`] owns a mutable [`Schema`], applies typed edits
+//! ([`SchemaDelta`]) and answers the same questions as
+//! [`crate::reasoner::Reasoner`] — but instead of throwing the whole
+//! analysis away on every edit, it reuses work across schema versions at
+//! two levels:
+//!
+//! * **whole bundles** — every successfully computed analysis bundle is
+//!   cached under a canonical serialization of the schema it was built
+//!   from, so revisiting a version (undo/redo, A/B toggling of an edit)
+//!   is an O(|S|) hash lookup instead of an EXPTIME rebuild;
+//! * **per-cluster enumerations** — the compound-class sets of the §4.4
+//!   clusters are cached under a fingerprint of each cluster's *reduced*
+//!   consistency formula. An edit dirties only the clusters whose
+//!   fingerprint changes (its own connected component of `GS`, plus any
+//!   whose preselection clauses moved); the clean ones splice their
+//!   cached enumeration back in verbatim.
+//!
+//! ### Why this is exact
+//!
+//! Under the Theorem 4.6 disjointness assumptions, a cluster's compound
+//! classes are the models of the global consistency formula with every
+//! class outside the cluster forced to `false`. That restriction reduces
+//! the formula to one over the cluster's classes alone (clauses
+//! satisfied by an outside negative literal drop out; outside positive
+//! literals are deleted), and [`car_logic::for_each_model`] visits
+//! models in lexicographic order of the variable vector — an order
+//! determined by the model *set*, hence by the reduced formula and the
+//! clusters' relative variable order, both captured by the cache key.
+//! Equal key therefore means the identical model sequence, and splicing
+//! is bit-for-bit the enumeration a fresh
+//! [`crate::clusters::clustered_ccs_governed`] call would produce.
+//!
+//! The expansion and acceptability fixpoint are *rebuilt* on every new
+//! schema version rather than spliced: compound attributes may connect
+//! classes across cluster boundaries (a filler type `¬B` constrains
+//! fillers in every cluster), so per-cluster fixpoint reuse is not
+//! sound in general — but those phases are polynomial in the number of
+//! compound classes, while the enumeration they consume is the EXPTIME
+//! stage the cache shares.
+//!
+//! Failures (resource exhaustion, size limits) are never cached, at
+//! either level — a tripped rebuild leaves both caches exactly as they
+//! were, and a retry under a fresh [`Budget`] reproduces the unbounded
+//! answers.
+//!
+//! ## Example
+//!
+//! ```
+//! use car_core::incremental::{SchemaDelta, Workspace};
+//! use car_core::syntax::{ClassFormula, SchemaBuilder};
+//! use car_core::ReasonerConfig;
+//!
+//! let mut b = SchemaBuilder::new();
+//! let person = b.class("Person");
+//! let student = b.class("Student");
+//! b.define_class(student).isa(ClassFormula::class(person)).finish();
+//! let schema = b.build().unwrap();
+//!
+//! let mut ws = Workspace::new(schema, ReasonerConfig::default());
+//! assert!(ws.try_subsumes(person, student).unwrap());
+//!
+//! // Edit: Student no longer isa Person.
+//! ws.apply(&SchemaDelta::SetIsa { class: "Student".into(), isa: ClassFormula::top() })
+//!     .unwrap();
+//! let student = ws.schema().class_id("Student").unwrap();
+//! let person = ws.schema().class_id("Person").unwrap();
+//! assert!(!ws.try_subsumes(person, student).unwrap());
+//!
+//! // Undo restores the previous version — answered from cache.
+//! assert!(ws.undo());
+//! assert!(ws.try_subsumes(person, student).unwrap());
+//! ```
+
+use crate::bitset::BitSet;
+use crate::budget::{Budget, Item, Phase};
+use crate::clusters::cluster_ccs_governed;
+use crate::enumerate::isa_cnf;
+use crate::expansion::{BuildError, ExpansionTooLarge};
+use crate::hierarchy;
+use crate::ids::ClassId;
+use crate::par;
+use crate::preselection::Preselection;
+use crate::reasoner::{
+    self, Bundle, Outcome, ReasonerConfig, ReasonerError, Strategy,
+};
+use crate::syntax::{
+    AttRef, Card, ClassFormula, RoleClause, RoleLiteral, Schema, SchemaBuilder, SchemaError,
+};
+use car_logic::PropLit;
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+use std::fmt::Write as _;
+use std::rc::Rc;
+
+/// Cached analysis bundles kept per workspace (FIFO eviction).
+const BUNDLE_CACHE_CAP: usize = 64;
+/// Cached per-cluster enumerations kept per workspace (FIFO eviction).
+const CLUSTER_CACHE_CAP: usize = 4096;
+/// Undo history depth.
+const UNDO_CAP: usize = 256;
+
+// ---------------------------------------------------------------------
+// Deltas
+// ---------------------------------------------------------------------
+
+/// One role literal of a relation constraint, with the role addressed by
+/// name (used by [`SchemaDelta::SetRelation`], whose roles may not exist
+/// in the pre-edit schema yet).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RoleLiteralSpec {
+    /// The role name.
+    pub role: String,
+    /// The class-formula the role filler must satisfy (class symbols of
+    /// the pre-edit schema).
+    pub formula: ClassFormula,
+}
+
+/// A typed edit to a schema, addressed by symbol *names* so that a delta
+/// is meaningful independent of the id layout of the version it is
+/// applied to. Class-formulae inside a delta use the [`ClassId`]s of the
+/// **pre-edit** schema (the one [`Workspace::schema`] returns when the
+/// delta is built); [`Workspace::apply`] remaps them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SchemaDelta {
+    /// Introduce a new class with the empty definition.
+    AddClass {
+        /// Name of the class; must not exist yet.
+        name: String,
+    },
+    /// Remove a class. Fails if any other class or relation references
+    /// it.
+    RemoveClass {
+        /// Name of the class.
+        name: String,
+    },
+    /// Replace the isa part of a class definition.
+    SetIsa {
+        /// Name of the class.
+        class: String,
+        /// The new isa formula (`ClassFormula::top()` clears it).
+        isa: ClassFormula,
+    },
+    /// Replace, add or remove one attribute specification of a class,
+    /// keyed by `(attr, inverse)`.
+    SetAttribute {
+        /// Name of the class.
+        class: String,
+        /// Name of the attribute (interned on first use).
+        attr: String,
+        /// `true` to address the `inv attr` specification.
+        inverse: bool,
+        /// `Some((card, ty))` replaces or adds the specification;
+        /// `None` removes it (no-op if absent).
+        spec: Option<(Card, ClassFormula)>,
+    },
+    /// Replace, add or remove one participation specification of a
+    /// class, keyed by `(rel, role)`.
+    SetParticipation {
+        /// Name of the class.
+        class: String,
+        /// Name of the relation (must exist).
+        rel: String,
+        /// Name of the role (must belong to the relation).
+        role: String,
+        /// `Some(card)` replaces or adds; `None` removes (no-op if
+        /// absent).
+        card: Option<Card>,
+    },
+    /// Define or redefine a relation: its roles and all constraints.
+    SetRelation {
+        /// Name of the relation.
+        name: String,
+        /// Role names in tuple order (arity ≥ 2).
+        roles: Vec<String>,
+        /// Role-clauses; every literal's role must appear in `roles`.
+        constraints: Vec<Vec<RoleLiteralSpec>>,
+    },
+    /// Remove a relation. Fails if any class participates in it.
+    RemoveRelation {
+        /// Name of the relation.
+        name: String,
+    },
+}
+
+/// Why a [`SchemaDelta`] could not be applied. The workspace schema is
+/// unchanged after any of these.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EditError {
+    /// The named class does not exist.
+    UnknownClass {
+        /// The missing name.
+        name: String,
+    },
+    /// [`SchemaDelta::AddClass`] for a name that already exists.
+    DuplicateClass {
+        /// The clashing name.
+        name: String,
+    },
+    /// The named relation does not exist.
+    UnknownRelation {
+        /// The missing name.
+        name: String,
+    },
+    /// The named role does not belong to the relation.
+    UnknownRole {
+        /// The relation.
+        rel: String,
+        /// The role that is not among its roles.
+        role: String,
+    },
+    /// [`SchemaDelta::RemoveClass`] for a class still referenced.
+    ClassReferenced {
+        /// The class being removed.
+        class: String,
+        /// A definition that references it.
+        by: String,
+    },
+    /// [`SchemaDelta::RemoveRelation`] for a relation still referenced.
+    RelationReferenced {
+        /// The relation being removed.
+        rel: String,
+        /// A class that participates in it.
+        by: String,
+    },
+    /// The edited schema failed [`SchemaBuilder::build`] validation.
+    Invalid(Vec<SchemaError>),
+}
+
+impl fmt::Display for EditError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EditError::UnknownClass { name } => write!(f, "unknown class '{name}'"),
+            EditError::DuplicateClass { name } => {
+                write!(f, "class '{name}' already exists")
+            }
+            EditError::UnknownRelation { name } => write!(f, "unknown relation '{name}'"),
+            EditError::UnknownRole { rel, role } => {
+                write!(f, "relation '{rel}' has no role '{role}'")
+            }
+            EditError::ClassReferenced { class, by } => {
+                write!(f, "class '{class}' is still referenced by '{by}'")
+            }
+            EditError::RelationReferenced { rel, by } => {
+                write!(f, "relation '{rel}' is still referenced by class '{by}'")
+            }
+            EditError::Invalid(errors) => {
+                write!(f, "edited schema failed validation:")?;
+                for e in errors {
+                    write!(f, " {e};")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl std::error::Error for EditError {}
+
+// ---------------------------------------------------------------------
+// Delta application
+// ---------------------------------------------------------------------
+
+/// Name-addressed intermediate representation of a schema, convenient to
+/// edit; class-formulae still carry the *old* schema's [`ClassId`]s and
+/// are remapped on rebuild.
+struct ClassIR {
+    name: String,
+    isa: ClassFormula,
+    attrs: Vec<AttrIR>,
+    parts: Vec<PartIR>,
+}
+
+struct AttrIR {
+    attr: String,
+    inverse: bool,
+    card: Card,
+    ty: ClassFormula,
+}
+
+struct PartIR {
+    rel: String,
+    role: String,
+    card: Card,
+}
+
+struct RelIR {
+    name: String,
+    roles: Vec<String>,
+    /// Clauses of `(role name, formula)` literals.
+    constraints: Vec<Vec<(String, ClassFormula)>>,
+}
+
+fn schema_to_ir(schema: &Schema) -> (Vec<ClassIR>, Vec<RelIR>) {
+    let syms = schema.symbols();
+    let classes = schema
+        .classes()
+        .map(|(id, def)| ClassIR {
+            name: syms.class_name(id).to_owned(),
+            isa: def.isa.clone(),
+            attrs: def
+                .attrs
+                .iter()
+                .map(|s| AttrIR {
+                    attr: syms.attr_name(s.att.attr()).to_owned(),
+                    inverse: s.att.is_inverse(),
+                    card: s.card,
+                    ty: s.ty.clone(),
+                })
+                .collect(),
+            parts: def
+                .participations
+                .iter()
+                .map(|p| PartIR {
+                    rel: syms.rel_name(p.rel).to_owned(),
+                    role: syms.role_name(p.role).to_owned(),
+                    card: p.card,
+                })
+                .collect(),
+        })
+        .collect();
+    let rels = schema
+        .relations()
+        .map(|(id, def)| RelIR {
+            name: syms.rel_name(id).to_owned(),
+            roles: def.roles.iter().map(|&r| syms.role_name(r).to_owned()).collect(),
+            constraints: def
+                .constraints
+                .iter()
+                .map(|c| {
+                    c.literals
+                        .iter()
+                        .map(|l| (syms.role_name(l.role).to_owned(), l.formula.clone()))
+                        .collect()
+                })
+                .collect(),
+        })
+        .collect();
+    (classes, rels)
+}
+
+/// Applies one delta to a schema, producing the edited schema. Pure: the
+/// input schema is untouched, and any error leaves no side effects.
+///
+/// # Errors
+/// See [`EditError`].
+pub fn apply_delta(old: &Schema, delta: &SchemaDelta) -> Result<Schema, EditError> {
+    let (mut classes, mut rels) = schema_to_ir(old);
+    let find_class = |classes: &[ClassIR], name: &str| -> Result<usize, EditError> {
+        classes
+            .iter()
+            .position(|c| c.name == name)
+            .ok_or_else(|| EditError::UnknownClass { name: name.to_owned() })
+    };
+
+    match delta {
+        SchemaDelta::AddClass { name } => {
+            if classes.iter().any(|c| c.name == *name) {
+                return Err(EditError::DuplicateClass { name: name.clone() });
+            }
+            classes.push(ClassIR {
+                name: name.clone(),
+                isa: ClassFormula::top(),
+                attrs: Vec::new(),
+                parts: Vec::new(),
+            });
+        }
+        SchemaDelta::RemoveClass { name } => {
+            let pos = find_class(&classes, name)?;
+            let removed = old
+                .class_id(name)
+                .ok_or_else(|| EditError::UnknownClass { name: name.clone() })?;
+            let mentions = |f: &ClassFormula| f.literals().any(|l| l.class == removed);
+            for (i, c) in classes.iter().enumerate() {
+                if i == pos {
+                    continue; // its own definition goes away with it
+                }
+                if mentions(&c.isa) || c.attrs.iter().any(|a| mentions(&a.ty)) {
+                    return Err(EditError::ClassReferenced {
+                        class: name.clone(),
+                        by: c.name.clone(),
+                    });
+                }
+            }
+            for r in &rels {
+                if r.constraints.iter().flatten().any(|(_, f)| mentions(f)) {
+                    return Err(EditError::ClassReferenced {
+                        class: name.clone(),
+                        by: r.name.clone(),
+                    });
+                }
+            }
+            classes.remove(pos);
+        }
+        SchemaDelta::SetIsa { class, isa } => {
+            let pos = find_class(&classes, class)?;
+            classes[pos].isa = isa.clone();
+        }
+        SchemaDelta::SetAttribute { class, attr, inverse, spec } => {
+            let pos = find_class(&classes, class)?;
+            let attrs = &mut classes[pos].attrs;
+            let slot = attrs.iter().position(|a| a.attr == *attr && a.inverse == *inverse);
+            match (slot, spec) {
+                (Some(i), Some((card, ty))) => {
+                    attrs[i].card = *card;
+                    attrs[i].ty = ty.clone();
+                }
+                (None, Some((card, ty))) => attrs.push(AttrIR {
+                    attr: attr.clone(),
+                    inverse: *inverse,
+                    card: *card,
+                    ty: ty.clone(),
+                }),
+                (Some(i), None) => {
+                    attrs.remove(i);
+                }
+                (None, None) => {}
+            }
+        }
+        SchemaDelta::SetParticipation { class, rel, role, card } => {
+            let pos = find_class(&classes, class)?;
+            let rel_ir = rels
+                .iter()
+                .find(|r| r.name == *rel)
+                .ok_or_else(|| EditError::UnknownRelation { name: rel.clone() })?;
+            if !rel_ir.roles.iter().any(|r| r == role) {
+                return Err(EditError::UnknownRole { rel: rel.clone(), role: role.clone() });
+            }
+            let parts = &mut classes[pos].parts;
+            let slot = parts.iter().position(|p| p.rel == *rel && p.role == *role);
+            match (slot, card) {
+                (Some(i), Some(card)) => parts[i].card = *card,
+                (None, Some(card)) => {
+                    parts.push(PartIR { rel: rel.clone(), role: role.clone(), card: *card });
+                }
+                (Some(i), None) => {
+                    parts.remove(i);
+                }
+                (None, None) => {}
+            }
+        }
+        SchemaDelta::SetRelation { name, roles, constraints } => {
+            for clause in constraints {
+                for lit in clause {
+                    if !roles.contains(&lit.role) {
+                        return Err(EditError::UnknownRole {
+                            rel: name.clone(),
+                            role: lit.role.clone(),
+                        });
+                    }
+                }
+            }
+            let new_ir = RelIR {
+                name: name.clone(),
+                roles: roles.clone(),
+                constraints: constraints
+                    .iter()
+                    .map(|c| c.iter().map(|l| (l.role.clone(), l.formula.clone())).collect())
+                    .collect(),
+            };
+            match rels.iter().position(|r| r.name == *name) {
+                Some(i) => {
+                    // Redefining may drop roles that participations use;
+                    // the rebuild validation below catches that.
+                    rels[i] = new_ir;
+                }
+                None => rels.push(new_ir),
+            }
+        }
+        SchemaDelta::RemoveRelation { name } => {
+            let pos = rels
+                .iter()
+                .position(|r| r.name == *name)
+                .ok_or_else(|| EditError::UnknownRelation { name: name.clone() })?;
+            for c in &classes {
+                if c.parts.iter().any(|p| p.rel == *name) {
+                    return Err(EditError::RelationReferenced {
+                        rel: name.clone(),
+                        by: c.name.clone(),
+                    });
+                }
+            }
+            rels.remove(pos);
+        }
+    }
+
+    rebuild(old, &classes, &rels)
+}
+
+/// Rebuilds a [`Schema`] from the edited IR, remapping every class id
+/// appearing in a formula from the old layout to the new one by name.
+fn rebuild(old: &Schema, classes: &[ClassIR], rels: &[RelIR]) -> Result<Schema, EditError> {
+    let mut b = SchemaBuilder::new();
+    let class_ids: Vec<ClassId> = classes.iter().map(|c| b.class(&c.name)).collect();
+    let new_id: HashMap<&str, ClassId> = classes
+        .iter()
+        .zip(&class_ids)
+        .map(|(c, &id)| (c.name.as_str(), id))
+        .collect();
+
+    let remap = |f: &ClassFormula| -> Result<ClassFormula, EditError> {
+        let mut out = ClassFormula::top();
+        for clause in &f.clauses {
+            let mut lits = Vec::with_capacity(clause.literals.len());
+            for l in &clause.literals {
+                if l.class.index() >= old.num_classes() {
+                    return Err(EditError::UnknownClass {
+                        name: format!("class#{}", l.class.index()),
+                    });
+                }
+                let name = old.class_name(l.class);
+                let &id = new_id.get(name).ok_or_else(|| EditError::UnknownClass {
+                    name: name.to_owned(),
+                })?;
+                lits.push(crate::syntax::ClassLiteral { class: id, positive: l.positive });
+            }
+            out.push_clause(crate::syntax::ClassClause::new(lits));
+        }
+        Ok(out)
+    };
+
+    // Intern attribute symbols in definition order so the id layout is a
+    // pure function of the IR (and therefore of the serialized content).
+    for c in classes {
+        for a in &c.attrs {
+            b.attribute(&a.attr);
+        }
+    }
+
+    // Relations before class definitions: participations validate
+    // against them.
+    let mut rel_ids = HashMap::new();
+    for r in rels {
+        let id = b.relation(&r.name, r.roles.iter().map(String::as_str));
+        rel_ids.insert(r.name.as_str(), id);
+        for clause in &r.constraints {
+            let mut lits = Vec::with_capacity(clause.len());
+            for (role, f) in clause {
+                lits.push(RoleLiteral { role: b.role(role), formula: remap(f)? });
+            }
+            b.relation_constraint(id, RoleClause::new(lits));
+        }
+    }
+
+    for (c, &id) in classes.iter().zip(&class_ids) {
+        let isa = remap(&c.isa)?;
+        let mut attrs = Vec::with_capacity(c.attrs.len());
+        for a in &c.attrs {
+            let att = b.attribute(&a.attr);
+            let att = if a.inverse { AttRef::Inverse(att) } else { AttRef::Direct(att) };
+            attrs.push((att, a.card, remap(&a.ty)?));
+        }
+        let mut parts = Vec::with_capacity(c.parts.len());
+        for p in &c.parts {
+            let &rel = rel_ids.get(p.rel.as_str()).ok_or_else(|| {
+                EditError::UnknownRelation { name: p.rel.clone() }
+            })?;
+            parts.push((rel, b.role(&p.role), p.card));
+        }
+        let mut def = b.define_class(id).isa(isa);
+        for (att, card, ty) in attrs {
+            def = def.attr(att, card, ty);
+        }
+        for (rel, role, card) in parts {
+            def = def.participates(rel, role, card);
+        }
+        def.finish();
+    }
+
+    b.build().map_err(EditError::Invalid)
+}
+
+// ---------------------------------------------------------------------
+// Canonical serialization (cache keys)
+// ---------------------------------------------------------------------
+
+fn serialize_card(out: &mut String, card: Card) {
+    match card.max {
+        Some(max) => {
+            let _ = write!(out, "({},{})", card.min, max);
+        }
+        None => {
+            let _ = write!(out, "({},inf)", card.min);
+        }
+    }
+}
+
+fn serialize_formula(out: &mut String, f: &ClassFormula) {
+    out.push('[');
+    for clause in &f.clauses {
+        out.push('(');
+        for l in &clause.literals {
+            let _ = write!(out, "{}{},", if l.positive { '+' } else { '-' }, l.class.index());
+        }
+        out.push(')');
+    }
+    out.push(']');
+}
+
+/// A canonical, collision-free description of a schema: symbol tables in
+/// id order plus every definition. Equal serializations imply
+/// structurally identical schemas (same ids, same definitions), which is
+/// what makes it safe as a bundle-cache key — the cached analysis
+/// answers by [`ClassId`], and the id layout is pinned by the key.
+fn serialize_schema(schema: &Schema) -> String {
+    let syms = schema.symbols();
+    let mut out = String::new();
+    out.push_str("classes:");
+    for c in syms.class_ids() {
+        let _ = write!(out, "{:?},", syms.class_name(c));
+    }
+    out.push_str("\nattrs:");
+    for a in syms.attr_ids() {
+        let _ = write!(out, "{:?},", syms.attr_name(a));
+    }
+    out.push_str("\nrels:");
+    for r in syms.rel_ids() {
+        let _ = write!(out, "{:?},", syms.rel_name(r));
+    }
+    out.push('\n');
+    for (id, def) in schema.classes() {
+        let _ = write!(out, "class {} isa ", id.index());
+        serialize_formula(&mut out, &def.isa);
+        for s in &def.attrs {
+            let _ = write!(
+                out,
+                " att {}{} ",
+                if s.att.is_inverse() { "inv " } else { "" },
+                s.att.attr().index()
+            );
+            serialize_card(&mut out, s.card);
+            serialize_formula(&mut out, &s.ty);
+        }
+        for p in &def.participations {
+            let _ = write!(
+                out,
+                " part {}[{}] ",
+                p.rel.index(),
+                syms.role_name(p.role)
+            );
+            serialize_card(&mut out, p.card);
+        }
+        out.push('\n');
+    }
+    for (id, def) in schema.relations() {
+        let _ = write!(out, "rel {} roles ", id.index());
+        for &r in &def.roles {
+            let _ = write!(out, "{:?},", syms.role_name(r));
+        }
+        for clause in &def.constraints {
+            out.push_str(" clause ");
+            for l in &clause.literals {
+                let _ = write!(out, "{:?}:", syms.role_name(l.role));
+                serialize_formula(&mut out, &l.formula);
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// Cluster-level cache
+// ---------------------------------------------------------------------
+
+/// One clause of a cluster's reduced consistency formula: literals as
+/// `(position within the cluster, polarity)`.
+type ReducedClause = Vec<(usize, bool)>;
+
+/// Restricts the global consistency clauses to one cluster under the
+/// all-outside-false assignment: clauses satisfied by an outside
+/// negative literal are dropped, outside positive literals are deleted,
+/// and surviving literals are rewritten to cluster-local positions.
+fn reduce_clauses<'a>(
+    clause_lists: impl Iterator<Item = &'a [PropLit]>,
+    cluster: &[usize],
+    n: usize,
+) -> Vec<ReducedClause> {
+    let members = BitSet::from_iter(n, cluster.iter().copied());
+    let mut out = Vec::new();
+    'clauses: for literals in clause_lists {
+        let mut reduced = Vec::new();
+        for l in literals {
+            if members.contains(l.var) {
+                let local = cluster.binary_search(&l.var).expect("member of cluster");
+                reduced.push((local, l.positive));
+            } else if !l.positive {
+                continue 'clauses; // satisfied by the outside-false assignment
+            }
+            // outside positive literal: false, dropped
+        }
+        out.push(reduced);
+    }
+    out
+}
+
+/// Cache key of one cluster's enumeration: the member class names in
+/// global-index order plus the reduced formula over local positions.
+/// The projected model sequence is a pure function of this key (see the
+/// module docs), and naming the members makes id-layout shifts from
+/// `AddClass`/`RemoveClass` a guaranteed (sound) miss unless the
+/// surviving classes kept their relative order and constraints.
+fn cluster_key(schema: &Schema, cluster: &[usize], reduced: &[ReducedClause]) -> String {
+    let mut out = String::new();
+    for &c in cluster {
+        let _ = write!(out, "{:?},", schema.class_name(ClassId::from_index(c)));
+    }
+    out.push('|');
+    for clause in reduced {
+        out.push('(');
+        for &(local, positive) in clause {
+            let _ = write!(out, "{}{},", if positive { '+' } else { '-' }, local);
+        }
+        out.push(')');
+    }
+    out
+}
+
+/// A FIFO-evicted map used for both cache levels.
+struct FifoCache<V> {
+    map: HashMap<String, V>,
+    order: VecDeque<String>,
+    cap: usize,
+}
+
+impl<V> FifoCache<V> {
+    fn new(cap: usize) -> FifoCache<V> {
+        FifoCache { map: HashMap::new(), order: VecDeque::new(), cap }
+    }
+
+    fn get(&self, key: &str) -> Option<&V> {
+        self.map.get(key)
+    }
+
+    fn insert(&mut self, key: String, value: V) {
+        if self.map.insert(key.clone(), value).is_none() {
+            self.order.push_back(key);
+            if self.order.len() > self.cap {
+                if let Some(evicted) = self.order.pop_front() {
+                    self.map.remove(&evicted);
+                }
+            }
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.map.len()
+    }
+}
+
+/// A cached cluster enumeration: the complete model list over
+/// cluster-local positions, in enumeration order.
+type ClusterModels = Vec<BitSet>;
+
+/// Cluster-spliced compound-class enumeration: cache hits are copied
+/// back in, misses are enumerated (in parallel across clusters) with the
+/// shared [`cluster_ccs_governed`] worker and cached on success. Output
+/// is bit-identical to [`crate::clusters::clustered_ccs_governed`] on
+/// the same schema.
+fn spliced_ccs(
+    schema: &Schema,
+    config: &ReasonerConfig,
+    cache: &mut FifoCache<Rc<ClusterModels>>,
+    stats: &mut WorkspaceStats,
+) -> Result<Vec<BitSet>, ReasonerError> {
+    let budget = &config.budget;
+    let max = config.limits.max_compound_classes;
+    let n = schema.num_classes();
+    budget.enter_phase(Phase::Enumerate);
+    let pre = Preselection::compute(schema);
+    let cnf = isa_cnf(schema);
+    let table_clauses = pre.extra_clauses();
+    let clusters = pre.clusters();
+
+    let keys: Vec<String> = clusters
+        .iter()
+        .map(|cluster| {
+            let reduced = reduce_clauses(
+                cnf.clauses()
+                    .iter()
+                    .map(|c| c.literals.as_slice())
+                    .chain(table_clauses.iter().map(Vec::as_slice)),
+                cluster,
+                n,
+            );
+            cluster_key(schema, cluster, &reduced)
+        })
+        .collect();
+
+    // Enumerate every dirty cluster, sharded across the worker pool.
+    let misses: Vec<usize> =
+        (0..clusters.len()).filter(|&i| cache.get(&keys[i]).is_none()).collect();
+    let mut fresh: Vec<Option<Result<Vec<BitSet>, BuildError>>> =
+        par::parallel_map(config.threads, misses.len(), |mi| {
+            Some(cluster_ccs_governed(schema, &table_clauses, &clusters[misses[mi]], max, budget))
+        });
+    let miss_slot: HashMap<usize, usize> =
+        misses.iter().enumerate().map(|(slot, &ci)| (ci, slot)).collect();
+
+    // Splice in cluster order; overflow and error verdicts match the
+    // serial non-cached loop.
+    let mut out: Vec<BitSet> = Vec::new();
+    for (ci, cluster) in clusters.iter().enumerate() {
+        let entry: Rc<ClusterModels> = match miss_slot.get(&ci) {
+            None => {
+                let entry = cache.get(&keys[ci]).expect("classified as hit").clone();
+                stats.clusters_reused += 1;
+                // The budget still accounts for every spliced compound
+                // class, exactly like a fresh enumeration would.
+                budget
+                    .checkpoint()
+                    .and_then(|()| budget.charge(Item::CompoundClass, entry.len() as u64))
+                    .map_err(|e| reasoner::exhausted_error(budget, e))?;
+                entry
+            }
+            Some(&slot) => {
+                let models = fresh[slot].take().expect("each miss spliced once").map_err(
+                    |e| match e {
+                        BuildError::TooLarge(_) => {
+                            ReasonerError::TooLarge(ExpansionTooLarge {
+                                what: "compound classes",
+                                limit: max,
+                            })
+                        }
+                        exhausted @ BuildError::Exhausted(_) => {
+                            reasoner::build_error(budget, exhausted)
+                        }
+                    },
+                )?;
+                stats.clusters_rebuilt += 1;
+                let localized: ClusterModels = models
+                    .iter()
+                    .map(|cc| {
+                        BitSet::from_iter(
+                            cluster.len(),
+                            cluster
+                                .iter()
+                                .enumerate()
+                                .filter(|&(_, &g)| cc.contains(g))
+                                .map(|(local, _)| local),
+                        )
+                    })
+                    .collect();
+                let entry = Rc::new(localized);
+                // Successful enumerations are cached immediately — they
+                // stay valid even if a later cluster fails this build.
+                cache.insert(keys[ci].clone(), entry.clone());
+                entry
+            }
+        };
+        if out.len() + entry.len() > max {
+            return Err(ReasonerError::TooLarge(ExpansionTooLarge {
+                what: "compound classes",
+                limit: max,
+            }));
+        }
+        out.extend(entry.iter().map(|local_cc| {
+            BitSet::from_iter(n, local_cc.iter().map(|local| cluster[local]))
+        }));
+    }
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------
+// Workspace
+// ---------------------------------------------------------------------
+
+/// Reuse counters of a [`Workspace`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorkspaceStats {
+    /// Queries answered from a cached bundle.
+    pub bundle_hits: u64,
+    /// Bundles computed (at least partially) fresh.
+    pub bundle_misses: u64,
+    /// Cluster enumerations spliced from cache during bundle rebuilds.
+    pub clusters_reused: u64,
+    /// Cluster enumerations computed fresh during bundle rebuilds.
+    pub clusters_rebuilt: u64,
+    /// Deltas successfully applied (undo/redo not counted).
+    pub edits_applied: u64,
+}
+
+/// One reasoning question for [`Workspace::query_batch`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Query {
+    /// Is the class satisfiable?
+    IsSatisfiable(ClassId),
+    /// Is every class satisfiable?
+    IsCoherent,
+    /// Does `sup` subsume `sub`?
+    Subsumes {
+        /// The candidate subsumer.
+        sup: ClassId,
+        /// The candidate subsumee.
+        sub: ClassId,
+    },
+    /// Are the classes disjoint in every model?
+    Disjoint(ClassId, ClassId),
+    /// Are the classes equivalent in every model?
+    Equivalent(ClassId, ClassId),
+}
+
+/// An incrementally maintained reasoning session over a mutable schema.
+/// See the module docs for the caching model. Answers are always exactly
+/// those of a fresh [`crate::reasoner::Reasoner`] with the same config
+/// on the current schema.
+pub struct Workspace {
+    schema: Schema,
+    config: ReasonerConfig,
+    undo: Vec<Schema>,
+    redo: Vec<Schema>,
+    bundles: FifoCache<Rc<Bundle>>,
+    clusters: FifoCache<Rc<ClusterModels>>,
+    stats: WorkspaceStats,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum BundleKind {
+    Sat,
+    Full,
+}
+
+impl Workspace {
+    /// A workspace over an initial schema. The config's strategy,
+    /// limits, thread count and arity-reduction flag are fixed for the
+    /// workspace's lifetime; the budget can be swapped with
+    /// [`Self::set_budget`].
+    #[must_use]
+    pub fn new(schema: Schema, config: ReasonerConfig) -> Workspace {
+        Workspace {
+            schema,
+            config,
+            undo: Vec::new(),
+            redo: Vec::new(),
+            bundles: FifoCache::new(BUNDLE_CACHE_CAP),
+            clusters: FifoCache::new(CLUSTER_CACHE_CAP),
+            stats: WorkspaceStats::default(),
+        }
+    }
+
+    /// The current schema version.
+    #[must_use]
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// The reuse counters so far.
+    #[must_use]
+    pub fn stats(&self) -> WorkspaceStats {
+        self.stats
+    }
+
+    /// Replaces the resource budget for subsequent computations, exactly
+    /// like [`crate::reasoner::Reasoner::set_budget`]: cached results
+    /// are kept, only new computations draw on the new budget.
+    pub fn set_budget(&mut self, budget: Budget) {
+        self.config.budget = budget;
+    }
+
+    /// Applies one edit to the current schema. On success the previous
+    /// version is pushed onto the undo stack and the redo stack is
+    /// cleared; on error the workspace is unchanged.
+    ///
+    /// # Errors
+    /// See [`EditError`].
+    pub fn apply(&mut self, delta: &SchemaDelta) -> Result<(), EditError> {
+        let edited = apply_delta(&self.schema, delta)?;
+        self.undo.push(std::mem::replace(&mut self.schema, edited));
+        if self.undo.len() > UNDO_CAP {
+            self.undo.remove(0);
+        }
+        self.redo.clear();
+        self.stats.edits_applied += 1;
+        Ok(())
+    }
+
+    /// Steps back to the previous schema version. Returns `false` when
+    /// there is nothing to undo. Queries after an undo are answered from
+    /// the bundle cache when the version was analyzed before.
+    pub fn undo(&mut self) -> bool {
+        match self.undo.pop() {
+            Some(prev) => {
+                self.redo.push(std::mem::replace(&mut self.schema, prev));
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Re-applies the most recently undone edit. Returns `false` when
+    /// there is nothing to redo.
+    pub fn redo(&mut self) -> bool {
+        match self.redo.pop() {
+            Some(next) => {
+                self.undo.push(std::mem::replace(&mut self.schema, next));
+                true
+            }
+            None => false,
+        }
+    }
+
+    // ---- Bundle management ----------------------------------------
+
+    /// `true` when the sat and full bundles are the same computation
+    /// for the current schema (see `Reasoner::shares_bundles`).
+    fn shares_bundles(&self) -> bool {
+        self.config.strategy == Strategy::Sat
+            && !reasoner::transform_applies(&self.schema, &self.config)
+    }
+
+    fn bundle(&mut self, kind: BundleKind) -> Result<Rc<Bundle>, ReasonerError> {
+        let effective = if self.shares_bundles() { BundleKind::Sat } else { kind };
+        let tag = match effective {
+            BundleKind::Sat => "sat",
+            BundleKind::Full => "full",
+        };
+        let key = format!("{tag}\n{}", serialize_schema(&self.schema));
+        if let Some(bundle) = self.bundles.get(&key) {
+            self.stats.bundle_hits += 1;
+            return Ok(bundle.clone());
+        }
+        self.stats.bundle_misses += 1;
+        let bundle = Rc::new(match effective {
+            BundleKind::Sat => self.compute_sat_bundle()?,
+            BundleKind::Full => self.compute_full_bundle()?,
+        });
+        // Only successes are cached: a failed build must stay
+        // retryable and must not poison the cache.
+        self.bundles.insert(key, bundle.clone());
+        Ok(bundle)
+    }
+
+    fn compute_sat_bundle(&mut self) -> Result<Bundle, ReasonerError> {
+        let config = self.config.clone();
+        config.budget.enter_phase(Phase::Setup);
+        let transformed = reasoner::transform_schema(&self.schema, &config)?;
+        // The cluster-spliced path applies exactly when the equivalent
+        // Reasoner would enumerate cluster by cluster on the same
+        // (untransformed) schema.
+        let cluster_path = transformed.is_none()
+            && match config.strategy {
+                Strategy::Preselect => true,
+                Strategy::Auto => hierarchy::detect(&self.schema).is_none(),
+                Strategy::Naive | Strategy::Sat => false,
+            };
+        if cluster_path {
+            let ccs = spliced_ccs(&self.schema, &config, &mut self.clusters, &mut self.stats)?;
+            let (expansion, analysis) =
+                reasoner::expand_and_analyze(&self.schema, ccs, &config)?;
+            return Ok(Bundle::new(None, expansion, analysis));
+        }
+        let schema = transformed.as_ref().unwrap_or(&self.schema);
+        let ccs = reasoner::enumerate_ccs(schema, &config)?;
+        let (expansion, analysis) = reasoner::expand_and_analyze(schema, ccs, &config)?;
+        Ok(Bundle::new(transformed, expansion, analysis))
+    }
+
+    fn compute_full_bundle(&mut self) -> Result<Bundle, ReasonerError> {
+        let full_config = ReasonerConfig {
+            strategy: Strategy::Sat,
+            arity_reduction: false,
+            ..self.config.clone()
+        };
+        let ccs = reasoner::enumerate_ccs(&self.schema, &full_config)?;
+        let (expansion, analysis) =
+            reasoner::expand_and_analyze(&self.schema, ccs, &full_config)?;
+        Ok(Bundle::new(None, expansion, analysis))
+    }
+
+    // ---- Queries ---------------------------------------------------
+
+    /// Class satisfiability on the current schema.
+    ///
+    /// # Errors
+    /// Exactly as [`crate::reasoner::Reasoner::try_is_satisfiable`].
+    pub fn try_is_satisfiable(&mut self, class: ClassId) -> Result<bool, ReasonerError> {
+        let bundle = self.bundle(BundleKind::Sat)?;
+        Ok(bundle.analysis.class_satisfiable(&bundle.expansion, class))
+    }
+
+    /// All necessarily empty classes of the current schema.
+    ///
+    /// # Errors
+    /// Exactly as [`crate::reasoner::Reasoner::try_unsatisfiable_classes`].
+    pub fn try_unsatisfiable_classes(&mut self) -> Result<Vec<ClassId>, ReasonerError> {
+        let bundle = self.bundle(BundleKind::Sat)?;
+        Ok(self
+            .schema
+            .symbols()
+            .class_ids()
+            .filter(|&c| !bundle.analysis.class_satisfiable(&bundle.expansion, c))
+            .collect())
+    }
+
+    /// `true` iff every class of the current schema is satisfiable.
+    ///
+    /// # Errors
+    /// Exactly as [`crate::reasoner::Reasoner::try_is_coherent`].
+    pub fn try_is_coherent(&mut self) -> Result<bool, ReasonerError> {
+        Ok(self.try_unsatisfiable_classes()?.is_empty())
+    }
+
+    /// `sup ⊒ sub` on the current schema.
+    ///
+    /// # Errors
+    /// Exactly as [`crate::reasoner::Reasoner::try_subsumes`].
+    pub fn try_subsumes(&mut self, sup: ClassId, sub: ClassId) -> Result<bool, ReasonerError> {
+        let bundle = self.bundle(BundleKind::Full)?;
+        Ok(bundle.implications(self.schema.num_classes()).subsumes(sup, sub))
+    }
+
+    /// Disjointness on the current schema.
+    ///
+    /// # Errors
+    /// Exactly as [`crate::reasoner::Reasoner::try_disjoint`].
+    pub fn try_disjoint(&mut self, c1: ClassId, c2: ClassId) -> Result<bool, ReasonerError> {
+        let bundle = self.bundle(BundleKind::Full)?;
+        Ok(bundle.implications(self.schema.num_classes()).disjoint(c1, c2))
+    }
+
+    /// Equivalence on the current schema.
+    ///
+    /// # Errors
+    /// Exactly as [`crate::reasoner::Reasoner::try_equivalent`].
+    pub fn try_equivalent(&mut self, c1: ClassId, c2: ClassId) -> Result<bool, ReasonerError> {
+        let bundle = self.bundle(BundleKind::Full)?;
+        Ok(bundle.implications(self.schema.num_classes()).equivalent(c1, c2))
+    }
+
+    /// Answers a batch of queries against the current schema version:
+    /// the required bundles (satisfiability and/or complete) are
+    /// materialized once for the whole batch, and duplicate queries are
+    /// answered from a per-batch memo instead of re-evaluated. Outcomes
+    /// are returned in input order; a failed bundle build answers every
+    /// query depending on it with [`Outcome::Unknown`].
+    pub fn query_batch(&mut self, queries: &[Query]) -> Vec<Outcome> {
+        let needs_sat = queries
+            .iter()
+            .any(|q| matches!(q, Query::IsSatisfiable(_) | Query::IsCoherent));
+        let needs_full = queries.iter().any(|q| {
+            matches!(q, Query::Subsumes { .. } | Query::Disjoint(..) | Query::Equivalent(..))
+        });
+        let sat = if needs_sat { Some(self.bundle(BundleKind::Sat)) } else { None };
+        let full = if needs_full { Some(self.bundle(BundleKind::Full)) } else { None };
+        let num_classes = self.schema.num_classes();
+        let all_classes: Vec<ClassId> = self.schema.symbols().class_ids().collect();
+
+        let mut memo: HashMap<Query, Outcome> = HashMap::new();
+        let mut out = Vec::with_capacity(queries.len());
+        for q in queries {
+            if let Some(&answer) = memo.get(q) {
+                out.push(answer);
+                continue;
+            }
+            let result: Result<bool, ReasonerError> = match *q {
+                Query::IsSatisfiable(class) => sat
+                    .as_ref()
+                    .expect("sat bundle requested")
+                    .as_ref()
+                    .map(|b| b.analysis.class_satisfiable(&b.expansion, class))
+                    .map_err(Clone::clone),
+                Query::IsCoherent => sat
+                    .as_ref()
+                    .expect("sat bundle requested")
+                    .as_ref()
+                    .map(|b| {
+                        all_classes
+                            .iter()
+                            .all(|&c| b.analysis.class_satisfiable(&b.expansion, c))
+                    })
+                    .map_err(Clone::clone),
+                Query::Subsumes { sup, sub } => full
+                    .as_ref()
+                    .expect("full bundle requested")
+                    .as_ref()
+                    .map(|b| b.implications(num_classes).subsumes(sup, sub))
+                    .map_err(Clone::clone),
+                Query::Disjoint(c1, c2) => full
+                    .as_ref()
+                    .expect("full bundle requested")
+                    .as_ref()
+                    .map(|b| b.implications(num_classes).disjoint(c1, c2))
+                    .map_err(Clone::clone),
+                Query::Equivalent(c1, c2) => full
+                    .as_ref()
+                    .expect("full bundle requested")
+                    .as_ref()
+                    .map(|b| b.implications(num_classes).equivalent(c1, c2))
+                    .map_err(Clone::clone),
+            };
+            let answer = Outcome::from_result(result, &self.config.budget);
+            memo.insert(*q, answer);
+            out.push(answer);
+        }
+        out
+    }
+}
+
+impl fmt::Debug for Workspace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Workspace")
+            .field("classes", &self.schema.num_classes())
+            .field("undo_depth", &self.undo.len())
+            .field("cached_bundles", &self.bundles.len())
+            .field("cached_clusters", &self.clusters.len())
+            .field("stats", &self.stats)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reasoner::Reasoner;
+    use crate::syntax::ClassClause;
+    use crate::syntax::ClassLiteral;
+
+    fn university() -> Schema {
+        let mut b = SchemaBuilder::new();
+        let person = b.class("Person");
+        let professor = b.class("Professor");
+        let student = b.class("Student");
+        let grad = b.class("Grad_Student");
+        let course = b.class("Course");
+        let taught_by = b.attribute("taught_by");
+        b.define_class(professor).isa(ClassFormula::class(person)).finish();
+        b.define_class(student)
+            .isa(ClassFormula::class(person).and(ClassFormula::neg_class(professor)))
+            .finish();
+        b.define_class(grad).isa(ClassFormula::class(student)).finish();
+        b.define_class(course)
+            .isa(ClassFormula::neg_class(person))
+            .attr(
+                AttRef::Direct(taught_by),
+                Card::exactly(1),
+                ClassFormula::union_of([professor, grad]),
+            )
+            .finish();
+        b.build().unwrap()
+    }
+
+    fn agree_with_fresh(ws: &mut Workspace) {
+        let schema = ws.schema().clone();
+        let fresh = Reasoner::with_config(&schema, ws.config.clone());
+        for c in schema.symbols().class_ids() {
+            assert_eq!(
+                ws.try_is_satisfiable(c),
+                fresh.try_is_satisfiable(c),
+                "satisfiability of {}",
+                schema.class_name(c)
+            );
+        }
+        for c1 in schema.symbols().class_ids() {
+            for c2 in schema.symbols().class_ids() {
+                assert_eq!(ws.try_subsumes(c1, c2), fresh.try_subsumes(c1, c2));
+                assert_eq!(ws.try_disjoint(c1, c2), fresh.try_disjoint(c1, c2));
+            }
+        }
+    }
+
+    #[test]
+    fn edits_track_a_fresh_reasoner() {
+        let mut ws = Workspace::new(university(), ReasonerConfig::default());
+        agree_with_fresh(&mut ws);
+
+        // Grad_Student now isa Professor too: becomes unsatisfiable
+        // (Student excludes Professor).
+        let student = ws.schema().class_id("Student").unwrap();
+        let professor = ws.schema().class_id("Professor").unwrap();
+        ws.apply(&SchemaDelta::SetIsa {
+            class: "Grad_Student".into(),
+            isa: ClassFormula::class(student).and(ClassFormula::class(professor)),
+        })
+        .unwrap();
+        let grad = ws.schema().class_id("Grad_Student").unwrap();
+        assert!(!ws.try_is_satisfiable(grad).unwrap());
+        agree_with_fresh(&mut ws);
+
+        ws.apply(&SchemaDelta::AddClass { name: "TA".into() }).unwrap();
+        agree_with_fresh(&mut ws);
+        ws.apply(&SchemaDelta::RemoveClass { name: "TA".into() }).unwrap();
+        agree_with_fresh(&mut ws);
+    }
+
+    #[test]
+    fn undo_redo_restore_versions_and_hit_the_cache() {
+        let mut ws = Workspace::new(university(), ReasonerConfig::default());
+        let before = ws.try_is_coherent().unwrap();
+        assert!(before);
+        ws.apply(&SchemaDelta::SetIsa {
+            class: "Grad_Student".into(),
+            isa: ClassFormula::class(ws.schema().class_id("Professor").unwrap())
+                .and(ClassFormula::class(ws.schema().class_id("Student").unwrap())),
+        })
+        .unwrap();
+        assert!(!ws.try_is_coherent().unwrap());
+        assert!(ws.undo());
+        let misses_before = ws.stats().bundle_misses;
+        assert!(ws.try_is_coherent().unwrap());
+        assert_eq!(ws.stats().bundle_misses, misses_before, "undo must hit the cache");
+        assert!(ws.redo());
+        let misses_before = ws.stats().bundle_misses;
+        assert!(!ws.try_is_coherent().unwrap());
+        assert_eq!(ws.stats().bundle_misses, misses_before, "redo must hit the cache");
+        assert!(!ws.redo());
+    }
+
+    #[test]
+    fn cluster_cache_reuses_unrelated_components() {
+        // Two independent chains; editing one must not re-enumerate the
+        // other's cluster.
+        let mut b = SchemaBuilder::new();
+        let a = b.class("A");
+        let a2 = b.class("A2");
+        let c = b.class("C");
+        let c2 = b.class("C2");
+        b.define_class(a2).isa(ClassFormula::class(a)).finish();
+        b.define_class(c2).isa(ClassFormula::class(c)).finish();
+        let schema = b.build().unwrap();
+        let config =
+            ReasonerConfig { strategy: Strategy::Preselect, ..ReasonerConfig::default() };
+        let mut ws = Workspace::new(schema, config);
+        assert!(ws.try_is_coherent().unwrap());
+        let rebuilt_initially = ws.stats().clusters_rebuilt;
+        assert!(rebuilt_initially >= 2);
+
+        // Grow the A-chain only: the A-cluster's reduced formula gains a
+        // variable (miss), the C-cluster's is untouched (hit).
+        ws.apply(&SchemaDelta::AddClass { name: "A3".into() }).unwrap();
+        let a = ws.schema().class_id("A").unwrap();
+        ws.apply(&SchemaDelta::SetIsa { class: "A3".into(), isa: ClassFormula::class(a) })
+            .unwrap();
+        assert!(ws.try_is_coherent().unwrap());
+        let stats = ws.stats();
+        assert!(stats.clusters_reused >= 1, "clean cluster must splice: {stats:?}");
+        assert_eq!(
+            stats.clusters_rebuilt,
+            rebuilt_initially + 1,
+            "only the dirty cluster may rebuild: {stats:?}"
+        );
+        agree_with_fresh(&mut ws);
+    }
+
+    #[test]
+    fn every_delta_kind_applies_and_validates() {
+        let mut ws = Workspace::new(university(), ReasonerConfig::default());
+
+        // Unknown names are rejected.
+        assert_eq!(
+            ws.apply(&SchemaDelta::SetIsa { class: "Nope".into(), isa: ClassFormula::top() }),
+            Err(EditError::UnknownClass { name: "Nope".into() })
+        );
+        assert_eq!(
+            ws.apply(&SchemaDelta::AddClass { name: "Person".into() }),
+            Err(EditError::DuplicateClass { name: "Person".into() })
+        );
+        // Person is referenced by Professor's isa: not removable.
+        assert!(matches!(
+            ws.apply(&SchemaDelta::RemoveClass { name: "Person".into() }),
+            Err(EditError::ClassReferenced { .. })
+        ));
+
+        // Attribute replace / remove round-trip.
+        let professor = ws.schema().class_id("Professor").unwrap();
+        ws.apply(&SchemaDelta::SetAttribute {
+            class: "Course".into(),
+            attr: "taught_by".into(),
+            inverse: false,
+            spec: Some((Card::new(1, 3), ClassFormula::class(professor))),
+        })
+        .unwrap();
+        agree_with_fresh(&mut ws);
+        ws.apply(&SchemaDelta::SetAttribute {
+            class: "Course".into(),
+            attr: "taught_by".into(),
+            inverse: false,
+            spec: None,
+        })
+        .unwrap();
+        assert!(ws.schema().class_def(ws.schema().class_id("Course").unwrap()).attrs.is_empty());
+
+        // Relations: define, participate, then tear down in order.
+        ws.apply(&SchemaDelta::SetRelation {
+            name: "Enrolled".into(),
+            roles: vec!["who".into(), "what".into()],
+            constraints: vec![vec![RoleLiteralSpec {
+                role: "who".into(),
+                formula: ClassFormula::class(ws.schema().class_id("Student").unwrap()),
+            }]],
+        })
+        .unwrap();
+        ws.apply(&SchemaDelta::SetParticipation {
+            class: "Student".into(),
+            rel: "Enrolled".into(),
+            role: "who".into(),
+            card: Some(Card::at_least(1)),
+        })
+        .unwrap();
+        agree_with_fresh(&mut ws);
+        assert!(matches!(
+            ws.apply(&SchemaDelta::RemoveRelation { name: "Enrolled".into() }),
+            Err(EditError::RelationReferenced { .. })
+        ));
+        ws.apply(&SchemaDelta::SetParticipation {
+            class: "Student".into(),
+            rel: "Enrolled".into(),
+            role: "who".into(),
+            card: None,
+        })
+        .unwrap();
+        ws.apply(&SchemaDelta::RemoveRelation { name: "Enrolled".into() }).unwrap();
+        assert!(ws.schema().rel_id("Enrolled").is_none());
+        agree_with_fresh(&mut ws);
+
+        // A bad relation (arity 1) is rejected by validation.
+        assert!(matches!(
+            ws.apply(&SchemaDelta::SetRelation {
+                name: "Bad".into(),
+                roles: vec!["only".into()],
+                constraints: vec![],
+            }),
+            Err(EditError::Invalid(_))
+        ));
+        assert!(ws.schema().rel_id("Bad").is_none());
+    }
+
+    #[test]
+    fn remove_class_remaps_surviving_ids() {
+        let mut b = SchemaBuilder::new();
+        let _x = b.class("X");
+        let a = b.class("A");
+        let a2 = b.class("A2");
+        b.define_class(a2).isa(ClassFormula::class(a)).finish();
+        let schema = b.build().unwrap();
+        let mut ws = Workspace::new(schema, ReasonerConfig::default());
+        ws.apply(&SchemaDelta::RemoveClass { name: "X".into() }).unwrap();
+        // A and A2 shifted down by one; the isa must still relate them.
+        let a = ws.schema().class_id("A").unwrap();
+        let a2 = ws.schema().class_id("A2").unwrap();
+        assert_eq!(a.index(), 0);
+        assert!(ws.try_subsumes(a, a2).unwrap());
+        agree_with_fresh(&mut ws);
+    }
+
+    #[test]
+    fn query_batch_matches_individual_queries_and_deduplicates() {
+        let mut ws = Workspace::new(university(), ReasonerConfig::default());
+        let person = ws.schema().class_id("Person").unwrap();
+        let grad = ws.schema().class_id("Grad_Student").unwrap();
+        let course = ws.schema().class_id("Course").unwrap();
+        let queries = [
+            Query::IsSatisfiable(person),
+            Query::Subsumes { sup: person, sub: grad },
+            Query::Subsumes { sup: person, sub: grad }, // duplicate
+            Query::Disjoint(course, person),
+            Query::Equivalent(person, grad),
+            Query::IsCoherent,
+        ];
+        let batch = ws.query_batch(&queries);
+        assert_eq!(batch.len(), queries.len());
+        assert_eq!(batch[1], batch[2]);
+        assert_eq!(batch[0], Outcome::Proved);
+        assert_eq!(batch[1], Outcome::Proved);
+        assert_eq!(batch[3], Outcome::Proved);
+        assert_eq!(batch[4], Outcome::Disproved);
+        assert_eq!(batch[5], Outcome::Proved);
+    }
+
+    #[test]
+    fn failed_builds_are_not_cached_and_retry_succeeds() {
+        let mut ws = Workspace::new(
+            university(),
+            ReasonerConfig { budget: Budget::trip_after(2), ..ReasonerConfig::default() },
+        );
+        let person = ws.schema().class_id("Person").unwrap();
+        let tripped = ws.try_is_satisfiable(person);
+        assert!(matches!(tripped, Err(ReasonerError::BudgetExhausted(_))));
+        ws.set_budget(Budget::unbounded());
+        assert!(ws.try_is_satisfiable(person).unwrap());
+        agree_with_fresh(&mut ws);
+    }
+
+    #[test]
+    fn reduced_clauses_drop_satisfied_and_localize() {
+        // Clauses over vars {0,1,2,3}, cluster {1,3}.
+        let clauses: Vec<Vec<PropLit>> = vec![
+            vec![PropLit::neg(0), PropLit::pos(1)], // satisfied by ¬0: dropped
+            vec![PropLit::pos(0), PropLit::pos(3)], // 0 is false: reduces to (+3)
+            vec![PropLit::neg(1), PropLit::neg(3)], // all in cluster
+        ];
+        let reduced = reduce_clauses(clauses.iter().map(Vec::as_slice), &[1, 3], 4);
+        assert_eq!(
+            reduced,
+            vec![vec![(1, true)], vec![(0, false), (1, false)]]
+        );
+    }
+
+    #[test]
+    fn serialization_distinguishes_schemas_and_is_stable() {
+        let s1 = university();
+        let s2 = university();
+        assert_eq!(serialize_schema(&s1), serialize_schema(&s2));
+        let edited = apply_delta(
+            &s1,
+            &SchemaDelta::SetIsa {
+                class: "Grad_Student".into(),
+                isa: ClassFormula {
+                    clauses: vec![ClassClause::new(vec![ClassLiteral::pos(
+                        s1.class_id("Person").unwrap(),
+                    )])],
+                },
+            },
+        )
+        .unwrap();
+        assert_ne!(serialize_schema(&s1), serialize_schema(&edited));
+    }
+
+    #[test]
+    fn fifo_cache_evicts_oldest() {
+        let mut cache: FifoCache<u32> = FifoCache::new(2);
+        cache.insert("a".into(), 1);
+        cache.insert("b".into(), 2);
+        cache.insert("a".into(), 3); // re-insert does not grow the order
+        cache.insert("c".into(), 4);
+        assert!(cache.get("a").is_none(), "oldest key evicted");
+        assert_eq!(cache.get("b"), Some(&2));
+        assert_eq!(cache.get("c"), Some(&4));
+        assert_eq!(cache.len(), 2);
+    }
+}

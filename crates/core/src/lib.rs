@@ -24,6 +24,7 @@
 //! | parallel execution layer | [`par`] |
 //! | resource governance (extension) | [`budget`] |
 //! | top-level facade | [`reasoner`] |
+//! | incremental reasoning & batched queries (extension) | [`incremental`] |
 //! | certified answers (extension) | [`certify`], [`model_extract`] |
 //!
 //! ## Example
@@ -61,6 +62,7 @@ pub mod explain;
 pub mod hierarchy;
 pub mod ids;
 pub mod implication;
+pub mod incremental;
 pub mod model_extract;
 pub mod par;
 pub mod preselection;
@@ -73,6 +75,9 @@ pub use budget::{
     Budget, BudgetLimits, CancelToken, Phase, ProgressReport, ResourceExhausted, ResourceKind,
 };
 pub use ids::{AttrId, ClassId, RelId, RoleId, SymbolTable};
+pub use incremental::{
+    EditError, Query, RoleLiteralSpec, SchemaDelta, Workspace, WorkspaceStats,
+};
 pub use reasoner::{Outcome, Reasoner, ReasonerConfig, ReasonerError, Strategy};
 pub use semantics::{Interpretation, Violation};
 pub use syntax::{

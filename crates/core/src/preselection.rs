@@ -51,6 +51,9 @@ pub struct Preselection {
     /// Connected components of `GS` (each a set of class indices); the
     /// clusters of §4.4.
     components: Vec<Vec<usize>>,
+    /// `component_of[i]` = index into `components` of class `i`'s
+    /// cluster.
+    component_of: Vec<usize>,
 }
 
 impl Preselection {
@@ -218,7 +221,7 @@ impl Preselection {
             }
         }
 
-        Preselection { n, included, disjoint, components }
+        Preselection { n, included, disjoint, components, component_of }
     }
 
     /// `true` iff the tables record `C₁ ⊑ C₂`.
@@ -237,6 +240,14 @@ impl Preselection {
     #[must_use]
     pub fn clusters(&self) -> &[Vec<usize>] {
         &self.components
+    }
+
+    /// Per-class cluster membership: `component_of()[i]` indexes into
+    /// [`Self::clusters`]. The incremental engine uses this to map an
+    /// edited class to the one cluster whose enumeration it can dirty.
+    #[must_use]
+    pub fn component_of(&self) -> &[usize] {
+        &self.component_of
     }
 
     /// Clauses encoding the table entries, for SAT-based enumeration:

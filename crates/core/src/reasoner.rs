@@ -25,6 +25,7 @@
 //! analysis, computed lazily and cached separately.
 
 use crate::arity::reduce_arities;
+use crate::bitset::BitSet;
 use crate::budget::{Budget, Phase, ProgressReport, ResourceExhausted, ResourceKind};
 use crate::clusters::clustered_ccs_governed;
 use crate::enumerate;
@@ -182,7 +183,7 @@ pub enum Outcome {
 }
 
 impl Outcome {
-    fn from_result(result: Result<bool, ReasonerError>, budget: &Budget) -> Outcome {
+    pub(crate) fn from_result(result: Result<bool, ReasonerError>, budget: &Budget) -> Outcome {
         match result {
             Ok(true) => Outcome::Proved,
             Ok(false) => Outcome::Disproved,
@@ -194,28 +195,34 @@ impl Outcome {
 }
 
 /// One computed analysis: the schema actually analyzed (possibly the
-/// arity-reduced one), its expansion, and the fixpoint result.
-struct Bundle {
+/// arity-reduced one), its expansion, and the fixpoint result. Shared
+/// with [`crate::incremental`], whose `Workspace` caches bundles across
+/// schema edits.
+pub(crate) struct Bundle {
     /// `Some` when the Theorem 4.5 transform was applied (surfaced via
     /// [`AnalysisStats::arity_reduced`]; the expansion below was built
     /// against it).
-    transformed: Option<Schema>,
-    expansion: Expansion,
-    analysis: SatAnalysis,
+    pub(crate) transformed: Option<Schema>,
+    pub(crate) expansion: Expansion,
+    pub(crate) analysis: SatAnalysis,
     /// Lazily built per-class lists of realizable compound classes,
     /// shared by every implication query on this bundle.
     class_index: OnceCell<Vec<Vec<CcId>>>,
 }
 
 impl Bundle {
-    fn new(transformed: Option<Schema>, expansion: Expansion, analysis: SatAnalysis) -> Bundle {
+    pub(crate) fn new(
+        transformed: Option<Schema>,
+        expansion: Expansion,
+        analysis: SatAnalysis,
+    ) -> Bundle {
         Bundle { transformed, expansion, analysis, class_index: OnceCell::new() }
     }
 
     /// The implication view, backed by the cached class index.
     /// `num_classes` must be the class count of the schema this bundle's
     /// expansion was built from.
-    fn implications(&self, num_classes: usize) -> Implications<'_> {
+    pub(crate) fn implications(&self, num_classes: usize) -> Implications<'_> {
         let index = self.class_index.get_or_init(|| {
             realizable_class_index(num_classes, &self.expansion, &self.analysis)
         });
@@ -224,11 +231,116 @@ impl Bundle {
 
     /// The analysis statistics, stamped with whether the Theorem 4.5
     /// transform was applied.
-    fn stats(&self) -> AnalysisStats {
+    pub(crate) fn stats(&self) -> AnalysisStats {
         let mut stats = self.analysis.stats().clone();
         stats.arity_reduced = self.transformed.is_some();
         stats
     }
+}
+
+/// Maps a resource-exhaustion failure to the public error variant,
+/// stamped with the budget's progress snapshot at the point of failure.
+pub(crate) fn exhausted_error(budget: &Budget, e: ResourceExhausted) -> ReasonerError {
+    let report = budget.progress();
+    match e.kind {
+        ResourceKind::Deadline => ReasonerError::DeadlineExceeded(report),
+        ResourceKind::Cancelled => ReasonerError::Cancelled(report),
+        ResourceKind::Steps | ResourceKind::Memory | ResourceKind::FaultInjected => {
+            ReasonerError::BudgetExhausted(report)
+        }
+    }
+}
+
+/// Maps a build failure (size limit or exhaustion) to the public error.
+pub(crate) fn build_error(budget: &Budget, e: BuildError) -> ReasonerError {
+    match e {
+        BuildError::TooLarge(t) => ReasonerError::TooLarge(t),
+        BuildError::Exhausted(x) => exhausted_error(budget, x),
+    }
+}
+
+/// `true` when the config asks for the Theorem 4.5 transform and some
+/// relation is actually reducible — i.e. [`transform_schema`] would
+/// return `Some`.
+pub(crate) fn transform_applies(schema: &Schema, config: &ReasonerConfig) -> bool {
+    config.arity_reduction
+        && schema.symbols().rel_ids().any(|r| crate::arity::reducible(schema, r))
+}
+
+/// The Theorem 4.5 transform, when enabled and applicable (the
+/// `Phase::Setup` step shared by [`Reasoner`] and
+/// [`crate::incremental::Workspace`]).
+pub(crate) fn transform_schema(
+    schema: &Schema,
+    config: &ReasonerConfig,
+) -> Result<Option<Schema>, ReasonerError> {
+    if transform_applies(schema, config) {
+        let red = reduce_arities(schema).map_err(ReasonerError::InvalidSchema)?;
+        Ok(Some(red.schema))
+    } else {
+        Ok(None)
+    }
+}
+
+/// Strategy-dispatched compound-class enumeration (`Phase::Enumerate`).
+///
+/// `Strategy::Naive` beyond [`enumerate::NAIVE_CAP`] falls back to the
+/// AllSAT enumeration: the naive sweep is hopeless there regardless of
+/// limits, and AllSAT produces the identical compound-class set, so the
+/// cap is a tractability boundary of the sweep — not a property of the
+/// schema — and must not surface as a user-facing error. Direct callers
+/// of `enumerate::naive*` (the explicit request for the §4.2 sweep)
+/// still get the capped behavior.
+pub(crate) fn enumerate_ccs(
+    schema: &Schema,
+    config: &ReasonerConfig,
+) -> Result<Vec<BitSet>, ReasonerError> {
+    let budget = &config.budget;
+    let threads = config.threads;
+    let max = config.limits.max_compound_classes;
+    budget.enter_phase(Phase::Enumerate);
+    match config.strategy {
+        Strategy::Naive if schema.num_classes() > enumerate::NAIVE_CAP => {
+            enumerate::sat_models_par_governed(schema, &[], max, threads, budget)
+        }
+        Strategy::Naive => enumerate::naive_par_governed(schema, max, threads, budget),
+        Strategy::Sat => enumerate::sat_models_par_governed(schema, &[], max, threads, budget),
+        Strategy::Preselect => {
+            let pre = Preselection::compute(schema);
+            clustered_ccs_governed(schema, &pre, max, budget)
+        }
+        Strategy::Auto => match hierarchy::detect(schema) {
+            Some(h) => hierarchy::path_closure_ccs_governed(schema, &h, budget)
+                .map_err(BuildError::from),
+            None => {
+                let pre = Preselection::compute(schema);
+                clustered_ccs_governed(schema, &pre, max, budget)
+            }
+        },
+    }
+    .map_err(|e| build_error(budget, e))
+}
+
+/// Expansion construction plus acceptability fixpoint over a ready
+/// compound-class list (`Phase::Expand` and `Phase::Fixpoint`).
+pub(crate) fn expand_and_analyze(
+    schema: &Schema,
+    ccs: Vec<BitSet>,
+    config: &ReasonerConfig,
+) -> Result<(Expansion, SatAnalysis), ReasonerError> {
+    let budget = &config.budget;
+    budget.enter_phase(Phase::Expand);
+    let expansion =
+        Expansion::build_governed(schema, ccs, &config.limits, config.threads, budget)
+            .map_err(|e| build_error(budget, e))?;
+    budget.enter_phase(Phase::Fixpoint);
+    let analysis = SatAnalysis::try_run_with_budget(
+        &expansion,
+        &AnalysisOptions { threads: config.threads, ..AnalysisOptions::default() },
+        budget,
+    )
+    .map_err(|e| exhausted_error(budget, e))?;
+    Ok((expansion, analysis))
 }
 
 /// The reasoning facade over one schema.
@@ -279,101 +391,38 @@ impl<'s> Reasoner<'s> {
     /// Maps a resource-exhaustion error to the public error variant,
     /// stamping it with the progress snapshot at the point of failure.
     fn exhausted(&self, e: ResourceExhausted) -> ReasonerError {
-        let report = self.config.budget.progress();
-        match e.kind {
-            ResourceKind::Deadline => ReasonerError::DeadlineExceeded(report),
-            ResourceKind::Cancelled => ReasonerError::Cancelled(report),
-            ResourceKind::Steps | ResourceKind::Memory | ResourceKind::FaultInjected => {
-                ReasonerError::BudgetExhausted(report)
-            }
-        }
-    }
-
-    fn build_error(&self, e: BuildError) -> ReasonerError {
-        match e {
-            BuildError::TooLarge(t) => ReasonerError::TooLarge(t),
-            BuildError::Exhausted(x) => self.exhausted(x),
-        }
+        exhausted_error(&self.config.budget, e)
     }
 
     fn compute_sat_bundle(&self) -> Result<Bundle, ReasonerError> {
-        let budget = &self.config.budget;
-        budget.enter_phase(Phase::Setup);
+        self.config.budget.enter_phase(Phase::Setup);
         // Theorem 4.5: reify wide relations first when enabled.
-        let transformed = if self.config.arity_reduction
-            && self
-                .schema
-                .symbols()
-                .rel_ids()
-                .any(|r| crate::arity::reducible(self.schema, r))
-        {
-            let red = reduce_arities(self.schema).map_err(ReasonerError::InvalidSchema)?;
-            Some(red.schema)
-        } else {
-            None
-        };
+        let transformed = transform_schema(self.schema, &self.config)?;
         let schema = transformed.as_ref().unwrap_or(self.schema);
-
-        let threads = self.config.threads;
-        let max = self.config.limits.max_compound_classes;
-        budget.enter_phase(Phase::Enumerate);
-        let ccs = match self.config.strategy {
-            Strategy::Naive => enumerate::naive_par_governed(schema, max, threads, budget),
-            Strategy::Sat => {
-                enumerate::sat_models_par_governed(schema, &[], max, threads, budget)
-            }
-            Strategy::Preselect => {
-                let pre = Preselection::compute(schema);
-                clustered_ccs_governed(schema, &pre, max, budget)
-            }
-            Strategy::Auto => match hierarchy::detect(schema) {
-                Some(h) => hierarchy::path_closure_ccs_governed(schema, &h, budget)
-                    .map_err(BuildError::from),
-                None => {
-                    let pre = Preselection::compute(schema);
-                    clustered_ccs_governed(schema, &pre, max, budget)
-                }
-            },
-        }
-        .map_err(|e| self.build_error(e))?;
-        budget.enter_phase(Phase::Expand);
-        let expansion =
-            Expansion::build_governed(schema, ccs, &self.config.limits, threads, budget)
-                .map_err(|e| self.build_error(e))?;
-        budget.enter_phase(Phase::Fixpoint);
-        let analysis = SatAnalysis::try_run_with_budget(
-            &expansion,
-            &AnalysisOptions { threads, ..AnalysisOptions::default() },
-            budget,
-        )
-        .map_err(|e| self.exhausted(e))?;
+        let ccs = enumerate_ccs(schema, &self.config)?;
+        let (expansion, analysis) = expand_and_analyze(schema, ccs, &self.config)?;
         Ok(Bundle::new(transformed, expansion, analysis))
     }
 
     fn compute_full_bundle(&self) -> Result<Bundle, ReasonerError> {
-        let budget = &self.config.budget;
-        let threads = self.config.threads;
-        budget.enter_phase(Phase::Enumerate);
-        let ccs = enumerate::sat_models_par_governed(
-            self.schema,
-            &[],
-            self.config.limits.max_compound_classes,
-            threads,
-            budget,
-        )
-        .map_err(|e| self.build_error(e))?;
-        budget.enter_phase(Phase::Expand);
-        let expansion =
-            Expansion::build_governed(self.schema, ccs, &self.config.limits, threads, budget)
-                .map_err(|e| self.build_error(e))?;
-        budget.enter_phase(Phase::Fixpoint);
-        let analysis = SatAnalysis::try_run_with_budget(
-            &expansion,
-            &AnalysisOptions { threads, ..AnalysisOptions::default() },
-            budget,
-        )
-        .map_err(|e| self.exhausted(e))?;
+        // Implication queries need the complete enumeration of the
+        // untransformed schema: force the AllSAT strategy, no transform.
+        let full_config = ReasonerConfig {
+            strategy: Strategy::Sat,
+            arity_reduction: false,
+            ..self.config.clone()
+        };
+        let ccs = enumerate_ccs(self.schema, &full_config)?;
+        let (expansion, analysis) = expand_and_analyze(self.schema, ccs, &full_config)?;
         Ok(Bundle::new(None, expansion, analysis))
+    }
+
+    /// `true` when the sat and full bundles are the same computation:
+    /// the configured strategy already is the complete AllSAT
+    /// enumeration and no Theorem 4.5 transform applies, so either
+    /// bundle can answer for the other without recomputing.
+    fn shares_bundles(&self) -> bool {
+        self.config.strategy == Strategy::Sat && !transform_applies(self.schema, &self.config)
     }
 
     /// The cached satisfiability bundle, computing it on first success.
@@ -384,6 +433,11 @@ impl<'s> Reasoner<'s> {
         if let Some(bundle) = self.sat_bundle.get() {
             return Ok(bundle);
         }
+        if self.shares_bundles() {
+            if let Some(bundle) = self.full_bundle.get() {
+                return Ok(bundle);
+            }
+        }
         let bundle = self.compute_sat_bundle()?;
         Ok(self.sat_bundle.get_or_init(|| bundle))
     }
@@ -391,6 +445,11 @@ impl<'s> Reasoner<'s> {
     fn full_bundle(&self) -> Result<&Bundle, ReasonerError> {
         if let Some(bundle) = self.full_bundle.get() {
             return Ok(bundle);
+        }
+        if self.shares_bundles() {
+            if let Some(bundle) = self.sat_bundle.get() {
+                return Ok(bundle);
+            }
         }
         let bundle = self.compute_full_bundle()?;
         Ok(self.full_bundle.get_or_init(|| bundle))
@@ -410,11 +469,12 @@ impl<'s> Reasoner<'s> {
     /// Class satisfiability; panics on resource exhaustion.
     ///
     /// # Panics
-    /// Panics if the expansion exceeds the configured limits; use
-    /// [`Self::try_is_satisfiable`] to handle that case.
+    /// Panics with the underlying [`ReasonerError`] display if the
+    /// analysis fails (size limits, deadline, cancellation, budget
+    /// exhaustion); use [`Self::try_is_satisfiable`] to handle those.
     #[must_use]
     pub fn is_satisfiable(&self, class: ClassId) -> bool {
-        self.try_is_satisfiable(class).expect("expansion exceeded configured limits")
+        self.try_is_satisfiable(class).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// All classes that are necessarily empty in every database state.
@@ -501,11 +561,12 @@ impl<'s> Reasoner<'s> {
     /// `S ⊨ class isa formula`.
     ///
     /// # Panics
-    /// Panics if the (complete) expansion exceeds the configured limits;
-    /// use [`Self::try_implies_isa`] to handle that case.
+    /// Panics with the underlying [`ReasonerError`] display if the
+    /// analysis fails (size limits, deadline, cancellation, budget
+    /// exhaustion); use [`Self::try_implies_isa`] to handle those.
     #[must_use]
     pub fn implies_isa(&self, class: ClassId, formula: &ClassFormula) -> bool {
-        self.try_implies_isa(class, formula).expect("expansion exceeded configured limits")
+        self.try_implies_isa(class, formula).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Subsumption `sub ⊑ sup` in every model.
@@ -520,11 +581,12 @@ impl<'s> Reasoner<'s> {
     /// Subsumption `sub ⊑ sup` in every model.
     ///
     /// # Panics
-    /// Panics if the (complete) expansion exceeds the configured limits;
-    /// use [`Self::try_subsumes`] to handle that case.
+    /// Panics with the underlying [`ReasonerError`] display if the
+    /// analysis fails (size limits, deadline, cancellation, budget
+    /// exhaustion); use [`Self::try_subsumes`] to handle those.
     #[must_use]
     pub fn subsumes(&self, sup: ClassId, sub: ClassId) -> bool {
-        self.try_subsumes(sup, sub).expect("expansion exceeded configured limits")
+        self.try_subsumes(sup, sub).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Disjointness in every model.
@@ -539,11 +601,12 @@ impl<'s> Reasoner<'s> {
     /// Disjointness in every model.
     ///
     /// # Panics
-    /// Panics if the (complete) expansion exceeds the configured limits;
-    /// use [`Self::try_disjoint`] to handle that case.
+    /// Panics with the underlying [`ReasonerError`] display if the
+    /// analysis fails (size limits, deadline, cancellation, budget
+    /// exhaustion); use [`Self::try_disjoint`] to handle those.
     #[must_use]
     pub fn disjoint(&self, c1: ClassId, c2: ClassId) -> bool {
-        self.try_disjoint(c1, c2).expect("expansion exceeded configured limits")
+        self.try_disjoint(c1, c2).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Equivalence in every model.
@@ -558,11 +621,12 @@ impl<'s> Reasoner<'s> {
     /// Equivalence in every model.
     ///
     /// # Panics
-    /// Panics if the (complete) expansion exceeds the configured limits;
-    /// use [`Self::try_equivalent`] to handle that case.
+    /// Panics with the underlying [`ReasonerError`] display if the
+    /// analysis fails (size limits, deadline, cancellation, budget
+    /// exhaustion); use [`Self::try_equivalent`] to handle those.
     #[must_use]
     pub fn equivalent(&self, c1: ClassId, c2: ClassId) -> bool {
-        self.try_equivalent(c1, c2).expect("expansion exceeded configured limits")
+        self.try_equivalent(c1, c2).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// The implied strict subsumption pairs `(sup, sub)` among
@@ -583,11 +647,12 @@ impl<'s> Reasoner<'s> {
     /// satisfiable classes.
     ///
     /// # Panics
-    /// Panics if the (complete) expansion exceeds the configured limits;
-    /// use [`Self::try_classification`] to handle that case.
+    /// Panics with the underlying [`ReasonerError`] display if the
+    /// analysis fails (size limits, deadline, cancellation, budget
+    /// exhaustion); use [`Self::try_classification`] to handle those.
     #[must_use]
     pub fn classification(&self) -> Vec<(ClassId, ClassId)> {
-        self.try_classification().expect("expansion exceeded configured limits")
+        self.try_classification().unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Exact filler-type implication for instances of a class (see
@@ -609,8 +674,9 @@ impl<'s> Reasoner<'s> {
     /// [`Implications::implies_filler_type`]).
     ///
     /// # Panics
-    /// Panics if the (complete) expansion exceeds the configured limits;
-    /// use [`Self::try_implies_filler_type`] to handle that case.
+    /// Panics with the underlying [`ReasonerError`] display if the
+    /// analysis fails (size limits, deadline, cancellation, budget
+    /// exhaustion); use [`Self::try_implies_filler_type`] to handle those.
     #[must_use]
     pub fn implies_filler_type(
         &self,
@@ -619,7 +685,7 @@ impl<'s> Reasoner<'s> {
         formula: &ClassFormula,
     ) -> bool {
         self.try_implies_filler_type(class, att, formula)
-            .expect("expansion exceeded configured limits")
+            .unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Sound implied attribute-cardinality bound for instances of a
@@ -640,15 +706,16 @@ impl<'s> Reasoner<'s> {
     /// class (see [`Implications::implied_att_card`]).
     ///
     /// # Panics
-    /// Panics if the (complete) expansion exceeds the configured limits;
-    /// use [`Self::try_implied_att_card`] to handle that case.
+    /// Panics with the underlying [`ReasonerError`] display if the
+    /// analysis fails (size limits, deadline, cancellation, budget
+    /// exhaustion); use [`Self::try_implied_att_card`] to handle those.
     #[must_use]
     pub fn implied_att_card(
         &self,
         class: ClassId,
         att: crate::syntax::AttRef,
     ) -> Option<crate::syntax::Card> {
-        self.try_implied_att_card(class, att).expect("expansion exceeded configured limits")
+        self.try_implied_att_card(class, att).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Sound implied participation bound for instances of a class (see
@@ -670,8 +737,9 @@ impl<'s> Reasoner<'s> {
     /// [`Implications::implied_part_card`]).
     ///
     /// # Panics
-    /// Panics if the (complete) expansion exceeds the configured limits;
-    /// use [`Self::try_implied_part_card`] to handle that case.
+    /// Panics with the underlying [`ReasonerError`] display if the
+    /// analysis fails (size limits, deadline, cancellation, budget
+    /// exhaustion); use [`Self::try_implied_part_card`] to handle those.
     #[must_use]
     pub fn implied_part_card(
         &self,
@@ -680,7 +748,7 @@ impl<'s> Reasoner<'s> {
         role_pos: usize,
     ) -> Option<crate::syntax::Card> {
         self.try_implied_part_card(class, rel, role_pos)
-            .expect("expansion exceeded configured limits")
+            .unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Builds a machine-checkable proof that `class` is unsatisfiable
@@ -938,5 +1006,103 @@ mod tests {
         let dbg = format!("{r:?}");
         assert!(dbg.contains("Reasoner"));
         assert!(dbg.contains("classes"));
+    }
+
+    /// A 30-class isa chain: beyond the naive cap, but trivially small
+    /// for every other strategy (31 compound classes).
+    fn long_chain() -> Schema {
+        let mut b = SchemaBuilder::new();
+        let ids: Vec<_> = (0..30).map(|i| b.class(&format!("C{i}"))).collect();
+        for w in ids.windows(2) {
+            b.define_class(w[1]).isa(ClassFormula::class(w[0])).finish();
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn naive_strategy_falls_back_above_cap() {
+        let s = long_chain();
+        assert!(s.num_classes() > enumerate::NAIVE_CAP);
+        // The raw sweep still refuses — the cap stays for explicit use.
+        assert!(enumerate::naive(&s, usize::MAX).is_err());
+        // The facade falls back to AllSAT instead of surfacing the cap.
+        let naive = Reasoner::with_config(
+            &s,
+            ReasonerConfig { strategy: Strategy::Naive, ..Default::default() },
+        );
+        let sat = Reasoner::with_config(
+            &s,
+            ReasonerConfig { strategy: Strategy::Sat, ..Default::default() },
+        );
+        for class in s.symbols().class_ids() {
+            assert_eq!(
+                naive.try_is_satisfiable(class).unwrap(),
+                sat.try_is_satisfiable(class).unwrap()
+            );
+        }
+        assert_eq!(
+            naive.try_stats().unwrap().num_compound_classes,
+            sat.try_stats().unwrap().num_compound_classes
+        );
+    }
+
+    #[test]
+    fn sat_strategy_shares_bundles_between_sat_and_implication_queries() {
+        let s = university();
+        let person = s.class_id("Person").unwrap();
+        let grad = s.class_id("Grad_Student").unwrap();
+        // sat query first, then implication: the full bundle reuses the
+        // sat bundle, so the second query consumes no extra checkpoints.
+        let budget = Budget::counting();
+        let r = Reasoner::with_config(
+            &s,
+            ReasonerConfig {
+                strategy: Strategy::Sat,
+                budget: budget.clone(),
+                ..Default::default()
+            },
+        );
+        assert!(r.try_is_satisfiable(person).unwrap());
+        let after_sat = budget.checkpoints_used();
+        assert!(after_sat > 0);
+        assert!(r.try_subsumes(person, grad).unwrap());
+        assert_eq!(budget.checkpoints_used(), after_sat, "full bundle rebuilt");
+        // Reverse order: implication first, then sat — same sharing.
+        let budget = Budget::counting();
+        let r = Reasoner::with_config(
+            &s,
+            ReasonerConfig {
+                strategy: Strategy::Sat,
+                budget: budget.clone(),
+                ..Default::default()
+            },
+        );
+        assert!(r.try_subsumes(person, grad).unwrap());
+        let after_full = budget.checkpoints_used();
+        assert!(r.try_is_satisfiable(person).unwrap());
+        assert_eq!(budget.checkpoints_used(), after_full, "sat bundle rebuilt");
+    }
+
+    #[test]
+    fn panicking_wrappers_report_the_actual_error() {
+        let s = university();
+        let person = s.class_id("Person").unwrap();
+        let r = Reasoner::with_config(
+            &s,
+            ReasonerConfig { budget: Budget::trip_after(1), ..Default::default() },
+        );
+        let panic = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            r.is_satisfiable(person)
+        }))
+        .unwrap_err();
+        let message = panic
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| panic.downcast_ref::<&str>().map(|s| (*s).to_string()))
+            .unwrap();
+        assert!(
+            message.contains("resource budget exhausted"),
+            "panic message must carry the real error, got: {message}"
+        );
     }
 }

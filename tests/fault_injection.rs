@@ -33,6 +33,24 @@ const STRATEGIES: [Strategy; 4] =
     [Strategy::Naive, Strategy::Sat, Strategy::Preselect, Strategy::Auto];
 const THREAD_COUNTS: [usize; 3] = [1, 2, 4];
 
+/// `CAR_SLOW_TESTS=1` runs the full sweep (every thread count, a dense
+/// trip-point grid, the complete proptest case budget); the default run
+/// keeps a reduced matrix so the suite stays fast on every push. CI runs
+/// the full sweep on a schedule.
+fn slow() -> bool {
+    std::env::var("CAR_SLOW_TESTS").map(|v| v == "1").unwrap_or(false)
+}
+
+/// Thread counts for the expensive sweeps (cheap targeted tests keep the
+/// full [`THREAD_COUNTS`]).
+fn sweep_thread_counts() -> &'static [usize] {
+    if slow() {
+        &THREAD_COUNTS
+    } else {
+        &[1, 2]
+    }
+}
+
 fn governed(schema: &Schema, strategy: Strategy, threads: usize, budget: Budget) -> Reasoner<'_> {
     Reasoner::with_config(
         schema,
@@ -176,12 +194,13 @@ fn injected_faults_never_panic_and_retries_recover() {
     for (name, schema) in seed_schemas() {
         let (ref_sat, ref_classification) = reference(&schema);
         for strategy in STRATEGIES {
-            for threads in THREAD_COUNTS {
+            for &threads in sweep_thread_counts() {
                 let total = count_checkpoints(&schema, strategy, threads);
                 assert!(total > 0, "{name}/{strategy:?}: pipeline exposes no checkpoints");
                 // Stride keeps the sweep bounded; always include the
                 // edges (k=1 trips immediately, k=total+1 never trips).
-                let stride = (total / 25).max(1);
+                let grid = if slow() { 25 } else { 8 };
+                let stride = (total / grid).max(1);
                 let mut ks: Vec<u64> = (1..=total).step_by(stride as usize).collect();
                 ks.push(total);
                 ks.push(total + 1);
@@ -442,7 +461,7 @@ fn arb_schema() -> impl proptest::strategy::Strategy<Value = Schema> {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+    #![proptest_config(ProptestConfig::with_cases(if slow() { 24 } else { 8 }))]
 
     /// Random schemas × random trip points × random thread counts: the
     /// clean-failure and retry-recovery contract holds off the seed set

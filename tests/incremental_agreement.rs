@@ -1,0 +1,345 @@
+//! Metamorphic agreement for the incremental engine: after any sequence
+//! of edits, a [`Workspace`] must give exactly the answers a fresh
+//! [`Reasoner`] gives on the current schema — regardless of thread
+//! count, enumeration strategy, what is or is not cached, and whether a
+//! previous rebuild was killed mid-flight by fault injection.
+//!
+//! The default run keeps the sweep small; set `CAR_SLOW_TESTS=1` for
+//! the full matrix (more seeds, longer edit sequences, more trip
+//! points).
+
+use car::core::incremental::{Query, SchemaDelta, Workspace};
+use car::core::reasoner::{Outcome, Reasoner, ReasonerConfig, ReasonerError, Strategy};
+use car::core::syntax::{Card, ClassClause, ClassFormula, ClassLiteral, Schema};
+use car::core::{Budget, ClassId};
+use car::reductions::generators::{random_schema, RandomSchemaParams};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::num::NonZeroUsize;
+
+fn slow() -> bool {
+    std::env::var("CAR_SLOW_TESTS").map(|v| v == "1").unwrap_or(false)
+}
+
+fn config(strategy: Strategy, threads: usize) -> ReasonerConfig {
+    ReasonerConfig {
+        strategy,
+        threads: NonZeroUsize::new(threads).unwrap(),
+        ..ReasonerConfig::default()
+    }
+}
+
+/// A random formula over the schema's current classes: 1–2 clauses of
+/// 1–2 literals with random polarity (empty = ⊤ occasionally).
+fn random_formula(schema: &Schema, rng: &mut StdRng) -> ClassFormula {
+    let ids: Vec<ClassId> = schema.symbols().class_ids().collect();
+    if ids.is_empty() || rng.gen_bool(0.15) {
+        return ClassFormula::top();
+    }
+    let mut f = ClassFormula::top();
+    for _ in 0..rng.gen_range(1usize..=2) {
+        let literals = (0..rng.gen_range(1usize..=2))
+            .map(|_| {
+                let class = ids[rng.gen_range(0..ids.len())];
+                if rng.gen_bool(0.3) {
+                    ClassLiteral::neg(class)
+                } else {
+                    ClassLiteral::pos(class)
+                }
+            })
+            .collect();
+        f.push_clause(ClassClause::new(literals));
+    }
+    f
+}
+
+fn random_card(rng: &mut StdRng) -> Card {
+    let min = rng.gen_range(0u64..=2);
+    if rng.gen_bool(0.3) {
+        Card::at_least(min)
+    } else {
+        Card::new(min, min + rng.gen_range(0u64..=2))
+    }
+}
+
+/// One random edit addressed at the current schema. May be an edit the
+/// workspace legitimately rejects (removing a referenced class, say);
+/// the caller skips those.
+fn random_delta(schema: &Schema, rng: &mut StdRng, fresh: &mut u32) -> SchemaDelta {
+    let class_names: Vec<String> =
+        schema.symbols().class_ids().map(|c| schema.class_name(c).to_owned()).collect();
+    let pick = |rng: &mut StdRng, names: &[String]| names[rng.gen_range(0..names.len())].clone();
+    match rng.gen_range(0u32..10) {
+        0 => {
+            *fresh += 1;
+            SchemaDelta::AddClass { name: format!("Fresh{fresh}") }
+        }
+        1 => SchemaDelta::RemoveClass { name: pick(rng, &class_names) },
+        2..=5 => SchemaDelta::SetIsa {
+            class: pick(rng, &class_names),
+            isa: random_formula(schema, rng),
+        },
+        6 | 7 => SchemaDelta::SetAttribute {
+            class: pick(rng, &class_names),
+            attr: format!("g{}", rng.gen_range(0u32..2)),
+            inverse: rng.gen_bool(0.25),
+            spec: if rng.gen_bool(0.8) {
+                Some((random_card(rng), random_formula(schema, rng)))
+            } else {
+                None
+            },
+        },
+        8 => SchemaDelta::SetRelation {
+            name: format!("Rel{}", rng.gen_range(0u32..2)),
+            roles: vec!["u".into(), "v".into()],
+            constraints: vec![],
+        },
+        _ => {
+            let rel = format!("Rel{}", rng.gen_range(0u32..2));
+            SchemaDelta::SetParticipation {
+                class: pick(rng, &class_names),
+                rel,
+                role: if rng.gen_bool(0.5) { "u".into() } else { "v".into() },
+                card: if rng.gen_bool(0.8) { Some(random_card(rng)) } else { None },
+            }
+        }
+    }
+}
+
+/// Every query the workspace supports must match a fresh serial
+/// reasoner on the workspace's current schema.
+fn assert_agreement(ws: &mut Workspace, context: &str) {
+    let schema = ws.schema().clone();
+    let fresh = Reasoner::new(&schema);
+    let ids: Vec<ClassId> = schema.symbols().class_ids().collect();
+    for &c in &ids {
+        assert_eq!(
+            ws.try_is_satisfiable(c).unwrap(),
+            fresh.try_is_satisfiable(c).unwrap(),
+            "satisfiability of {} ({context})",
+            schema.class_name(c)
+        );
+    }
+    assert_eq!(ws.try_is_coherent().unwrap(), fresh.try_is_coherent().unwrap(), "{context}");
+    assert_eq!(
+        ws.try_unsatisfiable_classes().unwrap(),
+        fresh.try_unsatisfiable_classes().unwrap(),
+        "{context}"
+    );
+    for &a in &ids {
+        for &b in &ids {
+            assert_eq!(
+                ws.try_subsumes(a, b).unwrap(),
+                fresh.try_subsumes(a, b).unwrap(),
+                "subsumes({}, {}) ({context})",
+                schema.class_name(a),
+                schema.class_name(b)
+            );
+            assert_eq!(
+                ws.try_disjoint(a, b).unwrap(),
+                fresh.try_disjoint(a, b).unwrap(),
+                "disjoint ({context})"
+            );
+            assert_eq!(
+                ws.try_equivalent(a, b).unwrap(),
+                fresh.try_equivalent(a, b).unwrap(),
+                "equivalent ({context})"
+            );
+        }
+    }
+}
+
+/// `query_batch` must answer exactly like the one-at-a-time API.
+fn assert_batch_agreement(ws: &mut Workspace, context: &str) {
+    let ids: Vec<ClassId> = ws.schema().symbols().class_ids().collect();
+    let mut queries = vec![Query::IsCoherent];
+    for &c in &ids {
+        queries.push(Query::IsSatisfiable(c));
+    }
+    for &a in &ids {
+        for &b in &ids {
+            queries.push(Query::Subsumes { sup: a, sub: b });
+            queries.push(Query::Disjoint(a, b));
+            queries.push(Query::Equivalent(a, b));
+        }
+    }
+    // Duplicates must come back identical to their first occurrence.
+    queries.push(Query::IsCoherent);
+    let batch = ws.query_batch(&queries);
+    assert_eq!(batch.len(), queries.len());
+    assert_eq!(batch[0], *batch.last().unwrap(), "duplicate query answers differ ({context})");
+    for (q, outcome) in queries.iter().zip(&batch) {
+        let expected = match *q {
+            Query::IsSatisfiable(c) => ws.try_is_satisfiable(c).unwrap(),
+            Query::IsCoherent => ws.try_is_coherent().unwrap(),
+            Query::Subsumes { sup, sub } => ws.try_subsumes(sup, sub).unwrap(),
+            Query::Disjoint(a, b) => ws.try_disjoint(a, b).unwrap(),
+            Query::Equivalent(a, b) => ws.try_equivalent(a, b).unwrap(),
+        };
+        let expected = if expected { Outcome::Proved } else { Outcome::Disproved };
+        assert_eq!(*outcome, expected, "batch answer for {q:?} ({context})");
+    }
+}
+
+fn base_schema(seed: u64) -> Schema {
+    let params = RandomSchemaParams {
+        classes: 3 + (seed as usize % 3),
+        attrs: 1,
+        rels: 0,
+        isa_density: 0.6,
+        max_bound: 2,
+    };
+    random_schema(&params, seed)
+}
+
+fn run_scenario(seed: u64, strategy: Strategy, threads: usize) {
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9).wrapping_add(threads as u64));
+    let mut ws = Workspace::new(base_schema(seed), config(strategy, threads));
+    let context = format!("seed={seed} strategy={strategy:?} threads={threads}");
+    assert_agreement(&mut ws, &context);
+
+    let edits = if slow() { 10 } else { 5 };
+    let mut fresh_names = 0;
+    let mut applied = 0;
+    for step in 0..edits {
+        let delta = random_delta(ws.schema(), &mut rng, &mut fresh_names);
+        let before = ws.schema().clone();
+        match ws.apply(&delta) {
+            Ok(()) => applied += 1,
+            Err(_) => {
+                // A rejected edit must leave the schema untouched.
+                assert_eq!(
+                    format!("{:?}", ws.schema()),
+                    format!("{before:?}"),
+                    "rejected edit mutated the schema ({context})"
+                );
+                continue;
+            }
+        }
+        let step_context = format!("{context} step={step} delta={delta:?}");
+        assert_agreement(&mut ws, &step_context);
+        if step == edits / 2 {
+            assert_batch_agreement(&mut ws, &step_context);
+        }
+    }
+
+    // Walking back through history must answer from the bundle cache:
+    // every version on the undo stack was queried when it was current.
+    while ws.undo() {
+        let misses = ws.stats().bundle_misses;
+        assert!(ws.try_is_coherent().is_ok());
+        assert_eq!(ws.stats().bundle_misses, misses, "undo missed the cache ({context})");
+    }
+    while ws.redo() {
+        let misses = ws.stats().bundle_misses;
+        assert!(ws.try_is_coherent().is_ok());
+        assert_eq!(ws.stats().bundle_misses, misses, "redo missed the cache ({context})");
+    }
+    assert_agreement(&mut ws, &format!("{context} after-replay"));
+    assert_eq!(ws.stats().edits_applied, applied);
+}
+
+#[test]
+fn random_edit_sequences_agree_with_fresh_reasoner() {
+    let seeds: u64 = if slow() { 10 } else { 3 };
+    let strategies = [Strategy::Auto, Strategy::Preselect, Strategy::Sat, Strategy::Naive];
+    for seed in 0..seeds {
+        for strategy in strategies {
+            for threads in [1usize, 2, 4] {
+                run_scenario(seed, strategy, threads);
+            }
+        }
+    }
+}
+
+/// Fault injection: a budget that trips mid-rebuild must surface as an
+/// error, leave no poisoned cache entry behind, and a retry under an
+/// unbounded budget must answer exactly like a fresh reasoner —
+/// including when the first attempt died halfway through a cluster
+/// splice, with some clusters already cached.
+#[test]
+fn tripped_rebuilds_do_not_poison_the_cache() {
+    let trip_points: Vec<u64> = if slow() {
+        (1..=40).collect()
+    } else {
+        vec![1, 2, 3, 5, 8, 13, 21]
+    };
+    for seed in 0..if slow() { 6u64 } else { 2 } {
+        let schema = base_schema(seed);
+        for strategy in [Strategy::Auto, Strategy::Preselect, Strategy::Sat] {
+            for threads in [1usize, 2] {
+                for &k in &trip_points {
+                    let mut ws = Workspace::new(
+                        schema.clone(),
+                        ReasonerConfig {
+                            budget: Budget::trip_after(k),
+                            ..config(strategy, threads)
+                        },
+                    );
+                    let context =
+                        format!("seed={seed} strategy={strategy:?} threads={threads} k={k}");
+                    // Either the build survives k checkpoints (correct
+                    // answer required) or it trips (error required).
+                    match ws.try_is_coherent() {
+                        Ok(v) => {
+                            let fresh = Reasoner::new(&schema);
+                            assert_eq!(v, fresh.try_is_coherent().unwrap(), "{context}");
+                        }
+                        Err(ReasonerError::BudgetExhausted(_)) => {}
+                        Err(e) => panic!("unexpected error {e:?} ({context})"),
+                    }
+                    // Whatever happened, an unbounded retry must agree
+                    // with a fresh reasoner on everything.
+                    ws.set_budget(Budget::unbounded());
+                    assert_agreement(&mut ws, &format!("{context} after-retry"));
+
+                    // And an edit after the incident must still work.
+                    ws.apply(&SchemaDelta::AddClass { name: "PostTrip".into() }).unwrap();
+                    assert_agreement(&mut ws, &format!("{context} after-retry-edit"));
+                }
+            }
+        }
+    }
+}
+
+/// The answers must not depend on the thread count even after edits —
+/// bit-identical outcomes across workspaces driven through the same
+/// edit script with different `threads`.
+#[test]
+fn thread_count_is_invisible_across_edit_sequences() {
+    for seed in 0..if slow() { 8u64 } else { 3 } {
+        let script: Vec<SchemaDelta> = {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut probe = Workspace::new(base_schema(seed), config(Strategy::Auto, 1));
+            let mut fresh_names = 0;
+            let mut script = Vec::new();
+            for _ in 0..if slow() { 8 } else { 4 } {
+                let delta = random_delta(probe.schema(), &mut rng, &mut fresh_names);
+                if probe.apply(&delta).is_ok() {
+                    script.push(delta);
+                }
+            }
+            script
+        };
+        let mut answers: Vec<Vec<Outcome>> = Vec::new();
+        for threads in [1usize, 2, 4] {
+            let mut ws = Workspace::new(base_schema(seed), config(Strategy::Auto, threads));
+            let mut transcript = Vec::new();
+            for delta in &script {
+                ws.apply(delta).unwrap();
+                let ids: Vec<ClassId> = ws.schema().symbols().class_ids().collect();
+                let mut queries = vec![Query::IsCoherent];
+                queries.extend(ids.iter().map(|&c| Query::IsSatisfiable(c)));
+                for &a in &ids {
+                    for &b in &ids {
+                        queries.push(Query::Subsumes { sup: a, sub: b });
+                    }
+                }
+                transcript.extend(ws.query_batch(&queries));
+            }
+            answers.push(transcript);
+        }
+        assert_eq!(answers[0], answers[1], "threads=2 diverged (seed={seed})");
+        assert_eq!(answers[0], answers[2], "threads=4 diverged (seed={seed})");
+    }
+}
