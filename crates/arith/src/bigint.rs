@@ -1,6 +1,22 @@
 //! The [`BigInt`] type: representation, construction, comparison and
 //! formatting. Arithmetic operator implementations live in
 //! [`crate::bigint_ops`].
+//!
+//! # Representation
+//!
+//! Values are stored in a tagged representation: anything that fits in
+//! an `i64` lives inline as [`Repr::Small`] (no heap allocation at
+//! all), and only values outside the `i64` range are promoted to
+//! [`Repr::Heap`], a sign plus a little-endian `u32` limb vector. The
+//! reasoner's hot loops (simplex pivots, cardinality-bound merges)
+//! overwhelmingly manipulate tiny integers, so the small path is the
+//! common case; overflow checks promote exactly when needed and every
+//! heap-producing operation demotes results that fit back into a word.
+//!
+//! The canonical-representation invariant — `Small` iff the value fits
+//! in `i64`, heap limb vectors have no trailing zeros — gives every
+//! value a unique representation, so derived `Eq`/`Hash` are sound. It
+//! is checked in debug builds by [`BigInt::debug_check`].
 
 use std::cmp::Ordering;
 use std::fmt;
@@ -8,8 +24,8 @@ use std::str::FromStr;
 
 /// Sign of a [`BigInt`].
 ///
-/// Zero always carries [`Sign::Zero`] and an empty limb vector, so every
-/// value has exactly one representation.
+/// Zero always carries [`Sign::Zero`], so every value has exactly one
+/// representation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Sign {
     /// Strictly negative.
@@ -46,33 +62,64 @@ impl std::ops::Mul for Sign {
     }
 }
 
-/// An arbitrary-precision signed integer.
-///
-/// Stored as a sign plus a little-endian vector of `u32` limbs with no
-/// trailing zero limbs. The canonical representation invariant is checked in
-/// debug builds by [`BigInt::debug_check`].
+/// Tagged value representation (see the module docs for the invariant).
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub(crate) enum Repr {
+    /// The value fits in a machine word; stored inline.
+    Small(i64),
+    /// The value does not fit in `i64`: sign plus little-endian
+    /// magnitude with no trailing zero limbs (at least two limbs).
+    Heap {
+        sign: Sign,
+        limbs: Vec<u32>,
+    },
+}
+
+/// An arbitrary-precision signed integer with an inline small-value
+/// representation (see the module docs).
 #[derive(Clone, PartialEq, Eq, Hash)]
 pub struct BigInt {
-    pub(crate) sign: Sign,
-    /// Little-endian magnitude; empty iff the value is zero; the last limb
-    /// is never zero.
-    pub(crate) limbs: Vec<u32>,
+    pub(crate) repr: Repr,
 }
 
 impl BigInt {
     /// The value `0`.
     #[must_use]
     pub fn zero() -> BigInt {
-        BigInt { sign: Sign::Zero, limbs: Vec::new() }
+        BigInt { repr: Repr::Small(0) }
     }
 
     /// The value `1`.
     #[must_use]
     pub fn one() -> BigInt {
-        BigInt { sign: Sign::Plus, limbs: vec![1] }
+        BigInt { repr: Repr::Small(1) }
     }
 
-    /// Builds a value from a sign and a (possibly denormalized) magnitude.
+    /// Builds an inline small value.
+    #[inline]
+    pub(crate) fn small(v: i64) -> BigInt {
+        BigInt { repr: Repr::Small(v) }
+    }
+
+    /// Builds a value from a 128-bit integer, promoting to the heap only
+    /// when it does not fit in `i64`.
+    pub(crate) fn from_i128(v: i128) -> BigInt {
+        if let Ok(small) = i64::try_from(v) {
+            return BigInt::small(small);
+        }
+        let sign = if v < 0 { Sign::Minus } else { Sign::Plus };
+        let mut mag = v.unsigned_abs();
+        let mut limbs = Vec::with_capacity(4);
+        while mag != 0 {
+            limbs.push(mag as u32);
+            mag >>= 32;
+        }
+        BigInt { repr: Repr::Heap { sign, limbs } }
+    }
+
+    /// Builds a value from a sign and a (possibly denormalized)
+    /// magnitude, canonicalizing: trailing zero limbs are stripped and
+    /// word-sized results are demoted to the inline representation.
     pub(crate) fn from_sign_limbs(sign: Sign, mut limbs: Vec<u32>) -> BigInt {
         while limbs.last() == Some(&0) {
             limbs.pop();
@@ -81,110 +128,184 @@ impl BigInt {
             return BigInt::zero();
         }
         debug_assert!(sign != Sign::Zero, "nonzero magnitude with Zero sign");
-        BigInt { sign, limbs }
+        if limbs.len() <= 2 {
+            let mag = limbs
+                .get(1)
+                .map_or(0u64, |&hi| u64::from(hi) << 32)
+                | u64::from(limbs[0]);
+            match sign {
+                Sign::Minus if mag <= 1 << 63 => {
+                    return BigInt::small((mag as i64).wrapping_neg());
+                }
+                Sign::Plus if mag < 1 << 63 => return BigInt::small(mag as i64),
+                _ => {}
+            }
+        }
+        BigInt { repr: Repr::Heap { sign, limbs } }
+    }
+
+    /// The magnitude as limbs: inline values are decomposed into `buf`,
+    /// heap values borrow their limb vector. The returned slice is empty
+    /// iff the value is zero.
+    #[inline]
+    pub(crate) fn mag<'a>(&'a self, buf: &'a mut [u32; 2]) -> &'a [u32] {
+        match &self.repr {
+            Repr::Small(v) => {
+                let mag = v.unsigned_abs();
+                buf[0] = mag as u32;
+                buf[1] = (mag >> 32) as u32;
+                if mag == 0 {
+                    &[]
+                } else if mag >> 32 == 0 {
+                    &buf[..1]
+                } else {
+                    &buf[..2]
+                }
+            }
+            Repr::Heap { limbs, .. } => limbs,
+        }
+    }
+
+    /// `true` iff the value is stored inline (no heap allocation). Part
+    /// of the canonical-representation contract: every value fitting in
+    /// `i64` must be stored inline. Exposed for the small-int agreement
+    /// tests.
+    #[doc(hidden)]
+    #[must_use]
+    pub fn is_inline(&self) -> bool {
+        matches!(self.repr, Repr::Small(_))
     }
 
     /// Asserts the canonical-representation invariant (debug builds only).
     pub(crate) fn debug_check(&self) {
-        debug_assert_eq!(self.limbs.is_empty(), self.sign == Sign::Zero);
-        debug_assert!(self.limbs.last() != Some(&0));
+        if let Repr::Heap { sign, limbs } = &self.repr {
+            debug_assert!(*sign != Sign::Zero, "heap value with Zero sign");
+            debug_assert!(limbs.last().is_some_and(|&l| l != 0), "trailing zero limb");
+            debug_assert!(limbs.len() >= 2, "single-limb value not demoted");
+            if limbs.len() == 2 {
+                let mag = (u64::from(limbs[1]) << 32) | u64::from(limbs[0]);
+                match sign {
+                    Sign::Plus => debug_assert!(mag >= 1 << 63, "small value not demoted"),
+                    Sign::Minus => debug_assert!(mag > 1 << 63, "small value not demoted"),
+                    Sign::Zero => unreachable!(),
+                }
+            }
+        }
     }
 
     /// `true` iff the value is `0`.
     #[must_use]
     pub fn is_zero(&self) -> bool {
-        self.sign == Sign::Zero
+        matches!(self.repr, Repr::Small(0))
     }
 
     /// `true` iff the value is `1`.
     #[must_use]
     pub fn is_one(&self) -> bool {
-        self.sign == Sign::Plus && self.limbs == [1]
+        matches!(self.repr, Repr::Small(1))
     }
 
     /// `true` iff the value is strictly negative.
     #[must_use]
     pub fn is_negative(&self) -> bool {
-        self.sign == Sign::Minus
+        self.sign() == Sign::Minus
     }
 
     /// `true` iff the value is strictly positive.
     #[must_use]
     pub fn is_positive(&self) -> bool {
-        self.sign == Sign::Plus
+        self.sign() == Sign::Plus
     }
 
     /// The sign of the value.
     #[must_use]
     pub fn sign(&self) -> Sign {
-        self.sign
+        match &self.repr {
+            Repr::Small(v) => match v.cmp(&0) {
+                Ordering::Less => Sign::Minus,
+                Ordering::Equal => Sign::Zero,
+                Ordering::Greater => Sign::Plus,
+            },
+            Repr::Heap { sign, .. } => *sign,
+        }
     }
 
     /// Absolute value.
     #[must_use]
     pub fn abs(&self) -> BigInt {
-        match self.sign {
-            Sign::Minus => BigInt { sign: Sign::Plus, limbs: self.limbs.clone() },
-            _ => self.clone(),
+        match &self.repr {
+            Repr::Small(v) => match v.checked_abs() {
+                Some(a) => BigInt::small(a),
+                None => BigInt::from_i128(-(i128::from(*v))),
+            },
+            Repr::Heap { limbs, .. } => {
+                BigInt { repr: Repr::Heap { sign: Sign::Plus, limbs: limbs.clone() } }
+            }
         }
     }
 
     /// Negation by reference (see also the `Neg` impls).
     #[must_use]
     pub fn negated(&self) -> BigInt {
-        BigInt { sign: self.sign.negate(), limbs: self.limbs.clone() }
+        match &self.repr {
+            Repr::Small(v) => match v.checked_neg() {
+                Some(n) => BigInt::small(n),
+                None => BigInt::from_i128(-(i128::from(*v))),
+            },
+            Repr::Heap { sign, limbs } => {
+                // Negating a heap value cannot re-enter the i64 range,
+                // except |i64::MIN| whose positive form is still 2 limbs
+                // but representable — route through the canonicalizer.
+                BigInt::from_sign_limbs(sign.negate(), limbs.clone())
+            }
+        }
     }
 
     /// Number of bits in the magnitude (`0` for zero).
     #[must_use]
     pub fn bits(&self) -> u64 {
-        match self.limbs.last() {
-            None => 0,
-            Some(&top) => {
-                (self.limbs.len() as u64 - 1) * 32 + (32 - u64::from(top.leading_zeros()))
-            }
+        match &self.repr {
+            Repr::Small(v) => u64::from(64 - v.unsigned_abs().leading_zeros()),
+            Repr::Heap { limbs, .. } => match limbs.last() {
+                None => 0,
+                Some(&top) => {
+                    (limbs.len() as u64 - 1) * 32 + (32 - u64::from(top.leading_zeros()))
+                }
+            },
         }
     }
 
     /// Converts to `i64` if the value fits.
     #[must_use]
     pub fn to_i64(&self) -> Option<i64> {
-        match self.limbs.len() {
-            0 => Some(0),
-            1 => {
-                let m = i64::from(self.limbs[0]);
-                Some(if self.sign == Sign::Minus { -m } else { m })
-            }
-            2 => {
-                let m = (u64::from(self.limbs[1]) << 32) | u64::from(self.limbs[0]);
-                match self.sign {
-                    Sign::Minus if m <= 1 << 63 => Some((m as i64).wrapping_neg()),
-                    Sign::Plus if m < 1 << 63 => Some(m as i64),
-                    _ => None,
-                }
-            }
-            _ => None,
+        match &self.repr {
+            Repr::Small(v) => Some(*v),
+            Repr::Heap { .. } => None, // canonical: heap values never fit
         }
     }
 
     /// Converts to `u64` if the value fits (negative values do not).
     #[must_use]
     pub fn to_u64(&self) -> Option<u64> {
-        if self.sign == Sign::Minus {
-            return None;
-        }
-        match self.limbs.len() {
-            0 => Some(0),
-            1 => Some(u64::from(self.limbs[0])),
-            2 => Some((u64::from(self.limbs[1]) << 32) | u64::from(self.limbs[0])),
-            _ => None,
+        match &self.repr {
+            Repr::Small(v) => u64::try_from(*v).ok(),
+            Repr::Heap { sign: Sign::Plus, limbs } if limbs.len() == 2 => {
+                Some((u64::from(limbs[1]) << 32) | u64::from(limbs[0]))
+            }
+            Repr::Heap { .. } => None,
         }
     }
 
     /// Compares magnitudes, ignoring signs.
     #[must_use]
     pub fn cmp_abs(&self, other: &BigInt) -> Ordering {
-        cmp_limbs(&self.limbs, &other.limbs)
+        match (&self.repr, &other.repr) {
+            (Repr::Small(a), Repr::Small(b)) => a.unsigned_abs().cmp(&b.unsigned_abs()),
+            // Canonical: heap magnitudes always exceed word magnitudes.
+            (Repr::Small(_), Repr::Heap { .. }) => Ordering::Less,
+            (Repr::Heap { .. }, Repr::Small(_)) => Ordering::Greater,
+            (Repr::Heap { limbs: a, .. }, Repr::Heap { limbs: b, .. }) => cmp_limbs(a, b),
+        }
     }
 }
 
@@ -216,15 +337,27 @@ impl PartialOrd for BigInt {
 
 impl Ord for BigInt {
     fn cmp(&self, other: &BigInt) -> Ordering {
-        use Sign::*;
-        match (self.sign, other.sign) {
-            (Minus, Minus) => cmp_limbs(&other.limbs, &self.limbs),
-            (Minus, _) => Ordering::Less,
-            (_, Minus) => Ordering::Greater,
-            (Zero, Zero) => Ordering::Equal,
-            (Zero, Plus) => Ordering::Less,
-            (Plus, Zero) => Ordering::Greater,
-            (Plus, Plus) => cmp_limbs(&self.limbs, &other.limbs),
+        match (&self.repr, &other.repr) {
+            (Repr::Small(a), Repr::Small(b)) => a.cmp(b),
+            // Canonical: a heap value lies strictly outside i64's range,
+            // so its sign decides against any inline value.
+            (Repr::Small(_), Repr::Heap { sign, .. }) => match sign {
+                Sign::Plus => Ordering::Less,
+                _ => Ordering::Greater,
+            },
+            (Repr::Heap { sign, .. }, Repr::Small(_)) => match sign {
+                Sign::Plus => Ordering::Greater,
+                _ => Ordering::Less,
+            },
+            (
+                Repr::Heap { sign: sa, limbs: la },
+                Repr::Heap { sign: sb, limbs: lb },
+            ) => match (sa, sb) {
+                (Sign::Minus, Sign::Minus) => cmp_limbs(lb, la),
+                (Sign::Minus, _) => Ordering::Less,
+                (_, Sign::Minus) => Ordering::Greater,
+                _ => cmp_limbs(la, lb),
+            },
         }
     }
 }
@@ -233,16 +366,16 @@ macro_rules! impl_from_unsigned {
     ($($t:ty),*) => {$(
         impl From<$t> for BigInt {
             fn from(v: $t) -> BigInt {
-                let mut v = u64::from(v);
-                if v == 0 {
-                    return BigInt::zero();
+                let v = u64::from(v);
+                match i64::try_from(v) {
+                    Ok(small) => BigInt::small(small),
+                    Err(_) => BigInt {
+                        repr: Repr::Heap {
+                            sign: Sign::Plus,
+                            limbs: vec![v as u32, (v >> 32) as u32],
+                        },
+                    },
                 }
-                let mut limbs = Vec::with_capacity(2);
-                while v != 0 {
-                    limbs.push(v as u32);
-                    v >>= 32;
-                }
-                BigInt { sign: Sign::Plus, limbs }
             }
         }
     )*};
@@ -253,12 +386,7 @@ macro_rules! impl_from_signed {
     ($($t:ty),*) => {$(
         impl From<$t> for BigInt {
             fn from(v: $t) -> BigInt {
-                let mag = BigInt::from(<$t>::unsigned_abs(v));
-                if v < 0 {
-                    -mag
-                } else {
-                    mag
-                }
+                BigInt::small(i64::from(v))
             }
         }
     )*};
@@ -298,14 +426,32 @@ impl FromStr for BigInt {
         if digits.is_empty() {
             return Err(ParseBigIntError { message: "no digits" });
         }
-        let mut value = BigInt::zero();
+        // Accumulate inline while the value fits a word; spill to the
+        // generic (auto-promoting) path only past 64 bits.
+        let mut acc: i64 = 0;
+        let mut spilled: Option<BigInt> = None;
         for &b in digits {
             if !b.is_ascii_digit() {
                 return Err(ParseBigIntError { message: "non-digit character" });
             }
-            value = value.mul_small(10);
-            value = &value + &BigInt::from(u32::from(b - b'0'));
+            let d = i64::from(b - b'0');
+            match &mut spilled {
+                None => match acc.checked_mul(10).and_then(|v| v.checked_add(d)) {
+                    Some(next) => acc = next,
+                    None => {
+                        let mut big = BigInt::small(acc).mul_small(10);
+                        big += &BigInt::small(d);
+                        spilled = Some(big);
+                    }
+                },
+                Some(big) => {
+                    let mut next = big.mul_small(10);
+                    next += &BigInt::small(d);
+                    *big = next;
+                }
+            }
         }
+        let mut value = spilled.unwrap_or_else(|| BigInt::small(acc));
         if negative {
             value = -value;
         }
@@ -315,12 +461,17 @@ impl FromStr for BigInt {
 
 impl fmt::Display for BigInt {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        if self.is_zero() {
-            return f.pad_integral(true, "", "0");
-        }
+        let limbs = match &self.repr {
+            Repr::Small(v) => {
+                // Inline values print through the primitive formatter.
+                let s = v.unsigned_abs().to_string();
+                return f.pad_integral(*v >= 0, "", &s);
+            }
+            Repr::Heap { limbs, .. } => limbs,
+        };
         // Repeated division by 10^9 produces the decimal digits in chunks.
         const CHUNK: u32 = 1_000_000_000;
-        let mut mag = self.limbs.clone();
+        let mut mag = limbs.clone();
         let mut chunks: Vec<u32> = Vec::new();
         while !mag.is_empty() {
             let mut rem: u64 = 0;
@@ -338,7 +489,7 @@ impl fmt::Display for BigInt {
         for chunk in chunks.iter().rev().skip(1) {
             digits.push_str(&format!("{chunk:09}"));
         }
-        f.pad_integral(self.sign != Sign::Minus, "", &digits)
+        f.pad_integral(self.sign() != Sign::Minus, "", &digits)
     }
 }
 
@@ -368,10 +519,30 @@ mod tests {
         for v in [0i64, 1, -1, 42, -42, i64::MAX, i64::MIN, 1 << 32, -(1 << 32)] {
             assert_eq!(BigInt::from(v).to_i64(), Some(v), "value {v}");
             assert_eq!(BigInt::from(v).to_string(), v.to_string());
+            assert!(BigInt::from(v).is_inline(), "value {v}");
         }
         assert_eq!(BigInt::from(u64::MAX).to_u64(), Some(u64::MAX));
         assert_eq!(BigInt::from(u64::MAX).to_i64(), None);
         assert_eq!(BigInt::from(-1i32).to_u64(), None);
+        assert!(!BigInt::from(u64::MAX).is_inline());
+    }
+
+    #[test]
+    fn promotion_boundary_is_canonical() {
+        // Around ±2^63: values inside i64 stay inline, outside go heap.
+        let max = BigInt::from(i64::MAX);
+        let min = BigInt::from(i64::MIN);
+        let above = &max + &BigInt::one();
+        let below = &min - &BigInt::one();
+        assert!(max.is_inline() && min.is_inline());
+        assert!(!above.is_inline() && !below.is_inline());
+        assert_eq!(&above - &BigInt::one(), max);
+        assert_eq!(&below + &BigInt::one(), min);
+        assert!((&below + &BigInt::one()).is_inline());
+        above.debug_check();
+        below.debug_check();
+        assert_eq!(above.to_string(), "9223372036854775808");
+        assert_eq!(below.to_string(), "-9223372036854775809");
     }
 
     #[test]
@@ -386,6 +557,14 @@ mod tests {
                 );
             }
         }
+        // Mixed-representation ordering.
+        let big_pos: BigInt = "99999999999999999999999".parse().unwrap();
+        let big_neg: BigInt = "-99999999999999999999999".parse().unwrap();
+        for &v in &values {
+            assert!(BigInt::from(v) < big_pos);
+            assert!(big_neg < BigInt::from(v));
+        }
+        assert!(big_neg < big_pos);
     }
 
     #[test]
@@ -408,6 +587,8 @@ mod tests {
         assert_eq!(BigInt::from(256u32).bits(), 9);
         assert_eq!(BigInt::from(1u64 << 40).bits(), 41);
         assert_eq!(BigInt::from(-8i32).bits(), 4);
+        assert_eq!(BigInt::from(i64::MIN).bits(), 64);
+        assert_eq!(BigInt::from(u64::MAX).bits(), 64);
     }
 
     #[test]
@@ -419,5 +600,10 @@ mod tests {
         assert_eq!(Sign::Plus * Sign::Minus, Sign::Minus);
         assert_eq!(Sign::Minus * Sign::Minus, Sign::Plus);
         assert_eq!(Sign::Zero * Sign::Minus, Sign::Zero);
+        // i64::MIN has no inline negation; both directions stay exact.
+        let min = BigInt::from(i64::MIN);
+        assert_eq!(min.abs().to_string(), "9223372036854775808");
+        assert_eq!(min.negated().negated(), min);
+        assert_eq!(min.abs(), min.negated());
     }
 }

@@ -1,12 +1,19 @@
 //! Arithmetic on [`BigInt`]: addition, subtraction, multiplication and
 //! Euclidean division, for owned values and references.
+//!
+//! Every operator first tries the inline word path — plain `i64`
+//! arithmetic with overflow checks, falling back to `i128` where the
+//! result is guaranteed to fit — and only reaches the limb kernels when
+//! a heap operand or an overflow forces it. Limb results are demoted
+//! back to the inline representation whenever they fit, preserving the
+//! canonical-representation invariant of [`crate::bigint`].
 
-use crate::bigint::{cmp_limbs, BigInt, Sign};
+use crate::bigint::{cmp_limbs, BigInt, Repr, Sign};
 use std::cmp::Ordering;
 use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Rem, Sub, SubAssign};
 
 /// `a + b` on magnitudes.
-fn add_limbs(a: &[u32], b: &[u32]) -> Vec<u32> {
+pub(crate) fn add_limbs(a: &[u32], b: &[u32]) -> Vec<u32> {
     let (long, short) = if a.len() >= b.len() { (a, b) } else { (b, a) };
     let mut out = Vec::with_capacity(long.len() + 1);
     let mut carry: u64 = 0;
@@ -22,7 +29,7 @@ fn add_limbs(a: &[u32], b: &[u32]) -> Vec<u32> {
 }
 
 /// `a - b` on magnitudes; requires `a >= b`.
-fn sub_limbs(a: &[u32], b: &[u32]) -> Vec<u32> {
+pub(crate) fn sub_limbs(a: &[u32], b: &[u32]) -> Vec<u32> {
     debug_assert!(cmp_limbs(a, b) != Ordering::Less);
     let mut out = Vec::with_capacity(a.len());
     let mut borrow: i64 = 0;
@@ -44,7 +51,7 @@ fn sub_limbs(a: &[u32], b: &[u32]) -> Vec<u32> {
 }
 
 /// Schoolbook `a * b` on magnitudes.
-fn mul_limbs(a: &[u32], b: &[u32]) -> Vec<u32> {
+pub(crate) fn mul_limbs(a: &[u32], b: &[u32]) -> Vec<u32> {
     if a.is_empty() || b.is_empty() {
         return Vec::new();
     }
@@ -74,7 +81,7 @@ fn mul_limbs(a: &[u32], b: &[u32]) -> Vec<u32> {
 }
 
 /// Knuth algorithm D: `(quotient, remainder)` of magnitudes; `b` nonzero.
-fn divrem_limbs(a: &[u32], b: &[u32]) -> (Vec<u32>, Vec<u32>) {
+pub(crate) fn divrem_limbs(a: &[u32], b: &[u32]) -> (Vec<u32>, Vec<u32>) {
     assert!(!b.is_empty(), "division by zero");
     match cmp_limbs(a, b) {
         Ordering::Less => return (Vec::new(), a.to_vec()),
@@ -204,20 +211,26 @@ impl BigInt {
     /// Multiplies by a small unsigned constant.
     #[must_use]
     pub fn mul_small(&self, k: u32) -> BigInt {
-        if k == 0 || self.is_zero() {
-            return BigInt::zero();
+        match &self.repr {
+            // i64 * u32 always fits in i128.
+            Repr::Small(v) => BigInt::from_i128(i128::from(*v) * i128::from(k)),
+            Repr::Heap { sign, limbs } => {
+                if k == 0 {
+                    return BigInt::zero();
+                }
+                let mut out = Vec::with_capacity(limbs.len() + 1);
+                let mut carry: u64 = 0;
+                for &limb in limbs {
+                    let cur = u64::from(limb) * u64::from(k) + carry;
+                    out.push(cur as u32);
+                    carry = cur >> 32;
+                }
+                if carry != 0 {
+                    out.push(carry as u32);
+                }
+                BigInt::from_sign_limbs(*sign, out)
+            }
         }
-        let mut limbs = Vec::with_capacity(self.limbs.len() + 1);
-        let mut carry: u64 = 0;
-        for &limb in &self.limbs {
-            let cur = u64::from(limb) * u64::from(k) + carry;
-            limbs.push(cur as u32);
-            carry = cur >> 32;
-        }
-        if carry != 0 {
-            limbs.push(carry as u32);
-        }
-        BigInt::from_sign_limbs(self.sign, limbs)
     }
 
     /// Euclidean division: returns `(q, r)` with `self = q * other + r`,
@@ -229,9 +242,18 @@ impl BigInt {
     #[must_use]
     pub fn div_rem(&self, other: &BigInt) -> (BigInt, BigInt) {
         assert!(!other.is_zero(), "BigInt division by zero");
-        let (q_mag, r_mag) = divrem_limbs(&self.limbs, &other.limbs);
-        let q = BigInt::from_sign_limbs(self.sign.mul(other.sign), q_mag);
-        let r = BigInt::from_sign_limbs(self.sign, r_mag);
+        if let (Repr::Small(a), Repr::Small(b)) = (&self.repr, &other.repr) {
+            // Only i64::MIN / -1 overflows; route it through i128.
+            return match a.checked_div(*b) {
+                Some(q) => (BigInt::small(q), BigInt::small(a % b)),
+                None => (BigInt::from_i128(-(i128::from(*a))), BigInt::zero()),
+            };
+        }
+        let mut abuf = [0u32; 2];
+        let mut bbuf = [0u32; 2];
+        let (q_mag, r_mag) = divrem_limbs(self.mag(&mut abuf), other.mag(&mut bbuf));
+        let q = BigInt::from_sign_limbs(self.sign().mul(other.sign()), q_mag);
+        let r = BigInt::from_sign_limbs(self.sign(), r_mag);
         q.debug_check();
         r.debug_check();
         (q, r)
@@ -244,40 +266,100 @@ impl BigInt {
     }
 }
 
-fn add_signed(a: &BigInt, b: &BigInt) -> BigInt {
-    use Sign::*;
-    match (a.sign, b.sign) {
-        (Zero, _) => b.clone(),
-        (_, Zero) => a.clone(),
-        (x, y) if x == y => BigInt::from_sign_limbs(x, add_limbs(&a.limbs, &b.limbs)),
-        _ => match cmp_limbs(&a.limbs, &b.limbs) {
+/// Signed addition through the limb kernels (any representation mix).
+fn add_signed_slow(a: &BigInt, b: &BigInt) -> BigInt {
+    let mut abuf = [0u32; 2];
+    let mut bbuf = [0u32; 2];
+    let amag = a.mag(&mut abuf);
+    let bmag = b.mag(&mut bbuf);
+    match (a.sign(), b.sign()) {
+        (Sign::Zero, _) => b.clone(),
+        (_, Sign::Zero) => a.clone(),
+        (x, y) if x == y => BigInt::from_sign_limbs(x, add_limbs(amag, bmag)),
+        (x, y) => match cmp_limbs(amag, bmag) {
             Ordering::Equal => BigInt::zero(),
-            Ordering::Greater => {
-                BigInt::from_sign_limbs(a.sign, sub_limbs(&a.limbs, &b.limbs))
-            }
-            Ordering::Less => BigInt::from_sign_limbs(b.sign, sub_limbs(&b.limbs, &a.limbs)),
+            Ordering::Greater => BigInt::from_sign_limbs(x, sub_limbs(amag, bmag)),
+            Ordering::Less => BigInt::from_sign_limbs(y, sub_limbs(bmag, amag)),
         },
     }
+}
+
+/// Addition through the limb kernels regardless of representation
+/// (reference path for cross-checking the inline fast paths).
+pub(crate) fn ref_add(a: &BigInt, b: &BigInt) -> BigInt {
+    add_signed_slow(a, b)
+}
+
+/// Subtraction through the limb kernels regardless of representation.
+pub(crate) fn ref_sub(a: &BigInt, b: &BigInt) -> BigInt {
+    add_signed_slow(a, &b.negated())
+}
+
+/// Multiplication through the limb kernels regardless of representation.
+pub(crate) fn ref_mul(a: &BigInt, b: &BigInt) -> BigInt {
+    let mut abuf = [0u32; 2];
+    let mut bbuf = [0u32; 2];
+    BigInt::from_sign_limbs(
+        a.sign().mul(b.sign()),
+        mul_limbs(a.mag(&mut abuf), b.mag(&mut bbuf)),
+    )
+}
+
+/// Division through the limb kernels regardless of representation.
+pub(crate) fn ref_div_rem(a: &BigInt, b: &BigInt) -> (BigInt, BigInt) {
+    assert!(!b.is_zero(), "BigInt division by zero");
+    let mut abuf = [0u32; 2];
+    let mut bbuf = [0u32; 2];
+    let (q_mag, r_mag) = divrem_limbs(a.mag(&mut abuf), b.mag(&mut bbuf));
+    (
+        BigInt::from_sign_limbs(a.sign().mul(b.sign()), q_mag),
+        BigInt::from_sign_limbs(a.sign(), r_mag),
+    )
 }
 
 impl Add<&BigInt> for &BigInt {
     type Output = BigInt;
     fn add(self, rhs: &BigInt) -> BigInt {
-        add_signed(self, rhs)
+        if let (Repr::Small(a), Repr::Small(b)) = (&self.repr, &rhs.repr) {
+            // The i128 sum of two i64s never overflows.
+            return match a.checked_add(*b) {
+                Some(v) => BigInt::small(v),
+                None => BigInt::from_i128(i128::from(*a) + i128::from(*b)),
+            };
+        }
+        add_signed_slow(self, rhs)
     }
 }
 
 impl Sub<&BigInt> for &BigInt {
     type Output = BigInt;
     fn sub(self, rhs: &BigInt) -> BigInt {
-        add_signed(self, &rhs.negated())
+        if let (Repr::Small(a), Repr::Small(b)) = (&self.repr, &rhs.repr) {
+            return match a.checked_sub(*b) {
+                Some(v) => BigInt::small(v),
+                None => BigInt::from_i128(i128::from(*a) - i128::from(*b)),
+            };
+        }
+        add_signed_slow(self, &rhs.negated())
     }
 }
 
 impl Mul<&BigInt> for &BigInt {
     type Output = BigInt;
     fn mul(self, rhs: &BigInt) -> BigInt {
-        BigInt::from_sign_limbs(self.sign.mul(rhs.sign), mul_limbs(&self.limbs, &rhs.limbs))
+        if let (Repr::Small(a), Repr::Small(b)) = (&self.repr, &rhs.repr) {
+            // The i128 product of two i64s never overflows.
+            return match a.checked_mul(*b) {
+                Some(v) => BigInt::small(v),
+                None => BigInt::from_i128(i128::from(*a) * i128::from(*b)),
+            };
+        }
+        let mut abuf = [0u32; 2];
+        let mut bbuf = [0u32; 2];
+        BigInt::from_sign_limbs(
+            self.sign().mul(rhs.sign()),
+            mul_limbs(self.mag(&mut abuf), rhs.mag(&mut bbuf)),
+        )
     }
 }
 
@@ -322,7 +404,7 @@ forward_owned_binop!(Add, add; Sub, sub; Mul, mul; Div, div; Rem, rem);
 impl Neg for BigInt {
     type Output = BigInt;
     fn neg(self) -> BigInt {
-        BigInt { sign: self.sign.negate(), limbs: self.limbs }
+        self.negated()
     }
 }
 
@@ -383,6 +465,28 @@ mod tests {
     }
 
     #[test]
+    fn overflow_promotes_and_demotes() {
+        // Every i64 edge that overflows inline arithmetic.
+        let max = big(i64::MAX);
+        let min = big(i64::MIN);
+        assert_eq!((&max + &max).to_string(), "18446744073709551614");
+        assert_eq!((&min + &min).to_string(), "-18446744073709551616");
+        assert_eq!((&min - &max).to_string(), "-18446744073709551615");
+        assert_eq!((&max * &max).to_string(), "85070591730234615847396907784232501249");
+        assert_eq!((&min * &min).to_string(), "85070591730234615865843651857942052864");
+        let (q, r) = min.div_rem(&big(-1));
+        assert_eq!(q.to_string(), "9223372036854775808");
+        assert!(r.is_zero());
+        // Heap results that fit a word are demoted.
+        let sum = (&max + &max) - &max;
+        assert!(sum.is_inline());
+        assert_eq!(sum, max);
+        let prod = (&max * &max) / &max;
+        assert!(prod.is_inline());
+        assert_eq!(prod, max);
+    }
+
+    #[test]
     fn large_multiplication() {
         let a: BigInt = "123456789012345678901234567890".parse().unwrap();
         let b: BigInt = "987654321098765432109876543210".parse().unwrap();
@@ -416,6 +520,8 @@ mod tests {
         let a: BigInt = "340282366920938463463374607431768211455".parse().unwrap();
         assert_eq!(a.mul_small(1000), &a * &BigInt::from(1000u32));
         assert_eq!(a.mul_small(0), BigInt::zero());
+        assert_eq!(big(7).mul_small(6), big(42));
+        assert_eq!(big(i64::MAX).mul_small(2), &big(i64::MAX) + &big(i64::MAX));
     }
 
     #[test]
@@ -483,6 +589,14 @@ mod tests {
         #[test]
         fn prop_neg_involutive(a in arb_bigint()) {
             prop_assert_eq!(-(-a.clone()), a);
+        }
+
+        #[test]
+        fn prop_canonical_representation(a in arb_bigint(), b in arb_bigint()) {
+            for v in [&a + &b, &a - &b, &a * &b] {
+                v.debug_check();
+                prop_assert_eq!(v.is_inline(), v.to_i64().is_some());
+            }
         }
     }
 }

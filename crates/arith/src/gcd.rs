@@ -2,6 +2,26 @@
 
 use crate::BigInt;
 
+/// Euclid on machine words.
+pub(crate) fn gcd_u64(mut x: u64, mut y: u64) -> u64 {
+    while y != 0 {
+        let r = x % y;
+        x = y;
+        y = r;
+    }
+    x
+}
+
+/// Euclid on double words (for `Ratio` cross-product reduction).
+pub(crate) fn gcd_u128(mut x: u128, mut y: u128) -> u128 {
+    while y != 0 {
+        let r = x % y;
+        x = y;
+        y = r;
+    }
+    x
+}
+
 /// Greatest common divisor of `|a|` and `|b|` (Euclid's algorithm).
 ///
 /// `gcd(0, 0) = 0`; otherwise the result is strictly positive.
@@ -10,9 +30,15 @@ pub fn gcd(a: &BigInt, b: &BigInt) -> BigInt {
     let mut x = a.abs();
     let mut y = b.abs();
     while !y.is_zero() {
+        // As soon as both operands fit a word — immediately for inline
+        // values, otherwise once the remainders shrink — finish with
+        // allocation-free word arithmetic.
+        if let (Some(xv), Some(yv)) = (x.to_i64(), y.to_i64()) {
+            return BigInt::from(gcd_u64(xv.unsigned_abs(), yv.unsigned_abs()));
+        }
         let r = &x % &y;
         x = y;
-        y = r.abs();
+        y = r;
     }
     x
 }

@@ -11,11 +11,17 @@
 //! fixed-width integers very quickly. Both therefore require exact,
 //! unbounded arithmetic, which this crate provides.
 //!
-//! The representation is deliberately simple and well-tested rather than
-//! maximally fast: sign-and-magnitude with little-endian `u32` limbs,
-//! schoolbook multiplication, and Knuth-style long division. Reasoning time
-//! in CAR is dominated by the exponential expansion phase, not by limb
-//! arithmetic, so clarity wins (measured in the `phase2_scaling` bench).
+//! [`BigInt`] uses a tagged representation: values that fit an `i64` are
+//! stored inline (the overwhelmingly common case in simplex pivots and
+//! cardinality bounds) and arithmetic on them is plain overflow-checked
+//! word arithmetic; values outside that range spill to sign-and-magnitude
+//! little-endian `u32` limbs with schoolbook multiplication and
+//! Knuth-style long division. The representation is canonical — a value
+//! is heap-allocated iff it does not fit an `i64` — so derived `Eq` and
+//! `Hash` remain structural. [`Ratio`] reduces word-sized cross products
+//! in `i128` without touching the limb kernels. The inline paths are
+//! cross-checked against the limb kernels by the `smallint_agreement`
+//! property suite via [`reference`].
 //!
 //! ```
 //! use car_arith::{BigInt, Ratio};
@@ -37,3 +43,41 @@ mod ratio;
 pub use bigint::{BigInt, ParseBigIntError, Sign};
 pub use gcd::{gcd, lcm};
 pub use ratio::Ratio;
+
+/// Reference implementations that always route through the limb kernels,
+/// bypassing the inline small-value fast paths.
+///
+/// Exists so property tests can assert bit-for-bit agreement between the
+/// fast paths and the heap kernels across promotion boundaries. Not part
+/// of the stable API.
+#[doc(hidden)]
+pub mod reference {
+    use crate::BigInt;
+
+    /// `a + b` via the limb kernels.
+    #[must_use]
+    pub fn add(a: &BigInt, b: &BigInt) -> BigInt {
+        crate::bigint_ops::ref_add(a, b)
+    }
+
+    /// `a - b` via the limb kernels.
+    #[must_use]
+    pub fn sub(a: &BigInt, b: &BigInt) -> BigInt {
+        crate::bigint_ops::ref_sub(a, b)
+    }
+
+    /// `a * b` via the limb kernels.
+    #[must_use]
+    pub fn mul(a: &BigInt, b: &BigInt) -> BigInt {
+        crate::bigint_ops::ref_mul(a, b)
+    }
+
+    /// Truncating `(quotient, remainder)` via the limb kernels.
+    ///
+    /// # Panics
+    /// Panics if `b` is zero.
+    #[must_use]
+    pub fn div_rem(a: &BigInt, b: &BigInt) -> (BigInt, BigInt) {
+        crate::bigint_ops::ref_div_rem(a, b)
+    }
+}

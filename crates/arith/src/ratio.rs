@@ -1,5 +1,6 @@
 //! Exact rational numbers over [`BigInt`].
 
+use crate::gcd::gcd_u128;
 use crate::{gcd, BigInt};
 use std::cmp::Ordering;
 use std::fmt;
@@ -26,14 +27,47 @@ impl Ratio {
         if num.is_zero() {
             return Ratio::zero();
         }
+        if let (Some(n), Some(d)) = (num.to_i64(), den.to_i64()) {
+            // Inline operands: reduce in word arithmetic, no limb
+            // allocation. i64 magnitudes (including i64::MIN) negate
+            // safely in i128.
+            let (mut n, mut d) = (i128::from(n), i128::from(d));
+            if d < 0 {
+                n = -n;
+                d = -d;
+            }
+            return Ratio::new_reduced_i128(n, d);
+        }
         let g = gcd(&num, &den);
-        let mut num = &num / &g;
-        let mut den = &den / &g;
+        // gcd == 1 is the common case for simplex pivots; skip the two
+        // limb divisions entirely.
+        let (mut num, mut den) = if g.is_one() {
+            (num, den)
+        } else {
+            (&num / &g, &den / &g)
+        };
         if den.is_negative() {
             num = -num;
             den = -den;
         }
         Ratio { num, den }
+    }
+
+    /// Builds `num / den` (with `den > 0`) by reducing in `i128`.
+    ///
+    /// Callers guarantee `den > 0`; `num` may be any `i128` including
+    /// `i128::MIN`.
+    fn new_reduced_i128(num: i128, den: i128) -> Ratio {
+        debug_assert!(den > 0);
+        if num == 0 {
+            return Ratio::zero();
+        }
+        // gcd <= den <= i128::MAX, so the cast back is safe.
+        let g = gcd_u128(num.unsigned_abs(), den.unsigned_abs()) as i128;
+        Ratio {
+            num: BigInt::from_i128(num / g),
+            den: BigInt::from_i128(den / g),
+        }
     }
 
     /// The value `0`.
@@ -119,7 +153,13 @@ impl Ratio {
     #[must_use]
     pub fn recip(&self) -> Ratio {
         assert!(!self.is_zero(), "reciprocal of zero");
-        Ratio::new(self.den.clone(), self.num.clone())
+        // Already in lowest terms: swap numerator and denominator and
+        // move the sign — no gcd needed.
+        if self.num.is_negative() {
+            Ratio { num: self.den.negated(), den: self.num.negated() }
+        } else {
+            Ratio { num: self.den.clone(), den: self.num.clone() }
+        }
     }
 
     /// Absolute value.
@@ -184,13 +224,37 @@ impl PartialOrd for Ratio {
 impl Ord for Ratio {
     fn cmp(&self, other: &Ratio) -> Ordering {
         // a/b vs c/d  <=>  a*d vs c*b   (b, d > 0)
+        if let (Some(an), Some(ad), Some(bn), Some(bd)) = self.words(other) {
+            // i64 products always fit in i128.
+            return (an * bd).cmp(&(bn * ad));
+        }
         (&self.num * &other.den).cmp(&(&other.num * &self.den))
+    }
+}
+
+impl Ratio {
+    /// Both operands' parts as `i128` words, when all four are inline.
+    #[inline]
+    #[allow(clippy::type_complexity)]
+    fn words(&self, rhs: &Ratio) -> (Option<i128>, Option<i128>, Option<i128>, Option<i128>) {
+        (
+            self.num.to_i64().map(i128::from),
+            self.den.to_i64().map(i128::from),
+            rhs.num.to_i64().map(i128::from),
+            rhs.den.to_i64().map(i128::from),
+        )
     }
 }
 
 impl Add<&Ratio> for &Ratio {
     type Output = Ratio;
     fn add(self, rhs: &Ratio) -> Ratio {
+        if let (Some(an), Some(ad), Some(bn), Some(bd)) = self.words(rhs) {
+            // Each product fits in i128; only the sum can overflow.
+            if let Some(num) = (an * bd).checked_add(bn * ad) {
+                return Ratio::new_reduced_i128(num, ad * bd);
+            }
+        }
         Ratio::new(
             &self.num * &rhs.den + &rhs.num * &self.den,
             &self.den * &rhs.den,
@@ -201,6 +265,11 @@ impl Add<&Ratio> for &Ratio {
 impl Sub<&Ratio> for &Ratio {
     type Output = Ratio;
     fn sub(self, rhs: &Ratio) -> Ratio {
+        if let (Some(an), Some(ad), Some(bn), Some(bd)) = self.words(rhs) {
+            if let Some(num) = (an * bd).checked_sub(bn * ad) {
+                return Ratio::new_reduced_i128(num, ad * bd);
+            }
+        }
         Ratio::new(
             &self.num * &rhs.den - &rhs.num * &self.den,
             &self.den * &rhs.den,
@@ -211,6 +280,10 @@ impl Sub<&Ratio> for &Ratio {
 impl Mul<&Ratio> for &Ratio {
     type Output = Ratio;
     fn mul(self, rhs: &Ratio) -> Ratio {
+        if let (Some(an), Some(ad), Some(bn), Some(bd)) = self.words(rhs) {
+            // i64 products never overflow i128: no fallback needed.
+            return Ratio::new_reduced_i128(an * bn, ad * bd);
+        }
         Ratio::new(&self.num * &rhs.num, &self.den * &rhs.den)
     }
 }
@@ -219,6 +292,15 @@ impl Div<&Ratio> for &Ratio {
     type Output = Ratio;
     fn div(self, rhs: &Ratio) -> Ratio {
         assert!(!rhs.is_zero(), "Ratio division by zero");
+        if let (Some(an), Some(ad), Some(bn), Some(bd)) = self.words(rhs) {
+            let (mut num, mut den) = (an * bd, ad * bn);
+            if den < 0 {
+                // Magnitudes are at most 2^126: negation cannot overflow.
+                num = -num;
+                den = -den;
+            }
+            return Ratio::new_reduced_i128(num, den);
+        }
         Ratio::new(&self.num * &rhs.den, &self.den * &rhs.num)
     }
 }

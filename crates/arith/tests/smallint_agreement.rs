@@ -1,0 +1,213 @@
+//! Agreement between the inline small-integer fast paths and the limb
+//! kernels, concentrated on the `i64` promotion boundary.
+//!
+//! `BigInt` stores word-sized values inline and falls back to heap limbs
+//! on overflow; `Ratio` reduces word-sized cross products in `i128`.
+//! These tests drive both paths with boundary-biased operands and assert
+//! bit-for-bit agreement with `car_arith::reference`, which always
+//! routes through the limb kernels.
+
+use car_arith::{reference, BigInt, Ratio};
+use proptest::prelude::*;
+
+/// Values straddling every promotion/demotion edge the fast paths
+/// branch on, plus uniform words and small values.
+fn boundary_i128() -> impl Strategy<Value = i128> {
+    const EDGES: &[i128] = &[
+        0,
+        1,
+        -1,
+        i64::MAX as i128,
+        i64::MIN as i128,
+        i64::MAX as i128 + 1,
+        i64::MIN as i128 - 1,
+        u64::MAX as i128,
+        -(u64::MAX as i128),
+        1 << 62,
+        -(1 << 62),
+        (1 << 100) + 12345,
+        -(1 << 100) - 12345,
+    ];
+    (any::<u64>(), any::<i64>()).prop_map(|(sel, r)| match sel % 5 {
+        0 => EDGES[(sel as usize / 5) % EDGES.len()],
+        1 => i128::from(r),
+        2 => i64::MAX as i128 + i128::from(r % 1000), // straddle +2^63
+        3 => i64::MIN as i128 + i128::from(r % 1000), // straddle -2^63
+        _ => i128::from(r % 1000),
+    })
+}
+
+fn boundary_bigint() -> impl Strategy<Value = BigInt> {
+    boundary_i128().prop_map(|v| v.to_string().parse().unwrap())
+}
+
+/// gcd computed entirely through the limb-kernel reference path.
+fn gcd_ref(a: &BigInt, b: &BigInt) -> BigInt {
+    let mut x = a.abs();
+    let mut y = b.abs();
+    while !y.is_zero() {
+        let r = reference::div_rem(&x, &y).1;
+        x = y;
+        y = r;
+    }
+    x
+}
+
+/// Canonical `(num, den)` of `num/den` via the reference path only.
+fn normalize_ref(num: BigInt, den: BigInt) -> (BigInt, BigInt) {
+    if num.is_zero() {
+        return (BigInt::zero(), BigInt::one());
+    }
+    let g = gcd_ref(&num, &den);
+    let mut num = reference::div_rem(&num, &g).0;
+    let mut den = reference::div_rem(&den, &g).0;
+    if den.is_negative() {
+        num = num.negated();
+        den = den.negated();
+    }
+    (num, den)
+}
+
+fn assert_ratio_is(r: &Ratio, num: BigInt, den: BigInt) {
+    assert_eq!((r.numer(), r.denom()), (&num, &den), "non-canonical ratio {r:?}");
+}
+
+#[test]
+fn promotion_demotion_round_trips() {
+    let max = BigInt::from(i64::MAX);
+    let min = BigInt::from(i64::MIN);
+    let one = BigInt::one();
+    assert!(max.is_inline() && min.is_inline());
+
+    // Crossing the boundary promotes; crossing back demotes to inline.
+    let above = &max + &one;
+    assert!(!above.is_inline());
+    assert_eq!(above.to_i64(), None);
+    let back = &above - &one;
+    assert!(back.is_inline());
+    assert_eq!(back.to_i64(), Some(i64::MAX));
+
+    let below = &min - &one;
+    assert!(!below.is_inline());
+    let back = &below + &one;
+    assert!(back.is_inline());
+    assert_eq!(back.to_i64(), Some(i64::MIN));
+
+    // |i64::MIN| does not fit inline; negating twice returns inline.
+    let abs_min = min.abs();
+    assert!(!abs_min.is_inline());
+    assert_eq!(abs_min.to_u64(), Some(1u64 << 63));
+    assert_eq!(abs_min.negated(), min);
+    assert!(abs_min.negated().is_inline());
+
+    // Demotion through multiplication and division.
+    let sq = &max * &max;
+    assert!(!sq.is_inline());
+    assert!((&sq / &max).is_inline());
+    assert_eq!(&sq / &max, max);
+}
+
+#[test]
+fn parse_promotes_exactly_at_the_boundary() {
+    for (s, inline) in [
+        ("9223372036854775807", true),   // i64::MAX
+        ("9223372036854775808", false),  // i64::MAX + 1
+        ("-9223372036854775808", true),  // i64::MIN
+        ("-9223372036854775809", false), // i64::MIN - 1
+    ] {
+        let v: BigInt = s.parse().unwrap();
+        assert_eq!(v.is_inline(), inline, "{s}");
+        assert_eq!(v.to_string(), s);
+        assert_eq!(v.to_i64().is_some(), inline, "{s}");
+    }
+}
+
+proptest! {
+    /// The inline add/sub/mul/div paths agree with the limb kernels.
+    #[test]
+    fn prop_bigint_ops_agree_with_reference(a in boundary_bigint(), b in boundary_bigint()) {
+        prop_assert_eq!(&a + &b, reference::add(&a, &b));
+        prop_assert_eq!(&a - &b, reference::sub(&a, &b));
+        prop_assert_eq!(&a * &b, reference::mul(&a, &b));
+        if !b.is_zero() {
+            let (q, r) = a.div_rem(&b);
+            let (rq, rr) = reference::div_rem(&a, &b);
+            prop_assert_eq!((q, r), (rq, rr));
+        }
+    }
+
+    /// Every result is canonical: inline exactly when it fits an i64.
+    #[test]
+    fn prop_results_are_canonical(a in boundary_bigint(), b in boundary_bigint()) {
+        for v in [&a + &b, &a - &b, &a * &b, a.negated(), a.abs()] {
+            prop_assert_eq!(v.is_inline(), v.to_i64().is_some(), "{:?}", v);
+            // to_i64/to_string must describe the same value.
+            if let Some(w) = v.to_i64() {
+                prop_assert_eq!(v.to_string(), w.to_string());
+            }
+        }
+    }
+
+    /// Ordering agrees with the sign of the reference-path difference.
+    #[test]
+    fn prop_cmp_agrees_with_reference(a in boundary_bigint(), b in boundary_bigint()) {
+        let diff = reference::sub(&a, &b);
+        prop_assert_eq!(a.cmp(&b), diff.cmp(&BigInt::zero()));
+    }
+
+    /// Ratio arithmetic through the i128 fast path yields exactly the
+    /// canonical value the limb-kernel pipeline produces.
+    #[test]
+    fn prop_ratio_ops_agree_with_reference(
+        (an, ad) in (boundary_i128(), boundary_i128()),
+        (bn, bd) in (boundary_i128(), boundary_i128()),
+    ) {
+        prop_assume!(ad != 0 && bd != 0);
+        let big = |v: i128| -> BigInt { v.to_string().parse().unwrap() };
+        let a = Ratio::new(big(an), big(ad));
+        let b = Ratio::new(big(bn), big(bd));
+
+        // a itself must be canonical per the reference pipeline.
+        let (n, d) = normalize_ref(big(an), big(ad));
+        assert_ratio_is(&a, n, d);
+
+        let sum_num = reference::add(
+            &reference::mul(a.numer(), b.denom()),
+            &reference::mul(b.numer(), a.denom()),
+        );
+        let (n, d) = normalize_ref(sum_num, reference::mul(a.denom(), b.denom()));
+        assert_ratio_is(&(&a + &b), n, d);
+
+        let diff_num = reference::sub(
+            &reference::mul(a.numer(), b.denom()),
+            &reference::mul(b.numer(), a.denom()),
+        );
+        let (n, d) = normalize_ref(diff_num, reference::mul(a.denom(), b.denom()));
+        assert_ratio_is(&(&a - &b), n, d);
+
+        let (n, d) = normalize_ref(
+            reference::mul(a.numer(), b.numer()),
+            reference::mul(a.denom(), b.denom()),
+        );
+        assert_ratio_is(&(&a * &b), n, d);
+
+        if !b.is_zero() {
+            let (n, d) = normalize_ref(
+                reference::mul(a.numer(), b.denom()),
+                reference::mul(a.denom(), b.numer()),
+            );
+            assert_ratio_is(&(&a / &b), n, d);
+        }
+
+        // Ordering via i128 cross products vs reference cross products.
+        let lhs = reference::mul(a.numer(), b.denom());
+        let rhs = reference::mul(b.numer(), a.denom());
+        prop_assert_eq!(a.cmp(&b), lhs.cmp(&rhs));
+
+        // recip skips gcd entirely; it must still be canonical.
+        if !a.is_zero() {
+            let (n, d) = normalize_ref(a.denom().clone(), a.numer().clone());
+            assert_ratio_is(&a.recip(), n, d);
+        }
+    }
+}

@@ -1,0 +1,62 @@
+//! Quick deterministic bench telemetry driver.
+//!
+//! Two modes:
+//!
+//! - `bench_telemetry` — run every workload and print the `BENCH_5.json`
+//!   document on stdout (redirect to regenerate the committed file).
+//! - `bench_telemetry --check <path>` — run every workload and compare
+//!   the deterministic counters against the committed document at
+//!   `<path>`, ignoring all `wall_us` fields. Exits nonzero on any
+//!   counter drift, listing each mismatched line.
+//!
+//! CI runs the `--check` mode so engine-work regressions (extra pivots,
+//! extra propagations, changed model counts) fail the build while
+//! wall-clock noise never does.
+
+use car_bench::telemetry::{counter_lines, run_all, to_json};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.as_slice() {
+        [] => {
+            print!("{}", to_json(&run_all()));
+            ExitCode::SUCCESS
+        }
+        [flag, path] if flag == "--check" => {
+            let committed = match std::fs::read_to_string(path) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("bench_telemetry: cannot read {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let fresh = to_json(&run_all());
+            let want = counter_lines(&committed);
+            let got = counter_lines(&fresh);
+            if want == got {
+                println!(
+                    "bench_telemetry: all {} counters match {path}",
+                    got.len()
+                );
+                return ExitCode::SUCCESS;
+            }
+            eprintln!("bench_telemetry: counter drift against {path}:");
+            for line in &want {
+                if !got.contains(line) {
+                    eprintln!("  - {line}");
+                }
+            }
+            for line in &got {
+                if !want.contains(line) {
+                    eprintln!("  + {line}");
+                }
+            }
+            ExitCode::FAILURE
+        }
+        _ => {
+            eprintln!("usage: bench_telemetry [--check BENCH_5.json]");
+            ExitCode::FAILURE
+        }
+    }
+}

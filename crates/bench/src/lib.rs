@@ -1,1 +1,4 @@
-//! Benchmark harness crate; see `benches/`.
+//! Benchmark harness crate; see `benches/` for the criterion suites and
+//! [`telemetry`] for the quick deterministic mode behind `BENCH_5.json`.
+
+pub mod telemetry;

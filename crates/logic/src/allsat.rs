@@ -1,12 +1,23 @@
 //! Exhaustive model enumeration (AllSAT).
 //!
 //! Enumerates every *total* model of a CNF formula, visiting conflicting
-//! subtrees at most once thanks to unit propagation. Used to enumerate
-//! the consistent compound classes of a CAR schema (the models of
-//! `⋀_C (C → F_C)`) without sweeping all `2^|C|` candidates.
+//! subtrees at most once thanks to watched-literal unit propagation. Used
+//! to enumerate the consistent compound classes of a CAR schema (the
+//! models of `⋀_C (C → F_C)`) without sweeping all `2^|C|` candidates.
+//!
+//! The emission order — lexicographic in the model vector with `true`
+//! before `false` — is a stable contract: `car-core`'s parallel cube
+//! splitting and the incremental cluster-splice cache both reassemble
+//! transcripts under the assumption that enumeration order never changes.
+//! Unit propagation cannot disturb it: propagation only forces literals
+//! whose opposite branch is a conflict (emitting nothing), so the
+//! sequence of emitted total models is exactly the branching order.
+//! `allsat_order.rs` pins this contract.
 
 use crate::assignment::Assignment;
-use crate::cnf::{CnfFormula, PropLit};
+use crate::cnf::{CnfFormula, PropVar, PropLit};
+use crate::counters::count_decision;
+use crate::watch::{unwind, Watcher};
 
 /// Calls `visit` once per total model of `formula`, in lexicographic
 /// order of the model vector (with `true` explored before `false` on each
@@ -15,9 +26,17 @@ pub fn for_each_model<F>(formula: &CnfFormula, mut visit: F)
 where
     F: FnMut(&[bool]) -> bool,
 {
+    let mut engine = Watcher::new(formula);
+    if engine.has_empty_clause() {
+        return;
+    }
     let mut assignment = Assignment::new(formula.num_vars());
+    let mut trail = Vec::new();
+    if !engine.propagate_initial(formula, &mut assignment, &mut trail) {
+        return;
+    }
     let mut model = vec![false; formula.num_vars()];
-    enumerate(formula, &mut assignment, &mut model, &mut visit);
+    enumerate(formula, &mut engine, &mut assignment, &mut trail, &mut model, &mut visit);
 }
 
 /// Counts the total models of `formula` (up to `limit`, to bound work on
@@ -35,71 +54,44 @@ pub fn count_models(formula: &CnfFormula, limit: usize) -> usize {
 /// Returns `false` iff the visitor aborted enumeration.
 fn enumerate<F>(
     formula: &CnfFormula,
+    engine: &mut Watcher,
     assignment: &mut Assignment,
+    trail: &mut Vec<PropVar>,
     model: &mut Vec<bool>,
     visit: &mut F,
 ) -> bool
 where
     F: FnMut(&[bool]) -> bool,
 {
-    // Classify clauses under the current partial assignment.
-    let mut unit: Option<PropLit> = None;
-    for clause in formula.clauses() {
-        let mut satisfied = false;
-        let mut unassigned: Option<PropLit> = None;
-        let mut unassigned_count = 0;
-        for &lit in &clause.literals {
-            match assignment.lit_value(lit) {
-                Some(true) => {
-                    satisfied = true;
-                    break;
-                }
-                Some(false) => {}
-                None => {
-                    unassigned = Some(lit);
-                    unassigned_count += 1;
-                }
-            }
+    // Propagation is at fixpoint on entry, so a full trail is a model.
+    if trail.len() == assignment.len() {
+        for (v, slot) in model.iter_mut().enumerate() {
+            *slot = assignment.value(v).expect("assignment is total");
         }
-        if satisfied {
-            continue;
-        }
-        match unassigned_count {
-            0 => return true, // conflict: prune this subtree
-            1 => unit = unit.or(unassigned),
-            _ => {}
-        }
+        debug_assert!(formula.eval(model));
+        return visit(model);
     }
 
-    if let Some(lit) = unit {
-        // The opposite branch is a conflict, so propagation preserves the
-        // exact model set.
-        assignment.assign(lit.var, lit.positive);
-        let keep_going = enumerate(formula, assignment, model, visit);
-        assignment.unassign(lit.var);
-        return keep_going;
-    }
-
-    match assignment.first_unassigned() {
-        None => {
-            for (v, slot) in model.iter_mut().enumerate() {
-                *slot = assignment.value(v).expect("assignment is total");
-            }
-            debug_assert!(formula.eval(model));
-            visit(model)
-        }
-        Some(var) => {
-            for value in [true, false] {
-                assignment.assign(var, value);
-                let keep_going = enumerate(formula, assignment, model, visit);
-                assignment.unassign(var);
-                if !keep_going {
-                    return false;
-                }
-            }
+    let var = assignment
+        .first_unassigned()
+        .expect("partial assignment has an unassigned variable");
+    for value in [true, false] {
+        count_decision();
+        let mark = trail.len();
+        let lit = PropLit { var, positive: value };
+        // A conflict prunes the subtree (it contains no models);
+        // enumeration itself continues.
+        let keep_going = if engine.assign_and_propagate(formula, assignment, lit, trail) {
+            enumerate(formula, engine, assignment, trail, model, visit)
+        } else {
             true
+        };
+        unwind(assignment, trail, mark);
+        if !keep_going {
+            return false;
         }
     }
+    true
 }
 
 #[cfg(test)]

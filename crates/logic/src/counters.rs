@@ -1,0 +1,81 @@
+//! Monotonic per-thread work counters for the DPLL/AllSAT engines.
+//!
+//! The counters track the deterministic work profile of the solver —
+//! unit propagations, branching decisions, conflicts — independently of
+//! wall clock. Bench telemetry reads deltas around a workload; because
+//! the counters are thread-local, a single-threaded run observes exact,
+//! reproducible values (parallel workers keep their own tallies).
+
+use std::cell::Cell;
+
+/// Snapshot of the solver's cumulative work counters on this thread.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SearchCounters {
+    /// Literals asserted by unit propagation (forced assignments).
+    pub propagations: u64,
+    /// Branching decisions (both polarities of an enumeration split
+    /// count as one decision each).
+    pub decisions: u64,
+    /// Conflicts detected (a clause with every literal false).
+    pub conflicts: u64,
+}
+
+thread_local! {
+    static COUNTERS: Cell<SearchCounters> = const { Cell::new(SearchCounters {
+        propagations: 0,
+        decisions: 0,
+        conflicts: 0,
+    }) };
+}
+
+/// Current cumulative counters for this thread (monotonic; subtract two
+/// snapshots to meter a region).
+#[must_use]
+pub fn search_counters() -> SearchCounters {
+    COUNTERS.with(Cell::get)
+}
+
+#[inline]
+pub(crate) fn count_propagations(n: u64) {
+    COUNTERS.with(|c| {
+        let mut v = c.get();
+        v.propagations += n;
+        c.set(v);
+    });
+}
+
+#[inline]
+pub(crate) fn count_decision() {
+    COUNTERS.with(|c| {
+        let mut v = c.get();
+        v.decisions += 1;
+        c.set(v);
+    });
+}
+
+#[inline]
+pub(crate) fn count_conflict() {
+    COUNTERS.with(|c| {
+        let mut v = c.get();
+        v.conflicts += 1;
+        c.set(v);
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cnf::{CnfFormula, PropLit};
+
+    #[test]
+    fn counters_advance_monotonically() {
+        let before = search_counters();
+        let mut f = CnfFormula::new(3);
+        f.add_clause([PropLit::pos(0)]);
+        f.add_clause([PropLit::neg(0), PropLit::pos(1)]);
+        assert!(crate::solve(&f).is_some());
+        let after = search_counters();
+        assert!(after.propagations > before.propagations);
+        assert!(after.propagations >= before.propagations + 2);
+    }
+}

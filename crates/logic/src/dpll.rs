@@ -1,19 +1,31 @@
-//! A DPLL satisfiability solver with unit propagation and pure-literal
-//! elimination.
+//! A DPLL satisfiability solver with watched-literal unit propagation and
+//! pure-literal elimination.
 //!
-//! Deliberately simple (no clause learning, no watched literals): the CNF
-//! instances arising from CAR schema expansion are small — one variable
-//! per class of a cluster — and the solver's simplicity makes the AllSAT
-//! enumeration built on top of it (in [`crate::allsat`]) easy to trust.
+//! Unit propagation goes through the two-watched-literal engine in
+//! [`crate::watch`], so a clause is only touched when one of its two
+//! watched literals is falsified — no per-node rescan of the formula.
+//! The pure-literal rule uses literal-occurrence lists precomputed once
+//! per solve, with its scratch buffer hoisted into the search state
+//! instead of reallocated at every node.
 
 use crate::assignment::Assignment;
-use crate::cnf::{CnfFormula, PropLit};
+use crate::cnf::{CnfFormula, PropLit, PropVar};
+use crate::counters::count_decision;
+use crate::watch::{unwind, Watcher};
 
 /// Decides satisfiability; returns a total satisfying model if one exists.
 #[must_use]
 pub fn solve(formula: &CnfFormula) -> Option<Vec<bool>> {
     let mut assignment = Assignment::new(formula.num_vars());
-    if search(formula, &mut assignment, true) {
+    let mut state = SearchState::new(formula);
+    if state.engine.has_empty_clause() {
+        return None;
+    }
+    let mut trail = Vec::new();
+    if !state.engine.propagate_initial(formula, &mut assignment, &mut trail) {
+        return None;
+    }
+    if search(&mut state, &mut assignment, &mut trail, true) {
         let model = assignment.to_model();
         debug_assert!(formula.eval(&model));
         Some(model)
@@ -22,127 +34,112 @@ pub fn solve(formula: &CnfFormula) -> Option<Vec<bool>> {
     }
 }
 
-/// Status of the formula under a partial assignment.
-enum Status {
-    /// All clauses satisfied.
-    Satisfied,
-    /// Some clause has all literals false.
-    Conflict,
-    /// Undecided; if a unit clause exists, its forced literal.
-    Open(Option<PropLit>),
+/// Per-solve search state: the watch engine, the occurrence lists used by
+/// the pure-literal rule, and its reusable scratch buffer.
+pub(crate) struct SearchState<'f> {
+    formula: &'f CnfFormula,
+    pub(crate) engine: Watcher,
+    /// Per variable, the clauses containing its positive literal.
+    occ_pos: Vec<Vec<u32>>,
+    /// Per variable, the clauses containing its negative literal.
+    occ_neg: Vec<Vec<u32>>,
+    /// Scratch: per clause, whether it is satisfied under the current
+    /// assignment (recomputed per pure-literal query, never reallocated).
+    clause_sat: Vec<bool>,
 }
 
-fn status(formula: &CnfFormula, assignment: &Assignment) -> Status {
-    let mut all_satisfied = true;
-    let mut unit: Option<PropLit> = None;
-    for clause in formula.clauses() {
-        let mut satisfied = false;
-        let mut unassigned: Option<PropLit> = None;
-        let mut unassigned_count = 0;
-        for &lit in &clause.literals {
-            match assignment.lit_value(lit) {
-                Some(true) => {
-                    satisfied = true;
-                    break;
-                }
-                Some(false) => {}
-                None => {
-                    unassigned = Some(lit);
-                    unassigned_count += 1;
+impl<'f> SearchState<'f> {
+    pub(crate) fn new(formula: &'f CnfFormula) -> SearchState<'f> {
+        let n = formula.num_vars();
+        let mut occ_pos = vec![Vec::new(); n];
+        let mut occ_neg = vec![Vec::new(); n];
+        for (ci, clause) in formula.clauses().iter().enumerate() {
+            for &lit in &clause.literals {
+                let occ = if lit.positive { &mut occ_pos } else { &mut occ_neg };
+                // Skip duplicate entries from repeated literals.
+                if occ[lit.var].last() != Some(&(ci as u32)) {
+                    occ[lit.var].push(ci as u32);
                 }
             }
         }
-        if satisfied {
-            continue;
+        SearchState {
+            formula,
+            engine: Watcher::new(formula),
+            occ_pos,
+            occ_neg,
+            clause_sat: vec![false; formula.clauses().len()],
         }
-        match unassigned_count {
-            0 => return Status::Conflict,
-            1 => unit = unit.or(unassigned),
-            _ => {}
-        }
-        all_satisfied = false;
     }
-    if all_satisfied {
-        Status::Satisfied
-    } else {
-        Status::Open(unit)
-    }
-}
 
-/// Finds a literal that occurs with only one polarity among the clauses
-/// not yet satisfied (a *pure* literal, safe to assert).
-fn pure_literal(formula: &CnfFormula, assignment: &Assignment) -> Option<PropLit> {
-    let n = assignment.len();
-    let mut pos = vec![false; n];
-    let mut neg = vec![false; n];
-    for clause in formula.clauses() {
-        if clause.literals.iter().any(|&l| assignment.lit_value(l) == Some(true)) {
-            continue;
+    /// Finds a literal occurring with only one polarity among the clauses
+    /// not yet satisfied (a *pure* literal, safe to assert).
+    fn pure_literal(&mut self, assignment: &Assignment) -> Option<PropLit> {
+        for (ci, clause) in self.formula.clauses().iter().enumerate() {
+            self.clause_sat[ci] = clause
+                .literals
+                .iter()
+                .any(|&l| assignment.lit_value(l) == Some(true));
         }
-        for &lit in &clause.literals {
-            if assignment.lit_value(lit).is_none() {
-                if lit.positive {
-                    pos[lit.var] = true;
-                } else {
-                    neg[lit.var] = true;
-                }
+        (0..assignment.len()).find_map(|v| {
+            if assignment.value(v).is_some() {
+                return None;
             }
-        }
+            let live = |occ: &[u32]| occ.iter().any(|&ci| !self.clause_sat[ci as usize]);
+            match (live(&self.occ_pos[v]), live(&self.occ_neg[v])) {
+                (true, false) => Some(PropLit::pos(v)),
+                (false, true) => Some(PropLit::neg(v)),
+                _ => None,
+            }
+        })
     }
-    (0..n).find_map(|v| {
-        if assignment.value(v).is_some() {
-            return None;
-        }
-        match (pos[v], neg[v]) {
-            (true, false) => Some(PropLit::pos(v)),
-            (false, true) => Some(PropLit::neg(v)),
-            _ => None,
-        }
-    })
 }
 
-/// Recursive DPLL. When `use_pure` is false the pure-literal rule is
-/// skipped (required for model *enumeration*, where asserting a pure
-/// literal would silently drop models with the opposite polarity).
+/// Recursive DPLL over the propagation fixpoint. When `use_pure` is false
+/// the pure-literal rule is skipped (required for model *enumeration*,
+/// where asserting a pure literal would silently drop models with the
+/// opposite polarity).
+///
+/// Invariant on entry: unit propagation is at fixpoint and conflict-free
+/// (callers only recurse after a successful `assign_and_propagate`).
 pub(crate) fn search(
-    formula: &CnfFormula,
+    state: &mut SearchState<'_>,
     assignment: &mut Assignment,
+    trail: &mut Vec<PropVar>,
     use_pure: bool,
 ) -> bool {
-    match status(formula, assignment) {
-        Status::Satisfied => return true,
-        Status::Conflict => return false,
-        Status::Open(Some(unit)) => {
-            assignment.assign(unit.var, unit.positive);
-            if search(formula, assignment, use_pure) {
-                return true;
-            }
-            assignment.unassign(unit.var);
-            return false;
-        }
-        Status::Open(None) => {}
+    // All assignments flow through the trail, so totality is O(1).
+    if trail.len() == assignment.len() {
+        return true;
     }
 
     if use_pure {
-        if let Some(pure) = pure_literal(formula, assignment) {
-            assignment.assign(pure.var, pure.positive);
-            if search(formula, assignment, use_pure) {
+        if let Some(pure) = state.pure_literal(assignment) {
+            // A pure literal never falsifies a clause, so if the subtree
+            // fails the formula is unsatisfiable: no need to flip.
+            let mark = trail.len();
+            if state.engine.assign_and_propagate(state.formula, assignment, pure, trail)
+                && search(state, assignment, trail, use_pure)
+            {
                 return true;
             }
-            assignment.unassign(pure.var);
+            unwind(assignment, trail, mark);
             return false;
         }
     }
 
     let var = assignment
         .first_unassigned()
-        .expect("open status implies an unassigned variable");
+        .expect("partial assignment has an unassigned variable");
     for value in [true, false] {
-        assignment.assign(var, value);
-        if search(formula, assignment, use_pure) {
+        count_decision();
+        let mark = trail.len();
+        let lit = PropLit { var, positive: value };
+        if state.engine.assign_and_propagate(state.formula, assignment, lit, trail)
+            && search(state, assignment, trail, use_pure)
+        {
             return true;
         }
-        assignment.unassign(var);
+        unwind(assignment, trail, mark);
     }
     false
 }
@@ -199,6 +196,21 @@ mod tests {
         let f = formula(4, &[&[1], &[-1, 2], &[-2, 3], &[-3, -4]]);
         let m = solve(&f).unwrap();
         assert_eq!(&m[..4], &[true, true, true, false]);
+    }
+
+    #[test]
+    fn conflicting_unit_clauses() {
+        let f = formula(2, &[&[1], &[-1]]);
+        assert!(solve(&f).is_none());
+        let g = formula(2, &[&[1], &[1]]);
+        assert!(solve(&g).is_some());
+    }
+
+    #[test]
+    fn duplicate_literals_in_a_clause() {
+        let f = formula(2, &[&[1, 1], &[-1, -1, 2]]);
+        let m = solve(&f).unwrap();
+        assert_eq!(&m[..2], &[true, true]);
     }
 
     #[test]

@@ -1,0 +1,169 @@
+//! Two-watched-literal unit propagation.
+//!
+//! Shared propagation engine of the DPLL solver ([`crate::dpll`]) and the
+//! AllSAT enumerator ([`crate::allsat`]). Instead of rescanning every
+//! clause per search node, each clause with two or more literals watches
+//! two of them; a clause is only inspected when one of its watched
+//! literals becomes false. Watches are never rewound on backtracking:
+//! a watch only moves to a literal that is non-false at move time, so
+//! undoing assignments can only make watched literals "more unassigned",
+//! preserving the invariant that a falsified watch has been processed.
+//!
+//! Propagation discovers exactly the unit-propagation fixpoint of the
+//! naive per-node rescan, and conflicts prune exactly the same subtrees,
+//! so the search tree — and therefore the AllSAT emission order that
+//! `car-core`'s cluster-splice cache depends on — is unchanged.
+
+use crate::assignment::Assignment;
+use crate::cnf::{CnfFormula, PropLit, PropVar};
+use crate::counters::{count_conflict, count_propagations};
+
+/// Index of a literal in watch lists: `2 * var + polarity`.
+#[inline]
+fn code(lit: PropLit) -> usize {
+    lit.var * 2 + usize::from(lit.positive)
+}
+
+/// Watch state for one formula.
+pub(crate) struct Watcher {
+    /// Per literal code, the clauses currently watching that literal.
+    watch_lists: Vec<Vec<u32>>,
+    /// Per clause, its two watched literals (unused for clauses with
+    /// fewer than two literals).
+    watched: Vec<[PropLit; 2]>,
+    /// Literals of the input unit clauses, to assert at the root.
+    unit_clauses: Vec<PropLit>,
+    /// `true` iff some input clause is empty (trivially unsatisfiable).
+    has_empty_clause: bool,
+}
+
+impl Watcher {
+    pub fn new(formula: &CnfFormula) -> Watcher {
+        let mut w = Watcher {
+            watch_lists: vec![Vec::new(); formula.num_vars() * 2],
+            watched: vec![[PropLit::pos(0); 2]; formula.clauses().len()],
+            unit_clauses: Vec::new(),
+            has_empty_clause: false,
+        };
+        for (ci, clause) in formula.clauses().iter().enumerate() {
+            match clause.literals.as_slice() {
+                [] => w.has_empty_clause = true,
+                [lit] => w.unit_clauses.push(*lit),
+                [a, b, ..] => {
+                    w.watched[ci] = [*a, *b];
+                    w.watch_lists[code(*a)].push(ci as u32);
+                    w.watch_lists[code(*b)].push(ci as u32);
+                }
+            }
+        }
+        w
+    }
+
+    pub fn has_empty_clause(&self) -> bool {
+        self.has_empty_clause
+    }
+
+    /// Asserts the input unit clauses and propagates to fixpoint,
+    /// recording assignments on `trail`. Returns `false` on conflict
+    /// (the caller unwinds via the trail).
+    pub fn propagate_initial(
+        &mut self,
+        formula: &CnfFormula,
+        assignment: &mut Assignment,
+        trail: &mut Vec<PropVar>,
+    ) -> bool {
+        let units = std::mem::take(&mut self.unit_clauses);
+        for lit in &units {
+            match assignment.lit_value(*lit) {
+                Some(true) => {}
+                Some(false) => {
+                    count_conflict();
+                    self.unit_clauses = units;
+                    return false;
+                }
+                None => {
+                    count_propagations(1);
+                    if !self.assign_and_propagate(formula, assignment, *lit, trail) {
+                        self.unit_clauses = units;
+                        return false;
+                    }
+                }
+            }
+        }
+        self.unit_clauses = units;
+        true
+    }
+
+    /// Assigns `lit` true and propagates units to fixpoint. Every
+    /// assignment made (including `lit` itself) is pushed on `trail`.
+    /// Returns `false` on conflict; the caller restores the assignment
+    /// by unassigning trail entries beyond its mark.
+    pub fn assign_and_propagate(
+        &mut self,
+        formula: &CnfFormula,
+        assignment: &mut Assignment,
+        lit: PropLit,
+        trail: &mut Vec<PropVar>,
+    ) -> bool {
+        debug_assert!(assignment.value(lit.var).is_none());
+        let mut head = trail.len();
+        assignment.assign(lit.var, lit.positive);
+        trail.push(lit.var);
+        while head < trail.len() {
+            let var = trail[head];
+            head += 1;
+            let value = assignment.value(var).expect("trail entries are assigned");
+            // The literal that just became false.
+            let false_lit = PropLit { var, positive: !value };
+            let fcode = code(false_lit);
+            let mut i = 0;
+            while i < self.watch_lists[fcode].len() {
+                let ci = self.watch_lists[fcode][i] as usize;
+                let [w0, w1] = self.watched[ci];
+                let other = if w0 == false_lit { w1 } else { w0 };
+                if assignment.lit_value(other) == Some(true) {
+                    // Clause already satisfied; keep watching.
+                    i += 1;
+                    continue;
+                }
+                // Look for a non-false replacement watch.
+                let clause = &formula.clauses()[ci];
+                let replacement = clause.literals.iter().copied().find(|&cand| {
+                    cand != other
+                        && cand != false_lit
+                        && assignment.lit_value(cand) != Some(false)
+                });
+                if let Some(cand) = replacement {
+                    self.watched[ci] = [other, cand];
+                    self.watch_lists[code(cand)].push(ci as u32);
+                    self.watch_lists[fcode].swap_remove(i);
+                    continue;
+                }
+                match assignment.lit_value(other) {
+                    // `other` false (or the clause is a duplicated single
+                    // literal): every literal is false.
+                    Some(_) => {
+                        count_conflict();
+                        return false;
+                    }
+                    None => {
+                        // Unit: `other` is forced.
+                        count_propagations(1);
+                        assignment.assign(other.var, other.positive);
+                        trail.push(other.var);
+                        i += 1;
+                    }
+                }
+            }
+        }
+        true
+    }
+}
+
+/// Unassigns every trail entry beyond `mark`.
+pub(crate) fn unwind(assignment: &mut Assignment, trail: &mut Vec<PropVar>, mark: usize) {
+    while trail.len() > mark {
+        let var = trail.pop().expect("trail longer than mark");
+        assignment.unassign(var);
+    }
+}

@@ -1,0 +1,116 @@
+//! Pins the AllSAT emission order of [`car_logic::for_each_model`].
+//!
+//! The order — lexicographic in the model vector with `true` explored
+//! before `false` on each variable — is a load-bearing contract:
+//! `car-core`'s parallel cube splitting concatenates per-cube transcripts
+//! assuming it, and the incremental cluster-splice cache replays cached
+//! model prefixes positionally. Any propagation-engine change that
+//! reorders emission would corrupt both. These tests fail on the first
+//! such reordering.
+
+use car_logic::{for_each_model, CnfFormula, PropLit};
+use proptest::prelude::*;
+
+fn collect_models(f: &CnfFormula) -> Vec<Vec<bool>> {
+    let mut models = Vec::new();
+    for_each_model(f, |m| {
+        models.push(m.to_vec());
+        true
+    });
+    models
+}
+
+/// The contract's comparison key: `true` sorts before `false`.
+fn order_key(model: &[bool]) -> Vec<u8> {
+    model.iter().map(|&b| u8::from(!b)).collect()
+}
+
+/// Brute-force model list in the contract order.
+fn brute_force_ordered(f: &CnfFormula) -> Vec<Vec<bool>> {
+    let n = f.num_vars();
+    let mut models: Vec<Vec<bool>> = (0..1u32 << n)
+        .map(|bits| (0..n).map(|i| bits & (1 << i) != 0).collect::<Vec<bool>>())
+        .filter(|m| f.eval(m))
+        .collect();
+    models.sort_by_key(|m| order_key(m));
+    models
+}
+
+#[test]
+fn free_variables_enumerate_true_first_lexicographically() {
+    let f = CnfFormula::new(2);
+    assert_eq!(
+        collect_models(&f),
+        vec![
+            vec![true, true],
+            vec![true, false],
+            vec![false, true],
+            vec![false, false],
+        ]
+    );
+}
+
+#[test]
+fn exactly_one_emits_in_pinned_order() {
+    // (x0 ∨ x1 ∨ x2) with pairwise exclusions: the witness orders are
+    // exactly {x0}, {x1}, {x2}.
+    let mut f = CnfFormula::new(3);
+    f.add_clause([PropLit::pos(0), PropLit::pos(1), PropLit::pos(2)]);
+    for i in 0..3 {
+        for j in (i + 1)..3 {
+            f.add_clause([PropLit::neg(i), PropLit::neg(j)]);
+        }
+    }
+    assert_eq!(
+        collect_models(&f),
+        vec![
+            vec![true, false, false],
+            vec![false, true, false],
+            vec![false, false, true],
+        ]
+    );
+}
+
+#[test]
+fn unit_chain_does_not_disturb_order_of_free_suffix() {
+    // x0 forced true, x1 forced false, x2/x3 free.
+    let mut f = CnfFormula::new(4);
+    f.add_clause([PropLit::pos(0)]);
+    f.add_clause([PropLit::neg(0), PropLit::neg(1)]);
+    assert_eq!(
+        collect_models(&f),
+        vec![
+            vec![true, false, true, true],
+            vec![true, false, true, false],
+            vec![true, false, false, true],
+            vec![true, false, false, false],
+        ]
+    );
+}
+
+proptest! {
+    /// On random CNF, emission order equals the brute-force list sorted
+    /// by the contract key — i.e. propagation never reorders emission.
+    #[test]
+    fn prop_emission_order_is_lexicographic(
+        clauses in proptest::collection::vec(
+            proptest::collection::vec(
+                (-5i32..=5).prop_filter("nonzero", |v| *v != 0),
+                1..4,
+            ),
+            0..12,
+        ),
+    ) {
+        let mut f = CnfFormula::new(5);
+        for c in clauses {
+            f.add_clause(c.iter().map(|&v| {
+                if v > 0 {
+                    PropLit::pos((v - 1) as usize)
+                } else {
+                    PropLit::neg((-v - 1) as usize)
+                }
+            }));
+        }
+        prop_assert_eq!(collect_models(&f), brute_force_ordered(&f));
+    }
+}

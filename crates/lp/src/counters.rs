@@ -1,0 +1,43 @@
+//! Monotonic per-thread pivot counter for the simplex engine.
+//!
+//! Tracks the deterministic work profile of the solver independently of
+//! wall clock; bench telemetry reads deltas around a workload. Being
+//! thread-local, a single-threaded run observes exact, reproducible
+//! values (parallel workers keep their own tallies).
+
+use std::cell::Cell;
+
+thread_local! {
+    static PIVOTS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Cumulative simplex pivots performed on this thread (monotonic;
+/// subtract two snapshots to meter a region).
+#[must_use]
+pub fn pivot_count() -> u64 {
+    PIVOTS.with(Cell::get)
+}
+
+#[inline]
+pub(crate) fn count_pivot() {
+    PIVOTS.with(|c| c.set(c.get() + 1));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{int, LinExpr};
+    use crate::problem::{Problem, Relation};
+
+    #[test]
+    fn pivots_advance_monotonically() {
+        let before = pivot_count();
+        let mut p = Problem::new();
+        let x = p.add_var("x");
+        let y = p.add_var("y");
+        p.add_constraint(LinExpr::from_terms([(x, 6), (y, 4)]), Relation::Le, int(24));
+        p.add_constraint(LinExpr::from_terms([(x, 1), (y, 2)]), Relation::Le, int(6));
+        let _ = p.maximize(&LinExpr::from_terms([(x, 5), (y, 4)]));
+        assert!(pivot_count() > before);
+    }
+}

@@ -41,6 +41,7 @@
 //! ```
 
 mod cone;
+mod counters;
 mod expr;
 mod farkas;
 mod problem;
@@ -48,6 +49,7 @@ mod simplex;
 mod tableau;
 
 pub use cone::{scale_to_integers, support, try_support, SupportAnalysis};
+pub use counters::pivot_count;
 pub use expr::{LinExpr, VarId};
 pub use farkas::FarkasCertificate;
 pub use problem::{Constraint, Problem, Relation, SolveResult};

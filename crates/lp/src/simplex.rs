@@ -2,7 +2,7 @@
 
 use crate::expr::LinExpr;
 use crate::problem::{Problem, Relation, SolveResult};
-use crate::tableau::Tableau;
+use crate::tableau::{SparseRow, Tableau};
 use car_arith::Ratio;
 use std::fmt;
 
@@ -81,16 +81,22 @@ fn optimize(
     loop {
         hooks.check(*total_pivots)?;
         let use_bland = pivots >= bland_after;
+        // Pricing iterates only the nonzeros of the reduced-cost row,
+        // in increasing column order (so Bland's "first eligible" and
+        // Dantzig's "first maximum" tie-breaks match a dense scan).
         let col = if use_bland {
-            (0..t.n_cols).find(|&j| enterable[j] && t.obj[j].is_positive())
+            t.obj
+                .iter()
+                .find(|&(j, v)| enterable[j] && v.is_positive())
+                .map(|(j, _)| j)
         } else {
-            let mut best: Option<usize> = None;
-            for (j, &ok) in enterable.iter().enumerate() {
-                if ok && t.obj[j].is_positive() && best.is_none_or(|b| t.obj[j] > t.obj[b]) {
-                    best = Some(j);
+            let mut best: Option<(usize, &Ratio)> = None;
+            for (j, v) in t.obj.iter() {
+                if enterable[j] && v.is_positive() && best.is_none_or(|(_, bv)| v > bv) {
+                    best = Some((j, v));
                 }
             }
-            best
+            best.map(|(j, _)| j)
         };
         let Some(col) = col else {
             return Ok(LoopResult::Optimal);
@@ -100,10 +106,13 @@ fn optimize(
         // Dantzig pricing and required once Bland pricing is active).
         let mut best: Option<(usize, Ratio)> = None;
         for i in 0..t.rows.len() {
-            if !t.rows[i][col].is_positive() {
+            let Some(entry) = t.rows[i].coeff(col) else {
+                continue;
+            };
+            if !entry.is_positive() {
                 continue;
             }
-            let ratio = &t.rhs[i] / &t.rows[i][col];
+            let ratio = &t.rhs[i] / entry;
             match &best {
                 None => best = Some((i, ratio)),
                 Some((bi, br)) => {
@@ -194,7 +203,7 @@ fn standardize(problem: &Problem) -> Standardized {
                 next_col += 1;
             }
         }
-        rows.push(row);
+        rows.push(SparseRow::from_dense(&row));
         rhs.push(b);
         negated_flags.push(negate);
     }
@@ -205,7 +214,7 @@ fn standardize(problem: &Problem) -> Standardized {
         rows,
         rhs,
         basis,
-        obj: vec![Ratio::zero(); n_cols],
+        obj: SparseRow::empty(),
         obj_val: Ratio::zero(),
         n_cols,
     };
@@ -244,8 +253,11 @@ fn phase1(
     }
     let t = &mut s.tableau;
     // Maximize W = -Σ artificials: raw costs -1 on artificial columns.
-    for j in 0..t.n_cols {
-        t.obj[j] = if s.is_artificial[j] { -Ratio::one() } else { Ratio::zero() };
+    t.obj = SparseRow::empty();
+    for (j, &artificial) in s.is_artificial.iter().enumerate() {
+        if artificial {
+            t.obj.set(j, -Ratio::one());
+        }
     }
     t.obj_val = Ratio::zero();
     t.canonicalize_objective();
@@ -266,8 +278,12 @@ fn phase1(
         let b = s.tableau.basis[i];
         if s.is_artificial[b] {
             debug_assert!(s.tableau.rhs[i].is_zero());
-            let pivot_col = (0..s.tableau.n_cols)
-                .find(|&j| !s.is_artificial[j] && !s.tableau.rows[i][j].is_zero());
+            // Sparse iteration is in increasing column order, matching
+            // the dense scan's choice of pivot column.
+            let pivot_col = s.tableau.rows[i]
+                .iter()
+                .map(|(j, _)| j)
+                .find(|&j| !s.is_artificial[j]);
             match pivot_col {
                 Some(j) => s.tableau.pivot(i, j),
                 None => {
@@ -321,12 +337,10 @@ pub(crate) fn solve_with_hooks(
 
     if let Some(obj) = objective {
         let t = &mut s.tableau;
-        for entry in &mut t.obj {
-            *entry = Ratio::zero();
-        }
+        t.obj = SparseRow::empty();
         t.obj_val = Ratio::zero();
         for (v, c) in obj.iter() {
-            t.obj[v.index()] = c.clone();
+            t.obj.set(v.index(), c.clone());
         }
         t.canonicalize_objective();
         if let LoopResult::Unbounded = optimize(t, &enterable, hooks, &mut total_pivots)? {
@@ -367,7 +381,7 @@ pub(crate) fn certify(problem: &Problem) -> Option<crate::FarkasCertificate> {
         .zip(&s.negated)
         .map(|(&col, &negated)| {
             let cost = if s.is_artificial[col] { -Ratio::one() } else { Ratio::zero() };
-            let y = &cost - &t.obj[col];
+            let y = &cost - &t.obj.get(col);
             if negated {
                 -y
             } else {

@@ -1,6 +1,132 @@
-//! Dense simplex tableau with exact rational entries.
+//! Row-sparse simplex tableau with exact rational entries.
+//!
+//! The constraint systems CAR emits are very sparse — each row touches a
+//! handful of the unknowns plus its own slack/artificial column — so rows
+//! store only their nonzero `(column, value)` pairs, sorted by column.
+//! A pivot then costs `O(nnz(pivot row) · rows touching the pivot
+//! column)` instead of `O(rows · n_cols)`, and every eliminated entry
+//! that cancels to zero leaves the representation entirely.
 
+use crate::counters::count_pivot;
 use car_arith::Ratio;
+
+/// A sparse vector: nonzero `(col, value)` entries, strictly increasing
+/// in `col`.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct SparseRow {
+    entries: Vec<(usize, Ratio)>,
+}
+
+impl SparseRow {
+    /// Builds a row from a dense coefficient vector, dropping zeros.
+    pub fn from_dense(dense: &[Ratio]) -> SparseRow {
+        SparseRow {
+            entries: dense
+                .iter()
+                .enumerate()
+                .filter(|(_, v)| !v.is_zero())
+                .map(|(j, v)| (j, v.clone()))
+                .collect(),
+        }
+    }
+
+    /// A row with no nonzero entries.
+    pub fn empty() -> SparseRow {
+        SparseRow { entries: Vec::new() }
+    }
+
+    /// The nonzero coefficient at `col`, if any.
+    pub fn coeff(&self, col: usize) -> Option<&Ratio> {
+        self.entries
+            .binary_search_by_key(&col, |&(j, _)| j)
+            .ok()
+            .map(|i| &self.entries[i].1)
+    }
+
+    /// The coefficient at `col` (zero when absent).
+    pub fn get(&self, col: usize) -> Ratio {
+        self.coeff(col).cloned().unwrap_or_else(Ratio::zero)
+    }
+
+    /// Nonzero entries in increasing column order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &Ratio)> {
+        self.entries.iter().map(|(j, v)| (*j, v))
+    }
+
+    /// Number of nonzero entries.
+    #[cfg(test)]
+    pub fn nnz(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Sets the coefficient at `col` (inserting, replacing or removing).
+    pub fn set(&mut self, col: usize, value: Ratio) {
+        match self.entries.binary_search_by_key(&col, |&(j, _)| j) {
+            Ok(i) => {
+                if value.is_zero() {
+                    self.entries.remove(i);
+                } else {
+                    self.entries[i].1 = value;
+                }
+            }
+            Err(i) => {
+                if !value.is_zero() {
+                    self.entries.insert(i, (col, value));
+                }
+            }
+        }
+    }
+
+    /// Multiplies every entry by the nonzero scalar `k`.
+    pub fn scale(&mut self, k: &Ratio) {
+        debug_assert!(!k.is_zero());
+        for (_, v) in &mut self.entries {
+            *v *= k;
+        }
+    }
+
+    /// `self += k · other` as a sorted merge; entries that cancel to zero
+    /// are dropped.
+    pub fn axpy(&mut self, k: &Ratio, other: &SparseRow) {
+        if k.is_zero() || other.entries.is_empty() {
+            return;
+        }
+        let mut out = Vec::with_capacity(self.entries.len() + other.entries.len());
+        let mut a = self.entries.iter();
+        let mut b = other.entries.iter();
+        let (mut na, mut nb) = (a.next(), b.next());
+        loop {
+            match (na, nb) {
+                (Some(&(ja, ref va)), Some(&(jb, ref vb))) => {
+                    if ja < jb {
+                        out.push((ja, va.clone()));
+                        na = a.next();
+                    } else if jb < ja {
+                        out.push((jb, k * vb));
+                        nb = b.next();
+                    } else {
+                        let sum = va + &(k * vb);
+                        if !sum.is_zero() {
+                            out.push((ja, sum));
+                        }
+                        na = a.next();
+                        nb = b.next();
+                    }
+                }
+                (Some(&(ja, ref va)), None) => {
+                    out.push((ja, va.clone()));
+                    na = a.next();
+                }
+                (None, Some(&(jb, ref vb))) => {
+                    out.push((jb, k * vb));
+                    nb = b.next();
+                }
+                (None, None) => break,
+            }
+        }
+        self.entries = out;
+    }
+}
 
 /// A simplex tableau in canonical form: every basic column is a unit
 /// vector, all right-hand sides are nonnegative, and an objective row of
@@ -8,17 +134,18 @@ use car_arith::Ratio;
 ///
 /// The tableau represents the constraints `A·x = b, x ≥ 0` together with
 /// an objective `z = obj_val + Σ obj[j]·x_j` expressed over the current
-/// nonbasic variables.
+/// nonbasic variables. Constraint rows and the reduced-cost row are
+/// stored sparsely.
 #[derive(Debug, Clone)]
 pub(crate) struct Tableau {
-    /// Constraint coefficient rows (length `n_cols` each).
-    pub rows: Vec<Vec<Ratio>>,
+    /// Constraint coefficient rows (sparse, over `n_cols` columns).
+    pub rows: Vec<SparseRow>,
     /// Right-hand sides, one per row; invariant: nonnegative.
     pub rhs: Vec<Ratio>,
     /// Column index of the basic variable of each row.
     pub basis: Vec<usize>,
-    /// Reduced-cost row (length `n_cols`).
-    pub obj: Vec<Ratio>,
+    /// Reduced-cost row (sparse).
+    pub obj: SparseRow,
     /// Objective value at the current basic solution.
     pub obj_val: Ratio,
     /// Total number of columns (structural + slack + artificial).
@@ -29,43 +156,31 @@ impl Tableau {
     /// Pivots on `(row, col)`: `col` enters the basis, the variable basic
     /// in `row` leaves. Requires a nonzero pivot entry.
     pub fn pivot(&mut self, row: usize, col: usize) {
-        let pivot = self.rows[row][col].clone();
+        count_pivot();
+        let pivot = self.rows[row].get(col);
         debug_assert!(!pivot.is_zero(), "pivot on zero entry");
         let inv = pivot.recip();
-        for entry in &mut self.rows[row] {
-            *entry *= &inv;
-        }
+        self.rows[row].scale(&inv);
         self.rhs[row] *= &inv;
 
-        let pivot_row = self.rows[row].clone();
+        // Detach the pivot row so eliminations can borrow it freely.
+        let pivot_row = std::mem::take(&mut self.rows[row]);
         let pivot_rhs = self.rhs[row].clone();
-        // The systems this solver sees are very sparse; touching only the
-        // nonzero pivot-row columns is the dominant speedup.
-        let nonzero_cols: Vec<usize> =
-            (0..self.n_cols).filter(|&j| !pivot_row[j].is_zero()).collect();
         for i in 0..self.rows.len() {
             if i == row {
                 continue;
             }
-            let factor = self.rows[i][col].clone();
-            if factor.is_zero() {
+            let Some(factor) = self.rows[i].coeff(col).cloned() else {
                 continue;
-            }
-            for &j in &nonzero_cols {
-                let delta = &factor * &pivot_row[j];
-                self.rows[i][j] -= &delta;
-            }
+            };
+            self.rows[i].axpy(&-&factor, &pivot_row);
             self.rhs[i] -= &(&factor * &pivot_rhs);
         }
-
-        let factor = self.obj[col].clone();
-        if !factor.is_zero() {
-            for &j in &nonzero_cols {
-                let delta = &factor * &pivot_row[j];
-                self.obj[j] -= &delta;
-            }
+        if let Some(factor) = self.obj.coeff(col).cloned() {
+            self.obj.axpy(&-&factor, &pivot_row);
             self.obj_val += &(&factor * &pivot_rhs);
         }
+        self.rows[row] = pivot_row;
 
         self.basis[row] = col;
     }
@@ -85,17 +200,10 @@ impl Tableau {
     /// `self.obj` with `self.obj_val = 0`.
     pub fn canonicalize_objective(&mut self) {
         for i in 0..self.rows.len() {
-            let k = self.obj[self.basis[i]].clone();
-            if k.is_zero() {
+            let Some(k) = self.obj.coeff(self.basis[i]).cloned() else {
                 continue;
-            }
-            for j in 0..self.n_cols {
-                if self.rows[i][j].is_zero() {
-                    continue;
-                }
-                let delta = &k * &self.rows[i][j];
-                self.obj[j] -= &delta;
-            }
+            };
+            self.obj.axpy(&-&k, &self.rows[i]);
             self.obj_val += &(&k * &self.rhs[i]);
         }
     }
@@ -104,13 +212,13 @@ impl Tableau {
     pub fn debug_check(&self) {
         if cfg!(debug_assertions) {
             for (i, &b) in self.basis.iter().enumerate() {
-                debug_assert!(self.rows[i][b] == Ratio::one(), "basic entry not 1");
+                debug_assert!(self.rows[i].get(b) == Ratio::one(), "basic entry not 1");
                 for (k, row) in self.rows.iter().enumerate() {
                     if k != i {
-                        debug_assert!(row[b].is_zero(), "basic column not unit");
+                        debug_assert!(row.coeff(b).is_none(), "basic column not unit");
                     }
                 }
-                debug_assert!(self.obj[b].is_zero(), "reduced cost of basic var not 0");
+                debug_assert!(self.obj.coeff(b).is_none(), "reduced cost of basic var not 0");
                 debug_assert!(!self.rhs[i].is_negative(), "negative rhs");
             }
         }
@@ -126,23 +234,57 @@ mod tests {
         int(v)
     }
 
+    fn row(dense: &[i64]) -> SparseRow {
+        let dense: Vec<Ratio> = dense.iter().map(|&v| int(v)).collect();
+        SparseRow::from_dense(&dense)
+    }
+
+    #[test]
+    fn sparse_row_basics() {
+        let mut a = row(&[0, 3, 0, -2]);
+        assert_eq!(a.nnz(), 2);
+        assert_eq!(a.get(1), r(3));
+        assert_eq!(a.get(0), r(0));
+        assert!(a.coeff(2).is_none());
+        a.set(2, r(5));
+        a.set(1, r(0));
+        assert_eq!(a.iter().map(|(j, _)| j).collect::<Vec<_>>(), vec![2, 3]);
+        a.scale(&r(2));
+        assert_eq!(a.get(2), r(10));
+        assert_eq!(a.get(3), r(-4));
+    }
+
+    #[test]
+    fn axpy_merges_and_cancels() {
+        let mut a = row(&[1, 0, 2, 3]);
+        let b = row(&[0, 5, -1, 3]);
+        // a += (-1) * b: entry 3 cancels (3 + -3 = 0).
+        a.axpy(&r(-1), &b);
+        assert_eq!(a.get(0), r(1));
+        assert_eq!(a.get(1), r(-5));
+        assert_eq!(a.get(2), r(3));
+        assert!(a.coeff(3).is_none());
+        assert_eq!(a.nnz(), 3);
+        // No-ops.
+        a.axpy(&r(0), &b);
+        a.axpy(&r(7), &SparseRow::empty());
+        assert_eq!(a.nnz(), 3);
+    }
+
     #[test]
     fn pivot_produces_unit_column() {
         // x + y = 4 (slack s0 basic), 2x + y = 6 (slack s1 basic)
         let mut t = Tableau {
-            rows: vec![
-                vec![r(1), r(1), r(1), r(0)],
-                vec![r(2), r(1), r(0), r(1)],
-            ],
+            rows: vec![row(&[1, 1, 1, 0]), row(&[2, 1, 0, 1])],
             rhs: vec![r(4), r(6)],
             basis: vec![2, 3],
-            obj: vec![r(3), r(2), r(0), r(0)],
+            obj: row(&[3, 2, 0, 0]),
             obj_val: r(0),
             n_cols: 4,
         };
         t.pivot(1, 0); // x enters on row 1
-        assert_eq!(t.rows[1][0], r(1));
-        assert!(t.rows[0][0].is_zero());
+        assert_eq!(t.rows[1].get(0), r(1));
+        assert!(t.rows[0].coeff(0).is_none());
         assert_eq!(t.basis, vec![2, 0]);
         assert_eq!(t.value_of(0), r(3));
         assert_eq!(t.rhs[0], r(1));
@@ -154,16 +296,16 @@ mod tests {
     #[test]
     fn canonicalize_objective_zeroes_basic_costs() {
         let mut t = Tableau {
-            rows: vec![vec![r(1), r(2), r(1)]],
+            rows: vec![row(&[1, 2, 1])],
             rhs: vec![r(5)],
             basis: vec![0],
-            obj: vec![r(4), r(1), r(0)],
+            obj: row(&[4, 1, 0]),
             obj_val: r(0),
             n_cols: 3,
         };
         t.canonicalize_objective();
-        assert!(t.obj[0].is_zero());
-        assert_eq!(t.obj[1], r(-7));
+        assert!(t.obj.coeff(0).is_none());
+        assert_eq!(t.obj.get(1), r(-7));
         assert_eq!(t.obj_val, r(20));
         t.debug_check();
     }
