@@ -1,0 +1,630 @@
+//! `car_loadgen` — load generator for the `car-server` protocol.
+//!
+//! Spawns an in-process [`car_server::Server`] on an ephemeral port and
+//! replays mixed edit/query traffic from many concurrent TCP clients
+//! (default 120), in three phases:
+//!
+//! 1. **mixed** — every client owns a private workspace and runs a
+//!    seeded deterministic stream of applies, undos and query batches.
+//!    Every answer is compared against an in-process
+//!    [`car_core::Workspace`] replay of the same client's operations;
+//!    the `replay_mismatches` counter must stay 0.
+//! 2. **coalesce** — every client hammers one shared read-only
+//!    workspace, exercising the leader/follower batched-query path;
+//!    answers are compared against precomputed expected values.
+//! 3. **pressure** — a separate server with a 1-step budget: every
+//!    query must degrade to `unknown` with cause `budget`,
+//!    deterministically, proving exhaustion never panics, poisons a
+//!    workspace, or drops a response.
+//!
+//! Output is the `BENCH_6.json` document: per-phase deterministic
+//! counters (gated in CI via `--check`, like `BENCH_5.json`) plus
+//! wall-clock observations — total time, p50/p99 latency, throughput —
+//! which are recorded but never gated.
+//!
+//! Usage:
+//!   car_loadgen [--clients N] [--iters N]   print BENCH_6.json
+//!   car_loadgen --check BENCH_6.json        compare counters, ignore walls
+
+use car_bench::telemetry::counter_lines;
+use car_core::syntax::Card;
+use car_core::{ReasonerConfig, Workspace};
+use car_server::json::{obj, parse, s, to_string, Json};
+use car_server::protocol::{answer_json, unknown_answer, WireDelta, WireQuery};
+use car_server::service::ServerConfig;
+use car_server::{Client, Server};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::net::SocketAddr;
+use std::process::ExitCode;
+use std::time::{Duration, Instant};
+
+const SCHEMA: &str = "
+    class Person endclass
+    class Professor isa Person endclass
+    class Student isa Person and not Professor endclass
+    class Grad isa Student endclass
+    class Course
+      participates_in Teaches[taught] : (1, 1)
+    endclass
+    relation Teaches(teacher, taught)
+      constraints (teacher : Professor); (taught : Course)
+    endrelation
+";
+
+const POOL: &[&str] = &["Person", "Professor", "Student", "Grad", "Course", "Zed"];
+
+/// One phase's results: deterministic counters plus wall observations.
+struct PhaseReport {
+    name: &'static str,
+    counters: BTreeMap<String, u64>,
+    wall: Duration,
+    latencies_us: Vec<u64>,
+    requests: u64,
+}
+
+/// Per-client tallies, merged across threads after the phase.
+#[derive(Default)]
+struct ClientTally {
+    requests: u64,
+    proved: u64,
+    disproved: u64,
+    unknown: u64,
+    mismatches: u64,
+    edits_applied: u64,
+    latencies_us: Vec<u64>,
+}
+
+fn formula(rng: &mut SmallRng) -> Vec<Vec<(String, bool)>> {
+    (0..rng.gen_range(0usize..2))
+        .map(|_| {
+            (0..rng.gen_range(1usize..3))
+                .map(|_| (POOL[rng.gen_range(0..POOL.len())].to_owned(), rng.gen_bool(0.25)))
+                .collect()
+        })
+        .collect()
+}
+
+fn deltas(rng: &mut SmallRng) -> Vec<WireDelta> {
+    (0..rng.gen_range(1usize..3))
+        .map(|_| match rng.gen_range(0u32..6) {
+            0 => WireDelta::AddClass { name: format!("Zed{}", rng.gen_range(0u32..3)) },
+            1 => WireDelta::SetAttribute {
+                class: POOL[rng.gen_range(0..POOL.len())].to_owned(),
+                attr: "a".to_owned(),
+                inverse: false,
+                spec: Some((
+                    Card { min: rng.gen_range(0u64..2), max: Some(rng.gen_range(1u64..3)) },
+                    formula(rng),
+                )),
+            },
+            _ => WireDelta::SetIsa {
+                class: POOL[rng.gen_range(0..POOL.len())].to_owned(),
+                isa: formula(rng),
+            },
+        })
+        .collect()
+}
+
+fn queries(rng: &mut SmallRng) -> Vec<WireQuery> {
+    let name = |rng: &mut SmallRng| POOL[rng.gen_range(0..POOL.len())].to_owned();
+    (0..rng.gen_range(1usize..4))
+        .map(|_| match rng.gen_range(0u32..5) {
+            0 => WireQuery::Coherent,
+            1 => WireQuery::Subsumes { sup: name(rng), sub: name(rng) },
+            2 => WireQuery::Disjoint(name(rng), name(rng)),
+            3 => WireQuery::Equivalent(name(rng), name(rng)),
+            _ => WireQuery::Satisfiable(name(rng)),
+        })
+        .collect()
+}
+
+fn delta_json(d: &WireDelta) -> Json {
+    let formula_json = |f: &Vec<Vec<(String, bool)>>| {
+        Json::Arr(
+            f.iter()
+                .map(|clause| {
+                    Json::Arr(
+                        clause
+                            .iter()
+                            .map(|(class, neg)| {
+                                let mut fields = vec![("class", s(class))];
+                                if *neg {
+                                    fields.push(("neg", Json::Bool(true)));
+                                }
+                                obj(fields)
+                            })
+                            .collect(),
+                    )
+                })
+                .collect(),
+        )
+    };
+    match d {
+        WireDelta::AddClass { name } => obj(vec![("kind", s("add_class")), ("name", s(name))]),
+        WireDelta::SetIsa { class, isa } => {
+            obj(vec![("kind", s("set_isa")), ("class", s(class)), ("isa", formula_json(isa))])
+        }
+        WireDelta::SetAttribute { class, attr, inverse, spec } => obj(vec![
+            ("kind", s("set_attribute")),
+            ("class", s(class)),
+            ("attr", s(attr)),
+            ("inverse", Json::Bool(*inverse)),
+            (
+                "spec",
+                spec.as_ref().map_or(Json::Null, |(card, ty)| {
+                    obj(vec![
+                        (
+                            "card",
+                            Json::Arr(vec![
+                                Json::UInt(card.min),
+                                card.max.map_or(Json::Null, Json::UInt),
+                            ]),
+                        ),
+                        ("type", formula_json(ty)),
+                    ])
+                }),
+            ),
+        ]),
+        // The generators above produce only the three kinds handled
+        // here; the full serialization lives in the server test suite.
+        _ => unreachable!("loadgen generates add_class/set_isa/set_attribute only"),
+    }
+}
+
+fn frame(tenant: &str, workspace: &str, id: u64, op: &str, extra: Vec<(&str, Json)>) -> String {
+    let mut fields = vec![
+        ("id", Json::UInt(id)),
+        ("op", s(op)),
+        ("tenant", s(tenant)),
+        ("workspace", s(workspace)),
+    ];
+    fields.extend(extra);
+    to_string(&obj(fields))
+}
+
+/// In-process replay of one client's operations on a raw [`Workspace`].
+struct Shadow {
+    ws: Workspace,
+}
+
+impl Shadow {
+    fn new() -> Shadow {
+        let schema = car_parser::parse_schema(SCHEMA).expect("loadgen schema parses");
+        Shadow { ws: Workspace::new(schema, ReasonerConfig::default()) }
+    }
+
+    fn apply(&mut self, deltas: &[WireDelta]) -> u64 {
+        let mut applied = 0;
+        for delta in deltas {
+            let Ok(resolved) = delta.resolve(self.ws.schema()) else { break };
+            if self.ws.apply(&resolved).is_err() {
+                break;
+            }
+            applied += 1;
+        }
+        applied
+    }
+
+    fn query(&mut self, queries: &[WireQuery]) -> Vec<Json> {
+        let mut combined = Vec::new();
+        let plan: Vec<Result<usize, String>> = queries
+            .iter()
+            .map(|q| {
+                q.resolve(self.ws.schema()).map(|typed| {
+                    let at = combined.len();
+                    combined.push(typed);
+                    at
+                })
+            })
+            .collect();
+        let results = self.ws.query_batch_results(&combined);
+        plan.into_iter()
+            .map(|entry| match entry {
+                Ok(at) => answer_json(&results[at]),
+                Err(name) => unknown_answer("unknown_class", &format!("unknown class '{name}'")),
+            })
+            .collect()
+    }
+}
+
+fn tally_answers(tally: &mut ClientTally, answers: &[Json]) {
+    for a in answers {
+        match a.get("outcome").and_then(Json::as_str) {
+            Some("proved") => tally.proved += 1,
+            Some("disproved") => tally.disproved += 1,
+            _ => tally.unknown += 1,
+        }
+    }
+}
+
+fn timed_roundtrip(client: &mut Client, frame: &str, tally: &mut ClientTally) -> Json {
+    let start = Instant::now();
+    let resp = client.roundtrip(frame).expect("server responds");
+    tally.latencies_us.push(start.elapsed().as_micros() as u64);
+    tally.requests += 1;
+    parse(resp.trim_end()).expect("response is valid JSON")
+}
+
+/// Phase 1: private workspaces, mixed edits and queries, full replay
+/// verification.
+fn mixed_phase(addr: SocketAddr, clients: u64, iters: u32) -> PhaseReport {
+    let start = Instant::now();
+    let tallies: Vec<ClientTally> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                scope.spawn(move || {
+                    let mut tally = ClientTally::default();
+                    let mut rng = SmallRng::seed_from_u64(0xB0A0 + c);
+                    let tenant = format!("t{c}");
+                    let mut client = Client::connect(addr).expect("connect");
+                    let open = frame(&tenant, "w", 0, "open", vec![("schema", s(SCHEMA))]);
+                    let v = timed_roundtrip(&mut client, &open, &mut tally);
+                    assert_eq!(v.get("ok"), Some(&Json::Bool(true)), "open failed");
+                    let mut shadow = Shadow::new();
+                    for i in 1..=iters {
+                        match rng.gen_range(0u32..10) {
+                            0..=2 => {
+                                let ds = deltas(&mut rng);
+                                let f = frame(
+                                    &tenant,
+                                    "w",
+                                    u64::from(i),
+                                    "apply",
+                                    vec![("deltas", Json::Arr(ds.iter().map(delta_json).collect()))],
+                                );
+                                let v = timed_roundtrip(&mut client, &f, &mut tally);
+                                let applied =
+                                    v.get("applied").and_then(Json::as_u64).unwrap_or(u64::MAX);
+                                let want = shadow.apply(&ds);
+                                tally.edits_applied += want;
+                                if applied != want {
+                                    tally.mismatches += 1;
+                                }
+                            }
+                            3 => {
+                                let f = frame(&tenant, "w", u64::from(i), "undo", vec![]);
+                                let v = timed_roundtrip(&mut client, &f, &mut tally);
+                                let moved = shadow.ws.undo();
+                                if v.get("moved") != Some(&Json::Bool(moved)) {
+                                    tally.mismatches += 1;
+                                }
+                            }
+                            _ => {
+                                let qs = queries(&mut rng);
+                                let f = frame(
+                                    &tenant,
+                                    "w",
+                                    u64::from(i),
+                                    "query",
+                                    vec![(
+                                        "queries",
+                                        Json::Arr(
+                                            qs.iter()
+                                                .map(|q| query_json(q))
+                                                .collect(),
+                                        ),
+                                    )],
+                                );
+                                let v = timed_roundtrip(&mut client, &f, &mut tally);
+                                let got = v.get("answers").and_then(Json::as_arr).unwrap_or(&[]);
+                                let want = shadow.query(&qs);
+                                tally_answers(&mut tally, got);
+                                if got != &want[..] {
+                                    tally.mismatches += 1;
+                                }
+                            }
+                        }
+                    }
+                    tally
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("client thread")).collect()
+    });
+    merge("loadgen_mixed", clients, tallies, start.elapsed())
+}
+
+fn query_json(q: &WireQuery) -> Json {
+    match q {
+        WireQuery::Satisfiable(c) => obj(vec![("kind", s("satisfiable")), ("class", s(c))]),
+        WireQuery::Coherent => obj(vec![("kind", s("coherent"))]),
+        WireQuery::Subsumes { sup, sub } => {
+            obj(vec![("kind", s("subsumes")), ("sup", s(sup)), ("sub", s(sub))])
+        }
+        WireQuery::Disjoint(a, b) => {
+            obj(vec![("kind", s("disjoint")), ("a", s(a)), ("b", s(b))])
+        }
+        WireQuery::Equivalent(a, b) => {
+            obj(vec![("kind", s("equivalent")), ("a", s(a)), ("b", s(b))])
+        }
+    }
+}
+
+/// Phase 2: one shared read-only workspace; all clients' batches
+/// coalesce through the leader/follower path.
+fn coalesce_phase(addr: SocketAddr, clients: u64, iters: u32) -> PhaseReport {
+    // Precompute expected answers once.
+    let cases: Vec<(WireQuery, Json)> = {
+        let mut shadow = Shadow::new();
+        let qs = vec![
+            WireQuery::Subsumes { sup: "Person".into(), sub: "Grad".into() },
+            WireQuery::Subsumes { sup: "Grad".into(), sub: "Person".into() },
+            WireQuery::Disjoint("Student".into(), "Professor".into()),
+            WireQuery::Coherent,
+            WireQuery::Satisfiable("Zed".into()),
+        ];
+        let answers = shadow.query(&qs);
+        qs.into_iter().zip(answers).collect()
+    };
+    {
+        let mut setup = Client::connect(addr).expect("connect");
+        let open = frame("shared", "hot", 0, "open", vec![("schema", s(SCHEMA))]);
+        let resp = setup.roundtrip(&open).expect("open shared");
+        assert!(resp.contains("\"ok\":true"), "shared open failed: {resp}");
+    }
+
+    let start = Instant::now();
+    let tallies: Vec<ClientTally> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                let cases = &cases;
+                scope.spawn(move || {
+                    let mut tally = ClientTally::default();
+                    let mut rng = SmallRng::seed_from_u64(0xC0A7 + c);
+                    let mut client = Client::connect(addr).expect("connect");
+                    for i in 0..iters {
+                        let picks: Vec<usize> = (0..rng.gen_range(1usize..4))
+                            .map(|_| rng.gen_range(0..cases.len()))
+                            .collect();
+                        let qs: Vec<Json> =
+                            picks.iter().map(|&k| query_json(&cases[k].0)).collect();
+                        let f = frame(
+                            "shared",
+                            "hot",
+                            c * 100_000 + u64::from(i),
+                            "query",
+                            vec![("queries", Json::Arr(qs))],
+                        );
+                        let v = timed_roundtrip(&mut client, &f, &mut tally);
+                        let got = v.get("answers").and_then(Json::as_arr).unwrap_or(&[]);
+                        tally_answers(&mut tally, got);
+                        if got.len() != picks.len()
+                            || got.iter().zip(&picks).any(|(a, &k)| a != &cases[k].1)
+                        {
+                            tally.mismatches += 1;
+                        }
+                    }
+                    tally
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("client thread")).collect()
+    });
+    merge("loadgen_coalesce", clients, tallies, start.elapsed())
+}
+
+/// Phase 3: a 1-step budget server — every query must come back
+/// `unknown` with cause `budget`, never a panic, never a lost response.
+fn pressure_phase(clients: u64, iters: u32) -> PhaseReport {
+    let mut config = ServerConfig::default();
+    config.quota.deadline = None;
+    config.quota.max_steps = Some(1);
+    let mut server = Server::spawn("127.0.0.1:0", config).expect("bind pressure server");
+    let addr = server.addr();
+
+    let start = Instant::now();
+    let tallies: Vec<ClientTally> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                scope.spawn(move || {
+                    let mut tally = ClientTally::default();
+                    let tenant = format!("p{c}");
+                    let mut client = Client::connect(addr).expect("connect");
+                    let open = frame(&tenant, "w", 0, "open", vec![("schema", s(SCHEMA))]);
+                    let v = timed_roundtrip(&mut client, &open, &mut tally);
+                    assert_eq!(v.get("ok"), Some(&Json::Bool(true)));
+                    for i in 0..iters {
+                        let f = frame(
+                            &tenant,
+                            "w",
+                            u64::from(i),
+                            "query",
+                            vec![(
+                                "queries",
+                                Json::Arr(vec![query_json(&WireQuery::Coherent)]),
+                            )],
+                        );
+                        let v = timed_roundtrip(&mut client, &f, &mut tally);
+                        let answers = v.get("answers").and_then(Json::as_arr).unwrap_or(&[]);
+                        tally_answers(&mut tally, answers);
+                        let budget_unknown = answers.len() == 1
+                            && answers[0].get("outcome") == Some(&Json::Str("unknown".into()))
+                            && answers[0].get("cause") == Some(&Json::Str("budget".into()));
+                        if !budget_unknown {
+                            tally.mismatches += 1;
+                        }
+                    }
+                    tally
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("client thread")).collect()
+    });
+    let report = merge("loadgen_pressure", clients, tallies, start.elapsed());
+    server.stop();
+    report
+}
+
+fn merge(
+    name: &'static str,
+    clients: u64,
+    tallies: Vec<ClientTally>,
+    wall: Duration,
+) -> PhaseReport {
+    let mut total = ClientTally::default();
+    for t in tallies {
+        total.requests += t.requests;
+        total.proved += t.proved;
+        total.disproved += t.disproved;
+        total.unknown += t.unknown;
+        total.mismatches += t.mismatches;
+        total.edits_applied += t.edits_applied;
+        total.latencies_us.extend(t.latencies_us);
+    }
+    let mut counters = BTreeMap::new();
+    counters.insert("clients".into(), clients);
+    counters.insert("requests".into(), total.requests);
+    counters.insert("proved".into(), total.proved);
+    counters.insert("disproved".into(), total.disproved);
+    counters.insert("unknown".into(), total.unknown);
+    counters.insert("replay_mismatches".into(), total.mismatches);
+    if name == "loadgen_mixed" {
+        counters.insert("edits_applied".into(), total.edits_applied);
+    }
+    total.latencies_us.sort_unstable();
+    PhaseReport {
+        name,
+        counters,
+        wall,
+        latencies_us: total.latencies_us,
+        requests: total.requests,
+    }
+}
+
+fn percentile(sorted_us: &[u64], p: f64) -> u64 {
+    if sorted_us.is_empty() {
+        return 0;
+    }
+    let at = ((sorted_us.len() as f64 - 1.0) * p).round() as usize;
+    sorted_us[at.min(sorted_us.len() - 1)]
+}
+
+/// Renders the `BENCH_6.json` document: same `"counters"` block shape
+/// as `BENCH_5.json` (so [`counter_lines`] gates them), with the
+/// wall-clock observations as separate, never-gated fields.
+fn render(reports: &[PhaseReport]) -> String {
+    let mut out = String::from("{\n  \"schema_version\": 1,\n  \"benches\": [\n");
+    for (i, r) in reports.iter().enumerate() {
+        let throughput = if r.wall.as_secs_f64() > 0.0 {
+            (r.requests as f64 / r.wall.as_secs_f64()).round() as u64
+        } else {
+            0
+        };
+        let _ = write!(
+            out,
+            "    {{\n      \"name\": \"{}\",\n      \"wall_us\": {},\n      \
+             \"p50_us\": {},\n      \"p99_us\": {},\n      \"throughput_rps\": {},\n      \
+             \"counters\": {{",
+            r.name,
+            r.wall.as_micros(),
+            percentile(&r.latencies_us, 0.50),
+            percentile(&r.latencies_us, 0.99),
+            throughput,
+        );
+        for (j, (k, v)) in r.counters.iter().enumerate() {
+            let _ = write!(out, "{}\n        \"{}\": {}", if j > 0 { "," } else { "" }, k, v);
+        }
+        let _ = write!(out, "\n      }}\n    }}{}\n", if i + 1 < reports.len() { "," } else { "" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn run(clients: u64, iters: u32) -> Vec<PhaseReport> {
+    let mut config = ServerConfig::default();
+    // No reasoning budget in the gated phases: answers must be
+    // deterministic on arbitrarily slow hosts.
+    config.quota.deadline = None;
+    config.quota.max_items = None;
+    // Deep enough that admission control never degrades the
+    // deterministic phases (the pressure phase and the server test
+    // suite cover degradation).
+    config.quota.max_pending = usize::MAX;
+    let mut server = Server::spawn("127.0.0.1:0", config).expect("bind loadgen server");
+    let addr = server.addr();
+    let reports = vec![
+        mixed_phase(addr, clients, iters),
+        coalesce_phase(addr, clients, iters),
+        pressure_phase(clients, iters.min(3)),
+    ];
+    server.stop();
+    reports
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut clients: u64 = 120;
+    let mut iters: u32 = 6;
+    let mut check: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--clients" => {
+                i += 1;
+                clients = args.get(i).and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("car_loadgen: --clients needs a number");
+                    std::process::exit(2)
+                });
+            }
+            "--iters" => {
+                i += 1;
+                iters = args.get(i).and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("car_loadgen: --iters needs a number");
+                    std::process::exit(2)
+                });
+            }
+            "--check" => {
+                i += 1;
+                check = Some(args.get(i).cloned().unwrap_or_else(|| {
+                    eprintln!("car_loadgen: --check needs a path");
+                    std::process::exit(2)
+                }));
+            }
+            other => {
+                eprintln!("usage: car_loadgen [--clients N] [--iters N] [--check BENCH_6.json]");
+                eprintln!("car_loadgen: unknown flag '{other}'");
+                return ExitCode::FAILURE;
+            }
+        }
+        i += 1;
+    }
+
+    let fresh = render(&run(clients, iters));
+    match check {
+        None => {
+            print!("{fresh}");
+            ExitCode::SUCCESS
+        }
+        Some(path) => {
+            let committed = match std::fs::read_to_string(&path) {
+                Ok(c) => c,
+                Err(e) => {
+                    eprintln!("car_loadgen: cannot read {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let want = counter_lines(&committed);
+            let got = counter_lines(&fresh);
+            if want == got {
+                println!("car_loadgen: all {} counters match {path}", got.len());
+                ExitCode::SUCCESS
+            } else {
+                eprintln!("car_loadgen: counter drift against {path}:");
+                for line in &want {
+                    if !got.contains(line) {
+                        eprintln!("  - {line}");
+                    }
+                }
+                for line in &got {
+                    if !want.contains(line) {
+                        eprintln!("  + {line}");
+                    }
+                }
+                ExitCode::FAILURE
+            }
+        }
+    }
+}

@@ -89,17 +89,41 @@ use crate::syntax::{
     AttRef, Card, ClassFormula, RoleClause, RoleLiteral, Schema, SchemaBuilder, SchemaError,
 };
 use car_logic::PropLit;
-use std::collections::{HashMap, VecDeque};
+use std::collections::HashMap;
 use std::fmt;
 use std::fmt::Write as _;
-use std::rc::Rc;
+use std::sync::Arc;
 
-/// Cached analysis bundles kept per workspace (FIFO eviction).
+/// Default number of cached analysis bundles per workspace (LRU).
 const BUNDLE_CACHE_CAP: usize = 64;
-/// Cached per-cluster enumerations kept per workspace (FIFO eviction).
+/// Default number of cached per-cluster enumerations per workspace (LRU).
 const CLUSTER_CACHE_CAP: usize = 4096;
-/// Undo history depth.
+/// Default undo history depth.
 const UNDO_CAP: usize = 256;
+
+/// Entry budgets bounding the memory a long-lived [`Workspace`] session
+/// can hold: the undo/redo history depth and both cache levels. Every
+/// bound evicts least-recently-used entries; eviction can only cause a
+/// cache miss (a recomputation), never a wrong answer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkspaceLimits {
+    /// Maximum cached analysis bundles (whole-version cache).
+    pub bundle_cache_cap: usize,
+    /// Maximum cached per-cluster enumerations.
+    pub cluster_cache_cap: usize,
+    /// Maximum undo (and therefore redo) history depth.
+    pub undo_cap: usize,
+}
+
+impl Default for WorkspaceLimits {
+    fn default() -> WorkspaceLimits {
+        WorkspaceLimits {
+            bundle_cache_cap: BUNDLE_CACHE_CAP,
+            cluster_cache_cap: CLUSTER_CACHE_CAP,
+            undo_cap: UNDO_CAP,
+        }
+    }
+}
 
 // ---------------------------------------------------------------------
 // Deltas
@@ -717,29 +741,43 @@ fn cluster_key(schema: &Schema, cluster: &[usize], reduced: &[ReducedClause]) ->
     out
 }
 
-/// A FIFO-evicted map used for both cache levels.
-struct FifoCache<V> {
-    map: HashMap<String, V>,
-    order: VecDeque<String>,
+/// An LRU-evicted map used for both cache levels. Each entry carries a
+/// last-use stamp from a monotonic tick; when the map outgrows its cap
+/// the stalest entry is evicted (an O(cap) scan, paid only on insert of
+/// a new key — the caps are small and eviction is off the hot path).
+struct LruCache<V> {
+    map: HashMap<String, (V, u64)>,
+    tick: u64,
     cap: usize,
 }
 
-impl<V> FifoCache<V> {
-    fn new(cap: usize) -> FifoCache<V> {
-        FifoCache { map: HashMap::new(), order: VecDeque::new(), cap }
+impl<V> LruCache<V> {
+    fn new(cap: usize) -> LruCache<V> {
+        LruCache { map: HashMap::new(), tick: 0, cap }
     }
 
-    fn get(&self, key: &str) -> Option<&V> {
-        self.map.get(key)
+    fn get(&mut self, key: &str) -> Option<&V> {
+        self.tick += 1;
+        let tick = self.tick;
+        self.map.get_mut(key).map(|entry| {
+            entry.1 = tick;
+            &entry.0
+        })
     }
 
     fn insert(&mut self, key: String, value: V) {
-        if self.map.insert(key.clone(), value).is_none() {
-            self.order.push_back(key);
-            if self.order.len() > self.cap {
-                if let Some(evicted) = self.order.pop_front() {
-                    self.map.remove(&evicted);
-                }
+        if self.cap == 0 {
+            return;
+        }
+        self.tick += 1;
+        if self.map.insert(key, (value, self.tick)).is_none() && self.map.len() > self.cap {
+            if let Some(stalest) = self
+                .map
+                .iter()
+                .min_by_key(|(_, (_, t))| *t)
+                .map(|(k, _)| k.clone())
+            {
+                self.map.remove(&stalest);
             }
         }
     }
@@ -761,7 +799,7 @@ type ClusterModels = Vec<BitSet>;
 fn spliced_ccs(
     schema: &Schema,
     config: &ReasonerConfig,
-    cache: &mut FifoCache<Rc<ClusterModels>>,
+    cache: &mut LruCache<Arc<ClusterModels>>,
     stats: &mut WorkspaceStats,
 ) -> Result<Vec<BitSet>, ReasonerError> {
     let budget = &config.budget;
@@ -788,9 +826,14 @@ fn spliced_ccs(
         })
         .collect();
 
+    // Pin every hit now: inserts below may evict under a small cap, and
+    // a held `Arc` keeps the spliced data alive regardless.
+    let held: Vec<Option<Arc<ClusterModels>>> =
+        keys.iter().map(|k| cache.get(k).cloned()).collect();
+
     // Enumerate every dirty cluster, sharded across the worker pool.
     let misses: Vec<usize> =
-        (0..clusters.len()).filter(|&i| cache.get(&keys[i]).is_none()).collect();
+        (0..clusters.len()).filter(|&i| held[i].is_none()).collect();
     let mut fresh: Vec<Option<Result<Vec<BitSet>, BuildError>>> =
         par::parallel_map(config.threads, misses.len(), |mi| {
             Some(cluster_ccs_governed(schema, &table_clauses, &clusters[misses[mi]], max, budget))
@@ -802,9 +845,9 @@ fn spliced_ccs(
     // serial non-cached loop.
     let mut out: Vec<BitSet> = Vec::new();
     for (ci, cluster) in clusters.iter().enumerate() {
-        let entry: Rc<ClusterModels> = match miss_slot.get(&ci) {
+        let entry: Arc<ClusterModels> = match miss_slot.get(&ci) {
             None => {
-                let entry = cache.get(&keys[ci]).expect("classified as hit").clone();
+                let entry = held[ci].clone().expect("classified as hit");
                 stats.clusters_reused += 1;
                 // The budget still accounts for every spliced compound
                 // class, exactly like a fresh enumeration would.
@@ -842,7 +885,7 @@ fn spliced_ccs(
                         )
                     })
                     .collect();
-                let entry = Rc::new(localized);
+                let entry = Arc::new(localized);
                 // Successful enumerations are cached immediately — they
                 // stay valid even if a later cluster fails this build.
                 cache.insert(keys[ci].clone(), entry.clone());
@@ -908,10 +951,11 @@ pub enum Query {
 pub struct Workspace {
     schema: Schema,
     config: ReasonerConfig,
+    limits: WorkspaceLimits,
     undo: Vec<Schema>,
     redo: Vec<Schema>,
-    bundles: FifoCache<Rc<Bundle>>,
-    clusters: FifoCache<Rc<ClusterModels>>,
+    bundles: LruCache<Arc<Bundle>>,
+    clusters: LruCache<Arc<ClusterModels>>,
     stats: WorkspaceStats,
 }
 
@@ -928,13 +972,26 @@ impl Workspace {
     /// [`Self::set_budget`].
     #[must_use]
     pub fn new(schema: Schema, config: ReasonerConfig) -> Workspace {
+        Workspace::with_limits(schema, config, WorkspaceLimits::default())
+    }
+
+    /// A workspace whose undo history and caches are bounded by explicit
+    /// entry budgets — the configuration for long-lived multi-tenant
+    /// sessions, where the default caps may hold too much memory.
+    #[must_use]
+    pub fn with_limits(
+        schema: Schema,
+        config: ReasonerConfig,
+        limits: WorkspaceLimits,
+    ) -> Workspace {
         Workspace {
             schema,
             config,
+            limits,
             undo: Vec::new(),
             redo: Vec::new(),
-            bundles: FifoCache::new(BUNDLE_CACHE_CAP),
-            clusters: FifoCache::new(CLUSTER_CACHE_CAP),
+            bundles: LruCache::new(limits.bundle_cache_cap),
+            clusters: LruCache::new(limits.cluster_cache_cap),
             stats: WorkspaceStats::default(),
         }
     }
@@ -967,7 +1024,7 @@ impl Workspace {
     pub fn apply(&mut self, delta: &SchemaDelta) -> Result<(), EditError> {
         let edited = apply_delta(&self.schema, delta)?;
         self.undo.push(std::mem::replace(&mut self.schema, edited));
-        if self.undo.len() > UNDO_CAP {
+        if self.undo.len() > self.limits.undo_cap {
             self.undo.remove(0);
         }
         self.redo.clear();
@@ -1009,7 +1066,19 @@ impl Workspace {
             && !reasoner::transform_applies(&self.schema, &self.config)
     }
 
-    fn bundle(&mut self, kind: BundleKind) -> Result<Rc<Bundle>, ReasonerError> {
+    /// Fails fast on a [`ClassId`] outside the current schema — stale
+    /// ids (from before an id-layout-changing edit) or fabricated ids
+    /// must surface as an error, not as a silently-empty phantom class.
+    fn check_class(&self, class: ClassId) -> Result<(), ReasonerError> {
+        let num_classes = self.schema.num_classes();
+        if class.index() < num_classes {
+            Ok(())
+        } else {
+            Err(ReasonerError::ClassOutOfRange { index: class.index(), num_classes })
+        }
+    }
+
+    fn bundle(&mut self, kind: BundleKind) -> Result<Arc<Bundle>, ReasonerError> {
         let effective = if self.shares_bundles() { BundleKind::Sat } else { kind };
         let tag = match effective {
             BundleKind::Sat => "sat",
@@ -1021,7 +1090,7 @@ impl Workspace {
             return Ok(bundle.clone());
         }
         self.stats.bundle_misses += 1;
-        let bundle = Rc::new(match effective {
+        let bundle = Arc::new(match effective {
             BundleKind::Sat => self.compute_sat_bundle()?,
             BundleKind::Full => self.compute_full_bundle()?,
         });
@@ -1075,6 +1144,7 @@ impl Workspace {
     /// # Errors
     /// Exactly as [`crate::reasoner::Reasoner::try_is_satisfiable`].
     pub fn try_is_satisfiable(&mut self, class: ClassId) -> Result<bool, ReasonerError> {
+        self.check_class(class)?;
         let bundle = self.bundle(BundleKind::Sat)?;
         Ok(bundle.analysis.class_satisfiable(&bundle.expansion, class))
     }
@@ -1106,6 +1176,8 @@ impl Workspace {
     /// # Errors
     /// Exactly as [`crate::reasoner::Reasoner::try_subsumes`].
     pub fn try_subsumes(&mut self, sup: ClassId, sub: ClassId) -> Result<bool, ReasonerError> {
+        self.check_class(sup)?;
+        self.check_class(sub)?;
         let bundle = self.bundle(BundleKind::Full)?;
         Ok(bundle.implications(self.schema.num_classes()).subsumes(sup, sub))
     }
@@ -1115,6 +1187,8 @@ impl Workspace {
     /// # Errors
     /// Exactly as [`crate::reasoner::Reasoner::try_disjoint`].
     pub fn try_disjoint(&mut self, c1: ClassId, c2: ClassId) -> Result<bool, ReasonerError> {
+        self.check_class(c1)?;
+        self.check_class(c2)?;
         let bundle = self.bundle(BundleKind::Full)?;
         Ok(bundle.implications(self.schema.num_classes()).disjoint(c1, c2))
     }
@@ -1124,6 +1198,8 @@ impl Workspace {
     /// # Errors
     /// Exactly as [`crate::reasoner::Reasoner::try_equivalent`].
     pub fn try_equivalent(&mut self, c1: ClassId, c2: ClassId) -> Result<bool, ReasonerError> {
+        self.check_class(c1)?;
+        self.check_class(c2)?;
         let bundle = self.bundle(BundleKind::Full)?;
         Ok(bundle.implications(self.schema.num_classes()).equivalent(c1, c2))
     }
@@ -1131,10 +1207,15 @@ impl Workspace {
     /// Answers a batch of queries against the current schema version:
     /// the required bundles (satisfiability and/or complete) are
     /// materialized once for the whole batch, and duplicate queries are
-    /// answered from a per-batch memo instead of re-evaluated. Outcomes
-    /// are returned in input order; a failed bundle build answers every
-    /// query depending on it with [`Outcome::Unknown`].
-    pub fn query_batch(&mut self, queries: &[Query]) -> Vec<Outcome> {
+    /// answered from a per-batch memo instead of re-evaluated. Results
+    /// are returned in input order. Unlike [`Self::query_batch`], a
+    /// failure keeps its full [`ReasonerError`] — deadline vs
+    /// cancellation vs budget exhaustion vs invalid input — so callers
+    /// (e.g. a server) can report the real cause per query.
+    pub fn query_batch_results(
+        &mut self,
+        queries: &[Query],
+    ) -> Vec<Result<bool, ReasonerError>> {
         let needs_sat = queries
             .iter()
             .any(|q| matches!(q, Query::IsSatisfiable(_) | Query::IsCoherent));
@@ -1145,21 +1226,29 @@ impl Workspace {
         let full = if needs_full { Some(self.bundle(BundleKind::Full)) } else { None };
         let num_classes = self.schema.num_classes();
         let all_classes: Vec<ClassId> = self.schema.symbols().class_ids().collect();
+        let check = |c: ClassId| -> Result<(), ReasonerError> {
+            if c.index() < num_classes {
+                Ok(())
+            } else {
+                Err(ReasonerError::ClassOutOfRange { index: c.index(), num_classes })
+            }
+        };
 
-        let mut memo: HashMap<Query, Outcome> = HashMap::new();
+        let mut memo: HashMap<Query, Result<bool, ReasonerError>> = HashMap::new();
         let mut out = Vec::with_capacity(queries.len());
         for q in queries {
-            if let Some(&answer) = memo.get(q) {
-                out.push(answer);
+            if let Some(answer) = memo.get(q) {
+                out.push(answer.clone());
                 continue;
             }
             let result: Result<bool, ReasonerError> = match *q {
-                Query::IsSatisfiable(class) => sat
-                    .as_ref()
-                    .expect("sat bundle requested")
-                    .as_ref()
-                    .map(|b| b.analysis.class_satisfiable(&b.expansion, class))
-                    .map_err(Clone::clone),
+                Query::IsSatisfiable(class) => check(class).and_then(|()| {
+                    sat.as_ref()
+                        .expect("sat bundle requested")
+                        .as_ref()
+                        .map(|b| b.analysis.class_satisfiable(&b.expansion, class))
+                        .map_err(Clone::clone)
+                }),
                 Query::IsCoherent => sat
                     .as_ref()
                     .expect("sat bundle requested")
@@ -1170,30 +1259,48 @@ impl Workspace {
                             .all(|&c| b.analysis.class_satisfiable(&b.expansion, c))
                     })
                     .map_err(Clone::clone),
-                Query::Subsumes { sup, sub } => full
-                    .as_ref()
-                    .expect("full bundle requested")
-                    .as_ref()
-                    .map(|b| b.implications(num_classes).subsumes(sup, sub))
-                    .map_err(Clone::clone),
-                Query::Disjoint(c1, c2) => full
-                    .as_ref()
-                    .expect("full bundle requested")
-                    .as_ref()
-                    .map(|b| b.implications(num_classes).disjoint(c1, c2))
-                    .map_err(Clone::clone),
-                Query::Equivalent(c1, c2) => full
-                    .as_ref()
-                    .expect("full bundle requested")
-                    .as_ref()
-                    .map(|b| b.implications(num_classes).equivalent(c1, c2))
-                    .map_err(Clone::clone),
+                Query::Subsumes { sup, sub } => {
+                    check(sup).and_then(|()| check(sub)).and_then(|()| {
+                        full.as_ref()
+                            .expect("full bundle requested")
+                            .as_ref()
+                            .map(|b| b.implications(num_classes).subsumes(sup, sub))
+                            .map_err(Clone::clone)
+                    })
+                }
+                Query::Disjoint(c1, c2) => {
+                    check(c1).and_then(|()| check(c2)).and_then(|()| {
+                        full.as_ref()
+                            .expect("full bundle requested")
+                            .as_ref()
+                            .map(|b| b.implications(num_classes).disjoint(c1, c2))
+                            .map_err(Clone::clone)
+                    })
+                }
+                Query::Equivalent(c1, c2) => {
+                    check(c1).and_then(|()| check(c2)).and_then(|()| {
+                        full.as_ref()
+                            .expect("full bundle requested")
+                            .as_ref()
+                            .map(|b| b.implications(num_classes).equivalent(c1, c2))
+                            .map_err(Clone::clone)
+                    })
+                }
             };
-            let answer = Outcome::from_result(result, &self.config.budget);
-            memo.insert(*q, answer);
-            out.push(answer);
+            memo.insert(*q, result.clone());
+            out.push(result);
         }
         out
+    }
+
+    /// [`Self::query_batch_results`] collapsed to three-valued
+    /// [`Outcome`]s — every failure kind maps to [`Outcome::Unknown`]
+    /// with the progress snapshot.
+    pub fn query_batch(&mut self, queries: &[Query]) -> Vec<Outcome> {
+        self.query_batch_results(queries)
+            .into_iter()
+            .map(|r| Outcome::from_result(r, &self.config.budget))
+            .collect()
     }
 }
 
@@ -1517,15 +1624,113 @@ mod tests {
     }
 
     #[test]
-    fn fifo_cache_evicts_oldest() {
-        let mut cache: FifoCache<u32> = FifoCache::new(2);
+    fn lru_cache_evicts_least_recently_used() {
+        let mut cache: LruCache<u32> = LruCache::new(2);
         cache.insert("a".into(), 1);
         cache.insert("b".into(), 2);
-        cache.insert("a".into(), 3); // re-insert does not grow the order
+        assert_eq!(cache.get("a"), Some(&1)); // touch: b is now stalest
         cache.insert("c".into(), 4);
-        assert!(cache.get("a").is_none(), "oldest key evicted");
-        assert_eq!(cache.get("b"), Some(&2));
+        assert!(cache.get("b").is_none(), "least recently used key evicted");
+        assert_eq!(cache.get("a"), Some(&1));
         assert_eq!(cache.get("c"), Some(&4));
         assert_eq!(cache.len(), 2);
+        // Re-insert of a live key replaces in place, no eviction.
+        cache.insert("a".into(), 9);
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.get("a"), Some(&9));
+    }
+
+    #[test]
+    fn zero_cap_cache_never_stores() {
+        let mut cache: LruCache<u32> = LruCache::new(0);
+        cache.insert("a".into(), 1);
+        assert!(cache.get("a").is_none());
+        assert_eq!(cache.len(), 0);
+    }
+
+    #[test]
+    fn bounded_workspace_stays_correct_under_eviction() {
+        // Caps of 1 bundle / 1 cluster / depth-2 undo: every level
+        // evicts constantly, and answers must still match a fresh
+        // reasoner (a miss is a recomputation, never a wrong answer).
+        let limits =
+            WorkspaceLimits { bundle_cache_cap: 1, cluster_cache_cap: 1, undo_cap: 2 };
+        let mut ws =
+            Workspace::with_limits(university(), ReasonerConfig::default(), limits);
+        agree_with_fresh(&mut ws);
+        for round in 0..4 {
+            let person = ws.schema().class_id("Person").unwrap();
+            let isa = if round % 2 == 0 {
+                ClassFormula::class(person)
+            } else {
+                ClassFormula::top()
+            };
+            ws.apply(&SchemaDelta::SetIsa { class: "Grad_Student".into(), isa }).unwrap();
+            agree_with_fresh(&mut ws);
+        }
+        assert!(ws.undo.len() <= 2, "undo history bounded: {}", ws.undo.len());
+        assert!(ws.bundles.len() <= 1, "bundle cache bounded");
+        assert!(ws.clusters.len() <= 1, "cluster cache bounded");
+        // Deeper history than the cap: only the last two undos succeed.
+        assert!(ws.undo());
+        assert!(ws.undo());
+        assert!(!ws.undo(), "history beyond the cap was evicted");
+        agree_with_fresh(&mut ws);
+    }
+
+    #[test]
+    fn out_of_range_class_ids_error_instead_of_lying() {
+        let mut ws = Workspace::new(university(), ReasonerConfig::default());
+        let n = ws.schema().num_classes();
+        let phantom = ClassId::from_index(n + 3);
+        let person = ws.schema().class_id("Person").unwrap();
+        assert_eq!(
+            ws.try_is_satisfiable(phantom),
+            Err(ReasonerError::ClassOutOfRange { index: n + 3, num_classes: n })
+        );
+        assert!(matches!(
+            ws.try_subsumes(person, phantom),
+            Err(ReasonerError::ClassOutOfRange { .. })
+        ));
+        assert!(matches!(
+            ws.try_disjoint(phantom, person),
+            Err(ReasonerError::ClassOutOfRange { .. })
+        ));
+        assert!(matches!(
+            ws.try_equivalent(phantom, phantom),
+            Err(ReasonerError::ClassOutOfRange { .. })
+        ));
+        let results = ws.query_batch_results(&[
+            Query::IsSatisfiable(person),
+            Query::IsSatisfiable(phantom),
+            Query::Subsumes { sup: phantom, sub: person },
+        ]);
+        assert_eq!(results[0], Ok(true));
+        assert!(matches!(results[1], Err(ReasonerError::ClassOutOfRange { .. })));
+        assert!(matches!(results[2], Err(ReasonerError::ClassOutOfRange { .. })));
+        // The workspace stays usable afterwards.
+        agree_with_fresh(&mut ws);
+    }
+
+    #[test]
+    fn batch_results_surface_error_kinds() {
+        let mut ws = Workspace::new(
+            university(),
+            ReasonerConfig { budget: Budget::trip_after(2), ..ReasonerConfig::default() },
+        );
+        let person = ws.schema().class_id("Person").unwrap();
+        let results = ws.query_batch_results(&[Query::IsSatisfiable(person)]);
+        assert!(
+            matches!(results[0], Err(ReasonerError::BudgetExhausted(_))),
+            "the real failure kind must survive batching: {results:?}"
+        );
+        ws.set_budget(Budget::unbounded());
+        assert_eq!(ws.query_batch_results(&[Query::IsSatisfiable(person)])[0], Ok(true));
+    }
+
+    #[test]
+    fn workspace_is_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<Workspace>();
     }
 }

@@ -76,7 +76,8 @@ pub use budget::{
 };
 pub use ids::{AttrId, ClassId, RelId, RoleId, SymbolTable};
 pub use incremental::{
-    EditError, Query, RoleLiteralSpec, SchemaDelta, Workspace, WorkspaceStats,
+    EditError, Query, RoleLiteralSpec, SchemaDelta, Workspace, WorkspaceLimits,
+    WorkspaceStats,
 };
 pub use reasoner::{Outcome, Reasoner, ReasonerConfig, ReasonerError, Strategy};
 pub use semantics::{Interpretation, Violation};

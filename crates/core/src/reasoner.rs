@@ -41,6 +41,7 @@ use crate::syntax::{ClassFormula, Schema, SchemaError};
 use std::cell::OnceCell;
 use std::fmt;
 use std::num::NonZeroUsize;
+use std::sync::OnceLock;
 
 /// Compound-class enumeration strategy (see module docs).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -107,6 +108,17 @@ pub enum ReasonerError {
     /// The schema failed validation during a transformation (e.g. the
     /// Theorem 4.5 arity reduction rejected it).
     InvalidSchema(Vec<SchemaError>),
+    /// A query referenced a [`ClassId`] outside the schema's class
+    /// table — typically a stale id used after an edit changed the id
+    /// layout, or an id fabricated from untrusted input. Without this
+    /// guard the analysis would silently treat the phantom class as
+    /// empty and return a wrong answer.
+    ClassOutOfRange {
+        /// The out-of-range index.
+        index: usize,
+        /// The schema's class count at query time.
+        num_classes: usize,
+    },
     /// The wall-clock deadline of the configured [`Budget`] passed.
     DeadlineExceeded(ProgressReport),
     /// The [`crate::budget::CancelToken`] attached to the configured
@@ -149,6 +161,12 @@ impl fmt::Display for ReasonerError {
                     write!(f, " {e};")?;
                 }
                 Ok(())
+            }
+            ReasonerError::ClassOutOfRange { index, num_classes } => {
+                write!(
+                    f,
+                    "class id {index} is out of range for a schema with {num_classes} classes"
+                )
             }
             ReasonerError::DeadlineExceeded(p) => {
                 write!(f, "deadline exceeded ({p})")
@@ -206,8 +224,10 @@ pub(crate) struct Bundle {
     pub(crate) expansion: Expansion,
     pub(crate) analysis: SatAnalysis,
     /// Lazily built per-class lists of realizable compound classes,
-    /// shared by every implication query on this bundle.
-    class_index: OnceCell<Vec<Vec<CcId>>>,
+    /// shared by every implication query on this bundle. A `OnceLock`
+    /// (not `OnceCell`) so bundles stay `Sync` and a cached bundle can
+    /// be shared across server threads behind an `Arc`.
+    class_index: OnceLock<Vec<Vec<CcId>>>,
 }
 
 impl Bundle {
@@ -216,7 +236,7 @@ impl Bundle {
         expansion: Expansion,
         analysis: SatAnalysis,
     ) -> Bundle {
-        Bundle { transformed, expansion, analysis, class_index: OnceCell::new() }
+        Bundle { transformed, expansion, analysis, class_index: OnceLock::new() }
     }
 
     /// The implication view, backed by the cached class index.

@@ -41,6 +41,16 @@ pub enum ParseError {
         /// Where.
         pos: Pos,
     },
+    /// Parenthesized clauses nested beyond the parser's depth limit.
+    /// The recursive-descent parser recurses per nesting level, so
+    /// unbounded depth on untrusted input would overflow the stack and
+    /// abort the process instead of returning an error.
+    NestingTooDeep {
+        /// Where the limit was exceeded.
+        pos: Pos,
+        /// The maximum supported nesting depth.
+        limit: usize,
+    },
     /// Unexpected token during parsing.
     Unexpected {
         /// Where.
@@ -71,6 +81,9 @@ impl fmt::Display for ParseError {
             }
             ParseError::NumberOverflow { pos } => {
                 write!(f, "{pos}: number literal out of range")
+            }
+            ParseError::NestingTooDeep { pos, limit } => {
+                write!(f, "{pos}: parentheses nested deeper than {limit} levels")
             }
             ParseError::Unexpected { pos, found, expected } => {
                 write!(f, "{pos}: expected {expected}, found {found}")

@@ -27,6 +27,12 @@ use crate::ast::*;
 use crate::error::ParseError;
 use crate::token::{Token, TokenKind};
 
+/// Maximum nesting depth of parenthesized clauses. Far beyond any
+/// legitimate CNF schema (parentheses only group one clause level), and
+/// small enough that the recursive-descent parser cannot be driven into
+/// a stack overflow by untrusted input.
+const MAX_NESTING: usize = 64;
+
 /// Parses a token stream (ending in `Eof`) into an AST.
 pub fn parse(tokens: &[Token]) -> Result<AstSchema, ParseError> {
     let mut p = Parser { tokens, pos: 0 };
@@ -213,24 +219,24 @@ impl Parser<'_> {
     }
 
     fn formula(&mut self) -> Result<AstFormula, ParseError> {
-        let mut clauses = vec![self.clause()?];
+        let mut clauses = vec![self.clause(0)?];
         while self.peek().kind == TokenKind::KwAnd {
             self.bump();
-            clauses.push(self.clause()?);
+            clauses.push(self.clause(0)?);
         }
         Ok(AstFormula { clauses })
     }
 
-    fn clause(&mut self) -> Result<Vec<AstLiteral>, ParseError> {
-        let mut literals = self.term()?;
+    fn clause(&mut self, depth: usize) -> Result<Vec<AstLiteral>, ParseError> {
+        let mut literals = self.term(depth)?;
         while self.peek().kind == TokenKind::KwOr {
             self.bump();
-            literals.extend(self.term()?);
+            literals.extend(self.term(depth)?);
         }
         Ok(literals)
     }
 
-    fn term(&mut self) -> Result<Vec<AstLiteral>, ParseError> {
+    fn term(&mut self, depth: usize) -> Result<Vec<AstLiteral>, ParseError> {
         match self.peek().kind {
             TokenKind::KwNot => {
                 self.bump();
@@ -244,8 +250,17 @@ impl Parser<'_> {
                 Ok(vec![AstLiteral { pos, class, positive: true }])
             }
             TokenKind::LParen => {
+                // Each nesting level recurses, so depth must be bounded
+                // or adversarial input (`((((…A…))))`) overflows the
+                // stack and aborts instead of erroring.
+                if depth >= MAX_NESTING {
+                    return Err(ParseError::NestingTooDeep {
+                        pos: self.peek().pos,
+                        limit: MAX_NESTING,
+                    });
+                }
                 self.bump();
-                let inner = self.clause()?;
+                let inner = self.clause(depth + 1)?;
                 self.expect(&TokenKind::RParen, "')'")?;
                 Ok(inner)
             }
@@ -435,5 +450,25 @@ mod tests {
     fn unexpected_top_level_token() {
         let err = parse_text("blah").unwrap_err();
         assert!(err.to_string().contains("'class', 'relation'"));
+    }
+
+    #[test]
+    fn nesting_within_the_limit_parses() {
+        let text = format!("class A isa {}B{} endclass", "(".repeat(60), ")".repeat(60));
+        let s = parse_text(&text).unwrap();
+        assert_eq!(s.classes[0].isa.as_ref().unwrap().clauses.len(), 1);
+    }
+
+    #[test]
+    fn runaway_nesting_errors_instead_of_overflowing_the_stack() {
+        // Regression: before the depth limit, each '(' recursed
+        // term→clause→term, so ~100k parens aborted the process with a
+        // stack overflow — a remote crash once schemas arrive over a
+        // socket.
+        let text = format!("class A isa {}B{} endclass", "(".repeat(100_000), ")".repeat(100_000));
+        match parse_text(&text).unwrap_err() {
+            ParseError::NestingTooDeep { limit, .. } => assert_eq!(limit, 64),
+            other => panic!("expected NestingTooDeep, got {other:?}"),
+        }
     }
 }

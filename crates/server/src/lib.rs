@@ -1,0 +1,334 @@
+//! # car-server — a multi-tenant reasoning service over TCP
+//!
+//! A dependency-free (std-only) long-running server exposing
+//! [`car_core::Workspace`]s over line-delimited JSON. Design goals, in
+//! order:
+//!
+//! 1. **Isolation** — a malformed frame, an invalid schema, a bad
+//!    delta, or a budget-exhausting query affects exactly one response;
+//!    never the connection, never the workspace, never another tenant.
+//! 2. **Bounded everything** — frame size, query queue depth, undo
+//!    history, caches and per-round reasoning budgets all have caps;
+//!    overload degrades to `unknown` answers instead of queueing
+//!    unboundedly.
+//! 3. **Coalescing** — concurrent queries against the same workspace
+//!    version are answered by a single batched reasoning pass (leader
+//!    drains the queue; followers wait on a condvar).
+//!
+//! Threading is one thread per connection (`std::net` has no portable
+//! non-blocking readiness API; connection counts here are hundreds, not
+//! millions). All cross-connection state lives in [`service::Service`]
+//! behind sharded mutexes.
+//!
+//! See `DESIGN.md` §11 for the protocol reference.
+
+pub mod json;
+pub mod protocol;
+pub mod service;
+
+use protocol::{err_response, parse_request, WireError};
+use service::{Service, ServerConfig};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Result of reading one line-delimited frame.
+enum FrameRead {
+    /// A complete frame (without the trailing newline).
+    Frame,
+    /// The line exceeded the frame cap; the overflow was discarded up
+    /// to and including the next newline (or EOF).
+    TooLarge,
+    /// Clean end of stream with no buffered bytes.
+    Eof,
+}
+
+/// Reads one `\n`-terminated frame into `buf` (cleared first), capped
+/// at `max` bytes. A final unterminated line at EOF counts as a frame.
+fn read_frame(reader: &mut impl BufRead, max: usize, buf: &mut Vec<u8>) -> std::io::Result<FrameRead> {
+    buf.clear();
+    let mut over = false;
+    loop {
+        let available = match reader.fill_buf() {
+            Ok(a) => a,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        };
+        if available.is_empty() {
+            return Ok(if over {
+                FrameRead::TooLarge
+            } else if buf.is_empty() {
+                FrameRead::Eof
+            } else {
+                FrameRead::Frame
+            });
+        }
+        match available.iter().position(|&b| b == b'\n') {
+            Some(at) => {
+                if !over {
+                    if buf.len() + at <= max {
+                        buf.extend_from_slice(&available[..at]);
+                    } else {
+                        over = true;
+                    }
+                }
+                reader.consume(at + 1);
+                return Ok(if over { FrameRead::TooLarge } else { FrameRead::Frame });
+            }
+            None => {
+                let len = available.len();
+                if !over {
+                    if buf.len() + len <= max {
+                        buf.extend_from_slice(available);
+                    } else {
+                        over = true;
+                        buf.clear();
+                    }
+                }
+                reader.consume(len);
+            }
+        }
+    }
+}
+
+/// Serves one connection until EOF or a write error. Every frame gets
+/// exactly one response line; protocol errors never close the
+/// connection.
+fn serve_connection(stream: TcpStream, service: &Service) {
+    let max_frame = service.config().max_frame_bytes;
+    let Ok(write_half) = stream.try_clone() else { return };
+    let mut reader = BufReader::new(stream);
+    let mut writer = std::io::BufWriter::new(write_half);
+    let mut buf = Vec::new();
+    loop {
+        let response = match read_frame(&mut reader, max_frame, &mut buf) {
+            Err(_) | Ok(FrameRead::Eof) => return,
+            Ok(FrameRead::TooLarge) => err_response(
+                None,
+                &WireError::new(
+                    "frame_too_large",
+                    format!("request frame exceeds {max_frame} bytes"),
+                ),
+            ),
+            Ok(FrameRead::Frame) => {
+                if buf.iter().all(u8::is_ascii_whitespace) {
+                    continue; // blank line between frames
+                }
+                handle_frame(&buf, service)
+            }
+        };
+        if writer.write_all(response.as_bytes()).is_err() || writer.flush().is_err() {
+            return;
+        }
+    }
+}
+
+/// Decodes and dispatches one raw frame, always producing one response
+/// line.
+fn handle_frame(raw: &[u8], service: &Service) -> String {
+    let text = match std::str::from_utf8(raw) {
+        Ok(t) => t,
+        Err(e) => {
+            let mut err = WireError::new("bad_json", "frame is not valid UTF-8");
+            err.offset = Some(e.valid_up_to());
+            return err_response(None, &err);
+        }
+    };
+    let frame = match json::parse(text) {
+        Ok(f) => f,
+        Err(e) => {
+            let mut err = WireError::new("bad_json", e.message);
+            err.offset = Some(e.offset);
+            return err_response(None, &err);
+        }
+    };
+    let (envelope, request) = parse_request(&frame);
+    match request {
+        Ok(req) => service.handle(&envelope, req),
+        Err(e) => err_response(envelope.id, &e),
+    }
+}
+
+/// A running server: bound listener plus accept-loop thread. Dropping
+/// it does *not* stop the loop; call [`Server::stop`].
+pub struct Server {
+    addr: SocketAddr,
+    service: Arc<Service>,
+    stopping: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds `addr` (use port 0 for an ephemeral port) and starts
+    /// accepting connections, one thread each.
+    ///
+    /// # Errors
+    /// Propagates bind failures.
+    pub fn spawn(addr: impl ToSocketAddrs, config: ServerConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let service = Arc::new(Service::new(config));
+        let stopping = Arc::new(AtomicBool::new(false));
+        let accept_service = Arc::clone(&service);
+        let accept_stopping = Arc::clone(&stopping);
+        let accept_thread = std::thread::spawn(move || {
+            for stream in listener.incoming() {
+                if accept_stopping.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(stream) = stream else { continue };
+                let service = Arc::clone(&accept_service);
+                std::thread::spawn(move || serve_connection(stream, &service));
+            }
+        });
+        Ok(Server { addr, service, stopping, accept_thread: Some(accept_thread) })
+    }
+
+    /// The bound address (useful with ephemeral ports).
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Direct access to the service, for in-process callers (the load
+    /// generator's replay-verification path uses this).
+    #[must_use]
+    pub fn service(&self) -> &Arc<Service> {
+        &self.service
+    }
+
+    /// Stops accepting new connections and joins the accept thread.
+    /// Already-open connections finish naturally when their clients
+    /// hang up.
+    pub fn stop(&mut self) {
+        self.stopping.store(true, Ordering::SeqCst);
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+    }
+
+    /// Blocks until the accept loop exits (i.e. forever, absent
+    /// [`Server::stop`] from another thread). Used by the binary.
+    pub fn join(&mut self) {
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// A tiny blocking client for tests and the load generator: one
+/// connection, synchronous request/response.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connects to a server.
+    ///
+    /// # Errors
+    /// Propagates connect failures.
+    pub fn connect(addr: SocketAddr) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        let writer = stream.try_clone()?;
+        Ok(Client { reader: BufReader::new(stream), writer })
+    }
+
+    /// Sends one raw frame (newline appended) and reads one response
+    /// line.
+    ///
+    /// # Errors
+    /// Propagates I/O failures; `UnexpectedEof` if the server hung up.
+    pub fn roundtrip(&mut self, frame: &str) -> std::io::Result<String> {
+        self.writer.write_all(frame.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.read_response()
+    }
+
+    /// Sends one raw frame without reading the response (for pipelining
+    /// tests).
+    ///
+    /// # Errors
+    /// Propagates I/O failures.
+    pub fn send(&mut self, frame: &str) -> std::io::Result<()> {
+        self.writer.write_all(frame.as_bytes())?;
+        self.writer.write_all(b"\n")
+    }
+
+    /// Sends raw bytes exactly as given (malformed-frame tests).
+    ///
+    /// # Errors
+    /// Propagates I/O failures.
+    pub fn send_raw(&mut self, bytes: &[u8]) -> std::io::Result<()> {
+        self.writer.write_all(bytes)
+    }
+
+    /// Reads one response line.
+    ///
+    /// # Errors
+    /// Propagates I/O failures; `UnexpectedEof` if the server hung up.
+    pub fn read_response(&mut self) -> std::io::Result<String> {
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line)?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        Ok(line)
+    }
+
+    /// Half-closes the write side so the server sees EOF.
+    pub fn shutdown_write(&mut self) {
+        let _ = self.writer.shutdown(std::net::Shutdown::Write);
+    }
+
+    /// Reads whatever remains until EOF (to observe final responses
+    /// after a half-close).
+    #[must_use]
+    pub fn drain(&mut self) -> String {
+        let mut rest = String::new();
+        let _ = self.reader.read_to_string(&mut rest);
+        rest
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_are_bounded_and_partial_finals_count() {
+        let mut reader = BufReader::new(&b"abc\ndef"[..]);
+        let mut buf = Vec::new();
+        assert!(matches!(read_frame(&mut reader, 10, &mut buf).unwrap(), FrameRead::Frame));
+        assert_eq!(buf, b"abc");
+        assert!(matches!(read_frame(&mut reader, 10, &mut buf).unwrap(), FrameRead::Frame));
+        assert_eq!(buf, b"def");
+        assert!(matches!(read_frame(&mut reader, 10, &mut buf).unwrap(), FrameRead::Eof));
+    }
+
+    #[test]
+    fn oversized_frames_are_discarded_to_the_newline() {
+        let data = [b"x".repeat(100).as_slice(), b"\n{\"op\":\"ping\"}\n"].concat();
+        let mut reader = BufReader::new(&data[..]);
+        let mut buf = Vec::new();
+        assert!(matches!(read_frame(&mut reader, 10, &mut buf).unwrap(), FrameRead::TooLarge));
+        assert!(matches!(read_frame(&mut reader, 64, &mut buf).unwrap(), FrameRead::Frame));
+        assert_eq!(buf, b"{\"op\":\"ping\"}");
+    }
+
+    #[test]
+    fn exact_cap_is_not_too_large() {
+        let mut reader = BufReader::new(&b"12345\n"[..]);
+        let mut buf = Vec::new();
+        assert!(matches!(read_frame(&mut reader, 5, &mut buf).unwrap(), FrameRead::Frame));
+        assert_eq!(buf, b"12345");
+    }
+}

@@ -1,0 +1,99 @@
+//! The `car-server` binary: CLI flag parsing around
+//! [`car_server::Server`].
+
+use car_server::service::ServerConfig;
+use car_server::Server;
+use std::num::NonZeroUsize;
+use std::time::Duration;
+
+const USAGE: &str = "\
+car-server — multi-tenant CAR reasoning service (line-delimited JSON over TCP)
+
+USAGE: car-server [OPTIONS]
+
+OPTIONS:
+  --addr <host:port>        Listen address (default 127.0.0.1:7474; port 0 = ephemeral)
+  --deadline-ms <n>         Per-query-round wall-clock budget (default 10000; 0 = none)
+  --max-steps <n>           Per-query-round step budget (default none)
+  --max-items <n>           Per-query-round allocation budget (default 5000000; 0 = none)
+  --max-pending <n>         Queued query batches per workspace before admission
+                            control degrades answers to unknown (default 64)
+  --max-workspaces <n>      Open workspaces per tenant (default 32)
+  --max-frame-bytes <n>     Request frame size cap (default 1048576)
+  --undo-cap <n>            Undo/redo history depth per workspace (default 256)
+  --bundle-cache-cap <n>    Cached analysis bundles per workspace (default 64)
+  --cluster-cache-cap <n>   Cached cluster enumerations per workspace (default 4096)
+  --threads <n>             Worker threads per reasoning pass (default 1)
+  --help                    Show this help
+";
+
+fn fail(message: &str) -> ! {
+    eprintln!("car-server: {message}");
+    eprintln!("{USAGE}");
+    std::process::exit(2)
+}
+
+fn parse_config(args: &[String]) -> (String, ServerConfig) {
+    let mut addr = "127.0.0.1:7474".to_owned();
+    let mut config = ServerConfig::default();
+    let mut i = 0;
+    let value = |i: &mut usize| -> &str {
+        *i += 1;
+        match args.get(*i) {
+            Some(v) => v,
+            None => fail(&format!("flag '{}' needs a value", args[*i - 1])),
+        }
+    };
+    while i < args.len() {
+        let flag = args[i].as_str();
+        match flag {
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                std::process::exit(0)
+            }
+            "--addr" => addr = value(&mut i).to_owned(),
+            _ => {
+                let v = value(&mut i);
+                let n: u64 = v
+                    .parse()
+                    .unwrap_or_else(|_| fail(&format!("'{v}' is not a number for {flag}")));
+                match flag {
+                    "--deadline-ms" => {
+                        config.quota.deadline =
+                            (n > 0).then(|| Duration::from_millis(n));
+                    }
+                    "--max-steps" => config.quota.max_steps = (n > 0).then_some(n),
+                    "--max-items" => config.quota.max_items = (n > 0).then_some(n),
+                    "--max-pending" => config.quota.max_pending = n as usize,
+                    "--max-workspaces" => config.quota.max_workspaces = n as usize,
+                    "--max-frame-bytes" => config.max_frame_bytes = n as usize,
+                    "--undo-cap" => config.quota.workspace_limits.undo_cap = n as usize,
+                    "--bundle-cache-cap" => {
+                        config.quota.workspace_limits.bundle_cache_cap = n as usize;
+                    }
+                    "--cluster-cache-cap" => {
+                        config.quota.workspace_limits.cluster_cache_cap = n as usize;
+                    }
+                    "--threads" => {
+                        config.threads = NonZeroUsize::new(n as usize)
+                            .unwrap_or_else(|| fail("--threads must be at least 1"));
+                    }
+                    other => fail(&format!("unknown flag '{other}'")),
+                }
+            }
+        }
+        i += 1;
+    }
+    (addr, config)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (addr, config) = parse_config(&args);
+    let mut server = match Server::spawn(addr.as_str(), config) {
+        Ok(s) => s,
+        Err(e) => fail(&format!("cannot bind {addr}: {e}")),
+    };
+    println!("car-server listening on {}", server.addr());
+    server.join();
+}

@@ -1,0 +1,807 @@
+//! Multi-tenant service core: the workspace registry, per-tenant
+//! quotas, and the admission-controlled, coalescing query path.
+//!
+//! ## Concurrency model
+//!
+//! Workspaces live in a sharded registry (`Mutex<HashMap>` per shard,
+//! keyed by tenant + workspace name) so connections on different
+//! workspaces never contend on one lock. Each workspace entry owns two
+//! locks with a strict ordering discipline — the *batch queue* lock and
+//! the *workspace* lock are never held at the same time:
+//!
+//! * **Edits** (`apply`/`undo`/`redo`) take the workspace lock
+//!   directly; they are short (no reasoning happens at edit time).
+//! * **Queries** enqueue into the batch queue. The first arrival
+//!   becomes the *leader*: it takes the workspace lock and drains the
+//!   queue in rounds, answering *all* pending batches with a single
+//!   [`Workspace::query_batch_results`] call per round — concurrent
+//!   queries against the same workspace version share one bundle
+//!   computation and one budget, instead of serializing N full
+//!   reasoning passes. Followers block on a per-batch condvar slot.
+//!
+//! ## Admission control and degradation
+//!
+//! The queue is bounded (`max_pending` batches). When a drain is in
+//! progress and the queue is full, new queries are not queued
+//! unboundedly — they degrade immediately to `unknown` answers with
+//! cause `"admission"`. Every drain round runs under a fresh
+//! per-tenant [`Budget`], so a pathological schema exhausts its own
+//! budget (`unknown` with cause `"deadline"`/`"budget"`) rather than
+//! starving other tenants or wedging the workspace: budget failures
+//! are not cached and the workspace stays valid for the next request.
+
+use crate::json::{obj, s, Json};
+use crate::protocol::{
+    answer_json, ok_response, unknown_answer, Envelope, Request, WireError, WireQuery,
+};
+use car_core::{
+    Budget, BudgetLimits, ReasonerConfig, Workspace, WorkspaceLimits,
+};
+use car_parser::parse_schema;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// Per-tenant resource quotas, applied to every workspace of every
+/// tenant (this build has a single global quota class; the structure is
+/// per-request so per-tenant tiers can be layered on later).
+#[derive(Debug, Clone, Copy)]
+pub struct TenantQuota {
+    /// Wall-clock allowance per query drain round.
+    pub deadline: Option<Duration>,
+    /// Step allowance per query drain round.
+    pub max_steps: Option<u64>,
+    /// Materialized-object allowance per query drain round.
+    pub max_items: Option<u64>,
+    /// Maximum batches queued behind an in-progress drain before new
+    /// queries degrade to `unknown` (`"admission"`).
+    pub max_pending: usize,
+    /// Maximum workspaces one tenant may hold open.
+    pub max_workspaces: usize,
+    /// Cache and undo-stack bounds for each workspace.
+    pub workspace_limits: WorkspaceLimits,
+}
+
+impl Default for TenantQuota {
+    fn default() -> TenantQuota {
+        TenantQuota {
+            deadline: Some(Duration::from_secs(10)),
+            max_steps: None,
+            max_items: Some(5_000_000),
+            max_pending: 64,
+            max_workspaces: 32,
+            workspace_limits: WorkspaceLimits::default(),
+        }
+    }
+}
+
+impl TenantQuota {
+    fn budget(&self) -> Budget {
+        Budget::new(BudgetLimits {
+            deadline: self.deadline,
+            max_steps: self.max_steps,
+            max_items: self.max_items,
+        })
+    }
+}
+
+/// Server-wide configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Quotas applied to each tenant.
+    pub quota: TenantQuota,
+    /// Maximum request frame size in bytes (longer lines are discarded
+    /// and answered with `frame_too_large`).
+    pub max_frame_bytes: usize,
+    /// Worker threads per reasoning pass.
+    pub threads: NonZeroUsize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            quota: TenantQuota::default(),
+            max_frame_bytes: 1 << 20,
+            threads: NonZeroUsize::MIN,
+        }
+    }
+}
+
+/// How long a follower waits for its leader before degrading. Far above
+/// any sane drain time (drains are budget-bounded); this is a hang
+/// backstop, not a tuning knob.
+const FOLLOWER_TIMEOUT: Duration = Duration::from_secs(300);
+
+const SHARDS: usize = 16;
+
+struct PendingBatch {
+    queries: Vec<WireQuery>,
+    slot: Arc<Slot>,
+}
+
+struct Slot {
+    answers: Mutex<Option<Vec<Json>>>,
+    ready: Condvar,
+}
+
+struct BatchQueue {
+    pending: Vec<PendingBatch>,
+    /// A leader currently holds (or is about to take) the workspace
+    /// lock and will drain `pending`.
+    draining: bool,
+}
+
+struct WsEntry {
+    ws: Mutex<Workspace>,
+    queue: Mutex<BatchQueue>,
+    /// Bumped on every successful `apply`/`undo`/`redo`; lets clients
+    /// correlate answers with schema versions.
+    version: AtomicU64,
+}
+
+/// The shared, thread-safe service state: registry plus configuration.
+pub struct Service {
+    config: ServerConfig,
+    shards: Vec<Mutex<HashMap<WsKey, Arc<WsEntry>>>>,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct WsKey {
+    tenant: String,
+    workspace: String,
+}
+
+impl Service {
+    /// A fresh service with no workspaces.
+    #[must_use]
+    pub fn new(config: ServerConfig) -> Service {
+        Service {
+            config,
+            shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+        }
+    }
+
+    /// The active configuration.
+    #[must_use]
+    pub fn config(&self) -> &ServerConfig {
+        &self.config
+    }
+
+    fn shard(&self, key: &WsKey) -> &Mutex<HashMap<WsKey, Arc<WsEntry>>> {
+        let mut h = DefaultHasher::new();
+        key.hash(&mut h);
+        &self.shards[(h.finish() as usize) % SHARDS]
+    }
+
+    fn lookup(&self, tenant: &str, workspace: &str) -> Result<Arc<WsEntry>, WireError> {
+        let key = WsKey { tenant: tenant.to_owned(), workspace: workspace.to_owned() };
+        self.shard(&key)
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .get(&key)
+            .cloned()
+            .ok_or_else(|| {
+                WireError::new("unknown_workspace", format!("no workspace '{workspace}'"))
+            })
+    }
+
+    fn tenant_workspace_count(&self, tenant: &str) -> usize {
+        self.shards
+            .iter()
+            .map(|shard| {
+                shard
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .keys()
+                    .filter(|k| k.tenant == tenant)
+                    .count()
+            })
+            .sum()
+    }
+
+    /// Handles one parsed request and produces the full response line.
+    /// Never panics on any input; errors come back as error responses.
+    #[must_use]
+    pub fn handle(&self, envelope: &Envelope, request: Request) -> String {
+        let id = envelope.id;
+        match request {
+            Request::Ping => ok_response(id, vec![("pong", Json::Bool(true))]),
+            Request::Open { workspace, schema, replace } => {
+                self.open(envelope, &workspace, &schema, replace)
+            }
+            Request::Close { workspace } => self.close(envelope, &workspace),
+            Request::Apply { workspace, deltas } => {
+                self.apply(envelope, &workspace, &deltas)
+            }
+            Request::Undo { workspace } => self.undo_redo(envelope, &workspace, true),
+            Request::Redo { workspace } => self.undo_redo(envelope, &workspace, false),
+            Request::Query { workspace, queries } => {
+                self.query(envelope, &workspace, queries)
+            }
+            Request::Stats { workspace } => self.stats(envelope, &workspace),
+            Request::List => self.list(envelope),
+        }
+    }
+
+    fn open(
+        &self,
+        envelope: &Envelope,
+        workspace: &str,
+        schema_text: &str,
+        replace: bool,
+    ) -> String {
+        let id = envelope.id;
+        let schema = match parse_schema(schema_text) {
+            Ok(s) => s,
+            Err(e) => return crate::protocol::err_response(id, &WireError::from(&e)),
+        };
+        let num_classes = schema.num_classes();
+        let config = ReasonerConfig {
+            threads: self.config.threads,
+            budget: self.config.quota.budget(),
+            ..ReasonerConfig::default()
+        };
+        let ws = Workspace::with_limits(schema, config, self.config.quota.workspace_limits);
+        let key =
+            WsKey { tenant: envelope.tenant.clone(), workspace: workspace.to_owned() };
+
+        // Count before inserting so the cap is enforced even for the
+        // insert that would exceed it. Races between two concurrent
+        // opens of *different* names can overshoot by one; the cap is a
+        // resource guard, not an accounting invariant.
+        let existing = self.lookup(&envelope.tenant, workspace).is_ok();
+        if !existing && self.tenant_workspace_count(&envelope.tenant)
+            >= self.config.quota.max_workspaces
+        {
+            return crate::protocol::err_response(
+                id,
+                &WireError::new(
+                    "quota",
+                    format!(
+                        "tenant '{}' already has {} workspaces open",
+                        envelope.tenant, self.config.quota.max_workspaces
+                    ),
+                ),
+            );
+        }
+        if existing && !replace {
+            return crate::protocol::err_response(
+                id,
+                &WireError::new(
+                    "workspace_exists",
+                    format!("workspace '{workspace}' already exists (pass \"replace\":true)"),
+                ),
+            );
+        }
+
+        let entry = Arc::new(WsEntry {
+            ws: Mutex::new(ws),
+            queue: Mutex::new(BatchQueue { pending: Vec::new(), draining: false }),
+            version: AtomicU64::new(0),
+        });
+        self.shard(&key)
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .insert(key, entry);
+        ok_response(
+            id,
+            vec![
+                ("workspace", s(workspace)),
+                ("classes", Json::UInt(num_classes as u64)),
+                ("replaced", Json::Bool(existing)),
+            ],
+        )
+    }
+
+    fn close(&self, envelope: &Envelope, workspace: &str) -> String {
+        let key =
+            WsKey { tenant: envelope.tenant.clone(), workspace: workspace.to_owned() };
+        let removed = self
+            .shard(&key)
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .remove(&key)
+            .is_some();
+        if removed {
+            ok_response(envelope.id, vec![("closed", s(workspace))])
+        } else {
+            crate::protocol::err_response(
+                envelope.id,
+                &WireError::new("unknown_workspace", format!("no workspace '{workspace}'")),
+            )
+        }
+    }
+
+    fn apply(
+        &self,
+        envelope: &Envelope,
+        workspace: &str,
+        deltas: &[crate::protocol::WireDelta],
+    ) -> String {
+        let entry = match self.lookup(&envelope.tenant, workspace) {
+            Ok(e) => e,
+            Err(e) => return crate::protocol::err_response(envelope.id, &e),
+        };
+        let mut ws = entry.ws.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        let mut applied: u64 = 0;
+        for delta in deltas {
+            // Resolve against the *current* schema so a delta may refer
+            // to classes introduced earlier in this same request.
+            let resolved = match delta.resolve(ws.schema()) {
+                Ok(d) => d,
+                Err(e) => {
+                    return self.partial_apply_response(envelope.id, applied, &entry, &e);
+                }
+            };
+            if let Err(e) = ws.apply(&resolved) {
+                return self.partial_apply_response(
+                    envelope.id,
+                    applied,
+                    &entry,
+                    &WireError::from(&e),
+                );
+            }
+            applied += 1;
+        }
+        let version = if applied > 0 {
+            entry.version.fetch_add(1, Ordering::Relaxed) + 1
+        } else {
+            entry.version.load(Ordering::Relaxed)
+        };
+        ok_response(
+            envelope.id,
+            vec![("applied", Json::UInt(applied)), ("version", Json::UInt(version))],
+        )
+    }
+
+    /// An apply that failed midway still reports how many deltas were
+    /// applied (they remain applied; the request is not transactional —
+    /// clients can `undo` them).
+    fn partial_apply_response(
+        &self,
+        id: Option<u64>,
+        applied: u64,
+        entry: &WsEntry,
+        error: &WireError,
+    ) -> String {
+        let version = if applied > 0 {
+            entry.version.fetch_add(1, Ordering::Relaxed) + 1
+        } else {
+            entry.version.load(Ordering::Relaxed)
+        };
+        crate::json::to_string(&obj(vec![
+            ("id", match id {
+                Some(n) => Json::UInt(n),
+                None => Json::Null,
+            }),
+            ("ok", Json::Bool(false)),
+            ("applied", Json::UInt(applied)),
+            ("version", Json::UInt(version)),
+            ("error", error.to_json()),
+        ])) + "\n"
+    }
+
+    fn undo_redo(&self, envelope: &Envelope, workspace: &str, undo: bool) -> String {
+        let entry = match self.lookup(&envelope.tenant, workspace) {
+            Ok(e) => e,
+            Err(e) => return crate::protocol::err_response(envelope.id, &e),
+        };
+        let mut ws = entry.ws.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        let moved = if undo { ws.undo() } else { ws.redo() };
+        drop(ws);
+        let version = if moved {
+            entry.version.fetch_add(1, Ordering::Relaxed) + 1
+        } else {
+            entry.version.load(Ordering::Relaxed)
+        };
+        ok_response(
+            envelope.id,
+            vec![("moved", Json::Bool(moved)), ("version", Json::UInt(version))],
+        )
+    }
+
+    fn stats(&self, envelope: &Envelope, workspace: &str) -> String {
+        let entry = match self.lookup(&envelope.tenant, workspace) {
+            Ok(e) => e,
+            Err(e) => return crate::protocol::err_response(envelope.id, &e),
+        };
+        let ws = entry.ws.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        let stats = ws.stats();
+        let classes = ws.schema().num_classes();
+        drop(ws);
+        ok_response(
+            envelope.id,
+            vec![
+                ("version", Json::UInt(entry.version.load(Ordering::Relaxed))),
+                ("classes", Json::UInt(classes as u64)),
+                ("bundle_hits", Json::UInt(stats.bundle_hits)),
+                ("bundle_misses", Json::UInt(stats.bundle_misses)),
+                ("clusters_reused", Json::UInt(stats.clusters_reused)),
+                ("clusters_rebuilt", Json::UInt(stats.clusters_rebuilt)),
+                ("edits_applied", Json::UInt(stats.edits_applied)),
+            ],
+        )
+    }
+
+    fn list(&self, envelope: &Envelope) -> String {
+        let mut names: Vec<String> = self
+            .shards
+            .iter()
+            .flat_map(|shard| {
+                shard
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .keys()
+                    .filter(|k| k.tenant == envelope.tenant)
+                    .map(|k| k.workspace.clone())
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        names.sort();
+        ok_response(
+            envelope.id,
+            vec![("workspaces", Json::Arr(names.into_iter().map(Json::Str).collect()))],
+        )
+    }
+
+    // -----------------------------------------------------------------
+    // The coalescing query path
+    // -----------------------------------------------------------------
+
+    fn query(
+        &self,
+        envelope: &Envelope,
+        workspace: &str,
+        queries: Vec<WireQuery>,
+    ) -> String {
+        let entry = match self.lookup(&envelope.tenant, workspace) {
+            Ok(e) => e,
+            Err(e) => return crate::protocol::err_response(envelope.id, &e),
+        };
+        if queries.is_empty() {
+            return ok_response(envelope.id, vec![("answers", Json::Arr(Vec::new()))]);
+        }
+        let n = queries.len();
+
+        // Enqueue (or degrade, if the queue is saturated behind an
+        // in-progress drain).
+        let slot = Arc::new(Slot { answers: Mutex::new(None), ready: Condvar::new() });
+        let is_leader = {
+            let mut queue =
+                entry.queue.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+            if queue.draining && queue.pending.len() >= self.config.quota.max_pending {
+                drop(queue);
+                let degraded: Vec<Json> = (0..n)
+                    .map(|_| {
+                        unknown_answer(
+                            "admission",
+                            "workspace query queue is full; retry later",
+                        )
+                    })
+                    .collect();
+                return ok_response(envelope.id, vec![("answers", Json::Arr(degraded))]);
+            }
+            queue.pending.push(PendingBatch { queries, slot: Arc::clone(&slot) });
+            let lead = !queue.draining;
+            queue.draining = true;
+            lead
+        };
+
+        if is_leader {
+            self.drain(&entry);
+        }
+
+        // The leader's own slot is filled by its first drain round;
+        // followers wait for whichever round picks them up. The timeout
+        // is a backstop against a crashed leader, not a scheduling
+        // mechanism.
+        let mut answers =
+            slot.answers.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        let mut waited = Duration::ZERO;
+        while answers.is_none() {
+            if waited >= FOLLOWER_TIMEOUT {
+                let degraded: Vec<Json> = (0..n)
+                    .map(|_| unknown_answer("admission", "query leader did not respond"))
+                    .collect();
+                return ok_response(envelope.id, vec![("answers", Json::Arr(degraded))]);
+            }
+            let step = Duration::from_secs(5);
+            let (guard, _) = slot
+                .ready
+                .wait_timeout(answers, step)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            answers = guard;
+            waited += step;
+        }
+        let answers = answers.take().unwrap_or_default();
+        ok_response(envelope.id, vec![("answers", Json::Arr(answers))])
+    }
+
+    /// Leader drain loop: repeatedly swap out everything pending and
+    /// answer it in one batched reasoning pass, until the queue is
+    /// empty. The queue lock and the workspace lock are never held
+    /// together.
+    fn drain(&self, entry: &WsEntry) {
+        let mut ws = entry.ws.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        loop {
+            let batches = {
+                let mut queue =
+                    entry.queue.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+                if queue.pending.is_empty() {
+                    queue.draining = false;
+                    break;
+                }
+                std::mem::take(&mut queue.pending)
+            };
+
+            // One fresh budget per round: all coalesced batches share
+            // it, so a round costs one tenant-quota unit no matter how
+            // many clients piled in.
+            ws.set_budget(self.config.quota.budget());
+
+            // Resolve names against the now-current schema. Unresolved
+            // queries answer immediately; resolved ones join the
+            // combined batch.
+            let mut combined: Vec<car_core::Query> = Vec::new();
+            let mut plans: Vec<(Vec<Result<usize, String>>, Arc<Slot>)> =
+                Vec::with_capacity(batches.len());
+            for batch in &batches {
+                let plan = batch
+                    .queries
+                    .iter()
+                    .map(|q| {
+                        q.resolve(ws.schema()).map(|typed| {
+                            let at = combined.len();
+                            combined.push(typed);
+                            at
+                        })
+                    })
+                    .collect();
+                plans.push((plan, Arc::clone(&batch.slot)));
+            }
+
+            let results = ws.query_batch_results(&combined);
+
+            for (plan, slot) in plans {
+                let answers: Vec<Json> = plan
+                    .into_iter()
+                    .map(|entry| match entry {
+                        Ok(at) => answer_json(&results[at]),
+                        Err(name) => unknown_answer(
+                            "unknown_class",
+                            &format!("unknown class '{name}'"),
+                        ),
+                    })
+                    .collect();
+                *slot.answers.lock().unwrap_or_else(std::sync::PoisonError::into_inner) =
+                    Some(answers);
+                slot.ready.notify_all();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+    use crate::protocol::parse_request;
+
+    fn service() -> Service {
+        Service::new(ServerConfig::default())
+    }
+
+    fn run(svc: &Service, line: &str) -> Json {
+        let frame = parse(line).unwrap();
+        let (env, req) = parse_request(&frame);
+        let response = match req {
+            Ok(r) => svc.handle(&env, r),
+            Err(e) => crate::protocol::err_response(env.id, &e),
+        };
+        parse(response.trim_end()).unwrap()
+    }
+
+    const SCHEMA: &str = "
+        class Person endclass
+        class Professor isa Person endclass
+        class Student isa Person and not Professor endclass
+    ";
+
+    #[test]
+    fn open_query_roundtrip() {
+        let svc = service();
+        let open = run(
+            &svc,
+            &format!(
+                "{{\"op\":\"open\",\"workspace\":\"w\",\"schema\":{}}}",
+                crate::json::to_string(&Json::Str(SCHEMA.into()))
+            ),
+        );
+        assert_eq!(open.get("ok"), Some(&Json::Bool(true)));
+        let resp = run(
+            &svc,
+            r#"{"op":"query","workspace":"w","queries":[
+                {"kind":"subsumes","sup":"Person","sub":"Student"},
+                {"kind":"disjoint","a":"Student","b":"Professor"},
+                {"kind":"subsumes","sup":"Student","sub":"Person"},
+                {"kind":"satisfiable","class":"Ghost"}]}"#,
+        );
+        let answers = resp.get("answers").and_then(Json::as_arr).unwrap();
+        assert_eq!(answers[0].get("outcome"), Some(&Json::Str("proved".into())));
+        assert_eq!(answers[1].get("outcome"), Some(&Json::Str("proved".into())));
+        assert_eq!(answers[2].get("outcome"), Some(&Json::Str("disproved".into())));
+        assert_eq!(answers[3].get("outcome"), Some(&Json::Str("unknown".into())));
+        assert_eq!(answers[3].get("cause"), Some(&Json::Str("unknown_class".into())));
+    }
+
+    #[test]
+    fn apply_undo_redo_cycle() {
+        let svc = service();
+        run(
+            &svc,
+            &format!(
+                "{{\"op\":\"open\",\"workspace\":\"w\",\"schema\":{}}}",
+                crate::json::to_string(&Json::Str(SCHEMA.into()))
+            ),
+        );
+        let applied = run(
+            &svc,
+            r#"{"op":"apply","workspace":"w","deltas":[
+                {"kind":"add_class","name":"TA"},
+                {"kind":"set_isa","class":"TA","isa":[[{"class":"Student"}],[{"class":"Professor"}]]}]}"#,
+        );
+        assert_eq!(applied.get("applied"), Some(&Json::UInt(2)));
+        // TA isa Student and Professor, which are disjoint → unsat.
+        let q = r#"{"op":"query","workspace":"w","queries":[{"kind":"satisfiable","class":"TA"}]}"#;
+        let resp = run(&svc, q);
+        let answers = resp.get("answers").and_then(Json::as_arr).unwrap();
+        assert_eq!(answers[0].get("outcome"), Some(&Json::Str("disproved".into())));
+
+        let undo = run(&svc, r#"{"op":"undo","workspace":"w"}"#);
+        assert_eq!(undo.get("moved"), Some(&Json::Bool(true)));
+        let resp = run(&svc, q);
+        let answers = resp.get("answers").and_then(Json::as_arr).unwrap();
+        // After undoing the isa edit, TA is unconstrained → satisfiable.
+        assert_eq!(answers[0].get("outcome"), Some(&Json::Str("proved".into())));
+
+        let redo = run(&svc, r#"{"op":"redo","workspace":"w"}"#);
+        assert_eq!(redo.get("moved"), Some(&Json::Bool(true)));
+        let resp = run(&svc, q);
+        let answers = resp.get("answers").and_then(Json::as_arr).unwrap();
+        assert_eq!(answers[0].get("outcome"), Some(&Json::Str("disproved".into())));
+    }
+
+    #[test]
+    fn failed_apply_reports_progress_and_preserves_workspace() {
+        let svc = service();
+        run(
+            &svc,
+            &format!(
+                "{{\"op\":\"open\",\"workspace\":\"w\",\"schema\":{}}}",
+                crate::json::to_string(&Json::Str(SCHEMA.into()))
+            ),
+        );
+        let resp = run(
+            &svc,
+            r#"{"op":"apply","workspace":"w","deltas":[
+                {"kind":"add_class","name":"TA"},
+                {"kind":"remove_class","name":"Person"}]}"#,
+        );
+        assert_eq!(resp.get("ok"), Some(&Json::Bool(false)));
+        assert_eq!(resp.get("applied"), Some(&Json::UInt(1)));
+        let err = resp.get("error").unwrap();
+        assert_eq!(err.get("kind"), Some(&Json::Str("class_referenced".into())));
+        // The workspace still answers queries, and TA (delta 1) exists.
+        let resp = run(
+            &svc,
+            r#"{"op":"query","workspace":"w","queries":[{"kind":"satisfiable","class":"TA"}]}"#,
+        );
+        let answers = resp.get("answers").and_then(Json::as_arr).unwrap();
+        assert_eq!(answers[0].get("outcome"), Some(&Json::Str("proved".into())));
+    }
+
+    #[test]
+    fn tenants_are_isolated() {
+        let svc = service();
+        run(
+            &svc,
+            &format!(
+                "{{\"op\":\"open\",\"tenant\":\"a\",\"workspace\":\"w\",\"schema\":{}}}",
+                crate::json::to_string(&Json::Str(SCHEMA.into()))
+            ),
+        );
+        let resp = run(
+            &svc,
+            r#"{"op":"query","tenant":"b","workspace":"w","queries":[{"kind":"coherent"}]}"#,
+        );
+        assert_eq!(resp.get("ok"), Some(&Json::Bool(false)));
+        assert_eq!(
+            resp.get("error").unwrap().get("kind"),
+            Some(&Json::Str("unknown_workspace".into()))
+        );
+        let list_a = run(&svc, r#"{"op":"list","tenant":"a"}"#);
+        let list_b = run(&svc, r#"{"op":"list","tenant":"b"}"#);
+        assert_eq!(
+            list_a.get("workspaces"),
+            Some(&Json::Arr(vec![Json::Str("w".into())]))
+        );
+        assert_eq!(list_b.get("workspaces"), Some(&Json::Arr(Vec::new())));
+    }
+
+    #[test]
+    fn workspace_quota_is_enforced() {
+        let mut config = ServerConfig::default();
+        config.quota.max_workspaces = 2;
+        let svc = Service::new(config);
+        let open = |name: &str| {
+            format!(
+                "{{\"op\":\"open\",\"workspace\":\"{name}\",\"schema\":{}}}",
+                crate::json::to_string(&Json::Str("class A endclass".into()))
+            )
+        };
+        assert_eq!(run(&svc, &open("w1")).get("ok"), Some(&Json::Bool(true)));
+        assert_eq!(run(&svc, &open("w2")).get("ok"), Some(&Json::Bool(true)));
+        let third = run(&svc, &open("w3"));
+        assert_eq!(third.get("ok"), Some(&Json::Bool(false)));
+        assert_eq!(
+            third.get("error").unwrap().get("kind"),
+            Some(&Json::Str("quota".into()))
+        );
+        // Replacing an existing workspace is not a new allocation.
+        let replace = run(
+            &svc,
+            &format!(
+                "{{\"op\":\"open\",\"workspace\":\"w1\",\"replace\":true,\"schema\":{}}}",
+                crate::json::to_string(&Json::Str("class B endclass".into()))
+            ),
+        );
+        assert_eq!(replace.get("ok"), Some(&Json::Bool(true)));
+        // Closing frees the slot.
+        run(&svc, r#"{"op":"close","workspace":"w2"}"#);
+        assert_eq!(run(&svc, &open("w3")).get("ok"), Some(&Json::Bool(true)));
+    }
+
+    #[test]
+    fn invalid_schema_text_is_a_spanned_error() {
+        let svc = service();
+        let resp = run(
+            &svc,
+            r#"{"op":"open","workspace":"w","schema":"class A isa ((((B endclass"}"#,
+        );
+        assert_eq!(resp.get("ok"), Some(&Json::Bool(false)));
+        let err = resp.get("error").unwrap();
+        assert_eq!(err.get("kind"), Some(&Json::Str("parse".into())));
+        assert!(err.get("line").is_some());
+        assert!(err.get("col").is_some());
+    }
+
+    #[test]
+    fn budget_exhaustion_degrades_to_unknown_with_cause() {
+        let mut config = ServerConfig::default();
+        config.quota.max_steps = Some(1);
+        let svc = Service::new(config);
+        run(
+            &svc,
+            &format!(
+                "{{\"op\":\"open\",\"workspace\":\"w\",\"schema\":{}}}",
+                crate::json::to_string(&Json::Str(SCHEMA.into()))
+            ),
+        );
+        let resp = run(
+            &svc,
+            r#"{"op":"query","workspace":"w","queries":[{"kind":"coherent"}]}"#,
+        );
+        assert_eq!(resp.get("ok"), Some(&Json::Bool(true)));
+        let answers = resp.get("answers").and_then(Json::as_arr).unwrap();
+        assert_eq!(answers[0].get("outcome"), Some(&Json::Str("unknown".into())));
+        assert_eq!(answers[0].get("cause"), Some(&Json::Str("budget".into())));
+        // The workspace is not poisoned: a larger budget would answer.
+        // (Here just verify another request still gets a response.)
+        let again = run(&svc, r#"{"op":"stats","workspace":"w"}"#);
+        assert_eq!(again.get("ok"), Some(&Json::Bool(true)));
+    }
+}
