@@ -1,0 +1,159 @@
+//! Cold vs warm start through the durable store (ungated; wall-clock
+//! observations only — the deterministic counters of the same workload
+//! are gated through `car_loadgen --restart` / `BENCH_7.json`).
+//!
+//! Workload: the pigeonhole-block schema of `incremental_edits` —
+//! every cluster is a pure DPLL refutation, so enumeration dominates
+//! and the durable store's value is maximal. Three measured paths:
+//!
+//! * `cold_start` — a fresh workspace over an *empty* store answers
+//!   coherence: full enumeration plus write-through.
+//! * `warm_start` — a fresh workspace over the *populated* store: the
+//!   enumerations come back from disk, only decode + expansion run.
+//!   This is the restart path a recovering server takes per workspace.
+//! * `memory_hit` — the same workspace asked again (whole-bundle
+//!   cache): the in-memory floor the disk tier is bounded below by.
+//!
+//! A `[persistence]` summary line prints the one-shot cold/warm ratio
+//! together with the workspace counters proving the warm run
+//! re-enumerated nothing.
+
+use car_core::incremental::Workspace;
+use car_core::persist::{DiskStore, SharedStore, StoreLimits};
+use car_core::reasoner::{ReasonerConfig, Strategy};
+use car_core::syntax::{ClassFormula, SchemaBuilder};
+use car_core::Schema;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Pigeonhole blocks (= independent clusters recovered from disk).
+const BLOCKS: usize = 8;
+/// Holes per block; the refutation grows factorially in `HOLES`.
+const HOLES: usize = 4;
+
+fn php_blocks(blocks: usize, holes: usize) -> Schema {
+    let mut b = SchemaBuilder::new();
+    for c in 0..blocks {
+        let root = b.class(&format!("R{c}"));
+        let h: Vec<Vec<_>> = (0..holes + 1)
+            .map(|i| (0..holes).map(|j| b.class(&format!("H{c}_{i}_{j}"))).collect())
+            .collect();
+        let mut isa = ClassFormula::top();
+        for row in &h {
+            isa = isa.and(ClassFormula::union_of(row.iter().copied()));
+        }
+        b.define_class(root).isa(isa).finish();
+        for i in 0..holes + 1 {
+            for j in 0..holes {
+                let mut f = ClassFormula::class(root);
+                for (k, row) in h.iter().enumerate() {
+                    if k != i {
+                        f = f.and(ClassFormula::neg_class(row[j]));
+                    }
+                }
+                b.define_class(h[i][j]).isa(f).finish();
+            }
+        }
+    }
+    b.build().unwrap()
+}
+
+fn config() -> ReasonerConfig {
+    ReasonerConfig { strategy: Strategy::Preselect, ..ReasonerConfig::default() }
+}
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir()
+        .join(format!("car-bench-persistence-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn open_store(dir: &Path) -> SharedStore {
+    Arc::new(Mutex::new(DiskStore::open_real(dir, StoreLimits::default()).unwrap()))
+}
+
+fn min_time(runs: usize, mut f: impl FnMut()) -> Duration {
+    (0..runs)
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed()
+        })
+        .min()
+        .unwrap()
+}
+
+fn bench(c: &mut Criterion) {
+    let base = php_blocks(BLOCKS, HOLES);
+    let mut group = c.benchmark_group("persistence_restart");
+
+    // Cold: every iteration starts from an empty store directory.
+    let cold_dir = scratch("cold");
+    group.bench_function("cold_start", |b| {
+        b.iter(|| {
+            let _ = std::fs::remove_dir_all(&cold_dir);
+            let mut ws = Workspace::new(base.clone(), config());
+            ws.set_store(open_store(&cold_dir));
+            black_box(ws.try_is_coherent().unwrap())
+        })
+    });
+
+    // Populate once; warm iterations restart over the full store.
+    let warm_dir = scratch("warm");
+    {
+        let mut ws = Workspace::new(base.clone(), config());
+        ws.set_store(open_store(&warm_dir));
+        ws.try_is_coherent().unwrap();
+    }
+    group.bench_function("warm_start", |b| {
+        b.iter(|| {
+            let mut ws = Workspace::new(base.clone(), config());
+            ws.set_store(open_store(&warm_dir));
+            black_box(ws.try_is_coherent().unwrap())
+        })
+    });
+
+    // Floor: the whole-bundle memory cache on a long-lived workspace.
+    let mut hot = Workspace::new(base.clone(), config());
+    hot.set_store(open_store(&warm_dir));
+    hot.try_is_coherent().unwrap();
+    group.bench_function("memory_hit", |b| {
+        b.iter(|| black_box(hot.try_is_coherent().unwrap()))
+    });
+    group.finish();
+
+    // One-shot summary with the counters that prove the warm path.
+    let runs = 5;
+    let cold = min_time(runs, || {
+        let _ = std::fs::remove_dir_all(&cold_dir);
+        let mut ws = Workspace::new(base.clone(), config());
+        ws.set_store(open_store(&cold_dir));
+        black_box(ws.try_is_coherent().unwrap());
+    });
+    let mut last_stats = None;
+    let warm = min_time(runs, || {
+        let mut ws = Workspace::new(base.clone(), config());
+        ws.set_store(open_store(&warm_dir));
+        black_box(ws.try_is_coherent().unwrap());
+        last_stats = Some(ws.stats());
+    });
+    let stats = last_stats.unwrap();
+    eprintln!(
+        "[persistence] {BLOCKS} pigeonhole blocks ({} classes): cold start {cold:?}, \
+         warm restart {warm:?} — {:.1}x; warm run: {} disk cluster hits, \
+         {} rebuilt (must be 0)",
+        base.num_classes(),
+        cold.as_secs_f64() / warm.as_secs_f64().max(1e-12),
+        stats.disk_cluster_hits,
+        stats.clusters_rebuilt,
+    );
+    let _ = std::fs::remove_dir_all(&cold_dir);
+    let _ = std::fs::remove_dir_all(&warm_dir);
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

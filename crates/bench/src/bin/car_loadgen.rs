@@ -17,18 +17,36 @@
 //!    deterministically, proving exhaustion never panics, poisons a
 //!    workspace, or drops a response.
 //!
-//! Output is the `BENCH_6.json` document: per-phase deterministic
-//! counters (gated in CI via `--check`, like `BENCH_5.json`) plus
-//! wall-clock observations — total time, p50/p99 latency, throughput —
-//! which are recorded but never gated.
+//! With `--restart` the three phases above are replaced by the
+//! crash-safety phases of `BENCH_7.json`:
+//!
+//! 1. **restart_crash** — durable clients edit journaled workspaces,
+//!    record a final answer set, then the server is killed without
+//!    draining; a second server over the same `--data-dir` must replay
+//!    every acknowledged operation and answer bit-identically.
+//! 2. **restart_graceful** — the same workload, but the first server
+//!    drains and snapshots; recovery must replay *zero* journal ops.
+//! 3. **warm_start_pigeonhole** — an in-process pigeonhole workload
+//!    run cold (empty store) and then warm (reopened store): identical
+//!    answers, every cluster recovered from disk, and far fewer DPLL
+//!    propagations.
+//!
+//! Output is the `BENCH_6.json` (or `BENCH_7.json`) document:
+//! per-phase deterministic counters (gated in CI via `--check`, like
+//! `BENCH_5.json`) plus wall-clock observations — total time, p50/p99
+//! latency, throughput — which are recorded but never gated.
 //!
 //! Usage:
 //!   car_loadgen [--clients N] [--iters N]   print BENCH_6.json
 //!   car_loadgen --check BENCH_6.json        compare counters, ignore walls
+//!   car_loadgen --restart                   print BENCH_7.json
+//!   car_loadgen --restart --check BENCH_7.json
 
 use car_bench::telemetry::counter_lines;
-use car_core::syntax::Card;
-use car_core::{ReasonerConfig, Workspace};
+use car_core::persist::{DiskStore, SharedStore, StoreLimits};
+use car_core::reasoner::Strategy;
+use car_core::syntax::{Card, ClassFormula, SchemaBuilder};
+use car_core::{ReasonerConfig, Schema, Workspace};
 use car_server::json::{obj, parse, s, to_string, Json};
 use car_server::protocol::{answer_json, unknown_answer, WireDelta, WireQuery};
 use car_server::service::ServerConfig;
@@ -38,7 +56,9 @@ use rand::{Rng, SeedableRng};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::net::SocketAddr;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 const SCHEMA: &str = "
@@ -458,6 +478,307 @@ fn pressure_phase(clients: u64, iters: u32) -> PhaseReport {
     report
 }
 
+// -------------------------------------------------------------------
+// Restart phases (BENCH_7.json)
+// -------------------------------------------------------------------
+
+fn scratch_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("car-loadgen-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn durable_config(data_dir: &Path) -> ServerConfig {
+    let mut config = ServerConfig::default();
+    config.quota.deadline = None;
+    config.quota.max_items = None;
+    config.quota.max_pending = usize::MAX;
+    config.data_dir = Some(data_dir.to_owned());
+    config
+}
+
+/// The fixed answer-set batch every restart client runs before and
+/// after the restart; equality of the two responses is the
+/// bit-identical acceptance check.
+fn restart_queries() -> Vec<WireQuery> {
+    let mut qs = vec![WireQuery::Coherent];
+    for name in POOL {
+        qs.push(WireQuery::Satisfiable((*name).to_owned()));
+        qs.push(WireQuery::Subsumes { sup: "Person".into(), sub: (*name).to_owned() });
+    }
+    qs.push(WireQuery::Disjoint("Student".into(), "Professor".into()));
+    qs
+}
+
+/// Pre-restart load: every client opens a durable workspace, runs a
+/// seeded stream of applies and undos (each acknowledged operation is
+/// journaled server-side), and records the answer set. Returns the
+/// tallies, the per-client acknowledged-op counts, and the answers.
+fn restart_workload(
+    addr: SocketAddr,
+    clients: u64,
+    iters: u32,
+) -> (Vec<ClientTally>, Vec<u64>, Vec<Json>) {
+    let results: Vec<(ClientTally, u64, Json)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                scope.spawn(move || {
+                    let mut tally = ClientTally::default();
+                    let mut rng = SmallRng::seed_from_u64(0xD07A + c);
+                    let tenant = format!("t{c}");
+                    let mut client = Client::connect(addr).expect("connect");
+                    let open = frame(&tenant, "w", 0, "open", vec![("schema", s(SCHEMA))]);
+                    let v = timed_roundtrip(&mut client, &open, &mut tally);
+                    assert_eq!(v.get("ok"), Some(&Json::Bool(true)), "open failed");
+                    let mut acked = 0u64;
+                    for i in 1..=iters {
+                        if rng.gen_bool(0.25) {
+                            let f = frame(&tenant, "w", u64::from(i), "undo", vec![]);
+                            let v = timed_roundtrip(&mut client, &f, &mut tally);
+                            if v.get("moved") == Some(&Json::Bool(true)) {
+                                acked += 1;
+                            }
+                        } else {
+                            let ds = deltas(&mut rng);
+                            let f = frame(
+                                &tenant,
+                                "w",
+                                u64::from(i),
+                                "apply",
+                                vec![("deltas", Json::Arr(ds.iter().map(delta_json).collect()))],
+                            );
+                            let v = timed_roundtrip(&mut client, &f, &mut tally);
+                            acked += v.get("applied").and_then(Json::as_u64).unwrap_or(0);
+                            tally.edits_applied +=
+                                v.get("applied").and_then(Json::as_u64).unwrap_or(0);
+                        }
+                    }
+                    let qs = restart_queries();
+                    let f = frame(
+                        &tenant,
+                        "w",
+                        9_000,
+                        "query",
+                        vec![("queries", Json::Arr(qs.iter().map(query_json).collect()))],
+                    );
+                    let v = timed_roundtrip(&mut client, &f, &mut tally);
+                    let answers = v.get("answers").cloned().unwrap_or(Json::Null);
+                    tally_answers(
+                        &mut tally,
+                        v.get("answers").and_then(Json::as_arr).unwrap_or(&[]),
+                    );
+                    (tally, acked, answers)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("client thread")).collect()
+    });
+    let mut tallies = Vec::new();
+    let mut acked = Vec::new();
+    let mut answers = Vec::new();
+    for (t, a, ans) in results {
+        tallies.push(t);
+        acked.push(a);
+        answers.push(ans);
+    }
+    (tallies, acked, answers)
+}
+
+/// Post-restart verification: re-query every recovered workspace with
+/// the same batch and collect the warm disk-hit counters.
+fn requery_workspaces(addr: SocketAddr, clients: u64) -> (Vec<ClientTally>, Vec<Json>, u64) {
+    let results: Vec<(ClientTally, Json, u64)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                scope.spawn(move || {
+                    let mut tally = ClientTally::default();
+                    let tenant = format!("t{c}");
+                    let mut client = Client::connect(addr).expect("connect");
+                    let qs = restart_queries();
+                    let f = frame(
+                        &tenant,
+                        "w",
+                        9_000,
+                        "query",
+                        vec![("queries", Json::Arr(qs.iter().map(query_json).collect()))],
+                    );
+                    let v = timed_roundtrip(&mut client, &f, &mut tally);
+                    let answers = v.get("answers").cloned().unwrap_or(Json::Bool(false));
+                    let stats = frame(&tenant, "w", 9_001, "stats", vec![]);
+                    let v = timed_roundtrip(&mut client, &stats, &mut tally);
+                    let hits = v.get("disk_cluster_hits").and_then(Json::as_u64).unwrap_or(0)
+                        + v.get("disk_ccs_hits").and_then(Json::as_u64).unwrap_or(0);
+                    (tally, answers, hits)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("client thread")).collect()
+    });
+    let mut tallies = Vec::new();
+    let mut answers = Vec::new();
+    let mut hits = 0;
+    for (t, ans, h) in results {
+        tallies.push(t);
+        answers.push(ans);
+        hits += h;
+    }
+    (tallies, answers, hits)
+}
+
+/// One restart phase: load a durable server, kill it (`graceful` =
+/// false) or drain it (`graceful` = true), bring up a successor over
+/// the same data directory, and verify answers survive bit-identically.
+fn restart_phase(
+    name: &'static str,
+    graceful: bool,
+    clients: u64,
+    iters: u32,
+) -> PhaseReport {
+    let dir = scratch_dir(name);
+    let start = Instant::now();
+
+    let mut first = Server::spawn("127.0.0.1:0", durable_config(&dir)).expect("bind");
+    let (mut tallies, acked, before) = restart_workload(first.addr(), clients, iters);
+    let snapshots = if graceful { first.shutdown() } else { first.stop(); 0 };
+    let durability_failures = first.service().durability_failures();
+    drop(first);
+
+    let mut second = Server::spawn("127.0.0.1:0", durable_config(&dir)).expect("rebind");
+    let report = second.service().recovery_report();
+    let (tallies2, after, warm_disk_hits) = requery_workspaces(second.addr(), clients);
+    second.stop();
+    let wall = start.elapsed();
+    let _ = std::fs::remove_dir_all(&dir);
+
+    tallies.extend(tallies2);
+    let mismatches =
+        before.iter().zip(&after).filter(|(b, a)| b != a).count() as u64;
+    let total_acked: u64 = acked.iter().sum();
+
+    let mut merged = merge(name, clients, tallies, wall);
+    merged.counters.insert("acked_ops".into(), total_acked);
+    merged.counters.insert("workspaces_recovered".into(), report.workspaces_recovered);
+    merged.counters.insert("ops_replayed".into(), report.ops_replayed);
+    merged.counters.insert("replay_failures".into(), report.replay_failures);
+    merged.counters.insert("truncated_tails".into(), report.truncated_tails);
+    merged.counters.insert("dirs_skipped".into(), report.dirs_skipped);
+    merged.counters.insert("durability_failures".into(), durability_failures);
+    merged.counters.insert("post_restart_mismatches".into(), mismatches);
+    merged.counters.insert("warm_disk_hits".into(), warm_disk_hits);
+    if graceful {
+        merged.counters.insert("snapshots_written".into(), snapshots);
+    }
+    merged
+}
+
+/// Pigeonhole blocks for the warm-start phase: each block's root
+/// demands `HOLES + 1` pigeons fit into `HOLES` holes (a pure DPLL
+/// refutation), so cold-start propagation cost is large and any warm
+/// recomputation is visible in the counters.
+const PHP_BLOCKS: usize = 6;
+const PHP_HOLES: usize = 4;
+
+fn pigeonhole_schema(blocks: usize, holes: usize) -> Schema {
+    let mut b = SchemaBuilder::new();
+    for c in 0..blocks {
+        let root = b.class(&format!("R{c}"));
+        let h: Vec<Vec<_>> = (0..holes + 1)
+            .map(|i| (0..holes).map(|j| b.class(&format!("H{c}_{i}_{j}"))).collect())
+            .collect();
+        let mut isa = ClassFormula::top();
+        for row in &h {
+            isa = isa.and(ClassFormula::union_of(row.iter().copied()));
+        }
+        b.define_class(root).isa(isa).finish();
+        for i in 0..holes + 1 {
+            for j in 0..holes {
+                let mut f = ClassFormula::class(root);
+                for (k, row) in h.iter().enumerate() {
+                    if k != i {
+                        f = f.and(ClassFormula::neg_class(row[j]));
+                    }
+                }
+                b.define_class(h[i][j]).isa(f).finish();
+            }
+        }
+    }
+    b.build().unwrap()
+}
+
+/// Phase 3: the acceptance workload. A cold in-process run over an
+/// empty durable store, then a warm run over the reopened store: the
+/// answer vectors must be identical, every cluster must come back from
+/// disk (zero rebuilds), and the warm run must spend fewer DPLL
+/// propagations than the cold one.
+fn warm_start_pigeonhole() -> PhaseReport {
+    let dir = scratch_dir("php-store");
+    let schema = pigeonhole_schema(PHP_BLOCKS, PHP_HOLES);
+    let config =
+        ReasonerConfig { strategy: Strategy::Preselect, ..ReasonerConfig::default() };
+    let open_store = || -> SharedStore {
+        Arc::new(Mutex::new(DiskStore::open_real(&dir, StoreLimits::default()).unwrap()))
+    };
+    let satisfiability = |ws: &mut Workspace| -> Vec<bool> {
+        let schema = ws.schema().clone();
+        schema
+            .symbols()
+            .class_ids()
+            .map(|c| ws.try_is_satisfiable(c).expect("unbudgeted"))
+            .collect()
+    };
+    let propagations = car_logic::search_counters().propagations;
+    let start = Instant::now();
+
+    let mut cold = Workspace::new(schema.clone(), config.clone());
+    cold.set_store(open_store());
+    let cold_answers = satisfiability(&mut cold);
+    let cold_stats = cold.stats();
+    let cold_propagations = car_logic::search_counters().propagations - propagations;
+    drop(cold);
+
+    let warm_wall = Instant::now();
+    let mut warm = Workspace::new(schema, config);
+    warm.set_store(open_store());
+    let warm_answers = satisfiability(&mut warm);
+    let warm_stats = warm.stats();
+    let warm_propagations =
+        car_logic::search_counters().propagations - propagations - cold_propagations;
+    let warm_wall = warm_wall.elapsed();
+    let wall = start.elapsed();
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let mut counters = BTreeMap::new();
+    counters.insert("classes".into(), cold_answers.len() as u64);
+    counters.insert("answers_identical".into(), u64::from(cold_answers == warm_answers));
+    counters.insert("cold_disk_writes".into(), cold_stats.disk_writes);
+    counters.insert("cold_propagations".into(), cold_propagations);
+    counters.insert("warm_propagations".into(), warm_propagations);
+    counters.insert("warm_disk_cluster_hits".into(), warm_stats.disk_cluster_hits);
+    counters.insert("warm_clusters_reused".into(), warm_stats.clusters_reused);
+    counters.insert("warm_clusters_rebuilt".into(), warm_stats.clusters_rebuilt);
+    counters.insert(
+        "warm_saves_propagations".into(),
+        u64::from(warm_propagations < cold_propagations),
+    );
+    PhaseReport {
+        name: "warm_start_pigeonhole",
+        counters,
+        wall,
+        // No network latencies in this phase; record the warm pass as
+        // the single observation so p50/p99 show the restart cost.
+        latencies_us: vec![warm_wall.as_micros() as u64],
+        requests: 0,
+    }
+}
+
+fn restart_run(clients: u64, iters: u32) -> Vec<PhaseReport> {
+    vec![
+        restart_phase("restart_crash", false, clients, iters),
+        restart_phase("restart_graceful", true, clients, iters),
+        warm_start_pigeonhole(),
+    ]
+}
+
 fn merge(
     name: &'static str,
     clients: u64,
@@ -559,9 +880,11 @@ fn main() -> ExitCode {
     let mut clients: u64 = 120;
     let mut iters: u32 = 6;
     let mut check: Option<String> = None;
+    let mut restart = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
+            "--restart" => restart = true,
             "--clients" => {
                 i += 1;
                 clients = args.get(i).and_then(|v| v.parse().ok()).unwrap_or_else(|| {
@@ -584,7 +907,9 @@ fn main() -> ExitCode {
                 }));
             }
             other => {
-                eprintln!("usage: car_loadgen [--clients N] [--iters N] [--check BENCH_6.json]");
+                eprintln!(
+                    "usage: car_loadgen [--restart] [--clients N] [--iters N] [--check BENCH.json]"
+                );
                 eprintln!("car_loadgen: unknown flag '{other}'");
                 return ExitCode::FAILURE;
             }
@@ -592,7 +917,8 @@ fn main() -> ExitCode {
         i += 1;
     }
 
-    let fresh = render(&run(clients, iters));
+    let reports = if restart { restart_run(clients, iters) } else { run(clients, iters) };
+    let fresh = render(&reports);
     match check {
         None => {
             print!("{fresh}");

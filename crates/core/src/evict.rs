@@ -1,0 +1,229 @@
+//! One eviction policy for every bounded cache in the system.
+//!
+//! Both the in-memory [`crate::incremental::Workspace`] caches (bounded
+//! by entry count via [`crate::incremental::WorkspaceLimits`]) and the
+//! on-disk content-addressed store (bounded by total bytes via
+//! [`crate::persist::StoreLimits`]) need the same discipline: track
+//! recency, stay under a weight budget, and *never* evict an entry a
+//! reader currently holds. Rather than two ad-hoc LRU implementations
+//! with subtly different pinning rules, both levels drive this policy.
+//!
+//! [`LruPolicy`] is bookkeeping only — it decides *which* keys to drop;
+//! the owner (a `HashMap` of values, a directory of entry files) does
+//! the dropping. Eviction can therefore only ever cause a cache miss in
+//! the owner, never a dangling reference: a pinned key is simply not
+//! offered as a victim until every pin is released.
+//!
+//! Weights are caller-defined: the in-memory caches use weight 1 per
+//! entry with the entry cap as the budget; the disk store uses the
+//! entry's file size in bytes with the store's byte budget.
+
+use std::collections::HashMap;
+
+#[derive(Debug)]
+struct Meta {
+    weight: u64,
+    /// Last-use stamp from the policy's monotonic tick.
+    tick: u64,
+    /// Active pin count; a pinned key is never selected as a victim.
+    pins: u32,
+}
+
+/// A weight-budgeted least-recently-used eviction policy with pinning.
+///
+/// All operations are O(n) worst case in the number of tracked entries
+/// (victim selection scans); every cache using this policy is small
+/// (hundreds to thousands of entries) and eviction runs off the hot
+/// path, on inserts only.
+#[derive(Debug)]
+pub struct LruPolicy {
+    budget: u64,
+    tick: u64,
+    total: u64,
+    entries: HashMap<String, Meta>,
+}
+
+impl LruPolicy {
+    /// A policy allowing at most `budget` total weight.
+    #[must_use]
+    pub fn new(budget: u64) -> LruPolicy {
+        LruPolicy { budget, tick: 0, total: 0, entries: HashMap::new() }
+    }
+
+    /// The configured weight budget.
+    #[must_use]
+    pub fn budget(&self) -> u64 {
+        self.budget
+    }
+
+    /// Total weight currently tracked.
+    #[must_use]
+    pub fn total_weight(&self) -> u64 {
+        self.total
+    }
+
+    /// Number of tracked entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when no entries are tracked.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// `true` when `key` is tracked.
+    #[must_use]
+    pub fn contains(&self, key: &str) -> bool {
+        self.entries.contains_key(key)
+    }
+
+    /// Marks `key` as just used. Returns `false` for untracked keys.
+    pub fn touch(&mut self, key: &str) -> bool {
+        self.tick += 1;
+        let tick = self.tick;
+        match self.entries.get_mut(key) {
+            Some(meta) => {
+                meta.tick = tick;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Tracks `key` with the given weight (replacing any previous
+    /// weight) and marks it used. Does not evict — call
+    /// [`LruPolicy::evict`] afterwards and drop the returned victims.
+    pub fn insert(&mut self, key: &str, weight: u64) {
+        self.tick += 1;
+        let tick = self.tick;
+        match self.entries.get_mut(key) {
+            Some(meta) => {
+                self.total = self.total - meta.weight + weight;
+                meta.weight = weight;
+                meta.tick = tick;
+            }
+            None => {
+                self.total += weight;
+                self.entries.insert(key.to_owned(), Meta { weight, tick, pins: 0 });
+            }
+        }
+    }
+
+    /// Stops tracking `key` (the owner dropped it). Returns `false` for
+    /// untracked keys.
+    pub fn remove(&mut self, key: &str) -> bool {
+        match self.entries.remove(key) {
+            Some(meta) => {
+                self.total -= meta.weight;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Pins `key`: until the matching [`LruPolicy::unpin`], the key is
+    /// never offered as an eviction victim. Pins nest.
+    pub fn pin(&mut self, key: &str) {
+        if let Some(meta) = self.entries.get_mut(key) {
+            meta.pins += 1;
+        }
+    }
+
+    /// Releases one pin on `key`.
+    pub fn unpin(&mut self, key: &str) {
+        if let Some(meta) = self.entries.get_mut(key) {
+            meta.pins = meta.pins.saturating_sub(1);
+        }
+    }
+
+    /// Selects and removes victims — stalest unpinned first — until the
+    /// tracked weight fits the budget, and returns their keys for the
+    /// owner to drop. When everything over budget is pinned, fewer (or
+    /// no) victims are returned: staying temporarily over budget is
+    /// always preferred to evicting an entry in use.
+    pub fn evict(&mut self) -> Vec<String> {
+        let mut victims = Vec::new();
+        while self.total > self.budget {
+            let Some(key) = self
+                .entries
+                .iter()
+                .filter(|(_, m)| m.pins == 0)
+                .min_by_key(|(_, m)| m.tick)
+                .map(|(k, _)| k.clone())
+            else {
+                break; // everything left is pinned
+            };
+            self.remove(&key);
+            victims.push(key);
+        }
+        victims
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn evicts_stalest_first_until_under_budget() {
+        let mut p = LruPolicy::new(3);
+        p.insert("a", 1);
+        p.insert("b", 1);
+        p.insert("c", 1);
+        assert!(p.evict().is_empty());
+        p.touch("a"); // b is now stalest
+        p.insert("d", 2);
+        let victims = p.evict();
+        assert_eq!(victims, vec!["b".to_owned(), "c".to_owned()]);
+        assert!(p.contains("a") && p.contains("d"));
+        assert_eq!(p.total_weight(), 3);
+    }
+
+    #[test]
+    fn pinned_entries_are_never_victims() {
+        let mut p = LruPolicy::new(2);
+        p.insert("old", 1);
+        p.pin("old");
+        p.insert("x", 1);
+        p.insert("y", 1);
+        // "old" is stalest but pinned; "x" goes instead.
+        assert_eq!(p.evict(), vec!["x".to_owned()]);
+        assert!(p.contains("old"));
+        // With everything pinned, the policy stays over budget rather
+        // than evicting a live entry.
+        p.pin("y");
+        p.insert("z", 1);
+        p.pin("z");
+        assert!(p.evict().is_empty());
+        assert_eq!(p.total_weight(), 3);
+        // Unpinning makes the stalest eligible again.
+        p.unpin("old");
+        assert_eq!(p.evict(), vec!["old".to_owned()]);
+    }
+
+    #[test]
+    fn reinsert_updates_weight_in_place() {
+        let mut p = LruPolicy::new(10);
+        p.insert("a", 4);
+        p.insert("a", 7);
+        assert_eq!(p.len(), 1);
+        assert_eq!(p.total_weight(), 7);
+        assert!(p.remove("a"));
+        assert_eq!(p.total_weight(), 0);
+    }
+
+    #[test]
+    fn pins_nest() {
+        let mut p = LruPolicy::new(0);
+        p.insert("a", 1);
+        p.pin("a");
+        p.pin("a");
+        p.unpin("a");
+        assert!(p.evict().is_empty(), "still pinned once");
+        p.unpin("a");
+        assert_eq!(p.evict(), vec!["a".to_owned()]);
+    }
+}

@@ -77,10 +77,12 @@ use crate::bitset::BitSet;
 use crate::budget::{Budget, Item, Phase};
 use crate::clusters::cluster_ccs_governed;
 use crate::enumerate::isa_cnf;
+use crate::evict::LruPolicy;
 use crate::expansion::{BuildError, ExpansionTooLarge};
 use crate::hierarchy;
 use crate::ids::ClassId;
 use crate::par;
+use crate::persist::{codec, SharedStore};
 use crate::preselection::Preselection;
 use crate::reasoner::{
     self, Bundle, Outcome, ReasonerConfig, ReasonerError, Strategy,
@@ -627,7 +629,11 @@ fn serialize_formula(out: &mut String, f: &ClassFormula) {
 /// structurally identical schemas (same ids, same definitions), which is
 /// what makes it safe as a bundle-cache key — the cached analysis
 /// answers by [`ClassId`], and the id layout is pinned by the key.
-fn serialize_schema(schema: &Schema) -> String {
+/// The persistence codec ([`crate::persist::codec::decode_schema`])
+/// re-interns symbols in recorded id order precisely so that a
+/// recovered schema's serialization — and therefore every cache key —
+/// is byte-identical to the original's.
+pub(crate) fn serialize_schema(schema: &Schema) -> String {
     let syms = schema.symbols();
     let mut out = String::new();
     out.push_str("classes:");
@@ -741,45 +747,46 @@ fn cluster_key(schema: &Schema, cluster: &[usize], reduced: &[ReducedClause]) ->
     out
 }
 
-/// An LRU-evicted map used for both cache levels. Each entry carries a
-/// last-use stamp from a monotonic tick; when the map outgrows its cap
-/// the stalest entry is evicted (an O(cap) scan, paid only on insert of
-/// a new key — the caps are small and eviction is off the hot path).
+/// An LRU-evicted map used for both in-memory cache levels. Recency,
+/// budget and pins are tracked by the same [`LruPolicy`] that governs
+/// the on-disk store, so every bounded cache in the system ages under
+/// one rule: stalest unpinned entry first, pinned entries never. Each
+/// entry weighs 1, making the byte budget an entry cap.
 struct LruCache<V> {
-    map: HashMap<String, (V, u64)>,
-    tick: u64,
-    cap: usize,
+    map: HashMap<String, V>,
+    policy: LruPolicy,
 }
 
 impl<V> LruCache<V> {
     fn new(cap: usize) -> LruCache<V> {
-        LruCache { map: HashMap::new(), tick: 0, cap }
+        LruCache { map: HashMap::new(), policy: LruPolicy::new(cap as u64) }
     }
 
     fn get(&mut self, key: &str) -> Option<&V> {
-        self.tick += 1;
-        let tick = self.tick;
-        self.map.get_mut(key).map(|entry| {
-            entry.1 = tick;
-            &entry.0
-        })
+        self.policy.touch(key);
+        self.map.get(key)
     }
 
     fn insert(&mut self, key: String, value: V) {
-        if self.cap == 0 {
+        if self.policy.budget() == 0 {
             return;
         }
-        self.tick += 1;
-        if self.map.insert(key, (value, self.tick)).is_none() && self.map.len() > self.cap {
-            if let Some(stalest) = self
-                .map
-                .iter()
-                .min_by_key(|(_, (_, t))| *t)
-                .map(|(k, _)| k.clone())
-            {
-                self.map.remove(&stalest);
-            }
+        self.policy.insert(&key, 1);
+        self.map.insert(key, value);
+        for victim in self.policy.evict() {
+            self.map.remove(&victim);
         }
+    }
+
+    /// Shields an entry from eviction while a reader is splicing from
+    /// it; released by the matching [`Self::unpin`]. Pinning a key that
+    /// is not present is a no-op.
+    fn pin(&mut self, key: &str) {
+        self.policy.pin(key);
+    }
+
+    fn unpin(&mut self, key: &str) {
+        self.policy.unpin(key);
     }
 
     fn len(&self) -> usize {
@@ -791,15 +798,25 @@ impl<V> LruCache<V> {
 /// cluster-local positions, in enumeration order.
 type ClusterModels = Vec<BitSet>;
 
+/// The namespaced durable-store key of one cluster enumeration. The
+/// in-memory [`cluster_key`] is already collision-free; the prefix only
+/// keeps cluster entries apart from whole-schema entries in the shared
+/// store.
+fn cluster_store_key(key: &str) -> String {
+    format!("cluster\n{key}")
+}
+
 /// Cluster-spliced compound-class enumeration: cache hits are copied
-/// back in, misses are enumerated (in parallel across clusters) with the
-/// shared [`cluster_ccs_governed`] worker and cached on success. Output
-/// is bit-identical to [`crate::clusters::clustered_ccs_governed`] on
-/// the same schema.
+/// back in, misses are probed against the durable store (if one is
+/// attached) and only then enumerated (in parallel across clusters)
+/// with the shared [`cluster_ccs_governed`] worker, then cached and
+/// written through on success. Output is bit-identical to
+/// [`crate::clusters::clustered_ccs_governed`] on the same schema.
 fn spliced_ccs(
     schema: &Schema,
     config: &ReasonerConfig,
     cache: &mut LruCache<Arc<ClusterModels>>,
+    store: Option<&SharedStore>,
     stats: &mut WorkspaceStats,
 ) -> Result<Vec<BitSet>, ReasonerError> {
     let budget = &config.budget;
@@ -826,83 +843,203 @@ fn spliced_ccs(
         })
         .collect();
 
-    // Pin every hit now: inserts below may evict under a small cap, and
-    // a held `Arc` keeps the spliced data alive regardless.
-    let held: Vec<Option<Arc<ClusterModels>>> =
+    let mut held: Vec<Option<Arc<ClusterModels>>> =
         keys.iter().map(|k| cache.get(k).cloned()).collect();
 
-    // Enumerate every dirty cluster, sharded across the worker pool.
-    let misses: Vec<usize> =
-        (0..clusters.len()).filter(|&i| held[i].is_none()).collect();
-    let mut fresh: Vec<Option<Result<Vec<BitSet>, BuildError>>> =
-        par::parallel_map(config.threads, misses.len(), |mi| {
-            Some(cluster_ccs_governed(schema, &table_clauses, &clusters[misses[mi]], max, budget))
-        });
-    let miss_slot: HashMap<usize, usize> =
-        misses.iter().enumerate().map(|(slot, &ci)| (ci, slot)).collect();
+    // Second-chance tier: an enumeration missing in memory may survive
+    // on disk from an earlier run — or an earlier process. A verified
+    // entry is promoted back into the memory cache; an unreadable,
+    // damaged or wrong-width one is exactly a miss.
+    if let Some(store) = store {
+        let mut guard = store.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        for (i, slot) in held.iter_mut().enumerate() {
+            if slot.is_some() {
+                continue;
+            }
+            let Some(bytes) = guard.get(&cluster_store_key(&keys[i])) else {
+                continue;
+            };
+            if let Some((width, models)) = codec::decode_models(&bytes) {
+                if width == clusters[i].len() {
+                    stats.disk_cluster_hits += 1;
+                    *slot = Some(Arc::new(models));
+                }
+            }
+        }
+    }
 
-    // Splice in cluster order; overflow and error verdicts match the
-    // serial non-cached loop.
-    let mut out: Vec<BitSet> = Vec::new();
-    for (ci, cluster) in clusters.iter().enumerate() {
-        let entry: Arc<ClusterModels> = match miss_slot.get(&ci) {
-            None => {
-                let entry = held[ci].clone().expect("classified as hit");
-                stats.clusters_reused += 1;
-                // The budget still accounts for every spliced compound
-                // class, exactly like a fresh enumeration would.
-                budget
-                    .checkpoint()
-                    .and_then(|()| budget.charge(Item::CompoundClass, entry.len() as u64))
-                    .map_err(|e| reasoner::exhausted_error(budget, e))?;
-                entry
-            }
-            Some(&slot) => {
-                let models = fresh[slot].take().expect("each miss spliced once").map_err(
-                    |e| match e {
-                        BuildError::TooLarge(_) => {
-                            ReasonerError::TooLarge(ExpansionTooLarge {
-                                what: "compound classes",
-                                limit: max,
-                            })
+    // Pin every hit for the duration of the splice: inserts below may
+    // otherwise evict under a small cap. A held `Arc` keeps the data
+    // alive regardless, but the unified policy additionally guarantees
+    // an entry currently being read is never an eviction victim.
+    let pinned: Vec<usize> = (0..clusters.len()).filter(|&i| held[i].is_some()).collect();
+    for &i in &pinned {
+        if let Some(entry) = &held[i] {
+            cache.insert(keys[i].clone(), entry.clone());
+        }
+        cache.pin(&keys[i]);
+    }
+
+    let result = (|| {
+        // Enumerate every dirty cluster, sharded across the worker pool.
+        let misses: Vec<usize> =
+            (0..clusters.len()).filter(|&i| held[i].is_none()).collect();
+        let mut fresh: Vec<Option<Result<Vec<BitSet>, BuildError>>> =
+            par::parallel_map(config.threads, misses.len(), |mi| {
+                Some(cluster_ccs_governed(
+                    schema,
+                    &table_clauses,
+                    &clusters[misses[mi]],
+                    max,
+                    budget,
+                ))
+            });
+        let miss_slot: HashMap<usize, usize> =
+            misses.iter().enumerate().map(|(slot, &ci)| (ci, slot)).collect();
+
+        // Splice in cluster order; overflow and error verdicts match
+        // the serial non-cached loop.
+        let mut out: Vec<BitSet> = Vec::new();
+        for (ci, cluster) in clusters.iter().enumerate() {
+            let entry: Arc<ClusterModels> = match miss_slot.get(&ci) {
+                None => {
+                    let entry = held[ci].clone().expect("classified as hit");
+                    stats.clusters_reused += 1;
+                    // The budget still accounts for every spliced
+                    // compound class, exactly like a fresh enumeration
+                    // would.
+                    budget
+                        .checkpoint()
+                        .and_then(|()| budget.charge(Item::CompoundClass, entry.len() as u64))
+                        .map_err(|e| reasoner::exhausted_error(budget, e))?;
+                    entry
+                }
+                Some(&slot) => {
+                    let models = fresh[slot].take().expect("each miss spliced once").map_err(
+                        |e| match e {
+                            BuildError::TooLarge(_) => {
+                                ReasonerError::TooLarge(ExpansionTooLarge {
+                                    what: "compound classes",
+                                    limit: max,
+                                })
+                            }
+                            exhausted @ BuildError::Exhausted(_) => {
+                                reasoner::build_error(budget, exhausted)
+                            }
+                        },
+                    )?;
+                    stats.clusters_rebuilt += 1;
+                    let localized: ClusterModels = models
+                        .iter()
+                        .map(|cc| {
+                            BitSet::from_iter(
+                                cluster.len(),
+                                cluster
+                                    .iter()
+                                    .enumerate()
+                                    .filter(|&(_, &g)| cc.contains(g))
+                                    .map(|(local, _)| local),
+                            )
+                        })
+                        .collect();
+                    let entry = Arc::new(localized);
+                    // Successful enumerations are cached immediately —
+                    // they stay valid even if a later cluster fails
+                    // this build — and written through to the durable
+                    // store, where a failure costs durability only.
+                    cache.insert(keys[ci].clone(), entry.clone());
+                    if let Some(store) = store {
+                        let payload = codec::encode_models(cluster.len(), &entry);
+                        let ok = store
+                            .lock()
+                            .unwrap_or_else(std::sync::PoisonError::into_inner)
+                            .put(&cluster_store_key(&keys[ci]), &payload);
+                        if ok {
+                            stats.disk_writes += 1;
+                        } else {
+                            stats.disk_write_failures += 1;
                         }
-                        exhausted @ BuildError::Exhausted(_) => {
-                            reasoner::build_error(budget, exhausted)
-                        }
-                    },
-                )?;
-                stats.clusters_rebuilt += 1;
-                let localized: ClusterModels = models
-                    .iter()
-                    .map(|cc| {
-                        BitSet::from_iter(
-                            cluster.len(),
-                            cluster
-                                .iter()
-                                .enumerate()
-                                .filter(|&(_, &g)| cc.contains(g))
-                                .map(|(local, _)| local),
-                        )
-                    })
-                    .collect();
-                let entry = Arc::new(localized);
-                // Successful enumerations are cached immediately — they
-                // stay valid even if a later cluster fails this build.
-                cache.insert(keys[ci].clone(), entry.clone());
-                entry
+                    }
+                    entry
+                }
+            };
+            if out.len() + entry.len() > max {
+                return Err(ReasonerError::TooLarge(ExpansionTooLarge {
+                    what: "compound classes",
+                    limit: max,
+                }));
             }
-        };
-        if out.len() + entry.len() > max {
+            out.extend(entry.iter().map(|local_cc| {
+                BitSet::from_iter(n, local_cc.iter().map(|local| cluster[local]))
+            }));
+        }
+        Ok(out)
+    })();
+    for &i in &pinned {
+        cache.unpin(&keys[i]);
+    }
+    result
+}
+
+/// Whole-schema compound-class enumeration with a durable second tier:
+/// the canonical serialization of the enumerated schema, together with
+/// the enumeration-relevant config facets, keys a persisted copy of the
+/// model list. A verified disk hit replays the exact enumeration (and
+/// is charged to the budget like a fresh one); anything damaged is a
+/// miss and the enumeration reruns, writing a fresh entry through.
+fn ccs_with_store(
+    schema: &Schema,
+    config: &ReasonerConfig,
+    store: Option<&SharedStore>,
+    stats: &mut WorkspaceStats,
+) -> Result<Vec<BitSet>, ReasonerError> {
+    let Some(store) = store else {
+        return reasoner::enumerate_ccs(schema, config);
+    };
+    let key = format!(
+        "ccs\n{:?} arity={}\n{}",
+        config.strategy,
+        config.arity_reduction,
+        serialize_schema(schema)
+    );
+    let budget = &config.budget;
+    let max = config.limits.max_compound_classes;
+    let n = schema.num_classes();
+    let cached = store
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .get(&key)
+        .and_then(|bytes| codec::decode_models(&bytes))
+        .and_then(|(width, models)| (width == n).then_some(models));
+    if let Some(models) = cached {
+        // Replay enforces the same verdicts a fresh enumeration would:
+        // the size cap and the per-compound-class budget charge.
+        if models.len() > max {
             return Err(ReasonerError::TooLarge(ExpansionTooLarge {
                 what: "compound classes",
                 limit: max,
             }));
         }
-        out.extend(entry.iter().map(|local_cc| {
-            BitSet::from_iter(n, local_cc.iter().map(|local| cluster[local]))
-        }));
+        budget.enter_phase(Phase::Enumerate);
+        budget
+            .checkpoint()
+            .and_then(|()| budget.charge(Item::CompoundClass, models.len() as u64))
+            .map_err(|e| reasoner::exhausted_error(budget, e))?;
+        stats.disk_ccs_hits += 1;
+        return Ok(models);
     }
-    Ok(out)
+    let models = reasoner::enumerate_ccs(schema, config)?;
+    let payload = codec::encode_models(n, &models);
+    let ok = store
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .put(&key, &payload);
+    if ok {
+        stats.disk_writes += 1;
+    } else {
+        stats.disk_write_failures += 1;
+    }
+    Ok(models)
 }
 
 // ---------------------------------------------------------------------
@@ -922,6 +1059,17 @@ pub struct WorkspaceStats {
     pub clusters_rebuilt: u64,
     /// Deltas successfully applied (undo/redo not counted).
     pub edits_applied: u64,
+    /// Cluster enumerations recovered from the durable store (also
+    /// counted in `clusters_reused`).
+    pub disk_cluster_hits: u64,
+    /// Whole-schema enumerations recovered from the durable store.
+    pub disk_ccs_hits: u64,
+    /// Enumerations written through to the durable store.
+    pub disk_writes: u64,
+    /// Write-throughs the store could not complete. Never an error:
+    /// the freshly computed result is still returned and cached in
+    /// memory; only durability is lost.
+    pub disk_write_failures: u64,
 }
 
 /// One reasoning question for [`Workspace::query_batch`].
@@ -956,6 +1104,7 @@ pub struct Workspace {
     redo: Vec<Schema>,
     bundles: LruCache<Arc<Bundle>>,
     clusters: LruCache<Arc<ClusterModels>>,
+    store: Option<SharedStore>,
     stats: WorkspaceStats,
 }
 
@@ -992,8 +1141,66 @@ impl Workspace {
             redo: Vec::new(),
             bundles: LruCache::new(limits.bundle_cache_cap),
             clusters: LruCache::new(limits.cluster_cache_cap),
+            store: None,
             stats: WorkspaceStats::default(),
         }
+    }
+
+    /// Rebuilds a workspace from recovered state — the current schema
+    /// plus undo/redo history, as reconstructed by snapshot/journal
+    /// recovery. The undo stack is trimmed to the configured cap (oldest
+    /// versions dropped) exactly as live editing would have done.
+    #[must_use]
+    pub fn restore(
+        schema: Schema,
+        undo: Vec<Schema>,
+        redo: Vec<Schema>,
+        config: ReasonerConfig,
+        limits: WorkspaceLimits,
+    ) -> Workspace {
+        let mut ws = Workspace::with_limits(schema, config, limits);
+        ws.undo = undo;
+        ws.redo = redo;
+        if ws.undo.len() > ws.limits.undo_cap {
+            let excess = ws.undo.len() - ws.limits.undo_cap;
+            ws.undo.drain(..excess);
+        }
+        ws
+    }
+
+    /// Attaches a durable content-addressed store as a second cache
+    /// tier behind the in-memory caches: enumerations missing in memory
+    /// are looked up on disk before being recomputed, and fresh ones
+    /// are written through. The store may be shared by any number of
+    /// workspaces — entries are content-addressed, so cross-tenant
+    /// sharing can never mix up answers.
+    pub fn set_store(&mut self, store: SharedStore) {
+        self.store = Some(store);
+    }
+
+    /// The attached durable store, if any.
+    #[must_use]
+    pub fn store(&self) -> Option<&SharedStore> {
+        self.store.as_ref()
+    }
+
+    /// The schema versions reachable via [`Self::undo`], oldest first.
+    #[must_use]
+    pub fn undo_stack(&self) -> &[Schema] {
+        &self.undo
+    }
+
+    /// The undone versions reachable via [`Self::redo`], in pop order
+    /// (the next redo is last).
+    #[must_use]
+    pub fn redo_stack(&self) -> &[Schema] {
+        &self.redo
+    }
+
+    /// The workspace's configured limits.
+    #[must_use]
+    pub fn limits(&self) -> WorkspaceLimits {
+        self.limits
     }
 
     /// The current schema version.
@@ -1114,13 +1321,19 @@ impl Workspace {
                 Strategy::Naive | Strategy::Sat => false,
             };
         if cluster_path {
-            let ccs = spliced_ccs(&self.schema, &config, &mut self.clusters, &mut self.stats)?;
+            let ccs = spliced_ccs(
+                &self.schema,
+                &config,
+                &mut self.clusters,
+                self.store.as_ref(),
+                &mut self.stats,
+            )?;
             let (expansion, analysis) =
                 reasoner::expand_and_analyze(&self.schema, ccs, &config)?;
             return Ok(Bundle::new(None, expansion, analysis));
         }
         let schema = transformed.as_ref().unwrap_or(&self.schema);
-        let ccs = reasoner::enumerate_ccs(schema, &config)?;
+        let ccs = ccs_with_store(schema, &config, self.store.as_ref(), &mut self.stats)?;
         let (expansion, analysis) = reasoner::expand_and_analyze(schema, ccs, &config)?;
         Ok(Bundle::new(transformed, expansion, analysis))
     }
@@ -1131,7 +1344,8 @@ impl Workspace {
             arity_reduction: false,
             ..self.config.clone()
         };
-        let ccs = reasoner::enumerate_ccs(&self.schema, &full_config)?;
+        let ccs =
+            ccs_with_store(&self.schema, &full_config, self.store.as_ref(), &mut self.stats)?;
         let (expansion, analysis) =
             reasoner::expand_and_analyze(&self.schema, ccs, &full_config)?;
         Ok(Bundle::new(None, expansion, analysis))
@@ -1732,5 +1946,140 @@ mod tests {
     fn workspace_is_send() {
         fn assert_send<T: Send>() {}
         assert_send::<Workspace>();
+    }
+
+    // ---- Durable store tier ----------------------------------------
+
+    use crate::persist::{fault, Disk, DiskFaults, DiskStore, StoreLimits};
+    use std::sync::Mutex;
+
+    fn scratch(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir()
+            .join(format!("car-ws-store-test-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn shared_store(dir: &std::path::Path) -> SharedStore {
+        Arc::new(Mutex::new(DiskStore::open_real(dir, StoreLimits::default()).unwrap()))
+    }
+
+    fn preselect() -> ReasonerConfig {
+        ReasonerConfig { strategy: Strategy::Preselect, ..ReasonerConfig::default() }
+    }
+
+    #[test]
+    fn warm_store_answers_identically_without_reenumeration() {
+        let dir = scratch("warm");
+        let mut cold = Workspace::new(university(), preselect());
+        cold.set_store(shared_store(&dir));
+        agree_with_fresh(&mut cold);
+        let cold_stats = cold.stats();
+        assert!(cold_stats.disk_writes > 0, "cold run persists: {cold_stats:?}");
+        assert_eq!(cold_stats.disk_cluster_hits, 0);
+        assert_eq!(cold_stats.disk_ccs_hits, 0);
+        drop(cold);
+
+        // A brand-new workspace over a reopened store: answers are the
+        // same (agree_with_fresh compares against a storeless
+        // Reasoner), clusters come back from disk, nothing re-runs.
+        let mut warm = Workspace::new(university(), preselect());
+        warm.set_store(shared_store(&dir));
+        agree_with_fresh(&mut warm);
+        let warm_stats = warm.stats();
+        assert!(warm_stats.disk_cluster_hits > 0, "{warm_stats:?}");
+        assert!(warm_stats.disk_ccs_hits > 0, "{warm_stats:?}");
+        assert_eq!(warm_stats.clusters_rebuilt, 0, "{warm_stats:?}");
+        assert!(warm_stats.clusters_reused >= warm_stats.disk_cluster_hits);
+    }
+
+    #[test]
+    fn damaged_store_entries_degrade_to_recompute() {
+        let dir = scratch("damage");
+        let mut cold = Workspace::new(university(), preselect());
+        cold.set_store(shared_store(&dir));
+        agree_with_fresh(&mut cold);
+        drop(cold);
+
+        // Damage every persisted entry: a payload bit-flip in half of
+        // them, a truncation in the rest.
+        let mut entries: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .filter(|p| p.extension().is_some_and(|x| x == "entry"))
+            .collect();
+        entries.sort();
+        assert!(!entries.is_empty());
+        for (i, p) in entries.iter().enumerate() {
+            let len = std::fs::metadata(p).unwrap().len();
+            if i % 2 == 0 {
+                fault::flip_bit(p, len - 2, 0).unwrap();
+            } else {
+                fault::truncate_file(p, len / 2).unwrap();
+            }
+        }
+
+        let mut warm = Workspace::new(university(), preselect());
+        warm.set_store(shared_store(&dir));
+        agree_with_fresh(&mut warm);
+        let stats = warm.stats();
+        assert_eq!(stats.disk_cluster_hits, 0, "{stats:?}");
+        assert_eq!(stats.disk_ccs_hits, 0, "{stats:?}");
+        assert!(stats.clusters_rebuilt > 0, "{stats:?}");
+    }
+
+    #[test]
+    fn store_write_failures_never_affect_answers() {
+        let dir = scratch("wfail");
+        let faults = DiskFaults::new();
+        let store = Arc::new(Mutex::new(
+            DiskStore::open(&dir, StoreLimits::default(), Disk::faulty(faults.clone()))
+                .unwrap(),
+        ));
+        faults.trip_after(0); // every disk op from here on fails
+        let mut ws = Workspace::new(university(), preselect());
+        ws.set_store(store);
+        agree_with_fresh(&mut ws);
+        let stats = ws.stats();
+        assert!(stats.disk_write_failures > 0, "{stats:?}");
+        assert_eq!(stats.disk_writes, 0, "{stats:?}");
+        assert!(faults.injected() > 0);
+    }
+
+    #[test]
+    fn restore_rebuilds_history_and_trims_to_cap() {
+        let mut ws = Workspace::new(university(), ReasonerConfig::default());
+        ws.apply(&SchemaDelta::AddClass { name: "X1".into() }).unwrap();
+        ws.apply(&SchemaDelta::AddClass { name: "X2".into() }).unwrap();
+        assert!(ws.undo());
+
+        let restored = Workspace::restore(
+            ws.schema().clone(),
+            ws.undo_stack().to_vec(),
+            ws.redo_stack().to_vec(),
+            ReasonerConfig::default(),
+            WorkspaceLimits::default(),
+        );
+        assert_eq!(
+            serialize_schema(restored.schema()),
+            serialize_schema(ws.schema()),
+            "restored current version matches"
+        );
+        assert_eq!(restored.undo_stack().len(), ws.undo_stack().len());
+        assert_eq!(restored.redo_stack().len(), 1);
+
+        // Restoring under a tighter cap drops the oldest versions, just
+        // like live editing would have.
+        let mut trimmed = Workspace::restore(
+            ws.schema().clone(),
+            ws.undo_stack().to_vec(),
+            Vec::new(),
+            ReasonerConfig::default(),
+            WorkspaceLimits { undo_cap: 1, ..WorkspaceLimits::default() },
+        );
+        assert_eq!(trimmed.undo_stack().len(), 1);
+        assert!(trimmed.undo());
+        assert!(!trimmed.undo());
+        agree_with_fresh(&mut trimmed);
     }
 }

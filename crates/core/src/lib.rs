@@ -26,6 +26,8 @@
 //! | top-level facade | [`reasoner`] |
 //! | incremental reasoning & batched queries (extension) | [`incremental`] |
 //! | certified answers (extension) | [`certify`], [`model_extract`] |
+//! | unified cache eviction (extension) | [`evict`] |
+//! | crash-safe persistence (extension) | [`persist`] |
 //!
 //! ## Example
 //!
@@ -57,6 +59,7 @@ pub mod certify;
 pub mod clusters;
 pub mod disequations;
 pub mod enumerate;
+pub mod evict;
 pub mod expansion;
 pub mod explain;
 pub mod hierarchy;
@@ -65,6 +68,7 @@ pub mod implication;
 pub mod incremental;
 pub mod model_extract;
 pub mod par;
+pub mod persist;
 pub mod preselection;
 pub mod reasoner;
 pub mod satisfiability;
@@ -78,6 +82,10 @@ pub use ids::{AttrId, ClassId, RelId, RoleId, SymbolTable};
 pub use incremental::{
     EditError, Query, RoleLiteralSpec, SchemaDelta, Workspace, WorkspaceLimits,
     WorkspaceStats,
+};
+pub use persist::{
+    DiskFaults, DiskStore, JournalOp, Recovered, SharedStore, StoreLimits, StoreStats,
+    WorkspaceDir,
 };
 pub use reasoner::{Outcome, Reasoner, ReasonerConfig, ReasonerError, Strategy};
 pub use semantics::{Interpretation, Violation};

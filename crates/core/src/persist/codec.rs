@@ -1,0 +1,807 @@
+//! Byte-level encodings for durable artifacts: hashing, name escaping,
+//! and codecs for schemas, model enumerations and schema deltas.
+//!
+//! All decoders are **total over hostile input**: any malformed,
+//! truncated or out-of-range byte sequence decodes to `None`, never a
+//! panic. Encoders are **canonical**: encoding is a pure function of
+//! the value, and for schemas the decode re-interns every symbol in
+//! the exact order of the original id layout, so a decoded schema's
+//! canonical serialization — the in-memory cache key — is byte-equal
+//! to the original's. That identity is what lets a restarted process
+//! warm-start from disk with the same cache keys a cold run computes.
+//!
+//! The formats are line-oriented ASCII with percent-escaped symbol
+//! names: trivially inspectable with a pager when debugging a data
+//! dir, and free of length/endianness pitfalls.
+
+use crate::bitset::BitSet;
+use crate::incremental::{RoleLiteralSpec, SchemaDelta};
+use crate::syntax::{
+    AttRef, Card, ClassClause, ClassFormula, ClassLiteral, RoleClause, RoleLiteral, Schema,
+    SchemaBuilder,
+};
+use crate::ids::{ClassId, RoleId};
+use std::fmt::Write as _;
+
+// ---------------------------------------------------------------------
+// Hashing
+// ---------------------------------------------------------------------
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// 64-bit FNV-1a over `bytes`, from `basis`.
+fn fnv1a(basis: u64, bytes: &[u8]) -> u64 {
+    let mut h = basis;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// 64-bit FNV-1a checksum (integrity headers).
+#[must_use]
+pub fn fnv64(bytes: &[u8]) -> u64 {
+    fnv1a(FNV_OFFSET, bytes)
+}
+
+/// 128 bits of FNV-1a (two independent bases) as 32 lowercase hex
+/// chars — the content-address used for store entry and workspace
+/// directory names. Not cryptographic; collisions are harmless because
+/// every entry embeds its full key and readers verify it.
+#[must_use]
+pub fn hash128_hex(bytes: &[u8]) -> String {
+    let a = fnv1a(FNV_OFFSET, bytes);
+    // Second lane: different basis, and walk the bytes offset by the
+    // first lane so the two halves do not cancel jointly.
+    let b = fnv1a(FNV_OFFSET ^ 0x9e37_79b9_7f4a_7c15, &a.to_le_bytes());
+    let b = fnv1a(b, bytes);
+    format!("{a:016x}{b:016x}")
+}
+
+// ---------------------------------------------------------------------
+// Name escaping
+// ---------------------------------------------------------------------
+
+/// Escapes a symbol name into one whitespace-free token: bytes outside
+/// `[A-Za-z0-9_.-]` become `%XX`, and the empty string becomes `~`.
+#[must_use]
+pub fn esc(name: &str) -> String {
+    if name.is_empty() {
+        return "~".to_owned();
+    }
+    let mut out = String::with_capacity(name.len());
+    for &b in name.as_bytes() {
+        if b.is_ascii_alphanumeric() || matches!(b, b'_' | b'.' | b'-') {
+            out.push(b as char);
+        } else {
+            let _ = write!(out, "%{b:02X}");
+        }
+    }
+    out
+}
+
+/// Inverse of [`esc`]. `None` for malformed escapes or invalid UTF-8.
+#[must_use]
+pub fn unesc(token: &str) -> Option<String> {
+    if token == "~" {
+        return Some(String::new());
+    }
+    let bytes = token.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'%' {
+            let hex = bytes.get(i + 1..i + 3)?;
+            let hex = std::str::from_utf8(hex).ok()?;
+            out.push(u8::from_str_radix(hex, 16).ok()?);
+            i += 3;
+        } else {
+            out.push(bytes[i]);
+            i += 1;
+        }
+    }
+    String::from_utf8(out).ok()
+}
+
+// ---------------------------------------------------------------------
+// Formula / card tokens
+// ---------------------------------------------------------------------
+
+/// One-token encoding of a class-formula: `T` for ⊤, else clauses
+/// joined by `;`, literals joined by `,`, each literal `+i` or `-i`
+/// over class indices.
+#[must_use]
+pub fn fmt_formula(f: &ClassFormula) -> String {
+    if f.clauses.is_empty() {
+        return "T".to_owned();
+    }
+    let mut out = String::new();
+    for (ci, clause) in f.clauses.iter().enumerate() {
+        if ci > 0 {
+            out.push(';');
+        }
+        for (li, l) in clause.literals.iter().enumerate() {
+            if li > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{}{}", if l.positive { '+' } else { '-' }, l.class.index());
+        }
+    }
+    out
+}
+
+/// Inverse of [`fmt_formula`]; class indices must be below `limit`.
+#[must_use]
+pub fn parse_formula(token: &str, limit: usize) -> Option<ClassFormula> {
+    if token == "T" {
+        return Some(ClassFormula::top());
+    }
+    let mut clauses = Vec::new();
+    for clause in token.split(';') {
+        let mut literals = Vec::new();
+        if !clause.is_empty() {
+            for lit in clause.split(',') {
+                let (sign, idx) = lit.split_at_checked(1)?;
+                let positive = match sign {
+                    "+" => true,
+                    "-" => false,
+                    _ => return None,
+                };
+                let idx: usize = idx.parse().ok()?;
+                if idx >= limit {
+                    return None;
+                }
+                literals.push(ClassLiteral { class: ClassId::from_index(idx), positive });
+            }
+        }
+        clauses.push(ClassClause::new(literals));
+    }
+    Some(ClassFormula { clauses })
+}
+
+/// One-token encoding of a cardinality: `min:max` or `min:inf`.
+#[must_use]
+pub fn fmt_card(card: Card) -> String {
+    match card.max {
+        Some(max) => format!("{}:{}", card.min, max),
+        None => format!("{}:inf", card.min),
+    }
+}
+
+/// Inverse of [`fmt_card`].
+#[must_use]
+pub fn parse_card(token: &str) -> Option<Card> {
+    let (min, max) = token.split_once(':')?;
+    let min: u64 = min.parse().ok()?;
+    let max = match max {
+        "inf" => None,
+        n => Some(n.parse().ok()?),
+    };
+    Some(Card { min, max })
+}
+
+// ---------------------------------------------------------------------
+// Schema codec
+// ---------------------------------------------------------------------
+
+/// Magic tag of the schema encoding.
+pub const SCHEMA_MAGIC: &str = "CARSCHEMA1";
+
+/// Encodes a schema so that [`decode_schema`] reconstructs it with the
+/// identical symbol-id layout (and therefore the identical canonical
+/// cache key).
+#[must_use]
+pub fn encode_schema(schema: &Schema) -> Vec<u8> {
+    let syms = schema.symbols();
+    let mut out = String::new();
+    let _ = writeln!(out, "{SCHEMA_MAGIC}");
+    let _ = writeln!(
+        out,
+        "symbols {} {} {} {}",
+        syms.num_classes(),
+        syms.num_attrs(),
+        syms.num_rels(),
+        syms.num_roles()
+    );
+    for c in syms.class_ids() {
+        let _ = writeln!(out, "C {}", esc(syms.class_name(c)));
+    }
+    for a in syms.attr_ids() {
+        let _ = writeln!(out, "A {}", esc(syms.attr_name(a)));
+    }
+    for r in syms.rel_ids() {
+        let _ = writeln!(out, "R {}", esc(syms.rel_name(r)));
+    }
+    for u in 0..syms.num_roles() {
+        let _ = writeln!(out, "U {}", esc(syms.role_name(RoleId::from_index(u))));
+    }
+    for (id, def) in schema.relations() {
+        let _ = write!(out, "rel {} {}", id.index(), def.roles.len());
+        for &r in &def.roles {
+            let _ = write!(out, " {}", esc(syms.role_name(r)));
+        }
+        let _ = writeln!(out, " {}", def.constraints.len());
+        for clause in &def.constraints {
+            let _ = write!(out, "rclause {}", clause.literals.len());
+            for l in &clause.literals {
+                let _ = write!(
+                    out,
+                    " {} {}",
+                    esc(syms.role_name(l.role)),
+                    fmt_formula(&l.formula)
+                );
+            }
+            out.push('\n');
+        }
+    }
+    for (id, def) in schema.classes() {
+        let _ = writeln!(
+            out,
+            "class {} {} {} {}",
+            id.index(),
+            fmt_formula(&def.isa),
+            def.attrs.len(),
+            def.participations.len()
+        );
+        for s in &def.attrs {
+            let _ = writeln!(
+                out,
+                "att {} {} {} {}",
+                esc(syms.attr_name(s.att.attr())),
+                u8::from(s.att.is_inverse()),
+                fmt_card(s.card),
+                fmt_formula(&s.ty)
+            );
+        }
+        for p in &def.participations {
+            let _ = writeln!(
+                out,
+                "part {} {} {}",
+                esc(syms.rel_name(p.rel)),
+                esc(syms.role_name(p.role)),
+                fmt_card(p.card)
+            );
+        }
+    }
+    out.into_bytes()
+}
+
+/// Decodes a schema encoded by [`encode_schema`]. `None` on any
+/// malformed input; on success the schema is structurally identical to
+/// the encoded one, including symbol-id layout.
+#[must_use]
+pub fn decode_schema(bytes: &[u8]) -> Option<Schema> {
+    let text = std::str::from_utf8(bytes).ok()?;
+    let mut lines = text.lines();
+    if lines.next()? != SCHEMA_MAGIC {
+        return None;
+    }
+    let counts: Vec<&str> = lines.next()?.split(' ').collect();
+    let [tag, nc, na, nr, nu] = counts.as_slice() else {
+        return None;
+    };
+    if *tag != "symbols" {
+        return None;
+    }
+    let (nc, na): (usize, usize) = (nc.parse().ok()?, na.parse().ok()?);
+    let (nr, nu): (usize, usize) = (nr.parse().ok()?, nu.parse().ok()?);
+    // Cheap sanity bound so hostile headers cannot demand huge loops.
+    if nc.max(na).max(nr).max(nu) > 1_000_000 {
+        return None;
+    }
+
+    let mut b = SchemaBuilder::new();
+    let named = |lines: &mut std::str::Lines<'_>, tag: &str, n: usize| -> Option<Vec<String>> {
+        let mut names = Vec::with_capacity(n);
+        for _ in 0..n {
+            let line = lines.next()?;
+            let rest = line.strip_prefix(tag)?.strip_prefix(' ')?;
+            names.push(unesc(rest)?);
+        }
+        Some(names)
+    };
+    let class_names = named(&mut lines, "C", nc)?;
+    let attr_names = named(&mut lines, "A", na)?;
+    let rel_names = named(&mut lines, "R", nr)?;
+    let role_names = named(&mut lines, "U", nu)?;
+
+    // Intern every alphabet in the recorded id order; if any name
+    // repeats, interning collapses it and the index check fails.
+    for (i, name) in class_names.iter().enumerate() {
+        if b.class(name).index() != i {
+            return None;
+        }
+    }
+    for (i, name) in attr_names.iter().enumerate() {
+        if b.attribute(name).index() != i {
+            return None;
+        }
+    }
+    for (i, name) in role_names.iter().enumerate() {
+        if b.role(name).index() != i {
+            return None;
+        }
+    }
+
+    // Relations, in id order, then their constraint clauses.
+    for (i, name) in rel_names.iter().enumerate() {
+        let header: Vec<&str> = lines.next()?.split(' ').collect();
+        if header.first() != Some(&"rel") || header.get(1)?.parse::<usize>().ok()? != i {
+            return None;
+        }
+        let arity: usize = header.get(2)?.parse().ok()?;
+        if header.len() != 4 + arity {
+            return None;
+        }
+        let mut roles = Vec::with_capacity(arity);
+        for tok in &header[3..3 + arity] {
+            roles.push(unesc(tok)?);
+        }
+        let nclauses: usize = header.last()?.parse().ok()?;
+        if nclauses > 1_000_000 {
+            return None;
+        }
+        let rel = b.relation(name, roles.iter().map(String::as_str));
+        if rel.index() != i {
+            return None;
+        }
+        for _ in 0..nclauses {
+            let parts: Vec<&str> = lines.next()?.split(' ').collect();
+            if parts.first() != Some(&"rclause") {
+                return None;
+            }
+            let nlits: usize = parts.get(1)?.parse().ok()?;
+            if parts.len() != 2 + 2 * nlits {
+                return None;
+            }
+            let mut literals = Vec::with_capacity(nlits);
+            for l in 0..nlits {
+                let role = unesc(parts[2 + 2 * l])?;
+                let formula = parse_formula(parts[3 + 2 * l], nc)?;
+                literals.push(RoleLiteral { role: b.role(&role), formula });
+            }
+            b.relation_constraint(rel, RoleClause::new(literals));
+        }
+    }
+
+    // Class definitions, in id order.
+    for (i, _) in class_names.iter().enumerate() {
+        let header: Vec<&str> = lines.next()?.split(' ').collect();
+        let ["class", idx, isa, nattrs, nparts] = header.as_slice() else {
+            return None;
+        };
+        if idx.parse::<usize>().ok()? != i {
+            return None;
+        }
+        let isa = parse_formula(isa, nc)?;
+        let nattrs: usize = nattrs.parse().ok()?;
+        let nparts: usize = nparts.parse().ok()?;
+        if nattrs.max(nparts) > 1_000_000 {
+            return None;
+        }
+        let mut attrs = Vec::with_capacity(nattrs);
+        for _ in 0..nattrs {
+            let parts: Vec<&str> = lines.next()?.split(' ').collect();
+            let ["att", name, inv, card, ty] = parts.as_slice() else {
+                return None;
+            };
+            let attr = b.attribute(&unesc(name)?);
+            let att = match *inv {
+                "0" => AttRef::Direct(attr),
+                "1" => AttRef::Inverse(attr),
+                _ => return None,
+            };
+            attrs.push((att, parse_card(card)?, parse_formula(ty, nc)?));
+        }
+        let mut parts_specs = Vec::with_capacity(nparts);
+        for _ in 0..nparts {
+            let parts: Vec<&str> = lines.next()?.split(' ').collect();
+            let ["part", rel, role, card] = parts.as_slice() else {
+                return None;
+            };
+            let rel = b.relation_ref(&unesc(rel)?);
+            let role = b.role(&unesc(role)?);
+            parts_specs.push((rel, role, parse_card(card)?));
+        }
+        let class = ClassId::from_index(i);
+        let mut def = b.define_class(class).isa(isa);
+        for (att, card, ty) in attrs {
+            def = def.attr(att, card, ty);
+        }
+        for (rel, role, card) in parts_specs {
+            def = def.participates(rel, role, card);
+        }
+        def.finish();
+    }
+
+    if lines.next().is_some() {
+        return None; // trailing garbage
+    }
+    b.build().ok()
+}
+
+// ---------------------------------------------------------------------
+// Model-enumeration codec
+// ---------------------------------------------------------------------
+
+/// Magic tag of the model-enumeration encoding.
+pub const MODELS_MAGIC: &str = "CARMODELS1";
+
+/// Encodes an ordered compound-class enumeration (order is load-bearing
+/// — splicing relies on it, so the decode preserves it exactly).
+#[must_use]
+pub fn encode_models(width: usize, models: &[BitSet]) -> Vec<u8> {
+    let mut out = String::new();
+    let _ = writeln!(out, "{MODELS_MAGIC} {width} {}", models.len());
+    for m in models {
+        let mut first = true;
+        for i in m.iter() {
+            if !first {
+                out.push(',');
+            }
+            let _ = write!(out, "{i}");
+            first = false;
+        }
+        out.push('\n');
+    }
+    out.push_str("end\n");
+    out.into_bytes()
+}
+
+/// Decodes a [`encode_models`] artifact. `None` on malformed input or
+/// any member index outside the recorded width.
+#[must_use]
+pub fn decode_models(bytes: &[u8]) -> Option<(usize, Vec<BitSet>)> {
+    let text = std::str::from_utf8(bytes).ok()?;
+    let mut lines = text.lines();
+    let header: Vec<&str> = lines.next()?.split(' ').collect();
+    let [magic, width, count] = header.as_slice() else {
+        return None;
+    };
+    if *magic != MODELS_MAGIC {
+        return None;
+    }
+    let width: usize = width.parse().ok()?;
+    let count: usize = count.parse().ok()?;
+    if width > 1_000_000 {
+        return None;
+    }
+    let mut models = Vec::new();
+    for _ in 0..count {
+        let line = lines.next()?;
+        let mut set = BitSet::new(width);
+        if !line.is_empty() {
+            for tok in line.split(',') {
+                let i: usize = tok.parse().ok()?;
+                if i >= width {
+                    return None;
+                }
+                set.insert(i);
+            }
+        }
+        models.push(set);
+    }
+    // Explicit terminator: a truncated tail can never silently pass
+    // for a complete (shorter) enumeration.
+    if lines.next() != Some("end") || lines.next().is_some() {
+        return None;
+    }
+    Some((width, models))
+}
+
+// ---------------------------------------------------------------------
+// Delta codec
+// ---------------------------------------------------------------------
+
+/// Encodes a schema delta as one whitespace-separated line (journal
+/// record payloads).
+#[must_use]
+pub fn encode_delta(delta: &SchemaDelta) -> String {
+    // Delta formulas carry pre-edit class ids; apply-time validation
+    // bounds them, so the encoding does not.
+    match delta {
+        SchemaDelta::AddClass { name } => format!("addclass {}", esc(name)),
+        SchemaDelta::RemoveClass { name } => format!("removeclass {}", esc(name)),
+        SchemaDelta::SetIsa { class, isa } => {
+            format!("setisa {} {}", esc(class), fmt_formula(isa))
+        }
+        SchemaDelta::SetAttribute { class, attr, inverse, spec } => {
+            let tail = match spec {
+                Some((card, ty)) => format!("{} {}", fmt_card(*card), fmt_formula(ty)),
+                None => "-".to_owned(),
+            };
+            format!(
+                "setattr {} {} {} {tail}",
+                esc(class),
+                esc(attr),
+                u8::from(*inverse)
+            )
+        }
+        SchemaDelta::SetParticipation { class, rel, role, card } => {
+            let tail = match card {
+                Some(card) => fmt_card(*card),
+                None => "-".to_owned(),
+            };
+            format!("setpart {} {} {} {tail}", esc(class), esc(rel), esc(role))
+        }
+        SchemaDelta::SetRelation { name, roles, constraints } => {
+            let mut out = format!("setrel {} {}", esc(name), roles.len());
+            for r in roles {
+                let _ = write!(out, " {}", esc(r));
+            }
+            let _ = write!(out, " {}", constraints.len());
+            for clause in constraints {
+                let _ = write!(out, " {}", clause.len());
+                for lit in clause {
+                    let _ = write!(out, " {} {}", esc(&lit.role), fmt_formula(&lit.formula));
+                }
+            }
+            out
+        }
+        SchemaDelta::RemoveRelation { name } => format!("removerel {}", esc(name)),
+    }
+}
+
+/// Inverse of [`encode_delta`]. `None` on malformed input.
+#[must_use]
+pub fn decode_delta(line: &str) -> Option<SchemaDelta> {
+    const LIMIT: usize = u32::MAX as usize;
+    let toks: Vec<&str> = line.split(' ').collect();
+    match toks.as_slice() {
+        ["addclass", name] => Some(SchemaDelta::AddClass { name: unesc(name)? }),
+        ["removeclass", name] => Some(SchemaDelta::RemoveClass { name: unesc(name)? }),
+        ["setisa", class, isa] => Some(SchemaDelta::SetIsa {
+            class: unesc(class)?,
+            isa: parse_formula(isa, LIMIT)?,
+        }),
+        ["setattr", class, attr, inv, "-"] => Some(SchemaDelta::SetAttribute {
+            class: unesc(class)?,
+            attr: unesc(attr)?,
+            inverse: parse_bool(inv)?,
+            spec: None,
+        }),
+        ["setattr", class, attr, inv, card, ty] => Some(SchemaDelta::SetAttribute {
+            class: unesc(class)?,
+            attr: unesc(attr)?,
+            inverse: parse_bool(inv)?,
+            spec: Some((parse_card(card)?, parse_formula(ty, LIMIT)?)),
+        }),
+        ["setpart", class, rel, role, "-"] => Some(SchemaDelta::SetParticipation {
+            class: unesc(class)?,
+            rel: unesc(rel)?,
+            role: unesc(role)?,
+            card: None,
+        }),
+        ["setpart", class, rel, role, card] => Some(SchemaDelta::SetParticipation {
+            class: unesc(class)?,
+            rel: unesc(rel)?,
+            role: unesc(role)?,
+            card: Some(parse_card(card)?),
+        }),
+        ["removerel", name] => Some(SchemaDelta::RemoveRelation { name: unesc(name)? }),
+        ["setrel", name, nroles, rest @ ..] => {
+            let name = unesc(name)?;
+            let nroles: usize = nroles.parse().ok()?;
+            if rest.len() < nroles + 1 || nroles > 100_000 {
+                return None;
+            }
+            let mut roles = Vec::with_capacity(nroles);
+            for tok in &rest[..nroles] {
+                roles.push(unesc(tok)?);
+            }
+            let mut it = rest[nroles..].iter();
+            let nclauses: usize = it.next()?.parse().ok()?;
+            if nclauses > 100_000 {
+                return None;
+            }
+            let mut constraints = Vec::with_capacity(nclauses);
+            for _ in 0..nclauses {
+                let nlits: usize = it.next()?.parse().ok()?;
+                if nlits > 100_000 {
+                    return None;
+                }
+                let mut clause = Vec::with_capacity(nlits);
+                for _ in 0..nlits {
+                    let role = unesc(it.next()?)?;
+                    let formula = parse_formula(it.next()?, LIMIT)?;
+                    clause.push(RoleLiteralSpec { role, formula });
+                }
+                constraints.push(clause);
+            }
+            if it.next().is_some() {
+                return None;
+            }
+            Some(SchemaDelta::SetRelation { name, roles, constraints })
+        }
+        _ => None,
+    }
+}
+
+fn parse_bool(tok: &str) -> Option<bool> {
+    match tok {
+        "0" => Some(false),
+        "1" => Some(true),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::syntax::ClassFormula;
+
+    fn sample_schema() -> Schema {
+        let mut b = SchemaBuilder::new();
+        let person = b.class("Pers on"); // space: exercises escaping
+        let prof = b.class("Professor");
+        let student = b.class("Student");
+        let teaches = b.attribute("teaches%");
+        let works = b.relation("Works", ["who", "where"]);
+        let who = b.role("who");
+        b.define_class(prof)
+            .isa(ClassFormula::class(person))
+            .attr(
+                AttRef::Direct(teaches),
+                Card::new(1, 2),
+                ClassFormula::class(student),
+            )
+            .attr(AttRef::Inverse(teaches), Card::at_least(1), ClassFormula::top())
+            .participates(works, who, Card::new(0, 3))
+            .finish();
+        b.define_class(student)
+            .isa(ClassFormula::class(person).and(ClassFormula::neg_class(prof)))
+            .finish();
+        b.relation_constraint(
+            works,
+            RoleClause::new(vec![RoleLiteral {
+                role: who,
+                formula: ClassFormula::union_of([person, student]),
+            }]),
+        );
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn esc_roundtrips() {
+        for name in ["plain", "with space", "pct%and~tilde", "", "日本語", "a\nb"] {
+            assert_eq!(unesc(&esc(name)).as_deref(), Some(name), "{name:?}");
+            assert!(
+                !esc(name).contains(char::is_whitespace) && !esc(name).is_empty(),
+                "token-safe: {name:?}"
+            );
+        }
+        assert!(unesc("%zz").is_none());
+        assert!(unesc("%F").is_none());
+    }
+
+    #[test]
+    fn schema_codec_roundtrips_with_identical_layout() {
+        let s = sample_schema();
+        let bytes = encode_schema(&s);
+        assert!(bytes.ends_with(b"\n"));
+        let d = decode_schema(&bytes).expect("decodes");
+        // Identity of the canonical encoding implies identity of symbol
+        // layout and every definition.
+        assert_eq!(encode_schema(&d), bytes);
+        assert_eq!(d.class_id("Professor"), s.class_id("Professor"));
+        assert_eq!(d.num_attrs(), s.num_attrs());
+        let rel = d.rel_id("Works").unwrap();
+        assert_eq!(d.rel_def(rel).constraints.len(), 1);
+    }
+
+    #[test]
+    fn schema_decode_rejects_damage() {
+        let bytes = encode_schema(&sample_schema());
+        for cut in [bytes.len() / 3, bytes.len() / 2, bytes.len() - 3] {
+            assert!(decode_schema(&bytes[..cut]).is_none(), "truncated at {cut}");
+        }
+        assert!(decode_schema(b"CARSCHEMA1\nsymbols 2 0 0 0\nC a\n").is_none());
+        assert!(decode_schema(b"garbage").is_none());
+        assert!(decode_schema(&[]).is_none());
+        for i in (0..bytes.len()).step_by(7) {
+            let mut dmg = bytes.clone();
+            dmg[i] ^= 0x40;
+            if let Some(d) = decode_schema(&dmg) {
+                // A flip that still decodes must yield a well-formed
+                // schema whose own encoding roundtrips — never a value
+                // that panics or drifts on re-encode.
+                let again = encode_schema(&d);
+                assert_eq!(
+                    decode_schema(&again).map(|x| encode_schema(&x)),
+                    Some(again.clone())
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn models_codec_roundtrips_in_order() {
+        let models = vec![
+            BitSet::from_iter(70, [0, 3, 69]),
+            BitSet::new(70),
+            BitSet::from_iter(70, 0..70),
+        ];
+        let bytes = encode_models(70, &models);
+        let (w, d) = decode_models(&bytes).unwrap();
+        assert_eq!(w, 70);
+        assert_eq!(d, models);
+        for cut in 0..bytes.len() {
+            // Losing real content must fail; losing only the final
+            // newline may still decode, but never to different models.
+            match decode_models(&bytes[..cut]) {
+                None => {}
+                Some(got) => {
+                    assert_eq!(got, (70, models.clone()), "cut {cut}");
+                    assert!(cut >= bytes.len() - 1, "content lost at {cut} yet decoded");
+                }
+            }
+        }
+        assert!(decode_models(b"CARMODELS1 4 1\n9\n").is_none(), "member out of width");
+    }
+
+    #[test]
+    fn delta_codec_roundtrips_every_variant() {
+        let deltas = vec![
+            SchemaDelta::AddClass { name: "New Class".into() },
+            SchemaDelta::RemoveClass { name: "Old".into() },
+            SchemaDelta::SetIsa {
+                class: "C".into(),
+                isa: parse_formula("+0,-1;+2", 10).unwrap(),
+            },
+            SchemaDelta::SetAttribute {
+                class: "C".into(),
+                attr: "a t".into(),
+                inverse: true,
+                spec: Some((Card::at_least(2), ClassFormula::top())),
+            },
+            SchemaDelta::SetAttribute {
+                class: "C".into(),
+                attr: "at".into(),
+                inverse: false,
+                spec: None,
+            },
+            SchemaDelta::SetParticipation {
+                class: "C".into(),
+                rel: "R".into(),
+                role: "u".into(),
+                card: Some(Card::new(1, 5)),
+            },
+            SchemaDelta::SetParticipation {
+                class: "C".into(),
+                rel: "R".into(),
+                role: "u".into(),
+                card: None,
+            },
+            SchemaDelta::SetRelation {
+                name: "R".into(),
+                roles: vec!["u".into(), "v w".into()],
+                constraints: vec![
+                    vec![
+                        RoleLiteralSpec { role: "u".into(), formula: parse_formula("+1", 10).unwrap() },
+                        RoleLiteralSpec { role: "v w".into(), formula: ClassFormula::top() },
+                    ],
+                    vec![],
+                ],
+            },
+            SchemaDelta::RemoveRelation { name: "R".into() },
+        ];
+        for d in deltas {
+            let line = encode_delta(&d);
+            assert!(!line.contains('\n'));
+            assert_eq!(decode_delta(&line).as_ref(), Some(&d), "{line}");
+        }
+        assert!(decode_delta("setrel R 99 u").is_none());
+        assert!(decode_delta("frobnicate x").is_none());
+        assert!(decode_delta("").is_none());
+    }
+
+    #[test]
+    fn hashes_are_stable_and_distinct() {
+        assert_eq!(hash128_hex(b"abc").len(), 32);
+        assert_eq!(hash128_hex(b"abc"), hash128_hex(b"abc"));
+        assert_ne!(hash128_hex(b"abc"), hash128_hex(b"abd"));
+        assert_ne!(fnv64(b""), fnv64(b"\0"));
+    }
+}

@@ -1,0 +1,246 @@
+//! Filesystem primitives with a fault-injection seam.
+//!
+//! Every persistence component does its I/O through a [`Disk`] so that
+//! tests can make any operation fail (or tear) via
+//! [`crate::persist::DiskFaults`]. Production wiring uses
+//! [`Disk::real`], which compiles down to plain `std::fs` calls.
+
+use super::fault::DiskFaults;
+use std::fs;
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+
+/// A handle to the filesystem, optionally wrapped with fault injection.
+#[derive(Debug, Clone, Default)]
+pub struct Disk {
+    faults: Option<DiskFaults>,
+}
+
+impl Disk {
+    /// A disk whose operations always hit the real filesystem.
+    #[must_use]
+    pub fn real() -> Disk {
+        Disk { faults: None }
+    }
+
+    /// A disk whose operations consult `faults` first.
+    #[must_use]
+    pub fn faulty(faults: DiskFaults) -> Disk {
+        Disk { faults: Some(faults) }
+    }
+
+    /// The fault plan, if any.
+    #[must_use]
+    pub fn faults(&self) -> Option<&DiskFaults> {
+        self.faults.as_ref()
+    }
+
+    fn gate(&self, op: &str) -> io::Result<()> {
+        match &self.faults {
+            Some(f) => f.check(op),
+            None => Ok(()),
+        }
+    }
+
+    /// Reads a whole file.
+    ///
+    /// # Errors
+    /// Injected faults and filesystem errors.
+    pub fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        self.gate("read")?;
+        fs::read(path)
+    }
+
+    /// Writes a file atomically: content goes to a sibling `.tmp` file
+    /// which is then renamed over `path`. Readers see the old content,
+    /// the new content, or (under an injected torn write) a partial
+    /// file that checksum validation rejects — never interleaving.
+    ///
+    /// # Errors
+    /// Injected faults and filesystem errors. On error the temp file is
+    /// removed best-effort; a torn-write fault leaves a deliberately
+    /// partial file at `path`.
+    pub fn write_atomic(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        if let Err(e) = self.gate("write") {
+            if self.faults.as_ref().is_some_and(DiskFaults::torn_writes) {
+                // Simulate a crash mid-publish: a prefix of the new
+                // content reaches the destination path.
+                let _ = fs::write(path, &bytes[..bytes.len() / 2]);
+            }
+            return Err(e);
+        }
+        let tmp = tmp_path(path);
+        let write_tmp = (|| -> io::Result<()> {
+            let mut f = fs::File::create(&tmp)?;
+            f.write_all(bytes)?;
+            f.sync_all()
+        })();
+        if let Err(e) = write_tmp {
+            let _ = fs::remove_file(&tmp);
+            return Err(e);
+        }
+        match self.gate("rename").and_then(|()| fs::rename(&tmp, path)) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                let _ = fs::remove_file(&tmp);
+                Err(e)
+            }
+        }
+    }
+
+    /// Appends bytes to a file, creating it if absent.
+    ///
+    /// # Errors
+    /// Injected faults and filesystem errors. An injected fault may
+    /// leave a partial record appended (a torn tail) — callers must
+    /// truncate back to their last known-good length.
+    pub fn append(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        if let Err(e) = self.gate("append") {
+            // A failed append is allowed to leave a torn tail behind.
+            if !bytes.is_empty() {
+                if let Ok(mut f) = fs::OpenOptions::new().append(true).create(true).open(path) {
+                    let _ = f.write_all(&bytes[..bytes.len() / 2]);
+                }
+            }
+            return Err(e);
+        }
+        let mut f = fs::OpenOptions::new().append(true).create(true).open(path)?;
+        f.write_all(bytes)?;
+        f.sync_all()
+    }
+
+    /// Truncates (or extends with zeros) a file to `len` bytes.
+    ///
+    /// # Errors
+    /// Injected faults and filesystem errors.
+    pub fn set_len(&self, path: &Path, len: u64) -> io::Result<()> {
+        self.gate("set_len")?;
+        let f = fs::OpenOptions::new().write(true).create(true).open(path)?;
+        f.set_len(len)
+    }
+
+    /// Removes a file (ok if already gone).
+    ///
+    /// # Errors
+    /// Injected faults and filesystem errors other than `NotFound`.
+    pub fn remove(&self, path: &Path) -> io::Result<()> {
+        self.gate("remove")?;
+        match fs::remove_file(path) {
+            Err(e) if e.kind() != io::ErrorKind::NotFound => Err(e),
+            _ => Ok(()),
+        }
+    }
+
+    /// Creates a directory and all parents.
+    ///
+    /// # Errors
+    /// Injected faults and filesystem errors.
+    pub fn create_dir_all(&self, path: &Path) -> io::Result<()> {
+        self.gate("mkdir")?;
+        fs::create_dir_all(path)
+    }
+
+    /// Lists the entries of a directory.
+    ///
+    /// # Errors
+    /// Injected faults and filesystem errors.
+    pub fn read_dir(&self, path: &Path) -> io::Result<Vec<PathBuf>> {
+        self.gate("readdir")?;
+        let mut out = Vec::new();
+        for entry in fs::read_dir(path)? {
+            out.push(entry?.path());
+        }
+        Ok(out)
+    }
+
+    /// Size of a file in bytes, `None` if it does not exist.
+    ///
+    /// # Errors
+    /// Injected faults and filesystem errors other than `NotFound`.
+    pub fn file_len(&self, path: &Path) -> io::Result<Option<u64>> {
+        self.gate("stat")?;
+        match fs::metadata(path) {
+            Ok(m) => Ok(Some(m.len())),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(e),
+        }
+    }
+}
+
+/// The sibling temp path used by [`Disk::write_atomic`].
+#[must_use]
+pub fn tmp_path(path: &Path) -> PathBuf {
+    let mut name = path.file_name().unwrap_or_default().to_os_string();
+    name.push(".tmp");
+    path.with_file_name(name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("car-disk-test-{name}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn atomic_write_roundtrips_and_leaves_no_tmp() {
+        let dir = scratch("roundtrip");
+        let disk = Disk::real();
+        let p = dir.join("x.entry");
+        disk.write_atomic(&p, b"hello").unwrap();
+        assert_eq!(disk.read(&p).unwrap(), b"hello");
+        disk.write_atomic(&p, b"world").unwrap();
+        assert_eq!(disk.read(&p).unwrap(), b"world");
+        assert!(!tmp_path(&p).exists());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn injected_write_fault_leaves_destination_untouched() {
+        let dir = scratch("fault");
+        let faults = DiskFaults::new();
+        let disk = Disk::faulty(faults.clone());
+        let p = dir.join("x.entry");
+        disk.write_atomic(&p, b"good").unwrap();
+        faults.trip_after(0);
+        assert!(disk.write_atomic(&p, b"evil").is_err());
+        faults.disarm();
+        assert_eq!(disk.read(&p).unwrap(), b"good");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_write_fault_leaves_partial_destination() {
+        let dir = scratch("torn");
+        let faults = DiskFaults::new();
+        faults.set_torn_writes(true);
+        let disk = Disk::faulty(faults.clone());
+        let p = dir.join("x.entry");
+        faults.trip_after(0);
+        assert!(disk.write_atomic(&p, b"0123456789").is_err());
+        faults.disarm();
+        assert_eq!(disk.read(&p).unwrap(), b"01234", "half the content landed");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn failed_append_leaves_torn_tail_for_caller_to_repair() {
+        let dir = scratch("append");
+        let faults = DiskFaults::new();
+        let disk = Disk::faulty(faults.clone());
+        let p = dir.join("journal.log");
+        disk.append(&p, b"rec1\n").unwrap();
+        faults.trip_after(0);
+        assert!(disk.append(&p, b"rec2\n").is_err());
+        faults.disarm();
+        let bytes = disk.read(&p).unwrap();
+        assert!(bytes.starts_with(b"rec1\n") && bytes.len() > 5, "tail is torn, not absent");
+        disk.set_len(&p, 5).unwrap();
+        assert_eq!(disk.read(&p).unwrap(), b"rec1\n");
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,159 @@
+//! Disk-fault injection: the persistence twin of
+//! [`crate::budget::Budget::trip_after`].
+//!
+//! A [`DiskFaults`] handle is shared (cheaply cloned) into every
+//! [`crate::persist::Disk`] whose I/O should be breakable. Tests arm it
+//! with [`DiskFaults::trip_after`] to make the k-th and every later
+//! filesystem operation fail, optionally tearing the failing write so a
+//! partial entry lands on the final path — the worst case the
+//! validation layer must treat as a miss. The module also exposes
+//! direct corruption helpers (truncate, bit-flip, append garbage) for
+//! sweeping over damage that no syscall failure produces.
+
+use std::fs::OpenOptions;
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+#[derive(Debug, Default)]
+struct Inner {
+    /// Filesystem operations observed so far.
+    ops: AtomicU64,
+    /// Fail every operation after this many have succeeded; `u64::MAX`
+    /// disarms.
+    allow: AtomicU64,
+    /// Tear the failing `write_atomic` (partial bytes reach the final
+    /// path) instead of failing cleanly.
+    torn: AtomicBool,
+    /// Faults injected so far.
+    injected: AtomicU64,
+}
+
+/// A shared, thread-safe fault plan for disk I/O.
+///
+/// Cloning shares the same counters, so one handle can arm faults while
+/// clones embedded in [`crate::persist::Disk`] wrappers enforce them.
+#[derive(Debug, Clone, Default)]
+pub struct DiskFaults {
+    inner: Arc<Inner>,
+}
+
+impl DiskFaults {
+    /// A disarmed fault plan (all I/O succeeds until armed).
+    #[must_use]
+    pub fn new() -> DiskFaults {
+        let f = DiskFaults::default();
+        f.inner.allow.store(u64::MAX, Ordering::SeqCst);
+        f
+    }
+
+    /// Arms the plan: the next `k` operations succeed, every later one
+    /// fails. `trip_after(0)` fails everything from now on. Resets the
+    /// operation counter.
+    pub fn trip_after(&self, k: u64) {
+        self.inner.ops.store(0, Ordering::SeqCst);
+        self.inner.allow.store(k, Ordering::SeqCst);
+    }
+
+    /// Disarms the plan without clearing the injected-fault count.
+    pub fn disarm(&self) {
+        self.inner.allow.store(u64::MAX, Ordering::SeqCst);
+    }
+
+    /// Makes the *failing* atomic write tear: a prefix of the content is
+    /// written to the destination path before the error is returned,
+    /// simulating a crash after a partially flushed rename.
+    pub fn set_torn_writes(&self, torn: bool) {
+        self.inner.torn.store(torn, Ordering::SeqCst);
+    }
+
+    /// Number of faults injected since construction.
+    #[must_use]
+    pub fn injected(&self) -> u64 {
+        self.inner.injected.load(Ordering::SeqCst)
+    }
+
+    /// Counts one filesystem operation; returns the injected error when
+    /// the plan says this operation fails.
+    ///
+    /// # Errors
+    /// [`io::ErrorKind::Other`] tagged "injected disk fault" when armed
+    /// and past the allowance.
+    pub fn check(&self, op: &str) -> io::Result<()> {
+        let n = self.inner.ops.fetch_add(1, Ordering::SeqCst);
+        if n >= self.inner.allow.load(Ordering::SeqCst) {
+            self.inner.injected.fetch_add(1, Ordering::SeqCst);
+            return Err(io::Error::other(format!("injected disk fault at {op}")));
+        }
+        Ok(())
+    }
+
+    /// `true` when the failing write should also tear.
+    #[must_use]
+    pub fn torn_writes(&self) -> bool {
+        self.inner.torn.load(Ordering::SeqCst)
+    }
+}
+
+/// Truncates `path` to `len` bytes (direct corruption, bypassing any
+/// fault plan).
+///
+/// # Errors
+/// Propagates filesystem errors.
+pub fn truncate_file(path: &Path, len: u64) -> io::Result<()> {
+    let f = OpenOptions::new().write(true).open(path)?;
+    f.set_len(len)
+}
+
+/// Flips one bit of the byte at `offset` in `path`.
+///
+/// # Errors
+/// Propagates filesystem errors; fails if `offset` is past the end.
+pub fn flip_bit(path: &Path, offset: u64, bit: u8) -> io::Result<()> {
+    let mut f = OpenOptions::new().read(true).write(true).open(path)?;
+    f.seek(SeekFrom::Start(offset))?;
+    let mut b = [0u8];
+    f.read_exact(&mut b)?;
+    b[0] ^= 1 << (bit % 8);
+    f.seek(SeekFrom::Start(offset))?;
+    f.write_all(&b)
+}
+
+/// Appends `bytes` of garbage to `path` (a torn trailing record).
+///
+/// # Errors
+/// Propagates filesystem errors.
+pub fn append_garbage(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let mut f = OpenOptions::new().append(true).open(path)?;
+    f.write_all(bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trips_after_allowance_and_stays_tripped() {
+        let f = DiskFaults::new();
+        assert!(f.check("a").is_ok());
+        f.trip_after(2);
+        assert!(f.check("b").is_ok());
+        assert!(f.check("c").is_ok());
+        assert!(f.check("d").is_err());
+        assert!(f.check("e").is_err(), "faults are sticky");
+        assert_eq!(f.injected(), 2);
+        f.disarm();
+        assert!(f.check("f").is_ok());
+        assert_eq!(f.injected(), 2);
+    }
+
+    #[test]
+    fn clones_share_the_plan() {
+        let f = DiskFaults::new();
+        let g = f.clone();
+        f.trip_after(0);
+        assert!(g.check("x").is_err());
+        assert_eq!(f.injected(), 1);
+    }
+}

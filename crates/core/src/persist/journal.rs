@@ -1,0 +1,545 @@
+//! Workspace durability: snapshot files plus an append-only op journal.
+//!
+//! Each persisted workspace owns one directory holding
+//!
+//! * `snapshot.car` — the full state (schema, undo and redo stacks) at
+//!   some instant, checksummed and atomically replaced; and
+//! * `journal.log` — checksummed, sequence-numbered records of every
+//!   state-changing operation since, replayed on top of the snapshot
+//!   at recovery.
+//!
+//! **Replay rules.** Every record carries a monotonically increasing
+//! sequence number, and the snapshot records the last sequence number
+//! it covers. Recovery replays exactly the records that (a) verify
+//! (frame intact, checksum matches), (b) are newer than the snapshot,
+//! and (c) form a contiguous run starting right after it. The first
+//! record that fails any check ends replay: a torn or corrupt tail
+//! costs the operations in it, never correctness — the recovered state
+//! is always some *prefix* of the true history. Records older than the
+//! snapshot are skipped, which makes the snapshot-then-truncate
+//! compaction sequence crash-safe at every instant (a crash between
+//! the two steps leaves stale records that replay provably ignores).
+//!
+//! **Torn-tail repair.** The writer tracks the last known-good journal
+//! length; after a failed append the file is truncated back to it
+//! before the next record goes out, so one bad write cannot corrupt
+//! later ones.
+
+use super::codec::{self, fnv64};
+use super::disk::Disk;
+use crate::incremental::SchemaDelta;
+use crate::syntax::Schema;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Magic tag of a snapshot file.
+pub const SNAP_MAGIC: &str = "CARSNAP1";
+
+/// One state-changing workspace operation, as journaled.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JournalOp {
+    /// A schema edit.
+    Apply(SchemaDelta),
+    /// One undo step.
+    Undo,
+    /// One redo step.
+    Redo,
+}
+
+impl JournalOp {
+    fn encode(&self) -> String {
+        match self {
+            JournalOp::Apply(delta) => format!("apply {}", codec::encode_delta(delta)),
+            JournalOp::Undo => "undo".to_owned(),
+            JournalOp::Redo => "redo".to_owned(),
+        }
+    }
+
+    fn decode(line: &str) -> Option<JournalOp> {
+        match line {
+            "undo" => Some(JournalOp::Undo),
+            "redo" => Some(JournalOp::Redo),
+            _ => Some(JournalOp::Apply(codec::decode_delta(line.strip_prefix("apply ")?)?)),
+        }
+    }
+}
+
+/// A workspace state recovered from disk.
+#[derive(Debug)]
+pub struct Recovered {
+    /// Tenant name recorded in the snapshot.
+    pub tenant: String,
+    /// Workspace name recorded in the snapshot.
+    pub workspace: String,
+    /// Schema at snapshot time.
+    pub schema: Schema,
+    /// Undo stack at snapshot time, oldest first.
+    pub undo: Vec<Schema>,
+    /// Redo stack at snapshot time, oldest first.
+    pub redo: Vec<Schema>,
+    /// Verified post-snapshot operations, in order, to replay.
+    pub ops: Vec<JournalOp>,
+    /// `true` when a torn or corrupt journal tail cut replay short.
+    pub truncated_tail: bool,
+    /// The primed writer for continued journaling.
+    pub dir: WorkspaceDir,
+}
+
+/// Writer side of one workspace's durability directory.
+#[derive(Debug)]
+pub struct WorkspaceDir {
+    dir: PathBuf,
+    disk: Disk,
+    /// Sequence number of the last appended (or recovered) record.
+    seq: u64,
+    /// Byte length of the verified journal prefix.
+    good_len: u64,
+    /// A failed append may have left a torn tail past `good_len`.
+    dirty_tail: bool,
+    ops_since_snapshot: u64,
+}
+
+impl WorkspaceDir {
+    /// Creates (or attaches to) a workspace directory for *fresh* use —
+    /// prior contents are ignored and the journal restarts from zero.
+    /// Use [`WorkspaceDir::recover`] to resume existing state instead.
+    ///
+    /// # Errors
+    /// Injected faults and filesystem errors.
+    pub fn create(dir: &Path, disk: Disk) -> io::Result<WorkspaceDir> {
+        disk.create_dir_all(dir)?;
+        Ok(WorkspaceDir {
+            dir: dir.to_owned(),
+            disk,
+            seq: 0,
+            good_len: 0,
+            dirty_tail: true, // unknown prior journal: truncate before first append
+            ops_since_snapshot: 0,
+        })
+    }
+
+    fn snapshot_path(&self) -> PathBuf {
+        self.dir.join("snapshot.car")
+    }
+
+    fn journal_path(&self) -> PathBuf {
+        self.dir.join("journal.log")
+    }
+
+    /// The directory this workspace persists into.
+    #[must_use]
+    pub fn path(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Operations journaled since the last successful snapshot — the
+    /// compaction trigger.
+    #[must_use]
+    pub fn ops_since_snapshot(&self) -> u64 {
+        self.ops_since_snapshot
+    }
+
+    /// Writes a full-state snapshot (atomically), then truncates the
+    /// journal. A crash or failure between the two steps is safe: the
+    /// stale journal records are older than the snapshot's sequence
+    /// number and recovery skips them.
+    ///
+    /// # Errors
+    /// Injected faults and filesystem errors; on error the previous
+    /// snapshot (if any) is still intact.
+    pub fn save_snapshot(
+        &mut self,
+        tenant: &str,
+        workspace: &str,
+        schema: &Schema,
+        undo: &[Schema],
+        redo: &[Schema],
+    ) -> io::Result<()> {
+        let mut body = Vec::new();
+        body.extend_from_slice(
+            format!(
+                "tenant {}\nworkspace {}\nseq {}\nundo {} redo {}\n",
+                codec::esc(tenant),
+                codec::esc(workspace),
+                self.seq,
+                undo.len(),
+                redo.len()
+            )
+            .as_bytes(),
+        );
+        for schema in std::iter::once(schema).chain(undo).chain(redo) {
+            let bytes = codec::encode_schema(schema);
+            body.extend_from_slice(format!("schema {}\n", bytes.len()).as_bytes());
+            body.extend_from_slice(&bytes);
+        }
+        let mut file = format!("{SNAP_MAGIC} {} {:016x}\n", body.len(), fnv64(&body)).into_bytes();
+        file.extend_from_slice(&body);
+        self.disk.write_atomic(&self.snapshot_path(), &file)?;
+        self.ops_since_snapshot = 0;
+        // Compaction. Failure is harmless (stale records are skipped by
+        // sequence number), so only advance our bookkeeping on success.
+        if self.disk.set_len(&self.journal_path(), 0).is_ok() {
+            self.good_len = 0;
+            self.dirty_tail = false;
+        }
+        Ok(())
+    }
+
+    /// Appends one operation record to the journal, repairing any torn
+    /// tail from an earlier failed append first.
+    ///
+    /// # Errors
+    /// Injected faults and filesystem errors; on error the operation is
+    /// NOT durable (the caller's in-memory state is still correct, and
+    /// the next snapshot will capture it).
+    pub fn append_op(&mut self, op: &JournalOp) -> io::Result<()> {
+        if self.dirty_tail {
+            self.disk.set_len(&self.journal_path(), self.good_len)?;
+            self.dirty_tail = false;
+        }
+        let payload = format!("{} {}", self.seq + 1, op.encode());
+        let frame = format!(
+            "J {} {:016x}\n{payload}\n",
+            payload.len(),
+            fnv64(payload.as_bytes())
+        );
+        match self.disk.append(&self.journal_path(), frame.as_bytes()) {
+            Ok(()) => {
+                self.seq += 1;
+                self.good_len += frame.len() as u64;
+                self.ops_since_snapshot += 1;
+                Ok(())
+            }
+            Err(e) => {
+                self.dirty_tail = true;
+                Err(e)
+            }
+        }
+    }
+
+    /// Recovers a workspace from `dir`: verifies the snapshot, replays
+    /// the journal's verified contiguous prefix, and returns the state
+    /// plus a primed writer. `None` when there is no usable snapshot
+    /// (missing, torn, or corrupt) — the workspace starts fresh; a
+    /// damaged *journal* only shortens `ops`.
+    #[must_use]
+    pub fn recover(dir: &Path, disk: Disk) -> Option<Recovered> {
+        let me = WorkspaceDir {
+            dir: dir.to_owned(),
+            disk,
+            seq: 0,
+            good_len: 0,
+            dirty_tail: true,
+            ops_since_snapshot: 0,
+        };
+        let snap = me.disk.read(&me.snapshot_path()).ok()?;
+        let (tenant, workspace, snap_seq, schema, undo, redo) = parse_snapshot(&snap)?;
+
+        let mut ops = Vec::new();
+        let mut truncated_tail = false;
+        let mut good_len = 0u64;
+        let mut last_seq = snap_seq;
+        if let Ok(journal) = me.disk.read(&me.journal_path()) {
+            let mut pos = 0usize;
+            let mut prev_seq: Option<u64> = None;
+            while pos < journal.len() {
+                let Some((seq, op, end)) = parse_record(&journal, pos) else {
+                    truncated_tail = true;
+                    break;
+                };
+                // Records must be consecutive; a gap means the file is
+                // not a history prefix and nothing after it is safe.
+                if prev_seq.is_some_and(|p| seq != p + 1) {
+                    truncated_tail = true;
+                    break;
+                }
+                prev_seq = Some(seq);
+                pos = end;
+                good_len = end as u64;
+                if seq == last_seq + 1 {
+                    // The next operation after everything known.
+                    ops.push(op);
+                    last_seq = seq;
+                }
+                // seq <= snap_seq: pre-snapshot record, skip (stale
+                // compaction leftovers). seq > last_seq + 1 cannot
+                // happen for the first record unless the snapshot is
+                // newer than the whole journal — then nothing replays.
+            }
+        }
+        Some(Recovered {
+            tenant,
+            workspace,
+            schema,
+            undo,
+            redo,
+            ops,
+            truncated_tail,
+            dir: WorkspaceDir {
+                seq: last_seq,
+                good_len,
+                dirty_tail: true, // anything past good_len is suspect
+                ops_since_snapshot: 0,
+                ..me
+            },
+        })
+    }
+}
+
+/// Parses and verifies a snapshot file. `None` on any damage.
+#[allow(clippy::type_complexity)]
+fn parse_snapshot(
+    bytes: &[u8],
+) -> Option<(String, String, u64, Schema, Vec<Schema>, Vec<Schema>)> {
+    let nl = bytes.iter().position(|&b| b == b'\n')?;
+    let header = std::str::from_utf8(&bytes[..nl]).ok()?;
+    let [magic, len, sum] = header.split(' ').collect::<Vec<_>>()[..] else {
+        return None;
+    };
+    if magic != SNAP_MAGIC {
+        return None;
+    }
+    let len: usize = len.parse().ok()?;
+    let body = bytes.get(nl + 1..)?;
+    if body.len() != len || fnv64(body) != u64::from_str_radix(sum, 16).ok()? {
+        return None;
+    }
+
+    let mut pos = 0usize;
+    let line = |pos: &mut usize| -> Option<&str> {
+        let rest = &body[*pos..];
+        let nl = rest.iter().position(|&b| b == b'\n')?;
+        *pos += nl + 1;
+        std::str::from_utf8(&rest[..nl]).ok()
+    };
+    let tenant = codec::unesc(line(&mut pos)?.strip_prefix("tenant ")?)?;
+    let workspace = codec::unesc(line(&mut pos)?.strip_prefix("workspace ")?)?;
+    let seq: u64 = line(&mut pos)?.strip_prefix("seq ")?.parse().ok()?;
+    let counts = line(&mut pos)?;
+    let (undo_n, redo_n) = counts.strip_prefix("undo ")?.split_once(" redo ")?;
+    let undo_n: usize = undo_n.parse().ok()?;
+    let redo_n: usize = redo_n.parse().ok()?;
+    if undo_n.max(redo_n) > 1_000_000 {
+        return None;
+    }
+
+    let mut schemas = Vec::with_capacity(1 + undo_n + redo_n);
+    for _ in 0..1 + undo_n + redo_n {
+        let n: usize = line(&mut pos)?.strip_prefix("schema ")?.parse().ok()?;
+        let block = body.get(pos..pos + n)?;
+        pos += n;
+        schemas.push(codec::decode_schema(block)?);
+    }
+    if pos != body.len() {
+        return None;
+    }
+    let mut it = schemas.into_iter();
+    let schema = it.next()?;
+    let undo: Vec<Schema> = it.by_ref().take(undo_n).collect();
+    let redo: Vec<Schema> = it.collect();
+    Some((tenant, workspace, seq, schema, undo, redo))
+}
+
+/// Parses and verifies one journal record at `pos`; returns the
+/// sequence number, the operation, and the offset just past the
+/// record. `None` on any damage.
+fn parse_record(journal: &[u8], pos: usize) -> Option<(u64, JournalOp, usize)> {
+    let rest = &journal[pos..];
+    let nl = rest.iter().position(|&b| b == b'\n')?;
+    let header = std::str::from_utf8(&rest[..nl]).ok()?;
+    let [tag, len, sum] = header.split(' ').collect::<Vec<_>>()[..] else {
+        return None;
+    };
+    if tag != "J" {
+        return None;
+    }
+    let len: usize = len.parse().ok()?;
+    let payload = rest.get(nl + 1..nl + 1 + len)?;
+    if rest.get(nl + 1 + len).copied() != Some(b'\n') {
+        return None;
+    }
+    if fnv64(payload) != u64::from_str_radix(sum, 16).ok()? {
+        return None;
+    }
+    let payload = std::str::from_utf8(payload).ok()?;
+    let (seq, op) = payload.split_once(' ')?;
+    let seq: u64 = seq.parse().ok()?;
+    Some((seq, JournalOp::decode(op)?, pos + nl + 1 + len + 1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::persist::fault::{self, DiskFaults};
+    use crate::syntax::{ClassFormula, SchemaBuilder};
+
+    fn scratch(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("car-journal-test-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn schema(extra: &str) -> Schema {
+        let mut b = SchemaBuilder::new();
+        let person = b.class("Person");
+        let x = b.class(extra);
+        b.define_class(x).isa(ClassFormula::class(person)).finish();
+        b.build().unwrap()
+    }
+
+    fn ops3() -> Vec<JournalOp> {
+        vec![
+            JournalOp::Apply(SchemaDelta::AddClass { name: "Fresh".into() }),
+            JournalOp::Undo,
+            JournalOp::Redo,
+        ]
+    }
+
+    #[test]
+    fn snapshot_and_journal_roundtrip() {
+        let dir = scratch("roundtrip");
+        let mut wd = WorkspaceDir::create(&dir, Disk::real()).unwrap();
+        let (s, u1, u2) = (schema("Current"), schema("OldA"), schema("OldB"));
+        wd.save_snapshot("acme corp", "main ws", &s, &[u1.clone(), u2.clone()], &[]).unwrap();
+        for op in &ops3() {
+            wd.append_op(op).unwrap();
+        }
+        assert_eq!(wd.ops_since_snapshot(), 3);
+
+        let r = WorkspaceDir::recover(&dir, Disk::real()).expect("recovers");
+        assert_eq!(r.tenant, "acme corp");
+        assert_eq!(r.workspace, "main ws");
+        assert_eq!(codec::encode_schema(&r.schema), codec::encode_schema(&s));
+        assert_eq!(r.undo.len(), 2);
+        assert_eq!(codec::encode_schema(&r.undo[1]), codec::encode_schema(&u2));
+        assert!(r.redo.is_empty());
+        assert_eq!(r.ops, ops3());
+        assert!(!r.truncated_tail);
+
+        // The recovered writer continues the sequence seamlessly.
+        let mut wd2 = r.dir;
+        wd2.append_op(&JournalOp::Undo).unwrap();
+        let r2 = WorkspaceDir::recover(&dir, Disk::real()).unwrap();
+        assert_eq!(r2.ops.len(), 4);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn damaged_journal_tail_replays_the_intact_prefix() {
+        let dir = scratch("tail");
+        let mut wd = WorkspaceDir::create(&dir, Disk::real()).unwrap();
+        wd.save_snapshot("t", "w", &schema("S"), &[], &[]).unwrap();
+        for op in &ops3() {
+            wd.append_op(op).unwrap();
+        }
+        let journal = dir.join("journal.log");
+        let full = std::fs::read(&journal).unwrap();
+
+        // Sweep every truncation point: replay always yields a prefix
+        // of the op list, never an error or a reordering.
+        for cut in 0..=full.len() {
+            std::fs::write(&journal, &full[..cut]).unwrap();
+            let r = WorkspaceDir::recover(&dir, Disk::real()).expect("snapshot intact");
+            assert!(r.ops.len() <= 3);
+            assert_eq!(r.ops[..], ops3()[..r.ops.len()], "prefix at cut {cut}");
+            assert_eq!(r.truncated_tail, !is_record_boundary(&full, cut), "cut {cut}");
+        }
+
+        // Sweep bit flips: same prefix property.
+        for off in 0..full.len() {
+            std::fs::write(&journal, &full).unwrap();
+            fault::flip_bit(&journal, off as u64, (off % 8) as u8).unwrap();
+            let r = WorkspaceDir::recover(&dir, Disk::real()).expect("snapshot intact");
+            assert_eq!(r.ops[..], ops3()[..r.ops.len()], "prefix at flip {off}");
+        }
+
+        // Garbage appended after valid records: prefix still replays.
+        std::fs::write(&journal, &full).unwrap();
+        fault::append_garbage(&journal, b"J 999 nonsense\n\x00\x01").unwrap();
+        let r = WorkspaceDir::recover(&dir, Disk::real()).unwrap();
+        assert_eq!(r.ops, ops3());
+        assert!(r.truncated_tail);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    fn is_record_boundary(full: &[u8], cut: usize) -> bool {
+        let mut pos = 0;
+        while pos < cut {
+            match parse_record(full, pos) {
+                Some((_, _, end)) => pos = end,
+                None => return false,
+            }
+        }
+        pos == cut
+    }
+
+    #[test]
+    fn corrupt_snapshot_means_unrecoverable_not_wrong() {
+        let dir = scratch("snapcorrupt");
+        let mut wd = WorkspaceDir::create(&dir, Disk::real()).unwrap();
+        wd.save_snapshot("t", "w", &schema("S"), &[schema("U")], &[schema("R")]).unwrap();
+        let snap = dir.join("snapshot.car");
+        let full = std::fs::read(&snap).unwrap();
+        for cut in (0..full.len()).step_by(11) {
+            std::fs::write(&snap, &full[..cut]).unwrap();
+            assert!(WorkspaceDir::recover(&dir, Disk::real()).is_none(), "cut {cut}");
+        }
+        for off in (0..full.len()).step_by(5) {
+            std::fs::write(&snap, &full).unwrap();
+            fault::flip_bit(&snap, off as u64, 2).unwrap();
+            assert!(WorkspaceDir::recover(&dir, Disk::real()).is_none(), "flip {off}");
+        }
+        std::fs::write(&snap, &full).unwrap();
+        assert!(WorkspaceDir::recover(&dir, Disk::real()).is_some());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn failed_append_repairs_tail_before_next_record() {
+        let dir = scratch("repair");
+        let faults = DiskFaults::new();
+        let mut wd = WorkspaceDir::create(&dir, Disk::faulty(faults.clone())).unwrap();
+        wd.save_snapshot("t", "w", &schema("S"), &[], &[]).unwrap();
+        wd.append_op(&ops3()[0]).unwrap();
+        faults.trip_after(0); // this append tears
+        assert!(wd.append_op(&ops3()[1]).is_err());
+        faults.disarm();
+        // Next append truncates the torn bytes first.
+        wd.append_op(&ops3()[2]).unwrap();
+        let r = WorkspaceDir::recover(&dir, Disk::real()).unwrap();
+        assert_eq!(r.ops, vec![ops3()[0].clone(), ops3()[2].clone()]);
+        assert!(!r.truncated_tail);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stale_journal_after_interrupted_compaction_is_skipped() {
+        let dir = scratch("stalecompact");
+        let faults = DiskFaults::new();
+        let mut wd = WorkspaceDir::create(&dir, Disk::faulty(faults.clone())).unwrap();
+        wd.save_snapshot("t", "w", &schema("S"), &[], &[]).unwrap();
+        for op in &ops3() {
+            wd.append_op(op).unwrap();
+        }
+        // Snapshot again, but the journal truncation step fails — the
+        // crash window between "snapshot published" and "journal
+        // compacted". write_atomic costs 2 ops (write + rename).
+        faults.trip_after(2);
+        wd.save_snapshot("t", "w", &schema("S2"), &[], &[]).unwrap();
+        faults.disarm();
+        assert!(std::fs::metadata(dir.join("journal.log")).unwrap().len() > 0);
+
+        let r = WorkspaceDir::recover(&dir, Disk::real()).unwrap();
+        assert_eq!(codec::encode_schema(&r.schema), codec::encode_schema(&schema("S2")));
+        assert!(r.ops.is_empty(), "pre-snapshot records are skipped");
+        assert!(!r.truncated_tail);
+
+        // And the recovered writer journals on without colliding.
+        let mut wd2 = r.dir;
+        wd2.append_op(&JournalOp::Undo).unwrap();
+        let r2 = WorkspaceDir::recover(&dir, Disk::real()).unwrap();
+        assert_eq!(r2.ops, vec![JournalOp::Undo]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,39 @@
+//! Crash-safe persistence: a durable content-addressed store for
+//! reasoning results, workspace snapshot/journal files, and a
+//! disk-fault injection layer (std `fs` only — no external crates).
+//!
+//! The subsystem follows one discipline end to end, mirroring the
+//! answer-preserving rules of the in-memory caches:
+//!
+//! * **Every durable artifact is self-verifying.** Store entries,
+//!   snapshots and journal records all carry a magic tag, explicit
+//!   lengths and an FNV-1a checksum; a reader validates all three
+//!   before trusting a single byte.
+//! * **A bad artifact is a miss, never an answer.** Corrupt or
+//!   half-written store entries are deleted and reported as cache
+//!   misses; a corrupt snapshot makes the workspace unrecoverable
+//!   (fresh start); a corrupt journal tail truncates replay to the
+//!   last intact prefix. No code path panics on hostile bytes and no
+//!   code path returns data that failed validation.
+//! * **Writes are atomic or harmless.** Store entries and snapshots
+//!   are written to a temp file and published with `rename`; journal
+//!   appends track the last known-good length and truncate a dirty
+//!   tail before the next append. A crash at any instant leaves
+//!   either the old artifact, the new artifact, or garbage that
+//!   validation rejects.
+//!
+//! Fault injection ([`fault::DiskFaults`]) wraps every filesystem
+//! primitive ([`disk::Disk`]) so tests can trip the k-th I/O
+//! operation, tear a write in half, or corrupt files directly, and
+//! assert the discipline above actually holds.
+
+pub mod codec;
+pub mod disk;
+pub mod fault;
+pub mod journal;
+pub mod store;
+
+pub use disk::Disk;
+pub use fault::DiskFaults;
+pub use journal::{JournalOp, Recovered, WorkspaceDir};
+pub use store::{DiskStore, SharedStore, StoreLimits, StoreStats};

@@ -1,0 +1,410 @@
+//! The durable content-addressed store backing both cache levels.
+//!
+//! One flat directory of hash-named entry files. Each entry embeds its
+//! full logical key plus a checksum, so the (non-cryptographic) name
+//! hash never has to be trusted: a lookup reads the file named by the
+//! key's hash and then verifies magic, lengths, checksum *and* the
+//! embedded key before returning a byte of payload. Anything that
+//! fails verification — torn write, truncation, bit rot, hash
+//! collision — is deleted and reported as a miss.
+//!
+//! Entries are published with write-to-temp + atomic rename
+//! ([`crate::persist::Disk::write_atomic`]) and the directory is kept
+//! under a byte budget by the same pin-aware LRU policy
+//! ([`crate::evict::LruPolicy`]) that bounds the in-memory caches.
+
+use super::codec::{fnv64, hash128_hex};
+use super::disk::Disk;
+use crate::evict::LruPolicy;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+use std::time::SystemTime;
+
+/// Magic tag of a store entry file.
+pub const ENTRY_MAGIC: &str = "CARSTORE1";
+/// Default byte budget (256 MiB).
+const DEFAULT_MAX_BYTES: u64 = 256 << 20;
+
+/// Size budget for a [`DiskStore`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StoreLimits {
+    /// Total bytes of entry files the store may keep; least-recently
+    /// used unpinned entries are deleted to stay under it.
+    pub max_bytes: u64,
+}
+
+impl Default for StoreLimits {
+    fn default() -> StoreLimits {
+        StoreLimits { max_bytes: DEFAULT_MAX_BYTES }
+    }
+}
+
+/// Monotonic counters describing a store's traffic.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Lookups that returned a verified payload.
+    pub hits: u64,
+    /// Lookups that found nothing (or an unreadable file).
+    pub misses: u64,
+    /// Entries written successfully.
+    pub puts: u64,
+    /// Entries that failed verification and were deleted.
+    pub corrupt_dropped: u64,
+    /// Writes that failed (fault, disk error); the store stays usable.
+    pub write_failures: u64,
+    /// Entries deleted by the size budget.
+    pub evicted: u64,
+}
+
+/// A shared handle to one store, used by every workspace of a process.
+pub type SharedStore = Arc<Mutex<DiskStore>>;
+
+/// The on-disk content-addressed store. Not internally synchronized —
+/// share it as a [`SharedStore`].
+#[derive(Debug)]
+pub struct DiskStore {
+    dir: PathBuf,
+    disk: Disk,
+    policy: LruPolicy,
+    stats: StoreStats,
+}
+
+impl DiskStore {
+    /// Opens (creating if needed) a store rooted at `dir`, scanning
+    /// existing entries into the eviction policy — oldest files
+    /// stalest — and sweeping leftover temp files from interrupted
+    /// writes.
+    ///
+    /// # Errors
+    /// Injected faults and filesystem errors while creating or
+    /// scanning the directory.
+    pub fn open(dir: &Path, limits: StoreLimits, disk: Disk) -> std::io::Result<DiskStore> {
+        disk.create_dir_all(dir)?;
+        let mut policy = LruPolicy::new(limits.max_bytes);
+        let mut found: Vec<(SystemTime, String, u64)> = Vec::new();
+        for path in disk.read_dir(dir)? {
+            let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+                continue;
+            };
+            if name.ends_with(".tmp") {
+                let _ = disk.remove(&path);
+                continue;
+            }
+            if !name.ends_with(".entry") {
+                continue;
+            }
+            let Ok(meta) = std::fs::metadata(&path) else {
+                continue;
+            };
+            let mtime = meta.modified().unwrap_or(SystemTime::UNIX_EPOCH);
+            found.push((mtime, name.to_owned(), meta.len()));
+        }
+        found.sort();
+        for (_, name, len) in found {
+            policy.insert(&name, len);
+        }
+        let mut store = DiskStore { dir: dir.to_owned(), disk, policy, stats: StoreStats::default() };
+        store.enforce_budget();
+        Ok(store)
+    }
+
+    /// Opens a store with the real filesystem (no fault injection).
+    ///
+    /// # Errors
+    /// As [`DiskStore::open`].
+    pub fn open_real(dir: &Path, limits: StoreLimits) -> std::io::Result<DiskStore> {
+        DiskStore::open(dir, limits, Disk::real())
+    }
+
+    fn file_name(key: &str) -> String {
+        format!("e{}.entry", hash128_hex(key.as_bytes()))
+    }
+
+    fn path_of(&self, name: &str) -> PathBuf {
+        self.dir.join(name)
+    }
+
+    /// Looks up `key`; returns the verified payload or `None` (a
+    /// miss). Corrupt entries are deleted on the way out. Never errors:
+    /// any I/O failure is a miss.
+    pub fn get(&mut self, key: &str) -> Option<Vec<u8>> {
+        let name = DiskStore::file_name(key);
+        let path = self.path_of(&name);
+        let Ok(bytes) = self.disk.read(&path) else {
+            self.stats.misses += 1;
+            return None;
+        };
+        match decode_entry(&bytes, key) {
+            Some(payload) => {
+                self.stats.hits += 1;
+                if !self.policy.touch(&name) {
+                    self.policy.insert(&name, bytes.len() as u64);
+                }
+                Some(payload)
+            }
+            None => {
+                self.stats.corrupt_dropped += 1;
+                self.stats.misses += 1;
+                self.policy.remove(&name);
+                let _ = std::fs::remove_file(&path);
+                None
+            }
+        }
+    }
+
+    /// Stores `payload` under `key`. Returns `false` (and leaves the
+    /// store consistent) when the write fails; a torn partial file, if
+    /// any, is swept immediately.
+    pub fn put(&mut self, key: &str, payload: &[u8]) -> bool {
+        let name = DiskStore::file_name(key);
+        let path = self.path_of(&name);
+        let bytes = encode_entry(key, payload);
+        match self.disk.write_atomic(&path, &bytes) {
+            Ok(()) => {
+                self.stats.puts += 1;
+                self.policy.insert(&name, bytes.len() as u64);
+                self.enforce_budget();
+                true
+            }
+            Err(_) => {
+                self.stats.write_failures += 1;
+                // A torn write may have left a partial file on the
+                // final path; validation would reject it anyway, but
+                // sweep it now so it cannot linger.
+                if !self.policy.contains(&name) {
+                    let _ = std::fs::remove_file(&path);
+                }
+                false
+            }
+        }
+    }
+
+    /// Pins `key` against eviction until [`DiskStore::unpin`].
+    pub fn pin(&mut self, key: &str) {
+        self.policy.pin(&DiskStore::file_name(key));
+    }
+
+    /// Releases one pin on `key`.
+    pub fn unpin(&mut self, key: &str) {
+        self.policy.unpin(&DiskStore::file_name(key));
+    }
+
+    /// `true` when an entry for `key` is tracked (it may still fail
+    /// verification when read).
+    #[must_use]
+    pub fn contains(&self, key: &str) -> bool {
+        self.policy.contains(&DiskStore::file_name(key))
+    }
+
+    /// Traffic counters.
+    #[must_use]
+    pub fn stats(&self) -> StoreStats {
+        self.stats
+    }
+
+    /// Total bytes of tracked entry files.
+    #[must_use]
+    pub fn total_bytes(&self) -> u64 {
+        self.policy.total_weight()
+    }
+
+    /// Number of tracked entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.policy.len()
+    }
+
+    /// `true` when the store tracks no entries.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.policy.is_empty()
+    }
+
+    /// The store's root directory.
+    #[must_use]
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn enforce_budget(&mut self) {
+        for name in self.policy.evict() {
+            self.stats.evicted += 1;
+            let _ = std::fs::remove_file(self.path_of(&name));
+        }
+    }
+}
+
+/// Builds the on-disk bytes of one entry:
+/// `CARSTORE1 <key_len> <payload_len> <fnv64 hex>\n<key><payload>`.
+#[must_use]
+pub fn encode_entry(key: &str, payload: &[u8]) -> Vec<u8> {
+    let mut content = Vec::with_capacity(key.len() + payload.len());
+    content.extend_from_slice(key.as_bytes());
+    content.extend_from_slice(payload);
+    let header = format!(
+        "{ENTRY_MAGIC} {} {} {:016x}\n",
+        key.len(),
+        payload.len(),
+        fnv64(&content)
+    );
+    let mut out = Vec::with_capacity(header.len() + content.len());
+    out.extend_from_slice(header.as_bytes());
+    out.extend_from_slice(&content);
+    out
+}
+
+/// Verifies one entry against `key` and returns its payload; `None`
+/// for any mismatch (wrong magic, lengths, checksum, or embedded key).
+#[must_use]
+pub fn decode_entry(bytes: &[u8], key: &str) -> Option<Vec<u8>> {
+    let nl = bytes.iter().position(|&b| b == b'\n')?;
+    let header = std::str::from_utf8(&bytes[..nl]).ok()?;
+    let fields: Vec<&str> = header.split(' ').collect();
+    let [magic, key_len, payload_len, sum] = fields.as_slice() else {
+        return None;
+    };
+    if *magic != ENTRY_MAGIC {
+        return None;
+    }
+    let key_len: usize = key_len.parse().ok()?;
+    let payload_len: usize = payload_len.parse().ok()?;
+    let sum = u64::from_str_radix(sum, 16).ok()?;
+    let content = &bytes[nl + 1..];
+    if content.len() != key_len.checked_add(payload_len)? {
+        return None;
+    }
+    if fnv64(content) != sum {
+        return None;
+    }
+    if &content[..key_len] != key.as_bytes() {
+        return None;
+    }
+    Some(content[key_len..].to_vec())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::persist::fault::{self, DiskFaults};
+
+    fn scratch(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("car-store-test-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn put_get_roundtrip_and_reopen() {
+        let dir = scratch("roundtrip");
+        let mut s = DiskStore::open_real(&dir, StoreLimits::default()).unwrap();
+        assert!(s.get("k1").is_none());
+        assert!(s.put("k1", b"payload one"));
+        assert!(s.put("k2", b""));
+        assert_eq!(s.get("k1").as_deref(), Some(&b"payload one"[..]));
+        assert_eq!(s.get("k2").as_deref(), Some(&b""[..]));
+        assert_eq!(s.stats().hits, 2);
+        drop(s);
+        // A fresh process sees the same entries.
+        let mut s = DiskStore::open_real(&dir, StoreLimits::default()).unwrap();
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.get("k1").as_deref(), Some(&b"payload one"[..]));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_entries_are_dropped_as_misses() {
+        let dir = scratch("corrupt");
+        let mut s = DiskStore::open_real(&dir, StoreLimits::default()).unwrap();
+        assert!(s.put("key", b"some payload bytes"));
+        let path = dir.join(DiskStore::file_name("key"));
+        // Sweep every truncation point and a bit flip at every 3rd byte.
+        let full = std::fs::read(&path).unwrap();
+        for cut in 0..full.len() {
+            std::fs::write(&path, &full[..cut]).unwrap();
+            assert!(s.get("key").is_none(), "truncated at {cut} must miss");
+            assert!(!path.exists(), "corrupt file deleted");
+            std::fs::write(&path, &full).unwrap();
+            s.policy.insert(&DiskStore::file_name("key"), full.len() as u64);
+        }
+        for off in (0..full.len()).step_by(3) {
+            std::fs::write(&path, &full).unwrap();
+            fault::flip_bit(&path, off as u64, (off % 8) as u8).unwrap();
+            // A flip that survives validation can only be cosmetic (e.g.
+            // checksum hex case); the payload is a miss or byte-exact.
+            match s.get("key") {
+                None => {}
+                Some(p) => assert_eq!(p, b"some payload bytes", "flip at {off}"),
+            }
+            std::fs::write(&path, &full).unwrap();
+            s.policy.insert(&DiskStore::file_name("key"), full.len() as u64);
+        }
+        // Undamaged entry still verifies.
+        assert_eq!(s.get("key").as_deref(), Some(&b"some payload bytes"[..]));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn wrong_key_under_colliding_name_is_a_miss() {
+        let entry = encode_entry("actual-key", b"data");
+        assert!(decode_entry(&entry, "other-key").is_none());
+        assert_eq!(decode_entry(&entry, "actual-key").as_deref(), Some(&b"data"[..]));
+    }
+
+    #[test]
+    fn size_budget_evicts_stalest_but_never_pinned() {
+        let dir = scratch("evict");
+        // Budget fits roughly two entries of ~120 bytes.
+        let mut s = DiskStore::open_real(&dir, StoreLimits { max_bytes: 260 }).unwrap();
+        assert!(s.put("a", &[b'a'; 60]));
+        s.pin("a");
+        assert!(s.put("b", &[b'b'; 60]));
+        assert!(s.put("c", &[b'c'; 60]));
+        // "a" is stalest but pinned; "b" went instead.
+        assert!(s.contains("a") && s.contains("c"));
+        assert!(!s.contains("b"));
+        assert!(s.get("b").is_none());
+        assert_eq!(s.get("a").unwrap(), vec![b'a'; 60]);
+        assert!(s.stats().evicted >= 1);
+        s.unpin("a");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn injected_faults_never_poison_the_store() {
+        let dir = scratch("faults");
+        let faults = DiskFaults::new();
+        let mut s =
+            DiskStore::open(&dir, StoreLimits::default(), Disk::faulty(faults.clone())).unwrap();
+        assert!(s.put("good", b"durable"));
+        for k in 0..6 {
+            faults.trip_after(k);
+            let _ = s.put("victim", b"may fail");
+            let _ = s.get("victim");
+            faults.disarm();
+        }
+        faults.set_torn_writes(true);
+        faults.trip_after(0);
+        assert!(!s.put("torn", b"this write tears in half"));
+        faults.disarm();
+        // Whatever the faults did, verified reads still work and the
+        // torn entry is a miss, not garbage.
+        assert!(s.get("torn").is_none());
+        assert_eq!(s.get("good").as_deref(), Some(&b"durable"[..]));
+        assert!(s.stats().write_failures >= 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn open_sweeps_temp_files() {
+        let dir = scratch("sweep");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("e123.entry.tmp"), b"half").unwrap();
+        std::fs::write(dir.join("junk.txt"), b"ignored").unwrap();
+        let s = DiskStore::open_real(&dir, StoreLimits::default()).unwrap();
+        assert!(!dir.join("e123.entry.tmp").exists());
+        assert!(dir.join("junk.txt").exists(), "foreign files untouched");
+        assert_eq!(s.len(), 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -28,11 +28,13 @@ pub mod service;
 
 use protocol::{err_response, parse_request, WireError};
 use service::{Service, ServerConfig};
+use std::collections::HashMap;
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 /// Result of reading one line-delimited frame.
 enum FrameRead {
@@ -151,12 +153,62 @@ fn handle_frame(raw: &[u8], service: &Service) -> String {
     }
 }
 
+/// The live-connection registry: lets a graceful shutdown half-close
+/// every active connection's read side (so in-flight requests finish
+/// and get their responses, then the connection sees EOF) and observe
+/// when all connection threads have drained.
+#[derive(Default)]
+struct ConnRegistry {
+    next: AtomicU64,
+    conns: Mutex<HashMap<u64, TcpStream>>,
+}
+
+impl ConnRegistry {
+    fn register(&self, stream: &TcpStream) -> Option<u64> {
+        let clone = stream.try_clone().ok()?;
+        let id = self.next.fetch_add(1, Ordering::Relaxed);
+        self.conns
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .insert(id, clone);
+        Some(id)
+    }
+
+    fn deregister(&self, id: u64) {
+        self.conns
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .remove(&id);
+    }
+
+    fn active(&self) -> usize {
+        self.conns.lock().unwrap_or_else(std::sync::PoisonError::into_inner).len()
+    }
+
+    fn half_close_all(&self) {
+        for conn in self
+            .conns
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .values()
+        {
+            let _ = conn.shutdown(std::net::Shutdown::Read);
+        }
+    }
+}
+
+/// How long [`Server::shutdown`] waits for in-flight connections to
+/// finish their current request after the read half-close.
+const DRAIN_TIMEOUT: Duration = Duration::from_secs(10);
+
 /// A running server: bound listener plus accept-loop thread. Dropping
-/// it does *not* stop the loop; call [`Server::stop`].
+/// it does *not* stop the loop; call [`Server::stop`] (abrupt) or
+/// [`Server::shutdown`] (graceful drain + snapshot).
 pub struct Server {
     addr: SocketAddr,
     service: Arc<Service>,
     stopping: Arc<AtomicBool>,
+    conns: Arc<ConnRegistry>,
     accept_thread: Option<JoinHandle<()>>,
 }
 
@@ -171,8 +223,10 @@ impl Server {
         let addr = listener.local_addr()?;
         let service = Arc::new(Service::new(config));
         let stopping = Arc::new(AtomicBool::new(false));
+        let conns = Arc::new(ConnRegistry::default());
         let accept_service = Arc::clone(&service);
         let accept_stopping = Arc::clone(&stopping);
+        let accept_conns = Arc::clone(&conns);
         let accept_thread = std::thread::spawn(move || {
             for stream in listener.incoming() {
                 if accept_stopping.load(Ordering::SeqCst) {
@@ -180,10 +234,17 @@ impl Server {
                 }
                 let Ok(stream) = stream else { continue };
                 let service = Arc::clone(&accept_service);
-                std::thread::spawn(move || serve_connection(stream, &service));
+                let conns = Arc::clone(&accept_conns);
+                std::thread::spawn(move || {
+                    let id = conns.register(&stream);
+                    serve_connection(stream, &service);
+                    if let Some(id) = id {
+                        conns.deregister(id);
+                    }
+                });
             }
         });
-        Ok(Server { addr, service, stopping, accept_thread: Some(accept_thread) })
+        Ok(Server { addr, service, stopping, conns, accept_thread: Some(accept_thread) })
     }
 
     /// The bound address (useful with ephemeral ports).
@@ -217,6 +278,33 @@ impl Server {
         if let Some(handle) = self.accept_thread.take() {
             let _ = handle.join();
         }
+    }
+
+    /// Graceful shutdown: stop accepting, half-close every active
+    /// connection's read side (in-flight requests finish and get their
+    /// responses; the next read sees EOF), wait for connection threads
+    /// to drain, then snapshot every workspace. Returns the number of
+    /// snapshots written.
+    ///
+    /// Contrast with [`Server::stop`], which abandons connections and
+    /// writes nothing — the crash-recovery tests use `stop` as the
+    /// "power cut" and `shutdown` as the clean exit.
+    pub fn shutdown(&mut self) -> u64 {
+        self.stop();
+        self.conns.half_close_all();
+        let deadline = Instant::now() + DRAIN_TIMEOUT;
+        while self.conns.active() > 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        self.service.snapshot_all()
+    }
+
+    /// Blocks until a remote `shutdown` request is accepted (which
+    /// requires `allow_remote_shutdown`), then drains gracefully.
+    /// Returns the number of snapshots written.
+    pub fn serve_until_shutdown(&mut self) -> u64 {
+        self.service.wait_shutdown();
+        self.shutdown()
     }
 }
 

@@ -24,6 +24,14 @@ OPTIONS:
   --bundle-cache-cap <n>    Cached analysis bundles per workspace (default 64)
   --cluster-cache-cap <n>   Cached cluster enumerations per workspace (default 4096)
   --threads <n>             Worker threads per reasoning pass (default 1)
+  --data-dir <path>         Durable state root: content-addressed enumeration store
+                            plus per-workspace snapshots and journals. On start,
+                            workspaces found there are recovered; without this flag
+                            the server is memory-only
+  --store-max-bytes <n>     Byte budget of the on-disk enumeration store
+                            (default 268435456)
+  --allow-remote-shutdown   Honor the 'shutdown' operation: drain in-flight work,
+                            snapshot every workspace, exit (default off)
   --help                    Show this help
 ";
 
@@ -52,6 +60,10 @@ fn parse_config(args: &[String]) -> (String, ServerConfig) {
                 std::process::exit(0)
             }
             "--addr" => addr = value(&mut i).to_owned(),
+            "--data-dir" => {
+                config.data_dir = Some(std::path::PathBuf::from(value(&mut i)));
+            }
+            "--allow-remote-shutdown" => config.allow_remote_shutdown = true,
             _ => {
                 let v = value(&mut i);
                 let n: u64 = v
@@ -67,6 +79,7 @@ fn parse_config(args: &[String]) -> (String, ServerConfig) {
                     "--max-pending" => config.quota.max_pending = n as usize,
                     "--max-workspaces" => config.quota.max_workspaces = n as usize,
                     "--max-frame-bytes" => config.max_frame_bytes = n as usize,
+                    "--store-max-bytes" => config.store_max_bytes = n,
                     "--undo-cap" => config.quota.workspace_limits.undo_cap = n as usize,
                     "--bundle-cache-cap" => {
                         config.quota.workspace_limits.bundle_cache_cap = n as usize;
@@ -94,6 +107,20 @@ fn main() {
         Ok(s) => s,
         Err(e) => fail(&format!("cannot bind {addr}: {e}")),
     };
+    let recovery = server.service().recovery_report();
+    if recovery.workspaces_recovered > 0 || recovery.dirs_skipped > 0 {
+        println!(
+            "car-server: recovered {} workspaces ({} journal ops replayed, \
+             {} truncated tails, {} unusable dirs skipped)",
+            recovery.workspaces_recovered,
+            recovery.ops_replayed,
+            recovery.truncated_tails,
+            recovery.dirs_skipped
+        );
+    }
     println!("car-server listening on {}", server.addr());
-    server.join();
+    // Blocks forever unless a remote shutdown arrives (which requires
+    // --allow-remote-shutdown); then drains and snapshots.
+    let snapshots = server.serve_until_shutdown();
+    println!("car-server: drained; {snapshots} workspace snapshots written");
 }

@@ -12,7 +12,8 @@
 //!
 //! Operations: `ping`, `open` (with `"schema"` DSL text and optional
 //! `"replace"`), `close`, `apply` (with `"deltas"`), `undo`, `redo`,
-//! `query` (with `"queries"`), `stats`, `list`.
+//! `query` (with `"queries"`), `stats`, `list`, and `shutdown`
+//! (honored only with `--allow-remote-shutdown`).
 //!
 //! Responses are `{"id":…,"ok":true,…}` or
 //! `{"id":…,"ok":false,"error":{"kind":…,"message":…,…}}`. A malformed
@@ -174,6 +175,11 @@ pub enum Request {
     },
     /// List this tenant's workspaces.
     List,
+    /// Ask the server to drain and exit gracefully (snapshotting every
+    /// workspace). Honored only when the operator started the server
+    /// with remote shutdown enabled; otherwise answered with
+    /// `forbidden`.
+    Shutdown,
 }
 
 /// A name-addressed [`SchemaDelta`] as it appears on the wire. Class
@@ -585,6 +591,7 @@ fn parse_request_body(frame: &Json) -> Result<Request, WireError> {
         }
         "stats" => Request::Stats { workspace: workspace_field(frame)? },
         "list" => Request::List,
+        "shutdown" => Request::Shutdown,
         other => return Err(WireError::bad_request(format!("unknown op '{other}'"))),
     })
 }

@@ -34,14 +34,17 @@ use crate::json::{obj, s, Json};
 use crate::protocol::{
     answer_json, ok_response, unknown_answer, Envelope, Request, WireError, WireQuery,
 };
+use car_core::persist::{codec, Disk};
 use car_core::{
-    Budget, BudgetLimits, ReasonerConfig, Workspace, WorkspaceLimits,
+    Budget, BudgetLimits, DiskStore, JournalOp, ReasonerConfig, SharedStore, StoreLimits,
+    Workspace, WorkspaceDir, WorkspaceLimits,
 };
 use car_parser::parse_schema;
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::num::NonZeroUsize;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
@@ -99,6 +102,16 @@ pub struct ServerConfig {
     pub max_frame_bytes: usize,
     /// Worker threads per reasoning pass.
     pub threads: NonZeroUsize,
+    /// Root of the durable state: the shared content-addressed
+    /// enumeration store plus per-workspace snapshots and journals.
+    /// `None` runs fully in memory (the pre-persistence behavior).
+    pub data_dir: Option<PathBuf>,
+    /// Byte budget of the on-disk enumeration store.
+    pub store_max_bytes: u64,
+    /// Whether the `shutdown` operation is honored. Off by default: a
+    /// remote peer should not be able to stop the server unless the
+    /// operator opted in.
+    pub allow_remote_shutdown: bool,
 }
 
 impl Default for ServerConfig {
@@ -107,9 +120,35 @@ impl Default for ServerConfig {
             quota: TenantQuota::default(),
             max_frame_bytes: 1 << 20,
             threads: NonZeroUsize::MIN,
+            data_dir: None,
+            store_max_bytes: StoreLimits::default().max_bytes,
+            allow_remote_shutdown: false,
         }
     }
 }
+
+/// What startup recovery found under the data directory.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Workspaces rebuilt from snapshot (+ journal replay).
+    pub workspaces_recovered: u64,
+    /// Journal operations replayed on top of snapshots.
+    pub ops_replayed: u64,
+    /// Journals whose torn/corrupt tail cut replay short (the verified
+    /// prefix was still replayed).
+    pub truncated_tails: u64,
+    /// Workspace directories with no usable snapshot; skipped. The
+    /// name becomes available again for a fresh `open`.
+    pub dirs_skipped: u64,
+    /// Replayed operations that failed to re-apply (replay of that
+    /// workspace stops at the failure; earlier ops are kept).
+    pub replay_failures: u64,
+}
+
+/// Journal compaction threshold: after this many operations since the
+/// last snapshot, the next journaled edit triggers a snapshot (which
+/// truncates the journal).
+const COMPACT_AFTER_OPS: u64 = 256;
 
 /// How long a follower waits for its leader before degrading. Far above
 /// any sane drain time (drains are budget-bounded); this is a hang
@@ -136,17 +175,34 @@ struct BatchQueue {
 }
 
 struct WsEntry {
+    tenant: String,
+    name: String,
     ws: Mutex<Workspace>,
     queue: Mutex<BatchQueue>,
     /// Bumped on every successful `apply`/`undo`/`redo`; lets clients
     /// correlate answers with schema versions.
     version: AtomicU64,
+    /// The workspace's durable home (snapshot + journal), when the
+    /// server has a data directory. Lock ordering: always taken *after*
+    /// the workspace lock, never the other way round.
+    dir: Option<Mutex<WorkspaceDir>>,
 }
 
 /// The shared, thread-safe service state: registry plus configuration.
 pub struct Service {
     config: ServerConfig,
     shards: Vec<Mutex<HashMap<WsKey, Arc<WsEntry>>>>,
+    /// Shared durable enumeration store, attached to every workspace.
+    store: Option<SharedStore>,
+    recovery: RecoveryReport,
+    /// Snapshot/journal writes that failed. The in-memory operation
+    /// still succeeded; only durability was lost (the next successful
+    /// snapshot re-covers the state).
+    durability_failures: AtomicU64,
+    /// Set by an (operator-enabled) `shutdown` request; the server
+    /// binary waits on this and then drains gracefully.
+    shutdown_flag: Mutex<bool>,
+    shutdown_ready: Condvar,
 }
 
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -156,19 +212,223 @@ struct WsKey {
 }
 
 impl Service {
-    /// A fresh service with no workspaces.
+    /// A fresh service. With a `data_dir` configured, this opens (or
+    /// creates) the durable store and recovers every workspace found
+    /// under `data_dir/workspaces` from its snapshot and journal; any
+    /// damaged artifact degrades to "not recovered", never to a wrong
+    /// answer or a panic.
     #[must_use]
     pub fn new(config: ServerConfig) -> Service {
-        Service {
+        let mut service = Service {
             config,
             shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            store: None,
+            recovery: RecoveryReport::default(),
+            durability_failures: AtomicU64::new(0),
+            shutdown_flag: Mutex::new(false),
+            shutdown_ready: Condvar::new(),
+        };
+        if let Some(data_dir) = service.config.data_dir.clone() {
+            match DiskStore::open_real(
+                &data_dir.join("store"),
+                StoreLimits { max_bytes: service.config.store_max_bytes },
+            ) {
+                Ok(store) => service.store = Some(Arc::new(Mutex::new(store))),
+                Err(e) => {
+                    eprintln!(
+                        "car-server: cannot open store under {}: {e}; running without one",
+                        data_dir.display()
+                    );
+                }
+            }
+            service.recovery = service.recover_workspaces(&data_dir);
         }
+        service
     }
 
     /// The active configuration.
     #[must_use]
     pub fn config(&self) -> &ServerConfig {
         &self.config
+    }
+
+    /// What startup recovery found (all zeroes without a data dir).
+    #[must_use]
+    pub fn recovery_report(&self) -> RecoveryReport {
+        self.recovery
+    }
+
+    /// Snapshot/journal writes that failed so far.
+    #[must_use]
+    pub fn durability_failures(&self) -> u64 {
+        self.durability_failures.load(Ordering::Relaxed)
+    }
+
+    /// `true` once a `shutdown` request was accepted.
+    #[must_use]
+    pub fn shutdown_requested(&self) -> bool {
+        *self.shutdown_flag.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Blocks until a `shutdown` request is accepted.
+    pub fn wait_shutdown(&self) {
+        let mut flag =
+            self.shutdown_flag.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        while !*flag {
+            flag = self
+                .shutdown_ready
+                .wait(flag)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+
+    fn request_shutdown(&self) {
+        *self.shutdown_flag.lock().unwrap_or_else(std::sync::PoisonError::into_inner) = true;
+        self.shutdown_ready.notify_all();
+    }
+
+    /// The reasoning configuration every workspace runs under.
+    fn reasoner_config(&self) -> ReasonerConfig {
+        ReasonerConfig {
+            threads: self.config.threads,
+            budget: self.config.quota.budget(),
+            ..ReasonerConfig::default()
+        }
+    }
+
+    /// The durable home of one workspace.
+    fn workspace_dir_path(&self, tenant: &str, workspace: &str) -> Option<PathBuf> {
+        self.config.data_dir.as_ref().map(|root| {
+            root.join("workspaces").join(codec::esc(tenant)).join(codec::esc(workspace))
+        })
+    }
+
+    /// Scans `data_dir/workspaces` and rebuilds every recoverable
+    /// workspace: snapshot state, then replay of the journal's verified
+    /// prefix through the normal [`Workspace`] edit path.
+    fn recover_workspaces(&self, data_dir: &Path) -> RecoveryReport {
+        let mut report = RecoveryReport::default();
+        let root = data_dir.join("workspaces");
+        let tenants = match std::fs::read_dir(&root) {
+            Ok(entries) => entries,
+            Err(_) => return report, // nothing persisted yet
+        };
+        for tenant_dir in tenants.flatten() {
+            let Ok(workspaces) = std::fs::read_dir(tenant_dir.path()) else { continue };
+            for ws_dir in workspaces.flatten() {
+                let Some(rec) = WorkspaceDir::recover(&ws_dir.path(), Disk::real()) else {
+                    report.dirs_skipped += 1;
+                    continue;
+                };
+                let mut ws = Workspace::restore(
+                    rec.schema,
+                    rec.undo,
+                    rec.redo,
+                    self.reasoner_config(),
+                    self.config.quota.workspace_limits,
+                );
+                if let Some(store) = &self.store {
+                    ws.set_store(Arc::clone(store));
+                }
+                for op in &rec.ops {
+                    let ok = match op {
+                        JournalOp::Apply(delta) => ws.apply(delta).is_ok(),
+                        JournalOp::Undo => {
+                            ws.undo();
+                            true
+                        }
+                        JournalOp::Redo => {
+                            ws.redo();
+                            true
+                        }
+                    };
+                    if !ok {
+                        report.replay_failures += 1;
+                        break;
+                    }
+                    report.ops_replayed += 1;
+                }
+                report.truncated_tails += u64::from(rec.truncated_tail);
+                report.workspaces_recovered += 1;
+                let key = WsKey {
+                    tenant: rec.tenant.clone(),
+                    workspace: rec.workspace.clone(),
+                };
+                let entry = Arc::new(WsEntry {
+                    tenant: rec.tenant,
+                    name: rec.workspace,
+                    ws: Mutex::new(ws),
+                    queue: Mutex::new(BatchQueue { pending: Vec::new(), draining: false }),
+                    version: AtomicU64::new(rec.ops.len() as u64),
+                    dir: Some(Mutex::new(rec.dir)),
+                });
+                self.shard(&key)
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .insert(key, entry);
+            }
+        }
+        report
+    }
+
+    /// Snapshots every workspace (compacting its journal). Returns how
+    /// many snapshots were written; failures bump
+    /// [`Self::durability_failures`] and leave prior snapshots intact.
+    pub fn snapshot_all(&self) -> u64 {
+        let mut written = 0;
+        for shard in &self.shards {
+            let entries: Vec<Arc<WsEntry>> = shard
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .values()
+                .cloned()
+                .collect();
+            for entry in entries {
+                let ws = entry.ws.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+                if self.snapshot_entry(&entry, &ws) {
+                    written += 1;
+                }
+            }
+        }
+        written
+    }
+
+    /// Writes one workspace's snapshot (caller holds the ws lock).
+    /// Returns `false` when the entry has no durable home or the write
+    /// failed.
+    fn snapshot_entry(&self, entry: &WsEntry, ws: &Workspace) -> bool {
+        let Some(dir) = &entry.dir else { return false };
+        let mut dir = dir.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        let saved = dir
+            .save_snapshot(
+                &entry.tenant,
+                &entry.name,
+                ws.schema(),
+                ws.undo_stack(),
+                ws.redo_stack(),
+            )
+            .is_ok();
+        if !saved {
+            self.durability_failures.fetch_add(1, Ordering::Relaxed);
+        }
+        saved
+    }
+
+    /// Journals one operation on a workspace (caller holds the ws
+    /// lock), compacting when the journal has grown enough. Append
+    /// failures only cost durability.
+    fn journal_op(&self, entry: &WsEntry, ws: &Workspace, op: &JournalOp) {
+        let Some(dir) = &entry.dir else { return };
+        let needs_compaction = {
+            let mut dir = dir.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+            if dir.append_op(op).is_err() {
+                self.durability_failures.fetch_add(1, Ordering::Relaxed);
+            }
+            dir.ops_since_snapshot() >= COMPACT_AFTER_OPS
+        };
+        if needs_compaction {
+            self.snapshot_entry(entry, ws);
+        }
     }
 
     fn shard(&self, key: &WsKey) -> &Mutex<HashMap<WsKey, Arc<WsEntry>>> {
@@ -224,6 +484,19 @@ impl Service {
             }
             Request::Stats { workspace } => self.stats(envelope, &workspace),
             Request::List => self.list(envelope),
+            Request::Shutdown => {
+                if !self.config.allow_remote_shutdown {
+                    return crate::protocol::err_response(
+                        id,
+                        &WireError::new(
+                            "forbidden",
+                            "shutdown is disabled (start with --allow-remote-shutdown)",
+                        ),
+                    );
+                }
+                self.request_shutdown();
+                ok_response(id, vec![("shutting_down", Json::Bool(true))])
+            }
         }
     }
 
@@ -240,12 +513,14 @@ impl Service {
             Err(e) => return crate::protocol::err_response(id, &WireError::from(&e)),
         };
         let num_classes = schema.num_classes();
-        let config = ReasonerConfig {
-            threads: self.config.threads,
-            budget: self.config.quota.budget(),
-            ..ReasonerConfig::default()
-        };
-        let ws = Workspace::with_limits(schema, config, self.config.quota.workspace_limits);
+        let mut ws = Workspace::with_limits(
+            schema,
+            self.reasoner_config(),
+            self.config.quota.workspace_limits,
+        );
+        if let Some(store) = &self.store {
+            ws.set_store(Arc::clone(store));
+        }
         let key =
             WsKey { tenant: envelope.tenant.clone(), workspace: workspace.to_owned() };
 
@@ -278,10 +553,32 @@ impl Service {
             );
         }
 
+        // Give the workspace its durable home and snapshot immediately,
+        // so a crash right after `open` recovers it. A failure here
+        // leaves the workspace memory-only for its lifetime.
+        let dir = self.workspace_dir_path(&envelope.tenant, workspace).and_then(|path| {
+            let mut dir = match WorkspaceDir::create(&path, Disk::real()) {
+                Ok(d) => d,
+                Err(_) => {
+                    self.durability_failures.fetch_add(1, Ordering::Relaxed);
+                    return None;
+                }
+            };
+            if dir
+                .save_snapshot(&envelope.tenant, workspace, ws.schema(), &[], &[])
+                .is_err()
+            {
+                self.durability_failures.fetch_add(1, Ordering::Relaxed);
+            }
+            Some(Mutex::new(dir))
+        });
         let entry = Arc::new(WsEntry {
+            tenant: envelope.tenant.clone(),
+            name: workspace.to_owned(),
             ws: Mutex::new(ws),
             queue: Mutex::new(BatchQueue { pending: Vec::new(), draining: false }),
             version: AtomicU64::new(0),
+            dir,
         });
         self.shard(&key)
             .lock()
@@ -307,6 +604,11 @@ impl Service {
             .remove(&key)
             .is_some();
         if removed {
+            // A closed workspace is gone for good; its durable state
+            // must not resurrect it on the next restart.
+            if let Some(path) = self.workspace_dir_path(&envelope.tenant, workspace) {
+                let _ = std::fs::remove_dir_all(path);
+            }
             ok_response(envelope.id, vec![("closed", s(workspace))])
         } else {
             crate::protocol::err_response(
@@ -345,6 +647,9 @@ impl Service {
                     &WireError::from(&e),
                 );
             }
+            // Journal only what actually applied; a crash replays
+            // exactly this sequence through the same edit path.
+            self.journal_op(&entry, &ws, &JournalOp::Apply(resolved));
             applied += 1;
         }
         let version = if applied > 0 {
@@ -392,6 +697,13 @@ impl Service {
         };
         let mut ws = entry.ws.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         let moved = if undo { ws.undo() } else { ws.redo() };
+        if moved {
+            self.journal_op(
+                &entry,
+                &ws,
+                if undo { &JournalOp::Undo } else { &JournalOp::Redo },
+            );
+        }
         drop(ws);
         let version = if moved {
             entry.version.fetch_add(1, Ordering::Relaxed) + 1
@@ -413,18 +725,28 @@ impl Service {
         let stats = ws.stats();
         let classes = ws.schema().num_classes();
         drop(ws);
-        ok_response(
-            envelope.id,
-            vec![
-                ("version", Json::UInt(entry.version.load(Ordering::Relaxed))),
-                ("classes", Json::UInt(classes as u64)),
-                ("bundle_hits", Json::UInt(stats.bundle_hits)),
-                ("bundle_misses", Json::UInt(stats.bundle_misses)),
-                ("clusters_reused", Json::UInt(stats.clusters_reused)),
-                ("clusters_rebuilt", Json::UInt(stats.clusters_rebuilt)),
-                ("edits_applied", Json::UInt(stats.edits_applied)),
-            ],
-        )
+        let journal_ops = entry.dir.as_ref().map(|dir| {
+            dir.lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .ops_since_snapshot()
+        });
+        let mut fields = vec![
+            ("version", Json::UInt(entry.version.load(Ordering::Relaxed))),
+            ("classes", Json::UInt(classes as u64)),
+            ("bundle_hits", Json::UInt(stats.bundle_hits)),
+            ("bundle_misses", Json::UInt(stats.bundle_misses)),
+            ("clusters_reused", Json::UInt(stats.clusters_reused)),
+            ("clusters_rebuilt", Json::UInt(stats.clusters_rebuilt)),
+            ("edits_applied", Json::UInt(stats.edits_applied)),
+            ("disk_cluster_hits", Json::UInt(stats.disk_cluster_hits)),
+            ("disk_ccs_hits", Json::UInt(stats.disk_ccs_hits)),
+            ("disk_writes", Json::UInt(stats.disk_writes)),
+            ("disk_write_failures", Json::UInt(stats.disk_write_failures)),
+        ];
+        if let Some(ops) = journal_ops {
+            fields.push(("journal_ops_since_snapshot", Json::UInt(ops)));
+        }
+        ok_response(envelope.id, fields)
     }
 
     fn list(&self, envelope: &Envelope) -> String {

@@ -1,0 +1,603 @@
+//! Crash-recovery sweeps for the persistence subsystem.
+//!
+//! The durable tier's contract is the disk twin of the budget-trip
+//! contract in `fault_injection.rs`: damage or I/O failure at *any*
+//! point must degrade to a cache miss or a shorter replay prefix —
+//! never a panic, a wrong answer, or a poisoned store. These tests
+//! sweep systematically rather than spot-check:
+//!
+//! 1. **store entries** — every truncation point and every single-bit
+//!    flip of an on-disk entry either round-trips byte-exactly (benign
+//!    damage, e.g. hex-case flips in the checksum field) or reads back
+//!    as a miss;
+//! 2. **journal tails** — every truncation point and bit flip of a
+//!    journal yields replay of a verified *prefix* of the written
+//!    operations, and replaying that prefix reconstructs exactly the
+//!    shadow state after the same prefix of live edits;
+//! 3. **snapshots** — a damaged snapshot either recovers the identical
+//!    state or refuses to recover at all;
+//! 4. **injected syscall faults** — tripping the k-th disk operation
+//!    of a snapshot/journal/store workload (clean or torn) leaves a
+//!    directory that recovers to a prefix of the acknowledged history;
+//! 5. **warm restart** — recovery plus the shared store answers the
+//!    full query matrix bit-identically to the pre-crash session with
+//!    zero cluster re-enumerations;
+//! 6. **eviction under pressure** — pinned (in-use) entries are never
+//!    evicted, in the unified policy and in the on-disk store.
+//!
+//! `CAR_SLOW_TESTS=1` densifies the damage grids (every byte offset /
+//! every truncation point); the default run strides through them.
+
+use car::core::evict::LruPolicy;
+use car::core::incremental::{SchemaDelta, Workspace, WorkspaceLimits};
+use car::core::persist::{
+    codec, fault, Disk, DiskFaults, DiskStore, JournalOp, SharedStore, StoreLimits, WorkspaceDir,
+};
+use car::core::reasoner::{ReasonerConfig, Strategy};
+use car::core::syntax::{AttRef, Card, ClassFormula, SchemaBuilder};
+use car::core::Schema;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+
+fn slow() -> bool {
+    std::env::var("CAR_SLOW_TESTS").map(|v| v == "1").unwrap_or(false)
+}
+
+/// Stride for byte-level damage sweeps: 1 under `CAR_SLOW_TESTS`.
+fn stride(len: usize) -> usize {
+    if slow() {
+        1
+    } else {
+        (len / 64).max(1)
+    }
+}
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("car-persist-it-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn shared_store(dir: &Path) -> SharedStore {
+    Arc::new(Mutex::new(DiskStore::open_real(dir, StoreLimits::default()).unwrap()))
+}
+
+fn preselect() -> ReasonerConfig {
+    ReasonerConfig { strategy: Strategy::Preselect, ..ReasonerConfig::default() }
+}
+
+/// Two independent components (so Preselect forms several clusters):
+/// the university fragment from the paper plus a disjoint building
+/// hierarchy.
+fn campus() -> Schema {
+    let mut b = SchemaBuilder::new();
+    let person = b.class("Person");
+    let professor = b.class("Professor");
+    let student = b.class("Student");
+    let grad = b.class("Grad_Student");
+    let course = b.class("Course");
+    let building = b.class("Building");
+    let office = b.class("Office");
+    let lab = b.class("Lab");
+    let taught_by = b.attribute("taught_by");
+    b.define_class(professor).isa(ClassFormula::class(person)).finish();
+    b.define_class(student)
+        .isa(ClassFormula::class(person).and(ClassFormula::neg_class(professor)))
+        .finish();
+    b.define_class(grad).isa(ClassFormula::class(student)).finish();
+    b.define_class(course)
+        .isa(ClassFormula::neg_class(person))
+        .attr(
+            AttRef::Direct(taught_by),
+            Card::exactly(1),
+            ClassFormula::union_of([professor, grad]),
+        )
+        .finish();
+    b.define_class(office).isa(ClassFormula::class(building)).finish();
+    b.define_class(lab)
+        .isa(ClassFormula::class(building).and(ClassFormula::neg_class(office)))
+        .finish();
+    b.build().unwrap()
+}
+
+/// The full query matrix as one comparable answer vector. Equality of
+/// two vectors is the "bit-identical answers" acceptance criterion.
+fn answers(ws: &mut Workspace) -> Vec<(String, String)> {
+    let schema = ws.schema().clone();
+    let mut out = Vec::new();
+    for c in schema.symbols().class_ids() {
+        out.push((
+            format!("sat {}", schema.class_name(c)),
+            format!("{:?}", ws.try_is_satisfiable(c)),
+        ));
+    }
+    for c1 in schema.symbols().class_ids() {
+        for c2 in schema.symbols().class_ids() {
+            let pair = format!("{} {}", schema.class_name(c1), schema.class_name(c2));
+            out.push((format!("sub {pair}"), format!("{:?}", ws.try_subsumes(c1, c2))));
+            out.push((format!("dis {pair}"), format!("{:?}", ws.try_disjoint(c1, c2))));
+        }
+    }
+    out
+}
+
+/// A canonical fingerprint of a workspace's full editable state.
+fn state_fingerprint(ws: &Workspace) -> Vec<Vec<u8>> {
+    std::iter::once(ws.schema())
+        .chain(ws.undo_stack())
+        .chain(ws.redo_stack())
+        .map(codec::encode_schema)
+        .collect()
+}
+
+/// The edit script journaled by every journal/fault test, exercising
+/// apply, undo and redo.
+fn edit_script() -> Vec<JournalOp> {
+    let mut ops: Vec<JournalOp> = Vec::new();
+    for i in 0..4 {
+        ops.push(JournalOp::Apply(SchemaDelta::AddClass { name: format!("Extra{i}") }));
+    }
+    ops.push(JournalOp::Undo);
+    ops.push(JournalOp::Undo);
+    ops.push(JournalOp::Redo);
+    ops.push(JournalOp::Apply(SchemaDelta::RemoveClass { name: "Extra2".into() }));
+    ops.push(JournalOp::Apply(SchemaDelta::AddClass { name: "Late".into() }));
+    ops
+}
+
+/// Applies a journal prefix to a fresh workspace over `base`, exactly
+/// as live editing (and server-side replay) would.
+fn replay(base: &Schema, ops: &[JournalOp]) -> Workspace {
+    let mut ws = Workspace::new(base.clone(), preselect());
+    for op in ops {
+        match op {
+            JournalOp::Apply(delta) => ws.apply(delta).unwrap(),
+            JournalOp::Undo => {
+                ws.undo();
+            }
+            JournalOp::Redo => {
+                ws.redo();
+            }
+        }
+    }
+    ws
+}
+
+// -------------------------------------------------------------------
+// 1. Store entry damage sweeps
+// -------------------------------------------------------------------
+
+const KEY: &str = "sweep\ntest-key";
+const PAYLOAD: &[u8] = b"model 0 1 3\nmodel 2\nend\nopaque trailing bytes \xff\x00\x7f";
+
+/// The single `.entry` file under `dir`.
+fn entry_file(dir: &Path) -> PathBuf {
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|x| x == "entry"))
+        .collect();
+    assert_eq!(entries.len(), 1, "expected exactly one store entry in {dir:?}");
+    entries.pop().unwrap()
+}
+
+fn fresh_entry(name: &str) -> (PathBuf, PathBuf) {
+    let dir = scratch(name);
+    let mut store = DiskStore::open_real(&dir, StoreLimits::default()).unwrap();
+    assert!(store.put(KEY, PAYLOAD));
+    let file = entry_file(&dir);
+    (dir, file)
+}
+
+#[test]
+fn store_truncation_sweep_is_miss_or_exact() {
+    let (dir, file) = fresh_entry("trunc");
+    let len = std::fs::metadata(&file).unwrap().len();
+    for cut in (0..len).step_by(stride(len as usize)) {
+        // Re-put: the previous iteration's read deleted the corrupt file.
+        let mut store = DiskStore::open_real(&dir, StoreLimits::default()).unwrap();
+        if store.get(KEY).is_none() {
+            assert!(store.put(KEY, PAYLOAD));
+        }
+        fault::truncate_file(&file, cut).unwrap();
+        let mut reopened = DiskStore::open_real(&dir, StoreLimits::default()).unwrap();
+        match reopened.get(KEY) {
+            None => {}
+            Some(bytes) => panic!("truncation at {cut}/{len} returned {} bytes", bytes.len()),
+        }
+        // The corrupt file must be gone, not poisoning later reads.
+        assert!(!file.exists(), "corrupt entry not deleted at cut {cut}");
+    }
+}
+
+#[test]
+fn store_bitflip_sweep_never_returns_wrong_bytes() {
+    let (dir, file) = fresh_entry("flip");
+    let len = std::fs::metadata(&file).unwrap().len() as usize;
+    for offset in (0..len).step_by(stride(len)) {
+        for bit in [0u8, 5, 7] {
+            let mut store = DiskStore::open_real(&dir, StoreLimits::default()).unwrap();
+            if store.get(KEY).is_none() {
+                assert!(store.put(KEY, PAYLOAD));
+            }
+            fault::flip_bit(&file, offset as u64, bit).unwrap();
+            let mut reopened = DiskStore::open_real(&dir, StoreLimits::default()).unwrap();
+            match reopened.get(KEY) {
+                // A flip in e.g. the hex case of the checksum field is
+                // benign; anything else must be a miss. Different bytes
+                // are never acceptable.
+                None => {
+                    // Un-flip for the next iteration's exactness check.
+                    let _ = fault::flip_bit(&file, offset as u64, bit);
+                }
+                Some(bytes) => assert_eq!(
+                    bytes, PAYLOAD,
+                    "flip at byte {offset} bit {bit} returned wrong payload"
+                ),
+            }
+        }
+    }
+}
+
+#[test]
+fn store_garbage_tail_is_rejected() {
+    let (dir, file) = fresh_entry("tail");
+    fault::append_garbage(&file, b"\x00\xffgarbage past the declared length").unwrap();
+    let mut store = DiskStore::open_real(&dir, StoreLimits::default()).unwrap();
+    assert_eq!(store.get(KEY), None, "entry with trailing garbage must be a miss");
+}
+
+// -------------------------------------------------------------------
+// 2. Journal tail sweeps vs prefix shadow states
+// -------------------------------------------------------------------
+
+/// Writes snapshot + full edit script, returns the directory and the
+/// pristine journal bytes.
+fn journaled_dir(name: &str) -> (PathBuf, Vec<u8>, Vec<JournalOp>) {
+    let dir = scratch(name);
+    let mut wd = WorkspaceDir::create(&dir, Disk::real()).unwrap();
+    let base = campus();
+    wd.save_snapshot("t", "w", &base, &[], &[]).unwrap();
+    let script = edit_script();
+    for op in &script {
+        wd.append_op(op).unwrap();
+    }
+    let journal = std::fs::read(dir.join("journal.log")).unwrap();
+    (dir, journal, script)
+}
+
+/// Recovery of a (possibly damaged) journal must yield a verified
+/// *prefix* of `script`, and replaying it must reproduce the shadow
+/// state after that same prefix.
+fn assert_prefix_recovery(dir: &Path, script: &[JournalOp], context: &str) {
+    let rec = WorkspaceDir::recover(dir, Disk::real())
+        .unwrap_or_else(|| panic!("{context}: snapshot untouched, must recover"));
+    let n = rec.ops.len();
+    assert!(n <= script.len(), "{context}: replayed {n} ops, wrote {}", script.len());
+    assert_eq!(rec.ops, script[..n], "{context}: replay is not a prefix of history");
+    let mut recovered = Workspace::restore(
+        rec.schema,
+        rec.undo,
+        rec.redo,
+        preselect(),
+        WorkspaceLimits::default(),
+    );
+    for op in &rec.ops {
+        match op {
+            JournalOp::Apply(delta) => recovered.apply(delta).unwrap(),
+            JournalOp::Undo => {
+                recovered.undo();
+            }
+            JournalOp::Redo => {
+                recovered.redo();
+            }
+        }
+    }
+    let shadow = replay(&campus(), &script[..n]);
+    assert_eq!(
+        state_fingerprint(&recovered),
+        state_fingerprint(&shadow),
+        "{context}: recovered state diverges from the prefix shadow"
+    );
+}
+
+#[test]
+fn journal_truncation_sweep_replays_a_prefix() {
+    let (dir, journal, script) = journaled_dir("jtrunc");
+    let path = dir.join("journal.log");
+    for cut in (0..=journal.len()).rev().step_by(stride(journal.len())) {
+        std::fs::write(&path, &journal[..cut]).unwrap();
+        assert_prefix_recovery(&dir, &script, &format!("truncate journal to {cut}"));
+    }
+    // The empty journal recovers the bare snapshot.
+    std::fs::write(&path, b"").unwrap();
+    let rec = WorkspaceDir::recover(&dir, Disk::real()).unwrap();
+    assert!(rec.ops.is_empty());
+    assert!(!rec.truncated_tail);
+}
+
+#[test]
+fn journal_bitflip_sweep_replays_a_prefix() {
+    let (dir, journal, script) = journaled_dir("jflip");
+    let path = dir.join("journal.log");
+    for offset in (0..journal.len()).step_by(stride(journal.len())) {
+        for bit in [0u8, 5] {
+            let mut damaged = journal.clone();
+            damaged[offset] ^= 1 << bit;
+            std::fs::write(&path, &damaged).unwrap();
+            assert_prefix_recovery(&dir, &script, &format!("flip byte {offset} bit {bit}"));
+        }
+    }
+}
+
+#[test]
+fn journal_garbage_tail_truncates_replay() {
+    let (dir, journal, script) = journaled_dir("jtail");
+    let path = dir.join("journal.log");
+    fault::append_garbage(&path, b"J 99 0123456789abcdef\ntorn frame never finishe").unwrap();
+    let rec = WorkspaceDir::recover(&dir, Disk::real()).unwrap();
+    assert_eq!(rec.ops, script, "intact frames before the garbage must all replay");
+    assert!(rec.truncated_tail, "the torn tail must be reported");
+    drop(rec);
+    std::fs::write(&path, &journal).unwrap();
+    assert_prefix_recovery(&dir, &script, "restored journal");
+}
+
+// -------------------------------------------------------------------
+// 3. Snapshot damage
+// -------------------------------------------------------------------
+
+#[test]
+fn snapshot_damage_recovers_identically_or_not_at_all() {
+    let (dir, _journal, script) = journaled_dir("snapdmg");
+    let path = dir.join("snapshot.car");
+    let pristine = std::fs::read(&path).unwrap();
+    let reference = WorkspaceDir::recover(&dir, Disk::real()).unwrap();
+    let reference_fp = codec::encode_schema(&reference.schema);
+    drop(reference);
+
+    for cut in (0..pristine.len()).step_by(stride(pristine.len())) {
+        std::fs::write(&path, &pristine[..cut]).unwrap();
+        assert!(
+            WorkspaceDir::recover(&dir, Disk::real()).is_none(),
+            "snapshot truncated to {cut} bytes must not recover"
+        );
+    }
+    for offset in (0..pristine.len()).step_by(stride(pristine.len())) {
+        let mut damaged = pristine.clone();
+        damaged[offset] ^= 1 << 2;
+        std::fs::write(&path, &damaged).unwrap();
+        match WorkspaceDir::recover(&dir, Disk::real()) {
+            None => {}
+            Some(rec) => {
+                assert_eq!(
+                    codec::encode_schema(&rec.schema),
+                    reference_fp,
+                    "flip at byte {offset}: recovered a different schema"
+                );
+                assert_eq!(rec.ops, script, "flip at byte {offset}: different replay");
+            }
+        }
+    }
+}
+
+// -------------------------------------------------------------------
+// 4. Injected syscall faults over a persistence workload
+// -------------------------------------------------------------------
+
+/// One full persistence workload against a possibly-faulty disk:
+/// snapshot, journal the edit script (tracking which appends were
+/// acknowledged), and push store traffic through the same fault plan.
+/// Returns `None` when even the initial snapshot failed.
+fn faulty_workload(dir: &Path, disk: &Disk) -> Option<Vec<JournalOp>> {
+    let mut wd = WorkspaceDir::create(dir, disk.clone()).ok()?;
+    let base = campus();
+    wd.save_snapshot("t", "w", &base, &[], &[]).ok()?;
+    let mut acked = Vec::new();
+    let mut store = DiskStore::open(&dir.join("store"), StoreLimits::default(), disk.clone()).ok();
+    for (i, op) in edit_script().iter().enumerate() {
+        if wd.append_op(op).is_ok() {
+            acked.push(op.clone());
+        }
+        if let Some(store) = store.as_mut() {
+            // Interleave store traffic so the trip point also lands on
+            // entry writes; results are advisory (bool / Option).
+            let key = format!("wl\n{i}");
+            let _ = store.put(&key, format!("payload {i}").as_bytes());
+            if let Some(bytes) = store.get(&key) {
+                assert_eq!(bytes, format!("payload {i}").as_bytes());
+            }
+        }
+    }
+    Some(acked)
+}
+
+#[test]
+fn syscall_fault_sweep_recovers_acknowledged_prefix() {
+    for torn in [false, true] {
+        let mut k = 0u64;
+        loop {
+            let faults = DiskFaults::new();
+            faults.set_torn_writes(torn);
+            let disk = Disk::faulty(faults.clone());
+            let dir = scratch(&format!("trip-{torn}-{k}"));
+            faults.trip_after(k);
+            let acked = faulty_workload(&dir, &disk);
+            let injected = faults.injected();
+            faults.disarm();
+
+            match acked {
+                None => assert!(
+                    WorkspaceDir::recover(&dir, Disk::real())
+                        .is_none_or(|rec| rec.ops.is_empty()),
+                    "torn={torn} k={k}: failed snapshot must not replay edits"
+                ),
+                Some(acked) => {
+                    let rec = WorkspaceDir::recover(&dir, Disk::real())
+                        .expect("acknowledged snapshot must recover");
+                    assert_eq!(
+                        rec.ops, acked,
+                        "torn={torn} k={k}: replay differs from acknowledged ops"
+                    );
+                    let mut recovered = Workspace::restore(
+                        rec.schema,
+                        rec.undo,
+                        rec.redo,
+                        preselect(),
+                        WorkspaceLimits::default(),
+                    );
+                    for op in &rec.ops {
+                        match op {
+                            JournalOp::Apply(delta) => recovered.apply(delta).unwrap(),
+                            JournalOp::Undo => {
+                                recovered.undo();
+                            }
+                            JournalOp::Redo => {
+                                recovered.redo();
+                            }
+                        }
+                    }
+                    // The store absorbed the same fault plan: every
+                    // surviving entry must read back exact or miss.
+                    let store_dir = dir.join("store");
+                    if store_dir.is_dir() {
+                        let mut store =
+                            DiskStore::open_real(&store_dir, StoreLimits::default()).unwrap();
+                        for i in 0..edit_script().len() {
+                            match store.get(&format!("wl\n{i}")) {
+                                None => {}
+                                Some(bytes) => {
+                                    assert_eq!(bytes, format!("payload {i}").as_bytes());
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+
+            let _ = std::fs::remove_dir_all(&dir);
+            if injected == 0 {
+                break; // k exceeded the workload's total operation count
+            }
+            k += if slow() { 1 } else { 3 };
+        }
+    }
+}
+
+// -------------------------------------------------------------------
+// 5. Warm restart answers bit-identically
+// -------------------------------------------------------------------
+
+#[test]
+fn warm_restart_is_bit_identical_with_cluster_reuse() {
+    let data = scratch("warm-restart");
+    let store_dir = data.join("store");
+    let ws_dir = data.join("ws");
+
+    // Cold session: journaled edits, full query matrix, then "crash"
+    // (drop without snapshotting the edited state).
+    let cold_answers;
+    {
+        let mut wd = WorkspaceDir::create(&ws_dir, Disk::real()).unwrap();
+        let mut cold = Workspace::new(campus(), preselect());
+        cold.set_store(shared_store(&store_dir));
+        wd.save_snapshot("t", "w", cold.schema(), &[], &[]).unwrap();
+        for op in edit_script() {
+            match &op {
+                JournalOp::Apply(delta) => cold.apply(delta).unwrap(),
+                JournalOp::Undo => {
+                    cold.undo();
+                }
+                JournalOp::Redo => {
+                    cold.redo();
+                }
+            }
+            wd.append_op(&op).unwrap();
+        }
+        cold_answers = answers(&mut cold);
+        assert!(cold.stats().disk_writes > 0, "cold session must persist enumerations");
+    }
+
+    // Warm session: journal replay + shared store.
+    let rec = WorkspaceDir::recover(&ws_dir, Disk::real()).unwrap();
+    assert_eq!(rec.ops.len(), edit_script().len());
+    let mut warm = Workspace::restore(
+        rec.schema,
+        rec.undo,
+        rec.redo,
+        preselect(),
+        WorkspaceLimits::default(),
+    );
+    warm.set_store(shared_store(&store_dir));
+    for op in &rec.ops {
+        match op {
+            JournalOp::Apply(delta) => warm.apply(delta).unwrap(),
+            JournalOp::Undo => {
+                warm.undo();
+            }
+            JournalOp::Redo => {
+                warm.redo();
+            }
+        }
+    }
+    assert_eq!(answers(&mut warm), cold_answers, "warm restart must answer bit-identically");
+    let stats = warm.stats();
+    assert!(stats.clusters_reused > 0, "{stats:?}");
+    assert!(stats.disk_cluster_hits > 0, "{stats:?}");
+    assert_eq!(stats.clusters_rebuilt, 0, "warm restart must re-enumerate nothing: {stats:?}");
+}
+
+// -------------------------------------------------------------------
+// 6. Eviction under pressure never evicts an in-use entry
+// -------------------------------------------------------------------
+
+#[test]
+fn lru_policy_never_evicts_pinned_entries() {
+    let mut policy = LruPolicy::new(10);
+    policy.insert("hot", 4);
+    policy.pin("hot");
+    for i in 0..50 {
+        policy.insert(&format!("cold-{i}"), 4);
+        let victims = policy.evict();
+        assert!(!victims.iter().any(|v| v == "hot"), "pinned entry evicted at step {i}");
+        assert!(policy.contains("hot"));
+    }
+    assert!(policy.total_weight() <= 10, "unpinned entries must be evicted down to budget");
+
+    // Once released (and stale), the entry is fair game again.
+    policy.unpin("hot");
+    policy.insert("fresh", 8);
+    let victims = policy.evict();
+    assert!(victims.iter().any(|v| v == "hot"), "released stale entry must be evictable");
+}
+
+#[test]
+fn disk_store_never_evicts_pinned_entries_under_pressure() {
+    let dir = scratch("pressure");
+    let payload = vec![0xA5u8; 512];
+    // A budget that holds only a couple of 512-byte entries.
+    let mut store = DiskStore::open_real(&dir, StoreLimits { max_bytes: 2048 }).unwrap();
+    assert!(store.put("reader\nheld", &payload));
+    store.pin("reader\nheld");
+    for i in 0..32 {
+        assert!(store.put(&format!("churn\n{i}"), &payload));
+        assert_eq!(
+            store.get("reader\nheld").as_deref(),
+            Some(&payload[..]),
+            "pinned entry lost at churn step {i}"
+        );
+    }
+    store.unpin("reader\nheld");
+    for i in 32..40 {
+        assert!(store.put(&format!("churn\n{i}"), &payload));
+    }
+    assert!(
+        store.total_bytes() <= 2048,
+        "after unpinning, the store must shrink to budget (got {})",
+        store.total_bytes()
+    );
+    // The store stayed usable throughout: a reopen sees only valid entries.
+    let mut reopened = DiskStore::open_real(&dir, StoreLimits { max_bytes: 2048 }).unwrap();
+    assert!(reopened.total_bytes() <= 2048);
+    assert_eq!(reopened.get("churn\n39").as_deref(), Some(&payload[..]));
+}
