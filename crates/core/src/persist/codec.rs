@@ -82,6 +82,19 @@ pub fn esc(name: &str) -> String {
     out
 }
 
+/// Escapes a name into a filesystem-safe path segment: like [`esc`],
+/// but a leading `.` is escaped too, so no wire-supplied name can
+/// yield `.` or `..` (or a hidden file) and traverse out of its root
+/// directory. [`unesc`] inverts it.
+#[must_use]
+pub fn esc_path(name: &str) -> String {
+    let out = esc(name);
+    match out.strip_prefix('.') {
+        Some(rest) => format!("%2E{rest}"),
+        None => out,
+    }
+}
+
 /// Inverse of [`esc`]. `None` for malformed escapes or invalid UTF-8.
 #[must_use]
 pub fn unesc(token: &str) -> Option<String> {
@@ -674,6 +687,20 @@ mod tests {
         }
         assert!(unesc("%zz").is_none());
         assert!(unesc("%F").is_none());
+    }
+
+    #[test]
+    fn esc_path_neutralizes_traversal_segments() {
+        for name in [".", "..", "...", ".hidden", "..%2F", "../../etc", "a/../b", ""] {
+            let seg = esc_path(name);
+            assert_ne!(seg, ".");
+            assert_ne!(seg, "..");
+            assert!(!seg.starts_with('.'), "no hidden files: {name:?} -> {seg}");
+            assert!(!seg.contains(['/', '\\']), "no separators: {name:?} -> {seg}");
+            assert_eq!(unesc(&seg).as_deref(), Some(name), "{name:?}");
+        }
+        // Ordinary names are unchanged (interior dots stay readable).
+        assert_eq!(esc_path("v1.2-final"), "v1.2-final");
     }
 
     #[test]

@@ -165,6 +165,15 @@ impl Disk {
             Err(e) => Err(e),
         }
     }
+
+    /// Metadata of a file.
+    ///
+    /// # Errors
+    /// Injected faults and filesystem errors.
+    pub fn stat(&self, path: &Path) -> io::Result<fs::Metadata> {
+        self.gate("stat")?;
+        fs::metadata(path)
+    }
 }
 
 /// The sibling temp path used by [`Disk::write_atomic`].

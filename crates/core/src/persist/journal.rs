@@ -97,6 +97,10 @@ pub struct WorkspaceDir {
     /// A failed append may have left a torn tail past `good_len`.
     dirty_tail: bool,
     ops_since_snapshot: u64,
+    /// A detached writer no-ops every write: the directory has been
+    /// handed to a successor (workspace replaced or closed) and this
+    /// handle must never touch the files again.
+    detached: bool,
 }
 
 impl WorkspaceDir {
@@ -108,13 +112,27 @@ impl WorkspaceDir {
     /// Injected faults and filesystem errors.
     pub fn create(dir: &Path, disk: Disk) -> io::Result<WorkspaceDir> {
         disk.create_dir_all(dir)?;
+        // A replaced workspace reuses its directory, so continue the
+        // sequence past any records already in the journal: this
+        // writer's snapshots then cover every stale record by sequence
+        // number, and recovery can never replay a leftover on top of
+        // the new state — even if a compaction truncation fails.
+        let mut seq = 0;
+        if let Ok(journal) = disk.read(&dir.join("journal.log")) {
+            let mut pos = 0usize;
+            while let Some((s, _, end)) = parse_record(&journal, pos) {
+                seq = seq.max(s);
+                pos = end;
+            }
+        }
         Ok(WorkspaceDir {
             dir: dir.to_owned(),
             disk,
-            seq: 0,
+            seq,
             good_len: 0,
             dirty_tail: true, // unknown prior journal: truncate before first append
             ops_since_snapshot: 0,
+            detached: false,
         })
     }
 
@@ -130,6 +148,16 @@ impl WorkspaceDir {
     #[must_use]
     pub fn path(&self) -> &Path {
         &self.dir
+    }
+
+    /// Permanently detaches this writer from its files: every later
+    /// [`WorkspaceDir::save_snapshot`] and [`WorkspaceDir::append_op`]
+    /// becomes a silent no-op. Called when the directory is handed to a
+    /// successor (the workspace was replaced or closed), so an in-flight
+    /// request still holding this handle cannot interleave its records
+    /// — or its torn-tail truncations — with the successor's journal.
+    pub fn detach(&mut self) {
+        self.detached = true;
     }
 
     /// Operations journaled since the last successful snapshot — the
@@ -155,6 +183,9 @@ impl WorkspaceDir {
         undo: &[Schema],
         redo: &[Schema],
     ) -> io::Result<()> {
+        if self.detached {
+            return Ok(()); // the directory belongs to a successor now
+        }
         let mut body = Vec::new();
         body.extend_from_slice(
             format!(
@@ -193,6 +224,9 @@ impl WorkspaceDir {
     /// NOT durable (the caller's in-memory state is still correct, and
     /// the next snapshot will capture it).
     pub fn append_op(&mut self, op: &JournalOp) -> io::Result<()> {
+        if self.detached {
+            return Ok(()); // the directory belongs to a successor now
+        }
         if self.dirty_tail {
             self.disk.set_len(&self.journal_path(), self.good_len)?;
             self.dirty_tail = false;
@@ -231,6 +265,7 @@ impl WorkspaceDir {
             good_len: 0,
             dirty_tail: true,
             ops_since_snapshot: 0,
+            detached: false,
         };
         let snap = me.disk.read(&me.snapshot_path()).ok()?;
         let (tenant, workspace, snap_seq, schema, undo, redo) = parse_snapshot(&snap)?;
@@ -247,9 +282,16 @@ impl WorkspaceDir {
                     truncated_tail = true;
                     break;
                 };
-                // Records must be consecutive; a gap means the file is
-                // not a history prefix and nothing after it is safe.
-                if prev_seq.is_some_and(|p| seq != p + 1) {
+                // Records must be consecutive — with each other, and
+                // (for the first post-snapshot record) with the
+                // snapshot's sequence number. A gap means the file is
+                // not a history prefix and nothing from the gap on is
+                // safe: stop as a damaged tail, leaving `good_len`
+                // *before* the gap so the primed writer truncates the
+                // stale records instead of appending after them.
+                if prev_seq.is_some_and(|p| seq != p + 1)
+                    || (prev_seq.is_none() && seq > last_seq + 1)
+                {
                     truncated_tail = true;
                     break;
                 }
@@ -262,9 +304,7 @@ impl WorkspaceDir {
                     last_seq = seq;
                 }
                 // seq <= snap_seq: pre-snapshot record, skip (stale
-                // compaction leftovers). seq > last_seq + 1 cannot
-                // happen for the first record unless the snapshot is
-                // newer than the whole journal — then nothing replays.
+                // compaction leftovers).
             }
         }
         Some(Recovered {
@@ -540,6 +580,94 @@ mod tests {
         wd2.append_op(&JournalOp::Undo).unwrap();
         let r2 = WorkspaceDir::recover(&dir, Disk::real()).unwrap();
         assert_eq!(r2.ops, vec![JournalOp::Undo]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn seq_gap_after_snapshot_is_a_damaged_tail_not_a_silent_skip() {
+        let dir = scratch("seqgap");
+        let mut wd = WorkspaceDir::create(&dir, Disk::real()).unwrap();
+        wd.save_snapshot("t", "w", &schema("S"), &[], &[]).unwrap();
+        for op in &ops3() {
+            wd.append_op(op).unwrap();
+        }
+        // Splice out the first record: the journal now starts at seq 2
+        // while the snapshot covers seq 0 — a gap, not a prefix.
+        let journal = dir.join("journal.log");
+        let full = std::fs::read(&journal).unwrap();
+        let (_, _, first_end) = parse_record(&full, 0).unwrap();
+        std::fs::write(&journal, &full[first_end..]).unwrap();
+
+        let r = WorkspaceDir::recover(&dir, Disk::real()).unwrap();
+        assert!(r.ops.is_empty(), "nothing past a gap may replay");
+        assert!(r.truncated_tail, "the gap must be reported");
+
+        // The primed writer truncates the stale records before its next
+        // append, so the *following* recovery loses nothing.
+        let mut wd2 = r.dir;
+        wd2.append_op(&JournalOp::Undo).unwrap();
+        let r2 = WorkspaceDir::recover(&dir, Disk::real()).unwrap();
+        assert_eq!(r2.ops, vec![JournalOp::Undo]);
+        assert!(!r2.truncated_tail);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn detached_writer_never_touches_the_files_again() {
+        let dir = scratch("detach");
+        let mut old = WorkspaceDir::create(&dir, Disk::real()).unwrap();
+        old.save_snapshot("t", "w", &schema("Old"), &[], &[]).unwrap();
+        old.detach();
+
+        // The successor takes over the directory.
+        let mut new = WorkspaceDir::create(&dir, Disk::real()).unwrap();
+        new.save_snapshot("t", "w", &schema("New"), &[], &[]).unwrap();
+        new.append_op(&JournalOp::Undo).unwrap();
+
+        // Stale writes through the old handle are silent no-ops: they
+        // report success (the entry is unreachable; nobody consumes the
+        // result) but leave the successor's files byte-identical.
+        let before_snap = std::fs::read(dir.join("snapshot.car")).unwrap();
+        let before_journal = std::fs::read(dir.join("journal.log")).unwrap();
+        old.save_snapshot("t", "w", &schema("Stale"), &[], &[]).unwrap();
+        old.append_op(&JournalOp::Apply(SchemaDelta::AddClass { name: "Stale".into() }))
+            .unwrap();
+        assert_eq!(std::fs::read(dir.join("snapshot.car")).unwrap(), before_snap);
+        assert_eq!(std::fs::read(dir.join("journal.log")).unwrap(), before_journal);
+
+        let r = WorkspaceDir::recover(&dir, Disk::real()).unwrap();
+        assert_eq!(codec::encode_schema(&r.schema), codec::encode_schema(&schema("New")));
+        assert_eq!(r.ops, vec![JournalOp::Undo]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn replacement_writer_continues_seq_so_stale_records_cannot_replay() {
+        let dir = scratch("replaceseq");
+        let mut old = WorkspaceDir::create(&dir, Disk::real()).unwrap();
+        old.save_snapshot("t", "w", &schema("Old"), &[], &[]).unwrap();
+        for op in &ops3() {
+            old.append_op(op).unwrap(); // journal holds seq 1..=3
+        }
+        old.detach();
+
+        // Replace the workspace, but fail the compaction truncation —
+        // the crash window where the new snapshot coexists with the old
+        // records. create() costs mkdir+read, save_snapshot write+rename,
+        // then the set_len trips.
+        let faults = DiskFaults::new();
+        let mut new = WorkspaceDir::create(&dir, Disk::faulty(faults.clone())).unwrap();
+        faults.trip_after(2);
+        new.save_snapshot("t", "w", &schema("New"), &[], &[]).unwrap();
+        faults.disarm();
+        assert!(std::fs::metadata(dir.join("journal.log")).unwrap().len() > 0);
+
+        // The new snapshot's sequence number covers the stale records:
+        // recovery skips them instead of replaying them on the new state.
+        let r = WorkspaceDir::recover(&dir, Disk::real()).unwrap();
+        assert_eq!(codec::encode_schema(&r.schema), codec::encode_schema(&schema("New")));
+        assert!(r.ops.is_empty(), "old records must not replay on the new snapshot");
+        assert!(!r.truncated_tail);
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -93,12 +93,15 @@ impl DiskStore {
             if !name.ends_with(".entry") {
                 continue;
             }
-            let Ok(meta) = std::fs::metadata(&path) else {
+            let Ok(meta) = disk.stat(&path) else {
                 continue;
             };
             let mtime = meta.modified().unwrap_or(SystemTime::UNIX_EPOCH);
             found.push((mtime, name.to_owned(), meta.len()));
         }
+        // Within one filesystem-timestamp granule the mtime tie is
+        // broken by name: arbitrary as an LRU estimate, but stable
+        // across reopens.
         found.sort();
         for (_, name, len) in found {
             policy.insert(&name, len);
@@ -146,7 +149,7 @@ impl DiskStore {
                 self.stats.corrupt_dropped += 1;
                 self.stats.misses += 1;
                 self.policy.remove(&name);
-                let _ = std::fs::remove_file(&path);
+                let _ = self.disk.remove(&path);
                 None
             }
         }
@@ -172,7 +175,7 @@ impl DiskStore {
                 // final path; validation would reject it anyway, but
                 // sweep it now so it cannot linger.
                 if !self.policy.contains(&name) {
-                    let _ = std::fs::remove_file(&path);
+                    let _ = self.disk.remove(&path);
                 }
                 false
             }
@@ -229,7 +232,7 @@ impl DiskStore {
     fn enforce_budget(&mut self) {
         for name in self.policy.evict() {
             self.stats.evicted += 1;
-            let _ = std::fs::remove_file(self.path_of(&name));
+            let _ = self.disk.remove(&self.path_of(&name));
         }
     }
 }

@@ -296,11 +296,18 @@ impl Service {
         }
     }
 
-    /// The durable home of one workspace.
+    /// The durable home of one workspace. Tenant and workspace are
+    /// free-form wire input, so each is escaped into a traversal-free
+    /// path segment ([`codec::esc_path`] escapes separators and leading
+    /// dots); the segments are re-checked here as a second line of
+    /// defense in front of `create` and `remove_dir_all`.
     fn workspace_dir_path(&self, tenant: &str, workspace: &str) -> Option<PathBuf> {
-        self.config.data_dir.as_ref().map(|root| {
-            root.join("workspaces").join(codec::esc(tenant)).join(codec::esc(workspace))
-        })
+        fn safe(seg: &str) -> bool {
+            !seg.is_empty() && seg != "." && seg != ".." && !seg.contains(['/', '\\'])
+        }
+        let root = self.config.data_dir.as_ref()?.join("workspaces");
+        let (tenant, workspace) = (codec::esc_path(tenant), codec::esc_path(workspace));
+        (safe(&tenant) && safe(&workspace)).then(|| root.join(tenant).join(workspace))
     }
 
     /// Scans `data_dir/workspaces` and rebuilds every recoverable
@@ -528,7 +535,8 @@ impl Service {
         // insert that would exceed it. Races between two concurrent
         // opens of *different* names can overshoot by one; the cap is a
         // resource guard, not an accounting invariant.
-        let existing = self.lookup(&envelope.tenant, workspace).is_ok();
+        let previous = self.lookup(&envelope.tenant, workspace).ok();
+        let existing = previous.is_some();
         if !existing && self.tenant_workspace_count(&envelope.tenant)
             >= self.config.quota.max_workspaces
         {
@@ -551,6 +559,19 @@ impl Service {
                     format!("workspace '{workspace}' already exists (pass \"replace\":true)"),
                 ),
             );
+        }
+
+        // Retire the replaced entry's durable writer *before* creating
+        // the new one at the same path: an in-flight request that
+        // looked the old entry up can still hold it, and its journal
+        // appends (and torn-tail truncations) must never interleave
+        // with the new writer's. Taking the old dir lock serializes
+        // with any append in flight right now; the detach flag stops
+        // every later one.
+        if let Some(old) = &previous {
+            if let Some(old_dir) = &old.dir {
+                old_dir.lock().unwrap_or_else(std::sync::PoisonError::into_inner).detach();
+            }
         }
 
         // Give the workspace its durable home and snapshot immediately,
@@ -601,11 +622,15 @@ impl Service {
             .shard(&key)
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner)
-            .remove(&key)
-            .is_some();
-        if removed {
+            .remove(&key);
+        if let Some(entry) = removed {
             // A closed workspace is gone for good; its durable state
-            // must not resurrect it on the next restart.
+            // must not resurrect it on the next restart. Detach the
+            // writer first so an in-flight request still holding the
+            // entry cannot recreate files after the deletion.
+            if let Some(dir) = &entry.dir {
+                dir.lock().unwrap_or_else(std::sync::PoisonError::into_inner).detach();
+            }
             if let Some(path) = self.workspace_dir_path(&envelope.tenant, workspace) {
                 let _ = std::fs::remove_dir_all(path);
             }
@@ -704,12 +729,15 @@ impl Service {
                 if undo { &JournalOp::Undo } else { &JournalOp::Redo },
             );
         }
-        drop(ws);
+        // Bump while still holding the workspace lock (mirroring
+        // `apply`), so the reported version corresponds to the state
+        // this operation produced even under concurrent edits.
         let version = if moved {
             entry.version.fetch_add(1, Ordering::Relaxed) + 1
         } else {
             entry.version.load(Ordering::Relaxed)
         };
+        drop(ws);
         ok_response(
             envelope.id,
             vec![("moved", Json::Bool(moved)), ("version", Json::UInt(version))],
@@ -1099,6 +1127,42 @@ mod tests {
         assert_eq!(err.get("kind"), Some(&Json::Str("parse".into())));
         assert!(err.get("line").is_some());
         assert!(err.get("col").is_some());
+    }
+
+    #[test]
+    fn hostile_tenant_and_workspace_names_cannot_escape_the_data_dir() {
+        let base = std::env::temp_dir()
+            .join(format!("car-service-traversal-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&base);
+        std::fs::create_dir_all(&base).unwrap();
+        std::fs::write(base.join("canary.txt"), b"outside the data dir").unwrap();
+        let data = base.join("data");
+        let mut config = ServerConfig::default();
+        config.data_dir = Some(data.clone());
+        let svc = Service::new(config);
+
+        let frame = |op: &str, tenant: &str, ws: &str| {
+            format!(
+                "{{\"op\":\"{op}\",\"tenant\":{},\"workspace\":{},\"schema\":{}}}",
+                crate::json::to_string(&Json::Str(tenant.into())),
+                crate::json::to_string(&Json::Str(ws.into())),
+                crate::json::to_string(&Json::Str("class A endclass".into()))
+            )
+        };
+        for (tenant, ws) in
+            [("..", ".."), (".", "."), ("../../etc", "../x"), ("t", ".."), ("", "")]
+        {
+            let open = run(&svc, &frame("open", tenant, ws));
+            assert_eq!(open.get("ok"), Some(&Json::Bool(true)), "{tenant}/{ws}");
+            let close = run(&svc, &frame("close", tenant, ws));
+            assert_eq!(close.get("ok"), Some(&Json::Bool(true)), "{tenant}/{ws}");
+        }
+        // Every artifact stayed under the workspaces root: nothing
+        // outside was created, and `close` deleted nothing outside.
+        assert!(base.join("canary.txt").exists(), "close() escaped the data dir");
+        assert!(data.exists());
+        assert!(!base.join("snapshot.car").exists(), "open() escaped the data dir");
+        let _ = std::fs::remove_dir_all(&base);
     }
 
     #[test]
