@@ -2,7 +2,7 @@
 //!
 //! Two modes:
 //!
-//! - `bench_telemetry` — run every workload and print the `BENCH_5.json`
+//! - `bench_telemetry` — run every workload and print the `BENCH_8.json`
 //!   document on stdout (redirect to regenerate the committed file).
 //! - `bench_telemetry --check <path>` — run every workload and compare
 //!   the deterministic counters against the committed document at
@@ -55,7 +55,7 @@ fn main() -> ExitCode {
             ExitCode::FAILURE
         }
         _ => {
-            eprintln!("usage: bench_telemetry [--check BENCH_5.json]");
+            eprintln!("usage: bench_telemetry [--check BENCH_8.json]");
             ExitCode::FAILURE
         }
     }

@@ -10,8 +10,9 @@
 //!
 //! Wall times vary with the host; the counters must not. CI regenerates
 //! the telemetry and fails when any counter differs from the committed
-//! `BENCH_5.json`, which pins the engines' work profile without making
-//! the build judge wall-clock noise (see `bin/bench_telemetry.rs`).
+//! `BENCH_8.json`, which pins the engines' work profile — including the
+//! column-generation pricing economy — without making the build judge
+//! wall-clock noise (see `bin/bench_telemetry.rs`).
 
 use car_core::clusters::clustered_ccs;
 use car_core::disequations::DisequationSystem;
@@ -20,12 +21,13 @@ use car_core::incremental::{SchemaDelta, Workspace};
 use car_core::preselection::Preselection;
 use car_core::reasoner::{Reasoner, ReasonerConfig, Strategy};
 use car_core::satisfiability::SatAnalysis;
-use car_core::syntax::{ClassFormula, SchemaBuilder};
+use car_core::syntax::{AttRef, Card, ClassFormula, SchemaBuilder};
 use car_core::Schema;
 use car_reductions::generators::{random_schema, ratio_chain_schema, RandomSchemaParams};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::hint::black_box;
+use std::num::NonZeroUsize;
 use std::time::{Duration, Instant};
 
 /// One workload's record: a wall time plus deterministic counters.
@@ -253,6 +255,78 @@ fn allsat_enumeration() -> BenchRecord {
     BenchRecord { name: "allsat_enumeration".into(), wall, counters }
 }
 
+/// Classes in the beyond-enumeration column-generation workload. One
+/// §4.3 cluster: eager enumeration over it would materialize 2^50 − 1
+/// compound classes, far past any enumeration ceiling.
+const RING: usize = 50;
+
+/// A ring of `RING` classes over one shared attribute `f`, each forced
+/// to own an `f`-successor in the next class. Sharing the attribute
+/// puts every class into a single co-occurrence cluster while leaving
+/// the isa layer unconstrained, so the eager strategies face the full
+/// 2^n subset lattice and only the lazy path can answer.
+fn colgen_ring(n: usize) -> Schema {
+    let mut b = SchemaBuilder::new();
+    let classes: Vec<_> = (0..n).map(|i| b.class(&format!("C{i}"))).collect();
+    let f = b.attribute("f");
+    for i in 0..n {
+        let next = classes[(i + 1) % n];
+        b.define_class(classes[i])
+            .attr(AttRef::Direct(f), Card::new(1, 1), ClassFormula::class(next))
+            .finish();
+    }
+    b.build().unwrap()
+}
+
+/// Lazy column generation on the single-cluster ring: answers class
+/// satisfiability for all `RING` classes with a working set linear in
+/// the class count. Gates the pricing-economy counters — columns
+/// priced, pricing calls, admissions, master re-solves, simplex pivots
+/// and guided DPLL solves — so a regression that silently re-inflates
+/// the working set (or prices exponentially) fails CI.
+fn column_generation() -> BenchRecord {
+    let schema = colgen_ring(RING);
+    let config = || ReasonerConfig {
+        strategy: Strategy::ColumnGen,
+        threads: NonZeroUsize::new(1).unwrap(),
+        ..ReasonerConfig::default()
+    };
+    let run = || {
+        let r = Reasoner::with_config(&schema, config());
+        let sat = schema
+            .symbols()
+            .class_ids()
+            .filter(|&c| r.try_is_satisfiable(c).unwrap())
+            .count() as u64;
+        (sat, r.try_stats().unwrap().num_compound_classes as u64)
+    };
+    let colgen_before = car_core::colgen::colgen_counters();
+    let guided_before = car_logic::search_counters().guided_solves;
+    let pivots_before = car_lp::pivot_count();
+    let (sat, working_set) = run();
+    let colgen = car_core::colgen::colgen_counters();
+    let guided = car_logic::search_counters().guided_solves - guided_before;
+    let pivots = car_lp::pivot_count() - pivots_before;
+
+    let mut counters = BTreeMap::new();
+    counters.insert("classes".into(), RING as u64);
+    counters.insert("satisfiable_classes".into(), sat);
+    counters.insert("working_set".into(), working_set);
+    counters.insert("columns_priced".into(), colgen.columns_priced - colgen_before.columns_priced);
+    counters.insert("pricing_calls".into(), colgen.pricing_calls - colgen_before.pricing_calls);
+    counters.insert(
+        "columns_admitted".into(),
+        colgen.columns_admitted - colgen_before.columns_admitted,
+    );
+    counters.insert("master_solves".into(), colgen.master_solves - colgen_before.master_solves);
+    counters.insert("guided_solves".into(), guided);
+    counters.insert("pivots".into(), pivots);
+    let wall = min_time(|| {
+        black_box(run());
+    });
+    BenchRecord { name: "column_generation".into(), wall, counters }
+}
+
 /// Simplex pivots spent inside `f` (0 until the counter plumbing of this
 /// PR's lp changes is in place on the measured build).
 fn pivots_of(f: impl FnOnce()) -> u64 {
@@ -283,6 +357,7 @@ pub fn run_all() -> Vec<BenchRecord> {
         two_phase_vs_brute_force(),
         incremental_edits(),
         allsat_enumeration(),
+        column_generation(),
     ]
 }
 

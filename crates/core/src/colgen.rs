@@ -1,0 +1,773 @@
+//! Lazy column generation over compound classes.
+//!
+//! The eager strategies of [`crate::enumerate`] materialize every
+//! consistent compound class up front — worst case `2^|C|` of them —
+//! before the LP analysis ever runs. This module grows a small *working
+//! set* of compound classes instead, pricing new columns on demand with
+//! the DPLL engine (`car_logic::solve_guided`) and using the revised
+//! simplex warm-start of `car_lp::RestrictedMaster` to decide *which*
+//! demand to serve first.
+//!
+//! ## The algorithm
+//!
+//! Classes are settled one at a time, in [`ClassId`] order, over one
+//! shared working set `W`:
+//!
+//! 1. Build the restricted expansion and acceptability analysis over the
+//!    current `W` (identical machinery to the eager path, just on fewer
+//!    compound classes). If the class is satisfiable there, it is
+//!    satisfiable outright — a restricted solution extends by zeroes.
+//! 2. Otherwise run one *demand pass*. The demands are: the **standing
+//!    demand** (price a brand-new compound class containing the target
+//!    class) plus, for every `Natt`/`Nrel` entry of a working-set member
+//!    with a positive lower bound, a demand for a new link partner
+//!    serving that bound. Each demand is encoded as extra CNF clauses —
+//!    a sound over-approximation of link eligibility, re-validated by
+//!    the restricted expansion rebuild — and priced with the
+//!    weight-guided DPLL solver, which prefers minimal candidates.
+//! 3. The demand order comes from the restricted master LP (`ΨS` over
+//!    `W` plus the target row `Σ_{C̄ ∋ C} Var(C̄) ≥ 1`): when the master
+//!    is infeasible, its Farkas duals score each demand's rows and the
+//!    largest multipliers go first; admitted columns are inserted into
+//!    the warm tableau (`RestrictedMaster::add_column`) and the pass
+//!    ends early as soon as the master turns feasible.
+//! 4. A pass that admits nothing is a *closure*: every demand is
+//!    propositionally unservable, no further compound class can help,
+//!    and the class is unsatisfiable. Otherwise go back to 1.
+//!
+//! ## Termination and agreement
+//!
+//! Every admitted candidate is permanently blocked in the pricing
+//! formula (an exact-model blocking clause), so the working set grows
+//! strictly and is bounded by the number of preselection-consistent
+//! compound classes; each pricing call checkpoints the [`Budget`], and
+//! [`ExpansionLimits::max_compound_classes`] caps `|W|` exactly like the
+//! eager enumerations. The pricing formula is the isa consistency
+//! formula plus the §4.3 preselection clauses (Theorem 4.6
+//! cross-cluster disjointness prunes *inside* the search), so the lazy
+//! universe equals the `Preselect` universe — and satisfiability
+//! verdicts agree with every eager strategy: a satisfiable verdict
+//! extends by zeroes, and at closure the restriction is exact because
+//! any eager witness could be pruned to a support component reachable
+//! through the very demand chains that were found unservable.
+//! Unsatisfiable closures may still have to enumerate all
+//! preselection-consistent candidates containing the class (the
+//! exponential worst case does not disappear — it is just never paid
+//! for satisfiable clusters, which is where the eager path drowns).
+
+use crate::bitset::BitSet;
+use crate::budget::{Budget, Item, ResourceExhausted, ResourceKind};
+use crate::disequations::{DisequationSystem, RowOrigin};
+use crate::enumerate::isa_cnf;
+use crate::expansion::{
+    merged_att_card, merged_part_card, BuildError, Expansion, ExpansionLimits,
+    ExpansionTooLarge,
+};
+use crate::ids::ClassId;
+use crate::preselection::Preselection;
+use crate::satisfiability::{AnalysisOptions, SatAnalysis};
+use crate::syntax::{AttRef, ClassFormula, Schema};
+use car_arith::Ratio;
+use car_lp::{LinExpr, MasterStatus, Relation, RestrictedMaster, SolveHooks};
+use car_logic::{solve_guided, CnfFormula, PropLit};
+use std::cell::Cell;
+use std::num::NonZeroUsize;
+
+/// Snapshot of the column-generation work counters on this thread
+/// (monotonic; subtract two snapshots to meter a region). Deterministic
+/// for a given schema and configuration — bench telemetry gates these,
+/// never wall clock.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ColgenCounters {
+    /// Pricing-oracle invocations (`car_logic::solve_guided` calls).
+    pub pricing_calls: u64,
+    /// Candidate columns returned by the pricing oracle. The
+    /// beyond-enumeration claim is `columns_priced ≪ 2^|C|`.
+    pub columns_priced: u64,
+    /// Candidates admitted into the working set.
+    pub columns_admitted: u64,
+    /// Restricted-master solves (initial per pass plus one per
+    /// admission).
+    pub master_solves: u64,
+}
+
+thread_local! {
+    static COUNTERS: Cell<ColgenCounters> = const {
+        Cell::new(ColgenCounters {
+            pricing_calls: 0,
+            columns_priced: 0,
+            columns_admitted: 0,
+            master_solves: 0,
+        })
+    };
+}
+
+/// Current cumulative column-generation counters for this thread.
+#[must_use]
+pub fn colgen_counters() -> ColgenCounters {
+    COUNTERS.with(Cell::get)
+}
+
+#[inline]
+fn count(f: impl FnOnce(&mut ColgenCounters)) {
+    COUNTERS.with(|c| {
+        let mut v = c.get();
+        f(&mut v);
+        c.set(v);
+    });
+}
+
+/// One unit of work a demand pass tries to serve.
+enum Demand {
+    /// Price a new compound class containing the target class.
+    Standing,
+    /// Price a link partner for `natt()[i]` (positive lower bound).
+    Att(usize),
+    /// Price a component for role `role_pos` of `nrel()[entry]`'s
+    /// relation (positive lower bound on another role).
+    Rel { entry: usize, role_pos: usize },
+}
+
+/// Grows a working set of compound classes until every class's
+/// satisfiability verdict is settled, and returns it. The result is a
+/// drop-in replacement for an eager enumeration: feed it to
+/// [`Expansion::build_governed`] and the per-class verdicts equal the
+/// eager ones.
+///
+/// # Errors
+/// [`BuildError::TooLarge`] when the working set would exceed
+/// `limits.max_compound_classes`, [`BuildError::Exhausted`] as soon as
+/// the budget runs out (partial working sets are never returned).
+pub fn working_set_governed(
+    schema: &Schema,
+    limits: &ExpansionLimits,
+    threads: NonZeroUsize,
+    budget: &Budget,
+) -> Result<Vec<BitSet>, BuildError> {
+    let n = schema.num_classes();
+    let pre = Preselection::compute(schema);
+    let mut cnf = isa_cnf(schema);
+    for clause in pre.extra_clauses() {
+        cnf.add_clause(clause);
+    }
+    if n > 0 {
+        // The empty compound class is never enumerated (cf. the eager
+        // AllSAT path skipping the all-false model).
+        cnf.add_clause((0..n).map(PropLit::pos));
+    }
+    let mut driver = Driver {
+        schema,
+        limits,
+        threads,
+        budget,
+        cnf,
+        working: Vec::new(),
+        options: AnalysisOptions { threads, ..AnalysisOptions::default() },
+    };
+    driver.run()
+}
+
+struct Driver<'a> {
+    schema: &'a Schema,
+    limits: &'a ExpansionLimits,
+    threads: NonZeroUsize,
+    budget: &'a Budget,
+    /// Pricing formula: isa consistency + preselection clauses +
+    /// nonempty clause + exact-model blocks of every admitted or
+    /// permanently rejected candidate.
+    cnf: CnfFormula,
+    working: Vec<BitSet>,
+    options: AnalysisOptions,
+}
+
+impl Driver<'_> {
+    fn run(&mut self) -> Result<Vec<BitSet>, BuildError> {
+        // The restricted expansion/analysis over the current working
+        // set; invalidated by every admission.
+        let mut state: Option<(Expansion, SatAnalysis)> = None;
+        for class in self.schema.symbols().class_ids() {
+            loop {
+                if state.is_none() {
+                    let expansion = Expansion::build_governed(
+                        self.schema,
+                        self.working.clone(),
+                        self.limits,
+                        self.threads,
+                        self.budget,
+                    )?;
+                    let analysis =
+                        SatAnalysis::try_run_with_budget(&expansion, &self.options, self.budget)
+                            .map_err(BuildError::Exhausted)?;
+                    state = Some((expansion, analysis));
+                }
+                let (expansion, analysis) = state.as_ref().expect("just rebuilt");
+                if analysis.class_satisfiable(expansion, class) {
+                    break; // extends by zeroes to any larger working set
+                }
+                if self.demand_pass(class, expansion)? == 0 {
+                    break; // closure: no compound class can ever help
+                }
+                state = None;
+            }
+        }
+        Ok(std::mem::take(&mut self.working))
+    }
+
+    /// Demands with *no structural relief at all* in the current
+    /// restricted expansion: a mandatory attribute bound with no
+    /// compound-attribute link, a mandatory participation with no
+    /// compound tuple through the role, a target class no working-set
+    /// member contains. These are the frontier of the demand chain —
+    /// serving anything else first only re-prices demands whose
+    /// partners exist but are (transitively) dead, which walks blocked
+    /// supersets one pass at a time.
+    fn frontier_demands(&self, class: ClassId, expansion: &Expansion) -> Vec<Demand> {
+        let mut out = Vec::new();
+        for (i, e) in expansion.natt().iter().enumerate() {
+            if e.card.min < 1 {
+                continue;
+            }
+            let partnered = expansion.compound_attrs().iter().any(|ca| {
+                ca.attr == e.att.attr()
+                    && match e.att {
+                        AttRef::Direct(_) => ca.source == e.cc,
+                        AttRef::Inverse(_) => ca.targets.contains(&e.cc),
+                    }
+            });
+            if !partnered {
+                out.push(Demand::Att(i));
+            }
+        }
+        for (i, e) in expansion.nrel().iter().enumerate() {
+            if e.card.min < 1 {
+                continue;
+            }
+            let partnered = expansion
+                .compound_rels()
+                .iter()
+                .any(|cr| cr.rel == e.rel && cr.components[e.role_pos] == e.cc);
+            if !partnered {
+                let arity = self.schema.rel_def(e.rel).arity();
+                for role_pos in (0..arity).filter(|&q| q != e.role_pos) {
+                    out.push(Demand::Rel { entry: i, role_pos });
+                }
+            }
+        }
+        if expansion.ccs_containing(class).next().is_none() {
+            out.push(Demand::Standing);
+        }
+        out
+    }
+
+    /// One demand pass for `class` over the current restricted
+    /// expansion; returns the number of admitted columns (0 = closure).
+    ///
+    /// Two tiers. The *frontier* tier serves only demands with no
+    /// structural relief in the working set — each admission is a
+    /// link partner some present compound class cannot exist without,
+    /// so the working set grows along the demand chain and stays small
+    /// on chain- and tree-shaped schemas. Only when the frontier is
+    /// exhausted (empty, or every frontier demand propositionally
+    /// unservable) does the *full* tier run: a dual-guided sweep over
+    /// every mandatory bound, which can enumerate alternative partners
+    /// for demands whose present partners all died in the acceptability
+    /// fixpoint. Closure (return 0) is therefore only ever declared
+    /// after the full tier, the standing Cs-demand included, admitted
+    /// nothing.
+    fn demand_pass(
+        &mut self,
+        class: ClassId,
+        expansion: &Expansion,
+    ) -> Result<usize, BuildError> {
+        // ---- Frontier tier -----------------------------------------
+        let mut admitted = 0usize;
+        for demand in self.frontier_demands(class, expansion) {
+            if let Some(cc) = self.price(class, expansion, &demand)? {
+                self.admit(cc)?;
+                admitted += 1;
+            }
+        }
+        if admitted > 0 {
+            return Ok(admitted);
+        }
+
+        // ---- Full tier: every mandatory bound ----------------------
+        // The standing Cs-demand is appended *last*, after the dual
+        // ordering: its minimal models are the ones most likely to be
+        // blocked already, so serving it first would admit ever-larger
+        // Cs-supersets whose guidance column satisfies the target row
+        // for free and ends the pass before any link-partner demand is
+        // served.
+        let mut demands = Vec::new();
+        for (i, e) in expansion.natt().iter().enumerate() {
+            if e.card.min >= 1 {
+                demands.push(Demand::Att(i));
+            }
+        }
+        for (i, e) in expansion.nrel().iter().enumerate() {
+            if e.card.min >= 1 {
+                let arity = self.schema.rel_def(e.rel).arity();
+                for role_pos in (0..arity).filter(|&q| q != e.role_pos) {
+                    demands.push(Demand::Rel { entry: i, role_pos });
+                }
+            }
+        }
+
+        // ---- Restricted master: ΨS over W plus the target row ------
+        let sys =
+            DisequationSystem::build_governed(expansion, &[], self.threads, self.budget)
+                .map_err(BuildError::Exhausted)?;
+        let mut problem = sys.problem().clone();
+        let mut target = LinExpr::zero();
+        for id in expansion.ccs_containing(class) {
+            target.add_term(sys.cc_var(id), Ratio::one());
+        }
+        let target_row = sys.num_disequations();
+        problem.add_constraint(target, Relation::Ge, Ratio::one());
+        let mut master = RestrictedMaster::new(&problem);
+        let status = self.solve_master(&mut master)?;
+
+        // Rows of each Natt/Nrel entry, for dual scoring and column
+        // insertion (a served lower bound also loads its upper row).
+        let mut att_rows = vec![Vec::new(); expansion.natt().len()];
+        let mut rel_rows = vec![Vec::new(); expansion.nrel().len()];
+        for (row, origin) in sys.row_origins().iter().enumerate() {
+            match *origin {
+                RowOrigin::NattLower(i) | RowOrigin::NattUpper(i) => att_rows[i].push(row),
+                RowOrigin::NrelLower(i) | RowOrigin::NrelUpper(i) => rel_rows[i].push(row),
+                RowOrigin::Pinned(_) => {}
+            }
+        }
+        let rows_of = |d: &Demand| -> Vec<usize> {
+            match *d {
+                Demand::Standing => Vec::new(),
+                Demand::Att(i) => att_rows[i].clone(),
+                Demand::Rel { entry, .. } => rel_rows[entry].clone(),
+            }
+        };
+
+        // ---- Demand order: master duals when infeasible ------------
+        if status == MasterStatus::Infeasible {
+            let duals = master.duals();
+            let magnitude = |r: &Ratio| if r.is_negative() { -r.clone() } else { r.clone() };
+            let score = |d: &Demand| -> Ratio {
+                rows_of(d)
+                    .iter()
+                    .map(|&r| magnitude(&duals[r]))
+                    .max_by(|a, b| a.partial_cmp(b).expect("rationals are totally ordered"))
+                    .unwrap_or_else(Ratio::zero)
+            };
+            let mut scored: Vec<(Ratio, Demand)> =
+                demands.into_iter().map(|d| (score(&d), d)).collect();
+            // Stable descending: ties keep the syntactic order.
+            scored.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("totally ordered"));
+            demands = scored.into_iter().map(|(_, d)| d).collect();
+        }
+        demands.push(Demand::Standing);
+
+        // ---- Serve each demand once --------------------------------
+        for demand in demands {
+            let Some(cc) = self.price(class, expansion, &demand)? else {
+                continue; // propositionally unservable this round
+            };
+            let serves_target = cc.contains(class.index());
+            self.admit(cc)?;
+            admitted += 1;
+            // Guidance column: one unit of the serving link, loading the
+            // demand's bound rows and (if applicable) the target row.
+            let mut entries: Vec<(usize, Ratio)> =
+                rows_of(&demand).into_iter().map(|r| (r, Ratio::one())).collect();
+            if serves_target {
+                entries.push((target_row, Ratio::one()));
+            }
+            master.add_column(&entries);
+            if self.solve_master(&mut master)? == MasterStatus::Feasible {
+                break; // the master thinks W suffices — go re-analyze
+            }
+        }
+        Ok(admitted)
+    }
+
+    /// Admits a priced candidate into the working set: enforces the
+    /// expansion cap, charges the budget, blocks the exact model from
+    /// all future pricing, and records the admission.
+    fn admit(&mut self, cc: BitSet) -> Result<(), BuildError> {
+        if self.working.len() >= self.limits.max_compound_classes {
+            return Err(ExpansionTooLarge {
+                what: "compound classes",
+                limit: self.limits.max_compound_classes,
+            }
+            .into());
+        }
+        self.budget
+            .charge(Item::CompoundClass, 1)
+            .map_err(BuildError::Exhausted)?;
+        block_exact(&mut self.cnf, &cc, self.schema.num_classes());
+        self.working.push(cc);
+        count(|c| c.columns_admitted += 1);
+        Ok(())
+    }
+
+    /// Prices one demand: clones the pricing formula, adds the demand
+    /// encoding, and searches for a fresh candidate with valid merged
+    /// cardinalities. Candidates the restricted expansion would drop
+    /// anyway are blocked permanently and the search continues.
+    fn price(
+        &mut self,
+        class: ClassId,
+        expansion: &Expansion,
+        demand: &Demand,
+    ) -> Result<Option<BitSet>, BuildError> {
+        let n = self.schema.num_classes();
+        let mut f = self.cnf.clone();
+        let mut weights = vec![0i64; n];
+        self.encode_demand(class, expansion, demand, &mut f, &mut weights);
+        loop {
+            self.budget.checkpoint().map_err(BuildError::Exhausted)?;
+            count(|c| c.pricing_calls += 1);
+            let Some(model) = solve_guided(&f, &weights) else {
+                return Ok(None);
+            };
+            count(|c| c.columns_priced += 1);
+            let cc = BitSet::from_iter(
+                n,
+                model.iter().enumerate().filter(|&(_, &b)| b).map(|(i, _)| i),
+            );
+            if valid_merges(self.schema, &cc) {
+                return Ok(Some(cc));
+            }
+            // An invalid merged bound dooms this candidate everywhere —
+            // the expansion prefilter would drop it under any strategy.
+            block_exact(&mut self.cnf, &cc, n);
+            block_exact(&mut f, &cc, n);
+        }
+    }
+
+    /// Adds the demand's CNF encoding to `f` and bumps `weights` for
+    /// every positive literal occurrence (the guided solver then seeks
+    /// candidates satisfying as much of the demand as possible, and
+    /// minimal ones elsewhere).
+    fn encode_demand(
+        &self,
+        class: ClassId,
+        expansion: &Expansion,
+        demand: &Demand,
+        f: &mut CnfFormula,
+        weights: &mut [i64],
+    ) {
+        let add_formula = |f: &mut CnfFormula, weights: &mut [i64], ty: &ClassFormula| {
+            for clause in &ty.clauses {
+                for lit in &clause.literals {
+                    if lit.positive {
+                        weights[lit.class.index()] += 1;
+                    }
+                }
+                f.add_clause(clause.literals.iter().map(|l| PropLit {
+                    var: l.class.index(),
+                    positive: l.positive,
+                }));
+            }
+        };
+        match *demand {
+            Demand::Standing => {
+                weights[class.index()] += 1;
+                f.add_clause([PropLit::pos(class.index())]);
+            }
+            Demand::Att(i) => {
+                let entry = &expansion.natt()[i];
+                let member = expansion.compound_class(entry.cc);
+                let attr = entry.att.attr();
+                // The candidate sits on the other end of the link: the
+                // target of a Direct bound, the source of an Inverse
+                // one. Its constraints mirror `compound_attr_consistent`.
+                let (own, other) = match entry.att {
+                    AttRef::Direct(_) => (AttRef::Direct(attr), AttRef::Inverse(attr)),
+                    AttRef::Inverse(_) => (AttRef::Inverse(attr), AttRef::Direct(attr)),
+                };
+                for c in member.iter() {
+                    if let Some(spec) = self.schema.attr_spec(ClassId::from_index(c), own) {
+                        add_formula(f, weights, &spec.ty);
+                    }
+                }
+                for (y, _) in self.schema.classes() {
+                    if let Some(spec) = self.schema.attr_spec(y, other) {
+                        if !spec.ty.realized_by(member) {
+                            f.add_clause([PropLit::neg(y.index())]);
+                        }
+                    }
+                }
+            }
+            Demand::Rel { entry, role_pos } => {
+                let e = &expansion.nrel()[entry];
+                let def = self.schema.rel_def(e.rel);
+                let role = def.roles[role_pos];
+                // Unit role-clauses constrain the candidate component
+                // outright; multi-literal clauses are left to the
+                // rebuild's full `compound_rel_consistent` check.
+                for clause in def
+                    .constraints
+                    .iter()
+                    .filter(|c| c.is_unit() && c.literals[0].role == role)
+                {
+                    add_formula(f, weights, &clause.literals[0].formula);
+                }
+            }
+        }
+    }
+
+    fn solve_master(&self, master: &mut RestrictedMaster) -> Result<MasterStatus, BuildError> {
+        count(|c| c.master_solves += 1);
+        let poll = || self.budget.checkpoint().is_err();
+        let hooks = SolveHooks { poll: Some(&poll), ..SolveHooks::default() };
+        master.solve(&hooks).map_err(|_interrupted| {
+            BuildError::Exhausted(
+                self.budget
+                    .probe()
+                    .err()
+                    .unwrap_or(ResourceExhausted { kind: ResourceKind::Steps }),
+            )
+        })
+    }
+}
+
+/// Blocks exactly this candidate: the clause is falsified only by the
+/// assignment that equals `cc`.
+fn block_exact(f: &mut CnfFormula, cc: &BitSet, n: usize) {
+    f.add_clause((0..n).map(|i| if cc.contains(i) { PropLit::neg(i) } else { PropLit::pos(i) }));
+}
+
+/// The expansion prefilter's predicate: every merged attribute and
+/// participation bound of the candidate is a nonempty interval.
+fn valid_merges(schema: &Schema, cc: &BitSet) -> bool {
+    let attrs_ok = schema.symbols().attr_ids().all(|a| {
+        merged_att_card(schema, cc, AttRef::Direct(a)).is_none_or(|c| c.is_valid())
+            && merged_att_card(schema, cc, AttRef::Inverse(a)).is_none_or(|c| c.is_valid())
+    });
+    let parts_ok = schema.relations().all(|(rel, def)| {
+        (0..def.arity())
+            .all(|pos| merged_part_card(schema, cc, rel, pos).is_none_or(|c| c.is_valid()))
+    });
+    attrs_ok && parts_ok
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::enumerate;
+    use crate::syntax::{Card, RoleClause, RoleLiteral, SchemaBuilder};
+
+    fn verdicts_over(schema: &Schema, ccs: Vec<BitSet>) -> Vec<bool> {
+        let expansion =
+            Expansion::build(schema, ccs, &ExpansionLimits::default()).unwrap();
+        let analysis = SatAnalysis::run(&expansion);
+        schema
+            .symbols()
+            .class_ids()
+            .map(|c| analysis.class_satisfiable(&expansion, c))
+            .collect()
+    }
+
+    fn lazy_verdicts(schema: &Schema) -> Vec<bool> {
+        let working = working_set_governed(
+            schema,
+            &ExpansionLimits::default(),
+            NonZeroUsize::MIN,
+            &Budget::unbounded(),
+        )
+        .unwrap();
+        verdicts_over(schema, working)
+    }
+
+    fn eager_verdicts(schema: &Schema) -> Vec<bool> {
+        let ccs = enumerate::sat_models(schema, &[], usize::MAX).unwrap();
+        verdicts_over(schema, ccs)
+    }
+
+    fn university() -> Schema {
+        let mut b = SchemaBuilder::new();
+        let person = b.class("Person");
+        let professor = b.class("Professor");
+        let student = b.class("Student");
+        let grad = b.class("Grad_Student");
+        let course = b.class("Course");
+        let taught_by = b.attribute("taught_by");
+        b.define_class(professor).isa(ClassFormula::class(person)).finish();
+        b.define_class(student)
+            .isa(ClassFormula::class(person).and(ClassFormula::neg_class(professor)))
+            .finish();
+        b.define_class(grad).isa(ClassFormula::class(student)).finish();
+        b.define_class(course)
+            .isa(ClassFormula::neg_class(person))
+            .attr(
+                AttRef::Direct(taught_by),
+                Card::exactly(1),
+                ClassFormula::union_of([professor, grad]),
+            )
+            .finish();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn lazy_agrees_with_eager_on_university() {
+        let s = university();
+        assert_eq!(lazy_verdicts(&s), eager_verdicts(&s));
+    }
+
+    #[test]
+    fn lazy_detects_unsatisfiable_classes() {
+        let mut b = SchemaBuilder::new();
+        let a = b.class("A");
+        let dead = b.class("Dead");
+        b.define_class(dead).isa(ClassFormula::neg_class(dead)).finish();
+        let _ = a;
+        let s = b.build().unwrap();
+        let verdicts = lazy_verdicts(&s);
+        assert_eq!(verdicts, eager_verdicts(&s));
+        assert_eq!(verdicts, vec![true, false]);
+    }
+
+    #[test]
+    fn attribute_demands_pull_in_link_partners() {
+        // A's mandatory attribute is typed T, T's inverse bound points
+        // back: satisfying A requires admitting a T-compound via the
+        // attribute demand chain.
+        let mut b = SchemaBuilder::new();
+        let a = b.class("A");
+        let t = b.class("T");
+        let f = b.attribute("f");
+        b.define_class(a)
+            .isa(ClassFormula::neg_class(t))
+            .attr(AttRef::Direct(f), Card::exactly(1), ClassFormula::class(t))
+            .finish();
+        b.define_class(t)
+            .attr(AttRef::Inverse(f), Card::new(1, 2), ClassFormula::class(a))
+            .finish();
+        let s = b.build().unwrap();
+        let _ = (a, t);
+        assert_eq!(lazy_verdicts(&s), eager_verdicts(&s));
+        assert!(lazy_verdicts(&s).iter().all(|&v| v));
+    }
+
+    #[test]
+    fn relation_demands_pull_in_components() {
+        let mut b = SchemaBuilder::new();
+        let s_ = b.class("S");
+        let p = b.class("P");
+        let rel = b.relation("Teaches", ["who", "what"]);
+        let who = b.role("who");
+        let what = b.role("what");
+        b.relation_constraint(
+            rel,
+            RoleClause::new(vec![RoleLiteral { role: who, formula: ClassFormula::class(p) }]),
+        );
+        b.relation_constraint(
+            rel,
+            RoleClause::new(vec![RoleLiteral { role: what, formula: ClassFormula::class(s_) }]),
+        );
+        b.define_class(s_).participates(rel, what, Card::at_least(1)).finish();
+        let s = b.build().unwrap();
+        assert_eq!(lazy_verdicts(&s), eager_verdicts(&s));
+        assert!(lazy_verdicts(&s).iter().all(|&v| v));
+    }
+
+    #[test]
+    fn working_set_stays_small_on_wide_hierarchies() {
+        // 12 independent subclasses of a root: eager AllSAT yields
+        // thousands of compound classes, the lazy path needs a handful.
+        let mut b = SchemaBuilder::new();
+        let root = b.class("Root");
+        for i in 0..12 {
+            let c = b.class(&format!("C{i}"));
+            b.define_class(c).isa(ClassFormula::class(root)).finish();
+        }
+        let s = b.build().unwrap();
+        let working = working_set_governed(
+            &s,
+            &ExpansionLimits::default(),
+            NonZeroUsize::MIN,
+            &Budget::unbounded(),
+        )
+        .unwrap();
+        assert!(
+            working.len() <= s.num_classes(),
+            "expected a near-linear working set, got {}",
+            working.len()
+        );
+        assert_eq!(verdicts_over(&s, working), eager_verdicts(&s));
+        let _ = root;
+    }
+
+    #[test]
+    fn budget_exhaustion_surfaces_as_error() {
+        let s = university();
+        let err = working_set_governed(
+            &s,
+            &ExpansionLimits::default(),
+            NonZeroUsize::MIN,
+            &Budget::trip_after(1),
+        )
+        .unwrap_err();
+        assert!(matches!(err, BuildError::Exhausted(_)));
+    }
+
+    #[test]
+    fn counters_advance_and_are_deterministic() {
+        let s = university();
+        let run = || {
+            let before = colgen_counters();
+            let _ = working_set_governed(
+                &s,
+                &ExpansionLimits::default(),
+                NonZeroUsize::MIN,
+                &Budget::unbounded(),
+            )
+            .unwrap();
+            let after = colgen_counters();
+            (
+                after.pricing_calls - before.pricing_calls,
+                after.columns_priced - before.columns_priced,
+                after.columns_admitted - before.columns_admitted,
+                after.master_solves - before.master_solves,
+            )
+        };
+        let first = run();
+        assert!(first.0 > 0, "pricing must have been called");
+        assert!(first.2 > 0, "columns must have been admitted");
+        assert_eq!(first, run(), "work profile must be reproducible");
+    }
+
+    #[test]
+    fn threads_do_not_change_the_working_set() {
+        let s = university();
+        let at = |threads: usize| {
+            working_set_governed(
+                &s,
+                &ExpansionLimits::default(),
+                NonZeroUsize::new(threads).unwrap(),
+                &Budget::unbounded(),
+            )
+            .unwrap()
+        };
+        let serial = at(1);
+        for threads in [2, 4] {
+            assert_eq!(at(threads), serial, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn working_set_cap_is_enforced() {
+        let s = university();
+        let limits = ExpansionLimits { max_compound_classes: 1, ..Default::default() };
+        let err = working_set_governed(
+            &s,
+            &limits,
+            NonZeroUsize::MIN,
+            &Budget::unbounded(),
+        )
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            BuildError::TooLarge(ExpansionTooLarge { what: "compound classes", .. })
+        ));
+    }
+}

@@ -32,6 +32,7 @@ pub struct DisequationSystem {
     cc_vars: Vec<VarId>,
     ca_vars: Vec<VarId>,
     cr_vars: Vec<VarId>,
+    row_origins: Vec<RowOrigin>,
 }
 
 impl DisequationSystem {
@@ -40,75 +41,7 @@ impl DisequationSystem {
     /// of [`crate::satisfiability`].
     #[must_use]
     pub fn build(expansion: &Expansion, pinned_zero: &[UnknownId]) -> DisequationSystem {
-        DisequationSystem::build_serial_governed(expansion, pinned_zero, &Budget::unbounded())
-            .expect("unbounded budget cannot exhaust")
-    }
-
-    fn build_serial_governed(
-        expansion: &Expansion,
-        pinned_zero: &[UnknownId],
-        budget: &Budget,
-    ) -> Result<DisequationSystem, ResourceExhausted> {
-        let mut problem = Problem::new();
-        let cc_vars: Vec<VarId> = expansion
-            .cc_ids()
-            .map(|id| problem.add_var(format!("cc{}", id.index())))
-            .collect();
-        let ca_vars: Vec<VarId> = (0..expansion.compound_attrs().len())
-            .map(|i| problem.add_var(format!("ca{i}")))
-            .collect();
-        let cr_vars: Vec<VarId> = (0..expansion.compound_rels().len())
-            .map(|i| problem.add_var(format!("cr{i}")))
-            .collect();
-
-        // Natt: u·Var(C̄) ≤ S(att, C̄) ≤ v·Var(C̄).
-        for entry in expansion.natt() {
-            budget.checkpoint()?;
-            let mut sum = LinExpr::zero();
-            let indices = match entry.att {
-                AttRef::Direct(a) => expansion.attrs_with_source(a, entry.cc),
-                AttRef::Inverse(a) => expansion.attrs_with_target(a, entry.cc),
-            };
-            for &i in indices {
-                sum.add_term(ca_vars[i], Ratio::one());
-            }
-            push_bounds(
-                &mut problem,
-                &sum,
-                cc_vars[entry.cc.index()],
-                entry.card.min,
-                entry.card.max,
-            );
-        }
-
-        // Nrel: x·Var(C̄) ≤ Σ Var(R̄) ≤ y·Var(C̄).
-        for entry in expansion.nrel() {
-            budget.checkpoint()?;
-            let mut sum = LinExpr::zero();
-            for &i in expansion.rels_with_component(entry.rel, entry.role_pos, entry.cc) {
-                sum.add_term(cr_vars[i], Ratio::one());
-            }
-            push_bounds(
-                &mut problem,
-                &sum,
-                cc_vars[entry.cc.index()],
-                entry.card.min,
-                entry.card.max,
-            );
-        }
-
-        // Pinned unknowns: Var(X̄) = 0 (≤ 0 with the implicit ≥ 0).
-        for &u in pinned_zero {
-            budget.checkpoint()?;
-            let var = match u {
-                UnknownId::Cc(i) => cc_vars[i],
-                UnknownId::Ca(i) => ca_vars[i],
-                UnknownId::Cr(i) => cr_vars[i],
-            };
-            problem.add_constraint(LinExpr::var(var), Relation::Le, Ratio::zero());
-        }
-
-        Ok(DisequationSystem { problem, cc_vars, ca_vars, cr_vars })
+        DisequationSystem::build_with_threads(expansion, pinned_zero, NonZeroUsize::MIN)
     }
 
     /// Builds `ΨS` with the per-entry row construction sharded over up
@@ -118,7 +51,8 @@ impl DisequationSystem {
     /// `Natt`/`Nrel` rows — each a function of one entry only — are built
     /// in parallel and appended in entry order, so the resulting system
     /// is identical to [`DisequationSystem::build`] for every thread
-    /// count; `threads = 1` runs the serial code directly.
+    /// count; `threads = 1` maps the entries in order on the calling
+    /// thread.
     #[must_use]
     pub fn build_with_threads(
         expansion: &Expansion,
@@ -129,9 +63,10 @@ impl DisequationSystem {
             .expect("unbounded budget cannot exhaust")
     }
 
-    /// [`DisequationSystem::build_with_threads`] under a resource
-    /// [`Budget`]: one checkpoint per `Natt`/`Nrel` entry and per pinned
-    /// unknown, on both the serial and the parallel path.
+    /// The one governed core behind every entry point ([`Self::build`]
+    /// and [`Self::build_with_threads`] both delegate here): one
+    /// checkpoint per `Natt`/`Nrel` entry and per pinned unknown,
+    /// identical for every thread count.
     ///
     /// # Errors
     /// [`ResourceExhausted`] as soon as the budget runs out.
@@ -141,9 +76,6 @@ impl DisequationSystem {
         threads: NonZeroUsize,
         budget: &Budget,
     ) -> Result<DisequationSystem, ResourceExhausted> {
-        if threads.get() == 1 {
-            return DisequationSystem::build_serial_governed(expansion, pinned_zero, budget);
-        }
         let mut problem = Problem::new();
         let cc_vars: Vec<VarId> = expansion
             .cc_ids()
@@ -183,12 +115,31 @@ impl DisequationSystem {
                 }
                 Ok(bounds_rows(&sum, cc_vars[entry.cc.index()], entry.card.min, entry.card.max))
             });
-        for rows in natt_rows.into_iter().chain(nrel_rows) {
-            for (expr, rel) in rows? {
+        let mut row_origins = Vec::new();
+        for (entry_idx, (entry, rows)) in natt.iter().zip(natt_rows).enumerate() {
+            for ((expr, rel), origin) in
+                rows?.into_iter().zip(origins_of(entry.card.min, entry.card.max))
+            {
+                row_origins.push(match origin {
+                    BoundKind::Lower => RowOrigin::NattLower(entry_idx),
+                    BoundKind::Upper => RowOrigin::NattUpper(entry_idx),
+                });
+                problem.add_constraint(expr, rel, Ratio::zero());
+            }
+        }
+        for (entry_idx, (entry, rows)) in nrel.iter().zip(nrel_rows).enumerate() {
+            for ((expr, rel), origin) in
+                rows?.into_iter().zip(origins_of(entry.card.min, entry.card.max))
+            {
+                row_origins.push(match origin {
+                    BoundKind::Lower => RowOrigin::NrelLower(entry_idx),
+                    BoundKind::Upper => RowOrigin::NrelUpper(entry_idx),
+                });
                 problem.add_constraint(expr, rel, Ratio::zero());
             }
         }
 
+        // Pinned unknowns: Var(X̄) = 0 (≤ 0 with the implicit ≥ 0).
         for &u in pinned_zero {
             budget.checkpoint()?;
             let var = match u {
@@ -196,10 +147,12 @@ impl DisequationSystem {
                 UnknownId::Ca(i) => ca_vars[i],
                 UnknownId::Cr(i) => cr_vars[i],
             };
+            row_origins.push(RowOrigin::Pinned(u));
             problem.add_constraint(LinExpr::var(var), Relation::Le, Ratio::zero());
         }
 
-        Ok(DisequationSystem { problem, cc_vars, ca_vars, cr_vars })
+        debug_assert_eq!(row_origins.len(), problem.num_constraints());
+        Ok(DisequationSystem { problem, cc_vars, ca_vars, cr_vars, row_origins })
     }
 
     /// The underlying LP problem (all unknowns implicitly `≥ 0`).
@@ -248,6 +201,15 @@ impl DisequationSystem {
         self.problem.num_constraints()
     }
 
+    /// Provenance of every constraint row, parallel to
+    /// [`Self::problem`]'s constraint order. Column generation uses this
+    /// to map simplex duals back to the `Natt`/`Nrel` entry whose bound
+    /// produced each row.
+    #[must_use]
+    pub fn row_origins(&self) -> &[RowOrigin] {
+        &self.row_origins
+    }
+
     /// Iterates over all unknown ids in LP-variable order.
     pub fn unknowns(&self) -> impl Iterator<Item = UnknownId> + '_ {
         let ccs = (0..self.cc_vars.len()).map(UnknownId::Cc);
@@ -268,17 +230,40 @@ pub enum UnknownId {
     Cr(usize),
 }
 
-/// Adds `min·var ≤ sum` and `sum ≤ max·var` (skipping trivial halves).
-fn push_bounds(
-    problem: &mut Problem,
-    sum: &LinExpr,
-    cc_var: VarId,
-    min: u64,
-    max: Option<u64>,
-) {
-    for (expr, rel) in bounds_rows(sum, cc_var, min, max) {
-        problem.add_constraint(expr, rel, Ratio::zero());
+/// Provenance of one constraint row of `ΨS`, in the order the rows were
+/// added to the problem: `Natt` bounds first (per entry, lower then
+/// upper), then `Nrel` bounds, then pinned-zero rows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RowOrigin {
+    /// Lower cardinality bound of `natt()[i]`.
+    NattLower(usize),
+    /// Upper cardinality bound of `natt()[i]`.
+    NattUpper(usize),
+    /// Lower cardinality bound of `nrel()[i]`.
+    NrelLower(usize),
+    /// Upper cardinality bound of `nrel()[i]`.
+    NrelUpper(usize),
+    /// `Var(X̄) ≤ 0` pin from the acceptability fixpoint.
+    Pinned(UnknownId),
+}
+
+/// Which half of a cardinality bound a row encodes.
+enum BoundKind {
+    Lower,
+    Upper,
+}
+
+/// The bound kinds emitted by [`bounds_rows`] for the same cardinality,
+/// in the same order.
+fn origins_of(min: u64, max: Option<u64>) -> Vec<BoundKind> {
+    let mut kinds = Vec::new();
+    if min > 0 {
+        kinds.push(BoundKind::Lower);
     }
+    if max.is_some() {
+        kinds.push(BoundKind::Upper);
+    }
+    kinds
 }
 
 /// The rows of `min·var ≤ sum` and `sum ≤ max·var`, in lower-then-upper
@@ -422,6 +407,39 @@ mod tests {
             assert_eq!(par.ca_vars, serial.ca_vars);
             assert_eq!(par.cr_vars, serial.cr_vars);
         }
+    }
+
+    #[test]
+    fn row_origins_align_with_constraint_rows() {
+        let (_s, exp) = expansion_of(|b| {
+            let a = b.class("A");
+            let t = b.class("T");
+            let f = b.attribute("f");
+            b.define_class(a)
+                .attr(AttRef::Direct(f), Card::new(2, 5), ClassFormula::class(t))
+                .finish();
+            b.define_class(t)
+                .attr(AttRef::Inverse(f), Card::at_least(1), ClassFormula::top())
+                .finish();
+        });
+        let pinned = [UnknownId::Cc(0)];
+        let sys = DisequationSystem::build(&exp, &pinned);
+        assert_eq!(sys.row_origins().len(), sys.num_disequations());
+        // Natt rows come first (lower then upper per entry), pins last.
+        let natt_entries = exp.natt().len();
+        for origin in sys.row_origins() {
+            match *origin {
+                RowOrigin::NattLower(i) | RowOrigin::NattUpper(i) => assert!(i < natt_entries),
+                RowOrigin::NrelLower(_) | RowOrigin::NrelUpper(_) => {
+                    panic!("schema has no relations")
+                }
+                RowOrigin::Pinned(u) => assert_eq!(u, UnknownId::Cc(0)),
+            }
+        }
+        assert_eq!(*sys.row_origins().last().unwrap(), RowOrigin::Pinned(UnknownId::Cc(0)));
+        // A Card::new(2, 5) entry contributes a lower and an upper row.
+        assert!(sys.row_origins().iter().any(|o| matches!(o, RowOrigin::NattLower(_))));
+        assert!(sys.row_origins().iter().any(|o| matches!(o, RowOrigin::NattUpper(_))));
     }
 
     #[test]

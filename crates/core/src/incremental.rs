@@ -84,6 +84,7 @@ use crate::ids::ClassId;
 use crate::par;
 use crate::persist::{codec, SharedStore};
 use crate::preselection::Preselection;
+use crate::satisfiability::AnalysisStats;
 use crate::reasoner::{
     self, Bundle, Outcome, ReasonerConfig, ReasonerError, Strategy,
 };
@@ -992,7 +993,7 @@ fn ccs_with_store(
     config: &ReasonerConfig,
     store: Option<&SharedStore>,
     stats: &mut WorkspaceStats,
-) -> Result<Vec<BitSet>, ReasonerError> {
+) -> Result<(Vec<BitSet>, Strategy), ReasonerError> {
     let Some(store) = store else {
         return reasoner::enumerate_ccs(schema, config);
     };
@@ -1026,9 +1027,9 @@ fn ccs_with_store(
             .and_then(|()| budget.charge(Item::CompoundClass, models.len() as u64))
             .map_err(|e| reasoner::exhausted_error(budget, e))?;
         stats.disk_ccs_hits += 1;
-        return Ok(models);
+        return Ok((models, reasoner::effective_strategy(schema, config)));
     }
-    let models = reasoner::enumerate_ccs(schema, config)?;
+    let (models, effective) = reasoner::enumerate_ccs(schema, config)?;
     let payload = codec::encode_models(n, &models);
     let ok = store
         .lock()
@@ -1039,7 +1040,7 @@ fn ccs_with_store(
     } else {
         stats.disk_write_failures += 1;
     }
-    Ok(models)
+    Ok((models, effective))
 }
 
 // ---------------------------------------------------------------------
@@ -1070,6 +1071,11 @@ pub struct WorkspaceStats {
     /// the freshly computed result is still returned and cached in
     /// memory; only durability is lost.
     pub disk_write_failures: u64,
+    /// The enumeration strategy that actually ran for the most recently
+    /// computed satisfiability bundle (`None` until one is computed) —
+    /// e.g. `Sat` for a `Naive` request past the fallback cap. Surfaced
+    /// so server transcripts record silent strategy dispatches.
+    pub effective_strategy: Option<Strategy>,
 }
 
 /// One reasoning question for [`Workspace::query_batch`].
@@ -1318,7 +1324,7 @@ impl Workspace {
             && match config.strategy {
                 Strategy::Preselect => true,
                 Strategy::Auto => hierarchy::detect(&self.schema).is_none(),
-                Strategy::Naive | Strategy::Sat => false,
+                Strategy::Naive | Strategy::Sat | Strategy::ColumnGen => false,
             };
         if cluster_path {
             let ccs = spliced_ccs(
@@ -1330,12 +1336,17 @@ impl Workspace {
             )?;
             let (expansion, analysis) =
                 reasoner::expand_and_analyze(&self.schema, ccs, &config)?;
-            return Ok(Bundle::new(None, expansion, analysis));
+            // The spliced path is the cluster-by-cluster `Preselect`
+            // enumeration, whatever the requested strategy resolved from.
+            self.stats.effective_strategy = Some(Strategy::Preselect);
+            return Ok(Bundle::new(None, expansion, analysis, Strategy::Preselect));
         }
         let schema = transformed.as_ref().unwrap_or(&self.schema);
-        let ccs = ccs_with_store(schema, &config, self.store.as_ref(), &mut self.stats)?;
+        let (ccs, effective) =
+            ccs_with_store(schema, &config, self.store.as_ref(), &mut self.stats)?;
         let (expansion, analysis) = reasoner::expand_and_analyze(schema, ccs, &config)?;
-        Ok(Bundle::new(transformed, expansion, analysis))
+        self.stats.effective_strategy = Some(effective);
+        Ok(Bundle::new(transformed, expansion, analysis, effective))
     }
 
     fn compute_full_bundle(&mut self) -> Result<Bundle, ReasonerError> {
@@ -1344,11 +1355,11 @@ impl Workspace {
             arity_reduction: false,
             ..self.config.clone()
         };
-        let ccs =
+        let (ccs, effective) =
             ccs_with_store(&self.schema, &full_config, self.store.as_ref(), &mut self.stats)?;
         let (expansion, analysis) =
             reasoner::expand_and_analyze(&self.schema, ccs, &full_config)?;
-        Ok(Bundle::new(None, expansion, analysis))
+        Ok(Bundle::new(None, expansion, analysis, effective))
     }
 
     // ---- Queries ---------------------------------------------------
@@ -1383,6 +1394,16 @@ impl Workspace {
     /// Exactly as [`crate::reasoner::Reasoner::try_is_coherent`].
     pub fn try_is_coherent(&mut self) -> Result<bool, ReasonerError> {
         Ok(self.try_unsatisfiable_classes()?.is_empty())
+    }
+
+    /// Statistics of the satisfiability analysis on the current schema
+    /// (forces the satisfiability bundle), including the enumeration
+    /// strategy that actually ran.
+    ///
+    /// # Errors
+    /// Exactly as [`crate::reasoner::Reasoner::try_stats`].
+    pub fn try_analysis_stats(&mut self) -> Result<AnalysisStats, ReasonerError> {
+        Ok(self.bundle(BundleKind::Sat)?.stats())
     }
 
     /// `sup ⊒ sub` on the current schema.

@@ -19,6 +19,7 @@
 //! | logical implication (§3, extension) | [`implication`] |
 //! | §4.3 preselection & Theorem 4.6 | [`preselection`] |
 //! | §4.4 clusters | [`clusters`] |
+//! | lazy column generation (extension) | [`colgen`] |
 //! | §4.4 generalization hierarchies | [`hierarchy`] |
 //! | Theorem 4.5 arity reduction | [`arity`] |
 //! | parallel execution layer | [`par`] |
@@ -57,6 +58,7 @@ pub mod bitset;
 pub mod budget;
 pub mod certify;
 pub mod clusters;
+pub mod colgen;
 pub mod disequations;
 pub mod enumerate;
 pub mod evict;

@@ -15,8 +15,15 @@
 //!   (skips inconsistent candidates wholesale);
 //! * [`Strategy::Preselect`] — §4.3 preselection tables + Theorem 4.6
 //!   cluster decomposition (§4.4);
+//! * [`Strategy::ColumnGen`] — lazy column generation
+//!   ([`crate::colgen`]): grow a small working set of compound classes
+//!   with DPLL pricing instead of materializing the full enumeration;
 //! * [`Strategy::Auto`] — the generalization-hierarchy fast path (§4.4)
 //!   when the schema has that shape, otherwise `Preselect`.
+//!
+//! A strategy request is not always the strategy that runs (`Naive`
+//! falls back past its cap, `Auto` dispatches); the strategy actually
+//! executed is recorded in [`AnalysisStats::effective_strategy`].
 //!
 //! Satisfiability answers are identical under all strategies. Logical
 //! implication, however, must see *every* realizable compound class —
@@ -28,6 +35,7 @@ use crate::arity::reduce_arities;
 use crate::bitset::BitSet;
 use crate::budget::{Budget, Phase, ProgressReport, ResourceExhausted, ResourceKind};
 use crate::clusters::clustered_ccs_governed;
+use crate::colgen;
 use crate::enumerate;
 use crate::expansion::{BuildError, CcId, Expansion, ExpansionLimits, ExpansionTooLarge};
 use crate::hierarchy;
@@ -52,6 +60,12 @@ pub enum Strategy {
     Sat,
     /// §4.3 preselection + §4.4 clusters.
     Preselect,
+    /// Lazy column generation over a growing working set of compound
+    /// classes ([`crate::colgen`]), for schemas beyond the eager
+    /// enumeration ceiling. Satisfiability verdicts are identical to
+    /// every eager strategy; implication queries still force the
+    /// complete enumeration.
+    ColumnGen,
     /// Hierarchy fast path when applicable, else `Preselect`.
     #[default]
     Auto,
@@ -223,6 +237,10 @@ pub(crate) struct Bundle {
     pub(crate) transformed: Option<Schema>,
     pub(crate) expansion: Expansion,
     pub(crate) analysis: SatAnalysis,
+    /// The enumeration strategy that actually ran (surfaced via
+    /// [`AnalysisStats::effective_strategy`]) — e.g. `Sat` for a `Naive`
+    /// request past the cap.
+    pub(crate) effective: Strategy,
     /// Lazily built per-class lists of realizable compound classes,
     /// shared by every implication query on this bundle. A `OnceLock`
     /// (not `OnceCell`) so bundles stay `Sync` and a cached bundle can
@@ -235,8 +253,9 @@ impl Bundle {
         transformed: Option<Schema>,
         expansion: Expansion,
         analysis: SatAnalysis,
+        effective: Strategy,
     ) -> Bundle {
-        Bundle { transformed, expansion, analysis, class_index: OnceLock::new() }
+        Bundle { transformed, expansion, analysis, effective, class_index: OnceLock::new() }
     }
 
     /// The implication view, backed by the cached class index.
@@ -250,10 +269,12 @@ impl Bundle {
     }
 
     /// The analysis statistics, stamped with whether the Theorem 4.5
-    /// transform was applied.
+    /// transform was applied and which enumeration strategy actually
+    /// ran.
     pub(crate) fn stats(&self) -> AnalysisStats {
         let mut stats = self.analysis.stats().clone();
         stats.arity_reduced = self.transformed.is_some();
+        stats.effective_strategy = Some(self.effective);
         stats
     }
 }
@@ -302,7 +323,11 @@ pub(crate) fn transform_schema(
     }
 }
 
-/// Strategy-dispatched compound-class enumeration (`Phase::Enumerate`).
+/// Strategy-dispatched compound-class enumeration (`Phase::Enumerate`),
+/// returning the compound classes together with the strategy that
+/// *actually* ran — callers stamp the latter into
+/// [`AnalysisStats::effective_strategy`] so silent dispatches stay
+/// visible in stats and telemetry.
 ///
 /// `Strategy::Naive` beyond [`enumerate::NAIVE_CAP`] falls back to the
 /// AllSAT enumeration: the naive sweep is hopeless there regardless of
@@ -310,35 +335,46 @@ pub(crate) fn transform_schema(
 /// cap is a tractability boundary of the sweep — not a property of the
 /// schema — and must not surface as a user-facing error. Direct callers
 /// of `enumerate::naive*` (the explicit request for the §4.2 sweep)
-/// still get the capped behavior.
+/// still get the capped behavior. `Strategy::Auto` reports `Auto` when
+/// the hierarchy fast path ran and `Preselect` when it dispatched there.
 pub(crate) fn enumerate_ccs(
     schema: &Schema,
     config: &ReasonerConfig,
-) -> Result<Vec<BitSet>, ReasonerError> {
+) -> Result<(Vec<BitSet>, Strategy), ReasonerError> {
     let budget = &config.budget;
     let threads = config.threads;
     let max = config.limits.max_compound_classes;
     budget.enter_phase(Phase::Enumerate);
-    match config.strategy {
-        Strategy::Naive if schema.num_classes() > enumerate::NAIVE_CAP => {
-            enumerate::sat_models_par_governed(schema, &[], max, threads, budget)
-        }
+    let effective = effective_strategy(schema, config);
+    let ccs = match effective {
         Strategy::Naive => enumerate::naive_par_governed(schema, max, threads, budget),
         Strategy::Sat => enumerate::sat_models_par_governed(schema, &[], max, threads, budget),
         Strategy::Preselect => {
             let pre = Preselection::compute(schema);
             clustered_ccs_governed(schema, &pre, max, budget)
         }
-        Strategy::Auto => match hierarchy::detect(schema) {
-            Some(h) => hierarchy::path_closure_ccs_governed(schema, &h, budget)
-                .map_err(BuildError::from),
-            None => {
-                let pre = Preselection::compute(schema);
-                clustered_ccs_governed(schema, &pre, max, budget)
-            }
-        },
+        Strategy::ColumnGen => {
+            colgen::working_set_governed(schema, &config.limits, threads, budget)
+        }
+        Strategy::Auto => {
+            let h = hierarchy::detect(schema).expect("effective Auto implies hierarchy");
+            hierarchy::path_closure_ccs_governed(schema, &h, budget).map_err(BuildError::from)
+        }
+    };
+    Ok((ccs.map_err(|e| build_error(budget, e))?, effective))
+}
+
+/// The strategy [`enumerate_ccs`] actually runs for this schema and
+/// config: `Naive` past the cap runs `Sat`, `Auto` without a hierarchy
+/// shape runs `Preselect`; everything else runs as requested. Also used
+/// to stamp replayed (disk-cached) enumerations in
+/// [`crate::incremental`] without re-running the dispatch.
+pub(crate) fn effective_strategy(schema: &Schema, config: &ReasonerConfig) -> Strategy {
+    match config.strategy {
+        Strategy::Naive if schema.num_classes() > enumerate::NAIVE_CAP => Strategy::Sat,
+        Strategy::Auto if hierarchy::detect(schema).is_none() => Strategy::Preselect,
+        requested => requested,
     }
-    .map_err(|e| build_error(budget, e))
 }
 
 /// Expansion construction plus acceptability fixpoint over a ready
@@ -419,9 +455,9 @@ impl<'s> Reasoner<'s> {
         // Theorem 4.5: reify wide relations first when enabled.
         let transformed = transform_schema(self.schema, &self.config)?;
         let schema = transformed.as_ref().unwrap_or(self.schema);
-        let ccs = enumerate_ccs(schema, &self.config)?;
+        let (ccs, effective) = enumerate_ccs(schema, &self.config)?;
         let (expansion, analysis) = expand_and_analyze(schema, ccs, &self.config)?;
-        Ok(Bundle::new(transformed, expansion, analysis))
+        Ok(Bundle::new(transformed, expansion, analysis, effective))
     }
 
     fn compute_full_bundle(&self) -> Result<Bundle, ReasonerError> {
@@ -432,9 +468,9 @@ impl<'s> Reasoner<'s> {
             arity_reduction: false,
             ..self.config.clone()
         };
-        let ccs = enumerate_ccs(self.schema, &full_config)?;
+        let (ccs, effective) = enumerate_ccs(self.schema, &full_config)?;
         let (expansion, analysis) = expand_and_analyze(self.schema, ccs, &full_config)?;
-        Ok(Bundle::new(None, expansion, analysis))
+        Ok(Bundle::new(None, expansion, analysis, effective))
     }
 
     /// `true` when the sat and full bundles are the same computation:
@@ -776,13 +812,26 @@ impl<'s> Reasoner<'s> {
     /// Together with [`Self::extract_model`], every verdict the reasoner
     /// gives can be audited by an independent checker.
     ///
+    /// Under [`Strategy::ColumnGen`] the proof is built over the lazy
+    /// working-set expansion ([`Self::sat_expansion`]) instead of the
+    /// complete one — the complete enumeration may be beyond reach,
+    /// which is the point of the lazy strategy. The proof object has
+    /// the identical shape (the same [`crate::certify::UnsatProof`]
+    /// steps and `car_lp` Farkas certificates), so `certify`/`explain`
+    /// consumers work unchanged; verify it against the expansion the
+    /// same accessor returns.
+    ///
     /// # Errors
     /// [`ReasonerError::TooLarge`] when the expansion exceeds the limits.
     pub fn certify_unsatisfiable(
         &self,
         class: ClassId,
     ) -> Result<Option<crate::certify::UnsatProof>, ReasonerError> {
-        let bundle = self.full_bundle()?;
+        let bundle = if self.config.strategy == Strategy::ColumnGen {
+            self.sat_bundle()?
+        } else {
+            self.full_bundle()?
+        };
         Ok(crate::certify::certify_unsatisfiable(
             &bundle.expansion,
             &bundle.analysis,
@@ -797,6 +846,17 @@ impl<'s> Reasoner<'s> {
     /// [`ReasonerError::TooLarge`] when the expansion exceeds the limits.
     pub fn full_expansion(&self) -> Result<&Expansion, ReasonerError> {
         Ok(&self.full_bundle()?.expansion)
+    }
+
+    /// The expansion behind satisfiability queries under the configured
+    /// strategy (the working-set expansion under
+    /// [`Strategy::ColumnGen`]) — the one to verify lazy-path
+    /// certificates against.
+    ///
+    /// # Errors
+    /// [`ReasonerError::TooLarge`] when the expansion exceeds the limits.
+    pub fn sat_expansion(&self) -> Result<&Expansion, ReasonerError> {
+        Ok(&self.sat_bundle()?.expansion)
     }
 
     // ---- Model extraction ------------------------------------------
@@ -857,8 +917,13 @@ mod tests {
     fn all_strategies_agree_on_satisfiability() {
         let s = university();
         let mut reference: Option<Vec<bool>> = None;
-        for strategy in [Strategy::Naive, Strategy::Sat, Strategy::Preselect, Strategy::Auto]
-        {
+        for strategy in [
+            Strategy::Naive,
+            Strategy::Sat,
+            Strategy::Preselect,
+            Strategy::ColumnGen,
+            Strategy::Auto,
+        ] {
             let r = Reasoner::with_config(
                 &s,
                 ReasonerConfig { strategy, arity_reduction: true, ..Default::default() },
@@ -1064,6 +1129,64 @@ mod tests {
             naive.try_stats().unwrap().num_compound_classes,
             sat.try_stats().unwrap().num_compound_classes
         );
+        // The silent fallback is recorded: the stats carry the strategy
+        // that actually ran, not the one requested.
+        assert_eq!(naive.try_stats().unwrap().effective_strategy, Some(Strategy::Sat));
+        assert_eq!(sat.try_stats().unwrap().effective_strategy, Some(Strategy::Sat));
+    }
+
+    #[test]
+    fn effective_strategy_reflects_dispatch() {
+        let s = university();
+        let at = |strategy| {
+            Reasoner::with_config(&s, ReasonerConfig { strategy, ..Default::default() })
+                .try_stats()
+                .unwrap()
+                .effective_strategy
+        };
+        // Below the cap, Naive really runs Naive.
+        assert_eq!(at(Strategy::Naive), Some(Strategy::Naive));
+        assert_eq!(at(Strategy::Sat), Some(Strategy::Sat));
+        assert_eq!(at(Strategy::Preselect), Some(Strategy::Preselect));
+        assert_eq!(at(Strategy::ColumnGen), Some(Strategy::ColumnGen));
+        // The university schema is a generalization hierarchy, so Auto
+        // takes its fast path and reports itself.
+        assert_eq!(at(Strategy::Auto), Some(Strategy::Auto));
+        // A union in an isa part breaks the hierarchy shape: Auto is
+        // recorded as the Preselect dispatch it actually ran.
+        let mut b = SchemaBuilder::new();
+        let l = b.class("L");
+        let r_ = b.class("R");
+        let u = b.class("U");
+        b.define_class(u).isa(ClassFormula::union_of([l, r_])).finish();
+        let s2 = b.build().unwrap();
+        let r2 = Reasoner::with_config(
+            &s2,
+            ReasonerConfig { strategy: Strategy::Auto, ..Default::default() },
+        );
+        assert_eq!(r2.try_stats().unwrap().effective_strategy, Some(Strategy::Preselect));
+        // A raw analysis has no strategy to record.
+        assert_eq!(AnalysisStats::default().effective_strategy, None);
+    }
+
+    #[test]
+    fn column_generation_certifies_over_the_working_set() {
+        let mut b = SchemaBuilder::new();
+        let a = b.class("A");
+        let dead = b.class("Dead");
+        b.define_class(dead).isa(ClassFormula::neg_class(dead)).finish();
+        let _ = a;
+        let s = b.build().unwrap();
+        let r = Reasoner::with_config(
+            &s,
+            ReasonerConfig { strategy: Strategy::ColumnGen, ..Default::default() },
+        );
+        assert!(!r.try_is_satisfiable(dead).unwrap());
+        let proof = r.certify_unsatisfiable(dead).unwrap().expect("unsat must certify");
+        // Same certificate shape as the eager path, verified against the
+        // lazy working-set expansion.
+        assert!(proof.verify(r.sat_expansion().unwrap()));
+        assert!(r.certify_unsatisfiable(a).unwrap().is_none());
     }
 
     #[test]

@@ -56,6 +56,12 @@ pub struct AnalysisStats {
     /// analysis (set by [`crate::reasoner::Reasoner`], `false` when the
     /// analysis runs on a hand-built expansion).
     pub arity_reduced: bool,
+    /// The enumeration strategy that *actually* ran — e.g. `Sat` for a
+    /// `Naive` request past the fallback cap, `Preselect` for an `Auto`
+    /// request without a hierarchy shape. Set by
+    /// [`crate::reasoner::Reasoner`]; `None` when the analysis runs on
+    /// a hand-built expansion.
+    pub effective_strategy: Option<crate::reasoner::Strategy>,
 }
 
 /// Outcome of the fixpoint: which compound classes are realizable (have a

@@ -18,6 +18,10 @@ pub struct SearchCounters {
     pub decisions: u64,
     /// Conflicts detected (a clause with every literal false).
     pub conflicts: u64,
+    /// Calls to the weight-guided solver [`crate::solve_guided`] — one
+    /// per pricing query when `car-core` uses it as a column-generation
+    /// oracle.
+    pub guided_solves: u64,
 }
 
 thread_local! {
@@ -25,6 +29,7 @@ thread_local! {
         propagations: 0,
         decisions: 0,
         conflicts: 0,
+        guided_solves: 0,
     }) };
 }
 
@@ -49,6 +54,15 @@ pub(crate) fn count_decision() {
     COUNTERS.with(|c| {
         let mut v = c.get();
         v.decisions += 1;
+        c.set(v);
+    });
+}
+
+#[inline]
+pub(crate) fn count_guided_solve() {
+    COUNTERS.with(|c| {
+        let mut v = c.get();
+        v.guided_solves += 1;
         c.set(v);
     });
 }

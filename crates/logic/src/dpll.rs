@@ -10,7 +10,7 @@
 
 use crate::assignment::Assignment;
 use crate::cnf::{CnfFormula, PropLit, PropVar};
-use crate::counters::count_decision;
+use crate::counters::{count_decision, count_guided_solve};
 use crate::watch::{unwind, Watcher};
 
 /// Decides satisfiability; returns a total satisfying model if one exists.
@@ -32,6 +32,80 @@ pub fn solve(formula: &CnfFormula) -> Option<Vec<bool>> {
     } else {
         None
     }
+}
+
+/// Weight-guided DPLL: decides satisfiability like [`solve`], but the
+/// branching heuristic is an *objective*. At every decision the search
+/// branches on the unassigned variable with the largest `|weights[v]|`
+/// (ties break toward the lowest index) and tries the polarity the sign
+/// of the weight favors first: `true` when `weights[v] > 0`, else
+/// `false`. Zero-weight variables therefore default to `false`-first,
+/// which steers the search toward set-minimal models.
+///
+/// The pure-literal rule is disabled, so the returned model is a
+/// deterministic function of `(formula, weights)` alone — the property
+/// the column-generation pricing oracle in `car-core` relies on for
+/// reproducible working sets. Each call bumps the `guided_solves`
+/// counter of [`crate::search_counters`].
+///
+/// # Panics
+/// Panics if `weights.len() != formula.num_vars()`.
+#[must_use]
+pub fn solve_guided(formula: &CnfFormula, weights: &[i64]) -> Option<Vec<bool>> {
+    assert_eq!(
+        weights.len(),
+        formula.num_vars(),
+        "one weight per propositional variable"
+    );
+    count_guided_solve();
+    let mut assignment = Assignment::new(formula.num_vars());
+    let mut state = SearchState::new(formula);
+    if state.engine.has_empty_clause() {
+        return None;
+    }
+    let mut trail = Vec::new();
+    if !state.engine.propagate_initial(formula, &mut assignment, &mut trail) {
+        return None;
+    }
+    if search_guided(&mut state, &mut assignment, &mut trail, weights) {
+        let model = assignment.to_model();
+        debug_assert!(formula.eval(&model));
+        Some(model)
+    } else {
+        None
+    }
+}
+
+/// The recursive core of [`solve_guided`]: identical control flow to
+/// [`search`] with `use_pure = false`, except for the weight-driven
+/// variable and polarity selection.
+fn search_guided(
+    state: &mut SearchState<'_>,
+    assignment: &mut Assignment,
+    trail: &mut Vec<PropVar>,
+    weights: &[i64],
+) -> bool {
+    if trail.len() == assignment.len() {
+        return true;
+    }
+
+    let var = (0..assignment.len())
+        .filter(|&v| assignment.value(v).is_none())
+        .max_by_key(|&v| (weights[v].unsigned_abs(), std::cmp::Reverse(v)))
+        .expect("partial assignment has an unassigned variable");
+    let preferred = weights[var] > 0;
+    for value in [preferred, !preferred] {
+        count_decision();
+        let mark = trail.len();
+        let lit = PropLit { var, positive: value };
+        if state.engine.assign_and_propagate(state.formula, assignment, lit, trail)
+            && search_guided(state, assignment, trail, weights)
+        {
+            return true;
+        }
+        unwind(assignment, trail, mark);
+    }
+    false
 }
 
 /// Per-solve search state: the watch engine, the occurrence lists used by
@@ -228,6 +302,58 @@ mod tests {
             }
         }
         assert!(solve(&f).is_none());
+    }
+
+    #[test]
+    fn guided_agrees_with_plain_solve_on_satisfiability() {
+        let cases = [
+            formula(2, &[&[1, 2], &[-1, 2], &[1, -2]]),
+            formula(2, &[&[1, 2], &[-1, 2], &[1, -2], &[-1, -2]]),
+            formula(4, &[&[1], &[-1, 2], &[-2, 3], &[-3, -4]]),
+        ];
+        for f in &cases {
+            for weights in [vec![0i64; f.num_vars()], (0..f.num_vars() as i64).collect()] {
+                let guided = solve_guided(f, &weights);
+                assert_eq!(guided.is_some(), solve(f).is_some());
+                if let Some(m) = guided {
+                    assert!(f.eval(&m));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn guided_polarity_follows_weight_sign() {
+        // Unconstrained variables: the model is dictated by the weights.
+        let f = CnfFormula::new(3);
+        assert_eq!(solve_guided(&f, &[5, -3, 0]), Some(vec![true, false, false]));
+        assert_eq!(solve_guided(&f, &[-1, 2, 7]), Some(vec![false, true, true]));
+    }
+
+    #[test]
+    fn guided_zero_weights_yield_minimal_model() {
+        // x0 ∨ x1, with false-first defaults: the all-false branch fails,
+        // and the search settles on the lexicographically minimal model
+        // under false-before-true exploration.
+        let f = formula(2, &[&[1, 2]]);
+        let m = solve_guided(&f, &[0, 0]).unwrap();
+        assert!(f.eval(&m));
+        assert_eq!(m, vec![false, true]);
+    }
+
+    #[test]
+    fn guided_counts_calls() {
+        let f = CnfFormula::new(1);
+        let before = crate::search_counters().guided_solves;
+        let _ = solve_guided(&f, &[0]);
+        let _ = solve_guided(&f, &[1]);
+        assert_eq!(crate::search_counters().guided_solves, before + 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "one weight per propositional variable")]
+    fn guided_rejects_mismatched_weights() {
+        let _ = solve_guided(&CnfFormula::new(2), &[0]);
     }
 
     #[test]

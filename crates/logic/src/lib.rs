@@ -43,5 +43,5 @@ pub use allsat::{count_models, for_each_model};
 pub use assignment::Assignment;
 pub use cnf::{Clause, CnfFormula, PropLit, PropVar};
 pub use counters::{search_counters, SearchCounters};
-pub use dpll::solve;
+pub use dpll::{solve, solve_guided};
 pub use entail::{propagate_units, up_entails, up_forced_value, Propagation};

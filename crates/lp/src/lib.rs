@@ -40,6 +40,7 @@
 //! }
 //! ```
 
+mod colgen;
 mod cone;
 mod counters;
 mod expr;
@@ -48,6 +49,7 @@ mod problem;
 mod simplex;
 mod tableau;
 
+pub use colgen::{MasterStatus, RestrictedMaster};
 pub use cone::{scale_to_integers, support, try_support, SupportAnalysis};
 pub use counters::pivot_count;
 pub use expr::{LinExpr, VarId};

@@ -55,7 +55,7 @@ impl SolveHooks<'_> {
 }
 
 /// Outcome of running the pivoting loop to optimality.
-enum LoopResult {
+pub(crate) enum LoopResult {
     Optimal,
     Unbounded,
 }
@@ -66,7 +66,7 @@ enum LoopResult {
 /// `enterable` marks the columns allowed to enter the basis (used to keep
 /// artificial columns out during phase 2). `total_pivots` accumulates
 /// across calls so `hooks.max_pivots` caps a whole solve, not one phase.
-fn optimize(
+pub(crate) fn optimize(
     t: &mut Tableau,
     enterable: &[bool],
     hooks: &SolveHooks<'_>,
@@ -133,22 +133,22 @@ fn optimize(
 
 /// A problem converted to standard form `A·x = b, b ≥ 0` with slack,
 /// surplus and artificial columns appended after the structural ones.
-struct Standardized {
-    tableau: Tableau,
-    n_structural: usize,
+pub(crate) struct Standardized {
+    pub(crate) tableau: Tableau,
+    pub(crate) n_structural: usize,
     /// `true` per column iff it is artificial.
-    is_artificial: Vec<bool>,
-    has_artificials: bool,
+    pub(crate) is_artificial: Vec<bool>,
+    pub(crate) has_artificials: bool,
     /// Per row: the slack/artificial column that formed the initial
     /// basis (used to read simplex multipliers off the phase-1 tableau).
-    init_basis_cols: Vec<usize>,
+    pub(crate) init_basis_cols: Vec<usize>,
     /// Per row: whether the original constraint was negated to make its
     /// right-hand side nonnegative.
-    negated: Vec<bool>,
+    pub(crate) negated: Vec<bool>,
 }
 
 /// Builds the standard-form tableau with an all-slack/artificial basis.
-fn standardize(problem: &Problem) -> Standardized {
+pub(crate) fn standardize(problem: &Problem) -> Standardized {
     let n = problem.num_vars();
     let m = problem.constraints().len();
 

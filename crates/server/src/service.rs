@@ -774,6 +774,9 @@ impl Service {
         if let Some(ops) = journal_ops {
             fields.push(("journal_ops_since_snapshot", Json::UInt(ops)));
         }
+        if let Some(effective) = stats.effective_strategy {
+            fields.push(("effective_strategy", Json::Str(format!("{effective:?}"))));
+        }
         ok_response(envelope.id, fields)
     }
 
@@ -1189,5 +1192,36 @@ mod tests {
         // (Here just verify another request still gets a response.)
         let again = run(&svc, r#"{"op":"stats","workspace":"w"}"#);
         assert_eq!(again.get("ok"), Some(&Json::Bool(true)));
+    }
+
+    #[test]
+    fn stats_report_the_effective_strategy_after_a_query() {
+        let svc = service();
+        run(
+            &svc,
+            &format!(
+                "{{\"op\":\"open\",\"workspace\":\"w\",\"schema\":{}}}",
+                crate::json::to_string(&Json::Str(SCHEMA.into()))
+            ),
+        );
+        // Before any reasoning the workspace has no effective strategy.
+        let before = run(&svc, r#"{"op":"stats","workspace":"w"}"#);
+        assert_eq!(before.get("ok"), Some(&Json::Bool(true)));
+        assert_eq!(before.get("effective_strategy"), None);
+        run(
+            &svc,
+            r#"{"op":"query","workspace":"w","queries":[{"kind":"coherent"}]}"#,
+        );
+        // Afterwards the stats carry the strategy the engine actually
+        // ran, not merely the one that was requested.
+        let after = run(&svc, r#"{"op":"stats","workspace":"w"}"#);
+        assert_eq!(after.get("ok"), Some(&Json::Bool(true)));
+        match after.get("effective_strategy") {
+            Some(Json::Str(s)) => assert!(
+                ["Naive", "Sat", "Preselect", "ColumnGen", "Auto"].contains(&s.as_str()),
+                "unexpected effective strategy {s:?}"
+            ),
+            other => panic!("missing effective_strategy field: {other:?}"),
+        }
     }
 }

@@ -1,0 +1,292 @@
+//! Differential suite for lazy column generation: `Strategy::ColumnGen`
+//! must give bit-identical satisfiability answers to every eager
+//! strategy (and to the brute-force finite-model oracle on small
+//! schemas), across thread counts and across budget trip points — and
+//! an aborted pricing run must never poison a cache: retrying the same
+//! reasoner or workspace reproduces the exact answers.
+//!
+//! The default run keeps the sweep small; set `CAR_SLOW_TESTS=1` for
+//! more seeds and a denser trip-point grid.
+
+use car::baseline::{search_model, BruteForceBudget, BruteForceVerdict};
+use car::core::colgen::colgen_counters;
+use car::core::incremental::Workspace;
+use car::core::persist::{DiskStore, StoreLimits};
+use car::core::preselection::Preselection;
+use car::core::reasoner::{Reasoner, ReasonerConfig, ReasonerError, Strategy};
+use car::core::syntax::{AttRef, Card, ClassFormula, Schema, SchemaBuilder};
+use car::core::{Budget, ClassId};
+use car::reductions::generators::{random_schema, RandomSchemaParams};
+use std::num::NonZeroUsize;
+use std::sync::{Arc, Mutex};
+
+fn slow() -> bool {
+    std::env::var("CAR_SLOW_TESTS").map(|v| v == "1").unwrap_or(false)
+}
+
+fn config(strategy: Strategy, threads: usize) -> ReasonerConfig {
+    ReasonerConfig {
+        strategy,
+        threads: NonZeroUsize::new(threads).unwrap(),
+        ..ReasonerConfig::default()
+    }
+}
+
+/// Per-class satisfiability verdicts, the "bit-identical" unit of
+/// comparison across strategies.
+fn verdicts(schema: &Schema, config: ReasonerConfig) -> Vec<bool> {
+    let r = Reasoner::with_config(schema, config);
+    schema
+        .symbols()
+        .class_ids()
+        .map(|c| r.try_is_satisfiable(c).expect("in-budget run must answer"))
+        .collect()
+}
+
+#[test]
+fn lazy_matches_every_eager_strategy_across_thread_counts() {
+    let params = RandomSchemaParams {
+        classes: 4,
+        attrs: 2,
+        rels: 1,
+        isa_density: 0.7,
+        max_bound: 2,
+    };
+    let seeds = if slow() { 0..60 } else { 0..20 };
+    for seed in seeds {
+        let schema = random_schema(&params, seed);
+        let reference = verdicts(&schema, config(Strategy::Sat, 1));
+        for strategy in [
+            Strategy::Naive,
+            Strategy::Sat,
+            Strategy::Preselect,
+            Strategy::ColumnGen,
+            Strategy::Auto,
+        ] {
+            for threads in [1, 2, 4] {
+                assert_eq!(
+                    verdicts(&schema, config(strategy, threads)),
+                    reference,
+                    "strategy {strategy:?}, threads {threads}, seed {seed}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn lazy_agrees_with_the_brute_force_oracle_on_small_schemas() {
+    let params = RandomSchemaParams {
+        classes: 3,
+        attrs: 1,
+        rels: 1,
+        isa_density: 0.7,
+        max_bound: 2,
+    };
+    let budget = BruteForceBudget { max_universe: 3, max_candidates: 2_000_000 };
+    let mut witnessed_sat = 0;
+    let mut witnessed_unsat = 0;
+    for seed in 0..30 {
+        let schema = random_schema(&params, seed);
+        let lazy = Reasoner::with_config(&schema, config(Strategy::ColumnGen, 1));
+        let eager = Reasoner::with_config(&schema, config(Strategy::Sat, 1));
+        for class in schema.symbols().class_ids() {
+            let lazy_sat = lazy.try_is_satisfiable(class).expect("small schema");
+            assert_eq!(
+                lazy_sat,
+                eager.try_is_satisfiable(class).unwrap(),
+                "class {} seed {seed}",
+                schema.class_name(class)
+            );
+            match search_model(&schema, class, &budget) {
+                BruteForceVerdict::Satisfiable(model) => {
+                    assert!(model.is_model(&schema));
+                    assert!(
+                        lazy_sat,
+                        "brute force found a model for {} (seed {seed}) but the \
+                         lazy path disagrees",
+                        schema.class_name(class)
+                    );
+                    witnessed_sat += 1;
+                }
+                BruteForceVerdict::NoModelWithinBound => {
+                    if !lazy_sat {
+                        witnessed_unsat += 1;
+                    }
+                }
+                BruteForceVerdict::BudgetExceeded => {}
+            }
+        }
+    }
+    assert!(witnessed_sat > 15, "only {witnessed_sat} satisfiable cases exercised");
+    assert!(witnessed_unsat >= 2, "only {witnessed_unsat} unsatisfiable cases exercised");
+}
+
+/// Budget trip points: at every prefix of the lazy run's checkpoint
+/// sequence, aborting surfaces `BudgetExhausted` (never a wrong
+/// answer), and retrying the *same* reasoner with a fresh budget
+/// reproduces the reference answers exactly — an aborted pricing pass
+/// must not leave partial state behind.
+#[test]
+fn aborted_pricing_never_poisons_the_reasoner() {
+    let params = RandomSchemaParams {
+        classes: 4,
+        attrs: 2,
+        rels: 1,
+        isa_density: 0.8,
+        max_bound: 2,
+    };
+    let seeds: &[u64] = if slow() { &[0, 1, 2, 3, 4, 5] } else { &[0, 1, 2] };
+    for &seed in seeds {
+        let schema = random_schema(&params, seed);
+        let reference = verdicts(&schema, config(Strategy::ColumnGen, 1));
+
+        // Discover the checkpoint count of a full run.
+        let counting = Budget::counting();
+        let cfg = ReasonerConfig { budget: counting.clone(), ..config(Strategy::ColumnGen, 1) };
+        let _ = verdicts(&schema, cfg);
+        let total = counting.checkpoints_used();
+        assert!(total > 0, "lazy run must poll its budget (seed {seed})");
+
+        let step = if slow() { 1 } else { (total / 8).max(1) };
+        for threads in [1, 2, 4] {
+            let mut trip = 1;
+            while trip <= total {
+                let mut r = Reasoner::with_config(
+                    &schema,
+                    ReasonerConfig {
+                        budget: Budget::trip_after(trip),
+                        ..config(Strategy::ColumnGen, threads)
+                    },
+                );
+                let classes: Vec<ClassId> = schema.symbols().class_ids().collect();
+                let tripped = match r.try_is_satisfiable(classes[0]) {
+                    Ok(_) => false,
+                    Err(ReasonerError::BudgetExhausted(_)) => true,
+                    Err(e) => panic!("unexpected error at trip {trip}: {e:?}"),
+                };
+                // Whether or not the first query tripped, a fresh budget
+                // on the same reasoner must reproduce the reference.
+                r.set_budget(Budget::unbounded());
+                let after: Vec<bool> = classes
+                    .iter()
+                    .map(|&c| r.try_is_satisfiable(c).unwrap())
+                    .collect();
+                assert_eq!(
+                    after, reference,
+                    "seed {seed}, threads {threads}, trip {trip} (tripped={tripped})"
+                );
+                trip += step;
+            }
+        }
+    }
+}
+
+/// An aborted lazy run through a [`Workspace`] with a durable store
+/// attached must not write a poisoned cache entry: the same workspace
+/// retried, and a second workspace sharing the store, both reproduce
+/// the reference answers.
+#[test]
+fn aborted_pricing_never_poisons_the_workspace_or_the_store() {
+    let dir = std::env::temp_dir()
+        .join(format!("car-colgen-store-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store =
+        Arc::new(Mutex::new(DiskStore::open_real(&dir, StoreLimits::default()).unwrap()));
+
+    let params = RandomSchemaParams {
+        classes: 4,
+        attrs: 2,
+        rels: 1,
+        isa_density: 0.8,
+        max_bound: 2,
+    };
+    let schema = random_schema(&params, 7);
+    let reference = verdicts(&schema, config(Strategy::ColumnGen, 1));
+    let classes: Vec<ClassId> = schema.symbols().class_ids().collect();
+
+    let mut ws = Workspace::new(
+        schema.clone(),
+        ReasonerConfig {
+            budget: Budget::trip_after(1),
+            ..config(Strategy::ColumnGen, 1)
+        },
+    );
+    ws.set_store(store.clone());
+    match ws.try_is_satisfiable(classes[0]) {
+        Err(ReasonerError::BudgetExhausted(_)) => {}
+        other => panic!("trip_after(1) must exhaust, got {other:?}"),
+    }
+    // Retry on the same workspace.
+    ws.set_budget(Budget::unbounded());
+    let retried: Vec<bool> =
+        classes.iter().map(|&c| ws.try_is_satisfiable(c).unwrap()).collect();
+    assert_eq!(retried, reference, "workspace retry after abort");
+    assert_eq!(ws.stats().effective_strategy, Some(Strategy::ColumnGen));
+
+    // A second workspace sharing the store — whatever the abort left
+    // behind, answers stay bit-identical.
+    let mut ws2 = Workspace::new(schema, config(Strategy::ColumnGen, 1));
+    ws2.set_store(store);
+    let shared: Vec<bool> =
+        classes.iter().map(|&c| ws2.try_is_satisfiable(c).unwrap()).collect();
+    assert_eq!(shared, reference, "second workspace over the shared store");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A ring of `n` classes over ONE shared attribute `f`, each forced to
+/// own an `f`-successor in the next class. Sharing the attribute puts
+/// every class into one §4.3 co-occurrence group, so the whole ring is
+/// a single cluster — and with no isa constraints, eager enumeration
+/// over that cluster is exactly 2^n − 1 compound classes. The lazy
+/// path must answer with a working set that stays near-linear in `n`.
+fn ring_schema(n: usize) -> Schema {
+    let mut b = SchemaBuilder::new();
+    let classes: Vec<ClassId> = (0..n).map(|i| b.class(&format!("C{i}"))).collect();
+    let f = b.attribute("f");
+    for i in 0..n {
+        let next = classes[(i + 1) % n];
+        b.define_class(classes[i])
+            .attr(AttRef::Direct(f), Card::new(1, 1), ClassFormula::class(next))
+            .finish();
+    }
+    b.build().unwrap()
+}
+
+#[test]
+fn lazy_answers_a_single_cluster_beyond_the_enumeration_ceiling() {
+    let n = 50;
+    let schema = ring_schema(n);
+    assert_eq!(
+        Preselection::compute(&schema).clusters().len(),
+        1,
+        "the ring must form a single cluster for the test to mean anything"
+    );
+
+    let before = colgen_counters();
+    let r = Reasoner::with_config(&schema, config(Strategy::ColumnGen, 1));
+    for class in schema.symbols().class_ids() {
+        assert!(
+            r.try_is_satisfiable(class).expect("lazy run within default budget"),
+            "every ring class is satisfiable"
+        );
+    }
+    let stats = r.try_stats().unwrap();
+    let after = colgen_counters();
+
+    assert_eq!(stats.effective_strategy, Some(Strategy::ColumnGen));
+    // The whole point: the working set stays tiny relative to the 2^50
+    // compound classes eager enumeration would have to materialize.
+    assert!(
+        stats.num_compound_classes <= 4 * n,
+        "working set blew up: {} compound classes for n={n}",
+        stats.num_compound_classes
+    );
+    let priced = after.columns_priced - before.columns_priced;
+    assert!(priced >= 1, "pricing must have run");
+    assert!(
+        priced <= (20 * n) as u64,
+        "columns priced ({priced}) should stay near-linear in n={n}"
+    );
+}
