@@ -31,25 +31,47 @@
 //!    answers, every cluster recovered from disk, and far fewer DPLL
 //!    propagations.
 //!
-//! Output is the `BENCH_6.json` (or `BENCH_7.json`) document:
-//! per-phase deterministic counters (gated in CI via `--check`, like
-//! `BENCH_5.json`) plus wall-clock observations — total time, p50/p99
-//! latency, throughput — which are recorded but never gated.
+//! With `--fleet` the phases become the multi-writer safety phases of
+//! `BENCH_9.json`:
+//!
+//! 1. **fleet_takeover** — a leader, a read-only follower and a
+//!    standby leader share one data directory. The follower must
+//!    answer every workspace bit-identically while refusing every edit
+//!    with `read_only`; the standby must respect the live leader's
+//!    workspace leases, adopt every workspace within a TTL of the
+//!    leader's power cut, answer bit-identically, and accept edits
+//!    again.
+//! 2. **fleet_fencing** — a writer's lease dies while its in-memory
+//!    handle (the zombie) lives on; a successor steals the claim and
+//!    fences the directory at a higher epoch; the zombie then resumes
+//!    appending. Recovery must reject every stale-epoch record and
+//!    keep every acknowledged and successor edit.
+//!
+//! Output is the `BENCH_6.json` (or `BENCH_7.json` / `BENCH_9.json`)
+//! document: per-phase deterministic counters (gated in CI via
+//! `--check`, like `BENCH_5.json`) plus wall-clock observations —
+//! total time, p50/p99 latency, throughput — which are recorded but
+//! never gated.
 //!
 //! Usage:
 //!   car_loadgen [--clients N] [--iters N]   print BENCH_6.json
 //!   car_loadgen --check BENCH_6.json        compare counters, ignore walls
 //!   car_loadgen --restart                   print BENCH_7.json
 //!   car_loadgen --restart --check BENCH_7.json
+//!   car_loadgen --fleet                     print BENCH_9.json
+//!   car_loadgen --fleet --check BENCH_9.json
 
 use car_bench::telemetry::counter_lines;
-use car_core::persist::{DiskStore, SharedStore, StoreLimits};
+use car_core::persist::{Disk, DiskStore, SharedStore, StoreLimits};
 use car_core::reasoner::Strategy;
 use car_core::syntax::{Card, ClassFormula, SchemaBuilder};
-use car_core::{ReasonerConfig, Schema, Workspace};
+use car_core::{
+    Acquire, JournalOp, Lease, ReasonerConfig, Schema, SchemaDelta, Workspace,
+    WorkspaceDir, WorkspaceLimits,
+};
 use car_server::json::{obj, parse, s, to_string, Json};
 use car_server::protocol::{answer_json, unknown_answer, WireDelta, WireQuery};
-use car_server::service::ServerConfig;
+use car_server::service::{ServerConfig, StoreMode};
 use car_server::{Client, Server};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -779,6 +801,237 @@ fn restart_run(clients: u64, iters: u32) -> Vec<PhaseReport> {
     ]
 }
 
+// -------------------------------------------------------------------
+// Fleet phases (BENCH_9.json)
+// -------------------------------------------------------------------
+
+fn fleet_config(data_dir: &Path, mode: StoreMode, ttl: Duration) -> ServerConfig {
+    let mut config = durable_config(data_dir);
+    config.store_mode = mode;
+    config.lease_ttl = ttl;
+    config
+}
+
+/// Fleet phase 1: three servers over ONE data directory. A leader
+/// takes the seeded edit load; a read-only follower must answer every
+/// workspace bit-identically while refusing every edit; a standby
+/// leader must respect the live leader's workspace leases, then adopt
+/// every workspace within a TTL of the leader's power cut — and keep
+/// answering bit-identically, with edits flowing again.
+fn fleet_takeover_phase(clients: u64, iters: u32) -> PhaseReport {
+    let dir = scratch_dir("fleet");
+    let ttl = Duration::from_millis(200);
+    let start = Instant::now();
+
+    let mut leader = Server::spawn("127.0.0.1:0", fleet_config(&dir, StoreMode::Leader, ttl))
+        .expect("bind leader");
+    let (mut tallies, acked, before) = restart_workload(leader.addr(), clients, iters);
+    let total_acked: u64 = acked.iter().sum();
+
+    let mut follower =
+        Server::spawn("127.0.0.1:0", fleet_config(&dir, StoreMode::Follower, ttl))
+            .expect("bind follower");
+    let (tallies_f, follower_answers, _) = requery_workspaces(follower.addr(), clients);
+    let follower_mismatches =
+        before.iter().zip(&follower_answers).filter(|(b, a)| b != a).count() as u64;
+    tallies.extend(tallies_f);
+    // One refused edit per tenant: the read-only contract end to end.
+    let mut refused = 0u64;
+    for c in 0..clients {
+        let tenant = format!("t{c}");
+        let mut client = Client::connect(follower.addr()).expect("connect follower");
+        let ds = vec![WireDelta::AddClass { name: "Refused".into() }];
+        let f = frame(
+            &tenant,
+            "w",
+            50_000,
+            "apply",
+            vec![("deltas", Json::Arr(ds.iter().map(delta_json).collect()))],
+        );
+        let v = parse(client.roundtrip(&f).expect("roundtrip").trim_end()).expect("json");
+        let kind = v.get("error").and_then(|e| e.get("kind")).and_then(Json::as_str);
+        if kind == Some("read_only") {
+            refused += 1;
+        }
+    }
+    let read_only_rejections = follower.service().read_only_rejections();
+    assert_eq!(refused, read_only_rejections, "every refusal is counted");
+
+    // The standby sees every workspace lease held by the live leader.
+    let mut standby = Server::spawn("127.0.0.1:0", fleet_config(&dir, StoreMode::Leader, ttl))
+        .expect("bind standby");
+    let dirs_lease_held = standby.service().recovery_report().dirs_lease_held;
+
+    // Power cut (stop, not shutdown): no final snapshot, no lease
+    // release. The standby's keeper must adopt every workspace.
+    leader.stop();
+    drop(leader);
+    let deadline = Instant::now() + Duration::from_secs(120);
+    while standby.service().leases_taken_over() < clients {
+        assert!(
+            Instant::now() < deadline,
+            "keeper adopted only {} of {clients} workspaces",
+            standby.service().leases_taken_over()
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    let leases_taken_over = standby.service().leases_taken_over();
+    let ops_replayed = standby.service().recovery_report().ops_replayed;
+
+    let (tallies2, after, _) = requery_workspaces(standby.addr(), clients);
+    let post_takeover_mismatches =
+        before.iter().zip(&after).filter(|(b, a)| b != a).count() as u64;
+    tallies.extend(tallies2);
+    // Edits flow through the adopter without any client reopening.
+    let mut post_takeover_applied = 0u64;
+    for c in 0..clients {
+        let tenant = format!("t{c}");
+        let mut client = Client::connect(standby.addr()).expect("connect standby");
+        let ds = vec![WireDelta::AddClass { name: "PostTakeover".into() }];
+        let f = frame(
+            &tenant,
+            "w",
+            60_000,
+            "apply",
+            vec![("deltas", Json::Arr(ds.iter().map(delta_json).collect()))],
+        );
+        let v = parse(client.roundtrip(&f).expect("roundtrip").trim_end()).expect("json");
+        post_takeover_applied += v.get("applied").and_then(Json::as_u64).unwrap_or(0);
+    }
+
+    follower.stop();
+    standby.stop();
+    let wall = start.elapsed();
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let mut merged = merge("fleet_takeover", clients, tallies, wall);
+    merged.counters.insert("acked_ops".into(), total_acked);
+    merged.counters.insert("follower_mismatches".into(), follower_mismatches);
+    merged.counters.insert("read_only_rejections".into(), read_only_rejections);
+    merged.counters.insert("dirs_lease_held".into(), dirs_lease_held);
+    merged.counters.insert("leases_taken_over".into(), leases_taken_over);
+    merged.counters.insert("ops_replayed".into(), ops_replayed);
+    merged.counters.insert("post_takeover_mismatches".into(), post_takeover_mismatches);
+    merged.counters.insert("post_takeover_applied".into(), post_takeover_applied);
+    merged
+}
+
+/// Fleet phase 2: the zombie-writer scenario at the persistence layer.
+/// A writer journals acknowledged edits, its lease dies (power cut), a
+/// successor steals the claim, fences the directory at a higher epoch
+/// and writes its own edit — then the original writer's still-live
+/// handle resumes appending at the stale epoch. Recovery must reject
+/// every stale record and keep every acknowledged and successor edit.
+fn fleet_fencing_phase() -> PhaseReport {
+    let dir = scratch_dir("fleet-fencing");
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    let disk = Disk::real();
+    let start = Instant::now();
+
+    let mut zombie_lease = match Lease::acquire(&dir, "loadgen", &disk).expect("claim") {
+        Acquire::Acquired(l) => l,
+        Acquire::Held(info) => panic!("fresh dir already claimed: {info:?}"),
+    };
+    let mut zombie_wd = WorkspaceDir::create(&dir, disk.clone()).expect("create");
+    zombie_wd.set_epoch(zombie_lease.epoch());
+    let schema = SchemaBuilder::new().build().expect("empty schema");
+    let mut ws = Workspace::new(schema, ReasonerConfig::default());
+    zombie_wd.save_snapshot("fleet", "z", ws.schema(), &[], &[]).expect("first snapshot");
+    let mut acked_ops = 0u64;
+    for i in 0..3 {
+        let delta = SchemaDelta::AddClass { name: format!("Z{i}") };
+        ws.apply(&delta).expect("apply");
+        zombie_wd.append_op(&JournalOp::Apply(delta)).expect("append");
+        acked_ops += 1;
+    }
+    // Power cut: the claim dies but the writer's in-memory handle —
+    // the zombie — lives on.
+    zombie_lease.abandon();
+
+    let mut successor_lease = match Lease::acquire(&dir, "loadgen", &disk).expect("steal") {
+        Acquire::Acquired(l) => l,
+        Acquire::Held(info) => panic!("abandoned claim not stolen: {info:?}"),
+    };
+    let rec = WorkspaceDir::recover(&dir, disk.clone()).expect("recover");
+    let ops_replayed = rec.ops.len() as u64;
+    successor_lease.ensure_epoch_above(rec.epoch).expect("dominate");
+    let mut wd2 = rec.dir;
+    wd2.set_epoch(successor_lease.epoch());
+    let mut ws2 = Workspace::restore(
+        rec.schema,
+        rec.undo,
+        rec.redo,
+        ReasonerConfig::default(),
+        WorkspaceLimits::default(),
+    );
+    for op in &rec.ops {
+        if let JournalOp::Apply(d) = op {
+            ws2.apply(d).expect("replay");
+        }
+    }
+    wd2.save_snapshot("fleet", "z", ws2.schema(), ws2.undo_stack(), ws2.redo_stack())
+        .expect("fencing snapshot");
+    let successor = SchemaDelta::AddClass { name: "Successor".into() };
+    ws2.apply(&successor).expect("successor apply");
+    wd2.append_op(&JournalOp::Apply(successor)).expect("successor append");
+
+    // The zombie wakes and keeps writing at its stale epoch; the
+    // appends land on disk but must never survive replay.
+    let mut stale_appends = 0u64;
+    for i in 0..4 {
+        let delta = SchemaDelta::AddClass { name: format!("Stale{i}") };
+        if zombie_wd.append_op(&JournalOp::Apply(delta)).is_ok() {
+            stale_appends += 1;
+        }
+    }
+
+    let fin = WorkspaceDir::recover(&dir, disk).expect("final recover");
+    let fenced_records_rejected = fin.fenced_records;
+    let mut ws3 = Workspace::restore(
+        fin.schema,
+        fin.undo,
+        fin.redo,
+        ReasonerConfig::default(),
+        WorkspaceLimits::default(),
+    );
+    for op in &fin.ops {
+        if let JournalOp::Apply(d) = op {
+            ws3.apply(d).expect("final replay");
+        }
+    }
+    let names: Vec<String> = ws3
+        .schema()
+        .classes()
+        .map(|(id, _)| ws3.schema().symbols().class_name(id).to_owned())
+        .collect();
+    let stale_classes_leaked = names.iter().filter(|n| n.starts_with("Stale")).count() as u64;
+    let survivors_intact = u64::from(
+        (0..3).all(|i| names.iter().any(|n| n == &format!("Z{i}")))
+            && names.iter().any(|n| n == "Successor"),
+    );
+    let wall = start.elapsed();
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let mut counters = BTreeMap::new();
+    counters.insert("acked_ops".into(), acked_ops);
+    counters.insert("ops_replayed".into(), ops_replayed);
+    counters.insert("stale_appends".into(), stale_appends);
+    counters.insert("fenced_records_rejected".into(), fenced_records_rejected);
+    counters.insert("stale_classes_leaked".into(), stale_classes_leaked);
+    counters.insert("survivors_intact".into(), survivors_intact);
+    PhaseReport {
+        name: "fleet_fencing",
+        counters,
+        wall,
+        latencies_us: vec![wall.as_micros() as u64],
+        requests: 0,
+    }
+}
+
+fn fleet_run(clients: u64, iters: u32) -> Vec<PhaseReport> {
+    vec![fleet_takeover_phase(clients, iters), fleet_fencing_phase()]
+}
+
 fn merge(
     name: &'static str,
     clients: u64,
@@ -881,10 +1134,12 @@ fn main() -> ExitCode {
     let mut iters: u32 = 6;
     let mut check: Option<String> = None;
     let mut restart = false;
+    let mut fleet = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--restart" => restart = true,
+            "--fleet" => fleet = true,
             "--clients" => {
                 i += 1;
                 clients = args.get(i).and_then(|v| v.parse().ok()).unwrap_or_else(|| {
@@ -908,7 +1163,8 @@ fn main() -> ExitCode {
             }
             other => {
                 eprintln!(
-                    "usage: car_loadgen [--restart] [--clients N] [--iters N] [--check BENCH.json]"
+                    "usage: car_loadgen [--restart | --fleet] [--clients N] [--iters N] \
+                     [--check BENCH.json]"
                 );
                 eprintln!("car_loadgen: unknown flag '{other}'");
                 return ExitCode::FAILURE;
@@ -916,8 +1172,18 @@ fn main() -> ExitCode {
         }
         i += 1;
     }
+    if restart && fleet {
+        eprintln!("car_loadgen: --restart and --fleet are mutually exclusive");
+        return ExitCode::FAILURE;
+    }
 
-    let reports = if restart { restart_run(clients, iters) } else { run(clients, iters) };
+    let reports = if fleet {
+        fleet_run(clients, iters)
+    } else if restart {
+        restart_run(clients, iters)
+    } else {
+        run(clients, iters)
+    };
     let fresh = render(&reports);
     match check {
         None => {

@@ -40,6 +40,10 @@ pub struct LruPolicy {
     budget: u64,
     tick: u64,
     total: u64,
+    /// A frozen policy never offers victims: read-only owners (a
+    /// follower's store) track recency but must not delete files a
+    /// concurrent leader owns.
+    frozen: bool,
     entries: HashMap<String, Meta>,
 }
 
@@ -47,7 +51,18 @@ impl LruPolicy {
     /// A policy allowing at most `budget` total weight.
     #[must_use]
     pub fn new(budget: u64) -> LruPolicy {
-        LruPolicy { budget, tick: 0, total: 0, entries: HashMap::new() }
+        LruPolicy { budget, tick: 0, total: 0, frozen: false, entries: HashMap::new() }
+    }
+
+    /// Freezes or thaws the policy; see [`LruPolicy::evict`].
+    pub fn set_frozen(&mut self, frozen: bool) {
+        self.frozen = frozen;
+    }
+
+    /// `true` when [`LruPolicy::evict`] is disabled.
+    #[must_use]
+    pub fn frozen(&self) -> bool {
+        self.frozen
     }
 
     /// The configured weight budget.
@@ -143,9 +158,13 @@ impl LruPolicy {
     /// tracked weight fits the budget, and returns their keys for the
     /// owner to drop. When everything over budget is pinned, fewer (or
     /// no) victims are returned: staying temporarily over budget is
-    /// always preferred to evicting an entry in use.
+    /// always preferred to evicting an entry in use. A frozen policy
+    /// returns no victims at all, whatever the budget says.
     pub fn evict(&mut self) -> Vec<String> {
         let mut victims = Vec::new();
+        if self.frozen {
+            return victims;
+        }
         while self.total > self.budget {
             let Some(key) = self
                 .entries
@@ -213,6 +232,19 @@ mod tests {
         assert_eq!(p.total_weight(), 7);
         assert!(p.remove("a"));
         assert_eq!(p.total_weight(), 0);
+    }
+
+    #[test]
+    fn frozen_policy_offers_no_victims() {
+        let mut p = LruPolicy::new(1);
+        p.insert("a", 1);
+        p.insert("b", 1);
+        p.set_frozen(true);
+        assert!(p.frozen());
+        assert!(p.evict().is_empty(), "over budget but frozen");
+        assert_eq!(p.total_weight(), 2, "nothing was removed");
+        p.set_frozen(false);
+        assert_eq!(p.evict().len(), 1, "thawed policy evicts again");
     }
 
     #[test]

@@ -951,14 +951,16 @@ fn spliced_ccs(
                     cache.insert(keys[ci].clone(), entry.clone());
                     if let Some(store) = store {
                         let payload = codec::encode_models(cluster.len(), &entry);
-                        let ok = store
-                            .lock()
-                            .unwrap_or_else(std::sync::PoisonError::into_inner)
-                            .put(&cluster_store_key(&keys[ci]), &payload);
-                        if ok {
-                            stats.disk_writes += 1;
-                        } else {
-                            stats.disk_write_failures += 1;
+                        let mut guard =
+                            store.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+                        // A follower's read-only store refuses writes by
+                        // design; that is not a durability failure.
+                        if !guard.is_read_only() {
+                            if guard.put(&cluster_store_key(&keys[ci]), &payload) {
+                                stats.disk_writes += 1;
+                            } else {
+                                stats.disk_write_failures += 1;
+                            }
                         }
                     }
                     entry
@@ -1031,15 +1033,15 @@ fn ccs_with_store(
     }
     let (models, effective) = reasoner::enumerate_ccs(schema, config)?;
     let payload = codec::encode_models(n, &models);
-    let ok = store
-        .lock()
-        .unwrap_or_else(std::sync::PoisonError::into_inner)
-        .put(&key, &payload);
-    if ok {
-        stats.disk_writes += 1;
-    } else {
-        stats.disk_write_failures += 1;
+    let mut guard = store.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    if !guard.is_read_only() {
+        if guard.put(&key, &payload) {
+            stats.disk_writes += 1;
+        } else {
+            stats.disk_write_failures += 1;
+        }
     }
+    drop(guard);
     Ok((models, effective))
 }
 

@@ -86,8 +86,8 @@ pub use incremental::{
     WorkspaceStats,
 };
 pub use persist::{
-    DiskFaults, DiskStore, JournalOp, Recovered, SharedStore, StoreLimits, StoreStats,
-    WorkspaceDir,
+    Acquire, DiskFaults, DiskStore, JournalOp, Lease, LeaseInfo, LeaseWatch, Recovered,
+    SharedStore, StoreLimits, StoreStats, WorkspaceDir,
 };
 pub use reasoner::{Outcome, Reasoner, ReasonerConfig, ReasonerError, Strategy};
 pub use semantics::{Interpretation, Violation};

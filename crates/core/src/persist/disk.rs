@@ -109,13 +109,47 @@ impl Disk {
         f.sync_all()
     }
 
+    /// Creates `path` exclusively (fails with `AlreadyExists` if it is
+    /// already there) and writes `bytes` to it. The create-then-write is
+    /// the POSIX `O_CREAT|O_EXCL` arbiter leases rely on: of any number
+    /// of concurrent callers, exactly one observes success.
+    ///
+    /// # Errors
+    /// Injected faults, `AlreadyExists` when another caller won the
+    /// race, and filesystem errors. On a write failure after a
+    /// successful create the file is removed best-effort so losers do
+    /// not observe a half-written claim.
+    pub fn create_exclusive(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        self.gate("create_new")?;
+        let mut f = fs::OpenOptions::new().write(true).create_new(true).open(path)?;
+        match f.write_all(bytes).and_then(|()| f.sync_all()) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                drop(f);
+                let _ = fs::remove_file(path);
+                Err(e)
+            }
+        }
+    }
+
+    /// Renames `from` to `to`. Renaming a path that has vanished fails
+    /// with `NotFound`, which is what makes a rename the exactly-one-wins
+    /// arbiter for stealing an expired lease.
+    ///
+    /// # Errors
+    /// Injected faults and filesystem errors.
+    pub fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        self.gate("rename")?;
+        fs::rename(from, to)
+    }
+
     /// Truncates (or extends with zeros) a file to `len` bytes.
     ///
     /// # Errors
     /// Injected faults and filesystem errors.
     pub fn set_len(&self, path: &Path, len: u64) -> io::Result<()> {
         self.gate("set_len")?;
-        let f = fs::OpenOptions::new().write(true).create(true).open(path)?;
+        let f = fs::OpenOptions::new().write(true).create(true).truncate(false).open(path)?;
         f.set_len(len)
     }
 
@@ -176,11 +210,18 @@ impl Disk {
     }
 }
 
-/// The sibling temp path used by [`Disk::write_atomic`].
+/// A fresh sibling temp path for [`Disk::write_atomic`] (always `.tmp`
+/// suffixed, so startup sweeps recognize leftovers). Each call yields a
+/// unique name: with several *processes* sharing a directory under
+/// leases, two writers publishing the same file must not stage through
+/// the same temp path — the loser's rename would fail, or worse,
+/// publish the other writer's half-written bytes.
 #[must_use]
 pub fn tmp_path(path: &Path) -> PathBuf {
+    static N: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+    let n = N.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
     let mut name = path.file_name().unwrap_or_default().to_os_string();
-    name.push(".tmp");
+    name.push(format!(".{}-{n}.tmp", std::process::id()));
     path.with_file_name(name)
 }
 
@@ -204,7 +245,13 @@ mod tests {
         assert_eq!(disk.read(&p).unwrap(), b"hello");
         disk.write_atomic(&p, b"world").unwrap();
         assert_eq!(disk.read(&p).unwrap(), b"world");
-        assert!(!tmp_path(&p).exists());
+        let leftovers = fs::read_dir(&dir)
+            .unwrap()
+            .filter(|e| {
+                e.as_ref().unwrap().path().to_string_lossy().ends_with(".tmp")
+            })
+            .count();
+        assert_eq!(leftovers, 0, "no temp files survive a successful publish");
         let _ = fs::remove_dir_all(&dir);
     }
 

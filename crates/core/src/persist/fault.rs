@@ -26,6 +26,10 @@ struct Inner {
     /// Tear the failing `write_atomic` (partial bytes reach the final
     /// path) instead of failing cleanly.
     torn: AtomicBool,
+    /// Abort the whole process at the first tripped operation instead of
+    /// returning an error — the cross-process equivalent of SIGKILL,
+    /// used by multi-process fleet sweeps to die at an exact trip point.
+    abort: AtomicBool,
     /// Faults injected so far.
     injected: AtomicU64,
 }
@@ -68,6 +72,15 @@ impl DiskFaults {
         self.inner.torn.store(torn, Ordering::SeqCst);
     }
 
+    /// Makes the trip point fatal: instead of returning an injected
+    /// error, [`DiskFaults::check`] calls [`std::process::abort`]. A
+    /// child process armed this way dies exactly at the k-th disk
+    /// operation with no destructors, no flushes and no cleanup — the
+    /// deterministic stand-in for SIGKILL in fleet fault sweeps.
+    pub fn set_abort_on_trip(&self, abort: bool) {
+        self.inner.abort.store(abort, Ordering::SeqCst);
+    }
+
     /// Number of faults injected since construction.
     #[must_use]
     pub fn injected(&self) -> u64 {
@@ -83,6 +96,9 @@ impl DiskFaults {
     pub fn check(&self, op: &str) -> io::Result<()> {
         let n = self.inner.ops.fetch_add(1, Ordering::SeqCst);
         if n >= self.inner.allow.load(Ordering::SeqCst) {
+            if self.inner.abort.load(Ordering::SeqCst) {
+                std::process::abort();
+            }
             self.inner.injected.fetch_add(1, Ordering::SeqCst);
             return Err(io::Error::other(format!("injected disk fault at {op}")));
         }

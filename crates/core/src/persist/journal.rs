@@ -24,6 +24,25 @@
 //! length; after a failed append the file is truncated back to it
 //! before the next record goes out, so one bad write cannot corrupt
 //! later ones.
+//!
+//! **Epoch fencing.** Every journal record and snapshot additionally
+//! carries the writer's fencing *epoch* (granted by
+//! [`crate::persist::lease::Lease`]; 0 for lease-less use). A new
+//! leaseholder snapshots at its higher epoch before serving, so replay
+//! can enforce: a record whose epoch is *below* the snapshot's came
+//! from a deposed writer and is skipped (counted in
+//! [`Recovered::fenced_records`]) without breaking the successor's
+//! sequence chain; a record *above* the snapshot's cannot exist in a
+//! clean history and ends replay as a damaged tail. This is what makes
+//! a paused zombie leader harmless: whatever it appends after takeover
+//! is fenced at the next recovery instead of interleaving with the
+//! successor's records.
+//!
+//! **Generation seqlock.** Lease-less readers (followers) need to know
+//! when the snapshot/journal pair is mid-compaction. The `gen` file is
+//! bumped to an odd value before the snapshot is replaced and back to
+//! even after the journal is truncated; a follower re-reads it around
+//! recovery and retries while it is odd or changed.
 
 use super::codec::{self, fnv64};
 use super::disk::Disk;
@@ -81,6 +100,11 @@ pub struct Recovered {
     pub ops: Vec<JournalOp>,
     /// `true` when a torn or corrupt journal tail cut replay short.
     pub truncated_tail: bool,
+    /// Fencing epoch recorded in the snapshot.
+    pub epoch: u64,
+    /// Intact records skipped because their epoch predates the
+    /// snapshot's — appends by a deposed writer, rejected by fencing.
+    pub fenced_records: u64,
     /// The primed writer for continued journaling.
     pub dir: WorkspaceDir,
 }
@@ -92,6 +116,9 @@ pub struct WorkspaceDir {
     disk: Disk,
     /// Sequence number of the last appended (or recovered) record.
     seq: u64,
+    /// Fencing epoch stamped into every record and snapshot this writer
+    /// produces (0 for lease-less use).
+    epoch: u64,
     /// Byte length of the verified journal prefix.
     good_len: u64,
     /// A failed append may have left a torn tail past `good_len`.
@@ -118,10 +145,12 @@ impl WorkspaceDir {
         // number, and recovery can never replay a leftover on top of
         // the new state — even if a compaction truncation fails.
         let mut seq = 0;
+        let mut epoch = 0;
         if let Ok(journal) = disk.read(&dir.join("journal.log")) {
             let mut pos = 0usize;
-            while let Some((s, _, end)) = parse_record(&journal, pos) {
+            while let Some((e, s, _, end)) = parse_record(&journal, pos) {
                 seq = seq.max(s);
+                epoch = epoch.max(e);
                 pos = end;
             }
         }
@@ -129,6 +158,7 @@ impl WorkspaceDir {
             dir: dir.to_owned(),
             disk,
             seq,
+            epoch,
             good_len: 0,
             dirty_tail: true, // unknown prior journal: truncate before first append
             ops_since_snapshot: 0,
@@ -142,6 +172,19 @@ impl WorkspaceDir {
 
     fn journal_path(&self) -> PathBuf {
         self.dir.join("journal.log")
+    }
+
+    /// The fencing epoch this writer stamps into records and snapshots.
+    #[must_use]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Sets the fencing epoch, normally to the holding lease's. Must
+    /// never go backwards: records below the last snapshot's epoch are
+    /// fenced at recovery.
+    pub fn set_epoch(&mut self, epoch: u64) {
+        self.epoch = self.epoch.max(epoch);
     }
 
     /// The directory this workspace persists into.
@@ -189,10 +232,11 @@ impl WorkspaceDir {
         let mut body = Vec::new();
         body.extend_from_slice(
             format!(
-                "tenant {}\nworkspace {}\nseq {}\nundo {} redo {}\n",
+                "tenant {}\nworkspace {}\nseq {}\nepoch {}\nundo {} redo {}\n",
                 codec::esc(tenant),
                 codec::esc(workspace),
                 self.seq,
+                self.epoch,
                 undo.len(),
                 redo.len()
             )
@@ -205,15 +249,27 @@ impl WorkspaceDir {
         }
         let mut file = format!("{SNAP_MAGIC} {} {:016x}\n", body.len(), fnv64(&body)).into_bytes();
         file.extend_from_slice(&body);
-        self.disk.write_atomic(&self.snapshot_path(), &file)?;
-        self.ops_since_snapshot = 0;
-        // Compaction. Failure is harmless (stale records are skipped by
-        // sequence number), so only advance our bookkeeping on success.
-        if self.disk.set_len(&self.journal_path(), 0).is_ok() {
-            self.good_len = 0;
-            self.dirty_tail = false;
+        // Generation seqlock for lease-less readers: odd while the
+        // snapshot/journal pair may be mid-replace, even once settled.
+        // Both bumps are advisory (best-effort): a reader that cannot
+        // trust the generation falls back on the replay rules, which
+        // are safe against every compaction crash window.
+        let gen = read_generation(&self.dir, &self.disk).unwrap_or(0);
+        let odd = if gen.is_multiple_of(2) { gen + 1 } else { gen + 2 };
+        let _ = write_generation(&self.dir, &self.disk, odd);
+        let published = self.disk.write_atomic(&self.snapshot_path(), &file);
+        if published.is_ok() {
+            self.ops_since_snapshot = 0;
+            // Compaction. Failure is harmless (stale records are skipped
+            // by sequence number and epoch), so only advance our
+            // bookkeeping on success.
+            if self.disk.set_len(&self.journal_path(), 0).is_ok() {
+                self.good_len = 0;
+                self.dirty_tail = false;
+            }
         }
-        Ok(())
+        let _ = write_generation(&self.dir, &self.disk, odd + 1);
+        published
     }
 
     /// Appends one operation record to the journal, repairing any torn
@@ -231,7 +287,7 @@ impl WorkspaceDir {
             self.disk.set_len(&self.journal_path(), self.good_len)?;
             self.dirty_tail = false;
         }
-        let payload = format!("{} {}", self.seq + 1, op.encode());
+        let payload = format!("{} {} {}", self.epoch, self.seq + 1, op.encode());
         let frame = format!(
             "J {} {:016x}\n{payload}\n",
             payload.len(),
@@ -262,26 +318,47 @@ impl WorkspaceDir {
             dir: dir.to_owned(),
             disk,
             seq: 0,
+            epoch: 0,
             good_len: 0,
             dirty_tail: true,
             ops_since_snapshot: 0,
             detached: false,
         };
         let snap = me.disk.read(&me.snapshot_path()).ok()?;
-        let (tenant, workspace, snap_seq, schema, undo, redo) = parse_snapshot(&snap)?;
+        let (tenant, workspace, snap_seq, snap_epoch, schema, undo, redo) = parse_snapshot(&snap)?;
 
         let mut ops = Vec::new();
         let mut truncated_tail = false;
+        let mut fenced_records = 0u64;
         let mut good_len = 0u64;
         let mut last_seq = snap_seq;
         if let Ok(journal) = me.disk.read(&me.journal_path()) {
             let mut pos = 0usize;
             let mut prev_seq: Option<u64> = None;
             while pos < journal.len() {
-                let Some((seq, op, end)) = parse_record(&journal, pos) else {
+                let Some((epoch, seq, op, end)) = parse_record(&journal, pos) else {
                     truncated_tail = true;
                     break;
                 };
+                if epoch > snap_epoch {
+                    // Every takeover snapshots at its new epoch before
+                    // appending, so a record above the snapshot's epoch
+                    // cannot exist in a clean history. Stop as a damaged
+                    // tail, leaving `good_len` before it so the primed
+                    // writer truncates it.
+                    truncated_tail = true;
+                    break;
+                }
+                if epoch < snap_epoch {
+                    // A deposed writer's append: fenced. Skip it without
+                    // breaking the successor's sequence chain — this is
+                    // exactly how a zombie's post-takeover records are
+                    // kept out of the history.
+                    fenced_records += 1;
+                    pos = end;
+                    good_len = end as u64;
+                    continue;
+                }
                 // Records must be consecutive — with each other, and
                 // (for the first post-snapshot record) with the
                 // snapshot's sequence number. A gap means the file is
@@ -315,8 +392,11 @@ impl WorkspaceDir {
             redo,
             ops,
             truncated_tail,
+            epoch: snap_epoch,
+            fenced_records,
             dir: WorkspaceDir {
                 seq: last_seq,
+                epoch: snap_epoch,
                 good_len,
                 dirty_tail: true, // anything past good_len is suspect
                 ops_since_snapshot: 0,
@@ -326,11 +406,24 @@ impl WorkspaceDir {
     }
 }
 
+/// Reads the compaction generation of a workspace directory. `None`
+/// when the file is missing or unreadable — a reader must then fall
+/// back on the replay rules alone.
+#[must_use]
+pub fn read_generation(dir: &Path, disk: &Disk) -> Option<u64> {
+    let bytes = disk.read(&dir.join("gen")).ok()?;
+    std::str::from_utf8(&bytes).ok()?.strip_prefix("gen ")?.trim_end().parse().ok()
+}
+
+fn write_generation(dir: &Path, disk: &Disk, gen: u64) -> io::Result<()> {
+    disk.write_atomic(&dir.join("gen"), format!("gen {gen}\n").as_bytes())
+}
+
 /// Parses and verifies a snapshot file. `None` on any damage.
 #[allow(clippy::type_complexity)]
 fn parse_snapshot(
     bytes: &[u8],
-) -> Option<(String, String, u64, Schema, Vec<Schema>, Vec<Schema>)> {
+) -> Option<(String, String, u64, u64, Schema, Vec<Schema>, Vec<Schema>)> {
     let nl = bytes.iter().position(|&b| b == b'\n')?;
     let header = std::str::from_utf8(&bytes[..nl]).ok()?;
     let [magic, len, sum] = header.split(' ').collect::<Vec<_>>()[..] else {
@@ -355,6 +448,7 @@ fn parse_snapshot(
     let tenant = codec::unesc(line(&mut pos)?.strip_prefix("tenant ")?)?;
     let workspace = codec::unesc(line(&mut pos)?.strip_prefix("workspace ")?)?;
     let seq: u64 = line(&mut pos)?.strip_prefix("seq ")?.parse().ok()?;
+    let epoch: u64 = line(&mut pos)?.strip_prefix("epoch ")?.parse().ok()?;
     let counts = line(&mut pos)?;
     let (undo_n, redo_n) = counts.strip_prefix("undo ")?.split_once(" redo ")?;
     let undo_n: usize = undo_n.parse().ok()?;
@@ -377,13 +471,13 @@ fn parse_snapshot(
     let schema = it.next()?;
     let undo: Vec<Schema> = it.by_ref().take(undo_n).collect();
     let redo: Vec<Schema> = it.collect();
-    Some((tenant, workspace, seq, schema, undo, redo))
+    Some((tenant, workspace, seq, epoch, schema, undo, redo))
 }
 
 /// Parses and verifies one journal record at `pos`; returns the
-/// sequence number, the operation, and the offset just past the
-/// record. `None` on any damage.
-fn parse_record(journal: &[u8], pos: usize) -> Option<(u64, JournalOp, usize)> {
+/// fencing epoch, the sequence number, the operation, and the offset
+/// just past the record. `None` on any damage.
+fn parse_record(journal: &[u8], pos: usize) -> Option<(u64, u64, JournalOp, usize)> {
     let rest = &journal[pos..];
     let nl = rest.iter().position(|&b| b == b'\n')?;
     let header = std::str::from_utf8(&rest[..nl]).ok()?;
@@ -402,9 +496,11 @@ fn parse_record(journal: &[u8], pos: usize) -> Option<(u64, JournalOp, usize)> {
         return None;
     }
     let payload = std::str::from_utf8(payload).ok()?;
-    let (seq, op) = payload.split_once(' ')?;
+    let (epoch, rest) = payload.split_once(' ')?;
+    let epoch: u64 = epoch.parse().ok()?;
+    let (seq, op) = rest.split_once(' ')?;
     let seq: u64 = seq.parse().ok()?;
-    Some((seq, JournalOp::decode(op)?, pos + nl + 1 + len + 1))
+    Some((epoch, seq, JournalOp::decode(op)?, pos + nl + 1 + len + 1))
 }
 
 #[cfg(test)]
@@ -507,7 +603,7 @@ mod tests {
         let mut pos = 0;
         while pos < cut {
             match parse_record(full, pos) {
-                Some((_, _, end)) => pos = end,
+                Some((_, _, _, end)) => pos = end,
                 None => return false,
             }
         }
@@ -564,8 +660,9 @@ mod tests {
         }
         // Snapshot again, but the journal truncation step fails — the
         // crash window between "snapshot published" and "journal
-        // compacted". write_atomic costs 2 ops (write + rename).
-        faults.trip_after(2);
+        // compacted". The generation read + pre-bump cost 3 ops, the
+        // snapshot write+rename 2 more, then the set_len trips.
+        faults.trip_after(5);
         wd.save_snapshot("t", "w", &schema("S2"), &[], &[]).unwrap();
         faults.disarm();
         assert!(std::fs::metadata(dir.join("journal.log")).unwrap().len() > 0);
@@ -595,7 +692,7 @@ mod tests {
         // while the snapshot covers seq 0 — a gap, not a prefix.
         let journal = dir.join("journal.log");
         let full = std::fs::read(&journal).unwrap();
-        let (_, _, first_end) = parse_record(&full, 0).unwrap();
+        let (_, _, _, first_end) = parse_record(&full, 0).unwrap();
         std::fs::write(&journal, &full[first_end..]).unwrap();
 
         let r = WorkspaceDir::recover(&dir, Disk::real()).unwrap();
@@ -642,6 +739,90 @@ mod tests {
     }
 
     #[test]
+    fn zombie_appends_below_snapshot_epoch_are_fenced_at_recovery() {
+        let dir = scratch("fence");
+        let mut zombie = WorkspaceDir::create(&dir, Disk::real()).unwrap();
+        zombie.set_epoch(2);
+        zombie.save_snapshot("t", "w", &schema("S"), &[], &[]).unwrap();
+        zombie.append_op(&ops3()[0]).unwrap();
+
+        // Takeover: the successor recovers, raises its epoch, and
+        // snapshots at the new epoch before appending — the fencing
+        // snapshot.
+        let rec = WorkspaceDir::recover(&dir, Disk::real()).unwrap();
+        assert_eq!(rec.epoch, 2);
+        assert_eq!(rec.ops.len(), 1);
+        let mut successor = rec.dir;
+        successor.set_epoch(3);
+        successor.save_snapshot("t", "w", &schema("S2"), &[], &[]).unwrap();
+        successor.append_op(&ops3()[1]).unwrap();
+
+        // The paused zombie resumes and appends at its stale epoch,
+        // interleaving with the successor's live journal.
+        zombie.append_op(&ops3()[2]).unwrap();
+        successor.append_op(&ops3()[0]).unwrap();
+
+        let r = WorkspaceDir::recover(&dir, Disk::real()).unwrap();
+        assert_eq!(r.epoch, 3);
+        assert_eq!(
+            r.ops,
+            vec![ops3()[1].clone(), ops3()[0].clone()],
+            "only the successor's records replay"
+        );
+        assert_eq!(r.fenced_records, 1, "the zombie's append is counted as fenced");
+        assert!(!r.truncated_tail, "fencing is a skip, not damage");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn record_above_snapshot_epoch_is_a_damaged_tail() {
+        let dir = scratch("aboveepoch");
+        let mut wd = WorkspaceDir::create(&dir, Disk::real()).unwrap();
+        wd.set_epoch(2);
+        wd.save_snapshot("t", "w", &schema("S"), &[], &[]).unwrap();
+        // An epoch-4 record with no epoch-4 snapshot covering it cannot
+        // occur in a clean history: replay must stop, not guess.
+        wd.set_epoch(4);
+        wd.append_op(&ops3()[0]).unwrap();
+        let r = WorkspaceDir::recover(&dir, Disk::real()).unwrap();
+        assert!(r.ops.is_empty());
+        assert!(r.truncated_tail);
+        assert_eq!(r.fenced_records, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn generation_goes_odd_during_compaction_and_even_after() {
+        let dir = scratch("gen");
+        let disk = Disk::real();
+        assert_eq!(read_generation(&dir, &disk), None, "fresh dir has no generation");
+        let mut wd = WorkspaceDir::create(&dir, disk.clone()).unwrap();
+        wd.save_snapshot("t", "w", &schema("S"), &[], &[]).unwrap();
+        let g1 = read_generation(&dir, &disk).unwrap();
+        assert!(g1.is_multiple_of(2), "settled generation is even");
+        wd.append_op(&ops3()[0]).unwrap();
+        wd.save_snapshot("t", "w", &schema("S2"), &[], &[]).unwrap();
+        let g2 = read_generation(&dir, &disk).unwrap();
+        assert!(g2 > g1 && g2.is_multiple_of(2), "compaction bumps the settled generation: {g1} -> {g2}");
+
+        // Dying mid-compaction (truncate and the post-bump both fail)
+        // leaves the generation odd — the marker a reader retries on.
+        let faults = DiskFaults::new();
+        let mut wd = WorkspaceDir::create(&dir, Disk::faulty(faults.clone())).unwrap();
+        faults.trip_after(5);
+        wd.save_snapshot("t", "w", &schema("S3"), &[], &[]).unwrap();
+        faults.disarm();
+        let g3 = read_generation(&dir, &disk).unwrap();
+        assert!(g3 > g2 && !g3.is_multiple_of(2), "a stranded compaction reads odd: {g2} -> {g3}");
+
+        // The next healthy snapshot settles it even again.
+        wd.save_snapshot("t", "w", &schema("S3"), &[], &[]).unwrap();
+        let g4 = read_generation(&dir, &disk).unwrap();
+        assert!(g4 > g3 && g4.is_multiple_of(2), "recovery settles the generation: {g3} -> {g4}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn replacement_writer_continues_seq_so_stale_records_cannot_replay() {
         let dir = scratch("replaceseq");
         let mut old = WorkspaceDir::create(&dir, Disk::real()).unwrap();
@@ -653,11 +834,11 @@ mod tests {
 
         // Replace the workspace, but fail the compaction truncation —
         // the crash window where the new snapshot coexists with the old
-        // records. create() costs mkdir+read, save_snapshot write+rename,
-        // then the set_len trips.
+        // records. save_snapshot costs the generation read + pre-bump
+        // (3 ops) plus the snapshot write+rename, then the set_len trips.
         let faults = DiskFaults::new();
         let mut new = WorkspaceDir::create(&dir, Disk::faulty(faults.clone())).unwrap();
-        faults.trip_after(2);
+        faults.trip_after(5);
         new.save_snapshot("t", "w", &schema("New"), &[], &[]).unwrap();
         faults.disarm();
         assert!(std::fs::metadata(dir.join("journal.log")).unwrap().len() > 0);

@@ -1,0 +1,753 @@
+//! Advisory per-workspace leases with epoch fencing.
+//!
+//! A fleet of processes sharing one `data_dir` coordinates through two
+//! small files in each workspace directory:
+//!
+//! * `lease.lock` — the current claim: owner identity (pid, in-process
+//!   nonce, label), the fencing **epoch**, and a heartbeat counter the
+//!   holder bumps on every renewal. Acquisition is an atomic
+//!   create-exclusive; takeover of an expired claim moves the old file
+//!   aside with a rename, so of any number of racers exactly one wins.
+//! * `lease.epoch` — a ratchet recording the highest epoch ever
+//!   granted. Every acquisition claims `max(ratchet, visible lease
+//!   epoch, caller floor) + 1` and persists the ratchet *before* the
+//!   claim becomes visible, so epochs stay strictly monotone even when
+//!   the lease file is removed (graceful release) or corrupted.
+//!
+//! Expiry is **clock-independent**: a challenger never trusts file
+//! mtimes or the holder's wall clock. It fingerprints the lease file's
+//! content and starts its own monotonic timer; only if the content —
+//! which the holder's heartbeat rewrites — stays bit-identical for a
+//! full TTL on the challenger's clock may it steal. Two fast paths skip
+//! the wait: a holder pid with no `/proc/<pid>` entry (Linux) is dead,
+//! and a holder in *this* process whose nonce is no longer registered
+//! (the `Lease` was dropped or abandoned) is dead.
+//!
+//! The lease itself is advisory. What makes a stale writer harmless is
+//! the fencing epoch stamped into every journal frame and snapshot
+//! header by [`crate::persist::WorkspaceDir`]: records carrying an
+//! epoch below the recovered snapshot's are rejected at replay, so a
+//! paused "zombie" leader that resumes after takeover cannot interleave
+//! surviving records with its successor's.
+
+use super::codec::{esc, fnv64, unesc};
+use super::disk::Disk;
+use std::collections::HashSet;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock, PoisonError};
+use std::time::{Duration, Instant};
+
+/// File name of the claim inside a workspace directory.
+pub const LEASE_FILE: &str = "lease.lock";
+/// File name of the epoch ratchet inside a workspace directory.
+pub const EPOCH_FILE: &str = "lease.epoch";
+
+const LEASE_MAGIC: &str = "CARLEASE1";
+const EPOCH_MAGIC: &str = "CAREPOCH1";
+
+/// Nonces of every lease currently held by this process. A nonce
+/// missing from this set marks its lease as locally dead: a real power
+/// cut would have destroyed the set, so an in-process "power cut"
+/// ([`Lease::abandon`]) deregisters without touching any file.
+fn active_nonces() -> &'static Mutex<HashSet<u64>> {
+    static SET: OnceLock<Mutex<HashSet<u64>>> = OnceLock::new();
+    SET.get_or_init(|| Mutex::new(HashSet::new()))
+}
+
+fn next_nonce() -> u64 {
+    static N: AtomicU64 = AtomicU64::new(1);
+    N.fetch_add(1, Ordering::SeqCst)
+}
+
+fn register_nonce(n: u64) {
+    active_nonces().lock().unwrap_or_else(PoisonError::into_inner).insert(n);
+}
+
+fn deregister_nonce(n: u64) {
+    active_nonces().lock().unwrap_or_else(PoisonError::into_inner).remove(&n);
+}
+
+fn nonce_is_active(n: u64) -> bool {
+    active_nonces().lock().unwrap_or_else(PoisonError::into_inner).contains(&n)
+}
+
+fn frame(magic: &str, body: &str) -> Vec<u8> {
+    format!("{magic} {} {:016x}\n{body}", body.len(), fnv64(body.as_bytes())).into_bytes()
+}
+
+fn unframe<'a>(magic: &str, bytes: &'a [u8]) -> Option<&'a str> {
+    let text = std::str::from_utf8(bytes).ok()?;
+    let (header, rest) = text.split_once('\n')?;
+    let mut it = header.split(' ');
+    if it.next()? != magic {
+        return None;
+    }
+    let len: usize = it.next()?.parse().ok()?;
+    let sum = u64::from_str_radix(it.next()?, 16).ok()?;
+    if it.next().is_some() || rest.len() != len {
+        return None;
+    }
+    (fnv64(rest.as_bytes()) == sum).then_some(rest)
+}
+
+/// What a reader learned about the current claim on a directory.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LeaseInfo {
+    /// Fencing epoch of the claim (0 when the file is unreadable).
+    pub epoch: u64,
+    /// Owner process id (0 when the file is unreadable).
+    pub pid: u32,
+    /// Owner in-process nonce (0 when the file is unreadable).
+    pub nonce: u64,
+    /// Owner-supplied label, for diagnostics.
+    pub label: String,
+    /// FNV-64 of the raw file bytes. This — not any timestamp — is what
+    /// a challenger watches: heartbeats change it, a dead holder's file
+    /// never does, and a corrupt file is simply a claim that never
+    /// beats.
+    pub fingerprint: u64,
+    /// Whether the file parsed and checksummed cleanly.
+    pub intact: bool,
+}
+
+/// Reads the claim on `dir`. `Ok(None)` means no lease file exists; a
+/// present-but-corrupt file yields an info with `intact: false` whose
+/// fingerprint still tracks the raw bytes.
+///
+/// # Errors
+/// Injected faults and filesystem errors other than `NotFound`.
+pub fn read_lease_info(dir: &Path, disk: &Disk) -> io::Result<Option<LeaseInfo>> {
+    let bytes = match disk.read(&dir.join(LEASE_FILE)) {
+        Ok(b) => b,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(e),
+    };
+    let fingerprint = fnv64(&bytes);
+    let parsed = unframe(LEASE_MAGIC, &bytes).and_then(parse_body);
+    Ok(Some(match parsed {
+        Some((pid, nonce, label, epoch)) => {
+            LeaseInfo { epoch, pid, nonce, label, fingerprint, intact: true }
+        }
+        None => LeaseInfo {
+            epoch: 0,
+            pid: 0,
+            nonce: 0,
+            label: String::new(),
+            fingerprint,
+            intact: false,
+        },
+    }))
+}
+
+fn parse_body(body: &str) -> Option<(u32, u64, String, u64)> {
+    let mut owner = None;
+    let mut epoch = None;
+    for line in body.lines() {
+        let (key, rest) = line.split_once(' ')?;
+        match key {
+            "owner" => {
+                let mut it = rest.split(' ');
+                let pid: u32 = it.next()?.parse().ok()?;
+                let nonce: u64 = it.next()?.parse().ok()?;
+                let label = unesc(it.next()?)?;
+                if it.next().is_some() {
+                    return None;
+                }
+                owner = Some((pid, nonce, label));
+            }
+            "epoch" => epoch = Some(rest.parse().ok()?),
+            "beat" => {
+                let _: u64 = rest.parse().ok()?;
+            }
+            _ => return None,
+        }
+    }
+    let (pid, nonce, label) = owner?;
+    Some((pid, nonce, label, epoch?))
+}
+
+fn ratchet_read(dir: &Path, disk: &Disk) -> u64 {
+    match disk.read(&dir.join(EPOCH_FILE)) {
+        Ok(bytes) => unframe(EPOCH_MAGIC, &bytes)
+            .and_then(|body| body.strip_prefix("epoch ")?.trim_end().parse().ok())
+            .unwrap_or(0),
+        Err(_) => 0,
+    }
+}
+
+fn ratchet_write(dir: &Path, disk: &Disk, epoch: u64) -> io::Result<()> {
+    // The ratchet has concurrent writers (racing claimants); this is
+    // safe because `Disk::write_atomic` stages through a unique temp
+    // path per call, so racers never clobber each other's staging file
+    // and the last rename wins with complete content.
+    disk.write_atomic(&dir.join(EPOCH_FILE), &frame(EPOCH_MAGIC, &format!("epoch {epoch}\n")))
+}
+
+/// Whether the recorded holder is provably dead, so takeover may skip
+/// the TTL wait. Conservative: unknown owners (corrupt file, foreign
+/// OS) are treated as alive.
+fn holder_is_dead(info: &LeaseInfo) -> bool {
+    if !info.intact || info.pid == 0 {
+        return false;
+    }
+    if info.pid == std::process::id() {
+        return !nonce_is_active(info.nonce);
+    }
+    #[cfg(target_os = "linux")]
+    {
+        !Path::new(&format!("/proc/{}", info.pid)).exists()
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        false
+    }
+}
+
+/// Whether the recorded holder is a live claim of *this* process. The
+/// in-process nonce registry is shared-memory ground truth, so such a
+/// claim is alive no matter how long its heartbeat has been silent
+/// (e.g. an `open` still building its first snapshot past the TTL).
+/// A same-process challenger deposing it would gain no fault isolation
+/// — they share fate — so watches pin these claims instead of expiring
+/// them. Heartbeats exist for *cross-process* observers.
+fn holder_is_pinned(info: &LeaseInfo) -> bool {
+    info.intact && info.pid == std::process::id() && nonce_is_active(info.nonce)
+}
+
+/// Outcome of an acquisition attempt.
+#[derive(Debug)]
+pub enum Acquire {
+    /// The caller now holds the lease.
+    Acquired(Lease),
+    /// Someone else holds it; observe them with a [`LeaseWatch`].
+    Held(LeaseInfo),
+}
+
+/// A held claim on one workspace directory.
+///
+/// Dropping a `Lease` without [`Lease::release`] models a crash: the
+/// nonce is deregistered (so a same-process successor can steal
+/// instantly) but the file is left in place for takeover.
+#[derive(Debug)]
+pub struct Lease {
+    dir: PathBuf,
+    disk: Disk,
+    epoch: u64,
+    pid: u32,
+    nonce: u64,
+    label: String,
+    beat: u64,
+    released: bool,
+}
+
+impl Lease {
+    /// Attempts to acquire the lease on `dir`.
+    ///
+    /// A missing lease file is claimed with an atomic create-exclusive.
+    /// A present claim whose holder is provably dead is stolen
+    /// immediately; otherwise the holder's info is returned and the
+    /// caller must wait out a [`LeaseWatch`] before [`Lease::take_over`].
+    ///
+    /// # Errors
+    /// Injected faults and filesystem errors. Losing a race is not an
+    /// error — it reports `Acquire::Held`.
+    pub fn acquire(dir: &Path, label: &str, disk: &Disk) -> io::Result<Acquire> {
+        match read_lease_info(dir, disk)? {
+            None => Self::claim(dir, label, disk, 0),
+            Some(info) if holder_is_dead(&info) => Self::steal(dir, label, disk, &info),
+            Some(info) => Ok(Acquire::Held(info)),
+        }
+    }
+
+    /// Takes over a claim the caller has watched to expiry. Re-reads the
+    /// file first: if the content changed since `observed` (the holder
+    /// beat), the takeover is refused and the new info returned.
+    ///
+    /// # Errors
+    /// Injected faults and filesystem errors.
+    pub fn take_over(
+        dir: &Path,
+        label: &str,
+        disk: &Disk,
+        observed: &LeaseInfo,
+    ) -> io::Result<Acquire> {
+        match read_lease_info(dir, disk)? {
+            None => Self::claim(dir, label, disk, observed.epoch),
+            Some(now) if now.fingerprint == observed.fingerprint => {
+                Self::steal(dir, label, disk, &now)
+            }
+            Some(now) => Ok(Acquire::Held(now)),
+        }
+    }
+
+    fn claim(dir: &Path, label: &str, disk: &Disk, floor: u64) -> io::Result<Acquire> {
+        let epoch = ratchet_read(dir, disk).max(floor) + 1;
+        // The ratchet must be durable before the claim is visible:
+        // should this claim vanish (crash, corruption), no later claim
+        // may reuse the epoch.
+        ratchet_write(dir, disk, epoch)?;
+        let lease = Lease {
+            dir: dir.to_path_buf(),
+            disk: disk.clone(),
+            epoch,
+            pid: std::process::id(),
+            nonce: next_nonce(),
+            label: label.to_string(),
+            beat: 0,
+            released: false,
+        };
+        match disk.create_exclusive(&dir.join(LEASE_FILE), &lease.encode()) {
+            Ok(()) => {
+                register_nonce(lease.nonce);
+                Ok(Acquire::Acquired(lease))
+            }
+            Err(e) if e.kind() == io::ErrorKind::AlreadyExists => {
+                // Lost the create race; report whoever won (or a blank
+                // claim if they released in the meantime — callers just
+                // retry).
+                Ok(Acquire::Held(read_lease_info(dir, disk)?.unwrap_or(LeaseInfo {
+                    epoch,
+                    pid: 0,
+                    nonce: 0,
+                    label: String::new(),
+                    fingerprint: 0,
+                    intact: false,
+                })))
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    fn steal(dir: &Path, label: &str, disk: &Disk, old: &LeaseInfo) -> io::Result<Acquire> {
+        // Move the stale claim aside. Renaming a vanished file fails
+        // with NotFound, so of any number of concurrent stealers exactly
+        // one proceeds; losers fall back to reporting the new holder.
+        let aside = dir.join(format!("lease.steal.{}.{}", std::process::id(), next_nonce()));
+        match disk.rename(&dir.join(LEASE_FILE), &aside) {
+            Ok(()) => {}
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {
+                return match read_lease_info(dir, disk)? {
+                    Some(now) => Ok(Acquire::Held(now)),
+                    None => Self::claim(dir, label, disk, old.epoch),
+                };
+            }
+            Err(e) => return Err(e),
+        }
+        let res = Self::claim(dir, label, disk, old.epoch);
+        let _ = disk.remove(&aside);
+        res
+    }
+
+    fn encode(&self) -> Vec<u8> {
+        frame(
+            LEASE_MAGIC,
+            &format!(
+                "owner {} {} {}\nepoch {}\nbeat {}\n",
+                self.pid,
+                self.nonce,
+                esc(&self.label),
+                self.epoch,
+                self.beat
+            ),
+        )
+    }
+
+    /// The fencing epoch this claim was granted.
+    #[must_use]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The directory this lease guards.
+    #[must_use]
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Heartbeat: bumps the beat counter and rewrites the claim, which
+    /// changes the fingerprint every challenger is watching. Returns
+    /// `Ok(false)` — fenced — when the file no longer shows this claim
+    /// (taken over, removed, or corrupted); a fenced holder must stop
+    /// writing.
+    ///
+    /// # Errors
+    /// Injected faults and filesystem errors (transient: the claim may
+    /// still be ours; retry next tick).
+    pub fn renew(&mut self) -> io::Result<bool> {
+        if self.released || !self.validate()? {
+            return Ok(false);
+        }
+        self.beat += 1;
+        let bytes = self.encode();
+        match self.disk.write_atomic(&self.dir.join(LEASE_FILE), &bytes) {
+            Ok(()) => Ok(true),
+            Err(e) => {
+                self.beat -= 1;
+                Err(e)
+            }
+        }
+    }
+
+    /// Whether the lease file still shows exactly this claim. A missing
+    /// or corrupt file counts as *not ours*: the content could be a
+    /// takeover in progress, and a holder that keeps writing past an
+    /// ambiguous claim is how split brain starts.
+    ///
+    /// # Errors
+    /// Injected faults and filesystem errors (transient).
+    pub fn validate(&self) -> io::Result<bool> {
+        if self.released {
+            return Ok(false);
+        }
+        Ok(read_lease_info(&self.dir, &self.disk)?.is_some_and(|now| {
+            now.intact && now.pid == self.pid && now.nonce == self.nonce && now.epoch == self.epoch
+        }))
+    }
+
+    /// Raises the claim's epoch above `floor` (ratchet first, then the
+    /// lease file). Used after recovery when the recovered snapshot
+    /// carries an epoch at or above the granted one — possible only if
+    /// both lease files were lost or corrupted — so the writer never
+    /// stamps records a future recovery would fence.
+    ///
+    /// # Errors
+    /// Injected faults and filesystem errors.
+    pub fn ensure_epoch_above(&mut self, floor: u64) -> io::Result<()> {
+        if self.epoch > floor {
+            return Ok(());
+        }
+        let epoch = floor + 1;
+        ratchet_write(&self.dir, &self.disk, epoch)?;
+        self.epoch = epoch;
+        self.beat += 1;
+        self.disk.write_atomic(&self.dir.join(LEASE_FILE), &self.encode())
+    }
+
+    /// Graceful release: removes the claim file (the epoch ratchet
+    /// stays), so a successor acquires immediately instead of waiting
+    /// out expiry.
+    ///
+    /// # Errors
+    /// Injected faults and filesystem errors.
+    pub fn release(mut self) -> io::Result<()> {
+        self.released = true;
+        deregister_nonce(self.nonce);
+        if read_lease_info(&self.dir, &self.disk)?.is_some_and(|now| {
+            now.intact && now.pid == self.pid && now.nonce == self.nonce && now.epoch == self.epoch
+        }) {
+            // Racing claimants at acquisition time can leave the ratchet
+            // below the epoch that actually won (last ratchet write
+            // wins). Removing the claim file makes the ratchet the only
+            // floor a successor sees, so re-assert ours first — and keep
+            // the file if that fails, leaving the epoch visible.
+            if ratchet_read(&self.dir, &self.disk) < self.epoch {
+                ratchet_write(&self.dir, &self.disk, self.epoch)?;
+            }
+            self.disk.remove(&self.dir.join(LEASE_FILE))?;
+        }
+        Ok(())
+    }
+
+    /// Power-cut simulation: deregisters the nonce without touching any
+    /// file, exactly what dying would have done. The claim file stays
+    /// for a successor to take over.
+    pub fn abandon(&mut self) {
+        if !self.released {
+            self.released = true;
+            deregister_nonce(self.nonce);
+        }
+    }
+}
+
+impl Drop for Lease {
+    fn drop(&mut self) {
+        if !self.released {
+            deregister_nonce(self.nonce);
+        }
+    }
+}
+
+/// A challenger's observation of someone else's claim.
+///
+/// Expiry is judged purely on (content fingerprint, the challenger's
+/// own monotonic clock): the claim expires only after it has stayed
+/// bit-identical for `ttl` of *this* process's time. Holder heartbeats
+/// reset the timer; provably dead holders short-circuit it.
+#[derive(Debug)]
+pub struct LeaseWatch {
+    info: LeaseInfo,
+    since: Instant,
+}
+
+impl LeaseWatch {
+    /// Starts watching the claim described by `info`.
+    #[must_use]
+    pub fn new(info: LeaseInfo) -> LeaseWatch {
+        LeaseWatch { info, since: Instant::now() }
+    }
+
+    /// The most recently observed claim (pass to [`Lease::take_over`]).
+    #[must_use]
+    pub fn info(&self) -> &LeaseInfo {
+        &self.info
+    }
+
+    /// Re-reads the claim and reports whether takeover may be
+    /// attempted. A vanished file, a provably dead holder, or `ttl`
+    /// elapsed on an unchanged fingerprint all expire the watch; any
+    /// content change restarts it. A claim held by a live nonce of this
+    /// same process never expires — the in-process registry, not the
+    /// heartbeat, is ground truth for our own liveness.
+    ///
+    /// # Errors
+    /// Injected faults and filesystem errors.
+    pub fn expired(&mut self, dir: &Path, disk: &Disk, ttl: Duration) -> io::Result<bool> {
+        match read_lease_info(dir, disk)? {
+            None => Ok(true),
+            Some(now) => {
+                if now.fingerprint != self.info.fingerprint {
+                    self.info = now;
+                    self.since = Instant::now();
+                    return Ok(holder_is_dead(&self.info));
+                }
+                if holder_is_pinned(&now) {
+                    return Ok(false);
+                }
+                Ok(holder_is_dead(&now) || self.since.elapsed() >= ttl)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::persist::fault::{flip_bit, truncate_file, DiskFaults};
+    use std::fs;
+
+    fn scratch(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("car-lease-test-{name}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn acquired(a: Acquire) -> Lease {
+        match a {
+            Acquire::Acquired(l) => l,
+            Acquire::Held(info) => panic!("expected acquisition, held by {info:?}"),
+        }
+    }
+
+    /// Writes a claim owned by a foreign-but-alive process (pid 1) so
+    /// tests exercise the TTL path rather than the dead-pid fast path.
+    fn plant_foreign_lease(dir: &Path, epoch: u64, beat: u64) {
+        let body = format!("owner 1 7 probe\nepoch {epoch}\nbeat {beat}\n");
+        fs::write(dir.join(LEASE_FILE), frame(LEASE_MAGIC, &body)).unwrap();
+    }
+
+    #[test]
+    fn acquire_release_reacquire_ratchets_epoch() {
+        let dir = scratch("ratchet");
+        let disk = Disk::real();
+        let a = acquired(Lease::acquire(&dir, "a", &disk).unwrap());
+        assert_eq!(a.epoch(), 1);
+        assert!(a.validate().unwrap());
+        a.release().unwrap();
+        assert!(!dir.join(LEASE_FILE).exists(), "graceful release removes the claim");
+        let b = acquired(Lease::acquire(&dir, "b", &disk).unwrap());
+        assert!(b.epoch() > 1, "epoch ratchets across a released claim: {}", b.epoch());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn live_in_process_holder_blocks_acquisition() {
+        let dir = scratch("held");
+        let disk = Disk::real();
+        let a = acquired(Lease::acquire(&dir, "holder", &disk).unwrap());
+        match Lease::acquire(&dir, "challenger", &disk).unwrap() {
+            Acquire::Held(info) => {
+                assert_eq!(info.epoch, a.epoch());
+                assert_eq!(info.label, "holder");
+            }
+            Acquire::Acquired(_) => panic!("two live holders"),
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn abandoned_claim_is_stolen_instantly() {
+        let dir = scratch("abandon");
+        let disk = Disk::real();
+        let mut a = acquired(Lease::acquire(&dir, "old", &disk).unwrap());
+        a.abandon();
+        assert!(dir.join(LEASE_FILE).exists(), "power cut leaves the claim file");
+        let b = acquired(Lease::acquire(&dir, "new", &disk).unwrap());
+        assert!(b.epoch() > a.epoch());
+        assert!(!a.validate().unwrap(), "old holder is fenced");
+        assert!(b.validate().unwrap());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn heartbeats_hold_off_a_challenger_without_wall_clock_trust() {
+        let dir = scratch("beat");
+        let disk = Disk::real();
+        let ttl = Duration::from_millis(60);
+        plant_foreign_lease(&dir, 3, 0);
+        let info = read_lease_info(&dir, &disk).unwrap().unwrap();
+        let mut watch = LeaseWatch::new(info);
+        // Holder keeps beating: the fingerprint changes, so the watch
+        // never expires no matter how much time passes.
+        let start = Instant::now();
+        let mut beat = 0;
+        while start.elapsed() < Duration::from_millis(200) {
+            beat += 1;
+            plant_foreign_lease(&dir, 3, beat);
+            assert!(!watch.expired(&dir, &disk, ttl).unwrap(), "beating holder was expired");
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        // Holder stops beating: the unchanged fingerprint expires after
+        // ttl on the challenger's own clock, and takeover fences it.
+        while !watch.expired(&dir, &disk, ttl).unwrap() {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let new = acquired(Lease::take_over(&dir, "successor", &disk, watch.info()).unwrap());
+        assert!(new.epoch() > 3);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn live_same_process_claim_is_pinned_until_abandoned() {
+        let dir = scratch("pin");
+        let disk = Disk::real();
+        let ttl = Duration::from_millis(20);
+        let mut holder = acquired(Lease::acquire(&dir, "busy", &disk).unwrap());
+        let info = read_lease_info(&dir, &disk).unwrap().unwrap();
+        let mut watch = LeaseWatch::new(info);
+        // The holder never renews (simulating a long first snapshot),
+        // yet a same-process watch must not expire it: the live nonce
+        // in the registry is ground truth, not the silent heartbeat.
+        std::thread::sleep(Duration::from_millis(60));
+        assert!(
+            !watch.expired(&dir, &disk, ttl).unwrap(),
+            "watch expired a claim held by a live nonce of this process"
+        );
+        // Once the nonce is gone (power cut), the same watch expires on
+        // the dead-holder fast path without waiting out another ttl.
+        holder.abandon();
+        assert!(watch.expired(&dir, &disk, ttl).unwrap());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn heartbeat_resets_an_in_flight_takeover() {
+        let dir = scratch("reset");
+        let disk = Disk::real();
+        plant_foreign_lease(&dir, 5, 0);
+        let observed = read_lease_info(&dir, &disk).unwrap().unwrap();
+        // The holder beats between observation and takeover: the
+        // takeover is refused.
+        plant_foreign_lease(&dir, 5, 1);
+        match Lease::take_over(&dir, "late", &disk, &observed).unwrap() {
+            Acquire::Held(now) => assert_ne!(now.fingerprint, observed.fingerprint),
+            Acquire::Acquired(_) => panic!("stole a beating lease"),
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn two_racers_for_one_expired_lease_exactly_one_wins() {
+        for round in 0..8 {
+            let dir = scratch(&format!("race-{round}"));
+            plant_foreign_lease(&dir, 9, 0);
+            let observed = read_lease_info(&dir, &Disk::real()).unwrap().unwrap();
+            let barrier = std::sync::Arc::new(std::sync::Barrier::new(2));
+            let mut handles = Vec::new();
+            for name in ["left", "right"] {
+                let dir = dir.clone();
+                let observed = observed.clone();
+                let barrier = barrier.clone();
+                handles.push(std::thread::spawn(move || {
+                    barrier.wait();
+                    matches!(
+                        Lease::take_over(&dir, name, &Disk::real(), &observed).unwrap(),
+                        Acquire::Acquired(_)
+                    )
+                }));
+            }
+            let wins: usize =
+                handles.into_iter().map(|h| usize::from(h.join().unwrap())).sum();
+            assert_eq!(wins, 1, "round {round}: exactly one racer must win");
+            let _ = fs::remove_dir_all(&dir);
+        }
+    }
+
+    #[test]
+    fn corrupt_lease_fences_holder_and_is_stolen_after_ttl() {
+        for damage in ["flip", "truncate"] {
+            let dir = scratch(&format!("corrupt-{damage}"));
+            let disk = Disk::real();
+            let mut holder = acquired(Lease::acquire(&dir, "holder", &disk).unwrap());
+            let path = dir.join(LEASE_FILE);
+            match damage {
+                "flip" => flip_bit(&path, 24, 3).unwrap(),
+                _ => truncate_file(&path, 10).unwrap(),
+            }
+            assert!(!holder.renew().unwrap(), "{damage}: holder must fence on a mangled claim");
+            assert!(!holder.validate().unwrap());
+            // The corrupt claim never beats; a challenger steals after
+            // its own TTL and the ratchet keeps the epoch monotone.
+            let info = read_lease_info(&dir, &disk).unwrap().unwrap();
+            assert!(!info.intact);
+            let mut watch = LeaseWatch::new(info);
+            let ttl = Duration::from_millis(40);
+            while !watch.expired(&dir, &disk, ttl).unwrap() {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            let new =
+                acquired(Lease::take_over(&dir, "successor", &disk, watch.info()).unwrap());
+            assert!(new.epoch() > holder.epoch(), "{damage}: epoch must ratchet past the victim");
+            assert!(new.validate().unwrap());
+            let _ = fs::remove_dir_all(&dir);
+        }
+    }
+
+    #[test]
+    fn injected_faults_during_acquisition_never_mint_two_holders() {
+        for k in 0..8 {
+            let dir = scratch(&format!("fault-{k}"));
+            let faults = DiskFaults::new();
+            let disk = Disk::faulty(faults.clone());
+            faults.trip_after(k);
+            let first = Lease::acquire(&dir, "a", &disk);
+            faults.disarm();
+            let holders = usize::from(matches!(first, Ok(Acquire::Acquired(_))));
+            if holders == 0 {
+                // The failed attempt must not have left a claim that
+                // blocks a healthy successor for good: either the dir is
+                // clean or the leftover is dead/corrupt and steals fast.
+                let second = acquired(Lease::acquire(&dir, "b", &disk).unwrap());
+                assert!(second.validate().unwrap());
+            }
+            let _ = fs::remove_dir_all(&dir);
+        }
+    }
+
+    #[test]
+    fn ensure_epoch_above_rewrites_claim_and_ratchet() {
+        let dir = scratch("floor");
+        let disk = Disk::real();
+        let mut a = acquired(Lease::acquire(&dir, "a", &disk).unwrap());
+        let before = a.epoch();
+        a.ensure_epoch_above(before + 10).unwrap();
+        assert_eq!(a.epoch(), before + 11);
+        assert!(a.validate().unwrap());
+        a.release().unwrap();
+        let b = acquired(Lease::acquire(&dir, "b", &disk).unwrap());
+        assert!(b.epoch() > before + 11, "ratchet reflects the raised epoch");
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

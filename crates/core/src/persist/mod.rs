@@ -26,14 +26,27 @@
 //! primitive ([`disk::Disk`]) so tests can trip the k-th I/O
 //! operation, tear a write in half, or corrupt files directly, and
 //! assert the discipline above actually holds.
+//!
+//! A fourth rule extends the discipline across *process* boundaries:
+//!
+//! * **Writers are fenced, not trusted.** Each workspace directory is
+//!   guarded by an advisory lease ([`lease::Lease`]) whose epoch is
+//!   stamped into every journal frame and snapshot header. Replay
+//!   rejects records carrying an epoch below the recovered snapshot's,
+//!   so a deposed writer that resumes after takeover cannot smuggle
+//!   stale records into the history. Followers read the same files
+//!   without any lease, using the generation file as a seqlock around
+//!   snapshot compaction.
 
 pub mod codec;
 pub mod disk;
 pub mod fault;
 pub mod journal;
+pub mod lease;
 pub mod store;
 
 pub use disk::Disk;
 pub use fault::DiskFaults;
-pub use journal::{JournalOp, Recovered, WorkspaceDir};
+pub use journal::{read_generation, JournalOp, Recovered, WorkspaceDir};
+pub use lease::{Acquire, Lease, LeaseInfo, LeaseWatch};
 pub use store::{DiskStore, SharedStore, StoreLimits, StoreStats};

@@ -67,6 +67,10 @@ pub struct DiskStore {
     disk: Disk,
     policy: LruPolicy,
     stats: StoreStats,
+    /// A read-only store never writes, deletes, sweeps, or evicts: the
+    /// directory belongs to a concurrent leader process and a follower
+    /// may only observe it.
+    read_only: bool,
 }
 
 impl DiskStore {
@@ -106,7 +110,13 @@ impl DiskStore {
         for (_, name, len) in found {
             policy.insert(&name, len);
         }
-        let mut store = DiskStore { dir: dir.to_owned(), disk, policy, stats: StoreStats::default() };
+        let mut store = DiskStore {
+            dir: dir.to_owned(),
+            disk,
+            policy,
+            stats: StoreStats::default(),
+            read_only: false,
+        };
         store.enforce_budget();
         Ok(store)
     }
@@ -117,6 +127,50 @@ impl DiskStore {
     /// As [`DiskStore::open`].
     pub fn open_real(dir: &Path, limits: StoreLimits) -> std::io::Result<DiskStore> {
         DiskStore::open(dir, limits, Disk::real())
+    }
+
+    /// Opens an existing store for read-only use by a follower sharing
+    /// the directory with a live leader. Nothing is created, swept,
+    /// deleted, or evicted — not even corrupt entries (the leader owns
+    /// them; here they are just misses) — and [`DiskStore::put`] is a
+    /// silent no-op. A missing directory is an empty store, never an
+    /// error: the leader may simply not have created it yet.
+    #[must_use]
+    pub fn open_read_only(dir: &Path, limits: StoreLimits, disk: Disk) -> DiskStore {
+        let mut policy = LruPolicy::new(limits.max_bytes);
+        policy.set_frozen(true);
+        let mut found: Vec<(SystemTime, String, u64)> = Vec::new();
+        for path in disk.read_dir(dir).unwrap_or_default() {
+            let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+                continue;
+            };
+            if !name.ends_with(".entry") {
+                continue;
+            }
+            let Ok(meta) = disk.stat(&path) else {
+                continue;
+            };
+            let mtime = meta.modified().unwrap_or(SystemTime::UNIX_EPOCH);
+            found.push((mtime, name.to_owned(), meta.len()));
+        }
+        found.sort();
+        for (_, name, len) in found {
+            policy.insert(&name, len);
+        }
+        DiskStore {
+            dir: dir.to_owned(),
+            disk,
+            policy,
+            stats: StoreStats::default(),
+            read_only: true,
+        }
+    }
+
+    /// `true` when this store was opened with
+    /// [`DiskStore::open_read_only`].
+    #[must_use]
+    pub fn is_read_only(&self) -> bool {
+        self.read_only
     }
 
     fn file_name(key: &str) -> String {
@@ -146,10 +200,14 @@ impl DiskStore {
                 Some(payload)
             }
             None => {
-                self.stats.corrupt_dropped += 1;
                 self.stats.misses += 1;
-                self.policy.remove(&name);
-                let _ = self.disk.remove(&path);
+                if !self.read_only {
+                    // The file may belong to a concurrent writer
+                    // mid-publish; only an owning store deletes it.
+                    self.stats.corrupt_dropped += 1;
+                    self.policy.remove(&name);
+                    let _ = self.disk.remove(&path);
+                }
                 None
             }
         }
@@ -159,6 +217,9 @@ impl DiskStore {
     /// store consistent) when the write fails; a torn partial file, if
     /// any, is swept immediately.
     pub fn put(&mut self, key: &str, payload: &[u8]) -> bool {
+        if self.read_only {
+            return false;
+        }
         let name = DiskStore::file_name(key);
         let path = self.path_of(&name);
         let bytes = encode_entry(key, payload);
@@ -395,6 +456,37 @@ mod tests {
         assert!(s.get("torn").is_none());
         assert_eq!(s.get("good").as_deref(), Some(&b"durable"[..]));
         assert!(s.stats().write_failures >= 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn read_only_store_serves_hits_but_never_mutates() {
+        let dir = scratch("readonly");
+        let mut owner = DiskStore::open_real(&dir, StoreLimits::default()).unwrap();
+        assert!(owner.put("k", b"shared payload"));
+        std::fs::write(dir.join("e999.entry.tmp"), b"in flight").unwrap();
+
+        let mut follower =
+            DiskStore::open_read_only(&dir, StoreLimits { max_bytes: 1 }, Disk::real());
+        assert!(follower.is_read_only());
+        assert!(dir.join("e999.entry.tmp").exists(), "no temp sweep: the leader owns it");
+        assert_eq!(follower.get("k").as_deref(), Some(&b"shared payload"[..]));
+        assert!(!follower.put("k2", b"refused"), "puts are no-ops");
+        assert!(follower.get("k2").is_none());
+        assert_eq!(follower.stats().write_failures, 0, "a refused put is not a failure");
+
+        // Corrupt entries are misses but are NOT deleted.
+        let path = dir.join(DiskStore::file_name("k"));
+        fault::flip_bit(&path, 4, 1).unwrap();
+        assert!(follower.get("k").is_none());
+        assert!(path.exists(), "the leader's file survives");
+        assert_eq!(follower.stats().corrupt_dropped, 0);
+
+        // A missing directory is an empty store, not an error.
+        let gone = scratch("readonly-missing"); // scratch() never creates the dir
+        let empty = DiskStore::open_read_only(&gone, StoreLimits::default(), Disk::real());
+        assert!(empty.is_empty());
+        assert!(!gone.exists(), "nothing was created");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

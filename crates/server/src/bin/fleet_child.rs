@@ -1,0 +1,269 @@
+//! Test-only child process for multi-process fleet fault sweeps.
+//!
+//! `tests/fleet.rs` spawns this binary to exercise the lease/fencing
+//! protocol across real OS process boundaries — something in-process
+//! tests cannot do, because a SIGKILLed process drops no destructors
+//! and releases no locks. Two modes:
+//!
+//! * `writer` — claim (or steal) the workspace lease, recover the
+//!   directory, fence it at the new epoch, then journal a run of
+//!   `AddClass` edits, printing a flushed `ACK <name>` line after each
+//!   one is durable. `--kill-after-io K` routes every filesystem
+//!   operation through a [`DiskFaults`] plan that calls
+//!   `std::process::abort()` at the K-th operation: a deterministic
+//!   stand-in for SIGKILL at every journal trip point.
+//! * `zombie` — claim the lease, journal a few edits, print `PAUSED`
+//!   and block on stdin. The parent waits the lease to expiry, takes
+//!   over and fences the directory, then pokes stdin: the zombie
+//!   resumes appending records at its stale epoch, exactly like a
+//!   paused leader coming back after a takeover. Recovery must reject
+//!   every one of those records.
+//!
+//! The protocol on stdout is line-oriented and flushed after every
+//! line, so a parent reading a pipe sees each acknowledgement before
+//! the corresponding crash can happen.
+
+use car_core::persist::Disk;
+use car_core::{
+    Acquire, DiskFaults, JournalOp, Lease, LeaseWatch, ReasonerConfig, SchemaBuilder,
+    SchemaDelta, Workspace, WorkspaceDir, WorkspaceLimits,
+};
+use std::io::{BufRead, Write};
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+const TENANT: &str = "fleet";
+const WORKSPACE: &str = "ws";
+const LABEL: &str = "fleet-child";
+
+fn fail(message: &str) -> ! {
+    eprintln!("fleet_child: {message}");
+    std::process::exit(2)
+}
+
+struct Args {
+    mode: String,
+    dir: PathBuf,
+    ops: u64,
+    pre: u64,
+    post: u64,
+    kill_after_io: Option<u64>,
+    snapshot_every: u64,
+    prefix: String,
+    ttl_ms: u64,
+    release: bool,
+}
+
+fn parse_args() -> Args {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut args = Args {
+        mode: argv.first().cloned().unwrap_or_default(),
+        dir: PathBuf::new(),
+        ops: 0,
+        pre: 0,
+        post: 0,
+        kill_after_io: None,
+        snapshot_every: 0,
+        prefix: "c".to_owned(),
+        ttl_ms: 300,
+        release: false,
+    };
+    let mut i = 1;
+    while i < argv.len() {
+        let flag = argv[i].as_str();
+        if flag == "--release" {
+            args.release = true;
+            i += 1;
+            continue;
+        }
+        i += 1;
+        let value = argv.get(i).unwrap_or_else(|| fail(&format!("{flag} needs a value")));
+        let number =
+            || value.parse::<u64>().unwrap_or_else(|_| fail(&format!("bad {flag}: {value}")));
+        match flag {
+            "--dir" => args.dir = PathBuf::from(value),
+            "--ops" => args.ops = number(),
+            "--pre" => args.pre = number(),
+            "--post" => args.post = number(),
+            "--kill-after-io" => args.kill_after_io = Some(number()),
+            "--snapshot-every" => args.snapshot_every = number(),
+            "--prefix" => args.prefix = value.clone(),
+            "--ttl-ms" => args.ttl_ms = number(),
+            other => fail(&format!("unknown flag '{other}'")),
+        }
+        i += 1;
+    }
+    if args.dir.as_os_str().is_empty() {
+        fail("--dir is required");
+    }
+    args
+}
+
+fn say(line: &str) {
+    let mut out = std::io::stdout().lock();
+    let _ = writeln!(out, "{line}");
+    let _ = out.flush();
+}
+
+/// Claims the workspace lease, watching a live holder to expiry first.
+/// A dead holder (crashed sibling) is stolen on the spot by
+/// `Lease::acquire` itself.
+fn claim_lease(dir: &Path, disk: &Disk, ttl: Duration) -> Lease {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        if Instant::now() > deadline {
+            fail("timed out claiming lease");
+        }
+        match Lease::acquire(dir, LABEL, disk) {
+            Ok(Acquire::Acquired(lease)) => return lease,
+            Ok(Acquire::Held(info)) => {
+                let mut watch = LeaseWatch::new(info);
+                loop {
+                    if Instant::now() > deadline {
+                        fail("timed out watching lease");
+                    }
+                    match watch.expired(dir, disk, ttl) {
+                        Ok(true) => break,
+                        Ok(false) => std::thread::sleep(Duration::from_millis(20)),
+                        Err(e) => fail(&format!("lease watch: {e}")),
+                    }
+                }
+                match Lease::take_over(dir, LABEL, disk, watch.info()) {
+                    Ok(Acquire::Acquired(lease)) => return lease,
+                    Ok(Acquire::Held(_)) => continue, // holder moved; re-observe
+                    Err(e) => fail(&format!("take_over: {e}")),
+                }
+            }
+            Err(e) => fail(&format!("acquire: {e}")),
+        }
+    }
+}
+
+/// Recovers (or freshly creates) the workspace directory, fences it at
+/// the lease's epoch, and publishes the mandatory fencing snapshot.
+/// Appending at a new epoch without that snapshot would let the records
+/// be discarded as a damaged tail on the next recovery, so a snapshot
+/// failure is fatal here (in the real server it detaches instead).
+fn adopt(dir: &Path, disk: &Disk, lease: &mut Lease) -> (WorkspaceDir, Workspace) {
+    let (mut wd, ws) = match WorkspaceDir::recover(dir, disk.clone()) {
+        Some(rec) => {
+            let mut ws = Workspace::restore(
+                rec.schema,
+                rec.undo,
+                rec.redo,
+                ReasonerConfig::default(),
+                WorkspaceLimits::default(),
+            );
+            for op in &rec.ops {
+                match op {
+                    JournalOp::Apply(delta) => {
+                        if ws.apply(delta).is_err() {
+                            fail("replayed op no longer applies");
+                        }
+                    }
+                    JournalOp::Undo => {
+                        ws.undo();
+                    }
+                    JournalOp::Redo => {
+                        ws.redo();
+                    }
+                }
+            }
+            if lease.ensure_epoch_above(rec.epoch).is_err() {
+                fail("cannot dominate recovered epoch");
+            }
+            (rec.dir, ws)
+        }
+        None => {
+            let wd = WorkspaceDir::create(dir, disk.clone())
+                .unwrap_or_else(|e| fail(&format!("create: {e}")));
+            let schema =
+                SchemaBuilder::new().build().unwrap_or_else(|_| fail("empty schema"));
+            (wd, Workspace::new(schema, ReasonerConfig::default()))
+        }
+    };
+    wd.set_epoch(lease.epoch());
+    wd.save_snapshot(TENANT, WORKSPACE, ws.schema(), ws.undo_stack(), ws.redo_stack())
+        .unwrap_or_else(|e| fail(&format!("fencing snapshot: {e}")));
+    (wd, ws)
+}
+
+/// Applies one `AddClass` in memory and journals it; `ACK` only once
+/// the record is durable.
+fn durable_add(wd: &mut WorkspaceDir, ws: &mut Workspace, name: &str) {
+    let delta = SchemaDelta::AddClass { name: name.to_owned() };
+    if ws.apply(&delta).is_err() {
+        fail(&format!("apply {name}"));
+    }
+    if let Err(e) = wd.append_op(&JournalOp::Apply(delta)) {
+        fail(&format!("append {name}: {e}"));
+    }
+    say(&format!("ACK {name}"));
+}
+
+fn writer(args: &Args) {
+    let disk = match args.kill_after_io {
+        Some(k) => {
+            let faults = DiskFaults::new();
+            faults.set_abort_on_trip(true);
+            faults.trip_after(k);
+            Disk::faulty(faults)
+        }
+        None => Disk::real(),
+    };
+    let ttl = Duration::from_millis(args.ttl_ms);
+    disk.create_dir_all(&args.dir).unwrap_or_else(|e| fail(&format!("mkdir: {e}")));
+    let mut lease = claim_lease(&args.dir, &disk, ttl);
+    let (mut wd, mut ws) = adopt(&args.dir, &disk, &mut lease);
+    say(&format!("EPOCH {}", lease.epoch()));
+    for i in 0..args.ops {
+        durable_add(&mut wd, &mut ws, &format!("{}{i}", args.prefix));
+        if args.snapshot_every > 0 && wd.ops_since_snapshot() >= args.snapshot_every {
+            wd.save_snapshot(TENANT, WORKSPACE, ws.schema(), ws.undo_stack(), ws.redo_stack())
+                .unwrap_or_else(|e| fail(&format!("snapshot: {e}")));
+        }
+    }
+    say("DONE");
+    if args.release {
+        let _ = lease.release();
+    }
+    // Without --release the Lease is dropped: the file stays on disk,
+    // exactly like a crashed holder (stop(), not shutdown()).
+}
+
+fn zombie(args: &Args) {
+    let disk = Disk::real();
+    let ttl = Duration::from_millis(args.ttl_ms);
+    let mut lease = claim_lease(&args.dir, &disk, ttl);
+    let (mut wd, mut ws) = adopt(&args.dir, &disk, &mut lease);
+    say(&format!("EPOCH {}", lease.epoch()));
+    for i in 0..args.pre {
+        durable_add(&mut wd, &mut ws, &format!("{}{i}", args.prefix));
+    }
+    // Park: never renew, so the lease expires under the parent's watch.
+    say("PAUSED");
+    let mut line = String::new();
+    let _ = std::io::stdin().lock().read_line(&mut line);
+    // Resumed: the parent has taken over and fenced the directory.
+    // Append at the stale epoch anyway — the WorkspaceDir still carries
+    // the old epoch, exactly like a real zombie's in-memory state.
+    // Every record must be rejected by fencing at the next recovery.
+    for i in 0..args.post {
+        let name = format!("{}stale{i}", args.prefix);
+        let delta = SchemaDelta::AddClass { name: name.clone() };
+        match wd.append_op(&JournalOp::Apply(delta)) {
+            Ok(()) => say(&format!("STALE {name}")),
+            Err(e) => fail(&format!("stale append {name}: {e}")),
+        }
+    }
+    say("ZDONE");
+}
+
+fn main() {
+    let args = parse_args();
+    match args.mode.as_str() {
+        "writer" => writer(&args),
+        "zombie" => zombie(&args),
+        other => fail(&format!("unknown mode '{other}' (writer|zombie)")),
+    }
+}

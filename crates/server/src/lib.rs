@@ -27,7 +27,7 @@ pub mod protocol;
 pub mod service;
 
 use protocol::{err_response, parse_request, WireError};
-use service::{Service, ServerConfig};
+use service::{Service, ServerConfig, StoreMode};
 use std::collections::HashMap;
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -153,6 +153,25 @@ fn handle_frame(raw: &[u8], service: &Service) -> String {
     }
 }
 
+/// The lease keeper: renews this process's claims and sweeps the
+/// shared data dir for unclaimed or abandoned workspaces, every
+/// `lease_ttl / 4` (floored at 25ms). The 10ms inner sleep keeps
+/// shutdown prompt without busy-waiting.
+fn keeper_loop(service: &Service, stopping: &AtomicBool) {
+    let tick = (service.config().lease_ttl / 4).max(Duration::from_millis(25));
+    let mut watches = HashMap::new();
+    let mut last = Instant::now();
+    while !stopping.load(Ordering::SeqCst) {
+        std::thread::sleep(Duration::from_millis(10));
+        if last.elapsed() < tick {
+            continue;
+        }
+        service.renew_leases();
+        service.sweep_leases(&mut watches);
+        last = Instant::now();
+    }
+}
+
 /// The live-connection registry: lets a graceful shutdown half-close
 /// every active connection's read side (so in-flight requests finish
 /// and get their responses, then the connection sees EOF) and observe
@@ -210,6 +229,9 @@ pub struct Server {
     stopping: Arc<AtomicBool>,
     conns: Arc<ConnRegistry>,
     accept_thread: Option<JoinHandle<()>>,
+    /// Lease keeper: heartbeats held leases and sweeps the shared data
+    /// dir for expired ones. Only spawned for a leader with a data dir.
+    keeper_thread: Option<JoinHandle<()>>,
 }
 
 impl Server {
@@ -244,7 +266,21 @@ impl Server {
                 });
             }
         });
-        Ok(Server { addr, service, stopping, conns, accept_thread: Some(accept_thread) })
+        let keeper_thread = (service.config().data_dir.is_some()
+            && service.config().store_mode == StoreMode::Leader)
+            .then(|| {
+                let service = Arc::clone(&service);
+                let stopping = Arc::clone(&stopping);
+                std::thread::spawn(move || keeper_loop(&service, &stopping))
+            });
+        Ok(Server {
+            addr,
+            service,
+            stopping,
+            conns,
+            accept_thread: Some(accept_thread),
+            keeper_thread,
+        })
     }
 
     /// The bound address (useful with ephemeral ports).
@@ -260,16 +296,32 @@ impl Server {
         &self.service
     }
 
-    /// Stops accepting new connections and joins the accept thread.
-    /// Already-open connections finish naturally when their clients
-    /// hang up.
-    pub fn stop(&mut self) {
+    /// Stops the accept loop and the lease keeper, joining both
+    /// threads.
+    fn halt_threads(&mut self) {
         self.stopping.store(true, Ordering::SeqCst);
         // Unblock the accept loop with a throwaway connection.
         let _ = TcpStream::connect(self.addr);
         if let Some(handle) = self.accept_thread.take() {
             let _ = handle.join();
         }
+        if let Some(handle) = self.keeper_thread.take() {
+            let _ = handle.join();
+        }
+    }
+
+    /// Stops accepting new connections and joins the accept thread.
+    /// Already-open connections finish naturally when their clients
+    /// hang up.
+    ///
+    /// This is the *power cut* exit: no snapshots are written and the
+    /// lease files are left on disk — a successor gets each workspace
+    /// through takeover, exactly as it would after a real crash. (The
+    /// in-process lease nonces are abandoned, so a successor in this
+    /// same process steals instantly instead of waiting out the TTL.)
+    pub fn stop(&mut self) {
+        self.halt_threads();
+        self.service.abandon_leases();
     }
 
     /// Blocks until the accept loop exits (i.e. forever, absent
@@ -283,20 +335,25 @@ impl Server {
     /// Graceful shutdown: stop accepting, half-close every active
     /// connection's read side (in-flight requests finish and get their
     /// responses; the next read sees EOF), wait for connection threads
-    /// to drain, then snapshot every workspace. Returns the number of
-    /// snapshots written.
+    /// to drain, snapshot every workspace, then release every lease
+    /// (removing the lease files, so a successor claims each workspace
+    /// instantly instead of waiting out a takeover). Returns the number
+    /// of snapshots written.
     ///
-    /// Contrast with [`Server::stop`], which abandons connections and
-    /// writes nothing — the crash-recovery tests use `stop` as the
-    /// "power cut" and `shutdown` as the clean exit.
+    /// Contrast with [`Server::stop`], which abandons connections,
+    /// writes nothing, and leaves the lease files in place — the
+    /// crash-recovery tests use `stop` as the "power cut" and
+    /// `shutdown` as the clean exit.
     pub fn shutdown(&mut self) -> u64 {
-        self.stop();
+        self.halt_threads();
         self.conns.half_close_all();
         let deadline = Instant::now() + DRAIN_TIMEOUT;
         while self.conns.active() > 0 && Instant::now() < deadline {
             std::thread::sleep(Duration::from_millis(5));
         }
-        self.service.snapshot_all()
+        let written = self.service.snapshot_all();
+        self.service.release_leases();
+        written
     }
 
     /// Blocks until a remote `shutdown` request is accepted (which

@@ -1,7 +1,7 @@
 //! The `car-server` binary: CLI flag parsing around
 //! [`car_server::Server`].
 
-use car_server::service::ServerConfig;
+use car_server::service::{ServerConfig, StoreMode};
 use car_server::Server;
 use std::num::NonZeroUsize;
 use std::time::Duration;
@@ -30,6 +30,12 @@ OPTIONS:
                             the server is memory-only
   --store-max-bytes <n>     Byte budget of the on-disk enumeration store
                             (default 268435456)
+  --store-mode <mode>       'leader' (default) acquires per-workspace leases and
+                            writes; 'follower' serves the same data dir read-only,
+                            answering edits with a read_only error
+  --lease-ttl-ms <n>        Lease heartbeat time-to-live: how long a workspace
+                            lease may go silent before another leader takes it
+                            over (default 2000)
   --allow-remote-shutdown   Honor the 'shutdown' operation: drain in-flight work,
                             snapshot every workspace, exit (default off)
   --help                    Show this help
@@ -64,6 +70,15 @@ fn parse_config(args: &[String]) -> (String, ServerConfig) {
                 config.data_dir = Some(std::path::PathBuf::from(value(&mut i)));
             }
             "--allow-remote-shutdown" => config.allow_remote_shutdown = true,
+            "--store-mode" => {
+                config.store_mode = match value(&mut i) {
+                    "leader" => StoreMode::Leader,
+                    "follower" => StoreMode::Follower,
+                    other => fail(&format!(
+                        "--store-mode must be 'leader' or 'follower', not '{other}'"
+                    )),
+                };
+            }
             _ => {
                 let v = value(&mut i);
                 let n: u64 = v
@@ -80,6 +95,12 @@ fn parse_config(args: &[String]) -> (String, ServerConfig) {
                     "--max-workspaces" => config.quota.max_workspaces = n as usize,
                     "--max-frame-bytes" => config.max_frame_bytes = n as usize,
                     "--store-max-bytes" => config.store_max_bytes = n,
+                    "--lease-ttl-ms" => {
+                        if n == 0 {
+                            fail("--lease-ttl-ms must be at least 1");
+                        }
+                        config.lease_ttl = Duration::from_millis(n);
+                    }
                     "--undo-cap" => config.quota.workspace_limits.undo_cap = n as usize,
                     "--bundle-cache-cap" => {
                         config.quota.workspace_limits.bundle_cache_cap = n as usize;
@@ -108,17 +129,27 @@ fn main() {
         Err(e) => fail(&format!("cannot bind {addr}: {e}")),
     };
     let recovery = server.service().recovery_report();
-    if recovery.workspaces_recovered > 0 || recovery.dirs_skipped > 0 {
+    if recovery.workspaces_recovered > 0
+        || recovery.dirs_skipped > 0
+        || recovery.dirs_lease_held > 0
+    {
         println!(
             "car-server: recovered {} workspaces ({} journal ops replayed, \
-             {} truncated tails, {} unusable dirs skipped)",
+             {} truncated tails, {} fenced records rejected, {} unusable dirs \
+             skipped, {} dirs lease-held elsewhere)",
             recovery.workspaces_recovered,
             recovery.ops_replayed,
             recovery.truncated_tails,
-            recovery.dirs_skipped
+            recovery.fenced_records_rejected,
+            recovery.dirs_skipped,
+            recovery.dirs_lease_held
         );
     }
-    println!("car-server listening on {}", server.addr());
+    let role = match server.service().config().store_mode {
+        StoreMode::Leader => "leader",
+        StoreMode::Follower => "follower",
+    };
+    println!("car-server ({role}) listening on {}", server.addr());
     // Blocks forever unless a remote shutdown arrives (which requires
     // --allow-remote-shutdown); then drains and snapshots.
     let snapshots = server.serve_until_shutdown();

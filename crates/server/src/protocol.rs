@@ -175,6 +175,10 @@ pub enum Request {
     },
     /// List this tenant's workspaces.
     List,
+    /// Server health: role (leader/follower), per-workspace lease
+    /// epochs and fencing state, recovery counters, durability
+    /// counters.
+    Health,
     /// Ask the server to drain and exit gracefully (snapshotting every
     /// workspace). Honored only when the operator started the server
     /// with remote shutdown enabled; otherwise answered with
@@ -591,6 +595,7 @@ fn parse_request_body(frame: &Json) -> Result<Request, WireError> {
         }
         "stats" => Request::Stats { workspace: workspace_field(frame)? },
         "list" => Request::List,
+        "health" => Request::Health,
         "shutdown" => Request::Shutdown,
         other => return Err(WireError::bad_request(format!("unknown op '{other}'"))),
     })

@@ -34,10 +34,10 @@ use crate::json::{obj, s, Json};
 use crate::protocol::{
     answer_json, ok_response, unknown_answer, Envelope, Request, WireError, WireQuery,
 };
-use car_core::persist::{codec, Disk};
+use car_core::persist::{codec, read_generation, Disk};
 use car_core::{
-    Budget, BudgetLimits, DiskStore, JournalOp, ReasonerConfig, SharedStore, StoreLimits,
-    Workspace, WorkspaceDir, WorkspaceLimits,
+    Acquire, Budget, BudgetLimits, DiskStore, JournalOp, Lease, LeaseWatch, ReasonerConfig,
+    SharedStore, StoreLimits, Workspace, WorkspaceDir, WorkspaceLimits,
 };
 use car_parser::parse_schema;
 use std::collections::hash_map::DefaultHasher;
@@ -45,7 +45,7 @@ use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::num::NonZeroUsize;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
 
@@ -92,6 +92,24 @@ impl TenantQuota {
     }
 }
 
+/// How this process relates to the durable state under `data_dir`.
+///
+/// A fleet shares one data directory: exactly one *leader* per
+/// workspace holds that workspace's lease and writes its snapshot and
+/// journal; any number of *followers* serve queries from the same files
+/// without ever writing. Leadership is per workspace lease, not per
+/// process — two leader processes over one data dir partition the
+/// workspaces between themselves via the lease files.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StoreMode {
+    /// Acquire leases, recover, and write. The default.
+    Leader,
+    /// Never acquire a lease and never write: serve queries from the
+    /// on-disk state as of the last refresh, and answer every edit with
+    /// a `read_only` error.
+    Follower,
+}
+
 /// Server-wide configuration.
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
@@ -112,6 +130,13 @@ pub struct ServerConfig {
     /// remote peer should not be able to stop the server unless the
     /// operator opted in.
     pub allow_remote_shutdown: bool,
+    /// Leader (lease-holding writer) or read-only follower over the
+    /// shared `data_dir`.
+    pub store_mode: StoreMode,
+    /// How long a workspace lease may go without a heartbeat before
+    /// another process may take it over. The keeper renews well inside
+    /// this (every `lease_ttl / 4`, floored at 25ms).
+    pub lease_ttl: Duration,
 }
 
 impl Default for ServerConfig {
@@ -123,6 +148,8 @@ impl Default for ServerConfig {
             data_dir: None,
             store_max_bytes: StoreLimits::default().max_bytes,
             allow_remote_shutdown: false,
+            store_mode: StoreMode::Leader,
+            lease_ttl: Duration::from_secs(2),
         }
     }
 }
@@ -143,6 +170,27 @@ pub struct RecoveryReport {
     /// Replayed operations that failed to re-apply (replay of that
     /// workspace stops at the failure; earlier ops are kept).
     pub replay_failures: u64,
+    /// Journal records written by a deposed (fenced) writer and
+    /// rejected during replay — a zombie leader's appends, kept out of
+    /// the history by epoch fencing.
+    pub fenced_records_rejected: u64,
+    /// Workspace directories whose lease another live process holds;
+    /// left alone (the keeper watches them and takes over on expiry).
+    pub dirs_lease_held: u64,
+}
+
+impl RecoveryReport {
+    /// Field-wise accumulate (keeper takeovers and follower lazy loads
+    /// add to the startup report).
+    fn absorb(&mut self, other: &RecoveryReport) {
+        self.workspaces_recovered += other.workspaces_recovered;
+        self.ops_replayed += other.ops_replayed;
+        self.truncated_tails += other.truncated_tails;
+        self.dirs_skipped += other.dirs_skipped;
+        self.replay_failures += other.replay_failures;
+        self.fenced_records_rejected += other.fenced_records_rejected;
+        self.dirs_lease_held += other.dirs_lease_held;
+    }
 }
 
 /// Journal compaction threshold: after this many operations since the
@@ -157,6 +205,38 @@ const FOLLOWER_TIMEOUT: Duration = Duration::from_secs(300);
 
 const SHARDS: usize = 16;
 
+/// Diagnostic owner label stamped into lease files.
+const LEASE_LABEL: &str = "car-server";
+
+/// Every workspace directory under `data_dir/workspaces` (two levels:
+/// tenant, then workspace). Missing roots yield an empty list.
+fn workspace_dirs(data_dir: &Path) -> Vec<PathBuf> {
+    let mut dirs = Vec::new();
+    let Ok(tenants) = std::fs::read_dir(data_dir.join("workspaces")) else {
+        return dirs;
+    };
+    for tenant_dir in tenants.flatten() {
+        let Ok(workspaces) = std::fs::read_dir(tenant_dir.path()) else { continue };
+        for ws_dir in workspaces.flatten() {
+            dirs.push(ws_dir.path());
+        }
+    }
+    dirs
+}
+
+/// A follower's staleness fingerprint for one workspace directory:
+/// the compaction generation (odd while a compaction is in flight)
+/// plus the journal's file length (appends move it; compaction resets
+/// it). Purely advisory — a refresh triggered by a torn observation
+/// only costs a re-read, never a wrong answer, because restore applies
+/// the same verification rules as recovery.
+fn follower_fingerprint(path: &Path) -> (u64, u64) {
+    let gen = read_generation(path, &Disk::real()).unwrap_or(0);
+    let journal =
+        std::fs::metadata(path.join("journal.log")).map(|m| m.len()).unwrap_or(0);
+    (gen, journal)
+}
+
 struct PendingBatch {
     queries: Vec<WireQuery>,
     slot: Arc<Slot>,
@@ -166,6 +246,11 @@ struct Slot {
     answers: Mutex<Option<Vec<Json>>>,
     ready: Condvar,
 }
+
+/// One enqueued batch's resolution plan (per query: an index into the
+/// round's combined batch, or the unknown class name) plus the slot
+/// its answers go to.
+type BatchPlan = (Vec<Result<usize, String>>, Arc<Slot>);
 
 struct BatchQueue {
     pending: Vec<PendingBatch>,
@@ -186,6 +271,17 @@ struct WsEntry {
     /// server has a data directory. Lock ordering: always taken *after*
     /// the workspace lock, never the other way round.
     dir: Option<Mutex<WorkspaceDir>>,
+    /// The leader's claim on the durable home. `None` for memory-only
+    /// entries and on followers. Lock ordering: after the dir lock.
+    lease: Mutex<Option<Lease>>,
+    /// Set once the claim is observed lost (a successor took over).
+    /// Edits on a fenced entry are refused; queries keep serving the
+    /// in-memory state.
+    fenced: AtomicBool,
+    /// Follower staleness fingerprint: (compaction generation, journal
+    /// file length) as of the last refresh. `None` outside follower
+    /// mode.
+    freshness: Option<Mutex<(u64, u64)>>,
 }
 
 /// The shared, thread-safe service state: registry plus configuration.
@@ -194,15 +290,51 @@ pub struct Service {
     shards: Vec<Mutex<HashMap<WsKey, Arc<WsEntry>>>>,
     /// Shared durable enumeration store, attached to every workspace.
     store: Option<SharedStore>,
-    recovery: RecoveryReport,
+    /// Behind a mutex because keeper takeovers keep adding to it after
+    /// startup.
+    recovery: Mutex<RecoveryReport>,
     /// Snapshot/journal writes that failed. The in-memory operation
     /// still succeeded; only durability was lost (the next successful
     /// snapshot re-covers the state).
     durability_failures: AtomicU64,
+    /// Expired leases this process took over (keeper sweeps).
+    leases_taken_over: AtomicU64,
+    /// Edit requests refused because this server is a follower.
+    read_only_rejections: AtomicU64,
+    /// Directories with an `open` between creating the directory and
+    /// claiming its lease. The keeper sweep must not claim these: it
+    /// would depose its own in-flight `open`, which shares its fate
+    /// anyway. Registered before the directory exists, removed when the
+    /// open completes, so any directory a sweep can see mid-open is in
+    /// here.
+    opening: Mutex<std::collections::HashSet<PathBuf>>,
     /// Set by an (operator-enabled) `shutdown` request; the server
     /// binary waits on this and then drains gracefully.
     shutdown_flag: Mutex<bool>,
     shutdown_ready: Condvar,
+}
+
+/// Removes a path from [`Service::opening`] when the `open` that
+/// registered it returns (on every path, including errors).
+struct OpeningGuard<'a> {
+    set: &'a Mutex<std::collections::HashSet<PathBuf>>,
+    path: PathBuf,
+}
+
+impl<'a> OpeningGuard<'a> {
+    fn new(set: &'a Mutex<std::collections::HashSet<PathBuf>>, path: PathBuf) -> Self {
+        set.lock().unwrap_or_else(std::sync::PoisonError::into_inner).insert(path.clone());
+        OpeningGuard { set, path }
+    }
+}
+
+impl Drop for OpeningGuard<'_> {
+    fn drop(&mut self) {
+        self.set
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .remove(&self.path);
+    }
 }
 
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -223,25 +355,41 @@ impl Service {
             config,
             shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
             store: None,
-            recovery: RecoveryReport::default(),
+            recovery: Mutex::new(RecoveryReport::default()),
             durability_failures: AtomicU64::new(0),
+            leases_taken_over: AtomicU64::new(0),
+            read_only_rejections: AtomicU64::new(0),
+            opening: Mutex::new(std::collections::HashSet::new()),
             shutdown_flag: Mutex::new(false),
             shutdown_ready: Condvar::new(),
         };
         if let Some(data_dir) = service.config.data_dir.clone() {
-            match DiskStore::open_real(
-                &data_dir.join("store"),
-                StoreLimits { max_bytes: service.config.store_max_bytes },
-            ) {
-                Ok(store) => service.store = Some(Arc::new(Mutex::new(store))),
-                Err(e) => {
-                    eprintln!(
-                        "car-server: cannot open store under {}: {e}; running without one",
-                        data_dir.display()
-                    );
+            let limits = StoreLimits { max_bytes: service.config.store_max_bytes };
+            match service.config.store_mode {
+                StoreMode::Leader => {
+                    match DiskStore::open_real(&data_dir.join("store"), limits) {
+                        Ok(store) => service.store = Some(Arc::new(Mutex::new(store))),
+                        Err(e) => {
+                            eprintln!(
+                                "car-server: cannot open store under {}: {e}; running without one",
+                                data_dir.display()
+                            );
+                        }
+                    }
+                }
+                StoreMode::Follower => {
+                    // A follower's store never writes, sweeps, or
+                    // evicts; opening it cannot fail.
+                    service.store = Some(Arc::new(Mutex::new(DiskStore::open_read_only(
+                        &data_dir.join("store"),
+                        limits,
+                        Disk::real(),
+                    ))));
                 }
             }
-            service.recovery = service.recover_workspaces(&data_dir);
+            let report = service.recover_workspaces(&data_dir);
+            *service.recovery.lock().unwrap_or_else(std::sync::PoisonError::into_inner) =
+                report;
         }
         service
     }
@@ -252,10 +400,23 @@ impl Service {
         &self.config
     }
 
-    /// What startup recovery found (all zeroes without a data dir).
+    /// What recovery found so far: the startup scan plus every keeper
+    /// takeover since (all zeroes without a data dir).
     #[must_use]
     pub fn recovery_report(&self) -> RecoveryReport {
-        self.recovery
+        *self.recovery.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Expired leases this process has taken over.
+    #[must_use]
+    pub fn leases_taken_over(&self) -> u64 {
+        self.leases_taken_over.load(Ordering::Relaxed)
+    }
+
+    /// Edit requests refused because this server is a follower.
+    #[must_use]
+    pub fn read_only_rejections(&self) -> u64 {
+        self.read_only_rejections.load(Ordering::Relaxed)
     }
 
     /// Snapshot/journal writes that failed so far.
@@ -312,70 +473,173 @@ impl Service {
 
     /// Scans `data_dir/workspaces` and rebuilds every recoverable
     /// workspace: snapshot state, then replay of the journal's verified
-    /// prefix through the normal [`Workspace`] edit path.
+    /// prefix through the normal [`Workspace`] edit path. A leader only
+    /// adopts directories whose lease it can claim; a follower restores
+    /// everything read-only.
     fn recover_workspaces(&self, data_dir: &Path) -> RecoveryReport {
         let mut report = RecoveryReport::default();
-        let root = data_dir.join("workspaces");
-        let tenants = match std::fs::read_dir(&root) {
-            Ok(entries) => entries,
-            Err(_) => return report, // nothing persisted yet
-        };
-        for tenant_dir in tenants.flatten() {
-            let Ok(workspaces) = std::fs::read_dir(tenant_dir.path()) else { continue };
-            for ws_dir in workspaces.flatten() {
-                let Some(rec) = WorkspaceDir::recover(&ws_dir.path(), Disk::real()) else {
-                    report.dirs_skipped += 1;
-                    continue;
-                };
-                let mut ws = Workspace::restore(
-                    rec.schema,
-                    rec.undo,
-                    rec.redo,
-                    self.reasoner_config(),
-                    self.config.quota.workspace_limits,
-                );
-                if let Some(store) = &self.store {
-                    ws.set_store(Arc::clone(store));
-                }
-                for op in &rec.ops {
-                    let ok = match op {
-                        JournalOp::Apply(delta) => ws.apply(delta).is_ok(),
-                        JournalOp::Undo => {
-                            ws.undo();
-                            true
-                        }
-                        JournalOp::Redo => {
-                            ws.redo();
-                            true
-                        }
-                    };
-                    if !ok {
-                        report.replay_failures += 1;
-                        break;
+        for path in workspace_dirs(data_dir) {
+            match self.config.store_mode {
+                StoreMode::Leader => match Lease::acquire(&path, LEASE_LABEL, &Disk::real())
+                {
+                    Ok(Acquire::Acquired(lease)) => {
+                        self.adopt_leased_dir(&path, lease, &mut report);
                     }
-                    report.ops_replayed += 1;
-                }
-                report.truncated_tails += u64::from(rec.truncated_tail);
-                report.workspaces_recovered += 1;
-                let key = WsKey {
-                    tenant: rec.tenant.clone(),
-                    workspace: rec.workspace.clone(),
-                };
-                let entry = Arc::new(WsEntry {
-                    tenant: rec.tenant,
-                    name: rec.workspace,
-                    ws: Mutex::new(ws),
-                    queue: Mutex::new(BatchQueue { pending: Vec::new(), draining: false }),
-                    version: AtomicU64::new(rec.ops.len() as u64),
-                    dir: Some(Mutex::new(rec.dir)),
-                });
-                self.shard(&key)
-                    .lock()
-                    .unwrap_or_else(std::sync::PoisonError::into_inner)
-                    .insert(key, entry);
+                    Ok(Acquire::Held(_)) => report.dirs_lease_held += 1,
+                    Err(_) => report.dirs_skipped += 1,
+                },
+                StoreMode::Follower => self.follower_restore(&path, &mut report),
             }
         }
         report
+    }
+
+    /// Replays recovered journal operations through the normal edit
+    /// path, updating `report`.
+    fn replay_ops(
+        &self,
+        ws: &mut Workspace,
+        ops: &[JournalOp],
+        report: &mut RecoveryReport,
+    ) {
+        for op in ops {
+            let ok = match op {
+                JournalOp::Apply(delta) => ws.apply(delta).is_ok(),
+                JournalOp::Undo => {
+                    ws.undo();
+                    true
+                }
+                JournalOp::Redo => {
+                    ws.redo();
+                    true
+                }
+            };
+            if !ok {
+                report.replay_failures += 1;
+                break;
+            }
+            report.ops_replayed += 1;
+        }
+    }
+
+    /// Recovers one workspace directory under an already-acquired
+    /// lease: fences every prior writer's epoch, replays, writes the
+    /// fencing snapshot, and registers the entry (which now owns the
+    /// lease). Returns `false` when the directory had no usable
+    /// snapshot (the lease is released so a fresh `open` can claim it).
+    fn adopt_leased_dir(
+        &self,
+        path: &Path,
+        mut lease: Lease,
+        report: &mut RecoveryReport,
+    ) -> bool {
+        let Some(rec) = WorkspaceDir::recover(path, Disk::real()) else {
+            report.dirs_skipped += 1;
+            let _ = lease.release();
+            return false;
+        };
+        // Fence all prior writers: the claim's epoch must exceed every
+        // epoch already in the history. If that cannot be guaranteed
+        // (I/O error and a non-dominating epoch), serving this
+        // directory could let two writers interleave — leave it for a
+        // later sweep instead.
+        if lease.ensure_epoch_above(rec.epoch).is_err() && lease.epoch() <= rec.epoch {
+            report.dirs_skipped += 1;
+            let _ = lease.release();
+            return false;
+        }
+        let mut dir = rec.dir;
+        dir.set_epoch(lease.epoch());
+        let mut ws = Workspace::restore(
+            rec.schema,
+            rec.undo,
+            rec.redo,
+            self.reasoner_config(),
+            self.config.quota.workspace_limits,
+        );
+        if let Some(store) = &self.store {
+            ws.set_store(Arc::clone(store));
+        }
+        self.replay_ops(&mut ws, &rec.ops, report);
+        report.truncated_tails += u64::from(rec.truncated_tail);
+        report.fenced_records_rejected += rec.fenced_records;
+        report.workspaces_recovered += 1;
+        // The fencing snapshot: stamped with the new epoch, it closes
+        // the history to every earlier writer *before* this entry
+        // serves anything. Recovery rejects any record whose epoch is
+        // below its snapshot's, so a paused zombie's later appends die
+        // at the next replay. If the snapshot cannot be written, this
+        // writer must not append at the new epoch either (its records
+        // would be discarded as a damaged tail) — detach and serve
+        // memory-only.
+        if dir
+            .save_snapshot(&rec.tenant, &rec.workspace, ws.schema(), ws.undo_stack(), ws.redo_stack())
+            .is_err()
+        {
+            self.durability_failures.fetch_add(1, Ordering::Relaxed);
+            dir.detach();
+        }
+        let key = WsKey { tenant: rec.tenant.clone(), workspace: rec.workspace.clone() };
+        let entry = Arc::new(WsEntry {
+            tenant: rec.tenant,
+            name: rec.workspace,
+            ws: Mutex::new(ws),
+            queue: Mutex::new(BatchQueue { pending: Vec::new(), draining: false }),
+            version: AtomicU64::new(rec.ops.len() as u64),
+            dir: Some(Mutex::new(dir)),
+            lease: Mutex::new(Some(lease)),
+            fenced: AtomicBool::new(false),
+            freshness: None,
+        });
+        self.shard(&key)
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .insert(key, entry);
+        true
+    }
+
+    /// Restores one workspace directory read-only (no lease, no
+    /// writes): the follower serves whatever verified prefix is on disk
+    /// and refreshes when the fingerprint moves.
+    fn follower_restore(&self, path: &Path, report: &mut RecoveryReport) {
+        // Fingerprint *before* reading: if the leader writes mid-
+        // restore, the stored fingerprint no longer matches the files
+        // and the next query refreshes again.
+        let fp = follower_fingerprint(path);
+        let Some(rec) = WorkspaceDir::recover(path, Disk::real()) else {
+            report.dirs_skipped += 1;
+            return;
+        };
+        let mut ws = Workspace::restore(
+            rec.schema,
+            rec.undo,
+            rec.redo,
+            self.reasoner_config(),
+            self.config.quota.workspace_limits,
+        );
+        if let Some(store) = &self.store {
+            ws.set_store(Arc::clone(store));
+        }
+        self.replay_ops(&mut ws, &rec.ops, report);
+        report.truncated_tails += u64::from(rec.truncated_tail);
+        report.fenced_records_rejected += rec.fenced_records;
+        report.workspaces_recovered += 1;
+        let key = WsKey { tenant: rec.tenant.clone(), workspace: rec.workspace.clone() };
+        let entry = Arc::new(WsEntry {
+            tenant: rec.tenant,
+            name: rec.workspace,
+            ws: Mutex::new(ws),
+            queue: Mutex::new(BatchQueue { pending: Vec::new(), draining: false }),
+            version: AtomicU64::new(rec.ops.len() as u64),
+            dir: None,
+            lease: Mutex::new(None),
+            fenced: AtomicBool::new(false),
+            freshness: Some(Mutex::new(fp)),
+        });
+        self.shard(&key)
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .insert(key, entry);
     }
 
     /// Snapshots every workspace (compacting its journal). Returns how
@@ -400,11 +664,54 @@ impl Service {
         written
     }
 
+    /// Checks the entry's claim on its durable home before a write.
+    /// `Ok(())` means proceed (which includes "no lease to check" and
+    /// "could not read the lease" — the latter is a durability problem,
+    /// not a deposition). `Err(())` means the entry is fenced: a
+    /// successor owns the history now, the dir has been detached, and
+    /// nothing may be written or acknowledged as durable.
+    ///
+    /// This check is the polite fast path; the hard guarantee is epoch
+    /// fencing at recovery, which rejects any append that slips through
+    /// the pause-between-check-and-write window.
+    fn check_lease(&self, entry: &WsEntry) -> Result<(), ()> {
+        if entry.fenced.load(Ordering::Relaxed) {
+            return Err(());
+        }
+        let mut guard =
+            entry.lease.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        let Some(lease) = guard.as_ref() else { return Ok(()) };
+        match lease.validate() {
+            Ok(true) => Ok(()),
+            Ok(false) => {
+                // Deposed. Drop the handle (the file belongs to the
+                // successor) and stop every future write up front.
+                entry.fenced.store(true, Ordering::Relaxed);
+                *guard = None;
+                drop(guard);
+                if let Some(dir) = &entry.dir {
+                    dir.lock().unwrap_or_else(std::sync::PoisonError::into_inner).detach();
+                }
+                Err(())
+            }
+            Err(_) => {
+                // Cannot tell (I/O error reading our own lease). Treat
+                // as a durability failure and skip the write, but keep
+                // the claim: the keeper's next renew settles it.
+                self.durability_failures.fetch_add(1, Ordering::Relaxed);
+                Ok(())
+            }
+        }
+    }
+
     /// Writes one workspace's snapshot (caller holds the ws lock).
-    /// Returns `false` when the entry has no durable home or the write
-    /// failed.
+    /// Returns `false` when the entry has no durable home, lost its
+    /// lease, or the write failed.
     fn snapshot_entry(&self, entry: &WsEntry, ws: &Workspace) -> bool {
         let Some(dir) = &entry.dir else { return false };
+        if self.check_lease(entry).is_err() {
+            return false;
+        }
         let mut dir = dir.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         let saved = dir
             .save_snapshot(
@@ -423,9 +730,14 @@ impl Service {
 
     /// Journals one operation on a workspace (caller holds the ws
     /// lock), compacting when the journal has grown enough. Append
-    /// failures only cost durability.
-    fn journal_op(&self, entry: &WsEntry, ws: &Workspace, op: &JournalOp) {
-        let Some(dir) = &entry.dir else { return };
+    /// failures only cost durability; returns `false` only when the
+    /// entry is *fenced* — a successor holds the lease, so the edit
+    /// must not be acknowledged (the caller rolls it back).
+    fn journal_op(&self, entry: &WsEntry, ws: &Workspace, op: &JournalOp) -> bool {
+        let Some(dir) = &entry.dir else { return true };
+        if self.check_lease(entry).is_err() {
+            return false;
+        }
         let needs_compaction = {
             let mut dir = dir.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
             if dir.append_op(op).is_err() {
@@ -436,6 +748,7 @@ impl Service {
         if needs_compaction {
             self.snapshot_entry(entry, ws);
         }
+        true
     }
 
     fn shard(&self, key: &WsKey) -> &Mutex<HashMap<WsKey, Arc<WsEntry>>> {
@@ -454,6 +767,87 @@ impl Service {
             .ok_or_else(|| {
                 WireError::new("unknown_workspace", format!("no workspace '{workspace}'"))
             })
+    }
+
+    /// Looks a workspace up for a *read* path. A follower hit is
+    /// refreshed when the on-disk fingerprint moved; a follower miss
+    /// additionally tries a lazy load from disk (the leader may have
+    /// created the workspace after our startup scan).
+    fn lookup_fresh(&self, tenant: &str, workspace: &str) -> Result<Arc<WsEntry>, WireError> {
+        match self.lookup(tenant, workspace) {
+            Ok(entry) => {
+                self.refresh_follower(&entry);
+                Ok(entry)
+            }
+            Err(e) => {
+                if self.config.store_mode == StoreMode::Follower {
+                    if let Some(entry) = self.follower_load(tenant, workspace) {
+                        return Ok(entry);
+                    }
+                }
+                Err(e)
+            }
+        }
+    }
+
+    /// Rebuilds a follower entry from disk when its staleness
+    /// fingerprint moved. Serving continues from the old state if the
+    /// directory is currently unrecoverable (mid-rewrite); the next
+    /// query tries again. No-op outside follower mode.
+    fn refresh_follower(&self, entry: &Arc<WsEntry>) {
+        let Some(freshness) = &entry.freshness else { return };
+        let Some(path) = self.workspace_dir_path(&entry.tenant, &entry.name) else {
+            return;
+        };
+        let before = follower_fingerprint(&path);
+        {
+            let seen =
+                freshness.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+            // An odd generation means a compaction is in flight — the
+            // seqlock's write marker — so even a matching fingerprint
+            // must be re-checked next time.
+            if *seen == before && before.0.is_multiple_of(2) {
+                return;
+            }
+        }
+        let Some(rec) = WorkspaceDir::recover(&path, Disk::real()) else { return };
+        let mut ws = Workspace::restore(
+            rec.schema,
+            rec.undo,
+            rec.redo,
+            self.reasoner_config(),
+            self.config.quota.workspace_limits,
+        );
+        if let Some(store) = &self.store {
+            ws.set_store(Arc::clone(store));
+        }
+        let mut scratch = RecoveryReport::default();
+        self.replay_ops(&mut ws, &rec.ops, &mut scratch);
+        // Store the *pre-read* fingerprint: anything the leader wrote
+        // while we were rebuilding makes the next query mismatch and
+        // refresh again. A mid-compaction read can never stick.
+        let stamp =
+            if before.0.is_multiple_of(2) { before } else { (u64::MAX, u64::MAX) };
+        let mut guard = entry.ws.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        *guard = ws;
+        entry.version.store(rec.ops.len() as u64, Ordering::Relaxed);
+        drop(guard);
+        *freshness.lock().unwrap_or_else(std::sync::PoisonError::into_inner) = stamp;
+    }
+
+    /// Loads a workspace a follower has never seen from disk, if its
+    /// directory exists and recovers. Returns the registered entry.
+    fn follower_load(&self, tenant: &str, workspace: &str) -> Option<Arc<WsEntry>> {
+        let path = self.workspace_dir_path(tenant, workspace)?;
+        let mut report = RecoveryReport::default();
+        self.follower_restore(&path, &mut report);
+        if report.workspaces_recovered > 0 {
+            self.recovery
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .absorb(&report);
+        }
+        self.lookup(tenant, workspace).ok()
     }
 
     fn tenant_workspace_count(&self, tenant: &str) -> usize {
@@ -475,8 +869,28 @@ impl Service {
     #[must_use]
     pub fn handle(&self, envelope: &Envelope, request: Request) -> String {
         let id = envelope.id;
+        if self.config.store_mode == StoreMode::Follower
+            && matches!(
+                request,
+                Request::Open { .. }
+                    | Request::Close { .. }
+                    | Request::Apply { .. }
+                    | Request::Undo { .. }
+                    | Request::Redo { .. }
+            )
+        {
+            self.read_only_rejections.fetch_add(1, Ordering::Relaxed);
+            return crate::protocol::err_response(
+                id,
+                &WireError::new(
+                    "read_only",
+                    "this server is a read-only follower; send edits to the leader",
+                ),
+            );
+        }
         match request {
             Request::Ping => ok_response(id, vec![("pong", Json::Bool(true))]),
+            Request::Health => self.health(envelope),
             Request::Open { workspace, schema, replace } => {
                 self.open(envelope, &workspace, &schema, replace)
             }
@@ -567,17 +981,37 @@ impl Service {
         // appends (and torn-tail truncations) must never interleave
         // with the new writer's. Taking the old dir lock serializes
         // with any append in flight right now; the detach flag stops
-        // every later one.
+        // every later one. Its lease is released too, so the new writer
+        // can claim the directory.
         if let Some(old) = &previous {
             if let Some(old_dir) = &old.dir {
                 old_dir.lock().unwrap_or_else(std::sync::PoisonError::into_inner).detach();
             }
+            let old_lease = old
+                .lease
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .take();
+            if let Some(lease) = old_lease {
+                let _ = lease.release();
+            }
         }
 
         // Give the workspace its durable home and snapshot immediately,
-        // so a crash right after `open` recovers it. A failure here
-        // leaves the workspace memory-only for its lifetime.
-        let dir = self.workspace_dir_path(&envelope.tenant, workspace).and_then(|path| {
+        // so a crash right after `open` recovers it. The directory must
+        // be claimed before anything is written into it: opening a
+        // workspace another live process owns fails with `lease_held`
+        // rather than forking the history. Other failures leave the
+        // workspace memory-only for its lifetime.
+        let mut new_lease: Option<Lease> = None;
+        let mut lease_held = false;
+        // Shield the directory from this process's own keeper sweep for
+        // the create→claim window: registered before the directory
+        // exists, dropped once the open holds (or failed to hold) the
+        // lease and registered the entry.
+        let path = self.workspace_dir_path(&envelope.tenant, workspace);
+        let _opening = path.clone().map(|p| OpeningGuard::new(&self.opening, p));
+        let dir = path.and_then(|path| {
             let mut dir = match WorkspaceDir::create(&path, Disk::real()) {
                 Ok(d) => d,
                 Err(_) => {
@@ -585,6 +1019,21 @@ impl Service {
                     return None;
                 }
             };
+            match Lease::acquire(&path, LEASE_LABEL, &Disk::real()) {
+                Ok(Acquire::Acquired(mut lease)) => {
+                    let _ = lease.ensure_epoch_above(dir.epoch());
+                    dir.set_epoch(lease.epoch());
+                    new_lease = Some(lease);
+                }
+                Ok(Acquire::Held(_)) => {
+                    lease_held = true;
+                    return None;
+                }
+                Err(_) => {
+                    self.durability_failures.fetch_add(1, Ordering::Relaxed);
+                    return None;
+                }
+            }
             if dir
                 .save_snapshot(&envelope.tenant, workspace, ws.schema(), &[], &[])
                 .is_err()
@@ -593,6 +1042,17 @@ impl Service {
             }
             Some(Mutex::new(dir))
         });
+        if lease_held {
+            return crate::protocol::err_response(
+                id,
+                &WireError::new(
+                    "lease_held",
+                    format!(
+                        "another live process holds the lease on workspace '{workspace}'"
+                    ),
+                ),
+            );
+        }
         let entry = Arc::new(WsEntry {
             tenant: envelope.tenant.clone(),
             name: workspace.to_owned(),
@@ -600,6 +1060,9 @@ impl Service {
             queue: Mutex::new(BatchQueue { pending: Vec::new(), draining: false }),
             version: AtomicU64::new(0),
             dir,
+            lease: Mutex::new(new_lease),
+            fenced: AtomicBool::new(false),
+            freshness: None,
         });
         self.shard(&key)
             .lock()
@@ -630,6 +1093,16 @@ impl Service {
             // entry cannot recreate files after the deletion.
             if let Some(dir) = &entry.dir {
                 dir.lock().unwrap_or_else(std::sync::PoisonError::into_inner).detach();
+            }
+            // Release before deleting: the release deregisters the
+            // in-process nonce so the name can be re-claimed instantly.
+            let lease = entry
+                .lease
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .take();
+            if let Some(lease) = lease {
+                let _ = lease.release();
             }
             if let Some(path) = self.workspace_dir_path(&envelope.tenant, workspace) {
                 let _ = std::fs::remove_dir_all(path);
@@ -674,7 +1147,22 @@ impl Service {
             }
             // Journal only what actually applied; a crash replays
             // exactly this sequence through the same edit path.
-            self.journal_op(&entry, &ws, &JournalOp::Apply(resolved));
+            if !self.journal_op(&entry, &ws, &JournalOp::Apply(resolved)) {
+                // Fenced: a successor owns the durable history, so this
+                // edit can never be made durable. Roll the in-memory
+                // state back and refuse rather than acknowledge an edit
+                // that a recovery would not have.
+                ws.undo();
+                return self.partial_apply_response(
+                    envelope.id,
+                    applied,
+                    &entry,
+                    &WireError::new(
+                        "lease_lost",
+                        "another process took over this workspace's lease; edits are refused",
+                    ),
+                );
+            }
             applied += 1;
         }
         let version = if applied > 0 {
@@ -722,11 +1210,26 @@ impl Service {
         };
         let mut ws = entry.ws.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         let moved = if undo { ws.undo() } else { ws.redo() };
-        if moved {
-            self.journal_op(
+        if moved
+            && !self.journal_op(
                 &entry,
                 &ws,
                 if undo { &JournalOp::Undo } else { &JournalOp::Redo },
+            )
+        {
+            // Fenced: invert the in-memory move and refuse the edit.
+            if undo {
+                ws.redo();
+            } else {
+                ws.undo();
+            }
+            drop(ws);
+            return crate::protocol::err_response(
+                envelope.id,
+                &WireError::new(
+                    "lease_lost",
+                    "another process took over this workspace's lease; edits are refused",
+                ),
             );
         }
         // Bump while still holding the workspace lock (mirroring
@@ -745,7 +1248,7 @@ impl Service {
     }
 
     fn stats(&self, envelope: &Envelope, workspace: &str) -> String {
-        let entry = match self.lookup(&envelope.tenant, workspace) {
+        let entry = match self.lookup_fresh(&envelope.tenant, workspace) {
             Ok(e) => e,
             Err(e) => return crate::protocol::err_response(envelope.id, &e),
         };
@@ -801,6 +1304,233 @@ impl Service {
         )
     }
 
+    /// The `health` op: role, per-workspace lease state (this tenant's
+    /// workspaces only), recovery counters, and durability counters.
+    fn health(&self, envelope: &Envelope) -> String {
+        let role = match self.config.store_mode {
+            StoreMode::Leader => "leader",
+            StoreMode::Follower => "follower",
+        };
+        let mut entries: Vec<Arc<WsEntry>> = self
+            .all_entries()
+            .into_iter()
+            .filter(|e| e.tenant == envelope.tenant)
+            .collect();
+        entries.sort_by(|a, b| a.name.cmp(&b.name));
+        let workspaces: Vec<Json> = entries
+            .iter()
+            .map(|e| {
+                let epoch = e
+                    .lease
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .as_ref()
+                    .map_or(0, Lease::epoch);
+                let mut fields = vec![
+                    ("workspace", s(&e.name)),
+                    ("lease_epoch", Json::UInt(epoch)),
+                    ("fenced", Json::Bool(e.fenced.load(Ordering::Relaxed))),
+                ];
+                // try_lock: health must answer even while a drain holds
+                // a workspace lock; the strategy is then just omitted.
+                if let Ok(ws) = e.ws.try_lock() {
+                    if let Some(effective) = ws.stats().effective_strategy {
+                        fields
+                            .push(("effective_strategy", Json::Str(format!("{effective:?}"))));
+                    }
+                }
+                obj(fields)
+            })
+            .collect();
+        let r = self.recovery_report();
+        ok_response(
+            envelope.id,
+            vec![
+                ("role", s(role)),
+                ("workspaces", Json::Arr(workspaces)),
+                (
+                    "recovery",
+                    obj(vec![
+                        ("workspaces_recovered", Json::UInt(r.workspaces_recovered)),
+                        ("ops_replayed", Json::UInt(r.ops_replayed)),
+                        ("truncated_tails", Json::UInt(r.truncated_tails)),
+                        ("dirs_skipped", Json::UInt(r.dirs_skipped)),
+                        ("replay_failures", Json::UInt(r.replay_failures)),
+                        ("fenced_records_rejected", Json::UInt(r.fenced_records_rejected)),
+                        ("dirs_lease_held", Json::UInt(r.dirs_lease_held)),
+                    ]),
+                ),
+                ("durability_failures", Json::UInt(self.durability_failures())),
+                ("leases_taken_over", Json::UInt(self.leases_taken_over())),
+                ("read_only_rejections", Json::UInt(self.read_only_rejections())),
+            ],
+        )
+    }
+
+    // -----------------------------------------------------------------
+    // Fleet keeping: heartbeats, takeover sweeps, lease lifecycle
+    // -----------------------------------------------------------------
+
+    /// Every registered workspace entry, across all tenants.
+    fn all_entries(&self) -> Vec<Arc<WsEntry>> {
+        self.shards
+            .iter()
+            .flat_map(|shard| {
+                shard
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .values()
+                    .cloned()
+                    .collect::<Vec<_>>()
+            })
+            .collect()
+    }
+
+    /// Renews every held lease (the keeper's heartbeat). An entry whose
+    /// claim turns out gone is fenced: its writer detaches and all
+    /// later edits are refused.
+    pub fn renew_leases(&self) {
+        for entry in self.all_entries() {
+            let mut guard =
+                entry.lease.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+            let Some(lease) = guard.as_mut() else { continue };
+            match lease.renew() {
+                Ok(true) => {}
+                Ok(false) => {
+                    entry.fenced.store(true, Ordering::Relaxed);
+                    *guard = None;
+                    drop(guard);
+                    if let Some(dir) = &entry.dir {
+                        dir.lock()
+                            .unwrap_or_else(std::sync::PoisonError::into_inner)
+                            .detach();
+                    }
+                }
+                Err(_) => {
+                    self.durability_failures.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+    }
+
+    /// One keeper sweep over the shared data dir (leader only): adopts
+    /// workspace directories this process does not hold — unclaimed
+    /// ones immediately, abandoned ones once their lease expires.
+    /// `watches` carries expiry observations between sweeps. Returns
+    /// how many directories were adopted this sweep.
+    pub fn sweep_leases(&self, watches: &mut HashMap<PathBuf, LeaseWatch>) -> u64 {
+        if self.config.store_mode != StoreMode::Leader {
+            return 0;
+        }
+        let Some(data_dir) = self.config.data_dir.clone() else { return 0 };
+        let ttl = self.config.lease_ttl;
+        let disk = Disk::real();
+        let held: std::collections::HashSet<PathBuf> = self
+            .all_entries()
+            .iter()
+            .filter(|e| {
+                e.lease
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .is_some()
+            })
+            .filter_map(|e| self.workspace_dir_path(&e.tenant, &e.name))
+            .collect();
+        let mut adopted = 0;
+        for path in workspace_dirs(&data_dir) {
+            if held.contains(&path) {
+                // An earlier sweep may have started watching this dir
+                // before its open finished; the claim is live now.
+                watches.remove(&path);
+                continue;
+            }
+            // Checked per-path, after the directory scan: an `open`
+            // registers the path before creating the directory, so any
+            // directory this scan saw mid-open is already registered.
+            if self
+                .opening
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .contains(&path)
+            {
+                continue;
+            }
+            let acquired = match watches.get_mut(&path) {
+                None => match Lease::acquire(&path, LEASE_LABEL, &disk) {
+                    Ok(Acquire::Acquired(lease)) => Some(lease),
+                    Ok(Acquire::Held(info)) => {
+                        watches.insert(path.clone(), LeaseWatch::new(info));
+                        None
+                    }
+                    Err(_) => None,
+                },
+                Some(watch) => match watch.expired(&path, &disk, ttl) {
+                    Ok(true) => {
+                        let observed = watch.info().clone();
+                        match Lease::take_over(&path, LEASE_LABEL, &disk, &observed) {
+                            Ok(Acquire::Acquired(lease)) => {
+                                watches.remove(&path);
+                                Some(lease)
+                            }
+                            Ok(Acquire::Held(info)) => {
+                                *watch = LeaseWatch::new(info);
+                                None
+                            }
+                            Err(_) => None,
+                        }
+                    }
+                    _ => None,
+                },
+            };
+            if let Some(lease) = acquired {
+                let mut report = RecoveryReport::default();
+                if self.adopt_leased_dir(&path, lease, &mut report) {
+                    adopted += 1;
+                    self.leases_taken_over.fetch_add(1, Ordering::Relaxed);
+                }
+                self.recovery
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .absorb(&report);
+            }
+        }
+        // Directories that vanished (closed workspaces) need no watch.
+        watches.retain(|path, _| path.exists());
+        adopted
+    }
+
+    /// Releases every held lease — the graceful exit. The lease files
+    /// are removed, so a successor claims each workspace instantly and
+    /// with a clean epoch handoff. Call *after* the final snapshots.
+    pub fn release_leases(&self) {
+        for entry in self.all_entries() {
+            let lease = entry
+                .lease
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .take();
+            if let Some(lease) = lease {
+                let _ = lease.release();
+            }
+        }
+    }
+
+    /// Abandons every held lease without touching the files — the
+    /// simulated power cut. Lease files stay on disk for takeover; the
+    /// in-process nonces are deregistered (dropping the handles does
+    /// that), so a same-process successor steals instantly instead of
+    /// waiting out the TTL. Entries are fenced; later edits are
+    /// refused.
+    pub fn abandon_leases(&self) {
+        for entry in self.all_entries() {
+            entry.fenced.store(true, Ordering::Relaxed);
+            if let Some(dir) = &entry.dir {
+                dir.lock().unwrap_or_else(std::sync::PoisonError::into_inner).detach();
+            }
+            entry.lease.lock().unwrap_or_else(std::sync::PoisonError::into_inner).take();
+        }
+    }
+
     // -----------------------------------------------------------------
     // The coalescing query path
     // -----------------------------------------------------------------
@@ -811,7 +1541,7 @@ impl Service {
         workspace: &str,
         queries: Vec<WireQuery>,
     ) -> String {
-        let entry = match self.lookup(&envelope.tenant, workspace) {
+        let entry = match self.lookup_fresh(&envelope.tenant, workspace) {
             Ok(e) => e,
             Err(e) => return crate::protocol::err_response(envelope.id, &e),
         };
@@ -900,8 +1630,7 @@ impl Service {
             // queries answer immediately; resolved ones join the
             // combined batch.
             let mut combined: Vec<car_core::Query> = Vec::new();
-            let mut plans: Vec<(Vec<Result<usize, String>>, Arc<Slot>)> =
-                Vec::with_capacity(batches.len());
+            let mut plans: Vec<BatchPlan> = Vec::with_capacity(batches.len());
             for batch in &batches {
                 let plan = batch
                     .queries
@@ -1140,8 +1869,7 @@ mod tests {
         std::fs::create_dir_all(&base).unwrap();
         std::fs::write(base.join("canary.txt"), b"outside the data dir").unwrap();
         let data = base.join("data");
-        let mut config = ServerConfig::default();
-        config.data_dir = Some(data.clone());
+        let config = ServerConfig { data_dir: Some(data.clone()), ..Default::default() };
         let svc = Service::new(config);
 
         let frame = |op: &str, tenant: &str, ws: &str| {

@@ -202,6 +202,7 @@ impl Shadow {
     }
 
     /// Mirrors the `undo` op.
+    #[allow(dead_code)] // used by server_e2e and recovery, not by fleet
     pub fn undo(&mut self) -> bool {
         self.ws.undo()
     }

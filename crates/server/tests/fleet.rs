@@ -1,0 +1,620 @@
+//! Multi-process fleet safety: several OS processes sharing one data
+//! directory under leases, epoch fencing, and real process death.
+//!
+//! In-process crash tests cannot model a SIGKILLed leader (destructors
+//! still run) or a paused zombie writer (the address space dies with
+//! the test). These tests spawn the `fleet_child` helper binary and
+//! real `car-server` processes over a shared tempdir and assert the
+//! two fleet invariants end to end:
+//!
+//! * **No acknowledged edit is ever lost** — whatever instant the
+//!   leader dies at, a successor recovers every `ACK`ed record.
+//! * **No stale writer's record survives replay** — a deposed leader
+//!   that resumes writing after a takeover is rejected by epoch
+//!   fencing, never silently merged.
+//!
+//! Dense sweeps beyond the default run are gated behind
+//! `CAR_SLOW_TESTS=1`.
+
+mod common;
+
+use car_core::persist::{read_generation, Disk};
+use car_core::{
+    Acquire, JournalOp, Lease, LeaseWatch, ReasonerConfig, Workspace, WorkspaceLimits,
+};
+use car_server::json::{parse, Json};
+use car_server::protocol::{WireDelta, WireQuery};
+use car_server::service::{ServerConfig, StoreMode};
+use car_server::{Client, Server};
+use common::{apply_frame, open_frame, query_frame, Shadow, SCHEMA};
+use std::collections::BTreeSet;
+use std::io::{BufRead, BufReader, Write};
+use std::net::SocketAddr;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+fn scratch(name: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("car-fleet-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn slow_tests() -> bool {
+    std::env::var("CAR_SLOW_TESTS").is_ok_and(|v| v == "1")
+}
+
+// ---------------------------------------------------------------------
+// fleet_child plumbing
+// ---------------------------------------------------------------------
+
+/// Runs the helper binary to completion (or death) and returns its exit
+/// status plus every stdout line.
+fn run_child(args: &[&str]) -> (std::process::ExitStatus, Vec<String>) {
+    let out = Command::new(env!("CARGO_BIN_EXE_fleet_child"))
+        .args(args)
+        .output()
+        .expect("spawn fleet_child");
+    let lines =
+        String::from_utf8_lossy(&out.stdout).lines().map(str::to_owned).collect();
+    (out.status, lines)
+}
+
+fn acked(lines: &[String]) -> Vec<String> {
+    lines.iter().filter_map(|l| l.strip_prefix("ACK ")).map(str::to_owned).collect()
+}
+
+/// Steals the dead child's lease, replays the directory, takes the
+/// mandatory fencing snapshot at the new epoch, and re-replays — the
+/// full successor path. Returns the recovered class names and the
+/// number of fenced (stale-epoch) records the first replay rejected.
+fn take_over_and_replay(dir: &Path) -> (BTreeSet<String>, u64) {
+    if !dir.exists() {
+        // The writer died before even creating the directory; nothing
+        // can have been acknowledged.
+        return (BTreeSet::new(), 0);
+    }
+    let disk = Disk::real();
+    let mut lease = match Lease::acquire(dir, "fleet-test", &disk).expect("acquire") {
+        Acquire::Acquired(l) => l,
+        Acquire::Held(info) => panic!("dead child still holds the lease: {info:?}"),
+    };
+    let Some(rec) = car_core::WorkspaceDir::recover(dir, disk.clone()) else {
+        lease.release().expect("release");
+        return (BTreeSet::new(), 0);
+    };
+    let fenced = rec.fenced_records;
+    lease.ensure_epoch_above(rec.epoch).expect("dominate recovered epoch");
+    let mut wd = rec.dir;
+    wd.set_epoch(lease.epoch());
+    let mut ws = Workspace::restore(
+        rec.schema,
+        rec.undo,
+        rec.redo,
+        ReasonerConfig::default(),
+        WorkspaceLimits::default(),
+    );
+    for op in &rec.ops {
+        match op {
+            JournalOp::Apply(delta) => {
+                ws.apply(delta).expect("recovered op must reapply");
+            }
+            JournalOp::Undo => {
+                ws.undo();
+            }
+            JournalOp::Redo => {
+                ws.redo();
+            }
+        }
+    }
+    let names = |ws: &Workspace| -> BTreeSet<String> {
+        ws.schema()
+            .classes()
+            .map(|(id, _)| ws.schema().symbols().class_name(id).to_owned())
+            .collect()
+    };
+    let first = names(&ws);
+    // The fencing snapshot both settles the generation seqlock and
+    // proves the takeover state is itself durable: a second recovery
+    // must see exactly the same classes.
+    wd.save_snapshot("fleet", "ws", ws.schema(), ws.undo_stack(), ws.redo_stack())
+        .expect("fencing snapshot");
+    let gen = read_generation(dir, &disk).expect("generation file exists");
+    assert!(gen.is_multiple_of(2), "generation settles even after snapshot: {gen}");
+    let again = car_core::WorkspaceDir::recover(dir, disk).expect("recover after snapshot");
+    let mut ws2 = Workspace::restore(
+        again.schema,
+        Vec::new(),
+        Vec::new(),
+        ReasonerConfig::default(),
+        WorkspaceLimits::default(),
+    );
+    for op in &again.ops {
+        if let JournalOp::Apply(delta) = op {
+            ws2.apply(delta).expect("op reapplies post-snapshot");
+        }
+    }
+    assert_eq!(first, names(&ws2), "takeover snapshot must be bit-stable");
+    lease.release().expect("release");
+    (first, fenced)
+}
+
+fn assert_superset(recovered: &BTreeSet<String>, acked: &[String], context: &str) {
+    for name in acked {
+        assert!(
+            recovered.contains(name),
+            "{context}: acknowledged edit '{name}' lost; recovered = {recovered:?}"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// Kill sweeps
+// ---------------------------------------------------------------------
+
+/// SIGKILL-the-leader at every filesystem operation of an identical
+/// run: each K gets a fresh directory and a writer that aborts at its
+/// K-th disk operation (lease claim, recovery read, snapshot write,
+/// journal append — every trip point). Whatever K, no `ACK`ed edit may
+/// be lost. The sweep ends at the first K past the run's natural
+/// operation count (the writer survives to `DONE`).
+#[test]
+fn kill_sweep_fresh_dir_loses_no_acked_edit() {
+    let root = scratch("kill-sweep");
+    let mut completed = false;
+    for k in 1..=200u64 {
+        let dir = root.join(format!("k{k}"));
+        let ks = k.to_string();
+        let prefix = format!("s{k}_");
+        let dirs = dir.to_string_lossy().into_owned();
+        let (status, lines) = run_child(&[
+            "writer",
+            "--dir",
+            &dirs,
+            "--ops",
+            "6",
+            "--snapshot-every",
+            "2",
+            "--kill-after-io",
+            &ks,
+            "--prefix",
+            &prefix,
+        ]);
+        let acks = acked(&lines);
+        let (recovered, fenced) = take_over_and_replay(&dir);
+        assert_superset(&recovered, &acks, &format!("kill at io {k}"));
+        assert_eq!(fenced, 0, "single-writer run cannot produce stale records");
+        // Only classes this run acknowledged-or-attempted may exist.
+        for name in &recovered {
+            assert!(name.starts_with(&prefix), "foreign class {name} at k={k}");
+        }
+        if status.success() {
+            assert!(lines.iter().any(|l| l == "DONE"), "clean exit prints DONE");
+            assert_eq!(acks.len(), 6, "a surviving writer acks every op");
+            completed = true;
+            break;
+        }
+    }
+    assert!(completed, "sweep never reached the run's natural operation count");
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+/// Chained crashes on ONE directory: run K aborts at its K-th disk
+/// operation, run K+1 must first recover run K's wreckage (possibly
+/// dying inside that very recovery). Acknowledged edits accumulate
+/// across the whole chain and every one must survive to the end.
+fn chained_sweep(rounds: u64, ops: &str, snapshot_every: &str) {
+    let dir = scratch(&format!("chain-{rounds}"));
+    let dirs = dir.to_string_lossy().into_owned();
+    let mut all_acks: Vec<String> = Vec::new();
+    for k in 1..=rounds {
+        let ks = k.to_string();
+        let prefix = format!("k{k}_");
+        let (_status, lines) = run_child(&[
+            "writer",
+            "--dir",
+            &dirs,
+            "--ops",
+            ops,
+            "--snapshot-every",
+            snapshot_every,
+            "--kill-after-io",
+            &ks,
+            "--prefix",
+            &prefix,
+        ]);
+        all_acks.extend(acked(&lines));
+    }
+    // A final clean run proves the chain's wreckage is fully usable.
+    let (status, lines) =
+        run_child(&["writer", "--dir", &dirs, "--ops", "2", "--prefix", "fin_", "--release"]);
+    assert!(status.success(), "clean run after the chain must succeed");
+    all_acks.extend(acked(&lines));
+    let (recovered, _fenced) = take_over_and_replay(&dir);
+    assert_superset(&recovered, &all_acks, "after crash chain");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn chained_crash_recovery_sweep() {
+    chained_sweep(25, "4", "3");
+}
+
+#[test]
+fn dense_chained_crash_sweep() {
+    if !slow_tests() {
+        eprintln!("skipped: set CAR_SLOW_TESTS=1 for the dense sweep");
+        return;
+    }
+    chained_sweep(120, "8", "1");
+}
+
+// ---------------------------------------------------------------------
+// Zombies and fencing
+// ---------------------------------------------------------------------
+
+/// The pathological fleet scenario: a leader pauses (GC, SIGSTOP, VM
+/// freeze), its lease expires, a successor takes over and fences the
+/// directory — then the zombie wakes up and keeps appending at its
+/// stale epoch. Every zombie record must be rejected at the next
+/// recovery; every pre-pause acknowledged edit and every successor
+/// edit must survive.
+#[test]
+fn zombie_resume_after_takeover_is_fenced() {
+    let dir = scratch("zombie");
+    let dirs = dir.to_string_lossy().into_owned();
+    let mut child = Command::new(env!("CARGO_BIN_EXE_fleet_child"))
+        .args(["zombie", "--dir", &dirs, "--pre", "3", "--post", "4", "--prefix", "z_"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("spawn zombie");
+    let mut reader = BufReader::new(child.stdout.take().expect("zombie stdout"));
+    let mut pre_acks = Vec::new();
+    let mut zombie_epoch = 0u64;
+    loop {
+        let mut line = String::new();
+        assert!(reader.read_line(&mut line).expect("read zombie") > 0, "zombie died early");
+        let line = line.trim_end();
+        if let Some(name) = line.strip_prefix("ACK ") {
+            pre_acks.push(name.to_owned());
+        } else if let Some(e) = line.strip_prefix("EPOCH ") {
+            zombie_epoch = e.parse().expect("epoch number");
+        } else if line == "PAUSED" {
+            break;
+        }
+    }
+    assert_eq!(pre_acks.len(), 3);
+
+    // The zombie is alive but silent: its claim must be watched to
+    // TTL expiry — a live foreign pid never hits the dead-holder fast
+    // path.
+    let disk = Disk::real();
+    let ttl = Duration::from_millis(250);
+    let held = match Lease::acquire(&dir, "fleet-test", &disk).expect("acquire") {
+        Acquire::Held(info) => info,
+        Acquire::Acquired(_) => panic!("paused zombie should still hold the lease"),
+    };
+    let mut watch = LeaseWatch::new(held);
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while !watch.expired(&dir, &disk, ttl).expect("watch") {
+        assert!(Instant::now() < deadline, "lease never expired");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    let mut lease =
+        match Lease::take_over(&dir, "fleet-test", &disk, watch.info()).expect("take_over") {
+            Acquire::Acquired(l) => l,
+            Acquire::Held(info) => panic!("takeover refused: {info:?}"),
+        };
+    assert!(lease.epoch() > zombie_epoch, "takeover epoch must dominate the zombie's");
+
+    // Successor path: recover, fence, snapshot, then write one edit of
+    // its own at the new epoch.
+    let rec = car_core::WorkspaceDir::recover(&dir, disk.clone()).expect("recover");
+    lease.ensure_epoch_above(rec.epoch).expect("dominate");
+    let mut wd = rec.dir;
+    wd.set_epoch(lease.epoch());
+    let mut ws = Workspace::restore(
+        rec.schema,
+        rec.undo,
+        rec.redo,
+        ReasonerConfig::default(),
+        WorkspaceLimits::default(),
+    );
+    for op in &rec.ops {
+        if let JournalOp::Apply(delta) = op {
+            ws.apply(delta).expect("reapply");
+        }
+    }
+    wd.save_snapshot("fleet", "ws", ws.schema(), ws.undo_stack(), ws.redo_stack())
+        .expect("fencing snapshot");
+    let leader_delta = car_core::SchemaDelta::AddClass { name: "leader_0".into() };
+    ws.apply(&leader_delta).expect("leader edit");
+    wd.append_op(&JournalOp::Apply(leader_delta)).expect("leader append");
+
+    // Wake the zombie: it appends 4 records at its stale epoch.
+    child.stdin.as_mut().expect("zombie stdin").write_all(b"go\n").expect("poke zombie");
+    let mut stale = Vec::new();
+    loop {
+        let mut line = String::new();
+        assert!(reader.read_line(&mut line).expect("read zombie") > 0, "zombie died early");
+        let line = line.trim_end();
+        if let Some(name) = line.strip_prefix("STALE ") {
+            stale.push(name.to_owned());
+        } else if line == "ZDONE" {
+            break;
+        }
+    }
+    assert!(child.wait().expect("reap zombie").success());
+    assert_eq!(stale.len(), 4, "zombie wrote its stale records");
+    drop(lease);
+
+    // Recovery must keep every acknowledged and successor edit and
+    // reject every zombie record by epoch.
+    let (recovered, fenced) = take_over_and_replay(&dir);
+    assert_superset(&recovered, &pre_acks, "zombie pre-pause acks");
+    assert!(recovered.contains("leader_0"), "successor edit lost: {recovered:?}");
+    assert_eq!(fenced, 4, "each stale append is fenced exactly once");
+    for name in &stale {
+        assert!(!recovered.contains(name), "stale record '{name}' leaked into the schema");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Graceful handoff versus power cut: `--release` (the `shutdown()`
+/// path) removes the lease file so a successor claims instantly with
+/// no takeover; a plain exit (the `stop()` path) leaves the claim on
+/// disk as a dead holder to be stolen.
+#[test]
+fn graceful_release_removes_lease_power_cut_leaves_it() {
+    let dir = scratch("handoff");
+    let dirs = dir.to_string_lossy().into_owned();
+
+    let (status, lines) =
+        run_child(&["writer", "--dir", &dirs, "--ops", "2", "--prefix", "a_", "--release"]);
+    assert!(status.success());
+    assert_eq!(acked(&lines).len(), 2);
+    assert!(!dir.join("lease.lock").exists(), "graceful exit must release the lease");
+
+    let (status, lines) =
+        run_child(&["writer", "--dir", &dirs, "--ops", "2", "--prefix", "b_"]);
+    assert!(status.success());
+    assert_eq!(acked(&lines).len(), 2);
+    assert!(dir.join("lease.lock").exists(), "power cut must leave the claim on disk");
+
+    // The dead pid is stolen on the spot — no TTL wait.
+    let start = Instant::now();
+    let (recovered, _) = take_over_and_replay(&dir);
+    assert!(start.elapsed() < Duration::from_secs(5), "dead-holder steal must be instant");
+    assert_superset(&recovered, &["a_0".into(), "a_1".into(), "b_0".into(), "b_1".into()], "handoff");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+// ---------------------------------------------------------------------
+// Real car-server processes: followers and takeover
+// ---------------------------------------------------------------------
+
+/// A spawned `car-server` process that is killed on drop.
+struct ServerProc {
+    child: Child,
+    addr: SocketAddr,
+}
+
+impl ServerProc {
+    fn spawn(extra: &[&str]) -> ServerProc {
+        let mut child = Command::new(env!("CARGO_BIN_EXE_car-server"))
+            .args(["--addr", "127.0.0.1:0"])
+            .args(extra)
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("spawn car-server");
+        let mut reader = BufReader::new(child.stdout.take().expect("server stdout"));
+        let addr = loop {
+            let mut line = String::new();
+            assert!(
+                reader.read_line(&mut line).expect("read server") > 0,
+                "car-server exited before listening"
+            );
+            if let Some((_, addr)) = line.trim_end().rsplit_once("listening on ") {
+                break addr.parse().expect("listen address");
+            }
+        };
+        ServerProc { child, addr }
+    }
+
+    fn client(&self) -> Client {
+        Client::connect(self.addr).expect("connect")
+    }
+}
+
+impl Drop for ServerProc {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+fn ok(resp: &str) -> Json {
+    let v = parse(resp.trim_end()).expect("valid JSON");
+    assert_eq!(v.get("ok"), Some(&Json::Bool(true)), "expected ok: {resp}");
+    v
+}
+
+fn err_kind(resp: &str) -> String {
+    let v = parse(resp.trim_end()).expect("valid JSON");
+    assert_eq!(v.get("ok"), Some(&Json::Bool(false)), "expected error: {resp}");
+    v.get("error")
+        .and_then(|e| e.get("kind"))
+        .and_then(Json::as_str)
+        .expect("error has a kind")
+        .to_owned()
+}
+
+fn deltas() -> Vec<WireDelta> {
+    vec![
+        WireDelta::AddClass { name: "TA".into() },
+        WireDelta::SetIsa {
+            class: "TA".into(),
+            isa: vec![vec![("Student".into(), false)]],
+        },
+    ]
+}
+
+fn queries() -> Vec<WireQuery> {
+    vec![
+        WireQuery::Coherent,
+        WireQuery::Satisfiable("TA".into()),
+        WireQuery::Subsumes { sup: "Person".into(), sub: "TA".into() },
+        WireQuery::Disjoint("TA".into(), "Professor".into()),
+        WireQuery::Equivalent("Student".into(), "Student".into()),
+    ]
+}
+
+/// Leader and follower processes over one data dir: the follower must
+/// answer bit-identically, reject every edit with `read_only`, track
+/// the leader's later edits by freshness fingerprint, and a fresh
+/// leader replacing a SIGKILLed one must still agree.
+#[test]
+fn follower_process_is_bit_identical_and_read_only() {
+    let data = scratch("follower-e2e");
+    let datas = data.to_string_lossy().into_owned();
+    let leader = ServerProc::spawn(&["--data-dir", &datas, "--lease-ttl-ms", "1000"]);
+    let mut lc = leader.client();
+    ok(&lc.roundtrip(&open_frame("w", 1, SCHEMA)).unwrap());
+    ok(&lc.roundtrip(&apply_frame("w", 2, &deltas())).unwrap());
+    let lead = ok(&lc.roundtrip(&query_frame("w", 3, &queries())).unwrap());
+    let lead_answers = lead.get("answers").expect("answers").clone();
+    let mut shadow = Shadow::new(SCHEMA);
+    assert_eq!(shadow.apply(&deltas()), 2);
+    assert_eq!(
+        lead_answers,
+        Json::Arr(shadow.query(&queries())),
+        "leader must match the in-process ground truth"
+    );
+
+    let follower = ServerProc::spawn(&[
+        "--data-dir",
+        &datas,
+        "--store-mode",
+        "follower",
+        "--lease-ttl-ms",
+        "1000",
+    ]);
+    let mut fc = follower.client();
+    let fol = ok(&fc.roundtrip(&query_frame("w", 3, &queries())).unwrap());
+    assert_eq!(
+        fol.get("answers"),
+        Some(&lead_answers),
+        "follower must answer bit-identically to the leader"
+    );
+
+    // Every edit path is refused, and health reports the follower role.
+    let apply = fc.roundtrip(&apply_frame("w", 4, &deltas())).unwrap();
+    assert_eq!(err_kind(&apply), "read_only");
+    let open = fc.roundtrip(&open_frame("w2", 5, SCHEMA)).unwrap();
+    assert_eq!(err_kind(&open), "read_only");
+    let health = ok(&fc.roundtrip(r#"{"id":6,"op":"health"}"#).unwrap());
+    assert_eq!(health.get("role").and_then(Json::as_str), Some("follower"));
+    match health.get("read_only_rejections") {
+        Some(&Json::UInt(n)) => assert!(n >= 2, "rejections counted: {n}"),
+        other => panic!("read_only_rejections missing: {other:?}"),
+    }
+
+    // The follower notices later leader edits via the freshness
+    // fingerprint — no restart, no snapshot needed.
+    ok(&lc.roundtrip(&apply_frame("w", 7, &[WireDelta::AddClass { name: "Late".into() }]))
+        .unwrap());
+    let late_q = vec![WireQuery::Satisfiable("Late".into())];
+    let lead_late = ok(&lc.roundtrip(&query_frame("w", 8, &late_q)).unwrap());
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let fol_late = ok(&fc.roundtrip(&query_frame("w", 8, &late_q)).unwrap());
+        if fol_late.get("answers") == lead_late.get("answers") {
+            break;
+        }
+        assert!(Instant::now() < deadline, "follower never caught up: {fol_late:?}");
+        std::thread::sleep(Duration::from_millis(25));
+    }
+
+    // SIGKILL the leader; a fresh leader over the same dir must agree
+    // with the follower and the original bit for bit.
+    drop(lc);
+    drop(leader);
+    let fresh = ServerProc::spawn(&["--data-dir", &datas, "--lease-ttl-ms", "1000"]);
+    let mut nc = fresh.client();
+    let fresh_ans = ok(&nc.roundtrip(&query_frame("w", 3, &queries())).unwrap());
+    assert_eq!(
+        fresh_ans.get("answers"),
+        Some(&lead_answers),
+        "fresh leader after SIGKILL must answer bit-identically"
+    );
+    let health = ok(&nc.roundtrip(r#"{"id":9,"op":"health"}"#).unwrap());
+    assert_eq!(health.get("role").and_then(Json::as_str), Some("leader"));
+    let _ = std::fs::remove_dir_all(&data);
+}
+
+// ---------------------------------------------------------------------
+// In-process keeper takeover
+// ---------------------------------------------------------------------
+
+fn fleet_server(data_dir: &Path, ttl: Duration) -> Server {
+    let mut config = ServerConfig::default();
+    config.quota.deadline = None;
+    config.quota.max_items = None;
+    config.data_dir = Some(data_dir.to_owned());
+    config.lease_ttl = ttl;
+    config.store_mode = StoreMode::Leader;
+    Server::spawn("127.0.0.1:0", config).expect("bind ephemeral port")
+}
+
+/// Two leader servers over one dir: the second cannot touch the
+/// workspace while the first lives (lease held), but its keeper adopts
+/// the workspace within a TTL of the first's power cut — no restart.
+#[test]
+fn keeper_adopts_workspaces_from_a_dead_leader() {
+    let data = scratch("keeper-takeover");
+    let ttl = Duration::from_millis(200);
+
+    let mut first = fleet_server(&data, ttl);
+    let mut c1 = Client::connect(first.addr()).expect("connect first");
+    ok(&c1.roundtrip(&open_frame("w", 1, SCHEMA)).unwrap());
+    ok(&c1.roundtrip(&apply_frame("w", 2, &deltas())).unwrap());
+    let before = ok(&c1.roundtrip(&query_frame("w", 3, &queries())).unwrap());
+    let before = before.get("answers").expect("answers").clone();
+
+    let second = fleet_server(&data, ttl);
+    assert_eq!(
+        second.service().recovery_report().dirs_lease_held,
+        1,
+        "the live leader's claim must be respected"
+    );
+
+    // Power cut (not graceful): the lease file stays on disk; only the
+    // keeper's sweep may reclaim it.
+    first.stop();
+    drop(c1);
+    drop(first);
+
+    let deadline = Instant::now() + Duration::from_secs(15);
+    while second.service().leases_taken_over() == 0 {
+        assert!(Instant::now() < deadline, "keeper never adopted the workspace");
+        std::thread::sleep(Duration::from_millis(25));
+    }
+
+    let mut c2 = Client::connect(second.addr()).expect("connect second");
+    let after = ok(&c2.roundtrip(&query_frame("w", 3, &queries())).unwrap());
+    assert_eq!(after.get("answers"), Some(&before), "adopted workspace answers identically");
+    // The adopter owns the lease now: edits flow without reopening.
+    ok(&c2.roundtrip(&apply_frame("w", 4, &[WireDelta::AddClass { name: "PostTakeover".into() }]))
+        .unwrap());
+    let health = ok(&c2.roundtrip(r#"{"id":5,"op":"health"}"#).unwrap());
+    assert_eq!(health.get("role").and_then(Json::as_str), Some("leader"));
+    let ws_list =
+        health.get("workspaces").and_then(Json::as_arr).expect("workspaces array");
+    let epoch = ws_list[0].get("lease_epoch").and_then(Json::as_u64).expect("lease_epoch");
+    assert!(epoch >= 2, "takeover epoch dominates the first leader's: {epoch}");
+    let _ = std::fs::remove_dir_all(&data);
+}

@@ -53,7 +53,7 @@ fn corrupt_frame(rng: &mut SmallRng) -> (Vec<u8>, &'static str) {
         3 => {
             // Oversized frame.
             let mut frame = b"{\"op\":\"ping\",\"pad\":\"".to_vec();
-            frame.extend(std::iter::repeat(b'x').take(FRAME_CAP + rng.gen_range(1usize..100)));
+            frame.extend(std::iter::repeat_n(b'x', FRAME_CAP + rng.gen_range(1usize..100)));
             frame.extend(b"\"}");
             (frame, "frame_too_large")
         }

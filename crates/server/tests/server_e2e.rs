@@ -63,8 +63,7 @@ fn malformed_frames_never_tear_down_the_connection() {
 /// through the server loop, and the connection survives each one.
 #[test]
 fn formerly_panicking_inputs_error_through_the_server() {
-    let mut config = ServerConfig::default();
-    config.max_frame_bytes = 1 << 20;
+    let config = ServerConfig { max_frame_bytes: 1 << 20, ..Default::default() };
     let mut server = Server::spawn("127.0.0.1:0", config).unwrap();
     let mut client = Client::connect(server.addr()).unwrap();
 
