@@ -110,26 +110,38 @@ impl Disk {
     }
 
     /// Creates `path` exclusively (fails with `AlreadyExists` if it is
-    /// already there) and writes `bytes` to it. The create-then-write is
-    /// the POSIX `O_CREAT|O_EXCL` arbiter leases rely on: of any number
-    /// of concurrent callers, exactly one observes success.
+    /// already there) with `bytes` as its content — the fail-if-exists
+    /// arbiter leases rely on: of any number of concurrent callers,
+    /// exactly one observes success.
+    ///
+    /// Publication goes through `link(2)`: the content is fully written
+    /// and synced at a unique temp path first, then hard-linked to
+    /// `path` (which fails with `AlreadyExists` exactly like
+    /// `O_CREAT|O_EXCL`). Two properties fall out that create-then-write
+    /// lacks: no observer can ever see a half-written file at `path`,
+    /// and the only cleanup this call performs targets its own unique
+    /// temp name — so a caller that stalls mid-failure and resumes
+    /// arbitrarily later cannot delete a file some racer has since
+    /// legitimately claimed at `path`.
     ///
     /// # Errors
     /// Injected faults, `AlreadyExists` when another caller won the
-    /// race, and filesystem errors. On a write failure after a
-    /// successful create the file is removed best-effort so losers do
-    /// not observe a half-written claim.
+    /// race, and filesystem errors.
     pub fn create_exclusive(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
         self.gate("create_new")?;
-        let mut f = fs::OpenOptions::new().write(true).create_new(true).open(path)?;
-        match f.write_all(bytes).and_then(|()| f.sync_all()) {
-            Ok(()) => Ok(()),
-            Err(e) => {
-                drop(f);
-                let _ = fs::remove_file(path);
-                Err(e)
-            }
+        let tmp = tmp_path(path);
+        let staged = (|| -> io::Result<()> {
+            let mut f = fs::File::create(&tmp)?;
+            f.write_all(bytes)?;
+            f.sync_all()
+        })();
+        if let Err(e) = staged {
+            let _ = fs::remove_file(&tmp);
+            return Err(e);
         }
+        let linked = fs::hard_link(&tmp, path);
+        let _ = fs::remove_file(&tmp);
+        linked
     }
 
     /// Renames `from` to `to`. Renaming a path that has vanished fails
@@ -280,6 +292,26 @@ mod tests {
         assert!(disk.write_atomic(&p, b"0123456789").is_err());
         faults.disarm();
         assert_eq!(disk.read(&p).unwrap(), b"01234", "half the content landed");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn create_exclusive_publishes_whole_or_nothing() {
+        let dir = scratch("excl");
+        let disk = Disk::real();
+        let p = dir.join("lease.lock");
+        disk.create_exclusive(&p, b"claim-a").unwrap();
+        assert_eq!(disk.read(&p).unwrap(), b"claim-a");
+        // A loser reports AlreadyExists and leaves the winner's file
+        // (and the directory) untouched.
+        let err = disk.create_exclusive(&p, b"claim-b").unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::AlreadyExists);
+        assert_eq!(disk.read(&p).unwrap(), b"claim-a");
+        let leftovers = fs::read_dir(&dir)
+            .unwrap()
+            .filter(|e| e.as_ref().unwrap().path().to_string_lossy().ends_with(".tmp"))
+            .count();
+        assert_eq!(leftovers, 0, "no temp files survive either attempt");
         let _ = fs::remove_dir_all(&dir);
     }
 

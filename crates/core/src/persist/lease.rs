@@ -420,9 +420,23 @@ impl Lease {
         }
         let epoch = floor + 1;
         ratchet_write(&self.dir, &self.disk, epoch)?;
+        // Stage the raise, write the claim, and only keep the new
+        // values if the write landed: on failure this handle must still
+        // match the on-disk claim, or a caller that proceeds with the
+        // old epoch (adoption checks `lease.epoch() <= rec.epoch`
+        // separately) would fail its next renew()'s validate and
+        // spuriously fence a healthy workspace. Over-advancing the
+        // ratchet alone is harmless — it is only a floor for future
+        // claims.
+        let (prev_epoch, prev_beat) = (self.epoch, self.beat);
         self.epoch = epoch;
         self.beat += 1;
-        self.disk.write_atomic(&self.dir.join(LEASE_FILE), &self.encode())
+        if let Err(e) = self.disk.write_atomic(&self.dir.join(LEASE_FILE), &self.encode()) {
+            self.epoch = prev_epoch;
+            self.beat = prev_beat;
+            return Err(e);
+        }
+        Ok(())
     }
 
     /// Graceful release: removes the claim file (the epoch ratchet
@@ -734,6 +748,30 @@ mod tests {
             }
             let _ = fs::remove_dir_all(&dir);
         }
+    }
+
+    #[test]
+    fn ensure_epoch_above_failure_leaves_claim_consistent() {
+        let dir = scratch("floorfail");
+        let faults = DiskFaults::new();
+        let disk = Disk::faulty(faults.clone());
+        let mut a = acquired(Lease::acquire(&dir, "a", &disk).unwrap());
+        let before = a.epoch();
+        // The ratchet write (2 ops: write + rename) succeeds, the claim
+        // rewrite fails. The handle must roll back to match the on-disk
+        // claim — otherwise the next renew() would fail validate and
+        // spuriously fence a healthy holder.
+        faults.trip_after(2);
+        assert!(a.ensure_epoch_above(before + 5).is_err());
+        faults.disarm();
+        assert_eq!(a.epoch(), before, "epoch must not outrun the on-disk claim");
+        assert!(a.validate().unwrap(), "claim is still ours");
+        assert!(a.renew().unwrap(), "renew must not spuriously fence");
+        // A retry completes the raise end to end.
+        a.ensure_epoch_above(before + 5).unwrap();
+        assert_eq!(a.epoch(), before + 6);
+        assert!(a.validate().unwrap());
+        let _ = fs::remove_dir_all(&dir);
     }
 
     #[test]

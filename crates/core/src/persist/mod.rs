@@ -31,12 +31,16 @@
 //!
 //! * **Writers are fenced, not trusted.** Each workspace directory is
 //!   guarded by an advisory lease ([`lease::Lease`]) whose epoch is
-//!   stamped into every journal frame and snapshot header. Replay
-//!   rejects records carrying an epoch below the recovered snapshot's,
-//!   so a deposed writer that resumes after takeover cannot smuggle
-//!   stale records into the history. Followers read the same files
-//!   without any lease, using the generation file as a seqlock around
-//!   snapshot compaction.
+//!   stamped into every durable artifact: snapshot and journal files
+//!   are *named* by epoch (`snapshot.<epoch>.car`,
+//!   `journal.<epoch>.log`), and the epoch is also burned into every
+//!   journal frame and snapshot header. Epochs are never reused, so a
+//!   deposed writer that resumes after takeover writes only to its own
+//!   stale-epoch files — it can neither smuggle records into the
+//!   history nor clobber the successor's snapshot or journal; recovery
+//!   adopts the highest intact epoch and counts the zombie's leftovers
+//!   as fenced. Followers read the same files without any lease, using
+//!   the generation file as a seqlock around snapshot compaction.
 
 pub mod codec;
 pub mod disk;

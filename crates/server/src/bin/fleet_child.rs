@@ -245,9 +245,15 @@ fn zombie(args: &Args) {
     let mut line = String::new();
     let _ = std::io::stdin().lock().read_line(&mut line);
     // Resumed: the parent has taken over and fenced the directory.
-    // Append at the stale epoch anyway — the WorkspaceDir still carries
-    // the old epoch, exactly like a real zombie's in-memory state.
-    // Every record must be rejected by fencing at the next recovery.
+    // First republish a snapshot at the stale epoch — files are named
+    // by epoch, so this lands in the zombie's own snapshot/journal pair
+    // and must never clobber the successor's. Then append at the stale
+    // epoch — the WorkspaceDir still carries the old epoch, exactly
+    // like a real zombie's in-memory state. Every record must be
+    // rejected by fencing at the next recovery.
+    wd.save_snapshot(TENANT, WORKSPACE, ws.schema(), ws.undo_stack(), ws.redo_stack())
+        .unwrap_or_else(|e| fail(&format!("stale snapshot: {e}")));
+    say("STALESNAP");
     for i in 0..args.post {
         let name = format!("{}stale{i}", args.prefix);
         let delta = SchemaDelta::AddClass { name: name.clone() };

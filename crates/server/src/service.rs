@@ -226,15 +226,30 @@ fn workspace_dirs(data_dir: &Path) -> Vec<PathBuf> {
 
 /// A follower's staleness fingerprint for one workspace directory:
 /// the compaction generation (odd while a compaction is in flight)
-/// plus the journal's file length (appends move it; compaction resets
-/// it). Purely advisory — a refresh triggered by a torn observation
-/// only costs a re-read, never a wrong answer, because restore applies
-/// the same verification rules as recovery.
+/// plus a hash over the (name, length) of every snapshot/journal file
+/// in the directory. Snapshots and journals are named by the writer's
+/// fencing epoch, so a takeover shows up as a new file name and an
+/// epoch sweep as a removal — both change the hash even when the new
+/// journal happens to match the old one's length. Purely advisory — a
+/// refresh triggered by a torn observation only costs a re-read, never
+/// a wrong answer, because restore applies the same verification rules
+/// as recovery.
 fn follower_fingerprint(path: &Path) -> (u64, u64) {
     let gen = read_generation(path, &Disk::real()).unwrap_or(0);
-    let journal =
-        std::fs::metadata(path.join("journal.log")).map(|m| m.len()).unwrap_or(0);
-    (gen, journal)
+    let mut files: Vec<String> = Vec::new();
+    if let Ok(entries) = std::fs::read_dir(path) {
+        for entry in entries.flatten() {
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            if !(name.starts_with("snapshot") || name.starts_with("journal")) {
+                continue;
+            }
+            let len = entry.metadata().map(|m| m.len()).unwrap_or(0);
+            files.push(format!("{name} {len}"));
+        }
+    }
+    files.sort();
+    (gen, codec::fnv64(files.join("\n").as_bytes()))
 }
 
 struct PendingBatch {
@@ -278,9 +293,9 @@ struct WsEntry {
     /// Edits on a fenced entry are refused; queries keep serving the
     /// in-memory state.
     fenced: AtomicBool,
-    /// Follower staleness fingerprint: (compaction generation, journal
-    /// file length) as of the last refresh. `None` outside follower
-    /// mode.
+    /// Follower staleness fingerprint: (compaction generation, hash of
+    /// snapshot/journal file names and lengths) as of the last refresh.
+    /// `None` outside follower mode.
     freshness: Option<Mutex<(u64, u64)>>,
 }
 
@@ -672,8 +687,10 @@ impl Service {
     /// nothing may be written or acknowledged as durable.
     ///
     /// This check is the polite fast path; the hard guarantee is epoch
-    /// fencing at recovery, which rejects any append that slips through
-    /// the pause-between-check-and-write window.
+    /// isolation on disk — snapshots and journals are named by fencing
+    /// epoch, so any write that slips through the
+    /// pause-between-check-and-write window lands in this writer's own
+    /// stale-epoch files and recovery prefers the successor's.
     fn check_lease(&self, entry: &WsEntry) -> Result<(), ()> {
         if entry.fenced.load(Ordering::Relaxed) {
             return Err(());
@@ -1021,7 +1038,18 @@ impl Service {
             };
             match Lease::acquire(&path, LEASE_LABEL, &Disk::real()) {
                 Ok(Acquire::Acquired(mut lease)) => {
-                    let _ = lease.ensure_epoch_above(dir.epoch());
+                    // The epoch must strictly exceed every epoch already
+                    // on disk before anything is written: file names
+                    // embed the epoch, and a reused epoch would let two
+                    // writers share a file. If the raise fails and the
+                    // claim is not already above, serve memory-only.
+                    if lease.ensure_epoch_above(dir.epoch()).is_err()
+                        && lease.epoch() <= dir.epoch()
+                    {
+                        self.durability_failures.fetch_add(1, Ordering::Relaxed);
+                        let _ = lease.release();
+                        return None;
+                    }
                     dir.set_epoch(lease.epoch());
                     new_lease = Some(lease);
                 }
@@ -1892,7 +1920,13 @@ mod tests {
         // outside was created, and `close` deleted nothing outside.
         assert!(base.join("canary.txt").exists(), "close() escaped the data dir");
         assert!(data.exists());
-        assert!(!base.join("snapshot.car").exists(), "open() escaped the data dir");
+        // Snapshots are epoch-named (`snapshot.car` or
+        // `snapshot.<epoch>.car`), so check by prefix rather than one
+        // fixed name.
+        let escaped = std::fs::read_dir(&base).unwrap().flatten().any(|e| {
+            e.file_name().to_string_lossy().starts_with("snapshot")
+        });
+        assert!(!escaped, "open() escaped the data dir");
         let _ = std::fs::remove_dir_all(&base);
     }
 

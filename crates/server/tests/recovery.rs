@@ -219,11 +219,22 @@ fn corrupt_workspace_dir_is_skipped_without_harming_the_rest() {
     drop(client);
     drop(first);
 
-    // Tear the bad workspace's snapshot in half. With the journal
-    // already compacted away, the directory is unrecoverable.
-    let snap = data.join("workspaces").join("default").join("bad").join("snapshot.car");
-    let len = std::fs::metadata(&snap).unwrap().len();
-    fault::truncate_file(&snap, len / 2).unwrap();
+    // Tear the bad workspace's snapshots in half (every one — they are
+    // epoch-named, `snapshot.<epoch>.car`). With the journal already
+    // compacted away, the directory is unrecoverable.
+    let bad_dir = data.join("workspaces").join("default").join("bad");
+    let mut torn = 0;
+    for entry in std::fs::read_dir(&bad_dir).unwrap().flatten() {
+        let name = entry.file_name();
+        if !name.to_string_lossy().starts_with("snapshot") {
+            continue;
+        }
+        let snap = entry.path();
+        let len = std::fs::metadata(&snap).unwrap().len();
+        fault::truncate_file(&snap, len / 2).unwrap();
+        torn += 1;
+    }
+    assert!(torn > 0, "no snapshot file found to corrupt in {bad_dir:?}");
 
     let mut second = durable_server(&data);
     let report = second.service().recovery_report();
