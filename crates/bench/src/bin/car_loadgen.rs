@@ -31,6 +31,21 @@
 //!    answers, every cluster recovered from disk, and far fewer DPLL
 //!    propagations.
 //!
+//! With `--reactor` (Linux only) the phases become the
+//! connection-density phases of `BENCH_10.json`:
+//!
+//! 1. **reactor_idle_dense** — a real `car-server --net-mode reactor`
+//!    child process holds 10,000 idle connections while the standard
+//!    120-client mixed workload runs against it, every answer
+//!    shadow-verified; the child's thread count must stay O(workers),
+//!    its epoll wakeups bounded by traffic, and a remote `shutdown`
+//!    must drain it cleanly.
+//! 2. **reactor_backpressure** — bounded-output discipline: a slow
+//!    reader observes `backpressure_stalls` and still gets every
+//!    response in order once it drains; a non-reading client pipelining
+//!    past a small `--max-write-buffer` is disconnected exactly once
+//!    while the server stays healthy for others.
+//!
 //! With `--fleet` the phases become the multi-writer safety phases of
 //! `BENCH_9.json`:
 //!
@@ -60,6 +75,8 @@
 //!   car_loadgen --restart --check BENCH_7.json
 //!   car_loadgen --fleet                     print BENCH_9.json
 //!   car_loadgen --fleet --check BENCH_9.json
+//!   car_loadgen --reactor                   print BENCH_10.json (Linux)
+//!   car_loadgen --reactor --check BENCH_10.json
 
 use car_bench::telemetry::counter_lines;
 use car_core::persist::{Disk, DiskStore, SharedStore, StoreLimits};
@@ -291,8 +308,10 @@ fn timed_roundtrip(client: &mut Client, frame: &str, tally: &mut ClientTally) ->
 }
 
 /// Phase 1: private workspaces, mixed edits and queries, full replay
-/// verification.
-fn mixed_phase(addr: SocketAddr, clients: u64, iters: u32) -> PhaseReport {
+/// verification. `name` distinguishes the in-process run
+/// (`loadgen_mixed`) from the reactor-child run (`reactor_idle_dense`
+/// reuses this workload as its active-traffic half).
+fn mixed_phase(name: &'static str, addr: SocketAddr, clients: u64, iters: u32) -> PhaseReport {
     let start = Instant::now();
     let tallies: Vec<ClientTally> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..clients)
@@ -366,7 +385,7 @@ fn mixed_phase(addr: SocketAddr, clients: u64, iters: u32) -> PhaseReport {
             .collect();
         handles.into_iter().map(|h| h.join().expect("client thread")).collect()
     });
-    merge("loadgen_mixed", clients, tallies, start.elapsed())
+    merge(name, clients, tallies, start.elapsed())
 }
 
 fn query_json(q: &WireQuery) -> Json {
@@ -1032,6 +1051,299 @@ fn fleet_run(clients: u64, iters: u32) -> Vec<PhaseReport> {
     vec![fleet_takeover_phase(clients, iters), fleet_fencing_phase()]
 }
 
+// -------------------------------------------------------------------
+// Reactor phases (BENCH_10.json, Linux only)
+// -------------------------------------------------------------------
+
+/// Idle connections the reactor child must hold alongside the active
+/// mixed workload. The local hard fd cap is commonly 20,000+ and
+/// `raise_fd_limit` lifts the soft cap, so 10k client sockets here plus
+/// 10k server-side sockets in the child both fit.
+#[cfg(target_os = "linux")]
+const IDLE_CONNS: u64 = 10_000;
+
+#[cfg(target_os = "linux")]
+mod reactor_phases {
+    use super::{
+        frame, merge, mixed_phase, ClientTally, Json, PhaseReport, SCHEMA, IDLE_CONNS,
+    };
+    use car_server::json::{obj, parse, s, Json as J};
+    use car_server::service::{NetMode, ServerConfig};
+    use car_server::{Client, Server};
+    use std::io::BufRead;
+    use std::net::{SocketAddr, TcpStream};
+    use std::process::{Child, Command, Stdio};
+    use std::sync::atomic::Ordering;
+    use std::time::{Duration, Instant};
+
+    /// The sibling `car-server` binary (both land in the same cargo
+    /// target directory).
+    fn server_binary() -> std::path::PathBuf {
+        let exe = std::env::current_exe().expect("current exe");
+        let bin = exe.parent().expect("target dir").join("car-server");
+        assert!(
+            bin.exists(),
+            "{} not found — build it first (cargo build --release -p car-server)",
+            bin.display()
+        );
+        bin
+    }
+
+    /// Spawns the reactor child on an ephemeral port and parses the
+    /// listen address off its stdout banner.
+    fn spawn_reactor_child() -> (Child, SocketAddr) {
+        let mut child = Command::new(server_binary())
+            .args([
+                "--addr",
+                "127.0.0.1:0",
+                "--net-mode",
+                "reactor",
+                "--deadline-ms",
+                "0",
+                "--max-items",
+                "0",
+                "--max-pending",
+                "1000000",
+                "--allow-remote-shutdown",
+            ])
+            .stdout(Stdio::piped())
+            .spawn()
+            .expect("spawn car-server child");
+        let stdout = child.stdout.take().expect("child stdout");
+        let mut lines = std::io::BufReader::new(stdout).lines();
+        let addr = loop {
+            let line = lines
+                .next()
+                .expect("child exited before announcing its address")
+                .expect("child stdout");
+            if let Some(rest) = line.split(" listening on ").nth(1) {
+                break rest.trim().parse().expect("child listen address");
+            }
+        };
+        // Keep the pipe drained so the child never blocks on stdout.
+        std::thread::spawn(move || for _ in lines {});
+        (child, addr)
+    }
+
+    fn health(control: &mut Client) -> J {
+        let resp = control.roundtrip(r#"{"id":0,"op":"health"}"#).expect("health");
+        parse(resp.trim_end()).expect("health is valid JSON")
+    }
+
+    fn net_field(health: &J, key: &str) -> u64 {
+        health
+            .get("net")
+            .and_then(|n| n.get(key))
+            .and_then(J::as_u64)
+            .unwrap_or_else(|| panic!("health.net.{key} missing"))
+    }
+
+    /// `Threads:` from the child's `/proc/<pid>/status`.
+    fn child_threads(child: &Child) -> u64 {
+        let status = std::fs::read_to_string(format!("/proc/{}/status", child.id()))
+            .unwrap_or_default();
+        status
+            .lines()
+            .find_map(|l| l.strip_prefix("Threads:"))
+            .and_then(|v| v.trim().parse().ok())
+            .unwrap_or(0)
+    }
+
+    /// Phase 1: the child holds [`IDLE_CONNS`] parked connections while
+    /// the standard shadow-verified mixed workload runs. Everything
+    /// gated is a deterministic count or a bounded-by-construction
+    /// boolean — never wall clock.
+    pub fn idle_dense_phase(clients: u64, iters: u32) -> PhaseReport {
+        let (mut child, addr) = spawn_reactor_child();
+        let start = Instant::now();
+
+        // One long-lived control connection for health and shutdown, so
+        // polling never perturbs the accepted-connection count.
+        let mut control = Client::connect(addr).expect("control connect");
+
+        let mut idle: Vec<TcpStream> = Vec::with_capacity(IDLE_CONNS as usize);
+        for _ in 0..IDLE_CONNS {
+            idle.push(TcpStream::connect(addr).expect("idle connect"));
+        }
+        // Wait until the event loop has registered every idle socket.
+        let deadline = Instant::now() + Duration::from_secs(60);
+        loop {
+            let v = health(&mut control);
+            if net_field(&v, "conns_open") >= IDLE_CONNS + 1 {
+                break;
+            }
+            assert!(Instant::now() < deadline, "reactor never registered 10k conns");
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        let threads_with_10k = child_threads(&child);
+
+        let mut report = mixed_phase("reactor_idle_dense", addr, clients, iters);
+
+        let v = health(&mut control);
+        let conns_accepted = net_field(&v, "conns_accepted");
+        let conns_open = net_field(&v, "conns_open");
+        let frames_decoded = net_field(&v, "frames_decoded");
+        let wakeups = net_field(&v, "wakeups");
+        let workers = net_field(&v, "workers");
+        let queue_depth = net_field(&v, "worker_queue_depth");
+
+        // The idle sockets are all still parked and answering: poke one.
+        use std::io::{Read as _, Write as _};
+        let mut probe = idle.pop().expect("idle socket");
+        probe.write_all(b"{\"id\":77,\"op\":\"ping\"}\n").expect("probe write");
+        let mut buf = [0u8; 256];
+        let n = probe.read(&mut buf).expect("probe read");
+        let probe_ok =
+            u64::from(String::from_utf8_lossy(&buf[..n]).contains("\"ok\":true"));
+
+        // Remote shutdown drains the child; its exit status is the
+        // graceful-drain acceptance bit.
+        let resp = control.roundtrip(r#"{"id":1,"op":"shutdown"}"#).expect("shutdown");
+        let shutdown_acked = u64::from(resp.contains("\"shutting_down\":true"));
+        drop(idle);
+        drop(probe);
+        drop(control);
+        let clean_exit = u64::from(child.wait().expect("child wait").success());
+
+        report.wall = start.elapsed();
+        let c = &mut report.counters;
+        c.insert("idle_conns".into(), IDLE_CONNS);
+        // Every accept is accounted for: the idle fleet, one mixed
+        // client each, and the control connection. Nothing else dials
+        // the child, so this is exact.
+        c.insert("conns_accepted".into(), conns_accepted);
+        c.insert("held_10k".into(), u64::from(conns_open >= IDLE_CONNS + 1));
+        // Health polls share the control connection, so their frame
+        // count varies with host speed; gate coverage, not the total.
+        c.insert(
+            "frames_decoded_covers_mixed".into(),
+            u64::from(frames_decoded >= clients * (u64::from(iters) + 1)),
+        );
+        c.insert("net_workers".into(), workers);
+        // O(workers) threads, not O(connections): the child runs a main
+        // thread, the event loop, the worker pool, and a few runtime
+        // extras — nowhere near one-per-connection.
+        c.insert(
+            "threads_bounded".into(),
+            u64::from(threads_with_10k > 0 && threads_with_10k <= workers + 12),
+        );
+        // Wakeups scale with traffic (frames in, responses out,
+        // accepts), never with idle time.
+        c.insert(
+            "wakeups_bounded".into(),
+            u64::from(wakeups <= 6 * frames_decoded + 4 * conns_accepted + 4096),
+        );
+        c.insert("worker_queue_drained".into(), u64::from(queue_depth == 0));
+        c.insert("idle_probe_ok".into(), probe_ok);
+        c.insert("shutdown_acked".into(), shutdown_acked);
+        c.insert("clean_child_exit".into(), clean_exit);
+        report
+    }
+
+    /// One query frame whose response is ~1MB (10k unknown-class
+    /// answers): larger than any default socket buffer pair, so an
+    /// unread response must stall in the reactor's write buffer.
+    fn bulky_frame(id: u64) -> String {
+        let queries: Vec<J> = (0..10_000)
+            .map(|i| obj(vec![("kind", s("satisfiable")), ("class", s(&format!("Nope{i}")))]))
+            .collect();
+        frame("bp", "w", id, "query", vec![("queries", Json::Arr(queries))])
+    }
+
+    fn reactor_config() -> ServerConfig {
+        let mut config = ServerConfig::default();
+        config.quota.deadline = None;
+        config.quota.max_items = None;
+        config.quota.max_pending = usize::MAX;
+        config.net_mode = NetMode::Reactor;
+        config
+    }
+
+    /// Phase 2: write-backpressure discipline, both sides of the cap.
+    pub fn backpressure_phase() -> PhaseReport {
+        let start = Instant::now();
+        let mut tally = ClientTally::default();
+
+        // Slow reader under the cap: responses must outgrow what the
+        // kernel can absorb (tcp_wmem + tcp_rmem autotune maxima, tens
+        // of MB on some hosts), stall in the reactor's buffer, then
+        // drain in order once the client finally reads.
+        const SLOW_FRAMES: u64 = 64;
+        let mut config = reactor_config();
+        config.max_write_buffer_bytes = 256 << 20; // never disconnect this leg
+        let mut server = Server::spawn("127.0.0.1:0", config).expect("bind");
+        let mut client = Client::connect(server.addr()).expect("connect");
+        let open = frame("bp", "w", 0, "open", vec![("schema", s(SCHEMA))]);
+        let resp = client.roundtrip(&open).expect("open");
+        assert!(resp.contains("\"ok\":true"), "open failed: {resp}");
+        for id in 1..=SLOW_FRAMES {
+            client.send(&bulky_frame(id)).expect("send");
+        }
+        let mut ordered = true;
+        for id in 1..=SLOW_FRAMES {
+            tally.requests += 1;
+            let resp = client.read_response().expect("read");
+            if !resp.contains(&format!("\"id\":{id},")) {
+                ordered = false;
+            }
+        }
+        let counters = server.service().net_counters();
+        let stalls = counters.backpressure_stalls.load(Ordering::Relaxed);
+        let under_cap_disconnects =
+            counters.write_buffer_disconnects.load(Ordering::Relaxed);
+        server.stop();
+
+        // Over the cap: a non-reading client is disconnected exactly
+        // once; the server stays healthy for a fresh client.
+        let mut config = reactor_config();
+        config.max_write_buffer_bytes = 64 * 1024;
+        let mut server = Server::spawn("127.0.0.1:0", config).expect("bind capped");
+        let mut hog = Client::connect(server.addr()).expect("connect hog");
+        let open = frame("bp", "w", 0, "open", vec![("schema", s(SCHEMA))]);
+        let resp = hog.roundtrip(&open).expect("open");
+        assert!(resp.contains("\"ok\":true"), "open failed: {resp}");
+        for id in 1..=24u64 {
+            if hog.send(&bulky_frame(id)).is_err() {
+                break; // already disconnected
+            }
+        }
+        let counters = std::sync::Arc::clone(server.service().net_counters());
+        let deadline = Instant::now() + Duration::from_secs(30);
+        while counters.write_buffer_disconnects.load(Ordering::Relaxed) == 0
+            && Instant::now() < deadline
+        {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        let cap_disconnects = counters.write_buffer_disconnects.load(Ordering::Relaxed);
+        let mut fresh = Client::connect(server.addr()).expect("connect fresh");
+        tally.requests += 1;
+        let resp = fresh.roundtrip(r#"{"id":9,"op":"ping"}"#).expect("ping");
+        let healthy = u64::from(resp.contains("\"ok\":true"));
+        server.stop();
+
+        let wall = start.elapsed();
+        let mut report = merge("reactor_backpressure", 2, vec![tally], wall);
+        let c = &mut report.counters;
+        c.insert("stall_observed".into(), u64::from(stalls >= 1));
+        c.insert("ordered_drain".into(), u64::from(ordered));
+        c.insert("under_cap_disconnects".into(), under_cap_disconnects);
+        c.insert("cap_disconnects".into(), cap_disconnects);
+        c.insert("healthy_after_disconnect".into(), healthy);
+        report
+    }
+}
+
+#[cfg(target_os = "linux")]
+fn reactor_run(clients: u64, iters: u32) -> Vec<PhaseReport> {
+    // The soft fd limit (often 1024) would cap the idle fleet; lift it
+    // to the hard cap like the reactor server itself does.
+    let _ = car_server::reactor::sys::raise_fd_limit();
+    vec![
+        reactor_phases::idle_dense_phase(clients, iters),
+        reactor_phases::backpressure_phase(),
+    ]
+}
+
 fn merge(
     name: &'static str,
     clients: u64,
@@ -1055,7 +1367,7 @@ fn merge(
     counters.insert("disproved".into(), total.disproved);
     counters.insert("unknown".into(), total.unknown);
     counters.insert("replay_mismatches".into(), total.mismatches);
-    if name == "loadgen_mixed" {
+    if name == "loadgen_mixed" || name == "reactor_idle_dense" {
         counters.insert("edits_applied".into(), total.edits_applied);
     }
     total.latencies_us.sort_unstable();
@@ -1120,7 +1432,7 @@ fn run(clients: u64, iters: u32) -> Vec<PhaseReport> {
     let mut server = Server::spawn("127.0.0.1:0", config).expect("bind loadgen server");
     let addr = server.addr();
     let reports = vec![
-        mixed_phase(addr, clients, iters),
+        mixed_phase("loadgen_mixed", addr, clients, iters),
         coalesce_phase(addr, clients, iters),
         pressure_phase(clients, iters.min(3)),
     ];
@@ -1135,11 +1447,13 @@ fn main() -> ExitCode {
     let mut check: Option<String> = None;
     let mut restart = false;
     let mut fleet = false;
+    let mut reactor = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--restart" => restart = true,
             "--fleet" => fleet = true,
+            "--reactor" => reactor = true,
             "--clients" => {
                 i += 1;
                 clients = args.get(i).and_then(|v| v.parse().ok()).unwrap_or_else(|| {
@@ -1163,8 +1477,8 @@ fn main() -> ExitCode {
             }
             other => {
                 eprintln!(
-                    "usage: car_loadgen [--restart | --fleet] [--clients N] [--iters N] \
-                     [--check BENCH.json]"
+                    "usage: car_loadgen [--restart | --fleet | --reactor] [--clients N] \
+                     [--iters N] [--check BENCH.json]"
                 );
                 eprintln!("car_loadgen: unknown flag '{other}'");
                 return ExitCode::FAILURE;
@@ -1172,11 +1486,27 @@ fn main() -> ExitCode {
         }
         i += 1;
     }
-    if restart && fleet {
-        eprintln!("car_loadgen: --restart and --fleet are mutually exclusive");
+    if u32::from(restart) + u32::from(fleet) + u32::from(reactor) > 1 {
+        eprintln!("car_loadgen: --restart, --fleet and --reactor are mutually exclusive");
+        return ExitCode::FAILURE;
+    }
+    #[cfg(not(target_os = "linux"))]
+    if reactor {
+        eprintln!("car_loadgen: --reactor requires Linux (epoll)");
         return ExitCode::FAILURE;
     }
 
+    #[cfg(target_os = "linux")]
+    let reports = if reactor {
+        reactor_run(clients, iters)
+    } else if fleet {
+        fleet_run(clients, iters)
+    } else if restart {
+        restart_run(clients, iters)
+    } else {
+        run(clients, iters)
+    };
+    #[cfg(not(target_os = "linux"))]
     let reports = if fleet {
         fleet_run(clients, iters)
     } else if restart {

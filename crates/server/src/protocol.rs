@@ -664,6 +664,116 @@ pub fn unknown_answer(cause: &str, message: &str) -> Json {
     obj(vec![("outcome", s("unknown")), ("cause", s(cause)), ("message", s(message))])
 }
 
+// ---------------------------------------------------------------------
+// Incremental frame decoding
+// ---------------------------------------------------------------------
+
+/// One decoded framing event from a [`FrameDecoder`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Decoded {
+    /// A complete frame (without the trailing newline). May be
+    /// whitespace-only; callers skip those without responding.
+    Frame(Vec<u8>),
+    /// A line exceeded the frame cap. Its bytes were discarded up to and
+    /// including the terminating newline (resync-at-newline), so the
+    /// next frame decodes normally.
+    TooLarge,
+}
+
+/// Incremental `\n`-delimited frame decoder over an externally-fed byte
+/// stream, with the exact semantics of the original blocking
+/// `read_frame` loop: frames are capped at `max` bytes (the cap is
+/// inclusive), an over-cap line is discarded to its newline and
+/// surfaced as one [`Decoded::TooLarge`] event, and a final
+/// unterminated line at EOF counts as a frame ([`FrameDecoder::finish`]).
+///
+/// Both net modes decode through this type, which is what makes their
+/// framing behavior bit-identical. Memory is bounded: the partial-line
+/// accumulator never exceeds `max` bytes (an over-cap partial is
+/// dropped immediately and the decoder switches to discard mode), and
+/// callers stop feeding input while decoded frames are pending.
+pub struct FrameDecoder {
+    max: usize,
+    /// The current (last, unterminated) line so far. Empty while `over`.
+    partial: Vec<u8>,
+    /// The current line already exceeded `max`; its remaining bytes are
+    /// being discarded until the next newline.
+    over: bool,
+    /// Complete events not yet consumed, in arrival order.
+    events: std::collections::VecDeque<Decoded>,
+}
+
+impl FrameDecoder {
+    /// A fresh decoder with an inclusive per-frame byte cap.
+    #[must_use]
+    pub fn new(max: usize) -> FrameDecoder {
+        FrameDecoder {
+            max,
+            partial: Vec::new(),
+            over: false,
+            events: std::collections::VecDeque::new(),
+        }
+    }
+
+    /// Feeds bytes read from the connection. Complete lines become
+    /// queued events; a trailing fragment is buffered (or dropped, if it
+    /// pushes the current line over the cap).
+    pub fn push(&mut self, bytes: &[u8]) {
+        let mut rest = bytes;
+        while let Some(pos) = rest.iter().position(|&b| b == b'\n') {
+            let (line, after) = rest.split_at(pos);
+            rest = &after[1..];
+            if self.over || self.partial.len() + line.len() > self.max {
+                self.partial.clear();
+                self.over = false;
+                self.events.push_back(Decoded::TooLarge);
+            } else {
+                let mut frame = std::mem::take(&mut self.partial);
+                frame.extend_from_slice(line);
+                self.events.push_back(Decoded::Frame(frame));
+            }
+        }
+        if !rest.is_empty() && !self.over {
+            if self.partial.len() + rest.len() > self.max {
+                self.partial.clear();
+                self.over = true;
+            } else {
+                self.partial.extend_from_slice(rest);
+            }
+        }
+    }
+
+    /// The next decoded event, if any.
+    pub fn next_event(&mut self) -> Option<Decoded> {
+        self.events.pop_front()
+    }
+
+    /// Whether a decoded event is ready (used to pause reading while a
+    /// response is in flight without losing pipelined frames).
+    #[must_use]
+    pub fn has_event(&self) -> bool {
+        !self.events.is_empty()
+    }
+
+    /// Signals EOF: a buffered unterminated line becomes a final frame
+    /// (or `TooLarge`, if it had overflowed). Returns `None` on a clean
+    /// boundary. Idempotent once drained.
+    pub fn finish(&mut self) -> Option<Decoded> {
+        if let Some(event) = self.events.pop_front() {
+            return Some(event);
+        }
+        if self.over {
+            self.over = false;
+            self.partial.clear();
+            return Some(Decoded::TooLarge);
+        }
+        if self.partial.is_empty() {
+            return None;
+        }
+        Some(Decoded::Frame(std::mem::take(&mut self.partial)))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -755,5 +865,60 @@ mod tests {
         let err = err_response(None, &WireError::bad_request("nope"));
         assert!(err.ends_with('\n'));
         assert_eq!(err.matches('\n').count(), 1);
+    }
+
+    #[test]
+    fn decoder_splits_pipelined_frames_and_counts_partial_finals() {
+        let mut d = FrameDecoder::new(10);
+        d.push(b"abc\nde");
+        assert_eq!(d.next_event(), Some(Decoded::Frame(b"abc".to_vec())));
+        assert_eq!(d.next_event(), None);
+        d.push(b"f\n");
+        assert_eq!(d.next_event(), Some(Decoded::Frame(b"def".to_vec())));
+        d.push(b"tail");
+        assert_eq!(d.next_event(), None);
+        assert_eq!(d.finish(), Some(Decoded::Frame(b"tail".to_vec())));
+        assert_eq!(d.finish(), None);
+    }
+
+    #[test]
+    fn decoder_discards_oversized_lines_to_the_newline() {
+        let mut d = FrameDecoder::new(10);
+        // Dripped in one byte at a time, the over-cap line still costs
+        // at most `max` bytes of buffer and resyncs at its newline.
+        for b in b"x".iter().cycle().take(100) {
+            d.push(&[*b]);
+        }
+        assert_eq!(d.next_event(), None);
+        d.push(b"yyy\nok\n");
+        assert_eq!(d.next_event(), Some(Decoded::TooLarge));
+        assert_eq!(d.next_event(), Some(Decoded::Frame(b"ok".to_vec())));
+        assert_eq!(d.next_event(), None);
+    }
+
+    #[test]
+    fn decoder_exact_cap_is_not_too_large() {
+        let mut d = FrameDecoder::new(5);
+        d.push(b"12345\n123456\n");
+        assert_eq!(d.next_event(), Some(Decoded::Frame(b"12345".to_vec())));
+        assert_eq!(d.next_event(), Some(Decoded::TooLarge));
+    }
+
+    #[test]
+    fn decoder_oversized_final_line_is_too_large_at_eof() {
+        let mut d = FrameDecoder::new(4);
+        d.push(b"toolongline");
+        assert_eq!(d.finish(), Some(Decoded::TooLarge));
+        assert_eq!(d.finish(), None);
+    }
+
+    #[test]
+    fn decoder_preserves_order_across_cap_violations() {
+        let mut d = FrameDecoder::new(4);
+        d.push(b"ok1\nwaytoolong\nok2\n");
+        assert_eq!(d.next_event(), Some(Decoded::Frame(b"ok1".to_vec())));
+        assert_eq!(d.next_event(), Some(Decoded::TooLarge));
+        assert_eq!(d.next_event(), Some(Decoded::Frame(b"ok2".to_vec())));
+        assert_eq!(d.next_event(), None);
     }
 }

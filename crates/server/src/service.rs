@@ -32,7 +32,8 @@
 
 use crate::json::{obj, s, Json};
 use crate::protocol::{
-    answer_json, ok_response, unknown_answer, Envelope, Request, WireError, WireQuery,
+    answer_json, err_response, ok_response, parse_request, unknown_answer, Envelope,
+    Request, WireError, WireQuery,
 };
 use car_core::persist::{codec, read_generation, Disk};
 use car_core::{
@@ -110,6 +111,59 @@ pub enum StoreMode {
     Follower,
 }
 
+/// How the server multiplexes connections onto threads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NetMode {
+    /// One OS thread per connection (the legacy default). Simple and
+    /// portable; costs a thread per *connected* client.
+    Threads,
+    /// A single epoll event-loop thread plus a fixed worker pool
+    /// (`net_workers`); holds tens of thousands of idle connections on
+    /// a handful of threads. Linux only.
+    Reactor,
+}
+
+impl NetMode {
+    /// The stable wire label (`health`/`stats` responses, CLI flag).
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            NetMode::Threads => "threads",
+            NetMode::Reactor => "reactor",
+        }
+    }
+}
+
+/// Network-layer counters, shared between the accept/event loop and the
+/// service so `health`/`stats` can surface them. All updated with
+/// relaxed ordering — they are monitoring data, not synchronization.
+#[derive(Debug, Default)]
+pub struct NetCounters {
+    /// Connections accepted since startup.
+    pub conns_accepted: AtomicU64,
+    /// Currently open connections (gauge).
+    pub conns_open: AtomicU64,
+    /// Non-blank frames decoded (each produced exactly one response).
+    pub frames_decoded: AtomicU64,
+    /// Over-cap lines discarded to their newline (`frame_too_large`).
+    pub frames_oversized: AtomicU64,
+    /// Reactor mode: writes that could not complete in one call and
+    /// re-armed `EPOLLOUT` instead of blocking a thread.
+    pub backpressure_stalls: AtomicU64,
+    /// Reactor mode: connections dropped because a non-reading client
+    /// let its output buffer exceed `max_write_buffer_bytes`.
+    pub write_buffer_disconnects: AtomicU64,
+    /// Threads mode: connections dropped because a blocking write sat
+    /// longer than `write_timeout`.
+    pub write_timeout_disconnects: AtomicU64,
+    /// Reactor mode: `epoll_wait` returns (bounded by traffic, never by
+    /// wall clock — there is no timer tick).
+    pub wakeups: AtomicU64,
+    /// Reactor mode: decoded frames queued for the worker pool right
+    /// now (gauge; bounded by open connections).
+    pub worker_queue_depth: AtomicU64,
+}
+
 /// Server-wide configuration.
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
@@ -137,6 +191,18 @@ pub struct ServerConfig {
     /// another process may take it over. The keeper renews well inside
     /// this (every `lease_ttl / 4`, floored at 25ms).
     pub lease_ttl: Duration,
+    /// Thread-per-connection (`Threads`, the default) or the epoll
+    /// reactor (`Reactor`).
+    pub net_mode: NetMode,
+    /// Reactor mode: protocol workers executing ops off the event loop.
+    pub net_workers: NonZeroUsize,
+    /// Threads mode: how long one blocking response write may stall on
+    /// a slow client before the connection is dropped (`None` = block
+    /// forever, the pre-reactor behavior).
+    pub write_timeout: Option<Duration>,
+    /// Reactor mode: bytes of unsent output a connection may
+    /// accumulate before it is disconnected as a non-reader.
+    pub max_write_buffer_bytes: usize,
 }
 
 impl Default for ServerConfig {
@@ -150,6 +216,10 @@ impl Default for ServerConfig {
             allow_remote_shutdown: false,
             store_mode: StoreMode::Leader,
             lease_ttl: Duration::from_secs(2),
+            net_mode: NetMode::Threads,
+            net_workers: NonZeroUsize::new(4).unwrap_or(NonZeroUsize::MIN),
+            write_timeout: Some(Duration::from_secs(30)),
+            max_write_buffer_bytes: 8 << 20,
         }
     }
 }
@@ -327,6 +397,9 @@ pub struct Service {
     /// binary waits on this and then drains gracefully.
     shutdown_flag: Mutex<bool>,
     shutdown_ready: Condvar,
+    /// Network-layer counters, updated by whichever net runtime
+    /// (threads accept loop or epoll reactor) carries this service.
+    net: Arc<NetCounters>,
 }
 
 /// Removes a path from [`Service::opening`] when the `open` that
@@ -377,6 +450,7 @@ impl Service {
             opening: Mutex::new(std::collections::HashSet::new()),
             shutdown_flag: Mutex::new(false),
             shutdown_ready: Condvar::new(),
+            net: Arc::new(NetCounters::default()),
         };
         if let Some(data_dir) = service.config.data_dir.clone() {
             let limits = StoreLimits { max_bytes: service.config.store_max_bytes };
@@ -413,6 +487,43 @@ impl Service {
     #[must_use]
     pub fn config(&self) -> &ServerConfig {
         &self.config
+    }
+
+    /// The shared network-layer counters (updated by the net runtime,
+    /// surfaced by `health`/`stats`).
+    #[must_use]
+    pub fn net_counters(&self) -> &Arc<NetCounters> {
+        &self.net
+    }
+
+    /// Decodes and dispatches one raw frame, always producing exactly
+    /// one response line. This is the full protocol boundary — UTF-8
+    /// check, JSON parse, request parse, dispatch — factored out of the
+    /// connection's thread so any execution context (a per-connection
+    /// thread or a reactor worker) can run ops identically.
+    #[must_use]
+    pub fn execute_frame(&self, raw: &[u8]) -> String {
+        let text = match std::str::from_utf8(raw) {
+            Ok(t) => t,
+            Err(e) => {
+                let mut err = WireError::new("bad_json", "frame is not valid UTF-8");
+                err.offset = Some(e.valid_up_to());
+                return err_response(None, &err);
+            }
+        };
+        let frame = match crate::json::parse(text) {
+            Ok(f) => f,
+            Err(e) => {
+                let mut err = WireError::new("bad_json", e.message);
+                err.offset = Some(e.offset);
+                return err_response(None, &err);
+            }
+        };
+        let (envelope, request) = parse_request(&frame);
+        match request {
+            Ok(req) => self.handle(&envelope, req),
+            Err(e) => err_response(envelope.id, &e),
+        }
     }
 
     /// What recovery found so far: the startup scan plus every keeper
@@ -1301,6 +1412,16 @@ impl Service {
             ("disk_ccs_hits", Json::UInt(stats.disk_ccs_hits)),
             ("disk_writes", Json::UInt(stats.disk_writes)),
             ("disk_write_failures", Json::UInt(stats.disk_write_failures)),
+            ("net_mode", s(self.config.net_mode.label())),
+            ("net_conns_open", Json::UInt(self.net.conns_open.load(Ordering::Relaxed))),
+            (
+                "net_backpressure_stalls",
+                Json::UInt(self.net.backpressure_stalls.load(Ordering::Relaxed)),
+            ),
+            (
+                "net_worker_queue_depth",
+                Json::UInt(self.net.worker_queue_depth.load(Ordering::Relaxed)),
+            ),
         ];
         if let Some(ops) = journal_ops {
             fields.push(("journal_ops_since_snapshot", Json::UInt(ops)));
@@ -1391,8 +1512,42 @@ impl Service {
                 ("durability_failures", Json::UInt(self.durability_failures())),
                 ("leases_taken_over", Json::UInt(self.leases_taken_over())),
                 ("read_only_rejections", Json::UInt(self.read_only_rejections())),
+                ("net", self.net_json()),
             ],
         )
+    }
+
+    /// The `health` response's `net` object: mode, worker-pool size,
+    /// and every [`NetCounters`] field. Lets the fleet sweeps observe
+    /// the reactor (open connections, backpressure stalls, queue depth)
+    /// through the same ops they already poll.
+    fn net_json(&self) -> Json {
+        let n = &self.net;
+        obj(vec![
+            ("mode", s(self.config.net_mode.label())),
+            ("workers", Json::UInt(self.config.net_workers.get() as u64)),
+            ("conns_accepted", Json::UInt(n.conns_accepted.load(Ordering::Relaxed))),
+            ("conns_open", Json::UInt(n.conns_open.load(Ordering::Relaxed))),
+            ("frames_decoded", Json::UInt(n.frames_decoded.load(Ordering::Relaxed))),
+            ("frames_oversized", Json::UInt(n.frames_oversized.load(Ordering::Relaxed))),
+            (
+                "backpressure_stalls",
+                Json::UInt(n.backpressure_stalls.load(Ordering::Relaxed)),
+            ),
+            (
+                "write_buffer_disconnects",
+                Json::UInt(n.write_buffer_disconnects.load(Ordering::Relaxed)),
+            ),
+            (
+                "write_timeout_disconnects",
+                Json::UInt(n.write_timeout_disconnects.load(Ordering::Relaxed)),
+            ),
+            ("wakeups", Json::UInt(n.wakeups.load(Ordering::Relaxed))),
+            (
+                "worker_queue_depth",
+                Json::UInt(n.worker_queue_depth.load(Ordering::Relaxed)),
+            ),
+        ])
     }
 
     // -----------------------------------------------------------------

@@ -7,6 +7,31 @@
 use car_core::{ReasonerConfig, Workspace};
 use car_server::json::{obj, s, to_string, Json};
 use car_server::protocol::{answer_json, unknown_answer, WireDelta, WireQuery};
+use car_server::service::{NetMode, ServerConfig};
+use car_server::Server;
+
+/// The net modes this platform can exercise: both on Linux, only the
+/// portable thread-per-connection runtime elsewhere. Suites loop over
+/// this so every protocol behavior is proven bit-identical across
+/// modes.
+#[allow(dead_code)] // not every suite is mode-parameterized
+#[must_use]
+pub fn net_modes() -> Vec<NetMode> {
+    if cfg!(target_os = "linux") {
+        vec![NetMode::Threads, NetMode::Reactor]
+    } else {
+        vec![NetMode::Threads]
+    }
+}
+
+/// Spawns a server on an ephemeral port with `config` switched to the
+/// given net mode.
+#[allow(dead_code)]
+#[must_use]
+pub fn spawn_mode(mut config: ServerConfig, mode: NetMode) -> Server {
+    config.net_mode = mode;
+    Server::spawn("127.0.0.1:0", config).expect("server binds")
+}
 
 /// The fixture schema most tests open.
 pub const SCHEMA: &str = "
@@ -139,6 +164,7 @@ pub fn delta_json(d: &WireDelta) -> Json {
 }
 
 /// Builds an `apply` frame.
+#[allow(dead_code)] // not used by every suite
 #[must_use]
 pub fn apply_frame(workspace: &str, id: u64, deltas: &[WireDelta]) -> String {
     to_string(&obj(vec![
@@ -189,6 +215,7 @@ impl Shadow {
     /// Applies deltas exactly like the server's `apply` op: resolve
     /// against the evolving schema, stop at the first failure. Returns
     /// how many were applied.
+    #[allow(dead_code)] // not used by every suite
     pub fn apply(&mut self, deltas: &[WireDelta]) -> u64 {
         let mut applied = 0;
         for delta in deltas {

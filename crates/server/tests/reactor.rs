@@ -1,0 +1,337 @@
+//! Reactor-mode regression suite — and the cross-mode contract tests.
+//!
+//! Every protocol-visible behavior here runs through **both**
+//! `--net-mode`s (on Linux; threads only elsewhere): slowloris
+//! byte-at-a-time delivery, oversized-frame resync, partial final
+//! frames, pipelining order, graceful and remote shutdown. On top of
+//! that, the mode-specific bounded-everything guarantees: the reactor
+//! disconnects a non-reading client once its output buffer hits the
+//! cap (instead of buffering without bound), the threads runtime
+//! disconnects a stalled client after `write_timeout` (instead of
+//! wedging its thread forever in a blocking `write_all`), and the
+//! reactor's thread count stays O(workers) while hundreds of idle
+//! connections are parked.
+
+mod common;
+
+use common::{net_modes, open_frame, query_frame, spawn_mode, Shadow, SCHEMA};
+use car_server::protocol::WireQuery;
+use car_server::service::{NetMode, ServerConfig};
+use car_server::{Client, Server};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn ok(response: &str) -> bool {
+    response.contains("\"ok\":true")
+}
+
+/// Opens the fixture schema and returns the (verified) response.
+fn open_fixture(client: &mut Client) {
+    let response = client.roundtrip(&open_frame("w", 1, SCHEMA)).expect("open");
+    assert!(ok(&response), "open failed: {response}");
+}
+
+#[test]
+fn ping_pipelining_preserves_response_order_in_both_modes() {
+    for mode in net_modes() {
+        let mut server = spawn_mode(ServerConfig::default(), mode);
+        let mut client = Client::connect(server.addr()).unwrap();
+        for id in 0..32 {
+            client.send(&format!("{{\"id\":{id},\"op\":\"ping\"}}")).unwrap();
+        }
+        for id in 0..32 {
+            let response = client.read_response().unwrap();
+            assert!(
+                response.contains(&format!("\"id\":{id},")),
+                "{mode:?}: out-of-order response {response}"
+            );
+        }
+        server.stop();
+    }
+}
+
+#[test]
+fn slowloris_byte_at_a_time_frames_still_answer_in_both_modes() {
+    for mode in net_modes() {
+        let mut server = spawn_mode(ServerConfig::default(), mode);
+        let mut slow = Client::connect(server.addr()).unwrap();
+        // Three pipelined frames dripped one byte at a time.
+        let frames = b"{\"id\":1,\"op\":\"ping\"}\n{\"id\":2,\"op\":\"ping\"}\n{\"id\":3,\"op\":\"ping\"}\n";
+        for chunk in frames.chunks(1) {
+            slow.send_raw(chunk).unwrap();
+            // A concurrent fast client stays fully responsive while the
+            // slowloris drips (the event loop must not block on the
+            // slow connection).
+            if chunk == b"}" {
+                let mut fast = Client::connect(server.addr()).unwrap();
+                let response = fast.roundtrip("{\"op\":\"ping\"}").unwrap();
+                assert!(ok(&response), "{mode:?}: fast client starved: {response}");
+            }
+        }
+        for id in 1..=3 {
+            let response = slow.read_response().unwrap();
+            assert!(
+                response.contains(&format!("\"id\":{id},")) && ok(&response),
+                "{mode:?}: slowloris frame {id} got {response}"
+            );
+        }
+        server.stop();
+    }
+}
+
+#[test]
+fn oversized_frames_resync_at_the_newline_in_both_modes() {
+    for mode in net_modes() {
+        let mut config = ServerConfig::default();
+        config.max_frame_bytes = 256;
+        let mut server = spawn_mode(config, mode);
+        let mut client = Client::connect(server.addr()).unwrap();
+        client.send_raw(&[b"x".repeat(4096).as_slice(), b"\n"].concat()).unwrap();
+        let response = client.read_response().unwrap();
+        assert!(
+            response.contains("frame_too_large"),
+            "{mode:?}: expected frame_too_large, got {response}"
+        );
+        // The connection survived and the next frame parses cleanly.
+        let response = client.roundtrip("{\"id\":9,\"op\":\"ping\"}").unwrap();
+        assert!(ok(&response) && response.contains("\"id\":9,"), "{mode:?}: {response}");
+        let counters = server.service().net_counters();
+        assert_eq!(counters.frames_oversized.load(Ordering::Relaxed), 1, "{mode:?}");
+        server.stop();
+    }
+}
+
+#[test]
+fn partial_final_frames_and_blank_lines_in_both_modes() {
+    for mode in net_modes() {
+        let mut server = spawn_mode(ServerConfig::default(), mode);
+        let mut client = Client::connect(server.addr()).unwrap();
+        // Blank and whitespace-only lines produce no response.
+        client.send_raw(b"\n   \n\t\n").unwrap();
+        // An unterminated final frame still gets answered after EOF.
+        client.send_raw(b"{\"id\":7,\"op\":\"ping\"}").unwrap();
+        client.shutdown_write();
+        let rest = client.drain();
+        assert!(
+            rest.contains("\"id\":7,") && ok(&rest),
+            "{mode:?}: partial final frame got {rest:?}"
+        );
+        assert_eq!(rest.matches('\n').count(), 1, "{mode:?}: blank lines answered");
+        server.stop();
+    }
+}
+
+#[test]
+fn query_answers_match_the_shadow_in_both_modes() {
+    let queries = vec![
+        WireQuery::Satisfiable("Student".into()),
+        WireQuery::Subsumes { sup: "Person".into(), sub: "Professor".into() },
+        WireQuery::Disjoint("Student".into(), "Professor".into()),
+        WireQuery::Satisfiable("Nope".into()),
+        WireQuery::Coherent,
+    ];
+    let mut shadow = Shadow::new(SCHEMA);
+    let expected = shadow.query(&queries);
+    let mut per_mode = Vec::new();
+    for mode in net_modes() {
+        let mut server = spawn_mode(ServerConfig::default(), mode);
+        let mut client = Client::connect(server.addr()).unwrap();
+        open_fixture(&mut client);
+        let response = client.roundtrip(&query_frame("w", 2, &queries)).unwrap();
+        for answer in &expected {
+            let rendered = car_server::json::to_string(answer);
+            assert!(
+                response.contains(&rendered),
+                "{mode:?}: answer {rendered} missing from {response}"
+            );
+        }
+        per_mode.push(response);
+        server.stop();
+    }
+    // Bit-identical across modes, not merely both correct.
+    for window in per_mode.windows(2) {
+        assert_eq!(window[0], window[1]);
+    }
+}
+
+#[test]
+fn graceful_shutdown_answers_inflight_then_eofs_in_both_modes() {
+    for mode in net_modes() {
+        let mut server = spawn_mode(ServerConfig::default(), mode);
+        let mut client = Client::connect(server.addr()).unwrap();
+        open_fixture(&mut client);
+        client.send(&query_frame("w", 3, &[WireQuery::Coherent])).unwrap();
+        // Let the frame reach the server before the drain begins (the
+        // drain half-closes reads; bytes still on the wire would be a
+        // client bug, not a lost in-flight request).
+        std::thread::sleep(Duration::from_millis(100));
+        let snapshots = server.shutdown();
+        assert_eq!(snapshots, 0); // memory-only server writes nothing
+        let rest = client.drain();
+        assert!(
+            rest.contains("\"id\":3,") && ok(&rest),
+            "{mode:?}: in-flight query lost in shutdown: {rest:?}"
+        );
+    }
+}
+
+#[test]
+fn remote_shutdown_drains_identically_in_both_modes() {
+    for mode in net_modes() {
+        let mut config = ServerConfig::default();
+        config.allow_remote_shutdown = true;
+        let mut server = spawn_mode(config, mode);
+        let addr = server.addr();
+        let client_thread = std::thread::spawn(move || {
+            let mut client = Client::connect(addr).unwrap();
+            let response = client.roundtrip("{\"id\":1,\"op\":\"shutdown\"}").unwrap();
+            assert!(response.contains("\"shutting_down\":true"), "{response}");
+            // After the drain the server closes the connection.
+            assert_eq!(client.drain(), "");
+        });
+        let snapshots = server.serve_until_shutdown();
+        assert_eq!(snapshots, 0);
+        client_thread.join().unwrap();
+    }
+}
+
+#[test]
+fn stop_is_prompt_without_a_self_connection_in_both_modes() {
+    for mode in net_modes() {
+        let mut server = spawn_mode(ServerConfig::default(), mode);
+        // The old implementation unblocked accept by dialing itself; the
+        // eventfd wakeup must not fabricate connections.
+        let started = std::time::Instant::now();
+        server.stop();
+        assert!(started.elapsed() < Duration::from_secs(2), "{mode:?}: slow stop");
+        let counters = server.service().net_counters();
+        assert_eq!(counters.conns_accepted.load(Ordering::Relaxed), 0, "{mode:?}");
+    }
+}
+
+/// Builds one query frame whose response is large (many unknown-class
+/// answers), for filling kernel buffers deterministically.
+fn bulky_frame(id: u64, queries: usize) -> String {
+    let queries: Vec<WireQuery> =
+        (0..queries).map(|i| WireQuery::Satisfiable(format!("Missing{i}"))).collect();
+    query_frame("w", id, &queries)
+}
+
+#[cfg(target_os = "linux")]
+#[test]
+fn reactor_backpressure_disconnects_a_nonreading_client() {
+    let mut config = ServerConfig::default();
+    config.net_mode = NetMode::Reactor;
+    config.max_write_buffer_bytes = 64 * 1024;
+    let mut server = Server::spawn("127.0.0.1:0", config).expect("server binds");
+    let mut client = Client::connect(server.addr()).unwrap();
+    open_fixture(&mut client);
+    // Pipeline responses far past the write-buffer cap without reading.
+    // Each response is ~1MB, so the kernel's socket buffers saturate
+    // after a handful and the rest must land in the reactor's
+    // userspace buffer — which is capped at 64KB here.
+    for id in 0..64 {
+        if client.send(&bulky_frame(100 + id, 10_000)).is_err() {
+            break; // server already dropped us
+        }
+    }
+    // The server must disconnect rather than buffer without bound.
+    let counters = Arc::clone(server.service().net_counters());
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    while counters.write_buffer_disconnects.load(Ordering::Relaxed) == 0
+        && std::time::Instant::now() < deadline
+    {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert_eq!(counters.write_buffer_disconnects.load(Ordering::Relaxed), 1);
+    assert!(counters.backpressure_stalls.load(Ordering::Relaxed) >= 1);
+    // The server stays healthy for other clients.
+    let mut fresh = Client::connect(server.addr()).unwrap();
+    let response = fresh.roundtrip("{\"op\":\"ping\"}").unwrap();
+    assert!(ok(&response), "{response}");
+    server.stop();
+}
+
+#[test]
+fn threads_write_timeout_disconnects_a_stalled_client() {
+    let mut config = ServerConfig::default();
+    config.net_mode = NetMode::Threads;
+    config.write_timeout = Some(Duration::from_millis(250));
+    let mut server = Server::spawn("127.0.0.1:0", config).expect("server binds");
+    let mut client = Client::connect(server.addr()).unwrap();
+    open_fixture(&mut client);
+    // Stall the connection: pipeline large responses and never read.
+    // The client's own writes are bounded by a timeout too, because
+    // once the server thread blocks in its response write, the
+    // client->server direction fills up as well.
+    client.stream().set_write_timeout(Some(Duration::from_millis(200))).unwrap();
+    let frame = bulky_frame(7, 2000);
+    for _ in 0..64 {
+        if client.send(&frame).is_err() {
+            break; // both directions are full — the server is stalled
+        }
+    }
+    let counters = Arc::clone(server.service().net_counters());
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    while counters.write_timeout_disconnects.load(Ordering::Relaxed) == 0
+        && std::time::Instant::now() < deadline
+    {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert_eq!(
+        counters.write_timeout_disconnects.load(Ordering::Relaxed),
+        1,
+        "stalled client did not get disconnected"
+    );
+    // The wedged thread is gone and the server still serves.
+    let mut fresh = Client::connect(server.addr()).unwrap();
+    let response = fresh.roundtrip("{\"op\":\"ping\"}").unwrap();
+    assert!(ok(&response), "{response}");
+    server.stop();
+}
+
+#[cfg(target_os = "linux")]
+#[test]
+fn reactor_thread_count_is_o_workers_not_o_connections() {
+    fn thread_count() -> u64 {
+        let status = std::fs::read_to_string("/proc/self/status").unwrap_or_default();
+        status
+            .lines()
+            .find_map(|l| l.strip_prefix("Threads:"))
+            .and_then(|v| v.trim().parse().ok())
+            .unwrap_or(0)
+    }
+    let mut config = ServerConfig::default();
+    config.net_mode = NetMode::Reactor;
+    let mut server = Server::spawn("127.0.0.1:0", config).expect("server binds");
+    let baseline = thread_count();
+    let mut idle = Vec::new();
+    for _ in 0..400 {
+        idle.push(TcpStream::connect(server.addr()).unwrap());
+    }
+    // Wait until the reactor has registered them all.
+    let counters = Arc::clone(server.service().net_counters());
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    while counters.conns_open.load(Ordering::Relaxed) < 400
+        && std::time::Instant::now() < deadline
+    {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert_eq!(counters.conns_open.load(Ordering::Relaxed), 400);
+    let with_conns = thread_count();
+    assert!(
+        with_conns <= baseline + 4,
+        "400 idle connections grew threads from {baseline} to {with_conns}"
+    );
+    // They all still work.
+    let mut one = idle.pop().unwrap();
+    one.write_all(b"{\"id\":42,\"op\":\"ping\"}\n").unwrap();
+    let mut buf = [0u8; 256];
+    let n = one.read(&mut buf).unwrap();
+    assert!(String::from_utf8_lossy(&buf[..n]).contains("\"id\":42,"));
+    drop(idle);
+    server.stop();
+}
